@@ -1,0 +1,67 @@
+#![allow(missing_docs)]
+
+//! Criterion bench for the ablation knobs: activation attenuation µ and the
+//! emission policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use banks_bench::experiments::{BenchScale, Environment};
+use banks_bench::metrics::{run_engine_on_case, EngineKind};
+use banks_core::{EmissionPolicy, SearchParams};
+use banks_datagen::{WorkloadConfig, WorkloadGenerator};
+
+fn bench_ablation(c: &mut Criterion) {
+    let env = Environment::prepare(BenchScale::Tiny);
+    let mut generator = WorkloadGenerator::new(&env.data, 950);
+    let case = generator
+        .generate(&WorkloadConfig {
+            num_queries: 1,
+            num_keywords: 3,
+            compute_ground_truth: false,
+            ..WorkloadConfig::default()
+        })
+        .into_iter()
+        .next()
+        .expect("workload query");
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for mu in [0.1f64, 0.5, 0.9] {
+        let params = SearchParams::with_top_k(10).max_explored(200_000).mu(mu);
+        group.bench_with_input(BenchmarkId::new("mu", format!("{mu:.1}")), &case, |b, case| {
+            b.iter(|| {
+                run_engine_on_case(
+                    EngineKind::Bidirectional,
+                    env.data.dataset.graph(),
+                    &env.prestige,
+                    env.data.dataset.index(),
+                    case,
+                    &params,
+                )
+            })
+        });
+    }
+    for (label, policy) in [
+        ("exact", EmissionPolicy::ExactBound),
+        ("heuristic", EmissionPolicy::Heuristic),
+        ("immediate", EmissionPolicy::Immediate),
+    ] {
+        let params = SearchParams::with_top_k(10).max_explored(200_000).emission(policy);
+        group.bench_with_input(BenchmarkId::new("emission", label), &case, |b, case| {
+            b.iter(|| {
+                run_engine_on_case(
+                    EngineKind::Bidirectional,
+                    env.data.dataset.graph(),
+                    &env.prestige,
+                    env.data.dataset.index(),
+                    case,
+                    &params,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+#![allow(missing_docs)]
+
+//! Criterion bench for the Figure 5 sample-query comparison: the three
+//! engines on a mixed-frequency DBLP query (rare authors + frequent term).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use banks_bench::experiments::{BenchScale, Environment};
+use banks_bench::metrics::{run_engine_on_case, EngineKind};
+use banks_core::SearchParams;
+use banks_datagen::workload::OriginBias;
+use banks_datagen::{WorkloadConfig, WorkloadGenerator};
+
+fn bench_figure5(c: &mut Criterion) {
+    let env = Environment::prepare(BenchScale::Tiny);
+    let mut generator = WorkloadGenerator::new(&env.data, 501);
+    let case = generator
+        .generate(&WorkloadConfig {
+            num_queries: 1,
+            num_keywords: 3,
+            origin_bias: OriginBias::Frequent,
+            ..WorkloadConfig::default()
+        })
+        .into_iter()
+        .next()
+        .expect("workload query");
+    let params = SearchParams::with_top_k(10).max_explored(200_000);
+
+    let mut group = c.benchmark_group("figure5_sample_query");
+    group.sample_size(10);
+    for kind in [EngineKind::MiBackward, EngineKind::SiBackward, EngineKind::Bidirectional] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                run_engine_on_case(
+                    kind,
+                    env.data.dataset.graph(),
+                    &env.prestige,
+                    env.data.dataset.index(),
+                    &case,
+                    &params,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+#![allow(missing_docs)]
+
+//! Criterion bench for Figure 6(b): SI-Backward vs Bidirectional as the
+//! number of keywords grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use banks_bench::experiments::{BenchScale, Environment};
+use banks_bench::metrics::{run_engine_on_case, EngineKind};
+use banks_core::SearchParams;
+use banks_datagen::workload::OriginBias;
+use banks_datagen::{WorkloadConfig, WorkloadGenerator};
+
+fn bench_figure6b(c: &mut Criterion) {
+    let env = Environment::prepare(BenchScale::Tiny);
+    let params = SearchParams::with_top_k(10).max_explored(200_000);
+
+    let mut group = c.benchmark_group("figure6b_si_vs_bidirectional");
+    group.sample_size(10);
+    for num_keywords in [2usize, 4, 6] {
+        let mut generator = WorkloadGenerator::new(&env.data, 610 + num_keywords as u64);
+        let case = generator
+            .generate(&WorkloadConfig {
+                num_queries: 1,
+                num_keywords,
+                origin_bias: OriginBias::Frequent,
+                compute_ground_truth: false,
+                ..WorkloadConfig::default()
+            })
+            .into_iter()
+            .next()
+            .expect("workload query");
+        for kind in [EngineKind::SiBackward, EngineKind::Bidirectional] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), num_keywords),
+                &case,
+                |b, case| {
+                    b.iter(|| {
+                        run_engine_on_case(
+                            kind,
+                            env.data.dataset.graph(),
+                            &env.prestige,
+                            env.data.dataset.index(),
+                            case,
+                            &params,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure6b);
+criterion_main!(benches);

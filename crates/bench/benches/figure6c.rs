@@ -1,0 +1,54 @@
+#![allow(missing_docs)]
+
+//! Criterion bench for Figure 6(c): the join-order experiment over keyword
+//! frequency categories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use banks_bench::experiments::{BenchScale, Environment};
+use banks_bench::metrics::{run_engine_on_case, EngineKind};
+use banks_core::SearchParams;
+use banks_datagen::{KeywordCategory, WorkloadGenerator};
+
+fn bench_figure6c(c: &mut Criterion) {
+    let env = Environment::prepare(BenchScale::Tiny);
+    let params = SearchParams::with_top_k(10).max_explored(200_000);
+
+    let combos: Vec<(&str, [KeywordCategory; 4])> = vec![
+        (
+            "TTTL",
+            [KeywordCategory::Tiny, KeywordCategory::Tiny, KeywordCategory::Tiny, KeywordCategory::Large],
+        ),
+        (
+            "LLLL",
+            [KeywordCategory::Large, KeywordCategory::Large, KeywordCategory::Large, KeywordCategory::Large],
+        ),
+    ];
+
+    let mut group = c.benchmark_group("figure6c_join_order");
+    group.sample_size(10);
+    for (label, combo) in &combos {
+        let mut generator = WorkloadGenerator::new(&env.data, 700);
+        let Some(case) = generator.generate_categorised(combo, 1).into_iter().next() else {
+            continue;
+        };
+        for kind in [EngineKind::SiBackward, EngineKind::Bidirectional] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), label), &case, |b, case| {
+                b.iter(|| {
+                    run_engine_on_case(
+                        kind,
+                        env.data.dataset.graph(),
+                        &env.prestige,
+                        env.data.dataset.index(),
+                        case,
+                        &params,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure6c);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates the paper's tables and figures on the synthetic datasets.
+//!
+//! ```text
+//! cargo run --release -p banks-bench --bin reproduce -- [experiment] [--scale tiny|small|medium]
+//! ```
+//!
+//! `experiment` is one of `figure5`, `figure6a`, `figure6b`, `figure6c`,
+//! `recall`, `anomaly`, `ablation`, or `all` (default).
+
+use banks_bench::experiments::{self, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut scale = BenchScale::Small;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().map(String::as_str).unwrap_or("small");
+                scale = BenchScale::parse(value).unwrap_or_else(|| {
+                    eprintln!("unknown scale {value:?}, expected tiny|small|medium");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [figure5|figure6a|figure6b|figure6c|recall|anomaly|ablation|all] [--scale tiny|small|medium]"
+                );
+                return;
+            }
+            other => experiment = other.to_string(),
+        }
+    }
+
+    let run = |name: &str| {
+        println!("==============================================================");
+        println!("Experiment {name} {}", experiments::scale_note(scale));
+        println!("==============================================================");
+        let report = match name {
+            "figure5" => experiments::figure5(scale),
+            "figure6a" => experiments::figure6a(scale),
+            "figure6b" => experiments::figure6b(scale),
+            "figure6c" => experiments::figure6c(scale),
+            "recall" => experiments::recall(scale),
+            "anomaly" => experiments::anomaly(scale),
+            "ablation" => experiments::ablation(scale),
+            other => format!("unknown experiment {other:?}"),
+        };
+        println!("{report}");
+    };
+
+    if experiment == "all" {
+        for name in ["figure5", "figure6a", "figure6b", "figure6c", "recall", "anomaly", "ablation"] {
+            run(name);
+        }
+    } else {
+        run(&experiment);
+    }
+}

@@ -1,0 +1,32 @@
+//! # banks-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the
+//! BANKS-II evaluation (Section 5 of the paper) on the synthetic datasets:
+//!
+//! * [`figure5`] — the sample-query table (DQ/IQ/UQ rows): MI-vs-SI and
+//!   SI-vs-Bidirectional ratios, absolute times and the Sparse lower bound,
+//! * [`figure6a`] — MI-Backward / SI-Backward time ratio vs number of
+//!   keywords, for small-origin and large-origin query classes,
+//! * [`figure6b`] — SI-Backward / Bidirectional time ratio vs number of
+//!   keywords,
+//! * [`figure6c`] — the join-order experiment over keyword-frequency
+//!   categories (tiny/small/medium/large),
+//! * [`recall`] — the recall/precision experiment of Section 5.7,
+//! * [`anomaly`] — the symmetric rare-keyword query of Section 5.5 where
+//!   Bidirectional loses,
+//! * [`ablation`] — sweeps over µ, dmax, λ and the emission policy.
+//!
+//! Each experiment returns plain-text rows (also consumed by the `reproduce`
+//! binary and the Criterion benches).  Absolute times are hardware- and
+//! scale-dependent; the paper's claims are about *ratios* and orderings,
+//! which is what the rows report.
+
+pub mod experiments;
+pub mod metrics;
+pub mod table;
+
+pub use experiments::{
+    ablation, anomaly, figure5, figure6a, figure6b, figure6c, recall, BenchScale,
+};
+pub use metrics::{run_engine_on_case, EngineKind, QueryMetrics};
+pub use table::Table;

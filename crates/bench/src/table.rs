@@ -1,0 +1,117 @@
+//! Minimal fixed-width text-table formatting for experiment output.
+
+/// A simple text table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (missing cells render empty, extra cells are kept).
+    pub fn add_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..columns {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>width$}  ", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * columns));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio with one decimal, or `-` when undefined.
+pub fn fmt_ratio(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.1}"),
+        _ => "-".to_string(),
+    }
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn fmt_ms(duration: std::time::Duration) -> String {
+    format!("{:.2}", duration.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["query", "ratio"]);
+        t.add_row(["DQ1", "3.5"]);
+        t.add_row(["a-very-long-query-name", "12.0"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("query"));
+        assert!(lines[2].ends_with("3.5"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.add_row(["1"]);
+        t.add_row(["1", "2", "3", "4"]);
+        let rendered = t.render();
+        assert!(rendered.lines().count() >= 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ratio(Some(3.14159)), "3.1");
+        assert_eq!(fmt_ratio(None), "-");
+        assert_eq!(fmt_ratio(Some(f64::INFINITY)), "-");
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");
+    }
+}

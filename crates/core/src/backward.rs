@@ -1,0 +1,466 @@
+//! The multi-iterator Backward expanding search baseline (Section 3 of the
+//! paper; "MI-Backward" in the evaluation).
+//!
+//! One single-source-shortest-path iterator is created for every node that
+//! matches a keyword.  Each iterator runs Dijkstra's algorithm over the
+//! *incoming* edges of the expanded graph (it explores the nodes that can
+//! reach its origin).  At every step the globally smallest frontier distance
+//! decides which iterator advances.  When a node has been visited by at
+//! least one iterator of every keyword, each combination of one iterator per
+//! keyword that reached it defines an answer tree rooted at that node.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use banks_graph::{DataGraph, NodeId};
+use banks_prestige::PrestigeVector;
+use banks_textindex::KeywordMatches;
+
+use crate::answer::AnswerTree;
+use crate::engine::{RankedAnswer, SearchEngine, SearchOutcome};
+use crate::output::OutputHeap;
+use crate::params::SearchParams;
+use crate::stats::SearchStats;
+
+/// Upper bound on the number of answer-tree combinations generated when a
+/// single node is reached by many iterators of the same keyword, protecting
+/// against the cross-product blow-up inherent to the multi-iterator design.
+const MAX_COMBINATIONS_PER_VISIT: usize = 256;
+
+/// The MI-Backward search engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackwardExpandingSearch;
+
+impl BackwardExpandingSearch {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        BackwardExpandingSearch
+    }
+}
+
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One single-source shortest-path iterator (one per keyword node).
+struct SsspIterator {
+    keyword: usize,
+    origin: NodeId,
+    /// Tentative distance labels.
+    tentative: HashMap<NodeId, f64>,
+    /// Finalised nodes.
+    visited: HashMap<NodeId, f64>,
+    /// `pred[u]` is the next node on the best path from `u` towards the
+    /// origin (i.e. the node whose expansion relaxed `u`).
+    pred: HashMap<NodeId, NodeId>,
+    /// Hop depth of each labelled node.
+    depth: HashMap<NodeId, u32>,
+    frontier: BinaryHeap<Reverse<(OrderedF64, NodeId)>>,
+}
+
+impl SsspIterator {
+    fn new(keyword: usize, origin: NodeId) -> Self {
+        let mut it = SsspIterator {
+            keyword,
+            origin,
+            tentative: HashMap::new(),
+            visited: HashMap::new(),
+            pred: HashMap::new(),
+            depth: HashMap::new(),
+            frontier: BinaryHeap::new(),
+        };
+        it.tentative.insert(origin, 0.0);
+        it.depth.insert(origin, 0);
+        it.frontier.push(Reverse((OrderedF64(0.0), origin)));
+        it
+    }
+
+    /// Distance of the next node this iterator would visit, if any.
+    fn peek_dist(&mut self) -> Option<f64> {
+        while let Some(Reverse((OrderedF64(d), node))) = self.frontier.peek() {
+            let stale = self.visited.contains_key(node)
+                || self.tentative.get(node).map(|t| (t - d).abs() > 1e-12).unwrap_or(true);
+            if stale {
+                self.frontier.pop();
+            } else {
+                return Some(*d);
+            }
+        }
+        None
+    }
+
+    /// Runs one `getnext()` step: finalises the closest frontier node and
+    /// relaxes its incoming edges.  Returns the finalised node, its
+    /// distance, and the number of nodes newly labelled (touched).
+    fn step(&mut self, graph: &DataGraph, dmax: usize) -> Option<(NodeId, f64, usize)> {
+        self.peek_dist()?;
+        let Reverse((OrderedF64(d), m)) = self.frontier.pop()?;
+        self.visited.insert(m, d);
+        let depth_m = *self.depth.get(&m).unwrap_or(&0);
+        let mut newly_touched = 0usize;
+        if (depth_m as usize) < dmax {
+            for e in graph.in_edges(m) {
+                let u = e.from;
+                if self.visited.contains_key(&u) {
+                    continue;
+                }
+                let candidate = d + e.weight;
+                let better = self.tentative.get(&u).map(|t| candidate < *t - 1e-12).unwrap_or(true);
+                if better {
+                    if !self.tentative.contains_key(&u) {
+                        newly_touched += 1;
+                    }
+                    self.tentative.insert(u, candidate);
+                    self.pred.insert(u, m);
+                    self.depth.insert(u, depth_m + 1);
+                    self.frontier.push(Reverse((OrderedF64(candidate), u)));
+                }
+            }
+        }
+        Some((m, d, newly_touched))
+    }
+
+    /// Path from `root` to this iterator's origin, following the relaxation
+    /// predecessors.  `root` must have been visited.
+    fn path_to_origin(&self, root: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![root];
+        let mut cur = root;
+        let mut guard = 0usize;
+        while cur != self.origin {
+            cur = *self.pred.get(&cur)?;
+            path.push(cur);
+            guard += 1;
+            if guard > 10_000 {
+                return None;
+            }
+        }
+        Some(path)
+    }
+}
+
+impl SearchEngine for BackwardExpandingSearch {
+    fn name(&self) -> &'static str {
+        "MI-Backward"
+    }
+
+    fn search(
+        &self,
+        graph: &DataGraph,
+        prestige: &PrestigeVector,
+        matches: &KeywordMatches,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        let started = Instant::now();
+        let num_keywords = matches.num_keywords();
+        let model = params.score_model();
+        let mut stats = SearchStats::default();
+        let mut outputs: Vec<RankedAnswer> = Vec::new();
+
+        if num_keywords == 0 || !matches.all_keywords_matched() {
+            stats.duration = started.elapsed();
+            return SearchOutcome { answers: outputs, stats };
+        }
+
+        // One iterator per keyword node.
+        let mut iterators: Vec<SsspIterator> = Vec::new();
+        for i in 0..num_keywords {
+            for origin in matches.origin_set(i) {
+                iterators.push(SsspIterator::new(i, *origin));
+            }
+        }
+        stats.nodes_touched = iterators.len(); // every origin is labelled once
+
+        // Global scheduler over iterators, keyed by their next frontier
+        // distance (lazy re-validation at pop time).
+        let mut scheduler: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
+        for (idx, it) in iterators.iter_mut().enumerate() {
+            if let Some(d) = it.peek_dist() {
+                scheduler.push(Reverse((OrderedF64(d), idx)));
+            }
+        }
+
+        // visited_by[node][keyword] = iterator indices that have visited it.
+        let mut visited_by: HashMap<NodeId, Vec<Vec<usize>>> = HashMap::new();
+        let mut heap = OutputHeap::new(model, params.emission, num_keywords, prestige.max());
+
+        while let Some(Reverse((OrderedF64(d), idx))) = scheduler.pop() {
+            if outputs.len() >= params.top_k {
+                break;
+            }
+            if let Some(cap) = params.max_explored {
+                if stats.nodes_explored >= cap {
+                    stats.truncated = true;
+                    break;
+                }
+            }
+            if let Some(cap) = params.max_generated {
+                if stats.answers_generated >= cap {
+                    stats.truncated = true;
+                    break;
+                }
+            }
+
+            // Re-validate the scheduler entry.
+            match iterators[idx].peek_dist() {
+                None => continue,
+                Some(current) if (current - d).abs() > 1e-12 => {
+                    scheduler.push(Reverse((OrderedF64(current), idx)));
+                    continue;
+                }
+                Some(_) => {}
+            }
+
+            let Some((m, dist_m, newly_touched)) = iterators[idx].step(graph, params.dmax) else {
+                continue;
+            };
+            stats.nodes_explored += 1;
+            stats.nodes_touched += newly_touched;
+            stats.edges_traversed += graph.in_degree(m);
+            if let Some(next) = iterators[idx].peek_dist() {
+                scheduler.push(Reverse((OrderedF64(next), idx)));
+            }
+
+            // Record the visit and generate answers for new combinations.
+            let keyword = iterators[idx].keyword;
+            let lists = visited_by.entry(m).or_insert_with(|| vec![Vec::new(); num_keywords]);
+            lists[keyword].push(idx);
+            let all_reached = lists.iter().all(|l| !l.is_empty());
+            if all_reached {
+                let combos = enumerate_combinations(lists, keyword, idx, MAX_COMBINATIONS_PER_VISIT);
+                for combo in combos {
+                    if let Some(cap) = params.max_generated {
+                        if stats.answers_generated >= cap {
+                            break;
+                        }
+                    }
+                    let mut paths = Vec::with_capacity(num_keywords);
+                    let mut ok = true;
+                    for iter_idx in &combo {
+                        match iterators[*iter_idx].path_to_origin(m) {
+                            Some(p) => paths.push(p),
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let tree = AnswerTree::new(m, paths, graph, prestige, &model);
+                    stats.answers_generated += 1;
+                    heap.insert(tree, started.elapsed(), stats.nodes_explored);
+                }
+            }
+
+            // Release answers using the coarse bound of Section 4.5: because
+            // the iterators run Dijkstra, distances are finalised in
+            // non-decreasing order, so any answer generated in the future
+            // pays at least the globally smallest frontier distance `dist_m`
+            // for every keyword path still to be discovered — the paper's
+            // `h(m_1..m_k) = k · dist_m`.
+            let min_future = num_keywords as f64 * dist_m;
+            let released = heap.release(min_future, started.elapsed(), stats.nodes_explored);
+            for (tree, timing) in released {
+                if outputs.len() >= params.top_k {
+                    break;
+                }
+                let rank = outputs.len();
+                outputs.push(RankedAnswer { rank, tree, timing });
+            }
+        }
+
+        // Frontier exhausted or top-k reached: flush the buffer.
+        let released = heap.flush(started.elapsed(), stats.nodes_explored);
+        for (tree, timing) in released {
+            if outputs.len() >= params.top_k {
+                break;
+            }
+            let rank = outputs.len();
+            outputs.push(RankedAnswer { rank, tree, timing });
+        }
+
+        stats.answers_output = outputs.len();
+        stats.duplicates_discarded = heap.duplicates_discarded();
+        stats.non_minimal_discarded = heap.non_minimal_discarded();
+        stats.duration = started.elapsed();
+        SearchOutcome { answers: outputs, stats }
+    }
+}
+
+/// Enumerates combinations of one iterator per keyword that include the
+/// newly arrived iterator `new_idx` for keyword `new_keyword` (so that every
+/// combination is generated exactly once over the lifetime of the search).
+fn enumerate_combinations(
+    lists: &[Vec<usize>],
+    new_keyword: usize,
+    new_idx: usize,
+    cap: usize,
+) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut current = vec![0usize; lists.len()];
+    fn recurse(
+        lists: &[Vec<usize>],
+        new_keyword: usize,
+        new_idx: usize,
+        cap: usize,
+        keyword: usize,
+        current: &mut Vec<usize>,
+        result: &mut Vec<Vec<usize>>,
+    ) {
+        if result.len() >= cap {
+            return;
+        }
+        if keyword == lists.len() {
+            result.push(current.clone());
+            return;
+        }
+        if keyword == new_keyword {
+            current[keyword] = new_idx;
+            recurse(lists, new_keyword, new_idx, cap, keyword + 1, current, result);
+        } else {
+            for idx in &lists[keyword] {
+                current[keyword] = *idx;
+                recurse(lists, new_keyword, new_idx, cap, keyword + 1, current, result);
+                if result.len() >= cap {
+                    return;
+                }
+            }
+        }
+    }
+    recurse(lists, new_keyword, new_idx, cap, 0, &mut current, &mut result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::builder::graph_from_edges;
+    use crate::bidirectional::BidirectionalSearch;
+    use crate::si_backward::SingleIteratorBackwardSearch;
+
+    fn uniform(graph: &DataGraph) -> PrestigeVector {
+        PrestigeVector::uniform_for(graph)
+    }
+
+    #[test]
+    fn enumerate_combinations_includes_new_iterator() {
+        let lists = vec![vec![1, 2], vec![3], vec![4, 5]];
+        let combos = enumerate_combinations(&lists, 1, 3, 100);
+        assert_eq!(combos.len(), 4);
+        for c in &combos {
+            assert_eq!(c[1], 3);
+            assert!(lists[0].contains(&c[0]));
+            assert!(lists[2].contains(&c[2]));
+        }
+        let capped = enumerate_combinations(&lists, 1, 3, 2);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn finds_simple_join_tree() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("gray", vec![NodeId(0)]),
+            ("transaction", vec![NodeId(1)]),
+        ]);
+        let outcome =
+            BackwardExpandingSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        assert_eq!(outcome.answers.len(), 1);
+        assert_eq!(outcome.answers[0].tree.root, NodeId(2));
+        assert!(outcome.stats.nodes_explored > 0);
+    }
+
+    #[test]
+    fn agrees_with_single_iterator_variants_on_answer_sets() {
+        let g = graph_from_edges(
+            9,
+            &[(4, 0), (4, 1), (5, 1), (5, 2), (6, 2), (6, 3), (7, 3), (7, 0), (8, 0), (8, 2)],
+        );
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0)]),
+            ("b", vec![NodeId(2)]),
+        ]);
+        let params = SearchParams::with_top_k(100);
+        let mi = BackwardExpandingSearch::new().search(&g, &p, &matches, &params);
+        let si = SingleIteratorBackwardSearch::new().search(&g, &p, &matches, &params);
+        let bidir = BidirectionalSearch::new().search(&g, &p, &matches, &params);
+        let mut a = mi.signatures();
+        let mut b = si.signatures();
+        let mut c = bidir.signatures();
+        a.sort();
+        b.sort();
+        c.sort();
+        assert_eq!(a, b, "MI-Backward vs SI-Backward answer sets differ");
+        assert_eq!(b, c, "SI-Backward vs Bidirectional answer sets differ");
+    }
+
+    #[test]
+    fn multi_iterator_touches_more_nodes_than_single_iterator() {
+        // A keyword with many matching nodes forces MI-Backward to run many
+        // iterators over the same region.
+        let mut edges = Vec::new();
+        // star of 30 "database" papers all written by author 30 via writes nodes 31..61
+        for i in 0..30u32 {
+            edges.push((31 + i, i)); // writes -> paper_i
+            edges.push((31 + i, 61)); // writes -> author
+        }
+        let g = graph_from_edges(62, &edges);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("database", (0..30).map(NodeId).collect()),
+            ("author", vec![NodeId(61)]),
+        ]);
+        let params = SearchParams::with_top_k(1);
+        let mi = BackwardExpandingSearch::new().search(&g, &p, &matches, &params);
+        let si = SingleIteratorBackwardSearch::new().search(&g, &p, &matches, &params);
+        assert!(!mi.answers.is_empty());
+        assert!(!si.answers.is_empty());
+        assert!(
+            mi.stats.nodes_touched > si.stats.nodes_touched,
+            "MI touched {} <= SI touched {}",
+            mi.stats.nodes_touched,
+            si.stats.nodes_touched
+        );
+    }
+
+    #[test]
+    fn respects_dmax() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("k1", vec![NodeId(0)]),
+            ("k2", vec![NodeId(4)]),
+        ]);
+        let none = BackwardExpandingSearch::new()
+            .search(&g, &p, &matches, &SearchParams::default().dmax(1));
+        assert!(none.answers.is_empty());
+        let found = BackwardExpandingSearch::new()
+            .search(&g, &p, &matches, &SearchParams::default());
+        assert!(!found.answers.is_empty());
+    }
+
+    #[test]
+    fn unmatched_keyword_returns_no_answers() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0)]),
+            ("b", vec![]),
+        ]);
+        let outcome =
+            BackwardExpandingSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        assert!(outcome.answers.is_empty());
+    }
+}

@@ -1,0 +1,1008 @@
+//! The Bidirectional expanding search algorithm (Section 4 of the paper).
+//!
+//! Two iterators share a single pool of per-node state:
+//!
+//! * the **incoming** iterator (`Q_in`) expands backward from keyword nodes
+//!   — when a node `v` is popped, every edge `u -> v` is explored so that
+//!   `u` learns (shorter) distances to the keywords `v` can reach;
+//! * the **outgoing** iterator (`Q_out`) expands forward from *potential
+//!   answer roots* (every node the incoming iterator has popped) — when a
+//!   node `u` is popped, every edge `u -> v` is explored so that `u` learns
+//!   distances through `v` and `v` itself becomes a new forward-frontier
+//!   node.
+//!
+//! Both frontiers are prioritised by **spreading activation** (Section 4.3):
+//! keyword nodes are seeded with `prestige / |S_i|`, every node retains
+//! `1 - µ` of what it receives and spreads `µ` to its neighbours in inverse
+//! proportion to edge weights, per-keyword activations combine by `max` and
+//! the scheduling priority of a node is the sum over keywords.
+//!
+//! Setting [`BidirectionalConfig::enable_outgoing`] and
+//! [`BidirectionalConfig::use_activation`] to `false` turns the engine into
+//! the paper's SI-Backward baseline (single backward iterator prioritised by
+//! distance), which is exactly how
+//! [`crate::SingleIteratorBackwardSearch`] is implemented.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use banks_graph::{DataGraph, NodeId};
+use banks_prestige::PrestigeVector;
+use banks_textindex::KeywordMatches;
+
+use crate::answer::AnswerTree;
+use crate::engine::{RankedAnswer, SearchEngine, SearchOutcome};
+use crate::output::{InsertOutcome, OutputHeap};
+use crate::params::SearchParams;
+use crate::pq::MaxPriorityQueue;
+use crate::score::ScoreModel;
+use crate::stats::SearchStats;
+
+/// Configuration switches that turn the full Bidirectional algorithm into
+/// its ablated variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BidirectionalConfig {
+    /// Run the outgoing (forward) iterator.  Disabling it restricts the
+    /// search to backward expansion only.
+    pub enable_outgoing: bool,
+    /// Prioritise the frontier by spreading activation.  When disabled, the
+    /// frontier is ordered by distance from the nearest keyword node (the
+    /// SI-Backward prioritisation).
+    pub use_activation: bool,
+}
+
+impl Default for BidirectionalConfig {
+    fn default() -> Self {
+        BidirectionalConfig { enable_outgoing: true, use_activation: true }
+    }
+}
+
+/// The Bidirectional expanding search engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BidirectionalSearch {
+    config: BidirectionalConfig,
+}
+
+impl BidirectionalSearch {
+    /// Creates the engine with the paper's configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the engine with explicit configuration switches (used for
+    /// ablations and to implement SI-Backward).
+    pub fn with_config(config: BidirectionalConfig) -> Self {
+        BidirectionalSearch { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> BidirectionalConfig {
+        self.config
+    }
+}
+
+impl SearchEngine for BidirectionalSearch {
+    fn name(&self) -> &'static str {
+        match (self.config.enable_outgoing, self.config.use_activation) {
+            (true, true) => "Bidirectional",
+            (true, false) => "Bidirectional(no-activation)",
+            (false, true) => "Backward(activation)",
+            (false, false) => "SI-Backward",
+        }
+    }
+
+    fn search(
+        &self,
+        graph: &DataGraph,
+        prestige: &PrestigeVector,
+        matches: &KeywordMatches,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        Expander::new(self.config, graph, prestige, matches, params).run()
+    }
+}
+
+/// Per-node search state (Figure 2 of the paper).
+struct NodeState {
+    /// `dist_{u,i}`: best known path length from this node to a node in
+    /// `S_i`.
+    dist: Vec<f64>,
+    /// `sp_{u,i}`: the child to follow for the best known path to `t_i`.
+    sp: Vec<Option<NodeId>>,
+    /// `a_{u,i}`: activation received from keyword `i`.
+    act: Vec<f64>,
+    /// Depth (in edges) from the nearest keyword node, assigned on first
+    /// insertion into a queue.
+    depth: u32,
+    /// Explored parents `P_u`: nodes `w` for which the edge `w -> u` has
+    /// been explored, along with that edge's weight.
+    parents: Vec<(NodeId, f64)>,
+    /// Already expanded by the incoming iterator (`X_in`).
+    in_xin: bool,
+    /// Already expanded by the outgoing iterator (`X_out`).
+    in_xout: bool,
+    /// Ever inserted into `Q_in` (for the touched-nodes metric).
+    touched_in: bool,
+    /// Ever inserted into `Q_out`.
+    touched_out: bool,
+    /// Aggregate edge weight of the best answer already emitted with this
+    /// node as root (avoids re-emitting unchanged trees).
+    best_emitted_weight: f64,
+}
+
+impl NodeState {
+    fn new(num_keywords: usize) -> Self {
+        NodeState {
+            dist: vec![f64::INFINITY; num_keywords],
+            sp: vec![None; num_keywords],
+            act: vec![0.0; num_keywords],
+            depth: u32::MAX,
+            parents: Vec::new(),
+            in_xin: false,
+            in_xout: false,
+            touched_in: false,
+            touched_out: false,
+            best_emitted_weight: f64::INFINITY,
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.dist.iter().all(|d| d.is_finite())
+    }
+
+    fn total_activation(&self) -> f64 {
+        self.act.iter().sum()
+    }
+
+    fn min_dist(&self) -> f64 {
+        self.dist.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Which queue an expansion step came from.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Incoming,
+    Outgoing,
+}
+
+/// Lazy per-keyword minimum of the frontier distances, used for the output
+/// bound of Section 4.5.
+struct FrontierBounds {
+    /// One lazy min-heap per keyword holding `(dist, node)` snapshots.
+    heaps: Vec<std::collections::BinaryHeap<std::cmp::Reverse<(OrderedF64, NodeId)>>>,
+}
+
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl FrontierBounds {
+    fn new(num_keywords: usize) -> Self {
+        FrontierBounds { heaps: (0..num_keywords).map(|_| Default::default()).collect() }
+    }
+
+    fn record(&mut self, keyword: usize, node: NodeId, dist: f64) {
+        if dist.is_finite() {
+            self.heaps[keyword].push(std::cmp::Reverse((OrderedF64(dist), node)));
+        }
+    }
+
+    /// Estimates of the aggregate edge weight of any answer not yet
+    /// generated, derived from the frontier distance labels (Section 4.5).
+    ///
+    /// Returns `(conservative, sum)`:
+    /// * `sum` is the paper's `h(m_1, ..., m_k) = Σ_i m_i`, where `m_i` is
+    ///   the smallest distance label to keyword `i` among nodes still
+    ///   waiting in `Q_in` (the "looser heuristic" release test);
+    /// * `conservative` is the single smallest label, used by the
+    ///   [`crate::EmissionPolicy::ExactBound`] policy.  It deliberately
+    ///   under-estimates future edge weights: nodes that already left the
+    ///   frontier may still complete into answers whose per-keyword paths
+    ///   are shorter than the current frontier minima (they may match some
+    ///   keywords directly), so the sum is not a safe release threshold.
+    fn min_future_edge_weight(
+        &mut self,
+        states: &HashMap<NodeId, NodeState>,
+        q_in: &MaxPriorityQueue,
+    ) -> (f64, f64) {
+        let mut per_keyword: Vec<Option<f64>> = Vec::with_capacity(self.heaps.len());
+        for (i, heap) in self.heaps.iter_mut().enumerate() {
+            loop {
+                match heap.peek() {
+                    None => {
+                        per_keyword.push(None);
+                        break;
+                    }
+                    Some(std::cmp::Reverse((OrderedF64(d), node))) => {
+                        let stale = match states.get(node) {
+                            Some(state) => {
+                                !q_in.contains(*node) || (state.dist[i] - *d).abs() > 1e-12
+                            }
+                            None => true,
+                        };
+                        if stale {
+                            heap.pop();
+                        } else {
+                            per_keyword.push(Some(*d));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let global_min =
+            per_keyword.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+        if global_min.is_infinite() {
+            return (0.0, 0.0);
+        }
+        let sum = per_keyword.iter().map(|m| m.unwrap_or(global_min)).sum();
+        (global_min, sum)
+    }
+}
+
+/// The shared expansion machinery for Bidirectional and SI-Backward search.
+struct Expander<'a> {
+    config: BidirectionalConfig,
+    graph: &'a DataGraph,
+    prestige: &'a PrestigeVector,
+    matches: &'a KeywordMatches,
+    params: &'a SearchParams,
+    model: ScoreModel,
+    num_keywords: usize,
+    states: HashMap<NodeId, NodeState>,
+    q_in: MaxPriorityQueue,
+    q_out: MaxPriorityQueue,
+    heap: OutputHeap,
+    bounds: FrontierBounds,
+    stats: SearchStats,
+    outputs: Vec<RankedAnswer>,
+    started: Instant,
+}
+
+impl<'a> Expander<'a> {
+    fn new(
+        config: BidirectionalConfig,
+        graph: &'a DataGraph,
+        prestige: &'a PrestigeVector,
+        matches: &'a KeywordMatches,
+        params: &'a SearchParams,
+    ) -> Self {
+        let num_keywords = matches.num_keywords();
+        let model = params.score_model();
+        Expander {
+            config,
+            graph,
+            prestige,
+            matches,
+            params,
+            model,
+            num_keywords,
+            states: HashMap::new(),
+            q_in: MaxPriorityQueue::new(),
+            q_out: MaxPriorityQueue::new(),
+            heap: OutputHeap::new(model, params.emission, num_keywords, prestige.max()),
+            bounds: FrontierBounds::new(num_keywords),
+            stats: SearchStats::default(),
+            outputs: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    fn state(&mut self, node: NodeId) -> &mut NodeState {
+        let n = self.num_keywords;
+        self.states.entry(node).or_insert_with(|| NodeState::new(n))
+    }
+
+    fn priority(&self, state: &NodeState) -> f64 {
+        if self.config.use_activation {
+            state.total_activation()
+        } else {
+            // Distance prioritisation: smaller distance = higher priority.
+            -state.min_dist()
+        }
+    }
+
+    fn run(mut self) -> SearchOutcome {
+        self.started = Instant::now();
+        if self.num_keywords == 0 || !self.matches.all_keywords_matched() {
+            self.stats.duration = self.started.elapsed();
+            return SearchOutcome { answers: self.outputs, stats: self.stats };
+        }
+
+        self.seed();
+
+        while !self.q_in.is_empty() || !self.q_out.is_empty() {
+            if self.outputs.len() >= self.params.top_k {
+                break;
+            }
+            if let Some(cap) = self.params.max_explored {
+                if self.stats.nodes_explored >= cap {
+                    self.stats.truncated = true;
+                    break;
+                }
+            }
+            if let Some(cap) = self.params.max_generated {
+                if self.stats.answers_generated >= cap {
+                    self.stats.truncated = true;
+                    break;
+                }
+            }
+
+            let side = self.pick_side();
+            match side {
+                Some(Side::Incoming) => self.expand_incoming(),
+                Some(Side::Outgoing) => self.expand_outgoing(),
+                None => break,
+            }
+            self.release();
+        }
+
+        // Frontier exhausted, caps hit, or top-k reached: whatever is still
+        // buffered can safely be flushed (if we stopped early the remaining
+        // answers are still the best known ones).
+        self.flush_remaining();
+
+        self.stats.answers_output = self.outputs.len();
+        self.stats.duplicates_discarded = self.heap.duplicates_discarded();
+        self.stats.non_minimal_discarded = self.heap.non_minimal_discarded();
+        self.stats.duration = self.started.elapsed();
+        SearchOutcome { answers: self.outputs, stats: self.stats }
+    }
+
+    /// Inserts all keyword nodes into `Q_in` with their seed activation
+    /// (Equation 1 of the paper).
+    fn seed(&mut self) {
+        for i in 0..self.num_keywords {
+            let origin: Vec<NodeId> = self.matches.origin_set(i).to_vec();
+            let origin_size = origin.len().max(1) as f64;
+            for u in origin {
+                let prestige = self.prestige.get(u);
+                let state = self.state(u);
+                state.dist[i] = 0.0;
+                state.sp[i] = None;
+                state.act[i] = state.act[i].max(prestige / origin_size);
+                state.depth = 0;
+            }
+        }
+        let seeds: Vec<NodeId> = self.matches.all_origin_nodes();
+        for u in seeds {
+            self.state(u).touched_in = true;
+            let prio = self.priority(&self.states[&u]);
+            self.q_in.push(u, prio);
+            self.stats.nodes_touched += 1;
+            for i in 0..self.num_keywords {
+                let d = self.states[&u].dist[i];
+                self.bounds.record(i, u, d);
+            }
+            // Keyword nodes that already match every keyword are answers on
+            // their own (single-keyword queries, or one node containing all
+            // terms).
+            if self.states[&u].is_complete() {
+                self.emit(u);
+            }
+        }
+    }
+
+    /// Chooses the iterator whose best frontier node has the highest
+    /// priority (Figure 3, the `switch` at line 5).
+    fn pick_side(&mut self) -> Option<Side> {
+        let best_in = self.q_in.peek();
+        let best_out = if self.config.enable_outgoing { self.q_out.peek() } else { None };
+        match (best_in, best_out) {
+            (None, None) => None,
+            (Some(_), None) => Some(Side::Incoming),
+            (None, Some(_)) => Some(Side::Outgoing),
+            (Some((_, p_in)), Some((_, p_out))) => {
+                if p_in >= p_out {
+                    Some(Side::Incoming)
+                } else {
+                    Some(Side::Outgoing)
+                }
+            }
+        }
+    }
+
+    /// One expansion step of the incoming iterator (Figure 3, lines 6–14).
+    fn expand_incoming(&mut self) {
+        let Some((v, _)) = self.q_in.pop() else { return };
+        self.state(v).in_xin = true;
+        self.stats.nodes_explored += 1;
+
+        if self.state(v).is_complete() {
+            self.emit(v);
+        }
+
+        let depth_v = self.states[&v].depth;
+        if (depth_v as usize) < self.params.dmax {
+            // Normalisation constant for backward activation spreading: the
+            // received activation of v is split over its in-neighbours in
+            // inverse proportion to the edge weights u -> v.
+            let in_edges: Vec<(NodeId, f64)> =
+                self.graph.in_edges(v).map(|e| (e.from, e.weight)).collect();
+            let z: f64 = in_edges.iter().map(|(_, w)| 1.0 / w).sum();
+            for (u, w) in in_edges {
+                self.stats.edges_traversed += 1;
+                self.explore_edge(u, v, w, Side::Incoming, z);
+                {
+                    let state_u = self.state(u);
+                    if !state_u.in_xin && state_u.depth == u32::MAX {
+                        state_u.depth = depth_v + 1;
+                    }
+                }
+                if !self.states[&u].in_xin && !self.q_in.contains(u) {
+                    let newly_touched = !self.states[&u].touched_in;
+                    self.state(u).touched_in = true;
+                    let prio = self.priority(&self.states[&u]);
+                    self.q_in.push(u, prio);
+                    if newly_touched {
+                        self.stats.nodes_touched += 1;
+                    }
+                    for i in 0..self.num_keywords {
+                        let d = self.states[&u].dist[i];
+                        self.bounds.record(i, u, d);
+                    }
+                }
+            }
+        }
+
+        // Every node explored by the incoming iterator is a potential answer
+        // root: hand it to the outgoing iterator (Figure 3, line 14).
+        if self.config.enable_outgoing
+            && !self.states[&v].in_xout
+            && !self.states[&v].touched_out
+        {
+            self.state(v).touched_out = true;
+            let prio = self.priority(&self.states[&v]);
+            self.q_out.push(v, prio);
+            self.stats.nodes_touched += 1;
+        }
+    }
+
+    /// One expansion step of the outgoing iterator (Figure 3, lines 15–23).
+    fn expand_outgoing(&mut self) {
+        let Some((u, _)) = self.q_out.pop() else { return };
+        self.state(u).in_xout = true;
+        self.stats.nodes_explored += 1;
+
+        if self.state(u).is_complete() {
+            self.emit(u);
+        }
+
+        let depth_u = self.states[&u].depth;
+        if (depth_u as usize) < self.params.dmax {
+            let out_edges: Vec<(NodeId, f64)> =
+                self.graph.out_edges(u).map(|e| (e.to, e.weight)).collect();
+            let z: f64 = out_edges.iter().map(|(_, w)| 1.0 / w).sum();
+            for (v, w) in out_edges {
+                self.stats.edges_traversed += 1;
+                self.explore_edge(u, v, w, Side::Outgoing, z);
+                {
+                    let state_v = self.state(v);
+                    if !state_v.in_xout && state_v.depth == u32::MAX {
+                        state_v.depth = depth_u + 1;
+                    }
+                }
+                if !self.states[&v].in_xout && !self.q_out.contains(v) {
+                    let newly_touched = !self.states[&v].touched_out;
+                    self.state(v).touched_out = true;
+                    let prio = self.priority(&self.states[&v]);
+                    self.q_out.push(v, prio);
+                    if newly_touched {
+                        self.stats.nodes_touched += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `ExploreEdge(u, v)` of Figure 3: the edge `u -> v` propagates keyword
+    /// distances from `v` to `u` and spreads activation.
+    ///
+    /// `normalisation` is the sum of inverse edge weights over which the
+    /// spreading node divides the spread fraction `µ` of its activation
+    /// (in-edges of `v` for the incoming side, out-edges of `u` for the
+    /// outgoing side).
+    fn explore_edge(&mut self, u: NodeId, v: NodeId, weight: f64, side: Side, normalisation: f64) {
+        // Register u as an explored parent of v so later improvements of
+        // dist_v can be propagated to u (the Attach procedure).
+        {
+            let state_v = self.state(v);
+            if !state_v.parents.iter().any(|(p, _)| *p == u) {
+                state_v.parents.push((u, weight));
+            }
+        }
+
+        // Distance updates: u reaches keyword i through v.
+        let dist_v = self.states.get(&v).map(|s| s.dist.clone()).unwrap_or_default();
+        let mut improved = false;
+        {
+            let state_u = self.state(u);
+            for i in 0..dist_v.len() {
+                let candidate = dist_v[i] + weight;
+                if candidate < state_u.dist[i] - 1e-12 {
+                    state_u.dist[i] = candidate;
+                    state_u.sp[i] = Some(v);
+                    improved = true;
+                }
+            }
+        }
+        if improved {
+            self.attach(u);
+        }
+
+        // Activation spreading (Section 4.3): backward along in-edges for
+        // the incoming iterator, forward along out-edges for the outgoing
+        // iterator.  Per-keyword activations combine by max.
+        if self.config.use_activation && normalisation > 0.0 {
+            let (spreader, receiver) = match side {
+                Side::Incoming => (v, u),
+                Side::Outgoing => (u, v),
+            };
+            let share = (1.0 / weight) / normalisation;
+            let spread: Vec<f64> = self
+                .states
+                .get(&spreader)
+                .map(|s| s.act.iter().map(|a| a * self.params.mu * share).collect())
+                .unwrap_or_default();
+            let mut changed = false;
+            {
+                let state_r = self.state(receiver);
+                for (i, candidate) in spread.iter().enumerate() {
+                    if *candidate > state_r.act[i] {
+                        state_r.act[i] = *candidate;
+                        changed = true;
+                    }
+                }
+            }
+            if changed {
+                self.activate(receiver);
+            }
+        }
+    }
+
+    /// `Attach`: re-prioritise `u` and propagate its improved distances to
+    /// all explored parents, best-first; emit any node that becomes (or
+    /// remains) complete with a strictly better tree.
+    fn attach(&mut self, start: NodeId) {
+        let mut work = vec![start];
+        let mut guard = 0usize;
+        while let Some(node) = work.pop() {
+            guard += 1;
+            if guard > 100_000 {
+                break; // safety valve; propagation is strictly improving so this should not trigger
+            }
+            self.reprioritise(node);
+            if self.states[&node].is_complete() {
+                self.emit(node);
+            }
+            // record frontier distances for the output bound
+            if self.q_in.contains(node) {
+                for i in 0..self.num_keywords {
+                    let d = self.states[&node].dist[i];
+                    self.bounds.record(i, node, d);
+                }
+            }
+            let parents = self.states[&node].parents.clone();
+            let dist_node = self.states[&node].dist.clone();
+            for (parent, weight) in parents {
+                let mut improved = false;
+                {
+                    let state_p = self.state(parent);
+                    for i in 0..dist_node.len() {
+                        let candidate = dist_node[i] + weight;
+                        if candidate < state_p.dist[i] - 1e-12 {
+                            state_p.dist[i] = candidate;
+                            state_p.sp[i] = Some(node);
+                            improved = true;
+                        }
+                    }
+                }
+                if improved {
+                    work.push(parent);
+                }
+            }
+        }
+    }
+
+    /// `Activate`: re-prioritise the receiver and propagate increased
+    /// activation backward to explored parents (attenuated by `µ` at every
+    /// hop, so the propagation dies out geometrically).
+    fn activate(&mut self, start: NodeId) {
+        let mut work = vec![start];
+        let mut guard = 0usize;
+        while let Some(node) = work.pop() {
+            guard += 1;
+            if guard > 100_000 {
+                break;
+            }
+            self.reprioritise(node);
+            let parents = self.states[&node].parents.clone();
+            if parents.is_empty() {
+                continue;
+            }
+            let z: f64 = parents.iter().map(|(_, w)| 1.0 / w).sum();
+            if z <= 0.0 {
+                continue;
+            }
+            let act_node = self.states[&node].act.clone();
+            let mu = self.params.mu;
+            for (parent, weight) in parents {
+                let share = (1.0 / weight) / z;
+                let mut changed = false;
+                {
+                    let state_p = self.state(parent);
+                    for (i, a) in act_node.iter().enumerate() {
+                        let candidate = a * mu * share;
+                        if candidate > state_p.act[i] {
+                            state_p.act[i] = candidate;
+                            changed = true;
+                        }
+                    }
+                }
+                if changed {
+                    work.push(parent);
+                }
+            }
+        }
+    }
+
+    /// Updates a node's queue priorities after its state changed.
+    fn reprioritise(&mut self, node: NodeId) {
+        let prio = self.priority(&self.states[&node]);
+        if self.q_in.contains(node) {
+            self.q_in.push(node, prio);
+        }
+        if self.q_out.contains(node) {
+            self.q_out.push(node, prio);
+        }
+    }
+
+    /// `Emit`: build the answer tree rooted at `node` from the `sp`
+    /// pointers and insert it into the output heap.
+    fn emit(&mut self, node: NodeId) {
+        if let Some(cap) = self.params.max_generated {
+            if self.stats.answers_generated >= cap {
+                return;
+            }
+        }
+        let state = &self.states[&node];
+        let aggregate: f64 = state.dist.iter().sum();
+        if aggregate >= state.best_emitted_weight - 1e-12 {
+            return; // nothing better than what this root already produced
+        }
+
+        let mut paths = Vec::with_capacity(self.num_keywords);
+        for i in 0..self.num_keywords {
+            match self.trace_path(node, i) {
+                Some(path) => paths.push(path),
+                None => return, // inconsistent sp chain (should not happen)
+            }
+        }
+
+        let tree = AnswerTree::new(node, paths, self.graph, self.prestige, &self.model);
+        self.state(node).best_emitted_weight = aggregate;
+        self.stats.answers_generated += 1;
+        let elapsed = self.started.elapsed();
+        let explored = self.stats.nodes_explored;
+        let _: InsertOutcome = self.heap.insert(tree, elapsed, explored);
+    }
+
+    /// Follows the `sp` pointers from `root` to a node matching keyword `i`.
+    fn trace_path(&self, root: NodeId, keyword: usize) -> Option<Vec<NodeId>> {
+        let mut path = vec![root];
+        let mut cur = root;
+        let mut hops = 0usize;
+        loop {
+            let state = self.states.get(&cur)?;
+            if state.dist[keyword] <= 0.0 {
+                return Some(path);
+            }
+            let next = state.sp[keyword]?;
+            if !self.graph.has_edge(cur, next) {
+                return None;
+            }
+            path.push(next);
+            cur = next;
+            hops += 1;
+            if hops > self.params.dmax + 2 {
+                return None; // cycle guard
+            }
+        }
+    }
+
+    /// Releases buffered answers allowed by the emission policy.
+    fn release(&mut self) {
+        let (_conservative, sum) = self.bounds.min_future_edge_weight(&self.states, &self.q_in);
+        // Both emission policies use the paper's h(m_1..m_k) = Σ_i m_i
+        // estimate; the ExactBound policy additionally folds in the maximum
+        // node prestige (Section 4.5).  Like the paper's own bound it is an
+        // approximation: nodes that already left the frontier can still
+        // complete into slightly better answers, so output order is
+        // best-effort (the recall/precision experiment quantifies this).
+        let bound = sum;
+        let elapsed = self.started.elapsed();
+        let explored = self.stats.nodes_explored;
+        let released = self.heap.release(bound, elapsed, explored);
+        for (tree, timing) in released {
+            if self.outputs.len() >= self.params.top_k {
+                break;
+            }
+            let rank = self.outputs.len();
+            self.outputs.push(RankedAnswer { rank, tree, timing });
+        }
+    }
+
+    /// Flushes the heap at the end of the search.
+    fn flush_remaining(&mut self) {
+        let elapsed = self.started.elapsed();
+        let explored = self.stats.nodes_explored;
+        let released = self.heap.flush(elapsed, explored);
+        for (tree, timing) in released {
+            if self.outputs.len() >= self.params.top_k {
+                break;
+            }
+            let rank = self.outputs.len();
+            self.outputs.push(RankedAnswer { rank, tree, timing });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EmissionPolicy;
+    use banks_graph::builder::graph_from_edges;
+    use banks_graph::GraphBuilder;
+
+    fn uniform(graph: &DataGraph) -> PrestigeVector {
+        PrestigeVector::uniform_for(graph)
+    }
+
+    /// writes -> {author, paper}: querying the two leaf labels must find the
+    /// tree rooted at the `writes` node.
+    #[test]
+    fn finds_simple_join_tree() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("gray", vec![NodeId(0)]),
+            ("transaction", vec![NodeId(1)]),
+        ]);
+        let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        assert_eq!(outcome.answers.len(), 1, "expected exactly one answer");
+        let tree = &outcome.answers[0].tree;
+        assert_eq!(tree.root, NodeId(2));
+        assert_eq!(tree.leaves(), vec![NodeId(0), NodeId(1)]);
+        assert!(tree.validate(&g, &[vec![NodeId(0)], vec![NodeId(1)]], 8).is_ok());
+        assert!(outcome.stats.nodes_explored > 0);
+        assert!(outcome.stats.nodes_touched >= 2);
+    }
+
+    /// A single keyword query returns the matching nodes themselves.
+    #[test]
+    fn single_keyword_returns_matching_nodes() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![("x", vec![NodeId(1), NodeId(3)])]);
+        let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        assert_eq!(outcome.answers.len(), 2);
+        for a in &outcome.answers {
+            assert_eq!(a.tree.paths.len(), 1);
+            assert_eq!(a.tree.paths[0].len(), 1);
+            assert!(matches.origin_set(0).contains(&a.tree.root));
+        }
+    }
+
+    /// Queries with an unmatched keyword return no answers.
+    #[test]
+    fn unmatched_keyword_yields_nothing() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("gray", vec![NodeId(0)]),
+            ("missing", vec![]),
+        ]);
+        let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.stats.nodes_explored, 0);
+    }
+
+    /// Keywords on two co-cited papers: the answer must route through the
+    /// citing paper via backward edges.
+    #[test]
+    fn co_citation_answer_uses_backward_edges() {
+        // paper 0 cites paper 1 and paper 2
+        let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("left", vec![NodeId(1)]),
+            ("right", vec![NodeId(2)]),
+        ]);
+        let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        assert!(!outcome.answers.is_empty());
+        assert_eq!(outcome.answers[0].tree.root, NodeId(0));
+    }
+
+    /// dmax cuts off answers that would need longer paths.
+    #[test]
+    fn dmax_limits_answer_depth() {
+        // chain: k1 - a - b - c - k2  (undirected thanks to backward edges)
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("k1", vec![NodeId(0)]),
+            ("k2", vec![NodeId(4)]),
+        ]);
+        let found = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        assert!(!found.answers.is_empty(), "dmax=8 must allow the 4-edge connection");
+
+        let none = BidirectionalSearch::new()
+            .search(&g, &p, &matches, &SearchParams::default().dmax(1));
+        assert!(none.answers.is_empty(), "dmax=1 must forbid the 4-edge connection");
+    }
+
+    /// The same answer set is produced with and without the forward
+    /// iterator / activation (SI-Backward equivalence on a small graph).
+    #[test]
+    fn ablated_configurations_agree_on_answers() {
+        let g = graph_from_edges(7, &[(3, 0), (3, 1), (4, 1), (4, 2), (5, 2), (5, 0), (6, 0)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0)]),
+            ("b", vec![NodeId(1)]),
+        ]);
+        // top_k larger than the number of possible answers so both engines
+        // exhaust the graph and report their complete answer sets.
+        let params = SearchParams::with_top_k(64);
+        let full = BidirectionalSearch::new().search(&g, &p, &matches, &params);
+        let ablated = BidirectionalSearch::with_config(BidirectionalConfig {
+            enable_outgoing: false,
+            use_activation: false,
+        })
+        .search(&g, &p, &matches, &params);
+        let mut sig_full = full.signatures();
+        let mut sig_ablated = ablated.signatures();
+        sig_full.sort();
+        sig_ablated.sort();
+        assert_eq!(sig_full, sig_ablated);
+    }
+
+    /// Figure-4 style scenario: a frequent keyword with a large origin set
+    /// and two rare keywords.  Bidirectional must explore far fewer nodes
+    /// than the distance-prioritised backward-only variant.
+    #[test]
+    fn frequent_keyword_scenario_explores_fewer_nodes() {
+        // Build: 100 "database" papers (0..100) each written-by John (node 101)
+        // via writes nodes, plus one paper co-authored by James (node 100).
+        let mut b = GraphBuilder::new();
+        let mut paper_ids = Vec::new();
+        for i in 0..100 {
+            paper_ids.push(b.add_node("paper", format!("database paper {i}")));
+        }
+        let james = b.add_node("author", "james");
+        let john = b.add_node("author", "john");
+        let mut writes = Vec::new();
+        for (i, paper) in paper_ids.iter().enumerate() {
+            let w = b.add_node("writes", format!("w{i}"));
+            b.add_edge(w, *paper).unwrap();
+            b.add_edge(w, john).unwrap();
+            writes.push(w);
+        }
+        // paper 0 is also written by James
+        let w_james = b.add_node("writes", "wj");
+        b.add_edge(w_james, paper_ids[0]).unwrap();
+        b.add_edge(w_james, james).unwrap();
+        let g = b.build_default();
+        let p = uniform(&g);
+
+        let database_set: Vec<NodeId> = paper_ids.clone();
+        let matches = KeywordMatches::from_sets(vec![
+            ("database", database_set),
+            ("james", vec![james]),
+            ("john", vec![john]),
+        ]);
+        let params = SearchParams::with_top_k(1);
+        let bidir = BidirectionalSearch::new().search(&g, &p, &matches, &params);
+        let backward = BidirectionalSearch::with_config(BidirectionalConfig {
+            enable_outgoing: false,
+            use_activation: false,
+        })
+        .search(&g, &p, &matches, &params);
+
+        assert!(!bidir.answers.is_empty());
+        assert!(!backward.answers.is_empty());
+        // Both find an answer containing paper 0, James and John.
+        let best = &bidir.answers[0].tree;
+        let nodes = best.nodes();
+        assert!(nodes.contains(&james));
+        assert!(nodes.contains(&john));
+        assert!(
+            bidir.stats.nodes_explored < backward.stats.nodes_explored,
+            "bidirectional explored {} nodes, backward {}",
+            bidir.stats.nodes_explored,
+            backward.stats.nodes_explored
+        );
+    }
+
+    /// Emission policies only change output timing, not the answer set.
+    #[test]
+    fn emission_policy_does_not_change_answer_set() {
+        let g = graph_from_edges(8, &[(4, 0), (4, 1), (5, 1), (5, 2), (6, 2), (6, 3), (7, 3), (7, 0)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0), NodeId(2)]),
+            ("b", vec![NodeId(1), NodeId(3)]),
+        ]);
+        let exact = BidirectionalSearch::new().search(
+            &g,
+            &p,
+            &matches,
+            &SearchParams::default().emission(EmissionPolicy::ExactBound),
+        );
+        let heuristic = BidirectionalSearch::new().search(
+            &g,
+            &p,
+            &matches,
+            &SearchParams::default().emission(EmissionPolicy::Heuristic),
+        );
+        let immediate = BidirectionalSearch::new().search(
+            &g,
+            &p,
+            &matches,
+            &SearchParams::default().emission(EmissionPolicy::Immediate),
+        );
+        let mut a = exact.signatures();
+        let mut b = heuristic.signatures();
+        let mut c = immediate.signatures();
+        a.sort();
+        b.sort();
+        c.sort();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    /// The explored-nodes safety cap truncates the search.
+    #[test]
+    fn explored_cap_truncates() {
+        let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0)]),
+            ("b", vec![NodeId(49)]),
+        ]);
+        let outcome = BidirectionalSearch::new().search(
+            &g,
+            &p,
+            &matches,
+            &SearchParams::default().max_explored(3),
+        );
+        assert!(outcome.stats.truncated);
+        assert!(outcome.stats.nodes_explored <= 4);
+    }
+
+    /// Generated timings never exceed output timings.
+    #[test]
+    fn generation_never_after_output() {
+        let g = graph_from_edges(6, &[(3, 0), (3, 1), (4, 1), (4, 2), (5, 0), (5, 2)]);
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0)]),
+            ("b", vec![NodeId(1)]),
+            ("c", vec![NodeId(2)]),
+        ]);
+        let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
+        for a in &outcome.answers {
+            assert!(a.timing.generated_at <= a.timing.output_at);
+            assert!(a.timing.explored_at_generation <= a.timing.explored_at_output);
+        }
+    }
+}

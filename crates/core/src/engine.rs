@@ -1,0 +1,113 @@
+//! The common engine interface shared by all three search algorithms.
+
+use banks_graph::DataGraph;
+use banks_prestige::PrestigeVector;
+use banks_textindex::KeywordMatches;
+
+use crate::answer::AnswerTree;
+use crate::params::SearchParams;
+use crate::stats::{AnswerTiming, SearchStats};
+
+/// An answer together with its emission timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedAnswer {
+    /// Rank in output order (0-based).
+    pub rank: usize,
+    /// The answer tree.
+    pub tree: AnswerTree,
+    /// When/at what cost the answer was generated and output.
+    pub timing: AnswerTiming,
+}
+
+/// The result of one search run: the answers in output order plus the
+/// instrumentation counters.
+#[derive(Clone, Debug, Default)]
+pub struct SearchOutcome {
+    /// Output answers in emission order (best effort score order, subject to
+    /// the emission policy).
+    pub answers: Vec<RankedAnswer>,
+    /// Aggregate work counters.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// The answer trees only, in output order.
+    pub fn trees(&self) -> Vec<&AnswerTree> {
+        self.answers.iter().map(|a| &a.tree).collect()
+    }
+
+    /// Signatures (distinct node sets) of the output answers, useful for
+    /// comparing the answer sets of different algorithms.
+    pub fn signatures(&self) -> Vec<Vec<banks_graph::NodeId>> {
+        self.answers.iter().map(|a| a.tree.signature()).collect()
+    }
+
+    /// Timings of the output answers.
+    pub fn timings(&self) -> Vec<AnswerTiming> {
+        self.answers.iter().map(|a| a.timing).collect()
+    }
+
+    /// The best (highest) score among output answers.
+    pub fn best_score(&self) -> Option<f64> {
+        self.answers.iter().map(|a| a.tree.score).fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+}
+
+/// A keyword-search engine over a data graph.
+pub trait SearchEngine {
+    /// Short name used in benchmark tables ("Bidirectional", "SI-Backward",
+    /// "MI-Backward").
+    fn name(&self) -> &'static str;
+
+    /// Runs the search and returns the top answers plus statistics.
+    fn search(
+        &self,
+        graph: &DataGraph,
+        prestige: &PrestigeVector,
+        matches: &KeywordMatches,
+        params: &SearchParams,
+    ) -> SearchOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::NodeId;
+    use banks_prestige::PrestigeVector;
+    use crate::score::ScoreModel;
+    use std::time::Duration;
+
+    fn dummy_outcome() -> SearchOutcome {
+        let g = banks_graph::builder::graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = PrestigeVector::uniform_for(&g);
+        let model = ScoreModel::paper_default();
+        let tree = AnswerTree::new(
+            NodeId(2),
+            vec![vec![NodeId(2), NodeId(0)], vec![NodeId(2), NodeId(1)]],
+            &g,
+            &p,
+            &model,
+        );
+        let timing = AnswerTiming {
+            generated_at: Duration::from_millis(1),
+            output_at: Duration::from_millis(2),
+            explored_at_generation: 3,
+            explored_at_output: 4,
+        };
+        SearchOutcome {
+            answers: vec![RankedAnswer { rank: 0, tree, timing }],
+            stats: SearchStats::default(),
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = dummy_outcome();
+        assert_eq!(o.trees().len(), 1);
+        assert_eq!(o.signatures(), vec![vec![NodeId(0), NodeId(1), NodeId(2)]]);
+        assert_eq!(o.timings().len(), 1);
+        assert!(o.best_score().unwrap() > 0.0);
+        let empty = SearchOutcome::default();
+        assert!(empty.best_score().is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # banks-core
+//!
+//! The search algorithms of "Bidirectional Expansion For Keyword Search on
+//! Graph Databases" (VLDB 2005), reimplemented in Rust:
+//!
+//! * [`BidirectionalSearch`] — the paper's contribution (Section 4): a
+//!   single *incoming* iterator expanding backward from keyword nodes, a
+//!   concurrent *outgoing* iterator expanding forward from potential answer
+//!   roots, and a spreading-activation prioritisation of the combined
+//!   frontier,
+//! * [`BackwardExpandingSearch`] — the BANKS-I baseline (Section 3): one
+//!   Dijkstra iterator per keyword node, scheduled by shortest distance
+//!   ("MI-Backward" in the evaluation),
+//! * [`SingleIteratorBackwardSearch`] — the intermediate "SI-Backward"
+//!   variant of Section 4.6: a single merged backward iterator prioritised
+//!   by distance, with no forward iterator and no activation,
+//! * the answer-tree model and ranking of Section 2 ([`AnswerTree`],
+//!   [`ScoreModel`]), the output buffering / top-k emission logic of
+//!   Section 4.5 ([`output::OutputHeap`]), and instrumentation
+//!   ([`SearchStats`]) exposing the paper's metrics (nodes explored, nodes
+//!   touched, generation time, output time).
+//!
+//! All engines implement the [`SearchEngine`] trait and consume the same
+//! inputs: a [`banks_graph::DataGraph`], a
+//! [`banks_prestige::PrestigeVector`], and the per-keyword origin sets
+//! resolved by `banks-textindex` ([`banks_textindex::KeywordMatches`]).
+
+pub mod answer;
+pub mod backward;
+pub mod bidirectional;
+pub mod engine;
+pub mod output;
+pub mod params;
+pub mod pq;
+pub mod relevance;
+pub mod score;
+pub mod si_backward;
+pub mod stats;
+
+pub use answer::AnswerTree;
+pub use backward::BackwardExpandingSearch;
+pub use bidirectional::{BidirectionalConfig, BidirectionalSearch};
+pub use engine::{RankedAnswer, SearchEngine, SearchOutcome};
+pub use params::{EmissionPolicy, SearchParams};
+pub use relevance::{GroundTruth, RecallPrecision};
+pub use score::{EdgeScoreCombiner, ScoreModel};
+pub use si_backward::SingleIteratorBackwardSearch;
+pub use stats::{AnswerTiming, SearchStats};

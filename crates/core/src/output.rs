@@ -1,0 +1,347 @@
+//! The output heap of Section 4.2.3 / 4.5.
+//!
+//! Answer trees are not generated in relevance order, so they are buffered
+//! and re-ordered: "Results are output from the OutputHeap when we determine
+//! that no better result can be generated".  The heap also discards
+//! duplicates — "it is also possible for the same tree to appear in more
+//! than one result, but with different roots; such duplicates with lower
+//! score are discarded".
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use banks_graph::NodeId;
+
+use crate::answer::AnswerTree;
+use crate::params::EmissionPolicy;
+use crate::score::ScoreModel;
+use crate::stats::AnswerTiming;
+
+/// What happened to an answer handed to [`OutputHeap::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The answer was new and is now buffered.
+    Buffered,
+    /// The answer replaced a lower-scoring duplicate (same node set).
+    ReplacedDuplicate,
+    /// The answer was discarded because a duplicate with an equal or higher
+    /// score is already buffered (or was already output).
+    DiscardedDuplicate,
+    /// The answer was discarded because it is not minimal (its root has a
+    /// single child and does not itself match a keyword).
+    DiscardedNonMinimal,
+}
+
+#[derive(Clone, Debug)]
+struct Buffered {
+    tree: AnswerTree,
+    generated_at: Duration,
+    explored_at_generation: usize,
+}
+
+/// Buffers generated answers until the emission policy allows their release.
+#[derive(Debug)]
+pub struct OutputHeap {
+    model: ScoreModel,
+    policy: EmissionPolicy,
+    num_keywords: usize,
+    max_node_prestige: f64,
+    buffered: HashMap<Vec<NodeId>, Buffered>,
+    /// Signatures already output, with the score they were output at, so
+    /// later re-discoveries of the same tree are suppressed.
+    emitted: HashMap<Vec<NodeId>, f64>,
+    duplicates_discarded: usize,
+    non_minimal_discarded: usize,
+}
+
+impl OutputHeap {
+    /// Creates an output heap.
+    pub fn new(
+        model: ScoreModel,
+        policy: EmissionPolicy,
+        num_keywords: usize,
+        max_node_prestige: f64,
+    ) -> Self {
+        OutputHeap {
+            model,
+            policy,
+            num_keywords,
+            max_node_prestige,
+            buffered: HashMap::new(),
+            emitted: HashMap::new(),
+            duplicates_discarded: 0,
+            non_minimal_discarded: 0,
+        }
+    }
+
+    /// Number of answers currently buffered.
+    pub fn buffered_len(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Number of duplicate answers discarded so far.
+    pub fn duplicates_discarded(&self) -> usize {
+        self.duplicates_discarded
+    }
+
+    /// Number of non-minimal answers discarded so far.
+    pub fn non_minimal_discarded(&self) -> usize {
+        self.non_minimal_discarded
+    }
+
+    /// Inserts a freshly generated answer tree.
+    pub fn insert(
+        &mut self,
+        tree: AnswerTree,
+        generated_at: Duration,
+        explored_at_generation: usize,
+    ) -> InsertOutcome {
+        if !tree.is_minimal() {
+            self.non_minimal_discarded += 1;
+            return InsertOutcome::DiscardedNonMinimal;
+        }
+        let signature = tree.signature();
+        if let Some(prev_score) = self.emitted.get(&signature) {
+            if *prev_score >= tree.score {
+                self.duplicates_discarded += 1;
+                return InsertOutcome::DiscardedDuplicate;
+            }
+            // A strictly better version of an already-output tree: the paper
+            // does not retract output answers, so we also discard it but do
+            // not count it as a duplicate "win".
+            self.duplicates_discarded += 1;
+            return InsertOutcome::DiscardedDuplicate;
+        }
+        match self.buffered.get(&signature) {
+            Some(existing) if existing.tree.score >= tree.score => {
+                self.duplicates_discarded += 1;
+                InsertOutcome::DiscardedDuplicate
+            }
+            Some(_) => {
+                self.buffered
+                    .insert(signature, Buffered { tree, generated_at, explored_at_generation });
+                self.duplicates_discarded += 1;
+                InsertOutcome::ReplacedDuplicate
+            }
+            None => {
+                self.buffered
+                    .insert(signature, Buffered { tree, generated_at, explored_at_generation });
+                InsertOutcome::Buffered
+            }
+        }
+    }
+
+    /// Releases every buffered answer whose score clears the emission
+    /// policy's bar, given a lower bound on the aggregate edge weight of any
+    /// answer not yet generated.  Released answers are returned in
+    /// descending score order.
+    pub fn release(
+        &mut self,
+        min_future_edge_weight: f64,
+        now: Duration,
+        explored_now: usize,
+    ) -> Vec<(AnswerTree, AnswerTiming)> {
+        let release_all = min_future_edge_weight.is_infinite();
+        let ready: Vec<Vec<NodeId>> = match self.policy {
+            EmissionPolicy::Immediate => self.buffered.keys().cloned().collect(),
+            EmissionPolicy::ExactBound => {
+                let bound = self.model.score_upper_bound(
+                    min_future_edge_weight,
+                    self.max_node_prestige,
+                    self.num_keywords,
+                );
+                self.buffered
+                    .iter()
+                    .filter(|(_, b)| release_all || b.tree.score >= bound - 1e-12)
+                    .map(|(sig, _)| sig.clone())
+                    .collect()
+            }
+            EmissionPolicy::Heuristic => self
+                .buffered
+                .iter()
+                .filter(|(_, b)| {
+                    release_all || b.tree.aggregate_edge_weight <= min_future_edge_weight + 1e-12
+                })
+                .map(|(sig, _)| sig.clone())
+                .collect(),
+        };
+
+        let mut released: Vec<(AnswerTree, AnswerTiming)> = ready
+            .into_iter()
+            .filter_map(|sig| self.buffered.remove(&sig))
+            .map(|b| {
+                let timing = AnswerTiming {
+                    generated_at: b.generated_at,
+                    output_at: now,
+                    explored_at_generation: b.explored_at_generation,
+                    explored_at_output: explored_now,
+                };
+                (b.tree, timing)
+            })
+            .collect();
+        released.sort_by(|a, b| {
+            b.0.score
+                .total_cmp(&a.0.score)
+                .then_with(|| a.0.signature().cmp(&b.0.signature()))
+        });
+        for (tree, _) in &released {
+            self.emitted.insert(tree.signature(), tree.score);
+        }
+        released
+    }
+
+    /// Releases everything that is still buffered (used when the search
+    /// frontier is exhausted: no better answer can possibly be generated).
+    pub fn flush(&mut self, now: Duration, explored_now: usize) -> Vec<(AnswerTree, AnswerTiming)> {
+        self.release(f64::INFINITY, now, explored_now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EmissionPolicy;
+    use banks_graph::builder::graph_from_weighted_edges;
+    use banks_graph::DataGraph;
+    use banks_prestige::PrestigeVector;
+
+    fn setup() -> (DataGraph, PrestigeVector, ScoreModel) {
+        // root 4 with two arms of different lengths, plus a rotation edge.
+        let g = graph_from_weighted_edges(
+            5,
+            &[(4, 0, 1.0), (4, 1, 1.0), (4, 2, 1.0), (2, 3, 1.0), (0, 4, 1.0)],
+        );
+        let p = PrestigeVector::uniform_for(&g);
+        (g, p, ScoreModel::paper_default())
+    }
+
+    fn tree(g: &DataGraph, p: &PrestigeVector, m: &ScoreModel, root: u32, paths: Vec<Vec<u32>>) -> AnswerTree {
+        AnswerTree::new(
+            NodeId(root),
+            paths.into_iter().map(|p| p.into_iter().map(NodeId).collect()).collect(),
+            g,
+            p,
+            m,
+        )
+    }
+
+    #[test]
+    fn immediate_policy_releases_everything_in_score_order() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        let short = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
+        let long = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]);
+        assert_eq!(heap.insert(long.clone(), Duration::ZERO, 1), InsertOutcome::Buffered);
+        assert_eq!(heap.insert(short.clone(), Duration::ZERO, 2), InsertOutcome::Buffered);
+        let out = heap.release(0.0, Duration::from_millis(5), 10);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].0.score >= out[1].0.score);
+        assert_eq!(out[0].0.signature(), short.signature());
+        assert_eq!(out[0].1.output_at, Duration::from_millis(5));
+        assert_eq!(out[0].1.explored_at_output, 10);
+        assert_eq!(heap.buffered_len(), 0);
+    }
+
+    #[test]
+    fn exact_bound_holds_answers_back() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::ExactBound, 2, p.max());
+        let short = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]); // E = 2
+        heap.insert(short.clone(), Duration::ZERO, 1);
+        // Future answers could still have aggregate weight 0 -> bound is high,
+        // nothing is released.
+        assert!(heap.release(0.0, Duration::ZERO, 1).is_empty());
+        assert_eq!(heap.buffered_len(), 1);
+        // Once any future answer must weigh at least as much as ours (and
+        // could at best tie our prestige), ours is safe to release.
+        let out = heap.release(2.0, Duration::from_millis(1), 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0.signature(), short.signature());
+    }
+
+    #[test]
+    fn heuristic_releases_on_edge_weight_alone() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Heuristic, 2, p.max());
+        let short = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]); // E = 2
+        let long = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]); // E = 3
+        heap.insert(short.clone(), Duration::ZERO, 1);
+        heap.insert(long, Duration::ZERO, 1);
+        let out = heap.release(2.0, Duration::ZERO, 1);
+        assert_eq!(out.len(), 1, "only the E<=2 answer is released");
+        assert_eq!(out[0].0.signature(), short.signature());
+        assert_eq!(heap.buffered_len(), 1);
+    }
+
+    #[test]
+    fn duplicates_keep_best_score() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        // Same node set {0, 2, 3, 4} reached with different path splits:
+        // a cheaper and a costlier version.
+        let costly = tree(&g, &p, &m, 4, vec![vec![4, 2, 3], vec![4, 2, 3]]);
+        let cheap = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]);
+        // different node sets -> not duplicates
+        assert_ne!(costly.signature(), cheap.signature());
+
+        // true duplicates: same paths inserted twice
+        assert_eq!(heap.insert(cheap.clone(), Duration::ZERO, 1), InsertOutcome::Buffered);
+        assert_eq!(heap.insert(cheap.clone(), Duration::ZERO, 2), InsertOutcome::DiscardedDuplicate);
+        assert_eq!(heap.duplicates_discarded(), 1);
+
+        // a higher-scoring tree over the same node set replaces the buffered
+        // one: the rotation rooted at 0 covers {0, 1, 4} with lower prestige
+        // than the version rooted at 4.
+        let rotation_worse = tree(&g, &p, &m, 0, vec![vec![0], vec![0, 4, 1]]);
+        let rooted_better = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
+        assert_eq!(rotation_worse.signature(), rooted_better.signature());
+        assert!(rooted_better.score > rotation_worse.score);
+        let mut heap2 = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        assert_eq!(heap2.insert(rotation_worse, Duration::ZERO, 1), InsertOutcome::Buffered);
+        assert_eq!(heap2.insert(rooted_better.clone(), Duration::ZERO, 2), InsertOutcome::ReplacedDuplicate);
+        let out = heap2.release(f64::INFINITY, Duration::ZERO, 3);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].0.score - rooted_better.score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn already_output_trees_are_not_re_emitted() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        let t = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
+        heap.insert(t.clone(), Duration::ZERO, 1);
+        assert_eq!(heap.release(0.0, Duration::ZERO, 1).len(), 1);
+        assert_eq!(heap.insert(t, Duration::ZERO, 2), InsertOutcome::DiscardedDuplicate);
+        assert!(heap.release(0.0, Duration::ZERO, 2).is_empty());
+    }
+
+    #[test]
+    fn non_minimal_trees_are_rejected() {
+        let g = graph_from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let p = PrestigeVector::uniform_for(&g);
+        let m = ScoreModel::paper_default();
+        let t = AnswerTree::new(
+            NodeId(0),
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(0), NodeId(1), NodeId(2)]],
+            &g,
+            &p,
+            &m,
+        );
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        assert_eq!(heap.insert(t, Duration::ZERO, 1), InsertOutcome::DiscardedNonMinimal);
+        assert_eq!(heap.non_minimal_discarded(), 1);
+        assert_eq!(heap.buffered_len(), 0);
+    }
+
+    #[test]
+    fn flush_empties_the_heap() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::ExactBound, 2, p.max());
+        heap.insert(tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]), Duration::ZERO, 1);
+        heap.insert(tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]), Duration::ZERO, 1);
+        let out = heap.flush(Duration::from_millis(9), 99);
+        assert_eq!(out.len(), 2);
+        assert_eq!(heap.buffered_len(), 0);
+        assert!(out[0].0.score >= out[1].0.score);
+    }
+}

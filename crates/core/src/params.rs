@@ -1,0 +1,160 @@
+//! Search parameters shared by all engines.
+
+use crate::score::EdgeScoreCombiner;
+
+/// When buffered answers are released from the output heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmissionPolicy {
+    /// NRA-style bound (Section 4.5): an answer is output only once its
+    /// overall score (edge score combined with node prestige) is at least
+    /// the upper bound achievable by any answer not yet generated.
+    ExactBound,
+    /// The paper's "looser heuristic": output as soon as the answer's tree
+    /// edge score beats `h(m_1, ..., m_k)`, ignoring node prestige.  Faster
+    /// output, may occasionally reorder answers.
+    Heuristic,
+    /// Output answers the moment they are generated.  Used to measure pure
+    /// generation time and in tests that only care about the answer set.
+    Immediate,
+}
+
+/// Tunable parameters of the search algorithms.  Defaults follow the paper
+/// (Section 4.2 and 5.1): `dmax = 8`, `µ = 0.5`, `λ = 0.2`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchParams {
+    /// Maximum depth (in edges) a node may be from the nearest keyword node
+    /// before its expansion is cut off.  Ensures termination and keeps
+    /// answers intuitive.
+    pub dmax: usize,
+    /// Activation attenuation factor: each node retains `1 - µ` of the
+    /// activation it receives and spreads a fraction `µ` to its neighbours.
+    pub mu: f64,
+    /// Exponent balancing node prestige against edge score in the overall
+    /// tree score `E · N^λ`.
+    pub lambda: f64,
+    /// Number of answers requested (the paper reports time to the last
+    /// relevant or the tenth relevant answer).
+    pub top_k: usize,
+    /// How eagerly buffered answers are released.
+    pub emission: EmissionPolicy,
+    /// Mapping from the aggregate tree edge weight to a relevance factor.
+    pub edge_score: EdgeScoreCombiner,
+    /// Safety cap on the number of nodes an engine may explore (pop from its
+    /// queues) before giving up.  `None` means unlimited.
+    pub max_explored: Option<usize>,
+    /// Safety cap on the number of answer trees generated (relevant for the
+    /// multi-iterator Backward search whose cross-product of iterators can
+    /// explode).  `None` means unlimited.
+    pub max_generated: Option<usize>,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            dmax: 8,
+            mu: 0.5,
+            lambda: 0.2,
+            top_k: 10,
+            emission: EmissionPolicy::ExactBound,
+            edge_score: EdgeScoreCombiner::ReciprocalEdgeSum,
+            max_explored: None,
+            max_generated: None,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Paper defaults with a different `top_k`.
+    pub fn with_top_k(top_k: usize) -> Self {
+        SearchParams { top_k, ..Default::default() }
+    }
+
+    /// Builder-style setter for `dmax`.
+    pub fn dmax(mut self, dmax: usize) -> Self {
+        self.dmax = dmax;
+        self
+    }
+
+    /// Builder-style setter for `µ`.
+    pub fn mu(mut self, mu: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mu), "µ must lie in [0, 1]");
+        self.mu = mu;
+        self
+    }
+
+    /// Builder-style setter for `λ`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "λ must be non-negative");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style setter for the emission policy.
+    pub fn emission(mut self, emission: EmissionPolicy) -> Self {
+        self.emission = emission;
+        self
+    }
+
+    /// Builder-style setter for the explored-nodes cap.
+    pub fn max_explored(mut self, cap: usize) -> Self {
+        self.max_explored = Some(cap);
+        self
+    }
+
+    /// Builder-style setter for the generated-answers cap.
+    pub fn max_generated(mut self, cap: usize) -> Self {
+        self.max_generated = Some(cap);
+        self
+    }
+
+    /// The score model induced by these parameters.
+    pub fn score_model(&self) -> crate::score::ScoreModel {
+        crate::score::ScoreModel::new(self.edge_score, self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = SearchParams::default();
+        assert_eq!(p.dmax, 8);
+        assert_eq!(p.mu, 0.5);
+        assert_eq!(p.lambda, 0.2);
+        assert_eq!(p.top_k, 10);
+        assert_eq!(p.emission, EmissionPolicy::ExactBound);
+        assert_eq!(p.max_explored, None);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let p = SearchParams::with_top_k(5)
+            .dmax(4)
+            .mu(0.7)
+            .lambda(1.0)
+            .emission(EmissionPolicy::Heuristic)
+            .max_explored(1000)
+            .max_generated(500);
+        assert_eq!(p.top_k, 5);
+        assert_eq!(p.dmax, 4);
+        assert_eq!(p.mu, 0.7);
+        assert_eq!(p.lambda, 1.0);
+        assert_eq!(p.emission, EmissionPolicy::Heuristic);
+        assert_eq!(p.max_explored, Some(1000));
+        assert_eq!(p.max_generated, Some(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "µ must lie in [0, 1]")]
+    fn rejects_bad_mu() {
+        let _ = SearchParams::default().mu(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "λ must be non-negative")]
+    fn rejects_bad_lambda() {
+        let _ = SearchParams::default().lambda(-0.1);
+    }
+}

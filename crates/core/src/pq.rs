@@ -1,0 +1,201 @@
+//! A small updatable max-priority queue over nodes.
+//!
+//! The incoming and outgoing iterators of Bidirectional search order their
+//! frontiers by node activation, and activation values change while a node
+//! is queued (the `Activate` propagation of Figure 3).  Rust's
+//! `BinaryHeap` has no decrease/increase-key, so this queue uses the classic
+//! lazy-deletion trick: every priority change pushes a fresh entry, and
+//! stale entries are skipped at pop time by comparing against the live
+//! priority map.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use banks_graph::NodeId;
+
+#[derive(PartialEq)]
+struct Entry {
+    priority: f64,
+    node: NodeId,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on priority; ties broken on node id (lower id first) so
+        // that runs are fully deterministic.
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Updatable max-priority queue keyed by [`NodeId`].
+#[derive(Default)]
+pub struct MaxPriorityQueue {
+    heap: BinaryHeap<Entry>,
+    live: HashMap<NodeId, f64>,
+}
+
+impl MaxPriorityQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (non-stale) nodes in the queue.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live nodes remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// True when the node is currently queued.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.live.contains_key(&node)
+    }
+
+    /// Current priority of a queued node.
+    pub fn priority(&self, node: NodeId) -> Option<f64> {
+        self.live.get(&node).copied()
+    }
+
+    /// Inserts a node or raises/lowers its priority.  Returns `true` if the
+    /// node was not previously queued.
+    pub fn push(&mut self, node: NodeId, priority: f64) -> bool {
+        let fresh = self.live.insert(node, priority).is_none();
+        self.heap.push(Entry { priority, node });
+        fresh
+    }
+
+    /// Updates the priority only if the new value is higher.  Returns `true`
+    /// if the priority changed (or the node was newly inserted).
+    pub fn push_max(&mut self, node: NodeId, priority: f64) -> bool {
+        match self.live.get(&node) {
+            Some(current) if *current >= priority => false,
+            _ => {
+                self.push(node, priority);
+                true
+            }
+        }
+    }
+
+    /// Highest live priority without removing it.
+    pub fn peek(&mut self) -> Option<(NodeId, f64)> {
+        self.skim();
+        self.heap.peek().map(|e| (e.node, e.priority))
+    }
+
+    /// Removes and returns the node with the highest priority.
+    pub fn pop(&mut self) -> Option<(NodeId, f64)> {
+        self.skim();
+        let entry = self.heap.pop()?;
+        self.live.remove(&entry.node);
+        Some((entry.node, entry.priority))
+    }
+
+    /// Removes a node from the queue without popping it (used when a node
+    /// expanded by one iterator must not be re-expanded).
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.live.remove(&node).is_some()
+    }
+
+    /// Drops stale heap entries from the top.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            match self.live.get(&top.node) {
+                Some(p) if (*p - top.priority).abs() < f64::EPSILON => break,
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MaxPriorityQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaxPriorityQueue").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut q = MaxPriorityQueue::new();
+        q.push(NodeId(1), 0.5);
+        q.push(NodeId(2), 0.9);
+        q.push(NodeId(3), 0.1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().0, NodeId(2));
+        assert_eq!(q.pop().unwrap().0, NodeId(1));
+        assert_eq!(q.pop().unwrap().0, NodeId(3));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_updates_take_effect() {
+        let mut q = MaxPriorityQueue::new();
+        q.push(NodeId(1), 0.2);
+        q.push(NodeId(2), 0.5);
+        q.push(NodeId(1), 0.9); // raise node 1 above node 2
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap(), (NodeId(1), 0.9));
+        assert_eq!(q.pop().unwrap(), (NodeId(2), 0.5));
+    }
+
+    #[test]
+    fn push_max_only_raises() {
+        let mut q = MaxPriorityQueue::new();
+        assert!(q.push_max(NodeId(1), 0.4));
+        assert!(!q.push_max(NodeId(1), 0.3));
+        assert!(q.push_max(NodeId(1), 0.6));
+        assert_eq!(q.priority(NodeId(1)), Some(0.6));
+        assert_eq!(q.pop().unwrap(), (NodeId(1), 0.6));
+    }
+
+    #[test]
+    fn ties_break_on_node_id() {
+        let mut q = MaxPriorityQueue::new();
+        q.push(NodeId(7), 1.0);
+        q.push(NodeId(3), 1.0);
+        assert_eq!(q.pop().unwrap().0, NodeId(3));
+        assert_eq!(q.pop().unwrap().0, NodeId(7));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut q = MaxPriorityQueue::new();
+        q.push(NodeId(1), 0.3);
+        q.push(NodeId(2), 0.8);
+        assert!(q.contains(NodeId(2)));
+        assert!(q.remove(NodeId(2)));
+        assert!(!q.contains(NodeId(2)));
+        assert!(!q.remove(NodeId(2)));
+        assert_eq!(q.pop().unwrap().0, NodeId(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_stale_entries() {
+        let mut q = MaxPriorityQueue::new();
+        q.push(NodeId(1), 0.9);
+        q.push(NodeId(1), 0.1); // lower the priority
+        q.push(NodeId(2), 0.5);
+        assert_eq!(q.peek().unwrap().0, NodeId(2));
+    }
+}

@@ -1,0 +1,252 @@
+//! Relevance judgments and recall/precision measurement (Section 5.7 of the
+//! paper).
+//!
+//! The paper derives the set of relevant answers for its generated workloads
+//! by executing SQL queries over the planted join networks; our workload
+//! generator does the same by construction.  A ground truth is a collection
+//! of *relevant node sets*; an output answer is judged relevant if it covers
+//! one of them (it contains every node of the set).
+
+use std::collections::BTreeSet;
+
+use banks_graph::NodeId;
+
+use crate::engine::SearchOutcome;
+
+/// The set of relevant answers for a query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    relevant: Vec<BTreeSet<NodeId>>,
+}
+
+/// Recall/precision figures for one query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecallPrecision {
+    /// Fraction of relevant answers found (0..=1); 1.0 when there are no
+    /// relevant answers.
+    pub recall: f64,
+    /// Fraction of output answers that are relevant (0..=1); 1.0 when there
+    /// are no output answers.
+    pub precision: f64,
+    /// Precision measured only over the prefix of the output that ends at
+    /// the last relevant answer found ("precision at full recall").
+    pub precision_at_full_recall: f64,
+    /// Number of relevant answers found.
+    pub relevant_found: usize,
+    /// Number of relevant answers in the ground truth.
+    pub relevant_total: usize,
+    /// Rank (1-based) of the last relevant answer in the output, if any.
+    pub last_relevant_rank: Option<usize>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth (no relevant answers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a ground truth from relevant node sets.
+    pub fn from_sets<I, S>(sets: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = NodeId>,
+    {
+        GroundTruth { relevant: sets.into_iter().map(|s| s.into_iter().collect()).collect() }
+    }
+
+    /// Adds one relevant node set.
+    pub fn add(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.relevant.push(nodes.into_iter().collect());
+    }
+
+    /// Number of relevant answers.
+    pub fn len(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// True when there are no relevant answers.
+    pub fn is_empty(&self) -> bool {
+        self.relevant.is_empty()
+    }
+
+    /// The relevant node sets.
+    pub fn sets(&self) -> &[BTreeSet<NodeId>] {
+        &self.relevant
+    }
+
+    /// True if the answer node set covers (is a superset of) some relevant
+    /// set.
+    pub fn is_relevant(&self, answer_nodes: &[NodeId]) -> bool {
+        self.matching_set(answer_nodes).is_some()
+    }
+
+    /// Index of the relevant set the answer covers, if any.
+    pub fn matching_set(&self, answer_nodes: &[NodeId]) -> Option<usize> {
+        let answer: BTreeSet<NodeId> = answer_nodes.iter().copied().collect();
+        self.relevant.iter().position(|set| set.is_subset(&answer))
+    }
+
+    /// Evaluates a search outcome against this ground truth.
+    ///
+    /// Every relevant set is counted at most once (the first output answer
+    /// covering it claims it), so repeatedly reporting the same relevant
+    /// answer does not inflate recall.
+    pub fn evaluate(&self, outcome: &SearchOutcome) -> RecallPrecision {
+        let mut claimed = vec![false; self.relevant.len()];
+        let mut relevant_found = 0usize;
+        let mut relevant_ranks: Vec<usize> = Vec::new();
+        let mut relevant_flags: Vec<bool> = Vec::with_capacity(outcome.answers.len());
+        for (rank, answer) in outcome.answers.iter().enumerate() {
+            let nodes = answer.tree.nodes();
+            let answer_set: BTreeSet<NodeId> = nodes.iter().copied().collect();
+            let hit = self
+                .relevant
+                .iter()
+                .enumerate()
+                .find(|(i, set)| !claimed[*i] && set.is_subset(&answer_set))
+                .map(|(i, _)| i);
+            match hit {
+                Some(i) => {
+                    claimed[i] = true;
+                    relevant_found += 1;
+                    relevant_ranks.push(rank + 1);
+                    relevant_flags.push(true);
+                }
+                None => relevant_flags.push(false),
+            }
+        }
+
+        let recall = if self.relevant.is_empty() {
+            1.0
+        } else {
+            relevant_found as f64 / self.relevant.len() as f64
+        };
+        let precision = if outcome.answers.is_empty() {
+            1.0
+        } else {
+            relevant_found as f64 / outcome.answers.len() as f64
+        };
+        let last_relevant_rank = relevant_ranks.last().copied();
+        let precision_at_full_recall = match last_relevant_rank {
+            None => {
+                if self.relevant.is_empty() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Some(rank) => relevant_found as f64 / rank as f64,
+        };
+
+        RecallPrecision {
+            recall,
+            precision,
+            precision_at_full_recall,
+            relevant_found,
+            relevant_total: self.relevant.len(),
+            last_relevant_rank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerTree;
+    use crate::engine::RankedAnswer;
+    use crate::score::ScoreModel;
+    use crate::stats::{AnswerTiming, SearchStats};
+    use banks_graph::builder::graph_from_edges;
+    use banks_prestige::PrestigeVector;
+    use std::time::Duration;
+
+    fn make_outcome(trees: Vec<AnswerTree>) -> SearchOutcome {
+        let timing = AnswerTiming {
+            generated_at: Duration::ZERO,
+            output_at: Duration::ZERO,
+            explored_at_generation: 0,
+            explored_at_output: 0,
+        };
+        SearchOutcome {
+            answers: trees
+                .into_iter()
+                .enumerate()
+                .map(|(rank, tree)| RankedAnswer { rank, tree, timing })
+                .collect(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    fn tree(g: &banks_graph::DataGraph, root: u32, paths: Vec<Vec<u32>>) -> AnswerTree {
+        let p = PrestigeVector::uniform_for(g);
+        AnswerTree::new(
+            NodeId(root),
+            paths.into_iter().map(|path| path.into_iter().map(NodeId).collect()).collect(),
+            g,
+            &p,
+            &ScoreModel::paper_default(),
+        )
+    }
+
+    #[test]
+    fn relevance_by_superset() {
+        let gt = GroundTruth::from_sets(vec![vec![NodeId(0), NodeId(1)]]);
+        assert!(gt.is_relevant(&[NodeId(0), NodeId(1), NodeId(5)]));
+        assert!(!gt.is_relevant(&[NodeId(0), NodeId(5)]));
+        assert_eq!(gt.matching_set(&[NodeId(0), NodeId(1)]), Some(0));
+        assert_eq!(gt.len(), 1);
+        assert!(!gt.is_empty());
+    }
+
+    #[test]
+    fn evaluate_counts_each_relevant_set_once() {
+        let g = graph_from_edges(4, &[(2, 0), (2, 1), (3, 0), (3, 1)]);
+        let gt = GroundTruth::from_sets(vec![
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![NodeId(0), NodeId(1), NodeId(3)],
+        ]);
+        let t_first = tree(&g, 2, vec![vec![2, 0], vec![2, 1]]);
+        let t_dup = tree(&g, 2, vec![vec![2, 0], vec![2, 1]]);
+        let t_second = tree(&g, 3, vec![vec![3, 0], vec![3, 1]]);
+        let outcome = make_outcome(vec![t_first, t_dup, t_second]);
+        let rp = gt.evaluate(&outcome);
+        assert_eq!(rp.relevant_found, 2);
+        assert_eq!(rp.relevant_total, 2);
+        assert!((rp.recall - 1.0).abs() < 1e-12);
+        assert!((rp.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rp.last_relevant_rank, Some(3));
+        assert!((rp.precision_at_full_recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_with_no_relevant_answers_found() {
+        let g = graph_from_edges(4, &[(2, 0), (2, 1), (3, 0), (3, 1)]);
+        let gt = GroundTruth::from_sets(vec![vec![NodeId(0), NodeId(3)]]);
+        let outcome = make_outcome(vec![tree(&g, 2, vec![vec![2, 0], vec![2, 1]])]);
+        let rp = gt.evaluate(&outcome);
+        assert_eq!(rp.relevant_found, 0);
+        assert_eq!(rp.recall, 0.0);
+        assert_eq!(rp.precision, 0.0);
+        assert_eq!(rp.precision_at_full_recall, 0.0);
+        assert_eq!(rp.last_relevant_rank, None);
+    }
+
+    #[test]
+    fn empty_ground_truth_is_trivially_satisfied() {
+        let gt = GroundTruth::new();
+        let outcome = make_outcome(vec![]);
+        let rp = gt.evaluate(&outcome);
+        assert_eq!(rp.recall, 1.0);
+        assert_eq!(rp.precision, 1.0);
+        assert_eq!(rp.precision_at_full_recall, 1.0);
+    }
+
+    #[test]
+    fn add_extends_ground_truth() {
+        let mut gt = GroundTruth::new();
+        gt.add(vec![NodeId(1)]);
+        gt.add(vec![NodeId(2), NodeId(3)]);
+        assert_eq!(gt.len(), 2);
+        assert_eq!(gt.sets()[1].len(), 2);
+    }
+}

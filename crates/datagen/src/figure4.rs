@@ -1,0 +1,111 @@
+//! The worked example of Figure 4 in the paper.
+//!
+//! The scenario: the user asks for "Database" papers co-authored by "James"
+//! and "John".  `Database` matches a large set of paper nodes, `James` and
+//! `John` match a single author node each, and John has authored many papers
+//! (his author node has a large fan-in through the `writes` nodes).  The
+//! paper argues that Backward expanding search explores on the order of 150
+//! nodes before producing the answer rooted at the shared `writes`/paper
+//! structure, whereas Bidirectional search explores only a handful.
+
+use banks_graph::{DataGraph, GraphBuilder, NodeId};
+use banks_textindex::KeywordMatches;
+
+/// The Figure 4 example: a graph, the keyword origin sets for the query
+/// `Database James John`, and the ids of the nodes that form the desired
+/// answer (the database paper written by both James and John together with
+/// its two `writes` tuples).
+#[derive(Debug, Clone)]
+pub struct Figure4Example {
+    /// The example graph.
+    pub graph: DataGraph,
+    /// Origin sets for the three keywords (`Database`, `James`, `John`).
+    pub matches: KeywordMatches,
+    /// The paper node co-authored by James and John.
+    pub target_paper: NodeId,
+    /// The author node for James.
+    pub james: NodeId,
+    /// The author node for John.
+    pub john: NodeId,
+    /// All nodes of the expected best answer tree.
+    pub expected_answer_nodes: Vec<NodeId>,
+}
+
+/// Builds the example with the paper's proportions: `num_database_papers`
+/// papers match the frequent keyword (the paper uses 100) and John has
+/// written `john_paper_count` of them (the paper uses 48).
+pub fn figure4_example(num_database_papers: usize, john_paper_count: usize) -> Figure4Example {
+    assert!(john_paper_count <= num_database_papers, "John cannot write more papers than exist");
+    assert!(num_database_papers >= 1);
+
+    let mut builder = GraphBuilder::new();
+    // Papers #1..=#100 in the paper's numbering.
+    let papers: Vec<NodeId> = (0..num_database_papers)
+        .map(|i| builder.add_node("paper", format!("Database paper {i}")))
+        .collect();
+    let james = builder.add_node("author", "James");
+    let john = builder.add_node("author", "John");
+
+    // John wrote the first `john_paper_count` papers (including paper 0,
+    // which will be the shared one).
+    let mut john_writes = Vec::new();
+    for (i, paper) in papers.iter().take(john_paper_count).enumerate() {
+        let w = builder.add_node("writes", format!("john-writes-{i}"));
+        builder.add_edge(w, *paper).expect("edge");
+        builder.add_edge(w, john).expect("edge");
+        john_writes.push(w);
+    }
+    // James wrote only paper 0 (node #250 in the paper's numbering).
+    let james_writes = builder.add_node("writes", "james-writes-0");
+    builder.add_edge(james_writes, papers[0]).expect("edge");
+    builder.add_edge(james_writes, james).expect("edge");
+
+    let graph = builder.build_default();
+
+    let matches = KeywordMatches::from_sets(vec![
+        ("database", papers.clone()),
+        ("james", vec![james]),
+        ("john", vec![john]),
+    ]);
+
+    let expected_answer_nodes = vec![papers[0], james, john, john_writes[0], james_writes];
+
+    Figure4Example { graph, matches, target_paper: papers[0], james, john, expected_answer_nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_has_paper_proportions() {
+        let ex = figure4_example(100, 48);
+        // 100 papers + 2 authors + 48 + 1 writes = 151 nodes
+        assert_eq!(ex.graph.num_nodes(), 151);
+        assert_eq!(ex.matches.origin_set(0).len(), 100);
+        assert_eq!(ex.matches.origin_set(1).len(), 1);
+        assert_eq!(ex.matches.origin_set(2).len(), 1);
+        // John's author node has fan-in 48
+        assert_eq!(ex.graph.forward_indegree(ex.john), 48);
+        assert_eq!(ex.graph.forward_indegree(ex.james), 1);
+        assert_eq!(ex.expected_answer_nodes.len(), 5);
+    }
+
+    #[test]
+    fn target_paper_is_connected_to_both_authors() {
+        let ex = figure4_example(20, 10);
+        // the target paper has two incoming writes edges
+        assert_eq!(ex.graph.forward_indegree(ex.target_paper), 2);
+        // every other database paper has at most one
+        let others = ex.matches.origin_set(0).iter().filter(|p| **p != ex.target_paper);
+        for p in others {
+            assert!(ex.graph.forward_indegree(*p) <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot write more papers")]
+    fn rejects_impossible_proportions() {
+        let _ = figure4_example(5, 10);
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic IMDB-like dataset generator (movies, actors, directors,
+//! genres), used by the paper's `IQ*` sample queries such as
+//! "Keanu Matrix Thomas".
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use banks_relational::{Database, DatabaseSchema, GraphExtraction, TableId};
+
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use crate::Dataset;
+
+/// Configuration of the IMDB-like generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ImdbConfig {
+    /// Number of person tuples (actors and directors share the table).
+    pub num_persons: usize,
+    /// Number of movie tuples.
+    pub num_movies: usize,
+    /// Number of genre tuples.
+    pub num_genres: usize,
+    /// Maximum cast size per movie.
+    pub max_cast: usize,
+    /// Number of words per movie title.
+    pub title_words: usize,
+    /// Zipf exponent for actor popularity.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            num_persons: 4_000,
+            num_movies: 3_000,
+            num_genres: 20,
+            max_cast: 6,
+            title_words: 4,
+            skew: 0.9,
+            seed: 43,
+        }
+    }
+}
+
+impl ImdbConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        ImdbConfig { num_persons: 80, num_movies: 60, num_genres: 5, seed: 11, ..Default::default() }
+    }
+}
+
+/// The generated IMDB-like dataset plus its table ids.
+#[derive(Debug)]
+pub struct ImdbDataset {
+    /// Relational + graph forms.
+    pub dataset: Dataset,
+    /// `person(name)` table.
+    pub person: TableId,
+    /// `movie(title)` table.
+    pub movie: TableId,
+    /// `casts(actor, movie, character)` table.
+    pub casts: TableId,
+    /// `directs(director, movie)` table.
+    pub directs: TableId,
+    /// `genre(name)` table.
+    pub genre: TableId,
+    /// `movie_genre(movie, genre)` table.
+    pub movie_genre: TableId,
+}
+
+impl ImdbDataset {
+    /// Generates a dataset.
+    pub fn generate(config: ImdbConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let vocab = Vocabulary::default();
+
+        let mut schema = DatabaseSchema::new();
+        let person = schema.add_simple_table("person", &["name"], &[]).expect("schema");
+        let movie = schema.add_simple_table("movie", &["title"], &[]).expect("schema");
+        let casts = schema
+            .add_simple_table("casts", &["character"], &[("actor", person), ("movie", movie)])
+            .expect("schema");
+        let directs = schema
+            .add_simple_table("directs", &[], &[("director", person), ("movie", movie)])
+            .expect("schema");
+        let genre = schema.add_simple_table("genre", &["name"], &[]).expect("schema");
+        let movie_genre = schema
+            .add_simple_table("movie_genre", &[], &[("movie", movie), ("genre", genre)])
+            .expect("schema");
+        let mut db = Database::new(schema);
+
+        for g in 0..config.num_genres {
+            let name = vocab.org_name(&mut rng, "Genre", g);
+            db.insert(genre, vec![name.into()]).expect("insert");
+        }
+        for p in 0..config.num_persons {
+            let name = vocab.person_name(&mut rng, p);
+            db.insert(person, vec![name.into()]).expect("insert");
+        }
+
+        let person_zipf = Zipf::new(config.num_persons.max(1), config.skew);
+        for _ in 0..config.num_movies {
+            let title = vocab.title(&mut rng, config.title_words);
+            let movie_row = db.insert(movie, vec![title.into()]).expect("insert");
+            // cast (popular actors appear in many movies)
+            let cast_size = rng.gen_range(1..=config.max_cast.max(1));
+            let mut cast: Vec<u32> = Vec::with_capacity(cast_size);
+            while cast.len() < cast_size {
+                let candidate = person_zipf.sample(&mut rng) as u32;
+                if !cast.contains(&candidate) {
+                    cast.push(candidate);
+                }
+            }
+            for actor in &cast {
+                let character = vocab.person_name(&mut rng, *actor as usize + 100_000);
+                db.insert(casts, vec![character.into(), (*actor).into(), movie_row.into()])
+                    .expect("insert");
+            }
+            // director
+            let director = person_zipf.sample(&mut rng) as u32;
+            db.insert(directs, vec![director.into(), movie_row.into()]).expect("insert");
+            // genres
+            let genre_row = rng.gen_range(0..config.num_genres as u32);
+            db.insert(movie_genre, vec![movie_row.into(), genre_row.into()]).expect("insert");
+        }
+
+        let extraction = GraphExtraction::extract(&db);
+        ImdbDataset {
+            dataset: Dataset { db, extraction },
+            person,
+            movie,
+            casts,
+            directs,
+            genre,
+            movie_genre,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_dataset() {
+        let d = ImdbDataset::generate(ImdbConfig::tiny());
+        let db = &d.dataset.db;
+        assert_eq!(db.num_rows(d.person), 80);
+        assert_eq!(db.num_rows(d.movie), 60);
+        assert_eq!(db.num_rows(d.genre), 5);
+        assert!(db.num_rows(d.casts) >= 60);
+        assert_eq!(db.num_rows(d.directs), 60);
+        assert!(db.check_integrity().is_ok());
+        assert_eq!(d.dataset.graph().num_nodes(), db.total_rows());
+    }
+
+    #[test]
+    fn popular_actor_has_large_fanin() {
+        let d = ImdbDataset::generate(ImdbConfig::tiny());
+        // person row 0 is the most popular under the Zipf draw
+        let node = d.dataset.extraction.node_of(banks_relational::TupleId::new(d.person, 0));
+        let fanin = d.dataset.graph().forward_indegree(node);
+        assert!(fanin >= 5, "expected popular actor to have large fan-in, got {fanin}");
+    }
+
+    #[test]
+    fn actor_and_movie_queries_resolve() {
+        let d = ImdbDataset::generate(ImdbConfig::tiny());
+        let name = d.dataset.db.row_text(d.person, 3).to_lowercase();
+        let matches = d.dataset.index().matching_nodes(d.dataset.graph(), &name);
+        assert!(!matches.is_empty());
+        // the relation name "movie" matches every movie tuple (and, because
+        // "movie_genre" tokenises to the same word, every movie_genre tuple)
+        let movies = d.dataset.index().matching_nodes(d.dataset.graph(), "movie");
+        assert!(movies.len() >= 60);
+        let movie_kind = d.dataset.graph().kind_by_name("movie").unwrap();
+        let movie_only =
+            movies.iter().filter(|n| d.dataset.graph().node_kind(**n) == movie_kind).count();
+        assert_eq!(movie_only, 60);
+    }
+}

@@ -1,0 +1,69 @@
+//! # banks-datagen
+//!
+//! Synthetic dataset and workload generators for the BANKS-II reproduction.
+//!
+//! The paper evaluates on three real datasets — the complete DBLP
+//! bibliography (~2M nodes / 9M edges), IMDB, and a subset of the US Patent
+//! database (~4M nodes / 15M edges) — none of which can be shipped with the
+//! reproduction.  The search algorithms, however, are sensitive only to
+//! structural and statistical properties of those graphs:
+//!
+//! * hub nodes with very large fan-in (conference/metadata nodes, prolific
+//!   authors, popular actors),
+//! * heavily skewed (Zipfian) keyword frequencies, so that queries mix rare
+//!   and frequent terms,
+//! * small answer trees (2–7 nodes) embedded in a much larger graph.
+//!
+//! The generators in this crate reproduce exactly those properties at a
+//! configurable scale, with seeded RNG so every experiment is
+//! deterministic.  Each generator builds a *relational* database
+//! ([`banks_relational::Database`]) first and then extracts the data graph
+//! and keyword index from it, exercising the same pipeline the paper
+//! describes.
+//!
+//! The [`workload`] module replays the paper's query-generation procedure
+//! (Sections 5.4 and 5.6): it plants join networks of a chosen size, samples
+//! keywords from the participating tuples, classifies queries by keyword
+//! origin size, and derives ground-truth relevant answers by executing the
+//! equivalent relational joins.
+
+pub mod dblp;
+pub mod figure4;
+pub mod imdb;
+pub mod patents;
+pub mod vocab;
+pub mod workload;
+pub mod zipf;
+
+pub use dblp::{DblpConfig, DblpDataset};
+pub use figure4::figure4_example;
+pub use imdb::{ImdbConfig, ImdbDataset};
+pub use patents::{PatentsConfig, PatentsDataset};
+pub use workload::{KeywordCategory, QueryCase, WorkloadConfig, WorkloadGenerator};
+pub use zipf::Zipf;
+
+use banks_graph::DataGraph;
+use banks_relational::{Database, GraphExtraction};
+use banks_textindex::InvertedIndex;
+
+/// A generated dataset: the relational database plus its graph extraction.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The relational form (used by the Sparse baseline and the workload
+    /// ground-truth oracle).
+    pub db: Database,
+    /// The graph form (used by the search engines).
+    pub extraction: GraphExtraction,
+}
+
+impl Dataset {
+    /// The data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.extraction.graph
+    }
+
+    /// The keyword index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.extraction.index
+    }
+}

@@ -1,0 +1,193 @@
+//! Synthetic vocabularies: person names, topic words and title generation.
+//!
+//! Names are assembled from syllables so that arbitrarily many distinct,
+//! mostly-unique author/actor names exist (rare keywords), while titles are
+//! drawn from a Zipf-distributed topic vocabulary so that a few topic words
+//! ("database", "system", "query") are extremely frequent (the paper's
+//! "frequently occurring terms").
+
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+const FIRST_SYLLABLES: &[&str] = &[
+    "jo", "ma", "an", "ka", "vi", "su", "ra", "de", "li", "ha", "mi", "ta", "pe", "sa", "ro",
+    "be", "ni", "ga", "fe", "lu",
+];
+const LAST_SYLLABLES: &[&str] = &[
+    "son", "nath", "gupta", "mura", "lez", "berg", "ström", "wicz", "moto", "poulos", "ishi",
+    "mann", "dez", "veld", "kar", "shan", "rov", "etti", "ato", "field",
+];
+
+/// Core topic vocabulary used for titles; ordered from most to least
+/// frequent rank in the Zipf draw, so `TOPIC_WORDS[0]` plays the role of the
+/// paper's ubiquitous `database` keyword.
+pub const TOPIC_WORDS: &[&str] = &[
+    "database", "system", "query", "data", "distributed", "model", "analysis", "processing",
+    "web", "performance", "transaction", "index", "parallel", "optimization", "stream",
+    "storage", "graph", "learning", "semantic", "cache", "concurrency", "recovery", "parametric",
+    "spatial", "temporal", "probabilistic", "keyword", "search", "join", "aggregation",
+    "mining", "clustering", "replication", "scheduling", "compression", "encryption",
+    "provenance", "workflow", "benchmark", "visualization", "crowdsourcing", "federated",
+    "approximate", "adaptive", "incremental", "declarative", "transactional", "columnar",
+    "versioning", "sampling", "sketching", "partitioning", "serialization", "deduplication",
+    "normalization", "materialized", "heterogeneous", "multidimensional", "autonomic",
+    "selectivity", "cardinality", "lineage", "entity", "resolution", "schema", "matching",
+    "integration", "migration", "anonymization", "differential", "privacy", "consensus",
+    "gossip", "quorum", "snapshot", "isolation", "logging", "checkpointing", "vectorized",
+    "compilation", "codegen", "pushdown", "predicate", "bitmap", "inverted", "posting",
+    "wavelet", "histogram", "bloom", "trie", "suffix", "prefix", "lattice", "tensor",
+    "embedding", "similarity", "nearest", "neighbour", "locality", "hashing", "shingling",
+];
+
+/// Name and title generator.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    topic_zipf: Zipf,
+    vocab_size: usize,
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Self::new(1.05)
+    }
+}
+
+impl Vocabulary {
+    /// Creates a vocabulary whose topic-word frequencies follow a Zipf
+    /// distribution with the given exponent, using a long-tail vocabulary of
+    /// 2000 words (the named words above plus synthetic `topicNNN` words) so
+    /// that genuinely rare title terms exist at every scale.
+    pub fn new(topic_exponent: f64) -> Self {
+        Self::with_size(2000, topic_exponent)
+    }
+
+    /// Creates a vocabulary with an explicit vocabulary size.
+    pub fn with_size(vocab_size: usize, topic_exponent: f64) -> Self {
+        let vocab_size = vocab_size.max(TOPIC_WORDS.len());
+        Vocabulary { topic_zipf: Zipf::new(vocab_size, topic_exponent), vocab_size }
+    }
+
+    /// Number of distinct topic words.
+    pub fn num_topic_words(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The `rank`-th most frequent topic word.
+    pub fn topic_word(&self, rank: usize) -> String {
+        let rank = rank.min(self.vocab_size - 1);
+        if rank < TOPIC_WORDS.len() {
+            TOPIC_WORDS[rank].to_string()
+        } else {
+            format!("topic{rank}")
+        }
+    }
+
+    /// Generates a person name; `index` makes names unique ("jomason-17
+    /// kagupta"-style suffixes are avoided by embedding the index into the
+    /// surname, keeping each full name a rare term).
+    pub fn person_name<R: Rng + ?Sized>(&self, rng: &mut R, index: usize) -> String {
+        let first = format!(
+            "{}{}",
+            FIRST_SYLLABLES[rng.gen_range(0..FIRST_SYLLABLES.len())],
+            LAST_SYLLABLES[rng.gen_range(0..LAST_SYLLABLES.len())]
+        );
+        let last = format!(
+            "{}{}{}",
+            FIRST_SYLLABLES[rng.gen_range(0..FIRST_SYLLABLES.len())],
+            LAST_SYLLABLES[rng.gen_range(0..LAST_SYLLABLES.len())],
+            index
+        );
+        format!("{} {}", capitalize(&first), capitalize(&last))
+    }
+
+    /// Generates a title of `len` topic words drawn from the Zipf
+    /// distribution (duplicates allowed, as in real titles).
+    pub fn title<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> String {
+        (0..len.max(1))
+            .map(|_| self.topic_word(self.topic_zipf.sample(rng)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Generates a venue/company/category name.
+    pub fn org_name<R: Rng + ?Sized>(&self, rng: &mut R, kind: &str, index: usize) -> String {
+        let word = self.topic_word(self.topic_zipf.sample(rng));
+        format!("{} {} {}", capitalize(&word), kind, index)
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_distinct_across_indices() {
+        let vocab = Vocabulary::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = vocab.person_name(&mut rng, 1);
+        let b = vocab.person_name(&mut rng, 2);
+        assert_ne!(a, b);
+        assert!(a.contains('1'));
+        assert!(b.contains('2'));
+        assert!(a.split(' ').count() == 2);
+    }
+
+    #[test]
+    fn titles_use_topic_words() {
+        let vocab = Vocabulary::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let title = vocab.title(&mut rng, 6);
+        assert_eq!(title.split(' ').count(), 6);
+        for word in title.split(' ') {
+            assert!(
+                TOPIC_WORDS.contains(&word) || word.starts_with("topic"),
+                "unexpected word {word}"
+            );
+        }
+        // zero-length request still yields one word
+        assert_eq!(vocab.title(&mut rng, 0).split(' ').count(), 1);
+    }
+
+    #[test]
+    fn top_topic_words_dominate_titles() {
+        let vocab = Vocabulary::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut count_top = 0usize;
+        let mut count_rare = 0usize;
+        for _ in 0..2000 {
+            let title = vocab.title(&mut rng, 8);
+            count_top += title.split(' ').filter(|w| *w == TOPIC_WORDS[0]).count();
+            count_rare += title
+                .split(' ')
+                .filter(|w| *w == TOPIC_WORDS[TOPIC_WORDS.len() - 1])
+                .count();
+        }
+        assert!(count_top > count_rare * 3, "top word {count_top} vs rare {count_rare}");
+    }
+
+    #[test]
+    fn org_names_and_helpers() {
+        let vocab = Vocabulary::default();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let org = vocab.org_name(&mut rng, "Conference", 3);
+        assert!(org.contains("Conference 3"));
+        assert_eq!(vocab.topic_word(0), "database");
+        assert_eq!(vocab.topic_word(150), "topic150");
+        assert_eq!(vocab.topic_word(10_000), "topic1999");
+        assert!(vocab.num_topic_words() >= 2000);
+        assert_eq!(Vocabulary::with_size(10, 1.0).num_topic_words(), TOPIC_WORDS.len());
+        assert_eq!(capitalize(""), "");
+        assert_eq!(capitalize("query"), "Query");
+    }
+}

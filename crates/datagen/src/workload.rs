@@ -1,0 +1,635 @@
+//! Query-workload generation (Sections 5.4 and 5.6 of the paper).
+//!
+//! The paper generates its evaluation workloads by executing SQL join
+//! networks of a fixed size over DBLP, selecting keywords at random from the
+//! tuples of the result set, and classifying queries by how many tuples each
+//! keyword matches ("origin size").  The ground-truth relevant answers are
+//! the results of those SQL queries.
+//!
+//! [`WorkloadGenerator`] reproduces that procedure on a synthetic
+//! [`DblpDataset`]: it plants co-authorship join networks (answer size 5:
+//! `author – writes – paper – writes – author`) or citation networks
+//! (answer size 3: `paper – cites – paper`), samples keywords from the
+//! participating tuples, and derives ground truth by running the relational
+//! [`SparseSearch`] oracle over the same keywords.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use banks_graph::NodeId;
+use banks_relational::{RowId, SparseSearch, TupleId};
+use banks_textindex::Query;
+
+use crate::dblp::DblpDataset;
+
+/// Keyword frequency category (Section 5.6's tiny/small/medium/large).
+///
+/// The paper's absolute thresholds (1–500, 1000–2000, 2500–5000, >7000
+/// tuples) assume the full 500k-paper DBLP; at configurable synthetic scale
+/// the categories are defined as fractions of the corpus size instead, with
+/// the same ordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KeywordCategory {
+    /// Matches at most 0.1% of the corpus (e.g. a specific author name).
+    Tiny,
+    /// Matches 0.1%–1% of the corpus.
+    Small,
+    /// Matches 1%–6% of the corpus.
+    Medium,
+    /// Matches more than 6% of the corpus (e.g. `database`).
+    Large,
+}
+
+impl KeywordCategory {
+    /// Inclusive origin-size range for a corpus of `corpus` keyword-bearing
+    /// tuples.
+    pub fn range(&self, corpus: usize) -> (usize, usize) {
+        let pct = |f: f64| ((corpus as f64 * f).round() as usize).max(1);
+        match self {
+            KeywordCategory::Tiny => (1, pct(0.001)),
+            KeywordCategory::Small => (pct(0.001) + 1, pct(0.01)),
+            KeywordCategory::Medium => (pct(0.01) + 1, pct(0.06)),
+            KeywordCategory::Large => (pct(0.06) + 1, usize::MAX),
+        }
+    }
+
+    /// Classifies an origin size.
+    pub fn classify(origin_size: usize, corpus: usize) -> KeywordCategory {
+        for category in [
+            KeywordCategory::Tiny,
+            KeywordCategory::Small,
+            KeywordCategory::Medium,
+            KeywordCategory::Large,
+        ] {
+            let (lo, hi) = category.range(corpus);
+            if origin_size >= lo && origin_size <= hi {
+                return category;
+            }
+        }
+        KeywordCategory::Large
+    }
+
+    /// Short label used in benchmark tables ("T", "S", "M", "L").
+    pub fn label(&self) -> &'static str {
+        match self {
+            KeywordCategory::Tiny => "T",
+            KeywordCategory::Small => "S",
+            KeywordCategory::Medium => "M",
+            KeywordCategory::Large => "L",
+        }
+    }
+}
+
+/// Whether the non-author keywords of a generated query should be drawn from
+/// the frequent or the rare end of the title vocabulary (the paper's
+/// small-origin vs large-origin query classes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OriginBias {
+    /// Prefer rare title words (small origin sets).
+    Rare,
+    /// Prefer frequent title words (large origin sets).
+    Frequent,
+    /// No preference.
+    Any,
+}
+
+/// Configuration of the workload generator.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Keywords per query (the paper sweeps 1–7).
+    pub num_keywords: usize,
+    /// Size (node count) of the planted most-relevant answer: 5 plants a
+    /// co-authorship network, 3 plants a citation pair, 1 plants a single
+    /// paper.
+    pub answer_size: usize,
+    /// Frequency bias of the title keywords.
+    pub origin_bias: OriginBias,
+    /// Whether to run the relational oracle to collect all relevant answers
+    /// (in addition to the planted one).
+    pub compute_ground_truth: bool,
+    /// Maximum number of relevant answers collected per query.
+    pub ground_truth_cap: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_queries: 20,
+            num_keywords: 2,
+            answer_size: 5,
+            origin_bias: OriginBias::Any,
+            compute_ground_truth: true,
+            ground_truth_cap: 25,
+            seed: 7,
+        }
+    }
+}
+
+/// One generated query with its ground truth.
+#[derive(Clone, Debug)]
+pub struct QueryCase {
+    /// The query keywords (phrases allowed).
+    pub keywords: Vec<String>,
+    /// Node ids of the planted answer.
+    pub planted_nodes: Vec<NodeId>,
+    /// All relevant answers (node sets), including the planted one.
+    pub relevant: Vec<Vec<NodeId>>,
+    /// Origin-set size of every keyword (how many nodes match it).
+    pub origin_sizes: Vec<usize>,
+    /// Size of the planted answer.
+    pub answer_size: usize,
+}
+
+impl QueryCase {
+    /// The query in `banks-textindex` form.
+    pub fn query(&self) -> Query {
+        Query::from_keywords(self.keywords.clone())
+    }
+
+    /// Largest keyword origin size (the quantity the paper uses to classify
+    /// small-origin vs large-origin queries).
+    pub fn max_origin_size(&self) -> usize {
+        self.origin_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest keyword origin size.
+    pub fn min_origin_size(&self) -> usize {
+        self.origin_sizes.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Number of keywords.
+    pub fn num_keywords(&self) -> usize {
+        self.keywords.len()
+    }
+}
+
+/// Generates query workloads over a DBLP-like dataset.
+pub struct WorkloadGenerator<'a> {
+    data: &'a DblpDataset,
+    rng: SmallRng,
+}
+
+impl<'a> WorkloadGenerator<'a> {
+    /// Creates a generator with its own seeded RNG.
+    pub fn new(data: &'a DblpDataset, seed: u64) -> Self {
+        WorkloadGenerator { data, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Number of keyword-bearing tuples used as the corpus size for
+    /// frequency classification (papers plus authors).
+    pub fn corpus_size(&self) -> usize {
+        let db = &self.data.dataset.db;
+        db.num_rows(self.data.paper) + db.num_rows(self.data.author)
+    }
+
+    /// Generates a workload according to `config`.
+    pub fn generate(&mut self, config: &WorkloadConfig) -> Vec<QueryCase> {
+        let mut cases = Vec::with_capacity(config.num_queries);
+        let mut attempts = 0usize;
+        while cases.len() < config.num_queries && attempts < config.num_queries * 50 {
+            attempts += 1;
+            if let Some(case) = self.generate_one(config) {
+                cases.push(case);
+            }
+        }
+        cases
+    }
+
+    /// Generates queries whose keyword frequencies follow the requested
+    /// categories (Figure 6(c)): the planted answer is a citation pair
+    /// (answer size 3) and each keyword is a title word in the requested
+    /// frequency band.
+    pub fn generate_categorised(
+        &mut self,
+        categories: &[KeywordCategory],
+        num_queries: usize,
+    ) -> Vec<QueryCase> {
+        let corpus = self.corpus_size();
+        let mut cases = Vec::with_capacity(num_queries);
+        let mut attempts = 0usize;
+        while cases.len() < num_queries && attempts < num_queries * 200 {
+            attempts += 1;
+            if let Some(case) = self.generate_categorised_one(categories, corpus) {
+                cases.push(case);
+            }
+        }
+        cases
+    }
+
+    /// The paper's Section 5.5 anomaly query: two keywords that both match a
+    /// single node with a large fan-in (two prolific authors).
+    pub fn symmetric_rare_query(&mut self, ground_truth_cap: usize) -> Option<QueryCase> {
+        let db = &self.data.dataset.db;
+        let graph = self.data.dataset.graph();
+        // Find the two authors with the largest fan-in (most papers).
+        let mut ranked: Vec<(RowId, usize)> = db
+            .rows(self.data.author)
+            .map(|row| {
+                let node = self.data.dataset.extraction.node_of(TupleId::new(self.data.author, row));
+                (row, graph.forward_indegree(node))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        if ranked.len() < 2 {
+            return None;
+        }
+        let (a, b) = (ranked[0].0, ranked[1].0);
+        let keywords =
+            vec![db.row_text(self.data.author, a).to_lowercase(), db.row_text(self.data.author, b).to_lowercase()];
+        let planted = vec![
+            self.data.dataset.extraction.node_of(TupleId::new(self.data.author, a)),
+            self.data.dataset.extraction.node_of(TupleId::new(self.data.author, b)),
+        ];
+        Some(self.finish_case(keywords, planted, 5, true, ground_truth_cap))
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn generate_one(&mut self, config: &WorkloadConfig) -> Option<QueryCase> {
+        match config.answer_size {
+            0 | 1 => self.plant_single_paper(config),
+            2 | 3 => self.plant_citation_pair_query(config),
+            _ => self.plant_coauthorship_query(config),
+        }
+    }
+
+    /// Single-tuple answers: all keywords from one paper's title.
+    fn plant_single_paper(&mut self, config: &WorkloadConfig) -> Option<QueryCase> {
+        let db = &self.data.dataset.db;
+        let paper_row = self.rng.gen_range(0..db.num_rows(self.data.paper)) as RowId;
+        let words = self.title_words(paper_row);
+        if words.len() < config.num_keywords {
+            return None;
+        }
+        let keywords = self.pick_title_keywords(&words, config.num_keywords, config.origin_bias)?;
+        let planted = vec![self
+            .data
+            .dataset
+            .extraction
+            .node_of(TupleId::new(self.data.paper, paper_row))];
+        Some(self.finish_case(keywords, planted, 1, config.compute_ground_truth, config.ground_truth_cap))
+    }
+
+    /// Answer size 3: paper A cites paper B; keywords split between the two
+    /// titles.
+    fn plant_citation_pair_query(&mut self, config: &WorkloadConfig) -> Option<QueryCase> {
+        let db = &self.data.dataset.db;
+        if db.num_rows(self.data.cites) == 0 {
+            return None;
+        }
+        let cites_row = self.rng.gen_range(0..db.num_rows(self.data.cites)) as RowId;
+        let citing = db.referenced_row(self.data.cites, cites_row, 0)?;
+        let cited = db.referenced_row(self.data.cites, cites_row, 1)?;
+        let words_a = self.title_words(citing);
+        let words_b = self.title_words(cited);
+        let half = config.num_keywords / 2;
+        let from_a = self.pick_title_keywords(&words_a, config.num_keywords - half, config.origin_bias)?;
+        let mut keywords = from_a;
+        let from_b = self.pick_title_keywords(
+            &words_b.into_iter().filter(|w| !keywords.contains(w)).collect::<Vec<_>>(),
+            half,
+            config.origin_bias,
+        )?;
+        keywords.extend(from_b);
+        let planted = vec![
+            self.data.dataset.extraction.node_of(TupleId::new(self.data.paper, citing)),
+            self.data.dataset.extraction.node_of(TupleId::new(self.data.cites, cites_row)),
+            self.data.dataset.extraction.node_of(TupleId::new(self.data.paper, cited)),
+        ];
+        Some(self.finish_case(keywords, planted, 3, config.compute_ground_truth, config.ground_truth_cap))
+    }
+
+    /// Answer size 5: a paper with two authors; keywords are the two author
+    /// names plus title words.
+    fn plant_coauthorship_query(&mut self, config: &WorkloadConfig) -> Option<QueryCase> {
+        let (paper_row, writes_a, writes_b, author_a, author_b) = self.pick_coauthored_paper()?;
+        let db = &self.data.dataset.db;
+
+        let mut keywords = Vec::with_capacity(config.num_keywords);
+        keywords.push(db.row_text(self.data.author, author_a).to_lowercase());
+        if config.num_keywords >= 2 {
+            keywords.push(db.row_text(self.data.author, author_b).to_lowercase());
+        }
+        if config.num_keywords > 2 {
+            let words = self.title_words(paper_row);
+            let extra =
+                self.pick_title_keywords(&words, config.num_keywords - 2, config.origin_bias)?;
+            keywords.extend(extra);
+        }
+        keywords.truncate(config.num_keywords);
+
+        let ext = &self.data.dataset.extraction;
+        let planted = vec![
+            ext.node_of(TupleId::new(self.data.author, author_a)),
+            ext.node_of(TupleId::new(self.data.writes, writes_a)),
+            ext.node_of(TupleId::new(self.data.paper, paper_row)),
+            ext.node_of(TupleId::new(self.data.writes, writes_b)),
+            ext.node_of(TupleId::new(self.data.author, author_b)),
+        ];
+        let planted = if config.num_keywords == 1 { planted[..2].to_vec() } else { planted };
+        Some(self.finish_case(
+            keywords,
+            planted,
+            config.answer_size,
+            config.compute_ground_truth,
+            config.ground_truth_cap,
+        ))
+    }
+
+    fn generate_categorised_one(
+        &mut self,
+        categories: &[KeywordCategory],
+        corpus: usize,
+    ) -> Option<QueryCase> {
+        let db = &self.data.dataset.db;
+        if db.num_rows(self.data.cites) == 0 {
+            return None;
+        }
+        let cites_row = self.rng.gen_range(0..db.num_rows(self.data.cites)) as RowId;
+        let citing = db.referenced_row(self.data.cites, cites_row, 0)?;
+        let cited = db.referenced_row(self.data.cites, cites_row, 1)?;
+        let mut pool: Vec<String> = self.title_words(citing);
+        pool.extend(self.title_words(cited));
+        pool.sort();
+        pool.dedup();
+
+        let mut keywords = Vec::with_capacity(categories.len());
+        for category in categories {
+            let (lo, hi) = category.range(corpus);
+            let pick = pool
+                .iter()
+                .filter(|w| !keywords.contains(*w))
+                .map(|w| (w.clone(), self.term_frequency(w)))
+                .filter(|(_, f)| *f >= lo && *f <= hi)
+                .min_by_key(|(_, f)| *f);
+            match pick {
+                Some((word, _)) => keywords.push(word),
+                None => return None, // resample another citation pair
+            }
+        }
+
+        let ext = &self.data.dataset.extraction;
+        let planted = vec![
+            ext.node_of(TupleId::new(self.data.paper, citing)),
+            ext.node_of(TupleId::new(self.data.cites, cites_row)),
+            ext.node_of(TupleId::new(self.data.paper, cited)),
+        ];
+        Some(self.finish_case(keywords, planted, 3, true, 25))
+    }
+
+    /// Picks a random paper with at least two distinct authors; returns the
+    /// paper row, the two `writes` rows and the two author rows.
+    fn pick_coauthored_paper(&mut self) -> Option<(RowId, RowId, RowId, RowId, RowId)> {
+        let db = &self.data.dataset.db;
+        let num_papers = db.num_rows(self.data.paper);
+        for _ in 0..200 {
+            let paper_row = self.rng.gen_range(0..num_papers) as RowId;
+            let writes_rows = db.referencing_rows(self.data.writes, 1, paper_row);
+            if writes_rows.len() < 2 {
+                continue;
+            }
+            let wa = writes_rows[0];
+            let wb = writes_rows[writes_rows.len() - 1];
+            let author_a = db.referenced_row(self.data.writes, wa, 0)?;
+            let author_b = db.referenced_row(self.data.writes, wb, 0)?;
+            if author_a != author_b {
+                return Some((paper_row, wa, wb, author_a, author_b));
+            }
+        }
+        None
+    }
+
+    fn title_words(&self, paper_row: RowId) -> Vec<String> {
+        let text = self.data.dataset.db.row_text(self.data.paper, paper_row).to_lowercase();
+        let mut words: Vec<String> = text.split_whitespace().map(|s| s.to_string()).collect();
+        words.sort();
+        words.dedup();
+        words
+    }
+
+    fn term_frequency(&self, term: &str) -> usize {
+        self.data
+            .dataset
+            .index()
+            .term_stats(term)
+            .map(|s| s.node_frequency)
+            .unwrap_or(0)
+    }
+
+    /// Chooses `count` distinct title words, biased toward rare or frequent
+    /// terms as requested.
+    fn pick_title_keywords(
+        &mut self,
+        words: &[String],
+        count: usize,
+        bias: OriginBias,
+    ) -> Option<Vec<String>> {
+        if words.len() < count {
+            return None;
+        }
+        let mut ranked: Vec<(String, usize)> =
+            words.iter().map(|w| (w.clone(), self.term_frequency(w))).collect();
+        match bias {
+            OriginBias::Rare => ranked.sort_by_key(|(_, f)| *f),
+            OriginBias::Frequent => ranked.sort_by(|a, b| b.1.cmp(&a.1)),
+            OriginBias::Any => {
+                // deterministic shuffle via the generator's RNG
+                for i in (1..ranked.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    ranked.swap(i, j);
+                }
+            }
+        }
+        Some(ranked.into_iter().take(count).map(|(w, _)| w).collect())
+    }
+
+    /// Computes origin sizes and ground truth, producing the final case.
+    fn finish_case(
+        &mut self,
+        keywords: Vec<String>,
+        planted_nodes: Vec<NodeId>,
+        answer_size: usize,
+        compute_ground_truth: bool,
+        ground_truth_cap: usize,
+    ) -> QueryCase {
+        let graph = self.data.dataset.graph();
+        let index = self.data.dataset.index();
+        let origin_sizes: Vec<usize> =
+            keywords.iter().map(|k| index.matching_nodes(graph, k).len()).collect();
+
+        // Relevant node sets are stored sorted so that the same answer
+        // reached from the planted tree and from the relational oracle is
+        // recognised as one relevant result.
+        let mut planted_sorted = planted_nodes.clone();
+        planted_sorted.sort_unstable();
+        let mut relevant: Vec<Vec<NodeId>> = vec![planted_sorted];
+        if compute_ground_truth {
+            let keyword_refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+            let mut sparse = SparseSearch::with_max_size(answer_size.max(1));
+            sparse.top_k = ground_truth_cap;
+            let oracle = sparse.run(&self.data.dataset.db, &keyword_refs);
+            for result in oracle.results {
+                let mut nodes: Vec<NodeId> = result
+                    .distinct_tuples()
+                    .into_iter()
+                    .map(|t| self.data.dataset.extraction.node_of(t))
+                    .collect();
+                nodes.sort_unstable();
+                if !relevant.contains(&nodes) {
+                    relevant.push(nodes);
+                }
+            }
+            relevant.truncate(ground_truth_cap.max(1));
+        }
+
+        QueryCase { keywords, planted_nodes, relevant, origin_sizes, answer_size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::DblpConfig;
+
+    fn dataset() -> DblpDataset {
+        DblpDataset::generate(DblpConfig::tiny())
+    }
+
+    #[test]
+    fn category_ranges_partition_the_axis() {
+        let corpus = 10_000;
+        let (t_lo, t_hi) = KeywordCategory::Tiny.range(corpus);
+        let (s_lo, s_hi) = KeywordCategory::Small.range(corpus);
+        let (m_lo, m_hi) = KeywordCategory::Medium.range(corpus);
+        let (l_lo, _) = KeywordCategory::Large.range(corpus);
+        assert_eq!(t_lo, 1);
+        assert_eq!(t_hi + 1, s_lo);
+        assert_eq!(s_hi + 1, m_lo);
+        assert_eq!(m_hi + 1, l_lo);
+        assert_eq!(KeywordCategory::classify(1, corpus), KeywordCategory::Tiny);
+        assert_eq!(KeywordCategory::classify(50, corpus), KeywordCategory::Small);
+        assert_eq!(KeywordCategory::classify(300, corpus), KeywordCategory::Medium);
+        assert_eq!(KeywordCategory::classify(5000, corpus), KeywordCategory::Large);
+        assert_eq!(KeywordCategory::Tiny.label(), "T");
+        assert_eq!(KeywordCategory::Large.label(), "L");
+    }
+
+    #[test]
+    fn generates_coauthorship_queries_with_ground_truth() {
+        let data = dataset();
+        let mut generator = WorkloadGenerator::new(&data, 1);
+        let config = WorkloadConfig { num_queries: 5, num_keywords: 2, ..Default::default() };
+        let cases = generator.generate(&config);
+        assert_eq!(cases.len(), 5);
+        for case in &cases {
+            assert_eq!(case.num_keywords(), 2);
+            assert_eq!(case.planted_nodes.len(), 5);
+            assert!(!case.relevant.is_empty());
+            // the planted answer is always among the relevant sets
+            let mut planted_sorted = case.planted_nodes.clone();
+            planted_sorted.sort_unstable();
+            assert!(case.relevant.contains(&planted_sorted));
+            // author-name keywords must match at least one node
+            assert!(case.origin_sizes.iter().all(|s| *s >= 1));
+            assert!(case.max_origin_size() >= case.min_origin_size());
+            assert_eq!(case.query().len(), 2);
+        }
+    }
+
+    #[test]
+    fn keyword_count_is_respected_up_to_seven() {
+        let data = dataset();
+        let mut generator = WorkloadGenerator::new(&data, 2);
+        for n in 1..=7 {
+            let config = WorkloadConfig {
+                num_queries: 2,
+                num_keywords: n,
+                compute_ground_truth: false,
+                ..Default::default()
+            };
+            let cases = generator.generate(&config);
+            assert!(!cases.is_empty(), "no cases for {n} keywords");
+            for case in cases {
+                assert_eq!(case.num_keywords(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn origin_bias_changes_keyword_frequencies() {
+        let data = dataset();
+        let mut generator = WorkloadGenerator::new(&data, 3);
+        let rare = generator.generate(&WorkloadConfig {
+            num_queries: 10,
+            num_keywords: 4,
+            origin_bias: OriginBias::Rare,
+            compute_ground_truth: false,
+            ..Default::default()
+        });
+        let frequent = generator.generate(&WorkloadConfig {
+            num_queries: 10,
+            num_keywords: 4,
+            origin_bias: OriginBias::Frequent,
+            compute_ground_truth: false,
+            ..Default::default()
+        });
+        let avg = |cases: &[QueryCase]| {
+            cases.iter().map(|c| c.max_origin_size()).sum::<usize>() as f64 / cases.len() as f64
+        };
+        assert!(
+            avg(&frequent) > avg(&rare),
+            "frequent bias {} should exceed rare bias {}",
+            avg(&frequent),
+            avg(&rare)
+        );
+    }
+
+    #[test]
+    fn citation_pair_workload_has_answer_size_three() {
+        let data = dataset();
+        let mut generator = WorkloadGenerator::new(&data, 4);
+        let cases = generator.generate(&WorkloadConfig {
+            num_queries: 3,
+            num_keywords: 4,
+            answer_size: 3,
+            compute_ground_truth: false,
+            ..Default::default()
+        });
+        assert!(!cases.is_empty());
+        for case in cases {
+            assert_eq!(case.planted_nodes.len(), 3);
+            assert_eq!(case.num_keywords(), 4);
+        }
+    }
+
+    #[test]
+    fn categorised_queries_fall_in_requested_bands() {
+        let data = dataset();
+        let mut generator = WorkloadGenerator::new(&data, 5);
+        let corpus = generator.corpus_size();
+        let categories = [KeywordCategory::Tiny, KeywordCategory::Large];
+        let cases = generator.generate_categorised(&categories, 3);
+        // tiny datasets may not always satisfy every band, but whenever a
+        // case is produced it must respect the requested categories
+        for case in &cases {
+            assert_eq!(case.num_keywords(), 2);
+            for (size, category) in case.origin_sizes.iter().zip(categories.iter()) {
+                assert_eq!(KeywordCategory::classify(*size, corpus), *category);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_rare_query_targets_prolific_authors() {
+        let data = dataset();
+        let mut generator = WorkloadGenerator::new(&data, 6);
+        let case = generator.symmetric_rare_query(10).expect("query");
+        assert_eq!(case.num_keywords(), 2);
+        // both keywords are author names matching very few nodes
+        assert!(case.max_origin_size() <= 3);
+    }
+}

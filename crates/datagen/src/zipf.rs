@@ -1,0 +1,123 @@
+//! A small Zipf (power-law) sampler.
+//!
+//! Keyword frequencies in DBLP/IMDB titles are heavily skewed: a handful of
+//! words (`database`, `system`, `john`) match tens of thousands of tuples
+//! while most words match a few.  The generators use this sampler to draw
+//! title words, author productivity, citation targets and cast sizes so the
+//! synthetic graphs show the same skew.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k + 1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most probable.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[rank] - self.cumulative[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_are_more_frequent() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[50]);
+        assert!(counts.iter().sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let zipf = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|k| zipf.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(zipf.pmf(99), 0.0);
+        assert_eq!(zipf.len(), 50);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((zipf.pmf(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let zipf = Zipf::new(30, 1.0);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..20).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_empty_distribution() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

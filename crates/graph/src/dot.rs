@@ -1,0 +1,110 @@
+//! Graphviz DOT export, mainly for debugging small example graphs and for
+//! rendering answer trees in documentation.
+
+use std::fmt::Write as _;
+
+use crate::graph::DataGraph;
+use crate::ids::NodeId;
+use crate::node::EdgeKind;
+
+/// Options controlling the DOT rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct DotOptions {
+    /// Include derived backward edges (dashed) in the output.
+    pub include_backward_edges: bool,
+    /// Include edge weights as labels.
+    pub include_weights: bool,
+    /// Maximum number of nodes rendered (protects against dumping a
+    /// million-node graph by accident).  `0` means unlimited.
+    pub max_nodes: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { include_backward_edges: false, include_weights: true, max_nodes: 10_000 }
+    }
+}
+
+/// Renders the whole graph (or its first `max_nodes` nodes) as a DOT digraph.
+pub fn to_dot(graph: &DataGraph, options: DotOptions) -> String {
+    let limit = if options.max_nodes == 0 { graph.num_nodes() } else { options.max_nodes };
+    let node_included = |n: NodeId| n.index() < limit;
+    let mut out = String::new();
+    out.push_str("digraph banks {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for u in graph.nodes().take(limit) {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\"];",
+            u.0,
+            escape(graph.node_kind_name(u)),
+            escape(graph.node_label(u))
+        );
+    }
+    for u in graph.nodes().take(limit) {
+        for e in graph.out_edges(u) {
+            if !node_included(e.to) {
+                continue;
+            }
+            if e.kind == EdgeKind::Backward && !options.include_backward_edges {
+                continue;
+            }
+            let style = if e.kind == EdgeKind::Backward { ", style=dashed" } else { "" };
+            if options.include_weights {
+                let _ = writeln!(out, "  n{} -> n{} [label=\"{:.2}\"{}];", u.0, e.to.0, e.weight, style);
+            } else {
+                let _ = writeln!(out, "  n{} -> n{} [{}];", u.0, e.to.0, style.trim_start_matches(", "));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tiny() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("author", "Gray \"Jim\"");
+        let p = b.add_node("paper", "Transactions");
+        b.add_edge(p, a).unwrap();
+        b.build_default()
+    }
+
+    #[test]
+    fn renders_nodes_and_forward_edges() {
+        let dot = to_dot(&tiny(), DotOptions::default());
+        assert!(dot.starts_with("digraph banks {"));
+        assert!(dot.contains("n0 [label=\"author"));
+        assert!(dot.contains("n1 -> n0"));
+        // backward edge excluded by default
+        assert!(!dot.contains("style=dashed"));
+        // quotes escaped
+        assert!(dot.contains("\\\"Jim\\\""));
+    }
+
+    #[test]
+    fn includes_backward_edges_when_asked() {
+        let dot = to_dot(
+            &tiny(),
+            DotOptions { include_backward_edges: true, include_weights: false, max_nodes: 0 },
+        );
+        assert!(dot.contains("style=dashed"));
+        assert!(!dot.contains("label=\"1.00\""));
+    }
+
+    #[test]
+    fn respects_node_limit() {
+        let dot = to_dot(&tiny(), DotOptions { max_nodes: 1, ..DotOptions::default() });
+        assert!(dot.contains("n0 ["));
+        assert!(!dot.contains("n1 ["));
+        assert!(!dot.contains("n1 -> n0"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors produced while building, loading or querying a data graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referenced by an edge or a query does not exist.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge was added with a non-positive or non-finite weight.
+    InvalidEdgeWeight {
+        /// Source of the edge.
+        from: NodeId,
+        /// Target of the edge.
+        to: NodeId,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A self-loop was added where the builder forbids them.
+    SelfLoop {
+        /// The node that would loop onto itself.
+        node: NodeId,
+    },
+    /// The serialised form could not be parsed.
+    ParseError {
+        /// Line number (1-based) at which parsing failed.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Too many distinct node kinds were registered (kind ids are u16).
+    TooManyKinds,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, len } => {
+                write!(f, "node {node} is out of bounds for a graph with {len} nodes")
+            }
+            GraphError::InvalidEdgeWeight { from, to, weight } => {
+                write!(f, "edge {from} -> {to} has invalid weight {weight}")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed by the builder")
+            }
+            GraphError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::TooManyKinds => {
+                write!(f, "more than {} distinct node kinds registered", u16::MAX)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = GraphError::NodeOutOfBounds { node: NodeId(7), len: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::InvalidEdgeWeight { from: NodeId(0), to: NodeId(1), weight: -1.0 };
+        assert!(e.to_string().contains("-1"));
+
+        let e = GraphError::SelfLoop { node: NodeId(2) };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::ParseError { line: 12, message: "bad token".into() };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("bad token"));
+
+        let e = GraphError::TooManyKinds;
+        assert!(e.to_string().contains("kinds"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GraphError::TooManyKinds);
+    }
+}

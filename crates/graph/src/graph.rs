@@ -1,0 +1,349 @@
+//! The immutable, queryable data graph.
+
+use crate::csr::CsrAdjacency;
+use crate::error::GraphError;
+use crate::ids::{KindId, NodeId};
+use crate::node::{EdgeKind, NodeMeta};
+use crate::weights::ExpansionPolicy;
+use crate::Result;
+
+/// A single directed edge of the *expanded* search graph, as returned by the
+/// adjacency iterators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeRef {
+    /// Tail of the edge.
+    pub from: NodeId,
+    /// Head of the edge.
+    pub to: NodeId,
+    /// Traversal weight of the edge (lower is better / closer).
+    pub weight: f64,
+    /// Whether this is an original forward edge or a derived backward edge.
+    pub kind: EdgeKind,
+}
+
+/// Immutable weighted directed graph over which the BANKS search algorithms
+/// run.
+///
+/// The graph stores the *expanded* edge set: every original forward edge
+/// `u -> v` and, if the [`ExpansionPolicy`] asks for it, the derived backward
+/// edge `v -> u` whose weight penalises hub nodes.  Both the out-adjacency
+/// and the in-adjacency are materialised in CSR form, because the backward
+/// expanding iterators traverse edges "against the arrow" while the outgoing
+/// iterator follows them.
+#[derive(Clone, Debug)]
+pub struct DataGraph {
+    kinds: Vec<String>,
+    meta: Vec<NodeMeta>,
+    out: CsrAdjacency,
+    inc: CsrAdjacency,
+    forward_indegree: Vec<u32>,
+    forward_outdegree: Vec<u32>,
+    num_original_edges: usize,
+    policy: ExpansionPolicy,
+}
+
+impl DataGraph {
+    /// Assembles a graph from already-validated parts.  Used by
+    /// [`crate::GraphBuilder::build`]; prefer the builder in user code.
+    pub fn from_parts(
+        kinds: Vec<String>,
+        meta: Vec<NodeMeta>,
+        forward_edges: Vec<(NodeId, NodeId, f64)>,
+        policy: ExpansionPolicy,
+    ) -> Self {
+        let n = meta.len();
+        let mut forward_indegree = vec![0u32; n];
+        let mut forward_outdegree = vec![0u32; n];
+        for (u, v, _) in &forward_edges {
+            forward_outdegree[u.index()] += 1;
+            forward_indegree[v.index()] += 1;
+        }
+
+        let expanded_len = if policy.add_backward_edges {
+            forward_edges.len() * 2
+        } else {
+            forward_edges.len()
+        };
+        let mut expanded: Vec<(NodeId, NodeId, f64, EdgeKind)> = Vec::with_capacity(expanded_len);
+        for (u, v, w) in &forward_edges {
+            expanded.push((*u, *v, *w, EdgeKind::Forward));
+        }
+        if policy.add_backward_edges {
+            for (u, v, w) in &forward_edges {
+                let bw = policy.backward_weight.backward_weight(*w, forward_indegree[v.index()] as usize);
+                expanded.push((*v, *u, bw, EdgeKind::Backward));
+            }
+        }
+
+        let out = CsrAdjacency::from_edges(n, &expanded);
+        let reversed: Vec<(NodeId, NodeId, f64, EdgeKind)> =
+            expanded.iter().map(|(u, v, w, k)| (*v, *u, *w, *k)).collect();
+        let inc = CsrAdjacency::from_edges(n, &reversed);
+
+        DataGraph {
+            kinds,
+            meta,
+            out,
+            inc,
+            forward_indegree,
+            forward_outdegree,
+            num_original_edges: forward_edges.len(),
+            policy,
+        }
+    }
+
+    // ----------------------------------------------------------------- sizes
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Number of *original* forward edges the graph was built from.
+    #[inline]
+    pub fn num_original_edges(&self) -> usize {
+        self.num_original_edges
+    }
+
+    /// Number of directed edges in the expanded search graph (forward +
+    /// backward).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// The policy used to expand the graph.
+    #[inline]
+    pub fn policy(&self) -> ExpansionPolicy {
+        self.policy
+    }
+
+    /// Returns true when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    // ------------------------------------------------------------- node data
+
+    /// Validates a node id.
+    #[inline]
+    pub fn check_node(&self, node: NodeId) -> Result<()> {
+        if node.index() >= self.num_nodes() {
+            Err(GraphError::NodeOutOfBounds { node, len: self.num_nodes() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::from_index)
+    }
+
+    /// Metadata of a node.
+    #[inline]
+    pub fn node_meta(&self, node: NodeId) -> &NodeMeta {
+        &self.meta[node.index()]
+    }
+
+    /// Kind id of a node.
+    #[inline]
+    pub fn node_kind(&self, node: NodeId) -> KindId {
+        self.meta[node.index()].kind
+    }
+
+    /// Kind name of a node (e.g. `"paper"`).
+    #[inline]
+    pub fn node_kind_name(&self, node: NodeId) -> &str {
+        &self.kinds[self.meta[node.index()].kind.index()]
+    }
+
+    /// Display label of a node.
+    #[inline]
+    pub fn node_label(&self, node: NodeId) -> &str {
+        &self.meta[node.index()].label
+    }
+
+    /// Number of distinct node kinds.
+    #[inline]
+    pub fn num_kinds(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Name of a kind.
+    #[inline]
+    pub fn kind_name(&self, kind: KindId) -> &str {
+        &self.kinds[kind.index()]
+    }
+
+    /// Looks up a kind id by name.
+    pub fn kind_by_name(&self, name: &str) -> Option<KindId> {
+        self.kinds.iter().position(|k| k == name).map(KindId::from_index)
+    }
+
+    /// All node ids belonging to a given kind.  Linear scan — intended for
+    /// index construction and tests, not hot paths.
+    pub fn nodes_of_kind(&self, kind: KindId) -> Vec<NodeId> {
+        self.nodes().filter(|n| self.node_kind(*n) == kind).collect()
+    }
+
+    // ------------------------------------------------------------- adjacency
+
+    /// Outgoing edges of `u` in the expanded graph.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out
+            .neighbours(u)
+            .map(move |(to, weight, kind)| EdgeRef { from: u, to, weight, kind })
+    }
+
+    /// Incoming edges of `v` in the expanded graph: every returned
+    /// [`EdgeRef`] has `e.to == v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.inc
+            .neighbours(v)
+            .map(move |(from, weight, kind)| EdgeRef { from, to: v, weight, kind })
+    }
+
+    /// Out-degree in the expanded graph.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out.degree(u)
+    }
+
+    /// In-degree in the expanded graph.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inc.degree(v)
+    }
+
+    /// In-degree counting only original forward edges (this is the quantity
+    /// used for backward-edge weighting and for indegree prestige).
+    #[inline]
+    pub fn forward_indegree(&self, v: NodeId) -> usize {
+        self.forward_indegree[v.index()] as usize
+    }
+
+    /// Out-degree counting only original forward edges.
+    #[inline]
+    pub fn forward_outdegree(&self, u: NodeId) -> usize {
+        self.forward_outdegree[u.index()] as usize
+    }
+
+    /// Whether a directed edge `u -> v` exists in the expanded graph.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out.has_edge(u, v)
+    }
+
+    /// Weight of the cheapest directed edge `u -> v` in the expanded graph.
+    #[inline]
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.out.edge_weight(u, v)
+    }
+
+    /// Weight of the cheapest *forward* edge `u -> v`.
+    pub fn forward_edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.out_edges(u)
+            .filter(|e| e.to == v && e.kind == EdgeKind::Forward)
+            .map(|e| e.weight)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.min(w))))
+    }
+
+    /// Approximate heap footprint of the adjacency structures in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.out.memory_bytes()
+            + self.inc.memory_bytes()
+            + self.forward_indegree.len() * 4
+            + self.forward_outdegree.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, GraphBuilder};
+
+    /// The in- and out-adjacency must be exact mirrors of each other.
+    #[test]
+    fn in_and_out_adjacency_are_consistent() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 2), (2, 4)]);
+        for u in g.nodes() {
+            for e in g.out_edges(u) {
+                assert!(
+                    g.in_edges(e.to).any(|b| b.from == u && b.weight == e.weight && b.kind == e.kind),
+                    "out edge {e:?} missing from in-adjacency"
+                );
+            }
+            for e in g.in_edges(u) {
+                assert!(
+                    g.out_edges(e.from).any(|b| b.to == u && b.weight == e.weight && b.kind == e.kind),
+                    "in edge {e:?} missing from out-adjacency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_match_paper_expansion() {
+        // star: 3 papers -> 1 conference
+        let g = graph_from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+        // expanded: forward in-degree of node 0 is 3, and it also has 3
+        // outgoing backward edges.
+        assert_eq!(g.forward_indegree(NodeId(0)), 3);
+        assert_eq!(g.in_degree(NodeId(0)), 3);
+        assert_eq!(g.out_degree(NodeId(0)), 3);
+        assert_eq!(g.out_degree(NodeId(1)), 1);
+        assert_eq!(g.in_degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn kind_lookup_and_metadata() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("author", "Gray");
+        let p = b.add_node("paper", "Transactions");
+        b.add_edge(p, a).unwrap();
+        let g = b.build_default();
+        assert_eq!(g.num_kinds(), 2);
+        assert_eq!(g.node_kind_name(a), "author");
+        assert_eq!(g.node_label(p), "Transactions");
+        let k = g.kind_by_name("paper").unwrap();
+        assert_eq!(g.kind_name(k), "paper");
+        assert_eq!(g.nodes_of_kind(k), vec![p]);
+        assert!(g.kind_by_name("movie").is_none());
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        assert!(g.check_node(NodeId(1)).is_ok());
+        assert!(g.check_node(NodeId(2)).is_err());
+    }
+
+    #[test]
+    fn forward_edge_weight_ignores_backward_edges() {
+        let g = graph_from_edges(3, &[(0, 1), (2, 1)]);
+        assert_eq!(g.forward_edge_weight(NodeId(0), NodeId(1)), Some(1.0));
+        // 1 -> 0 exists only as a backward edge
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.forward_edge_weight(NodeId(1), NodeId(0)), None);
+    }
+
+    #[test]
+    fn empty_graph_is_empty() {
+        let g = GraphBuilder::new().build_default();
+        assert!(g.is_empty());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_directed_edges(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_positive_for_nonempty() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.memory_bytes() > 0);
+    }
+}

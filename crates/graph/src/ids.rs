@@ -1,0 +1,177 @@
+//! Strongly-typed identifiers for nodes, edges and node kinds.
+//!
+//! All identifiers are thin wrappers around `u32` so that adjacency arrays
+//! stay compact (the paper stresses a `16·|V| + 8·|E|` byte footprint for
+//! graphs with tens of millions of elements).  Conversions to and from
+//! `usize` are explicit to avoid silent truncation.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::DataGraph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge in the *expanded* graph (forward and
+/// backward edges both receive ids).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// Identifier of a node kind (e.g. the relation name the tuple came from:
+/// `"author"`, `"paper"`, `"writes"`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KindId(pub u16);
+
+impl NodeId {
+    /// Largest representable node id, used as a sentinel in a few dense maps.
+    pub const MAX: NodeId = NodeId(u32::MAX);
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "node index {index} overflows u32");
+        NodeId(index as u32)
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an edge id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "edge index {index} overflows u32");
+        EdgeId(index as u32)
+    }
+}
+
+impl KindId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a kind id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u16`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "kind index {index} overflows u16");
+        KindId(index as u16)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for KindId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for KindId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let id = EdgeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, EdgeId(7));
+    }
+
+    #[test]
+    fn kind_id_roundtrip() {
+        let id = KindId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id, KindId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u16")]
+    fn kind_id_overflow_panics() {
+        let _ = KindId::from_index(70_000);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(5) > EdgeId(4));
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", NodeId(9)), "n9");
+        assert_eq!(format!("{:?}", EdgeId(9)), "e9");
+        assert_eq!(format!("{:?}", KindId(9)), "k9");
+        assert_eq!(format!("{}", NodeId(9)), "9");
+    }
+}

@@ -1,0 +1,77 @@
+//! Node metadata and edge classification.
+
+use crate::ids::KindId;
+
+/// Classification of a directed edge in the expanded search graph.
+///
+/// The paper distinguishes *forward* edges — the original relationship edges
+/// whose weights come from the schema (default 1) — from *backward* edges,
+/// which are materialised in the reverse direction of every forward edge with
+/// a weight inflated by `log2(1 + indegree)` of the hub node
+/// (Section 2.3).  Search algorithms traverse both, but ranking, display and
+/// edge-type constraints need to know which is which.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeKind {
+    /// An original edge present in the source database (foreign key,
+    /// containment, hyperlink, ...).
+    Forward,
+    /// A derived reverse edge added so that answer trees may connect nodes
+    /// that only share ancestors (e.g. two papers co-cited by a third).
+    Backward,
+}
+
+impl EdgeKind {
+    /// Returns `true` for [`EdgeKind::Forward`].
+    #[inline]
+    pub fn is_forward(self) -> bool {
+        matches!(self, EdgeKind::Forward)
+    }
+
+    /// Returns `true` for [`EdgeKind::Backward`].
+    #[inline]
+    pub fn is_backward(self) -> bool {
+        matches!(self, EdgeKind::Backward)
+    }
+}
+
+/// Per-node metadata stored inside the graph.
+///
+/// Deliberately tiny: the data graph is "really only an index"
+/// (paper Section 5.1).  Attribute text is indexed by `banks-textindex`
+/// and the authoritative tuples live in `banks-relational` (or whatever the
+/// source of the graph was); the graph keeps just enough to identify and
+/// display a node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeMeta {
+    /// Which kind (relation / element type) the node belongs to.
+    pub kind: KindId,
+    /// Short human-readable label, e.g. an author name or paper title.
+    pub label: String,
+}
+
+impl NodeMeta {
+    /// Creates node metadata.
+    pub fn new(kind: KindId, label: impl Into<String>) -> Self {
+        NodeMeta { kind, label: label.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_kind_predicates() {
+        assert!(EdgeKind::Forward.is_forward());
+        assert!(!EdgeKind::Forward.is_backward());
+        assert!(EdgeKind::Backward.is_backward());
+        assert!(!EdgeKind::Backward.is_forward());
+    }
+
+    #[test]
+    fn node_meta_construction() {
+        let m = NodeMeta::new(KindId(2), "Gray");
+        assert_eq!(m.kind, KindId(2));
+        assert_eq!(m.label, "Gray");
+    }
+}

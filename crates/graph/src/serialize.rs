@@ -1,0 +1,210 @@
+//! Dependency-free text serialisation of data graphs.
+//!
+//! The format is a simple line-oriented listing so that generated benchmark
+//! graphs can be cached on disk and diffed by humans:
+//!
+//! ```text
+//! banks-graph v1
+//! kinds 3
+//! k author
+//! k paper
+//! k writes
+//! nodes 2
+//! n 0 Gray
+//! n 1 Transactions
+//! edges 1
+//! e 1 0 1
+//! ```
+//!
+//! Only the original forward edges are serialised; backward edges are
+//! re-derived on load using the expansion policy supplied by the caller.
+
+use std::fmt::Write as _;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::DataGraph;
+use crate::ids::{KindId, NodeId};
+use crate::node::EdgeKind;
+use crate::weights::ExpansionPolicy;
+use crate::Result;
+
+/// Magic first line of the format.
+const HEADER: &str = "banks-graph v1";
+
+/// Serialises a graph to the text format.
+pub fn to_text(graph: &DataGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "kinds {}", graph.num_kinds());
+    for i in 0..graph.num_kinds() {
+        let _ = writeln!(out, "k {}", graph.kind_name(KindId::from_index(i)));
+    }
+    let _ = writeln!(out, "nodes {}", graph.num_nodes());
+    for u in graph.nodes() {
+        let _ = writeln!(
+            out,
+            "n {} {}",
+            graph.node_kind(u).index(),
+            graph.node_label(u).replace('\n', " ")
+        );
+    }
+    let _ = writeln!(out, "edges {}", graph.num_original_edges());
+    for u in graph.nodes() {
+        for e in graph.out_edges(u) {
+            if e.kind == EdgeKind::Forward {
+                let _ = writeln!(out, "e {} {} {}", e.from.0, e.to.0, e.weight);
+            }
+        }
+    }
+    out
+}
+
+/// Parses the text format back into a graph, re-deriving backward edges with
+/// the given policy.
+pub fn from_text(text: &str, policy: ExpansionPolicy) -> Result<DataGraph> {
+    let mut lines = text.lines().enumerate();
+    let mut expect = |what: &str| -> Result<(usize, String)> {
+        match lines.next() {
+            Some((idx, line)) => Ok((idx + 1, line.to_string())),
+            None => Err(GraphError::ParseError {
+                line: 0,
+                message: format!("unexpected end of input, expected {what}"),
+            }),
+        }
+    };
+
+    let (line_no, header) = expect("header")?;
+    if header.trim() != HEADER {
+        return Err(GraphError::ParseError { line: line_no, message: format!("bad header {header:?}") });
+    }
+
+    let (line_no, kinds_line) = expect("kinds count")?;
+    let num_kinds = parse_count(&kinds_line, "kinds", line_no)?;
+    let mut builder = GraphBuilder::new();
+    let mut kind_ids = Vec::with_capacity(num_kinds);
+    for _ in 0..num_kinds {
+        let (line_no, line) = expect("kind")?;
+        let name = line
+            .strip_prefix("k ")
+            .ok_or_else(|| GraphError::ParseError { line: line_no, message: "expected `k <name>`".into() })?;
+        kind_ids.push(builder.kind(name));
+    }
+
+    let (line_no, nodes_line) = expect("nodes count")?;
+    let num_nodes = parse_count(&nodes_line, "nodes", line_no)?;
+    for _ in 0..num_nodes {
+        let (line_no, line) = expect("node")?;
+        let rest = line
+            .strip_prefix("n ")
+            .ok_or_else(|| GraphError::ParseError { line: line_no, message: "expected `n <kind> <label>`".into() })?;
+        let (kind_str, label) = rest.split_once(' ').unwrap_or((rest, ""));
+        let kind_idx: usize = kind_str.parse().map_err(|_| GraphError::ParseError {
+            line: line_no,
+            message: format!("bad kind index {kind_str:?}"),
+        })?;
+        let kind = *kind_ids.get(kind_idx).ok_or(GraphError::ParseError {
+            line: line_no,
+            message: format!("kind index {kind_idx} out of range"),
+        })?;
+        builder.add_node_with_kind(kind, label);
+    }
+
+    let (line_no, edges_line) = expect("edges count")?;
+    let num_edges = parse_count(&edges_line, "edges", line_no)?;
+    for _ in 0..num_edges {
+        let (line_no, line) = expect("edge")?;
+        let rest = line
+            .strip_prefix("e ")
+            .ok_or_else(|| GraphError::ParseError { line: line_no, message: "expected `e <from> <to> <w>`".into() })?;
+        let mut parts = rest.split_whitespace();
+        let from: u32 = parse_field(parts.next(), line_no, "from")?;
+        let to: u32 = parse_field(parts.next(), line_no, "to")?;
+        let weight: f64 = parse_field(parts.next(), line_no, "weight")?;
+        builder
+            .add_edge_weighted(NodeId(from), NodeId(to), weight)
+            .map_err(|e| GraphError::ParseError { line: line_no, message: e.to_string() })?;
+    }
+
+    Ok(builder.build(policy))
+}
+
+fn parse_count(line: &str, keyword: &str, line_no: usize) -> Result<usize> {
+    let rest = line.strip_prefix(keyword).map(str::trim).ok_or_else(|| GraphError::ParseError {
+        line: line_no,
+        message: format!("expected `{keyword} <count>`, got {line:?}"),
+    })?;
+    rest.parse().map_err(|_| GraphError::ParseError {
+        line: line_no,
+        message: format!("bad count in {line:?}"),
+    })
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, line_no: usize, what: &str) -> Result<T> {
+    field
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| GraphError::ParseError { line: line_no, message: format!("missing or bad {what}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("author", "Gray");
+        let p = b.add_node("paper", "Transactions and Recovery");
+        let w = b.add_node("writes", "w0");
+        b.add_edge_weighted(w, a, 1.0).unwrap();
+        b.add_edge_weighted(w, p, 2.0).unwrap();
+        b.build_default()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let text = to_text(&g);
+        let g2 = from_text(&text, ExpansionPolicy::paper_default()).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_original_edges(), g.num_original_edges());
+        assert_eq!(g2.num_directed_edges(), g.num_directed_edges());
+        for u in g.nodes() {
+            assert_eq!(g.node_label(u), g2.node_label(u));
+            assert_eq!(g.node_kind_name(u), g2.node_kind_name(u));
+            let mut e1: Vec<_> = g.out_edges(u).map(|e| (e.to, e.kind)).collect();
+            let mut e2: Vec<_> = g2.out_edges(u).map(|e| (e.to, e.kind)).collect();
+            e1.sort_by_key(|(t, k)| (t.0, k.is_backward()));
+            e2.sort_by_key(|(t, k)| (t.0, k.is_backward()));
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = from_text("nonsense\n", ExpansionPolicy::paper_default()).unwrap_err();
+        assert!(matches!(err, GraphError::ParseError { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let g = sample();
+        let text = to_text(&g);
+        let truncated: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        assert!(from_text(&truncated, ExpansionPolicy::paper_default()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_edge_target() {
+        let text = "banks-graph v1\nkinds 1\nk node\nnodes 1\nn 0 a\nedges 1\ne 0 7 1\n";
+        let err = from_text(text, ExpansionPolicy::paper_default()).unwrap_err();
+        assert!(matches!(err, GraphError::ParseError { .. }));
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let g = sample();
+        let g2 = from_text(&to_text(&g), ExpansionPolicy::paper_default()).unwrap();
+        assert_eq!(g2.node_label(NodeId(1)), "Transactions and Recovery");
+    }
+}

@@ -1,0 +1,175 @@
+//! Graph statistics used by the dataset generators and the benchmark
+//! harness to report the shape of the synthetic graphs next to the paper's
+//! dataset sizes (DBLP ~2M nodes / 9M edges, US-Patents ~4M / 15M).
+
+use crate::graph::DataGraph;
+use crate::ids::KindId;
+
+/// Summary statistics of a [`DataGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of original forward edges.
+    pub num_forward_edges: usize,
+    /// Number of directed edges in the expanded graph.
+    pub num_directed_edges: usize,
+    /// Number of node kinds.
+    pub num_kinds: usize,
+    /// Per-kind node counts, indexed by kind id.
+    pub nodes_per_kind: Vec<usize>,
+    /// Maximum forward in-degree over all nodes (hubs).
+    pub max_forward_indegree: usize,
+    /// Mean forward in-degree.
+    pub mean_forward_indegree: f64,
+    /// Maximum out-degree in the expanded graph.
+    pub max_out_degree: usize,
+    /// Approximate memory footprint of the adjacency structures in bytes.
+    pub memory_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &DataGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut nodes_per_kind = vec![0usize; graph.num_kinds()];
+        let mut max_forward_indegree = 0usize;
+        let mut sum_forward_indegree = 0usize;
+        let mut max_out_degree = 0usize;
+        for u in graph.nodes() {
+            nodes_per_kind[graph.node_kind(u).index()] += 1;
+            let fi = graph.forward_indegree(u);
+            max_forward_indegree = max_forward_indegree.max(fi);
+            sum_forward_indegree += fi;
+            max_out_degree = max_out_degree.max(graph.out_degree(u));
+        }
+        GraphStats {
+            num_nodes: n,
+            num_forward_edges: graph.num_original_edges(),
+            num_directed_edges: graph.num_directed_edges(),
+            num_kinds: graph.num_kinds(),
+            nodes_per_kind,
+            max_forward_indegree,
+            mean_forward_indegree: if n == 0 { 0.0 } else { sum_forward_indegree as f64 / n as f64 },
+            max_out_degree,
+            memory_bytes: graph.memory_bytes(),
+        }
+    }
+
+    /// Count of nodes of a specific kind.
+    pub fn nodes_of_kind(&self, kind: KindId) -> usize {
+        self.nodes_per_kind.get(kind.index()).copied().unwrap_or(0)
+    }
+
+    /// Renders a short human-readable report (used by the `reproduce`
+    /// binary and the examples).
+    pub fn report(&self, graph: &DataGraph) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "nodes={} forward-edges={} directed-edges={} kinds={} mem={:.1}MiB\n",
+            self.num_nodes,
+            self.num_forward_edges,
+            self.num_directed_edges,
+            self.num_kinds,
+            self.memory_bytes as f64 / (1024.0 * 1024.0)
+        ));
+        out.push_str(&format!(
+            "max-forward-indegree={} mean-forward-indegree={:.2} max-out-degree={}\n",
+            self.max_forward_indegree, self.mean_forward_indegree, self.max_out_degree
+        ));
+        for (kind_idx, count) in self.nodes_per_kind.iter().enumerate() {
+            out.push_str(&format!(
+                "  kind {:<16} {:>10} nodes\n",
+                graph.kind_name(KindId::from_index(kind_idx)),
+                count
+            ));
+        }
+        out
+    }
+}
+
+/// Degree histogram with logarithmic buckets, used to eyeball the skew the
+/// synthetic generators are supposed to produce.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DegreeHistogram {
+    /// `buckets[i]` counts nodes whose degree `d` satisfies
+    /// `2^i <= d + 1 < 2^(i+1)`.
+    pub buckets: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Builds a histogram of the forward in-degrees.
+    pub fn forward_indegree(graph: &DataGraph) -> Self {
+        let mut buckets: Vec<usize> = Vec::new();
+        for u in graph.nodes() {
+            let d = graph.forward_indegree(u);
+            let bucket = (usize::BITS - (d + 1).leading_zeros() - 1) as usize;
+            if bucket >= buckets.len() {
+                buckets.resize(bucket + 1, 0);
+            }
+            buckets[bucket] += 1;
+        }
+        DegreeHistogram { buckets }
+    }
+
+    /// Total number of nodes counted.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, GraphBuilder};
+
+    #[test]
+    fn stats_on_star_graph() {
+        // 4 papers point to 1 conference
+        let g = graph_from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 5);
+        assert_eq!(s.num_forward_edges, 4);
+        assert_eq!(s.num_directed_edges, 8);
+        assert_eq!(s.max_forward_indegree, 4);
+        assert!((s.mean_forward_indegree - 0.8).abs() < 1e-12);
+        assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn per_kind_counts() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("author", "x");
+        let p1 = b.add_node("paper", "p1");
+        let p2 = b.add_node("paper", "p2");
+        b.add_edge(p1, a).unwrap();
+        b.add_edge(p2, a).unwrap();
+        let g = b.build_default();
+        let s = GraphStats::compute(&g);
+        let author = g.kind_by_name("author").unwrap();
+        let paper = g.kind_by_name("paper").unwrap();
+        assert_eq!(s.nodes_of_kind(author), 1);
+        assert_eq!(s.nodes_of_kind(paper), 2);
+        let report = s.report(&g);
+        assert!(report.contains("author"));
+        assert!(report.contains("paper"));
+    }
+
+    #[test]
+    fn histogram_counts_every_node() {
+        let g = graph_from_edges(6, &[(1, 0), (2, 0), (3, 0), (4, 5)]);
+        let h = DegreeHistogram::forward_indegree(&g);
+        assert_eq!(h.total(), 6);
+        // node 0 has indegree 3 -> bucket 2 (since 3+1=4 => bucket log2(4)=2)
+        assert!(h.buckets.len() >= 3);
+        assert_eq!(h.buckets[2], 1);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = GraphBuilder::new().build_default();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.mean_forward_indegree, 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Generic traversal utilities over a [`DataGraph`].
+//!
+//! These helpers are *not* the paper's search algorithms (those live in
+//! `banks-core`); they are reference building blocks used by tests, by the
+//! relevance checker and by the dataset generators: breadth-first search,
+//! Dijkstra shortest paths (in either edge direction), connected components
+//! of the expanded graph and reachability checks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::DataGraph;
+use crate::ids::NodeId;
+
+/// Which adjacency a traversal follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from tail to head (`out_edges`).
+    Outgoing,
+    /// Follow edges from head to tail (`in_edges`).
+    Incoming,
+}
+
+/// Result of a single-source Dijkstra run.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// Distance from the source to every node (`f64::INFINITY` if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor of every node on the shortest path tree
+    /// (`None` for the source and unreachable nodes).
+    pub pred: Vec<Option<NodeId>>,
+    /// The source node.
+    pub source: NodeId,
+    /// Direction the traversal followed.
+    pub direction: Direction,
+}
+
+impl ShortestPaths {
+    /// Distance to `node`.
+    pub fn distance(&self, node: NodeId) -> f64 {
+        self.dist[node.index()]
+    }
+
+    /// Whether `node` is reachable from the source.
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        self.dist[node.index()].is_finite()
+    }
+
+    /// Reconstructs the path from the source to `node` (inclusive on both
+    /// ends), or `None` if unreachable.  The returned path is ordered from
+    /// the source towards `node`.
+    pub fn path_to(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_reachable(node) {
+            return None;
+        }
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(prev) = self.pred[cur.index()] {
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get a min-heap on distance and
+        // break ties on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Runs Dijkstra's algorithm from `source`, following edges in the given
+/// direction over the expanded graph.
+pub fn dijkstra(graph: &DataGraph, source: NodeId, direction: Direction) -> ShortestPaths {
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        let neighbours: Vec<(NodeId, f64)> = match direction {
+            Direction::Outgoing => graph.out_edges(u).map(|e| (e.to, e.weight)).collect(),
+            Direction::Incoming => graph.in_edges(u).map(|e| (e.from, e.weight)).collect(),
+        };
+        for (v, w) in neighbours {
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    ShortestPaths { dist, pred, source, direction }
+}
+
+/// Breadth-first search returning the hop distance of every node from
+/// `source` (usize::MAX for unreachable nodes).
+pub fn bfs_levels(graph: &DataGraph, source: NodeId, direction: Direction) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut level = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let next = level[u.index()] + 1;
+        let neighbours: Vec<NodeId> = match direction {
+            Direction::Outgoing => graph.out_edges(u).map(|e| e.to).collect(),
+            Direction::Incoming => graph.in_edges(u).map(|e| e.from).collect(),
+        };
+        for v in neighbours {
+            if level[v.index()] == usize::MAX {
+                level[v.index()] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Returns the weakly connected component id of every node in the expanded
+/// graph (treating every directed edge as undirected), along with the number
+/// of components.
+pub fn weakly_connected_components(graph: &DataGraph) -> (Vec<usize>, usize) {
+    let n = graph.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_comp = 0usize;
+    let mut stack = Vec::new();
+    for start in graph.nodes() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        comp[start.index()] = next_comp;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            let push = |v: NodeId, comp: &mut Vec<usize>, stack: &mut Vec<NodeId>| {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = next_comp;
+                    stack.push(v);
+                }
+            };
+            for e in graph.out_edges(u) {
+                push(e.to, &mut comp, &mut stack);
+            }
+            for e in graph.in_edges(u) {
+                push(e.from, &mut comp, &mut stack);
+            }
+        }
+        next_comp += 1;
+    }
+    (comp, next_comp)
+}
+
+/// True when `target` is reachable from `source` following the given
+/// direction.
+pub fn is_reachable(graph: &DataGraph, source: NodeId, target: NodeId, direction: Direction) -> bool {
+    bfs_levels(graph, source, direction)[target.index()] != usize::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, graph_from_weighted_edges};
+    use crate::weights::ExpansionPolicy;
+    use crate::GraphBuilder;
+
+    fn chain_directed(n: usize) -> DataGraph {
+        // strictly directed chain 0 -> 1 -> 2 -> ... without backward edges
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node("node", format!("v{i}"));
+        }
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1)).unwrap();
+        }
+        b.build(ExpansionPolicy::directed_only())
+    }
+
+    #[test]
+    fn dijkstra_on_chain() {
+        let g = chain_directed(5);
+        let sp = dijkstra(&g, NodeId(0), Direction::Outgoing);
+        for i in 0..5u32 {
+            assert_eq!(sp.distance(NodeId(i)), i as f64);
+        }
+        assert_eq!(sp.path_to(NodeId(4)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        // reverse direction: nothing reachable from 0 except itself
+        let sp_in = dijkstra(&g, NodeId(0), Direction::Incoming);
+        assert!(sp_in.is_reachable(NodeId(0)));
+        assert!(!sp_in.is_reachable(NodeId(1)));
+        assert_eq!(sp_in.path_to(NodeId(1)), None);
+    }
+
+    #[test]
+    fn dijkstra_respects_weights() {
+        // 0 -> 1 (10), 0 -> 2 (1), 2 -> 1 (1): shortest 0~>1 goes through 2.
+        let g = {
+            let mut b = GraphBuilder::new();
+            for i in 0..3 {
+                b.add_node("node", format!("v{i}"));
+            }
+            b.add_edge_weighted(NodeId(0), NodeId(1), 10.0).unwrap();
+            b.add_edge_weighted(NodeId(0), NodeId(2), 1.0).unwrap();
+            b.add_edge_weighted(NodeId(2), NodeId(1), 1.0).unwrap();
+            b.build(ExpansionPolicy::directed_only())
+        };
+        let sp = dijkstra(&g, NodeId(0), Direction::Outgoing);
+        assert_eq!(sp.distance(NodeId(1)), 2.0);
+        assert_eq!(sp.path_to(NodeId(1)).unwrap(), vec![NodeId(0), NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn incoming_dijkstra_mirrors_outgoing_on_reversed_graph() {
+        let g = graph_from_weighted_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        // With backward edges the graph is strongly connected, but incoming
+        // distances from node 3 should equal outgoing distances to node 3.
+        let to3 = dijkstra(&g, NodeId(3), Direction::Incoming);
+        for u in g.nodes() {
+            let from_u = dijkstra(&g, u, Direction::Outgoing);
+            let d1 = to3.distance(u);
+            let d2 = from_u.distance(NodeId(3));
+            assert!((d1 - d2).abs() < 1e-9, "asymmetry at {u}: {d1} vs {d2}");
+        }
+    }
+
+    #[test]
+    fn bfs_levels_and_reachability() {
+        let g = chain_directed(4);
+        let levels = bfs_levels(&g, NodeId(0), Direction::Outgoing);
+        assert_eq!(levels, vec![0, 1, 2, 3]);
+        assert!(is_reachable(&g, NodeId(0), NodeId(3), Direction::Outgoing));
+        assert!(!is_reachable(&g, NodeId(3), NodeId(0), Direction::Outgoing));
+        assert!(is_reachable(&g, NodeId(3), NodeId(0), Direction::Incoming));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[5]);
+        assert_ne!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_nodes_are_infinite() {
+        let g = {
+            let mut b = GraphBuilder::new();
+            b.add_node("node", "a");
+            b.add_node("node", "b");
+            b.build(ExpansionPolicy::directed_only())
+        };
+        let sp = dijkstra(&g, NodeId(0), Direction::Outgoing);
+        assert!(sp.distance(NodeId(1)).is_infinite());
+        assert!(!sp.is_reachable(NodeId(1)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the graph substrate.
+
+use banks_graph::builder::GraphBuilder;
+use banks_graph::traversal::{dijkstra, Direction};
+use banks_graph::{BackwardWeightPolicy, EdgeKind, ExpansionPolicy, NodeId};
+use proptest::prelude::*;
+
+/// Strategy producing a random edge list over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 0.25f64..4.0),
+            0..(n * 3),
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)], policy: ExpansionPolicy) -> banks_graph::DataGraph {
+    let mut b = GraphBuilder::with_capacity(n, edges.len()).allow_self_loops(false);
+    for i in 0..n {
+        b.add_node("node", format!("v{i}"));
+    }
+    for (u, v, w) in edges {
+        if u != v {
+            b.add_edge_weighted(NodeId(*u), NodeId(*v), *w).unwrap();
+        }
+    }
+    b.build(policy)
+}
+
+proptest! {
+    /// Every out-edge appears as an in-edge of its target with the same
+    /// weight and kind, and vice versa.
+    #[test]
+    fn adjacency_directions_are_mirrors((n, edges) in arb_graph()) {
+        let g = build(n, &edges, ExpansionPolicy::paper_default());
+        for u in g.nodes() {
+            let outs: Vec<_> = g.out_edges(u).collect();
+            for e in outs {
+                prop_assert!(g.in_edges(e.to).any(|b| b.from == u && (b.weight - e.weight).abs() < 1e-12 && b.kind == e.kind));
+            }
+            let ins: Vec<_> = g.in_edges(u).collect();
+            for e in ins {
+                prop_assert!(g.out_edges(e.from).any(|b| b.to == u && (b.weight - e.weight).abs() < 1e-12 && b.kind == e.kind));
+            }
+        }
+    }
+
+    /// The number of directed edges is exactly twice the number of original
+    /// edges when backward expansion is on, and equal when it is off.
+    #[test]
+    fn edge_counts_match_policy((n, edges) in arb_graph()) {
+        let with_back = build(n, &edges, ExpansionPolicy::paper_default());
+        let without = build(n, &edges, ExpansionPolicy::directed_only());
+        prop_assert_eq!(with_back.num_directed_edges(), 2 * with_back.num_original_edges());
+        prop_assert_eq!(without.num_directed_edges(), without.num_original_edges());
+        prop_assert_eq!(with_back.num_original_edges(), without.num_original_edges());
+    }
+
+    /// Backward edges are never cheaper than their forward counterpart under
+    /// the paper's indegree-log policy.
+    #[test]
+    fn backward_edges_at_least_forward_weight((n, edges) in arb_graph()) {
+        let g = build(n, &edges, ExpansionPolicy::paper_default());
+        for u in g.nodes() {
+            for e in g.out_edges(u).filter(|e| e.kind == EdgeKind::Backward) {
+                // the matching forward edge goes e.to -> e.from
+                let fwd = g.forward_edge_weight(e.to, e.from).expect("forward twin must exist");
+                prop_assert!(e.weight >= fwd - 1e-12,
+                    "backward edge {:?} cheaper than forward {}", e, fwd);
+            }
+        }
+    }
+
+    /// Under the Mirror policy the expanded graph is weight-symmetric, so
+    /// Dijkstra distances are symmetric too.
+    #[test]
+    fn mirror_policy_gives_symmetric_distances((n, edges) in arb_graph()) {
+        let policy = ExpansionPolicy {
+            add_backward_edges: true,
+            backward_weight: BackwardWeightPolicy::Mirror,
+            default_forward_weight: 1.0,
+        };
+        let g = build(n, &edges, policy);
+        // sample a handful of node pairs to keep runtime bounded
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        for (i, &a) in nodes.iter().enumerate().take(5) {
+            let from_a = dijkstra(&g, a, Direction::Outgoing);
+            for &b in nodes.iter().skip(i).take(5) {
+                let from_b = dijkstra(&g, b, Direction::Outgoing);
+                let d_ab = from_a.distance(b);
+                let d_ba = from_b.distance(a);
+                if d_ab.is_finite() || d_ba.is_finite() {
+                    prop_assert!((d_ab - d_ba).abs() < 1e-9,
+                        "asymmetric distances {} vs {}", d_ab, d_ba);
+                }
+            }
+        }
+    }
+
+    /// Serialisation round-trips the original structure.
+    #[test]
+    fn serialization_roundtrip((n, edges) in arb_graph()) {
+        let g = build(n, &edges, ExpansionPolicy::paper_default());
+        let text = banks_graph::serialize::to_text(&g);
+        let g2 = banks_graph::serialize::from_text(&text, ExpansionPolicy::paper_default()).unwrap();
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        prop_assert_eq!(g.num_original_edges(), g2.num_original_edges());
+        for u in g.nodes() {
+            let mut a: Vec<_> = g.out_edges(u).map(|e| (e.to.0, e.kind.is_backward())).collect();
+            let mut b: Vec<_> = g2.out_edges(u).map(|e| (e.to.0, e.kind.is_backward())).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over direct edges.
+    #[test]
+    fn dijkstra_relaxed_edges((n, edges) in arb_graph()) {
+        let g = build(n, &edges, ExpansionPolicy::paper_default());
+        if g.num_nodes() == 0 { return Ok(()); }
+        let src = NodeId(0);
+        let sp = dijkstra(&g, src, Direction::Outgoing);
+        for u in g.nodes() {
+            if !sp.is_reachable(u) { continue; }
+            for e in g.out_edges(u) {
+                prop_assert!(sp.distance(e.to) <= sp.distance(u) + e.weight + 1e-9);
+            }
+        }
+    }
+}

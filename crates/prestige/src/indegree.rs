@@ -1,0 +1,67 @@
+//! Indegree-based prestige (the BANKS-I fallback).
+//!
+//! The original BANKS paper computes node prestige from the in-degree of a
+//! node; BANKS-II keeps this available as a cheap alternative to the biased
+//! PageRank.  We expose it both for ablations and because the synthetic
+//! workload generators use it when the random-walk prestige is not needed.
+
+use banks_graph::DataGraph;
+
+use crate::vector::PrestigeVector;
+
+/// Computes prestige proportional to `log2(1 + forward indegree)`, rescaled
+/// so the maximum is 1.
+///
+/// The logarithm keeps hub nodes (conference nodes with tens of thousands of
+/// incoming edges) from drowning out every other signal, mirroring the
+/// paper's treatment of hub edges.
+pub fn compute_indegree_prestige(graph: &DataGraph) -> PrestigeVector {
+    let raw: Vec<f64> = graph
+        .nodes()
+        .map(|u| (1.0 + graph.forward_indegree(u) as f64).log2())
+        .collect();
+    let max = raw.iter().copied().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        // No edges at all: fall back to uniform prestige.
+        return PrestigeVector::uniform(graph.num_nodes());
+    }
+    PrestigeVector::from_values(raw.into_iter().map(|v| v / max).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::builder::graph_from_edges;
+    use banks_graph::{GraphBuilder, NodeId};
+
+    #[test]
+    fn hub_gets_max_prestige() {
+        let g = graph_from_edges(5, &[(1, 0), (2, 0), (3, 0), (3, 4)]);
+        let p = compute_indegree_prestige(&g);
+        assert_eq!(p.get(NodeId(0)), 1.0);
+        assert!(p.get(NodeId(4)) < 1.0);
+        assert!(p.get(NodeId(4)) > 0.0);
+        // Nodes with no incoming edges get zero.
+        assert_eq!(p.get(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_falls_back_to_uniform() {
+        let mut b = GraphBuilder::new();
+        b.add_node("node", "a");
+        b.add_node("node", "b");
+        let g = b.build_default();
+        let p = compute_indegree_prestige(&g);
+        assert_eq!(p.get(NodeId(0)), 1.0);
+        assert_eq!(p.get(NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn prestige_is_monotone_in_indegree() {
+        let g = graph_from_edges(7, &[(1, 0), (2, 0), (3, 0), (4, 6), (5, 6), (1, 6), (2, 5)]);
+        let p = compute_indegree_prestige(&g);
+        // node 0 has indegree 3, node 6 has indegree 3, node 5 has indegree 1
+        assert!(p.get(NodeId(0)) > p.get(NodeId(5)));
+        assert_eq!(p.get(NodeId(0)), p.get(NodeId(6)));
+    }
+}

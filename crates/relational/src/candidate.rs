@@ -1,0 +1,346 @@
+//! Candidate-network enumeration for the Sparse baseline.
+//!
+//! A *candidate network* (CN) is a join tree over the schema graph whose
+//! nodes are table occurrences, each optionally annotated with the query
+//! keywords it must contain.  A CN is complete when every query keyword is
+//! assigned to exactly one node, and minimal when every leaf carries at
+//! least one keyword (a keyword-free leaf could be dropped without changing
+//! the answers).  The Sparse algorithm of Hristidis et al. evaluates CNs in
+//! increasing size order with relational joins; the BANKS-II paper uses the
+//! evaluation time of all CNs up to the size of the relevant answers as a
+//! lower bound for Sparse ("Sparse-LB" in Figure 5).
+
+use std::collections::HashSet;
+
+use crate::schema::{DatabaseSchema, SchemaEdge, TableId};
+
+/// One node (table occurrence) of a candidate network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CnNode {
+    /// Which table this occurrence instantiates.
+    pub table: TableId,
+    /// Bitmask of the query keywords assigned to this occurrence (bit `i`
+    /// for keyword `i`); `0` means a free tuple set.
+    pub keywords: u64,
+}
+
+/// One join edge of a candidate network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CnEdge {
+    /// Index of the referencing occurrence (the side holding the FK column).
+    pub referencing: usize,
+    /// Index of the referenced occurrence.
+    pub referenced: usize,
+    /// The schema edge (FK) realising the join.
+    pub via: SchemaEdge,
+}
+
+/// A candidate network: a tree of table occurrences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CandidateNetwork {
+    /// The occurrences.
+    pub nodes: Vec<CnNode>,
+    /// The tree edges (`nodes.len() - 1` of them).
+    pub edges: Vec<CnEdge>,
+}
+
+impl CandidateNetwork {
+    /// Number of table occurrences (the paper's CN "size").
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Bit union of all assigned keywords.
+    pub fn covered_keywords(&self) -> u64 {
+        self.nodes.iter().fold(0, |acc, n| acc | n.keywords)
+    }
+
+    /// True when every leaf occurrence carries at least one keyword.
+    pub fn leaves_have_keywords(&self) -> bool {
+        if self.nodes.len() == 1 {
+            return self.nodes[0].keywords != 0;
+        }
+        let mut degree = vec![0usize; self.nodes.len()];
+        for e in &self.edges {
+            degree[e.referencing] += 1;
+            degree[e.referenced] += 1;
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| degree[i] > 1 || n.keywords != 0)
+    }
+
+    /// Neighbours of an occurrence within the tree.
+    pub fn neighbours(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|e| {
+                if e.referencing == node {
+                    Some(e.referenced)
+                } else if e.referenced == node {
+                    Some(e.referencing)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// A canonical text form used for duplicate elimination: the
+    /// lexicographically smallest rooted encoding over all choices of root.
+    pub fn canonical_form(&self, schema: &DatabaseSchema) -> String {
+        (0..self.nodes.len())
+            .map(|root| self.encode_from(root, usize::MAX, schema))
+            .min()
+            .unwrap_or_default()
+    }
+
+    fn encode_from(&self, node: usize, parent: usize, schema: &DatabaseSchema) -> String {
+        let mut child_codes: Vec<String> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                let (other, orientation) = if e.referencing == node {
+                    (e.referenced, format!(">c{}", e.via.column))
+                } else if e.referenced == node {
+                    (e.referencing, format!("<c{}", e.via.column))
+                } else {
+                    return None;
+                };
+                if other == parent {
+                    None
+                } else {
+                    Some(format!("{}{}", orientation, self.encode_from(other, node, schema)))
+                }
+            })
+            .collect();
+        child_codes.sort();
+        format!(
+            "({}:{:x}[{}])",
+            schema.table(self.nodes[node].table).name,
+            self.nodes[node].keywords,
+            child_codes.join(",")
+        )
+    }
+}
+
+/// Enumerates complete, minimal candidate networks.
+///
+/// * `keyword_tables[i]` — tables that contain at least one tuple matching
+///   keyword `i` (from the database's keyword selections),
+/// * `max_size` — largest CN size to enumerate,
+/// * `cap` — hard cap on the number of CNs returned (the enumeration space
+///   grows quickly with `max_size`).
+pub fn enumerate_candidate_networks(
+    schema: &DatabaseSchema,
+    keyword_tables: &[Vec<TableId>],
+    max_size: usize,
+    cap: usize,
+) -> Vec<CandidateNetwork> {
+    let num_keywords = keyword_tables.len();
+    assert!(num_keywords <= 64, "more than 64 keywords are not supported");
+    let full_mask: u64 = if num_keywords == 64 { u64::MAX } else { (1u64 << num_keywords) - 1 };
+    let adjacency = schema.adjacency();
+
+    // Which keywords can a given table hold?
+    let table_masks: Vec<u64> = (0..schema.num_tables())
+        .map(|t| {
+            keyword_tables
+                .iter()
+                .enumerate()
+                .filter(|(_, tables)| tables.iter().any(|tt| tt.index() == t))
+                .fold(0u64, |acc, (i, _)| acc | (1 << i))
+        })
+        .collect();
+
+    let mut results: Vec<CandidateNetwork> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut queue: Vec<CandidateNetwork> = Vec::new();
+
+    // Seed: single occurrences with every non-empty keyword assignment their
+    // table supports.
+    for (table_idx, mask) in table_masks.iter().enumerate() {
+        for assignment in subsets_of(*mask) {
+            if assignment == 0 {
+                continue;
+            }
+            let cn = CandidateNetwork {
+                nodes: vec![CnNode { table: TableId(table_idx as u16), keywords: assignment }],
+                edges: vec![],
+            };
+            queue.push(cn);
+        }
+    }
+
+    let mut cursor = 0usize;
+    while cursor < queue.len() && results.len() < cap {
+        let cn = queue[cursor].clone();
+        cursor += 1;
+
+        let covered = cn.covered_keywords();
+        if covered == full_mask && cn.leaves_have_keywords() {
+            let canon = cn.canonical_form(schema);
+            if seen.insert(canon) {
+                results.push(cn.clone());
+                if results.len() >= cap {
+                    break;
+                }
+            }
+        }
+        if cn.size() >= max_size {
+            continue;
+        }
+
+        // Expand: attach a new occurrence to any existing one via any schema
+        // edge touching its table, with any subset of the remaining keywords
+        // its table can hold (including the empty set).
+        let remaining = full_mask & !covered;
+        for (attach_idx, attach_node) in cn.nodes.iter().enumerate() {
+            for edge in &adjacency[attach_node.table.index()] {
+                // The new occurrence instantiates the other endpoint of the
+                // schema edge (or the same table for self-relationships).
+                let candidates: Vec<(TableId, bool)> = if edge.from == attach_node.table
+                    && edge.to == attach_node.table
+                {
+                    vec![(edge.to, true), (edge.from, false)]
+                } else if edge.from == attach_node.table {
+                    // existing node is the referencing side; new node is referenced
+                    vec![(edge.to, false)]
+                } else {
+                    // existing node is referenced; new node references it
+                    vec![(edge.from, true)]
+                };
+                for (new_table, new_is_referencing) in candidates {
+                    let assignable = table_masks[new_table.index()] & remaining;
+                    for assignment in subsets_of(assignable) {
+                        let mut nodes = cn.nodes.clone();
+                        nodes.push(CnNode { table: new_table, keywords: assignment });
+                        let new_idx = nodes.len() - 1;
+                        let mut edges = cn.edges.clone();
+                        edges.push(if new_is_referencing {
+                            CnEdge { referencing: new_idx, referenced: attach_idx, via: *edge }
+                        } else {
+                            CnEdge { referencing: attach_idx, referenced: new_idx, via: *edge }
+                        });
+                        let candidate = CandidateNetwork { nodes, edges };
+                        // keep the expansion frontier bounded
+                        if queue.len() < cap * 64 {
+                            queue.push(candidate);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Smaller CNs first (the Sparse evaluation order).
+    results.sort_by_key(|cn| cn.size());
+    results
+}
+
+/// All subsets of a bitmask (including the empty set).
+fn subsets_of(mask: u64) -> Vec<u64> {
+    let mut subsets = vec![0u64];
+    let mut bits = Vec::new();
+    let mut m = mask;
+    while m != 0 {
+        let bit = m & m.wrapping_neg();
+        bits.push(bit);
+        m ^= bit;
+    }
+    for bit in bits {
+        let existing: Vec<u64> = subsets.clone();
+        for s in existing {
+            subsets.push(s | bit);
+        }
+    }
+    subsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DatabaseSchema;
+
+    fn dblp_schema() -> (DatabaseSchema, TableId, TableId, TableId) {
+        let mut s = DatabaseSchema::new();
+        let author = s.add_simple_table("author", &["name"], &[]).unwrap();
+        let paper = s.add_simple_table("paper", &["title"], &[]).unwrap();
+        let writes = s
+            .add_simple_table("writes", &[], &[("aid", author), ("pid", paper)])
+            .unwrap();
+        (s, author, paper, writes)
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets_of(0), vec![0]);
+        let mut s = subsets_of(0b101);
+        s.sort_unstable();
+        assert_eq!(s, vec![0b000, 0b001, 0b100, 0b101]);
+    }
+
+    #[test]
+    fn single_table_cn_for_colocated_keywords() {
+        let (schema, _, paper, _) = dblp_schema();
+        // both keywords can only appear in `paper`
+        let cns = enumerate_candidate_networks(&schema, &[vec![paper], vec![paper]], 3, 100);
+        assert!(!cns.is_empty());
+        // the smallest CN is the single paper occurrence holding both keywords
+        assert_eq!(cns[0].size(), 1);
+        assert_eq!(cns[0].nodes[0].table, paper);
+        assert_eq!(cns[0].covered_keywords(), 0b11);
+    }
+
+    #[test]
+    fn author_paper_query_needs_writes_join() {
+        let (schema, author, paper, writes) = dblp_schema();
+        let cns = enumerate_candidate_networks(&schema, &[vec![author], vec![paper]], 3, 100);
+        assert!(!cns.is_empty());
+        let smallest = &cns[0];
+        // author <- writes -> paper: three occurrences
+        assert_eq!(smallest.size(), 3);
+        let tables: Vec<TableId> = smallest.nodes.iter().map(|n| n.table).collect();
+        assert!(tables.contains(&author));
+        assert!(tables.contains(&paper));
+        assert!(tables.contains(&writes));
+        assert!(smallest.leaves_have_keywords());
+    }
+
+    #[test]
+    fn two_author_query_uses_self_join_shape() {
+        let (schema, author, _, _) = dblp_schema();
+        // two distinct author keywords: CN must contain two author occurrences
+        let cns = enumerate_candidate_networks(&schema, &[vec![author], vec![author]], 5, 500);
+        assert!(!cns.is_empty());
+        // the single-occurrence CN (both keywords on the same author tuple) exists
+        assert_eq!(cns[0].size(), 1);
+        // and a 5-occurrence author-writes-paper-writes-author network exists
+        let has_coauthor_network = cns.iter().any(|cn| {
+            cn.size() == 5 && cn.nodes.iter().filter(|n| n.table == author).count() == 2
+        });
+        assert!(has_coauthor_network, "expected the co-authorship candidate network");
+    }
+
+    #[test]
+    fn enumeration_is_deduplicated_and_capped() {
+        let (schema, author, paper, _) = dblp_schema();
+        let cns = enumerate_candidate_networks(&schema, &[vec![author], vec![paper]], 4, 1000);
+        let mut canon: Vec<String> = cns.iter().map(|cn| cn.canonical_form(&schema)).collect();
+        let before = canon.len();
+        canon.sort();
+        canon.dedup();
+        assert_eq!(before, canon.len(), "canonical forms must be unique");
+
+        let capped = enumerate_candidate_networks(&schema, &[vec![author], vec![paper]], 4, 2);
+        assert!(capped.len() <= 2);
+    }
+
+    #[test]
+    fn keywords_without_tables_produce_no_networks() {
+        let (schema, author, _, _) = dblp_schema();
+        let cns = enumerate_candidate_networks(&schema, &[vec![author], vec![]], 4, 100);
+        assert!(cns.is_empty());
+    }
+}

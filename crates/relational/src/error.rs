@@ -1,0 +1,73 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by schema construction, data loading and query
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A table name was registered twice.
+    DuplicateTable(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist in the table.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A row has the wrong number of values or a value of the wrong type.
+    RowShapeMismatch {
+        /// Table name.
+        table: String,
+        /// Explanation.
+        message: String,
+    },
+    /// A foreign key references a row that does not exist.
+    DanglingReference {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// The missing target row id.
+        target: u32,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateTable(name) => write!(f, "table {name:?} already exists"),
+            RelationalError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
+            RelationalError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} in table {table:?}")
+            }
+            RelationalError::RowShapeMismatch { table, message } => {
+                write!(f, "bad row for table {table:?}: {message}")
+            }
+            RelationalError::DanglingReference { table, column, target } => {
+                write!(f, "dangling reference in {table}.{column} -> row {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_contain_context() {
+        assert!(RelationalError::DuplicateTable("paper".into()).to_string().contains("paper"));
+        assert!(RelationalError::UnknownTable("x".into()).to_string().contains('x'));
+        let e = RelationalError::UnknownColumn { table: "paper".into(), column: "title".into() };
+        assert!(e.to_string().contains("title"));
+        let e = RelationalError::RowShapeMismatch { table: "t".into(), message: "arity".into() };
+        assert!(e.to_string().contains("arity"));
+        let e = RelationalError::DanglingReference { table: "writes".into(), column: "pid".into(), target: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

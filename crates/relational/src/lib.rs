@@ -1,0 +1,40 @@
+//! # banks-relational
+//!
+//! In-memory relational substrate for the BANKS-II reproduction.
+//!
+//! The paper's data graphs are derived from relational databases (DBLP,
+//! IMDB, US Patents): every tuple becomes a node and every foreign-key
+//! reference becomes a directed edge.  The paper also compares against the
+//! *Sparse* algorithm of Hristidis et al. (VLDB 2003), which answers keyword
+//! queries by enumerating *candidate networks* (join trees over the schema
+//! graph) and evaluating them with relational joins.
+//!
+//! This crate therefore provides:
+//!
+//! * a typed, in-memory relational engine — [`DatabaseSchema`], [`Database`],
+//!   [`Value`] — with foreign-key indexes and keyword selections,
+//! * [`extract::GraphExtraction`] — the tuple→node / FK→edge extraction that
+//!   produces a [`banks_graph::DataGraph`] and a matching
+//!   [`banks_textindex::InvertedIndex`],
+//! * [`candidate::CandidateNetwork`] enumeration over the schema graph, and
+//! * [`sparse::SparseSearch`] — the Sparse baseline used in Figure 5's
+//!   `Sparse-LB` column.
+
+pub mod candidate;
+pub mod database;
+pub mod error;
+pub mod extract;
+pub mod schema;
+pub mod sparse;
+pub mod value;
+
+pub use candidate::{CandidateNetwork, CnNode};
+pub use database::{Database, RowId, TupleId};
+pub use error::RelationalError;
+pub use extract::GraphExtraction;
+pub use schema::{ColumnDef, ColumnType, DatabaseSchema, ForeignKey, TableId, TableSchema};
+pub use sparse::{SparseOutcome, SparseSearch};
+pub use value::Value;
+
+/// Result alias for relational operations.
+pub type Result<T> = std::result::Result<T, RelationalError>;

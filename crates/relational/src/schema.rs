@@ -1,0 +1,287 @@
+//! Schemas: tables, columns, foreign keys and the schema graph.
+
+use std::collections::HashMap;
+
+use crate::error::RelationalError;
+use crate::Result;
+
+/// Identifier of a table within a [`DatabaseSchema`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u16);
+
+impl TableId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer (also used for foreign keys).
+    Int,
+    /// UTF-8 text; text columns are the ones indexed for keyword search.
+    Text,
+}
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub column_type: ColumnType,
+}
+
+impl ColumnDef {
+    /// Creates an integer column.
+    pub fn int(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), column_type: ColumnType::Int }
+    }
+
+    /// Creates a text column.
+    pub fn text(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), column_type: ColumnType::Text }
+    }
+}
+
+/// A foreign-key constraint: an integer column of this table references the
+/// implicit row id of another table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Index of the referencing column.
+    pub column: usize,
+    /// The referenced table.
+    pub target: TableId,
+}
+
+/// A table definition.  Every table has an implicit integer row id (its
+/// position in insertion order) that foreign keys reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (e.g. `"paper"`, `"writes"`).
+    pub name: String,
+    /// The columns.
+    pub columns: Vec<ColumnDef>,
+    /// Foreign keys from this table to others.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Indices of the text columns (the ones indexed for keyword search).
+    pub fn text_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.column_type == ColumnType::Text)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// An edge of the schema graph: table `from` has a foreign key (column
+/// `column`) referencing table `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemaEdge {
+    /// Referencing table.
+    pub from: TableId,
+    /// Index of the referencing column within `from`.
+    pub column: usize,
+    /// Referenced table.
+    pub to: TableId,
+}
+
+/// A complete database schema plus its schema graph.
+#[derive(Clone, Debug, Default)]
+pub struct DatabaseSchema {
+    tables: Vec<TableSchema>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl DatabaseSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table; foreign keys may reference tables added later, so they
+    /// are validated by [`DatabaseSchema::validate`].
+    pub fn add_table(&mut self, table: TableSchema) -> Result<TableId> {
+        if self.by_name.contains_key(&table.name) {
+            return Err(RelationalError::DuplicateTable(table.name));
+        }
+        let id = TableId(self.tables.len() as u16);
+        self.by_name.insert(table.name.clone(), id);
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// Convenience builder used heavily by the dataset generators: adds a
+    /// table with the given text columns and foreign keys (by target table
+    /// id, with a generated column name).
+    pub fn add_simple_table(
+        &mut self,
+        name: &str,
+        text_columns: &[&str],
+        fk_targets: &[(&str, TableId)],
+    ) -> Result<TableId> {
+        let mut columns: Vec<ColumnDef> = text_columns.iter().map(|c| ColumnDef::text(c)).collect();
+        let mut foreign_keys = Vec::new();
+        for (col_name, target) in fk_targets {
+            foreign_keys.push(ForeignKey { column: columns.len(), target: *target });
+            columns.push(ColumnDef::int(col_name));
+        }
+        self.add_table(TableSchema { name: name.to_string(), columns, foreign_keys })
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table definition.
+    pub fn table(&self, id: TableId) -> &TableSchema {
+        &self.tables[id.index()]
+    }
+
+    /// All tables with their ids.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &TableSchema)> {
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u16), t))
+    }
+
+    /// Looks a table up by name.
+    pub fn table_by_name(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Validates that every foreign key references an existing table and
+    /// column of integer type.
+    pub fn validate(&self) -> Result<()> {
+        for table in &self.tables {
+            for fk in &table.foreign_keys {
+                if fk.target.index() >= self.tables.len() {
+                    return Err(RelationalError::UnknownTable(format!("table #{}", fk.target.0)));
+                }
+                match table.columns.get(fk.column) {
+                    None => {
+                        return Err(RelationalError::UnknownColumn {
+                            table: table.name.clone(),
+                            column: format!("#{}", fk.column),
+                        })
+                    }
+                    Some(col) if col.column_type != ColumnType::Int => {
+                        return Err(RelationalError::RowShapeMismatch {
+                            table: table.name.clone(),
+                            message: format!("foreign key column {} must be Int", col.name),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All schema-graph edges (one per foreign key).
+    pub fn schema_edges(&self) -> Vec<SchemaEdge> {
+        let mut edges = Vec::new();
+        for (i, table) in self.tables.iter().enumerate() {
+            for fk in &table.foreign_keys {
+                edges.push(SchemaEdge { from: TableId(i as u16), column: fk.column, to: fk.target });
+            }
+        }
+        edges
+    }
+
+    /// Undirected schema-graph adjacency: for each table, the edges that
+    /// touch it (in either direction).  Used by candidate-network
+    /// enumeration, which may traverse foreign keys both ways.
+    pub fn adjacency(&self) -> Vec<Vec<SchemaEdge>> {
+        let mut adj: Vec<Vec<SchemaEdge>> = vec![Vec::new(); self.tables.len()];
+        for edge in self.schema_edges() {
+            adj[edge.from.index()].push(edge);
+            adj[edge.to.index()].push(edge);
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dblp_like_schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new();
+        let author = s.add_simple_table("author", &["name"], &[]).unwrap();
+        let conference = s.add_simple_table("conference", &["name"], &[]).unwrap();
+        let paper = s.add_simple_table("paper", &["title"], &[("cid", conference)]).unwrap();
+        let _writes = s
+            .add_simple_table("writes", &[], &[("aid", author), ("pid", paper)])
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn builds_schema_and_lookups() {
+        let s = dblp_like_schema();
+        assert_eq!(s.num_tables(), 4);
+        let paper = s.table_by_name("paper").unwrap();
+        assert_eq!(s.table(paper).name, "paper");
+        assert_eq!(s.table(paper).column_index("title"), Some(0));
+        assert_eq!(s.table(paper).column_index("cid"), Some(1));
+        assert_eq!(s.table(paper).text_columns(), vec![0]);
+        assert!(s.table_by_name("movie").is_none());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_tables() {
+        let mut s = DatabaseSchema::new();
+        s.add_simple_table("author", &["name"], &[]).unwrap();
+        assert!(matches!(
+            s.add_simple_table("author", &["name"], &[]),
+            Err(RelationalError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn schema_graph_edges() {
+        let s = dblp_like_schema();
+        let edges = s.schema_edges();
+        assert_eq!(edges.len(), 3); // paper->conference, writes->author, writes->paper
+        let adj = s.adjacency();
+        let writes = s.table_by_name("writes").unwrap();
+        let author = s.table_by_name("author").unwrap();
+        assert_eq!(adj[writes.index()].len(), 2);
+        assert_eq!(adj[author.index()].len(), 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_foreign_keys() {
+        let mut s = DatabaseSchema::new();
+        s.add_table(TableSchema {
+            name: "bad".into(),
+            columns: vec![ColumnDef::text("name")],
+            foreign_keys: vec![ForeignKey { column: 0, target: TableId(0) }],
+        })
+        .unwrap();
+        // fk column is Text -> invalid
+        assert!(s.validate().is_err());
+
+        let mut s = DatabaseSchema::new();
+        s.add_table(TableSchema {
+            name: "bad".into(),
+            columns: vec![ColumnDef::int("ref")],
+            foreign_keys: vec![ForeignKey { column: 0, target: TableId(9) }],
+        })
+        .unwrap();
+        // fk target table does not exist
+        assert!(s.validate().is_err());
+    }
+}

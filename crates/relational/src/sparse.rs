@@ -1,0 +1,384 @@
+//! The Sparse baseline (Hristidis et al., VLDB 2003) used in the paper's
+//! Figure 5 comparison.
+//!
+//! Sparse answers a keyword query by (1) computing the keyword selections of
+//! every table, (2) enumerating candidate networks over the schema graph and
+//! (3) evaluating each CN with relational joins, producing joined tuple
+//! trees ranked by CN size (fewer joins = better).  The paper reports a
+//! *lower bound* on Sparse's time: only CNs up to the size of the relevant
+//! answers are evaluated, with warm caches and indexed join columns — our
+//! in-memory engine with hash FK indexes reproduces exactly those
+//! assumptions.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::candidate::{enumerate_candidate_networks, CandidateNetwork};
+use crate::database::{Database, RowId, TupleId};
+use crate::schema::TableId;
+
+/// One joined result of a candidate network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseResult {
+    /// The participating tuples, one per CN occurrence (in CN node order).
+    pub tuples: Vec<TupleId>,
+    /// Index of the CN that produced the result.
+    pub candidate_network: usize,
+    /// Size of that CN (number of occurrences).
+    pub size: usize,
+}
+
+impl SparseResult {
+    /// The distinct tuples of the result (the analogue of an answer tree's
+    /// node set).
+    pub fn distinct_tuples(&self) -> Vec<TupleId> {
+        let set: std::collections::BTreeSet<TupleId> = self.tuples.iter().copied().collect();
+        set.into_iter().collect()
+    }
+}
+
+/// Outcome of a Sparse run.
+#[derive(Clone, Debug, Default)]
+pub struct SparseOutcome {
+    /// Results in increasing CN-size order, truncated to the requested
+    /// top-k.
+    pub results: Vec<SparseResult>,
+    /// Number of candidate networks enumerated.
+    pub num_candidate_networks: usize,
+    /// Number of candidate networks actually evaluated.
+    pub num_evaluated: usize,
+    /// Total join results produced before truncation.
+    pub total_results: usize,
+    /// Wall-clock duration of enumeration plus evaluation.
+    pub duration: Duration,
+}
+
+/// Configuration of the Sparse baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct SparseSearch {
+    /// Largest candidate-network size to enumerate/evaluate.  The paper sets
+    /// this to the size of the relevant answers ("we manually generated all
+    /// candidate networks smaller than the relevant ones").
+    pub max_cn_size: usize,
+    /// Number of results to keep.
+    pub top_k: usize,
+    /// Cap on the number of candidate networks (safety valve).
+    pub max_candidate_networks: usize,
+    /// Cap on the number of join results materialised per CN.
+    pub max_results_per_cn: usize,
+}
+
+impl Default for SparseSearch {
+    fn default() -> Self {
+        SparseSearch {
+            max_cn_size: 5,
+            top_k: 10,
+            max_candidate_networks: 512,
+            max_results_per_cn: 10_000,
+        }
+    }
+}
+
+impl SparseSearch {
+    /// Creates a Sparse baseline with the given CN size limit.
+    pub fn with_max_size(max_cn_size: usize) -> Self {
+        SparseSearch { max_cn_size, ..Default::default() }
+    }
+
+    /// Runs the baseline for a list of keywords.
+    pub fn run(&self, db: &Database, keywords: &[&str]) -> SparseOutcome {
+        let started = Instant::now();
+        let schema = db.schema();
+
+        // Keyword selections per table.
+        let mut selections: Vec<Vec<Vec<RowId>>> = Vec::with_capacity(keywords.len());
+        let mut keyword_tables: Vec<Vec<TableId>> = Vec::with_capacity(keywords.len());
+        for keyword in keywords {
+            let mut per_table = Vec::with_capacity(schema.num_tables());
+            let mut tables = Vec::new();
+            for (table_id, _) in schema.tables() {
+                let rows = db.keyword_selection(table_id, keyword);
+                if !rows.is_empty() {
+                    tables.push(table_id);
+                }
+                per_table.push(rows);
+            }
+            selections.push(per_table);
+            keyword_tables.push(tables);
+        }
+
+        let networks = enumerate_candidate_networks(
+            schema,
+            &keyword_tables,
+            self.max_cn_size,
+            self.max_candidate_networks,
+        );
+
+        let mut results: Vec<SparseResult> = Vec::new();
+        let mut total_results = 0usize;
+        let mut num_evaluated = 0usize;
+        for (cn_index, cn) in networks.iter().enumerate() {
+            num_evaluated += 1;
+            let rows = self.evaluate(db, cn, &selections);
+            total_results += rows.len();
+            for assignment in rows {
+                results.push(SparseResult {
+                    tuples: assignment
+                        .iter()
+                        .enumerate()
+                        .map(|(i, row)| TupleId::new(cn.nodes[i].table, *row))
+                        .collect(),
+                    candidate_network: cn_index,
+                    size: cn.size(),
+                });
+            }
+        }
+
+        // Rank by size (fewer joins first), then deterministically by tuple ids.
+        results.sort_by(|a, b| a.size.cmp(&b.size).then_with(|| a.tuples.cmp(&b.tuples)));
+        results.dedup_by(|a, b| a.distinct_tuples() == b.distinct_tuples());
+        results.truncate(self.top_k);
+
+        SparseOutcome {
+            results,
+            num_candidate_networks: networks.len(),
+            num_evaluated,
+            total_results,
+            duration: started.elapsed(),
+        }
+    }
+
+    /// Evaluates one candidate network, returning complete row assignments
+    /// (one row per CN occurrence).
+    fn evaluate(
+        &self,
+        db: &Database,
+        cn: &CandidateNetwork,
+        selections: &[Vec<Vec<RowId>>],
+    ) -> Vec<Vec<RowId>> {
+        // Candidate row sets per occurrence.
+        let mut candidates: Vec<Option<HashSet<RowId>>> = Vec::with_capacity(cn.nodes.len());
+        for node in &cn.nodes {
+            if node.keywords == 0 {
+                candidates.push(None); // free tuple set: all rows allowed
+            } else {
+                let mut set: Option<HashSet<RowId>> = None;
+                for (i, per_table) in selections.iter().enumerate() {
+                    if node.keywords & (1 << i) != 0 {
+                        let rows: HashSet<RowId> =
+                            per_table[node.table.index()].iter().copied().collect();
+                        set = Some(match set {
+                            None => rows,
+                            Some(existing) => existing.intersection(&rows).copied().collect(),
+                        });
+                    }
+                }
+                candidates.push(Some(set.unwrap_or_default()));
+            }
+        }
+        if candidates.iter().any(|c| matches!(c, Some(s) if s.is_empty())) {
+            return Vec::new();
+        }
+
+        // Join order: start from the keyword occurrence with the fewest
+        // candidate rows, then grow along tree edges.
+        let start = candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|s| (i, s.len())))
+            .min_by_key(|(_, len)| *len)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let start_rows: Vec<RowId> = match &candidates[start] {
+            Some(set) => {
+                let mut rows: Vec<RowId> = set.iter().copied().collect();
+                rows.sort_unstable();
+                rows
+            }
+            None => db.rows(cn.nodes[start].table).collect(),
+        };
+
+        let mut results: Vec<Vec<Option<RowId>>> = start_rows
+            .into_iter()
+            .map(|r| {
+                let mut assignment = vec![None; cn.nodes.len()];
+                assignment[start] = Some(r);
+                assignment
+            })
+            .collect();
+
+        // Visit occurrences in BFS order over the CN tree.
+        let order = self.bfs_order(cn, start);
+        for (node, parent) in order {
+            let edge = cn
+                .edges
+                .iter()
+                .find(|e| {
+                    (e.referencing == node && e.referenced == parent)
+                        || (e.referenced == node && e.referencing == parent)
+                })
+                .expect("tree edge must exist");
+            let mut next_results = Vec::new();
+            for assignment in &results {
+                if next_results.len() >= self.max_results_per_cn {
+                    break;
+                }
+                let parent_row = assignment[parent].expect("parent already assigned");
+                let matches: Vec<RowId> = if edge.referencing == node {
+                    // the new occurrence references the parent: use the FK index
+                    db.referencing_rows(cn.nodes[node].table, edge.via.column, parent_row).to_vec()
+                } else {
+                    // the parent references the new occurrence
+                    db.referenced_row(cn.nodes[parent].table, parent_row, edge.via.column)
+                        .into_iter()
+                        .collect()
+                };
+                for row in matches {
+                    if let Some(allowed) = &candidates[node] {
+                        if !allowed.contains(&row) {
+                            continue;
+                        }
+                    }
+                    // Occurrences of the same table must bind distinct rows
+                    // (an answer tree never repeats a node).
+                    let duplicate = assignment.iter().enumerate().any(|(i, r)| {
+                        r.is_some()
+                            && cn.nodes[i].table == cn.nodes[node].table
+                            && *r == Some(row)
+                    });
+                    if duplicate {
+                        continue;
+                    }
+                    let mut extended = assignment.clone();
+                    extended[node] = Some(row);
+                    next_results.push(extended);
+                    if next_results.len() >= self.max_results_per_cn {
+                        break;
+                    }
+                }
+            }
+            results = next_results;
+            if results.is_empty() {
+                return Vec::new();
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|assignment| assignment.into_iter().map(|r| r.expect("complete")).collect())
+            .collect()
+    }
+
+    /// BFS order of the CN tree as (node, parent) pairs, excluding the start
+    /// node.
+    fn bfs_order(&self, cn: &CandidateNetwork, start: usize) -> Vec<(usize, usize)> {
+        let mut order = Vec::new();
+        let mut visited = vec![false; cn.nodes.len()];
+        visited[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(node) = queue.pop_front() {
+            for neighbour in cn.neighbours(node) {
+                if !visited[neighbour] {
+                    visited[neighbour] = true;
+                    order.push((neighbour, node));
+                    queue.push_back(neighbour);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DatabaseSchema;
+
+    /// Two authors, two papers; Gray wrote both papers, Fernandez wrote only
+    /// the optimization paper.
+    fn tiny_db() -> (Database, TableId, TableId, TableId) {
+        let mut schema = DatabaseSchema::new();
+        let author = schema.add_simple_table("author", &["name"], &[]).unwrap();
+        let paper = schema.add_simple_table("paper", &["title"], &[]).unwrap();
+        let writes = schema
+            .add_simple_table("writes", &[], &[("aid", author), ("pid", paper)])
+            .unwrap();
+        let mut db = Database::new(schema);
+        let gray = db.insert(author, vec!["Jim Gray".into()]).unwrap();
+        let fern = db.insert(author, vec!["David Fernandez".into()]).unwrap();
+        let p0 = db.insert(paper, vec!["Transaction recovery".into()]).unwrap();
+        let p1 = db.insert(paper, vec!["Parametric query optimization".into()]).unwrap();
+        db.insert(writes, vec![gray.into(), p0.into()]).unwrap();
+        db.insert(writes, vec![gray.into(), p1.into()]).unwrap();
+        db.insert(writes, vec![fern.into(), p1.into()]).unwrap();
+        (db, author, paper, writes)
+    }
+
+    #[test]
+    fn answers_author_paper_query() {
+        let (db, author, paper, _) = tiny_db();
+        let outcome = SparseSearch::with_max_size(3).run(&db, &["gray", "recovery"]);
+        assert!(outcome.num_candidate_networks >= 1);
+        assert!(!outcome.results.is_empty());
+        let best = &outcome.results[0];
+        assert_eq!(best.size, 3);
+        let tables: Vec<TableId> = best.tuples.iter().map(|t| t.table).collect();
+        assert!(tables.contains(&author));
+        assert!(tables.contains(&paper));
+        // Gray is author row 0, recovery is paper row 0
+        assert!(best.tuples.contains(&TupleId::new(author, 0)));
+        assert!(best.tuples.contains(&TupleId::new(paper, 0)));
+        assert!(outcome.duration >= Duration::ZERO);
+    }
+
+    #[test]
+    fn co_author_query_requires_bigger_networks() {
+        let (db, author, _, _) = tiny_db();
+        // Gray and Fernandez co-authored paper 1 (via two writes rows).
+        let small = SparseSearch::with_max_size(3).run(&db, &["gray", "fernandez"]);
+        assert!(small.results.is_empty(), "size-3 CNs cannot join two authors");
+        let big = SparseSearch::with_max_size(5).run(&db, &["gray", "fernandez"]);
+        assert!(!big.results.is_empty());
+        let best = &big.results[0];
+        assert_eq!(best.size, 5);
+        assert!(best.tuples.contains(&TupleId::new(author, 0)));
+        assert!(best.tuples.contains(&TupleId::new(author, 1)));
+        assert!(big.num_candidate_networks > small.num_candidate_networks);
+    }
+
+    #[test]
+    fn unmatched_keyword_produces_nothing() {
+        let (db, _, _, _) = tiny_db();
+        let outcome = SparseSearch::with_max_size(5).run(&db, &["gray", "nonexistent"]);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.num_candidate_networks, 0);
+    }
+
+    #[test]
+    fn colocated_keywords_answered_by_single_tuple() {
+        let (db, paper, _, _) = tiny_db();
+        let _ = paper;
+        let outcome = SparseSearch::with_max_size(3).run(&db, &["parametric", "optimization"]);
+        assert!(!outcome.results.is_empty());
+        assert_eq!(outcome.results[0].size, 1);
+        assert_eq!(outcome.results[0].tuples.len(), 1);
+    }
+
+    #[test]
+    fn top_k_truncation_and_ordering() {
+        let (db, _, _, _) = tiny_db();
+        let mut search = SparseSearch::with_max_size(5);
+        search.top_k = 1;
+        let outcome = search.run(&db, &["gray", "paper"]);
+        // 'paper' matches the relation name? No — Sparse works on text only;
+        // it matches the word 'paper' in titles, which does not occur, so we
+        // use a word that does occur in both papers: 'transaction'/'query'.
+        let _ = outcome;
+        let outcome = search.run(&db, &["gray", "query"]);
+        assert_eq!(outcome.results.len().min(1), outcome.results.len());
+        if !outcome.results.is_empty() {
+            assert_eq!(outcome.results[0].size, 3);
+        }
+    }
+}

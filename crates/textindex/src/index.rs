@@ -1,0 +1,303 @@
+//! The inverted index mapping terms to node posting lists.
+
+use std::collections::HashMap;
+
+use banks_graph::{DataGraph, KindId, NodeId};
+
+use crate::tokenizer::Tokenizer;
+
+/// Statistics about a single indexed term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TermStats {
+    /// Number of distinct nodes whose text contains the term.
+    pub node_frequency: usize,
+    /// Total number of occurrences posted (before per-node deduplication this
+    /// equals the collection frequency; we post each node once, so this is
+    /// the same as `node_frequency`).
+    pub postings: usize,
+}
+
+/// Builder accumulating postings before freezing into an [`InvertedIndex`].
+#[derive(Debug)]
+pub struct IndexBuilder {
+    tokenizer: Tokenizer,
+    postings: HashMap<String, Vec<NodeId>>,
+    /// Relation-name pseudo terms: term -> kind ids whose *entire* node set
+    /// matches the term.
+    kind_terms: HashMap<String, Vec<KindId>>,
+}
+
+impl IndexBuilder {
+    /// Creates a builder with the given tokenizer.
+    pub fn new(tokenizer: Tokenizer) -> Self {
+        IndexBuilder { tokenizer, postings: HashMap::new(), kind_terms: HashMap::new() }
+    }
+
+    /// Creates a builder with the default tokenizer.
+    pub fn with_default_tokenizer() -> Self {
+        Self::new(Tokenizer::new())
+    }
+
+    /// Indexes one attribute text for a node.  May be called repeatedly for
+    /// the same node (e.g. one call per string attribute).
+    pub fn add_text(&mut self, node: NodeId, text: &str) {
+        for term in self.tokenizer.tokenize_unique(text) {
+            self.postings.entry(term).or_default().push(node);
+        }
+    }
+
+    /// Registers a relation (kind) name so that a query term equal to the
+    /// name matches every node of that kind, as in the paper's query model.
+    pub fn add_relation_name(&mut self, name: &str, kind: KindId) {
+        for term in self.tokenizer.tokenize_unique(name) {
+            self.kind_terms.entry(term).or_default().push(kind);
+        }
+    }
+
+    /// Number of distinct terms accumulated so far (excluding relation-name
+    /// pseudo terms).
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Freezes the builder: posting lists are sorted, deduplicated and
+    /// boxed.
+    pub fn build(self) -> InvertedIndex {
+        let IndexBuilder { tokenizer, postings, kind_terms } = self;
+        let mut index: HashMap<String, Box<[NodeId]>> = HashMap::with_capacity(postings.len());
+        for (term, mut nodes) in postings {
+            nodes.sort_unstable();
+            nodes.dedup();
+            index.insert(term, nodes.into_boxed_slice());
+        }
+        let mut kinds: HashMap<String, Box<[KindId]>> = HashMap::with_capacity(kind_terms.len());
+        for (term, mut ids) in kind_terms {
+            ids.sort_unstable();
+            ids.dedup();
+            kinds.insert(term, ids.into_boxed_slice());
+        }
+        InvertedIndex { tokenizer, postings: index, kind_terms: kinds }
+    }
+}
+
+/// Immutable inverted index: term → sorted, deduplicated posting list.
+#[derive(Clone, Debug)]
+pub struct InvertedIndex {
+    tokenizer: Tokenizer,
+    postings: HashMap<String, Box<[NodeId]>>,
+    kind_terms: HashMap<String, Box<[KindId]>>,
+}
+
+impl InvertedIndex {
+    /// The tokenizer the index was built with (queries must use the same
+    /// normalisation).
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Number of distinct indexed terms (excluding relation-name pseudo
+    /// terms).
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Direct posting-list lookup for an already-normalised single term.
+    /// Does not include relation-name expansion.
+    pub fn postings(&self, term: &str) -> &[NodeId] {
+        self.postings.get(term).map(|b| &**b).unwrap_or(&[])
+    }
+
+    /// Kinds whose relation name matches the term.
+    pub fn kinds_for_term(&self, term: &str) -> &[KindId] {
+        self.kind_terms.get(term).map(|b| &**b).unwrap_or(&[])
+    }
+
+    /// Statistics for a term (`None` if the term is not in the vocabulary).
+    pub fn term_stats(&self, term: &str) -> Option<TermStats> {
+        self.postings
+            .get(term)
+            .map(|p| TermStats { node_frequency: p.len(), postings: p.len() })
+    }
+
+    /// Iterates over the vocabulary in arbitrary order.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(|s| s.as_str())
+    }
+
+    /// Computes the set of nodes matching a (possibly multi-word / phrase)
+    /// keyword.  A phrase keyword such as `"david fernandez"` matches nodes
+    /// that contain *all* of its words (conjunctive semantics, which is how
+    /// the paper's sample queries like DQ1 are phrased).  If the keyword also
+    /// matches a relation name, every node of that relation is added
+    /// (requires the `graph` to enumerate the kind's nodes).
+    pub fn matching_nodes(&self, graph: &DataGraph, keyword: &str) -> Vec<NodeId> {
+        let terms = self.tokenizer.tokenize(keyword);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+
+        // Conjunction over the phrase's words: intersect posting lists,
+        // starting with the smallest (the classic IR trick the paper cites).
+        let mut lists: Vec<&[NodeId]> = terms.iter().map(|t| self.postings(t)).collect();
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<NodeId> = if lists.iter().any(|l| l.is_empty()) {
+            Vec::new()
+        } else {
+            let mut acc: Vec<NodeId> = lists[0].to_vec();
+            for list in &lists[1..] {
+                acc = intersect_sorted(&acc, list);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        };
+
+        // Relation-name matches: single-word keywords only (the paper's
+        // example is a term equal to a table name).
+        if terms.len() == 1 {
+            for kind in self.kinds_for_term(&terms[0]) {
+                result.extend(graph.nodes_of_kind(*kind));
+            }
+        }
+        result.sort_unstable();
+        result.dedup();
+        result
+    }
+
+    /// Approximate memory footprint of the posting lists in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.postings
+            .iter()
+            .map(|(term, nodes)| term.len() + nodes.len() * std::mem::size_of::<NodeId>())
+            .sum()
+    }
+}
+
+/// Intersects two sorted, deduplicated node lists.
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::GraphBuilder;
+
+    fn tiny_graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node("author", "David Fernandez");
+        let a2 = b.add_node("author", "Giora Fernandez");
+        let p1 = b.add_node("paper", "Parametric query optimization");
+        let p2 = b.add_node("paper", "Database recovery");
+        b.add_edge(p1, a1).unwrap();
+        b.add_edge(p2, a2).unwrap();
+        b.build_default()
+    }
+
+    fn build_index(graph: &DataGraph) -> InvertedIndex {
+        let mut ib = IndexBuilder::with_default_tokenizer();
+        for node in graph.nodes() {
+            ib.add_text(node, graph.node_label(node));
+        }
+        for kind_name in ["author", "paper"] {
+            let kind = graph.kind_by_name(kind_name).unwrap();
+            ib.add_relation_name(kind_name, kind);
+        }
+        ib.build()
+    }
+
+    #[test]
+    fn single_term_lookup() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        assert_eq!(idx.postings("fernandez"), &[NodeId(0), NodeId(1)]);
+        assert_eq!(idx.postings("recovery"), &[NodeId(3)]);
+        assert!(idx.postings("nonexistent").is_empty());
+        assert_eq!(idx.term_stats("fernandez").unwrap().node_frequency, 2);
+        assert!(idx.term_stats("nonexistent").is_none());
+    }
+
+    #[test]
+    fn phrase_keywords_intersect() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        assert_eq!(idx.matching_nodes(&g, "\"David Fernandez\""), vec![NodeId(0)]);
+        assert_eq!(idx.matching_nodes(&g, "Giora Fernandez"), vec![NodeId(1)]);
+        assert!(idx.matching_nodes(&g, "David Giora").is_empty());
+    }
+
+    #[test]
+    fn relation_name_matches_all_tuples() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        let papers = idx.matching_nodes(&g, "paper");
+        assert_eq!(papers, vec![NodeId(2), NodeId(3)]);
+        // 'author' matches both author tuples via the kind pseudo-term
+        let authors = idx.matching_nodes(&g, "author");
+        assert_eq!(authors, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn relation_and_text_matches_are_merged() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("paper", "a paper about papers");
+        let _n1 = b.add_node("author", "someone");
+        let g = b.build_default();
+        let mut ib = IndexBuilder::with_default_tokenizer();
+        ib.add_text(n0, g.node_label(n0));
+        ib.add_relation_name("paper", g.kind_by_name("paper").unwrap());
+        let idx = ib.build();
+        // 'paper' matches node 0 both via text and via the relation name;
+        // result must be deduplicated.
+        assert_eq!(idx.matching_nodes(&g, "paper"), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn duplicate_postings_are_deduplicated() {
+        let mut ib = IndexBuilder::with_default_tokenizer();
+        ib.add_text(NodeId(5), "database systems");
+        ib.add_text(NodeId(5), "database recovery");
+        ib.add_text(NodeId(2), "database theory");
+        let idx = ib.build();
+        assert_eq!(idx.postings("database"), &[NodeId(2), NodeId(5)]);
+    }
+
+    #[test]
+    fn empty_keyword_matches_nothing() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        assert!(idx.matching_nodes(&g, "").is_empty());
+        assert!(idx.matching_nodes(&g, "  ... ").is_empty());
+    }
+
+    #[test]
+    fn vocabulary_and_memory() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        assert!(idx.num_terms() >= 6);
+        assert!(idx.terms().any(|t| t == "parametric"));
+        assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn intersect_sorted_basic() {
+        let a = [NodeId(1), NodeId(3), NodeId(5)];
+        let b = [NodeId(2), NodeId(3), NodeId(5), NodeId(9)];
+        assert_eq!(intersect_sorted(&a, &b), vec![NodeId(3), NodeId(5)]);
+        assert!(intersect_sorted(&a, &[]).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Ablation playground: how µ (activation attenuation), dmax and λ affect
+//! the work done and the answers produced.
+//!
+//! ```text
+//! cargo run --release --example tune_activation
+//! ```
+//!
+//! Sweeps the spreading-activation attenuation factor µ, the depth cutoff
+//! dmax and the prestige exponent λ on a synthetic DBLP workload, printing
+//! nodes explored and recall for each setting — the knobs Section 4.3 and
+//! Section 7 ("alternative activation spreading techniques") discuss.
+
+use banks::prelude::*;
+
+fn main() {
+    let data = DblpDataset::generate(DblpConfig { num_papers: 2_500, num_authors: 1_500, seed: 17, ..DblpConfig::default() });
+    let graph = data.dataset.graph();
+    let (prestige, _) = compute_pagerank(graph, PageRankConfig::default());
+
+    let mut workload = WorkloadGenerator::new(&data, 3);
+    let cases = workload.generate(&WorkloadConfig {
+        num_queries: 8,
+        num_keywords: 3,
+        ..WorkloadConfig::default()
+    });
+    println!("workload: {} queries over {} nodes\n", cases.len(), graph.num_nodes());
+
+    let run = |params: &SearchParams| -> (f64, f64) {
+        let mut explored = 0usize;
+        let mut recall = 0.0;
+        for case in &cases {
+            let matches = KeywordMatches::resolve(graph, data.dataset.index(), &case.query());
+            let outcome = BidirectionalSearch::new().search(graph, &prestige, &matches, params);
+            explored += outcome.stats.nodes_explored;
+            recall += GroundTruth::from_sets(case.relevant.clone()).evaluate(&outcome).recall;
+        }
+        (explored as f64 / cases.len() as f64, recall / cases.len() as f64)
+    };
+
+    println!("-- µ sweep (activation attenuation, paper default 0.5) --");
+    println!("{:>5} {:>14} {:>8}", "µ", "avg explored", "recall");
+    for mu in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let (explored, recall) = run(&SearchParams::default().mu(mu));
+        println!("{mu:>5.1} {explored:>14.1} {:>7.0}%", recall * 100.0);
+    }
+
+    println!("\n-- dmax sweep (depth cutoff, paper default 8) --");
+    println!("{:>5} {:>14} {:>8}", "dmax", "avg explored", "recall");
+    for dmax in [2, 4, 6, 8, 10] {
+        let (explored, recall) = run(&SearchParams::default().dmax(dmax));
+        println!("{dmax:>5} {explored:>14.1} {:>7.0}%", recall * 100.0);
+    }
+
+    println!("\n-- λ sweep (prestige exponent, paper default 0.2) --");
+    println!("{:>5} {:>14} {:>8}", "λ", "avg explored", "recall");
+    for lambda in [0.0, 0.2, 0.5, 1.0] {
+        let (explored, recall) = run(&SearchParams::default().lambda(lambda));
+        println!("{lambda:>5.1} {explored:>14.1} {:>7.0}%", recall * 100.0);
+    }
+
+    println!("\n-- emission policy (exact bound vs heuristic vs immediate) --");
+    for policy in [EmissionPolicy::ExactBound, EmissionPolicy::Heuristic, EmissionPolicy::Immediate] {
+        let (explored, recall) = run(&SearchParams::default().emission(policy));
+        println!("{policy:>12?} avg explored {explored:>10.1} recall {:>5.0}%", recall * 100.0);
+    }
+}

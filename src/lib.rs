@@ -1,0 +1,74 @@
+//! # banks — Bidirectional Expansion for Keyword Search on Graph Databases
+//!
+//! A from-scratch Rust reproduction of Kacholia et al., *Bidirectional
+//! Expansion For Keyword Search on Graph Databases* (VLDB 2005, the
+//! "BANKS-II" system).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`graph`] — the weighted directed data-graph substrate,
+//! * [`textindex`] — the keyword index and query model,
+//! * [`prestige`] — node-prestige computation (biased PageRank),
+//! * [`relational`] — the in-memory relational engine, graph extraction and
+//!   the Sparse candidate-network baseline,
+//! * [`datagen`] — synthetic DBLP/IMDB/Patents datasets and query workloads,
+//! * [`core`] — the search engines: Bidirectional expansion, Backward
+//!   expansion (multi- and single-iterator), answer trees and ranking.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use banks::prelude::*;
+//!
+//! // Build a tiny graph: a `writes` tuple connecting an author and a paper.
+//! let mut builder = GraphBuilder::new();
+//! let author = builder.add_node("author", "Jim Gray");
+//! let paper = builder.add_node("paper", "Granularity of locks and degrees of consistency");
+//! let writes = builder.add_node("writes", "w0");
+//! builder.add_edge(writes, author).unwrap();
+//! builder.add_edge(writes, paper).unwrap();
+//! let graph = builder.build_default();
+//!
+//! // Index the node text and resolve a two-keyword query.
+//! let mut index = IndexBuilder::with_default_tokenizer();
+//! for node in graph.nodes() {
+//!     index.add_text(node, graph.node_label(node));
+//! }
+//! let index = index.build();
+//! let query = Query::parse("gray locks");
+//! let matches = KeywordMatches::resolve(&graph, &index, &query);
+//!
+//! // Run Bidirectional search with uniform node prestige.
+//! let prestige = PrestigeVector::uniform_for(&graph);
+//! let outcome = BidirectionalSearch::new()
+//!     .search(&graph, &prestige, &matches, &SearchParams::default());
+//! assert_eq!(outcome.answers[0].tree.root, writes);
+//! ```
+
+pub use banks_core as core;
+pub use banks_datagen as datagen;
+pub use banks_graph as graph;
+pub use banks_prestige as prestige;
+pub use banks_relational as relational;
+pub use banks_textindex as textindex;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use banks_core::{
+        AnswerTree, BackwardExpandingSearch, BidirectionalConfig, BidirectionalSearch,
+        EdgeScoreCombiner, EmissionPolicy, GroundTruth, RankedAnswer, ScoreModel, SearchEngine,
+        SearchOutcome, SearchParams, SearchStats, SingleIteratorBackwardSearch,
+    };
+    pub use banks_datagen::{
+        figure4_example, DblpConfig, DblpDataset, ImdbConfig, ImdbDataset, KeywordCategory,
+        PatentsConfig, PatentsDataset, QueryCase, WorkloadConfig, WorkloadGenerator,
+    };
+    pub use banks_graph::{
+        DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphStats, NodeId,
+    };
+    pub use banks_prestige::{compute_pagerank, PageRankConfig, PrestigeVector};
+    pub use banks_relational::{
+        Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId,
+    };
+    pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
+}
