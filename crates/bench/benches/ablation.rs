@@ -28,25 +28,31 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for mu in [0.1f64, 0.5, 0.9] {
         let params = SearchParams::with_top_k(10).max_explored(200_000).mu(mu);
-        group.bench_with_input(BenchmarkId::new("mu", format!("{mu:.1}")), &case, |b, case| {
-            b.iter(|| {
-                run_engine_on_case(
-                    EngineKind::Bidirectional,
-                    env.data.dataset.graph(),
-                    &env.prestige,
-                    env.data.dataset.index(),
-                    case,
-                    &params,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mu", format!("{mu:.1}")),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    run_engine_on_case(
+                        EngineKind::Bidirectional,
+                        env.data.dataset.graph(),
+                        &env.prestige,
+                        env.data.dataset.index(),
+                        case,
+                        &params,
+                    )
+                })
+            },
+        );
     }
     for (label, policy) in [
         ("exact", EmissionPolicy::ExactBound),
         ("heuristic", EmissionPolicy::Heuristic),
         ("immediate", EmissionPolicy::Immediate),
     ] {
-        let params = SearchParams::with_top_k(10).max_explored(200_000).emission(policy);
+        let params = SearchParams::with_top_k(10)
+            .max_explored(200_000)
+            .emission(policy);
         group.bench_with_input(BenchmarkId::new("emission", label), &case, |b, case| {
             b.iter(|| {
                 run_engine_on_case(

@@ -28,7 +28,11 @@ fn bench_figure5(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("figure5_sample_query");
     group.sample_size(10);
-    for kind in [EngineKind::MiBackward, EngineKind::SiBackward, EngineKind::Bidirectional] {
+    for kind in [
+        EngineKind::MiBackward,
+        EngineKind::SiBackward,
+        EngineKind::Bidirectional,
+    ] {
         group.bench_function(kind.name(), |b| {
             b.iter(|| {
                 run_engine_on_case(

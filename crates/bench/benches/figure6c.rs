@@ -17,11 +17,21 @@ fn bench_figure6c(c: &mut Criterion) {
     let combos: Vec<(&str, [KeywordCategory; 4])> = vec![
         (
             "TTTL",
-            [KeywordCategory::Tiny, KeywordCategory::Tiny, KeywordCategory::Tiny, KeywordCategory::Large],
+            [
+                KeywordCategory::Tiny,
+                KeywordCategory::Tiny,
+                KeywordCategory::Tiny,
+                KeywordCategory::Large,
+            ],
         ),
         (
             "LLLL",
-            [KeywordCategory::Large, KeywordCategory::Large, KeywordCategory::Large, KeywordCategory::Large],
+            [
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+            ],
         ),
     ];
 

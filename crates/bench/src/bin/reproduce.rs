@@ -51,7 +51,9 @@ fn main() {
     };
 
     if experiment == "all" {
-        for name in ["figure5", "figure6a", "figure6b", "figure6c", "recall", "anomaly", "ablation"] {
+        for name in [
+            "figure5", "figure6a", "figure6b", "figure6c", "recall", "anomaly", "ablation",
+        ] {
             run(name);
         }
     } else {

@@ -1,6 +1,5 @@
 //! The experiments of Section 5, one function per table/figure.
 
-
 use banks_core::{EmissionPolicy, SearchParams};
 use banks_datagen::workload::OriginBias;
 use banks_datagen::{
@@ -136,8 +135,20 @@ pub fn figure5(scale: BenchScale) -> String {
     out.push_str(&format!("{}\n\n", env.describe()));
 
     let mut table = Table::new([
-        "query", "#kw", "origin-sizes", "RelAns", "MI/SI time", "SI/Bidir expl", "SI/Bidir touch",
-        "SI/Bidir gen", "SI/Bidir out", "SI ms", "Bidir ms", "Sparse-LB ms", "#CN",
+        "query",
+        "#kw",
+        "origin-sizes",
+        "RelAns",
+        "MI/SI time",
+        "SI/Bidir expl",
+        "SI/Bidir touch",
+        "SI/Bidir gen",
+        "SI/Bidir out",
+        "SI ms",
+        "Bidir ms",
+        "Bidir TTFA ms",
+        "Sparse-LB ms",
+        "#CN",
     ]);
 
     let cases = figure5_cases(&env, scale);
@@ -161,10 +172,14 @@ pub fn figure5(scale: BenchScale) -> String {
             fmt_ratio(QueryMetrics::time_ratio(mi.output_time, si.output_time)),
             fmt_ratio(ratio(si.nodes_explored, bi.nodes_explored)),
             fmt_ratio(ratio(si.nodes_touched, bi.nodes_touched)),
-            fmt_ratio(QueryMetrics::time_ratio(si.generation_time, bi.generation_time)),
+            fmt_ratio(QueryMetrics::time_ratio(
+                si.generation_time,
+                bi.generation_time,
+            )),
             fmt_ratio(QueryMetrics::time_ratio(si.output_time, bi.output_time)),
             fmt_ms(si.output_time),
             fmt_ms(bi.output_time),
+            fmt_ms(bi.time_to_first),
             fmt_ms(sparse.duration),
             sparse.num_candidate_networks.to_string(),
         ]);
@@ -236,13 +251,30 @@ fn figure5_cases(env: &Environment, scale: BenchScale) -> Vec<(String, QueryCase
 fn figure5_other_datasets(scale: BenchScale) -> String {
     let (imdb_cfg, patents_cfg) = match scale {
         BenchScale::Tiny => (
-            ImdbConfig { num_persons: 400, num_movies: 300, seed: 5, ..ImdbConfig::default() },
-            PatentsConfig { num_inventors: 300, num_patents: 500, seed: 5, ..PatentsConfig::default() },
+            ImdbConfig {
+                num_persons: 400,
+                num_movies: 300,
+                seed: 5,
+                ..ImdbConfig::default()
+            },
+            PatentsConfig {
+                num_inventors: 300,
+                num_patents: 500,
+                seed: 5,
+                ..PatentsConfig::default()
+            },
         ),
         _ => (ImdbConfig::default(), PatentsConfig::default()),
     };
 
-    let mut table = Table::new(["query", "SI expl", "Bidir expl", "SI/Bidir expl", "SI ms", "Bidir ms"]);
+    let mut table = Table::new([
+        "query",
+        "SI expl",
+        "Bidir expl",
+        "SI/Bidir expl",
+        "SI ms",
+        "Bidir ms",
+    ]);
 
     // IQ1-style: actor name + movie title word + frequent term.
     let imdb = ImdbDataset::generate(imdb_cfg);
@@ -258,15 +290,39 @@ fn figure5_other_datasets(scale: BenchScale) -> String {
         .unwrap_or("database")
         .to_string();
     let case = QueryCase {
-        keywords: vec![db.row_text(imdb.person, actor).to_lowercase(), title_word, "database".into()],
-        planted_nodes: vec![imdb.dataset.extraction.node_of(banks_relational::TupleId::new(imdb.movie, movie))],
-        relevant: vec![vec![imdb.dataset.extraction.node_of(banks_relational::TupleId::new(imdb.movie, movie))]],
+        keywords: vec![
+            db.row_text(imdb.person, actor).to_lowercase(),
+            title_word,
+            "database".into(),
+        ],
+        planted_nodes: vec![imdb
+            .dataset
+            .extraction
+            .node_of(banks_relational::TupleId::new(imdb.movie, movie))],
+        relevant: vec![vec![imdb
+            .dataset
+            .extraction
+            .node_of(banks_relational::TupleId::new(imdb.movie, movie))]],
         origin_sizes: vec![1, 1, 1],
         answer_size: 3,
     };
     let params = measurement_params();
-    let si = run_engine_on_case(EngineKind::SiBackward, imdb.dataset.graph(), &prestige, imdb.dataset.index(), &case, &params);
-    let bi = run_engine_on_case(EngineKind::Bidirectional, imdb.dataset.graph(), &prestige, imdb.dataset.index(), &case, &params);
+    let si = run_engine_on_case(
+        EngineKind::SiBackward,
+        imdb.dataset.graph(),
+        &prestige,
+        imdb.dataset.index(),
+        &case,
+        &params,
+    );
+    let bi = run_engine_on_case(
+        EngineKind::Bidirectional,
+        imdb.dataset.graph(),
+        &prestige,
+        imdb.dataset.index(),
+        &case,
+        &params,
+    );
     table.add_row([
         "IQ1 (actor+title+freq)".to_string(),
         si.nodes_explored.to_string(),
@@ -289,13 +345,33 @@ fn figure5_other_datasets(scale: BenchScale) -> String {
         .to_string();
     let case = QueryCase {
         keywords: vec![company_word, "recovery".into()],
-        planted_nodes: vec![patents.dataset.extraction.node_of(banks_relational::TupleId::new(patents.assignee, 0))],
-        relevant: vec![vec![patents.dataset.extraction.node_of(banks_relational::TupleId::new(patents.assignee, 0))]],
+        planted_nodes: vec![patents
+            .dataset
+            .extraction
+            .node_of(banks_relational::TupleId::new(patents.assignee, 0))],
+        relevant: vec![vec![patents
+            .dataset
+            .extraction
+            .node_of(banks_relational::TupleId::new(patents.assignee, 0))]],
         origin_sizes: vec![1, 1],
         answer_size: 2,
     };
-    let si = run_engine_on_case(EngineKind::SiBackward, patents.dataset.graph(), &prestige, patents.dataset.index(), &case, &params);
-    let bi = run_engine_on_case(EngineKind::Bidirectional, patents.dataset.graph(), &prestige, patents.dataset.index(), &case, &params);
+    let si = run_engine_on_case(
+        EngineKind::SiBackward,
+        patents.dataset.graph(),
+        &prestige,
+        patents.dataset.index(),
+        &case,
+        &params,
+    );
+    let bi = run_engine_on_case(
+        EngineKind::Bidirectional,
+        patents.dataset.graph(),
+        &prestige,
+        patents.dataset.index(),
+        &case,
+        &params,
+    );
     table.add_row([
         "UQ1 (company+freq)".to_string(),
         si.nodes_explored.to_string(),
@@ -338,14 +414,24 @@ fn keyword_sweep(
                 origin_bias: bias,
                 ..WorkloadConfig::default()
             });
-            let num_metrics: Vec<QueryMetrics> =
-                cases.iter().map(|c| env.measure(numerator, c, &params)).collect();
-            let den_metrics: Vec<QueryMetrics> =
-                cases.iter().map(|c| env.measure(denominator, c, &params)).collect();
+            let num_metrics: Vec<QueryMetrics> = cases
+                .iter()
+                .map(|c| env.measure(numerator, c, &params))
+                .collect();
+            let den_metrics: Vec<QueryMetrics> = cases
+                .iter()
+                .map(|c| env.measure(denominator, c, &params))
+                .collect();
             let num_avg = average(&num_metrics);
             let den_avg = average(&den_metrics);
-            row.push(fmt_ratio(QueryMetrics::time_ratio(num_avg.output_time, den_avg.output_time)));
-            explored_ratios.push(fmt_ratio(ratio(num_avg.nodes_explored, den_avg.nodes_explored)));
+            row.push(fmt_ratio(QueryMetrics::time_ratio(
+                num_avg.output_time,
+                den_avg.output_time,
+            )));
+            explored_ratios.push(fmt_ratio(ratio(
+                num_avg.nodes_explored,
+                den_avg.nodes_explored,
+            )));
         }
         row.extend(explored_ratios);
         table.add_row(row);
@@ -357,8 +443,13 @@ fn keyword_sweep(
 /// keywords, split into small-origin and large-origin query classes.
 pub fn figure6a(scale: BenchScale) -> String {
     let env = Environment::prepare(scale);
-    let mut out = format!("{}\nMI-Bkwd / SI-Bkwd ratios (higher = SI wins bigger)\n\n", env.describe());
-    out.push_str(&keyword_sweep(&env, scale, EngineKind::MiBackward, EngineKind::SiBackward).render());
+    let mut out = format!(
+        "{}\nMI-Bkwd / SI-Bkwd ratios (higher = SI wins bigger)\n\n",
+        env.describe()
+    );
+    out.push_str(
+        &keyword_sweep(&env, scale, EngineKind::MiBackward, EngineKind::SiBackward).render(),
+    );
     out
 }
 
@@ -366,8 +457,19 @@ pub fn figure6a(scale: BenchScale) -> String {
 /// keywords.
 pub fn figure6b(scale: BenchScale) -> String {
     let env = Environment::prepare(scale);
-    let mut out = format!("{}\nSI-Bkwd / Bidirectional ratios (higher = Bidirectional wins bigger)\n\n", env.describe());
-    out.push_str(&keyword_sweep(&env, scale, EngineKind::SiBackward, EngineKind::Bidirectional).render());
+    let mut out = format!(
+        "{}\nSI-Bkwd / Bidirectional ratios (higher = Bidirectional wins bigger)\n\n",
+        env.describe()
+    );
+    out.push_str(
+        &keyword_sweep(
+            &env,
+            scale,
+            EngineKind::SiBackward,
+            EngineKind::Bidirectional,
+        )
+        .render(),
+    );
     out
 }
 
@@ -381,18 +483,87 @@ pub fn figure6b(scale: BenchScale) -> String {
 pub fn figure6c(scale: BenchScale) -> String {
     let env = Environment::prepare(scale);
     let combos: Vec<(&str, [KeywordCategory; 4])> = vec![
-        ("A=(T,T,T,L)", [KeywordCategory::Tiny, KeywordCategory::Tiny, KeywordCategory::Tiny, KeywordCategory::Large]),
-        ("B=(T,T,L,L)", [KeywordCategory::Tiny, KeywordCategory::Tiny, KeywordCategory::Large, KeywordCategory::Large]),
-        ("C=(T,S,S,S)", [KeywordCategory::Tiny, KeywordCategory::Small, KeywordCategory::Small, KeywordCategory::Small]),
-        ("D=(T,M,M,M)", [KeywordCategory::Tiny, KeywordCategory::Medium, KeywordCategory::Medium, KeywordCategory::Medium]),
-        ("E=(S,S,S,S)", [KeywordCategory::Small, KeywordCategory::Small, KeywordCategory::Small, KeywordCategory::Small]),
-        ("F=(M,M,M,M)", [KeywordCategory::Medium, KeywordCategory::Medium, KeywordCategory::Medium, KeywordCategory::Medium]),
-        ("G=(M,L,L,L)", [KeywordCategory::Medium, KeywordCategory::Large, KeywordCategory::Large, KeywordCategory::Large]),
-        ("H=(L,L,L,L)", [KeywordCategory::Large, KeywordCategory::Large, KeywordCategory::Large, KeywordCategory::Large]),
+        (
+            "A=(T,T,T,L)",
+            [
+                KeywordCategory::Tiny,
+                KeywordCategory::Tiny,
+                KeywordCategory::Tiny,
+                KeywordCategory::Large,
+            ],
+        ),
+        (
+            "B=(T,T,L,L)",
+            [
+                KeywordCategory::Tiny,
+                KeywordCategory::Tiny,
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+            ],
+        ),
+        (
+            "C=(T,S,S,S)",
+            [
+                KeywordCategory::Tiny,
+                KeywordCategory::Small,
+                KeywordCategory::Small,
+                KeywordCategory::Small,
+            ],
+        ),
+        (
+            "D=(T,M,M,M)",
+            [
+                KeywordCategory::Tiny,
+                KeywordCategory::Medium,
+                KeywordCategory::Medium,
+                KeywordCategory::Medium,
+            ],
+        ),
+        (
+            "E=(S,S,S,S)",
+            [
+                KeywordCategory::Small,
+                KeywordCategory::Small,
+                KeywordCategory::Small,
+                KeywordCategory::Small,
+            ],
+        ),
+        (
+            "F=(M,M,M,M)",
+            [
+                KeywordCategory::Medium,
+                KeywordCategory::Medium,
+                KeywordCategory::Medium,
+                KeywordCategory::Medium,
+            ],
+        ),
+        (
+            "G=(M,L,L,L)",
+            [
+                KeywordCategory::Medium,
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+            ],
+        ),
+        (
+            "H=(L,L,L,L)",
+            [
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+                KeywordCategory::Large,
+            ],
+        ),
     ];
 
     let mut table = Table::new([
-        "combo", "queries", "SI/Bidir time", "SI/Bidir expl", "SI expl", "Bidir expl",
+        "combo",
+        "queries",
+        "SI/Bidir time",
+        "SI/Bidir expl",
+        "SI expl",
+        "Bidir expl",
     ]);
     let per_cell = scale.queries_per_cell();
     let params = measurement_params();
@@ -400,19 +571,33 @@ pub fn figure6c(scale: BenchScale) -> String {
         let mut generator = WorkloadGenerator::new(&env.data, 700);
         let cases = generator.generate_categorised(combo, per_cell);
         if cases.is_empty() {
-            table.add_row([label.to_string(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.add_row([
+                label.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
-        let si: Vec<QueryMetrics> =
-            cases.iter().map(|c| env.measure(EngineKind::SiBackward, c, &params)).collect();
-        let bi: Vec<QueryMetrics> =
-            cases.iter().map(|c| env.measure(EngineKind::Bidirectional, c, &params)).collect();
+        let si: Vec<QueryMetrics> = cases
+            .iter()
+            .map(|c| env.measure(EngineKind::SiBackward, c, &params))
+            .collect();
+        let bi: Vec<QueryMetrics> = cases
+            .iter()
+            .map(|c| env.measure(EngineKind::Bidirectional, c, &params))
+            .collect();
         let si_avg = average(&si);
         let bi_avg = average(&bi);
         table.add_row([
             label.to_string(),
             cases.len().to_string(),
-            fmt_ratio(QueryMetrics::time_ratio(si_avg.output_time, bi_avg.output_time)),
+            fmt_ratio(QueryMetrics::time_ratio(
+                si_avg.output_time,
+                bi_avg.output_time,
+            )),
             fmt_ratio(ratio(si_avg.nodes_explored, bi_avg.nodes_explored)),
             si_avg.nodes_explored.to_string(),
             bi_avg.nodes_explored.to_string(),
@@ -434,7 +619,13 @@ pub fn figure6c(scale: BenchScale) -> String {
 pub fn recall(scale: BenchScale) -> String {
     let env = Environment::prepare(scale);
     let per_cell = scale.queries_per_cell() * 2;
-    let mut table = Table::new(["#keywords", "engine", "recall", "precision@full-recall", "relevant found"]);
+    let mut table = Table::new([
+        "#keywords",
+        "engine",
+        "recall",
+        "precision@full-recall",
+        "relevant found",
+    ]);
     // A generous output budget so ordering effects do not mask recall.
     let params = SearchParams::with_top_k(50).max_explored(500_000);
     for num_keywords in [2usize, 4] {
@@ -445,8 +636,10 @@ pub fn recall(scale: BenchScale) -> String {
             ..WorkloadConfig::default()
         });
         for kind in [EngineKind::MiBackward, EngineKind::Bidirectional] {
-            let metrics: Vec<QueryMetrics> =
-                cases.iter().map(|c| env.measure(kind, c, &params)).collect();
+            let metrics: Vec<QueryMetrics> = cases
+                .iter()
+                .map(|c| env.measure(kind, c, &params))
+                .collect();
             let avg = average(&metrics);
             table.add_row([
                 num_keywords.to_string(),
@@ -513,8 +706,10 @@ pub fn ablation(scale: BenchScale) -> String {
         ..WorkloadConfig::default()
     });
     let run = |params: &SearchParams| -> QueryMetrics {
-        let metrics: Vec<QueryMetrics> =
-            cases.iter().map(|c| env.measure(EngineKind::Bidirectional, c, params)).collect();
+        let metrics: Vec<QueryMetrics> = cases
+            .iter()
+            .map(|c| env.measure(EngineKind::Bidirectional, c, params))
+            .collect();
         average(&metrics)
     };
 

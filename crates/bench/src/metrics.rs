@@ -2,10 +2,7 @@
 
 use std::time::Duration;
 
-use banks_core::{
-    BackwardExpandingSearch, BidirectionalSearch, GroundTruth, SearchEngine, SearchOutcome,
-    SearchParams, SingleIteratorBackwardSearch,
-};
+use banks_core::{EngineRegistry, GroundTruth, SearchEngine, SearchOutcome, SearchParams};
 use banks_datagen::QueryCase;
 use banks_graph::DataGraph;
 use banks_prestige::PrestigeVector;
@@ -32,13 +29,23 @@ impl EngineKind {
         }
     }
 
-    /// Instantiates the engine.
-    pub fn engine(&self) -> Box<dyn SearchEngine> {
+    /// The engine's name in [`EngineRegistry::with_default_engines`].
+    pub fn registry_name(&self) -> &'static str {
         match self {
-            EngineKind::MiBackward => Box::new(BackwardExpandingSearch::new()),
-            EngineKind::SiBackward => Box::new(SingleIteratorBackwardSearch::new()),
-            EngineKind::Bidirectional => Box::new(BidirectionalSearch::new()),
+            EngineKind::MiBackward => "mi-backward",
+            EngineKind::SiBackward => "si-backward",
+            EngineKind::Bidirectional => "bidirectional",
         }
+    }
+
+    /// Instantiates the engine through the default registry (built once —
+    /// this runs inside criterion-timed loops).
+    pub fn engine(&self) -> Box<dyn SearchEngine> {
+        static REGISTRY: std::sync::OnceLock<EngineRegistry> = std::sync::OnceLock::new();
+        REGISTRY
+            .get_or_init(EngineRegistry::with_default_engines)
+            .create(self.registry_name())
+            .expect("default registry covers every EngineKind")
     }
 }
 
@@ -56,6 +63,10 @@ pub struct QueryMetrics {
     pub generation_time: Duration,
     /// Time at which that answer was *output*.
     pub output_time: Duration,
+    /// Time at which the very first answer was output (the paper's
+    /// Figure 5/6 time-to-first-answer metric; the full search duration
+    /// when no answer was produced).
+    pub time_to_first: Duration,
     /// Number of relevant answers found.
     pub relevant_found: usize,
     /// Recall against the case's ground truth.
@@ -91,6 +102,9 @@ impl QueryMetrics {
             total_time: outcome.stats.duration,
             generation_time,
             output_time,
+            time_to_first: outcome
+                .time_to_first_answer()
+                .unwrap_or(outcome.stats.duration),
             relevant_found: rp.relevant_found,
             recall: rp.recall,
             precision: rp.precision,
@@ -133,12 +147,15 @@ pub fn average(metrics: &[QueryMetrics]) -> QueryMetrics {
         Duration::from_secs_f64(metrics.iter().map(|m| f(m).as_secs_f64()).sum::<f64>() / n)
     };
     QueryMetrics {
-        nodes_explored: (metrics.iter().map(|m| m.nodes_explored).sum::<usize>() as f64 / n) as usize,
+        nodes_explored: (metrics.iter().map(|m| m.nodes_explored).sum::<usize>() as f64 / n)
+            as usize,
         nodes_touched: (metrics.iter().map(|m| m.nodes_touched).sum::<usize>() as f64 / n) as usize,
         total_time: avg_duration(|m| m.total_time),
         generation_time: avg_duration(|m| m.generation_time),
         output_time: avg_duration(|m| m.output_time),
-        relevant_found: metrics.iter().map(|m| m.relevant_found).sum::<usize>() / metrics.len(),
+        time_to_first: avg_duration(|m| m.time_to_first),
+        relevant_found: (metrics.iter().map(|m| m.relevant_found).sum::<usize>() as f64 / n).round()
+            as usize,
         recall: metrics.iter().map(|m| m.recall).sum::<f64>() / n,
         precision: metrics.iter().map(|m| m.precision).sum::<f64>() / n,
     }
@@ -150,12 +167,20 @@ mod tests {
     use banks_datagen::{DblpConfig, DblpDataset, WorkloadConfig, WorkloadGenerator};
 
     #[test]
-    fn engine_kinds_instantiate() {
+    fn engine_kinds_instantiate_through_the_registry() {
         assert_eq!(EngineKind::MiBackward.name(), "MI-Bkwd");
         assert_eq!(EngineKind::SiBackward.name(), "SI-Bkwd");
         assert_eq!(EngineKind::Bidirectional.name(), "Bidirectional");
-        for kind in [EngineKind::MiBackward, EngineKind::SiBackward, EngineKind::Bidirectional] {
-            let _ = kind.engine();
+        let expected = ["MI-Backward", "SI-Backward", "Bidirectional"];
+        for (kind, engine_name) in [
+            EngineKind::MiBackward,
+            EngineKind::SiBackward,
+            EngineKind::Bidirectional,
+        ]
+        .iter()
+        .zip(expected)
+        {
+            assert_eq!(kind.engine().name(), engine_name);
         }
     }
 
@@ -165,7 +190,11 @@ mod tests {
         let prestige = PrestigeVector::uniform_for(data.dataset.graph());
         let mut generator = WorkloadGenerator::new(&data, 9);
         let case = generator
-            .generate(&WorkloadConfig { num_queries: 1, num_keywords: 2, ..Default::default() })
+            .generate(&WorkloadConfig {
+                num_queries: 1,
+                num_keywords: 2,
+                ..Default::default()
+            })
             .into_iter()
             .next()
             .unwrap();
@@ -181,17 +210,35 @@ mod tests {
         assert!(metrics.recall > 0.0);
         assert!(metrics.generation_time <= metrics.output_time);
         assert!(metrics.output_time <= metrics.total_time + Duration::from_millis(1));
+        assert!(
+            metrics.time_to_first <= metrics.output_time,
+            "the first answer cannot be output after the measured relevant answer"
+        );
     }
 
     #[test]
     fn averaging() {
-        let a = QueryMetrics { nodes_explored: 10, recall: 1.0, ..Default::default() };
-        let b = QueryMetrics { nodes_explored: 30, recall: 0.5, ..Default::default() };
+        let a = QueryMetrics {
+            nodes_explored: 10,
+            recall: 1.0,
+            ..Default::default()
+        };
+        let b = QueryMetrics {
+            nodes_explored: 30,
+            recall: 0.5,
+            ..Default::default()
+        };
         let avg = average(&[a, b]);
         assert_eq!(avg.nodes_explored, 20);
         assert!((avg.recall - 0.75).abs() < 1e-12);
         assert_eq!(average(&[]).nodes_explored, 0);
-        assert_eq!(QueryMetrics::time_ratio(Duration::from_secs(2), Duration::from_secs(1)), Some(2.0));
-        assert_eq!(QueryMetrics::time_ratio(Duration::from_secs(2), Duration::ZERO), None);
+        assert_eq!(
+            QueryMetrics::time_ratio(Duration::from_secs(2), Duration::from_secs(1)),
+            Some(2.0)
+        );
+        assert_eq!(
+            QueryMetrics::time_ratio(Duration::from_secs(2), Duration::ZERO),
+            None
+        );
     }
 }

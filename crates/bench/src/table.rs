@@ -14,7 +14,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (missing cells render empty, extra cells are kept).
@@ -48,9 +51,9 @@ impl Table {
         }
         let render_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..columns {
+            for (i, width) in widths.iter().enumerate().take(columns) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:>width$}  ", width = widths[i]));
+                line.push_str(&format!("{cell:>width$}  "));
             }
             line.trim_end().to_string()
         };
@@ -109,7 +112,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt_ratio(Some(3.14159)), "3.1");
+        assert_eq!(fmt_ratio(Some(2.46913)), "2.5");
         assert_eq!(fmt_ratio(None), "-");
         assert_eq!(fmt_ratio(Some(f64::INFINITY)), "-");
         assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");

@@ -50,16 +50,19 @@ impl AnswerTree {
         prestige: &PrestigeVector,
         model: &ScoreModel,
     ) -> Self {
-        assert!(!paths.is_empty(), "an answer tree needs at least one keyword path");
+        assert!(
+            !paths.is_empty(),
+            "an answer tree needs at least one keyword path"
+        );
         let mut keyword_edge_scores = Vec::with_capacity(paths.len());
         for path in &paths {
             assert!(!path.is_empty(), "keyword path must not be empty");
             assert_eq!(path[0], root, "keyword path must start at the root");
             let mut sum = 0.0;
             for pair in path.windows(2) {
-                let w = graph
-                    .edge_weight(pair[0], pair[1])
-                    .unwrap_or_else(|| panic!("answer path uses missing edge {} -> {}", pair[0], pair[1]));
+                let w = graph.edge_weight(pair[0], pair[1]).unwrap_or_else(|| {
+                    panic!("answer path uses missing edge {} -> {}", pair[0], pair[1])
+                });
                 sum += w;
             }
             keyword_edge_scores.push(sum);
@@ -75,7 +78,14 @@ impl AnswerTree {
         let node_prestige: f64 = prestige_nodes.iter().map(|n| prestige.get(*n)).sum();
 
         let score = model.tree_score(aggregate_edge_weight, node_prestige);
-        AnswerTree { root, paths, keyword_edge_scores, aggregate_edge_weight, node_prestige, score }
+        AnswerTree {
+            root,
+            paths,
+            keyword_edge_scores,
+            aggregate_edge_weight,
+            node_prestige,
+            score,
+        }
     }
 
     /// Number of keywords the tree connects.
@@ -131,8 +141,12 @@ impl AnswerTree {
     /// Children of the root within the tree (first hop of every non-trivial
     /// keyword path, deduplicated).
     pub fn root_children(&self) -> Vec<NodeId> {
-        let set: BTreeSet<NodeId> =
-            self.paths.iter().filter(|p| p.len() > 1).map(|p| p[1]).collect();
+        let set: BTreeSet<NodeId> = self
+            .paths
+            .iter()
+            .filter(|p| p.len() > 1)
+            .map(|p| p[1])
+            .collect();
         set.into_iter().collect()
     }
 
@@ -173,16 +187,24 @@ impl AnswerTree {
                 return Err(format!("path {i} does not start at the root"));
             }
             if path.len() - 1 > dmax {
-                return Err(format!("path {i} has {} edges, exceeding dmax {dmax}", path.len() - 1));
+                return Err(format!(
+                    "path {i} has {} edges, exceeding dmax {dmax}",
+                    path.len() - 1
+                ));
             }
             for pair in path.windows(2) {
                 if !graph.has_edge(pair[0], pair[1]) {
-                    return Err(format!("path {i} uses missing edge {} -> {}", pair[0], pair[1]));
+                    return Err(format!(
+                        "path {i} uses missing edge {} -> {}",
+                        pair[0], pair[1]
+                    ));
                 }
             }
             let leaf = *path.last().expect("non-empty");
             if !origin_sets[i].contains(&leaf) {
-                return Err(format!("leaf {leaf} of path {i} does not match keyword {i}"));
+                return Err(format!(
+                    "leaf {leaf} of path {i} does not match keyword {i}"
+                ));
             }
         }
         Ok(())
@@ -221,7 +243,10 @@ mod tests {
         assert_eq!(t.num_keywords(), 2);
         assert_eq!(t.leaves(), vec![NodeId(0), NodeId(1)]);
         assert_eq!(t.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
-        assert_eq!(t.edges(), vec![(NodeId(2), NodeId(0)), (NodeId(2), NodeId(1))]);
+        assert_eq!(
+            t.edges(),
+            vec![(NodeId(2), NodeId(0)), (NodeId(2), NodeId(1))]
+        );
         assert_eq!(t.size(), 3);
         assert_eq!(t.depth(), 1);
         assert!(t.is_minimal());
@@ -242,7 +267,10 @@ mod tests {
         assert_eq!(t.leaf(0), NodeId(2));
         // prestige nodes: {2, 1}
         assert_eq!(t.node_prestige, 2.0);
-        assert!(t.is_minimal(), "root matching a keyword keeps single-child trees minimal");
+        assert!(
+            t.is_minimal(),
+            "root matching a keyword keeps single-child trees minimal"
+        );
     }
 
     #[test]
@@ -269,7 +297,10 @@ mod tests {
         let model = ScoreModel::paper_default();
         let t = AnswerTree::new(
             NodeId(0),
-            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(0), NodeId(1), NodeId(2)]],
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+            ],
             &g,
             &p,
             &model,
@@ -320,7 +351,7 @@ mod tests {
         // dmax too small
         assert!(t.validate(&g, &origin_ok, 0).is_err());
         // keyword count mismatch
-        assert!(t.validate(&g, &origin_ok[..1].to_vec(), 8).is_err());
+        assert!(t.validate(&g, &origin_ok[..1], 8).is_err());
     }
 
     #[test]

@@ -11,17 +11,15 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::time::Instant;
 
 use banks_graph::{DataGraph, NodeId};
-use banks_prestige::PrestigeVector;
-use banks_textindex::KeywordMatches;
 
 use crate::answer::AnswerTree;
-use crate::engine::{RankedAnswer, SearchEngine, SearchOutcome};
+use crate::engine::{RankedAnswer, SearchEngine};
 use crate::output::OutputHeap;
-use crate::params::SearchParams;
+use crate::score::ScoreModel;
 use crate::stats::SearchStats;
+use crate::stream::{next_answer, AnswerStream, ExpansionMachine, QueryContext, StreamCore};
 
 /// Upper bound on the number of answer-tree combinations generated when a
 /// single node is reached by many iterators of the same keyword, protecting
@@ -88,7 +86,11 @@ impl SsspIterator {
     fn peek_dist(&mut self) -> Option<f64> {
         while let Some(Reverse((OrderedF64(d), node))) = self.frontier.peek() {
             let stale = self.visited.contains_key(node)
-                || self.tentative.get(node).map(|t| (t - d).abs() > 1e-12).unwrap_or(true);
+                || self
+                    .tentative
+                    .get(node)
+                    .map(|t| (t - d).abs() > 1e-12)
+                    .unwrap_or(true);
             if stale {
                 self.frontier.pop();
             } else {
@@ -114,7 +116,11 @@ impl SsspIterator {
                     continue;
                 }
                 let candidate = d + e.weight;
-                let better = self.tentative.get(&u).map(|t| candidate < *t - 1e-12).unwrap_or(true);
+                let better = self
+                    .tentative
+                    .get(&u)
+                    .map(|t| candidate < *t - 1e-12)
+                    .unwrap_or(true);
                 if better {
                     if !self.tentative.contains_key(&u) {
                         newly_touched += 1;
@@ -152,148 +158,237 @@ impl SearchEngine for BackwardExpandingSearch {
         "MI-Backward"
     }
 
-    fn search(
-        &self,
-        graph: &DataGraph,
-        prestige: &PrestigeVector,
-        matches: &KeywordMatches,
-        params: &SearchParams,
-    ) -> SearchOutcome {
-        let started = Instant::now();
-        let num_keywords = matches.num_keywords();
-        let model = params.score_model();
-        let mut stats = SearchStats::default();
-        let mut outputs: Vec<RankedAnswer> = Vec::new();
+    fn start<'a>(&self, ctx: QueryContext<'a>) -> Box<dyn AnswerStream + 'a> {
+        Box::new(MiExpander::new(ctx))
+    }
+}
 
-        if num_keywords == 0 || !matches.all_keywords_matched() {
-            stats.duration = started.elapsed();
-            return SearchOutcome { answers: outputs, stats };
+/// The multi-iterator expansion machinery as a resumable step machine: each
+/// [`MiExpander::advance`] call finalises (at most) one node of one
+/// iterator, and the [`Iterator`] implementation calls it until the next
+/// answer is released.  The control flow replicates the pre-streaming batch
+/// loop exactly, so draining the stream reproduces the batch results answer
+/// for answer.
+struct MiExpander<'a> {
+    ctx: QueryContext<'a>,
+    model: ScoreModel,
+    num_keywords: usize,
+    /// One SSSP iterator per keyword node.
+    iterators: Vec<SsspIterator>,
+    /// Global scheduler over iterators, keyed by their next frontier
+    /// distance (lazy re-validation at pop time).
+    scheduler: BinaryHeap<Reverse<(OrderedF64, usize)>>,
+    /// `visited_by[node][keyword]` = iterator indices that have visited it.
+    visited_by: HashMap<NodeId, Vec<Vec<usize>>>,
+    heap: OutputHeap,
+    /// Shared stream-driver state (ready queue, counters, lifecycle).
+    core: StreamCore,
+}
+
+impl<'a> MiExpander<'a> {
+    fn new(ctx: QueryContext<'a>) -> Self {
+        let num_keywords = ctx.matches.num_keywords();
+        let model = ctx.params.score_model();
+        MiExpander {
+            model,
+            num_keywords,
+            iterators: Vec::new(),
+            scheduler: BinaryHeap::new(),
+            visited_by: HashMap::new(),
+            heap: OutputHeap::new(
+                model,
+                ctx.params.emission,
+                num_keywords,
+                ctx.prestige.max(),
+                ctx.params.top_k,
+            ),
+            core: StreamCore::new(),
+            ctx,
         }
+    }
 
-        // One iterator per keyword node.
-        let mut iterators: Vec<SsspIterator> = Vec::new();
-        for i in 0..num_keywords {
-            for origin in matches.origin_set(i) {
-                iterators.push(SsspIterator::new(i, *origin));
+    /// Seeding on the first call, then one scheduler pop per call.
+    fn advance(&mut self) {
+        if !self.core.seeded {
+            self.core.begin();
+            if self.num_keywords == 0 || !self.ctx.matches.all_keywords_matched() {
+                self.finish();
+                return;
             }
-        }
-        stats.nodes_touched = iterators.len(); // every origin is labelled once
-
-        // Global scheduler over iterators, keyed by their next frontier
-        // distance (lazy re-validation at pop time).
-        let mut scheduler: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
-        for (idx, it) in iterators.iter_mut().enumerate() {
-            if let Some(d) = it.peek_dist() {
-                scheduler.push(Reverse((OrderedF64(d), idx)));
-            }
-        }
-
-        // visited_by[node][keyword] = iterator indices that have visited it.
-        let mut visited_by: HashMap<NodeId, Vec<Vec<usize>>> = HashMap::new();
-        let mut heap = OutputHeap::new(model, params.emission, num_keywords, prestige.max());
-
-        while let Some(Reverse((OrderedF64(d), idx))) = scheduler.pop() {
-            if outputs.len() >= params.top_k {
-                break;
-            }
-            if let Some(cap) = params.max_explored {
-                if stats.nodes_explored >= cap {
-                    stats.truncated = true;
-                    break;
+            // One iterator per keyword node.
+            for i in 0..self.num_keywords {
+                for origin in self.ctx.matches.origin_set(i) {
+                    self.iterators.push(SsspIterator::new(i, *origin));
                 }
             }
-            if let Some(cap) = params.max_generated {
-                if stats.answers_generated >= cap {
-                    stats.truncated = true;
-                    break;
+            self.core.stats.nodes_touched = self.iterators.len(); // every origin is labelled once
+            for (idx, it) in self.iterators.iter_mut().enumerate() {
+                if let Some(d) = it.peek_dist() {
+                    self.scheduler.push(Reverse((OrderedF64(d), idx)));
                 }
             }
+            return;
+        }
 
-            // Re-validate the scheduler entry.
-            match iterators[idx].peek_dist() {
-                None => continue,
-                Some(current) if (current - d).abs() > 1e-12 => {
-                    scheduler.push(Reverse((OrderedF64(current), idx)));
-                    continue;
+        let Some(Reverse((OrderedF64(d), idx))) = self.scheduler.pop() else {
+            self.finish();
+            return;
+        };
+        if self.core.produced >= self.ctx.params.top_k {
+            self.finish();
+            return;
+        }
+        if let Some(cap) = self.ctx.params.max_explored {
+            if self.core.stats.nodes_explored >= cap {
+                self.core.stats.truncated = true;
+                self.finish();
+                return;
+            }
+        }
+        if let Some(cap) = self.ctx.params.max_generated {
+            if self.core.stats.answers_generated >= cap {
+                self.core.stats.truncated = true;
+                self.finish();
+                return;
+            }
+        }
+
+        // Re-validate the scheduler entry.
+        match self.iterators[idx].peek_dist() {
+            None => return,
+            Some(current) if (current - d).abs() > 1e-12 => {
+                self.scheduler.push(Reverse((OrderedF64(current), idx)));
+                return;
+            }
+            Some(_) => {}
+        }
+
+        let graph = self.ctx.graph;
+        let Some((m, dist_m, newly_touched)) =
+            self.iterators[idx].step(graph, self.ctx.params.dmax)
+        else {
+            return;
+        };
+        self.core.stats.nodes_explored += 1;
+        self.core.stats.nodes_touched += newly_touched;
+        self.core.stats.edges_traversed += graph.in_degree(m);
+        if let Some(next) = self.iterators[idx].peek_dist() {
+            self.scheduler.push(Reverse((OrderedF64(next), idx)));
+        }
+
+        // Record the visit and generate answers for new combinations.
+        let keyword = self.iterators[idx].keyword;
+        let lists = self
+            .visited_by
+            .entry(m)
+            .or_insert_with(|| vec![Vec::new(); self.num_keywords]);
+        lists[keyword].push(idx);
+        let all_reached = lists.iter().all(|l| !l.is_empty());
+        if all_reached {
+            let combos = enumerate_combinations(lists, keyword, idx, MAX_COMBINATIONS_PER_VISIT);
+            for combo in combos {
+                if let Some(cap) = self.ctx.params.max_generated {
+                    if self.core.stats.answers_generated >= cap {
+                        break;
+                    }
                 }
-                Some(_) => {}
-            }
-
-            let Some((m, dist_m, newly_touched)) = iterators[idx].step(graph, params.dmax) else {
-                continue;
-            };
-            stats.nodes_explored += 1;
-            stats.nodes_touched += newly_touched;
-            stats.edges_traversed += graph.in_degree(m);
-            if let Some(next) = iterators[idx].peek_dist() {
-                scheduler.push(Reverse((OrderedF64(next), idx)));
-            }
-
-            // Record the visit and generate answers for new combinations.
-            let keyword = iterators[idx].keyword;
-            let lists = visited_by.entry(m).or_insert_with(|| vec![Vec::new(); num_keywords]);
-            lists[keyword].push(idx);
-            let all_reached = lists.iter().all(|l| !l.is_empty());
-            if all_reached {
-                let combos = enumerate_combinations(lists, keyword, idx, MAX_COMBINATIONS_PER_VISIT);
-                for combo in combos {
-                    if let Some(cap) = params.max_generated {
-                        if stats.answers_generated >= cap {
+                let mut paths = Vec::with_capacity(self.num_keywords);
+                let mut ok = true;
+                for iter_idx in &combo {
+                    match self.iterators[*iter_idx].path_to_origin(m) {
+                        Some(p) => paths.push(p),
+                        None => {
+                            ok = false;
                             break;
                         }
                     }
-                    let mut paths = Vec::with_capacity(num_keywords);
-                    let mut ok = true;
-                    for iter_idx in &combo {
-                        match iterators[*iter_idx].path_to_origin(m) {
-                            Some(p) => paths.push(p),
-                            None => {
-                                ok = false;
-                                break;
-                            }
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
-                    let tree = AnswerTree::new(m, paths, graph, prestige, &model);
-                    stats.answers_generated += 1;
-                    heap.insert(tree, started.elapsed(), stats.nodes_explored);
                 }
-            }
-
-            // Release answers using the coarse bound of Section 4.5: because
-            // the iterators run Dijkstra, distances are finalised in
-            // non-decreasing order, so any answer generated in the future
-            // pays at least the globally smallest frontier distance `dist_m`
-            // for every keyword path still to be discovered — the paper's
-            // `h(m_1..m_k) = k · dist_m`.
-            let min_future = num_keywords as f64 * dist_m;
-            let released = heap.release(min_future, started.elapsed(), stats.nodes_explored);
-            for (tree, timing) in released {
-                if outputs.len() >= params.top_k {
-                    break;
+                if !ok {
+                    continue;
                 }
-                let rank = outputs.len();
-                outputs.push(RankedAnswer { rank, tree, timing });
+                let tree = AnswerTree::new(m, paths, graph, self.ctx.prestige, &self.model);
+                self.core.stats.answers_generated += 1;
+                self.heap.insert(
+                    tree,
+                    self.core.started.elapsed(),
+                    self.core.stats.nodes_explored,
+                );
             }
         }
 
-        // Frontier exhausted or top-k reached: flush the buffer.
-        let released = heap.flush(started.elapsed(), stats.nodes_explored);
-        for (tree, timing) in released {
-            if outputs.len() >= params.top_k {
-                break;
-            }
-            let rank = outputs.len();
-            outputs.push(RankedAnswer { rank, tree, timing });
-        }
+        // Release answers using the coarse bound of Section 4.5: because
+        // the iterators run Dijkstra, distances are finalised in
+        // non-decreasing order, so any answer generated in the future
+        // pays at least the globally smallest frontier distance `dist_m`
+        // for every keyword path still to be discovered — the paper's
+        // `h(m_1..m_k) = k · dist_m`.
+        let min_future = self.num_keywords as f64 * dist_m;
+        let released = self.heap.release(
+            min_future,
+            self.core.started.elapsed(),
+            self.core.stats.nodes_explored,
+        );
+        self.core.push_released(self.ctx.params.top_k, released);
+    }
 
-        stats.answers_output = outputs.len();
-        stats.duplicates_discarded = heap.duplicates_discarded();
-        stats.non_minimal_discarded = heap.non_minimal_discarded();
-        stats.duration = started.elapsed();
-        SearchOutcome { answers: outputs, stats }
+    /// Frontier exhausted, caps hit, `top_k` produced, or deadline missed:
+    /// flush the buffer and seal the statistics.
+    fn finish(&mut self) {
+        if self.core.done {
+            return;
+        }
+        let released = self
+            .heap
+            .flush(self.core.started.elapsed(), self.core.stats.nodes_explored);
+        self.core.push_released(self.ctx.params.top_k, released);
+        self.core.seal(
+            self.heap.duplicates_discarded(),
+            self.heap.non_minimal_discarded(),
+        );
+    }
+}
+
+impl<'a> ExpansionMachine for MiExpander<'a> {
+    fn core(&self) -> &StreamCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut StreamCore {
+        &mut self.core
+    }
+
+    fn answer_deadline(&self) -> Option<std::time::Duration> {
+        self.ctx.params.answer_deadline
+    }
+
+    fn advance(&mut self) {
+        MiExpander::advance(self)
+    }
+
+    fn finish(&mut self) {
+        MiExpander::finish(self)
+    }
+}
+
+impl<'a> Iterator for MiExpander<'a> {
+    type Item = RankedAnswer;
+
+    fn next(&mut self) -> Option<RankedAnswer> {
+        next_answer(self)
+    }
+}
+
+impl<'a> AnswerStream for MiExpander<'a> {
+    fn stats(&self) -> SearchStats {
+        self.core.live_stats()
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "MI-Backward"
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.core.is_exhausted()
     }
 }
 
@@ -326,27 +421,54 @@ fn enumerate_combinations(
         }
         if keyword == new_keyword {
             current[keyword] = new_idx;
-            recurse(lists, new_keyword, new_idx, cap, keyword + 1, current, result);
+            recurse(
+                lists,
+                new_keyword,
+                new_idx,
+                cap,
+                keyword + 1,
+                current,
+                result,
+            );
         } else {
             for idx in &lists[keyword] {
                 current[keyword] = *idx;
-                recurse(lists, new_keyword, new_idx, cap, keyword + 1, current, result);
+                recurse(
+                    lists,
+                    new_keyword,
+                    new_idx,
+                    cap,
+                    keyword + 1,
+                    current,
+                    result,
+                );
                 if result.len() >= cap {
                     return;
                 }
             }
         }
     }
-    recurse(lists, new_keyword, new_idx, cap, 0, &mut current, &mut result);
+    recurse(
+        lists,
+        new_keyword,
+        new_idx,
+        cap,
+        0,
+        &mut current,
+        &mut result,
+    );
     result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use banks_graph::builder::graph_from_edges;
     use crate::bidirectional::BidirectionalSearch;
+    use crate::params::SearchParams;
     use crate::si_backward::SingleIteratorBackwardSearch;
+    use banks_graph::builder::graph_from_edges;
+    use banks_prestige::PrestigeVector;
+    use banks_textindex::KeywordMatches;
 
     fn uniform(graph: &DataGraph) -> PrestigeVector {
         PrestigeVector::uniform_for(graph)
@@ -385,13 +507,22 @@ mod tests {
     fn agrees_with_single_iterator_variants_on_answer_sets() {
         let g = graph_from_edges(
             9,
-            &[(4, 0), (4, 1), (5, 1), (5, 2), (6, 2), (6, 3), (7, 3), (7, 0), (8, 0), (8, 2)],
+            &[
+                (4, 0),
+                (4, 1),
+                (5, 1),
+                (5, 2),
+                (6, 2),
+                (6, 3),
+                (7, 3),
+                (7, 0),
+                (8, 0),
+                (8, 2),
+            ],
         );
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("a", vec![NodeId(0)]),
-            ("b", vec![NodeId(2)]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(2)])]);
         let params = SearchParams::with_top_k(100);
         let mi = BackwardExpandingSearch::new().search(&g, &p, &matches, &params);
         let si = SingleIteratorBackwardSearch::new().search(&g, &p, &matches, &params);
@@ -439,15 +570,17 @@ mod tests {
     fn respects_dmax() {
         let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("k1", vec![NodeId(0)]),
-            ("k2", vec![NodeId(4)]),
-        ]);
-        let none = BackwardExpandingSearch::new()
-            .search(&g, &p, &matches, &SearchParams::default().dmax(1));
+        let matches =
+            KeywordMatches::from_sets(vec![("k1", vec![NodeId(0)]), ("k2", vec![NodeId(4)])]);
+        let none = BackwardExpandingSearch::new().search(
+            &g,
+            &p,
+            &matches,
+            &SearchParams::default().dmax(1),
+        );
         assert!(none.answers.is_empty());
-        let found = BackwardExpandingSearch::new()
-            .search(&g, &p, &matches, &SearchParams::default());
+        let found =
+            BackwardExpandingSearch::new().search(&g, &p, &matches, &SearchParams::default());
         assert!(!found.answers.is_empty());
     }
 
@@ -455,10 +588,7 @@ mod tests {
     fn unmatched_keyword_returns_no_answers() {
         let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("a", vec![NodeId(0)]),
-            ("b", vec![]),
-        ]);
+        let matches = KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![])]);
         let outcome =
             BackwardExpandingSearch::new().search(&g, &p, &matches, &SearchParams::default());
         assert!(outcome.answers.is_empty());

@@ -24,19 +24,16 @@
 //! [`crate::SingleIteratorBackwardSearch`] is implemented.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
-use banks_graph::{DataGraph, NodeId};
-use banks_prestige::PrestigeVector;
-use banks_textindex::KeywordMatches;
+use banks_graph::NodeId;
 
 use crate::answer::AnswerTree;
-use crate::engine::{RankedAnswer, SearchEngine, SearchOutcome};
+use crate::engine::{RankedAnswer, SearchEngine};
 use crate::output::{InsertOutcome, OutputHeap};
-use crate::params::SearchParams;
 use crate::pq::MaxPriorityQueue;
 use crate::score::ScoreModel;
 use crate::stats::SearchStats;
+use crate::stream::{next_answer, AnswerStream, ExpansionMachine, QueryContext, StreamCore};
 
 /// Configuration switches that turn the full Bidirectional algorithm into
 /// its ablated variants.
@@ -53,7 +50,10 @@ pub struct BidirectionalConfig {
 
 impl Default for BidirectionalConfig {
     fn default() -> Self {
-        BidirectionalConfig { enable_outgoing: true, use_activation: true }
+        BidirectionalConfig {
+            enable_outgoing: true,
+            use_activation: true,
+        }
     }
 }
 
@@ -81,24 +81,23 @@ impl BidirectionalSearch {
     }
 }
 
+/// Display name of a configuration.
+fn config_name(config: BidirectionalConfig) -> &'static str {
+    match (config.enable_outgoing, config.use_activation) {
+        (true, true) => "Bidirectional",
+        (true, false) => "Bidirectional(no-activation)",
+        (false, true) => "Backward(activation)",
+        (false, false) => "SI-Backward",
+    }
+}
+
 impl SearchEngine for BidirectionalSearch {
     fn name(&self) -> &'static str {
-        match (self.config.enable_outgoing, self.config.use_activation) {
-            (true, true) => "Bidirectional",
-            (true, false) => "Bidirectional(no-activation)",
-            (false, true) => "Backward(activation)",
-            (false, false) => "SI-Backward",
-        }
+        config_name(self.config)
     }
 
-    fn search(
-        &self,
-        graph: &DataGraph,
-        prestige: &PrestigeVector,
-        matches: &KeywordMatches,
-        params: &SearchParams,
-    ) -> SearchOutcome {
-        Expander::new(self.config, graph, prestige, matches, params).run()
+    fn start<'a>(&self, ctx: QueryContext<'a>) -> Box<dyn AnswerStream + 'a> {
+        Box::new(Expander::new(self.config, ctx))
     }
 }
 
@@ -187,7 +186,9 @@ impl Ord for OrderedF64 {
 
 impl FrontierBounds {
     fn new(num_keywords: usize) -> Self {
-        FrontierBounds { heaps: (0..num_keywords).map(|_| Default::default()).collect() }
+        FrontierBounds {
+            heaps: (0..num_keywords).map(|_| Default::default()).collect(),
+        }
     }
 
     fn record(&mut self, keyword: usize, node: NodeId, dist: f64) {
@@ -196,24 +197,19 @@ impl FrontierBounds {
         }
     }
 
-    /// Estimates of the aggregate edge weight of any answer not yet
-    /// generated, derived from the frontier distance labels (Section 4.5).
-    ///
-    /// Returns `(conservative, sum)`:
-    /// * `sum` is the paper's `h(m_1, ..., m_k) = Σ_i m_i`, where `m_i` is
-    ///   the smallest distance label to keyword `i` among nodes still
-    ///   waiting in `Q_in` (the "looser heuristic" release test);
-    /// * `conservative` is the single smallest label, used by the
-    ///   [`crate::EmissionPolicy::ExactBound`] policy.  It deliberately
-    ///   under-estimates future edge weights: nodes that already left the
-    ///   frontier may still complete into answers whose per-keyword paths
-    ///   are shorter than the current frontier minima (they may match some
-    ///   keywords directly), so the sum is not a safe release threshold.
+    /// Estimate of the aggregate edge weight of any answer not yet
+    /// generated, derived from the frontier distance labels (Section 4.5):
+    /// the paper's `h(m_1, ..., m_k) = Σ_i m_i`, where `m_i` is the
+    /// smallest distance label to keyword `i` among nodes still waiting in
+    /// `Q_in` (keywords with an empty frontier fall back to the global
+    /// minimum label).  Both emission policies consume this estimate; like
+    /// the paper's own bound it is an approximation — nodes that already
+    /// left the frontier may still complete into slightly better answers.
     fn min_future_edge_weight(
         &mut self,
         states: &HashMap<NodeId, NodeState>,
         q_in: &MaxPriorityQueue,
-    ) -> (f64, f64) {
+    ) -> f64 {
         let mut per_keyword: Vec<Option<f64>> = Vec::with_capacity(self.heaps.len());
         for (i, heap) in self.heaps.iter_mut().enumerate() {
             loop {
@@ -239,23 +235,25 @@ impl FrontierBounds {
                 }
             }
         }
-        let global_min =
-            per_keyword.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+        let global_min = per_keyword
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         if global_min.is_infinite() {
-            return (0.0, 0.0);
+            return 0.0;
         }
-        let sum = per_keyword.iter().map(|m| m.unwrap_or(global_min)).sum();
-        (global_min, sum)
+        per_keyword.iter().map(|m| m.unwrap_or(global_min)).sum()
     }
 }
 
-/// The shared expansion machinery for Bidirectional and SI-Backward search.
+/// The shared expansion machinery for Bidirectional and SI-Backward search,
+/// structured as a resumable step machine: [`Expander::advance`] performs
+/// one unit of work, and the [`Iterator`] implementation calls it until the
+/// next answer is released.
 struct Expander<'a> {
     config: BidirectionalConfig,
-    graph: &'a DataGraph,
-    prestige: &'a PrestigeVector,
-    matches: &'a KeywordMatches,
-    params: &'a SearchParams,
+    ctx: QueryContext<'a>,
     model: ScoreModel,
     num_keywords: usize,
     states: HashMap<NodeId, NodeState>,
@@ -263,37 +261,31 @@ struct Expander<'a> {
     q_out: MaxPriorityQueue,
     heap: OutputHeap,
     bounds: FrontierBounds,
-    stats: SearchStats,
-    outputs: Vec<RankedAnswer>,
-    started: Instant,
+    /// Shared stream-driver state (ready queue, counters, lifecycle).
+    core: StreamCore,
 }
 
 impl<'a> Expander<'a> {
-    fn new(
-        config: BidirectionalConfig,
-        graph: &'a DataGraph,
-        prestige: &'a PrestigeVector,
-        matches: &'a KeywordMatches,
-        params: &'a SearchParams,
-    ) -> Self {
-        let num_keywords = matches.num_keywords();
-        let model = params.score_model();
+    fn new(config: BidirectionalConfig, ctx: QueryContext<'a>) -> Self {
+        let num_keywords = ctx.matches.num_keywords();
+        let model = ctx.params.score_model();
         Expander {
             config,
-            graph,
-            prestige,
-            matches,
-            params,
             model,
             num_keywords,
             states: HashMap::new(),
             q_in: MaxPriorityQueue::new(),
             q_out: MaxPriorityQueue::new(),
-            heap: OutputHeap::new(model, params.emission, num_keywords, prestige.max()),
+            heap: OutputHeap::new(
+                model,
+                ctx.params.emission,
+                num_keywords,
+                ctx.prestige.max(),
+                ctx.params.top_k,
+            ),
             bounds: FrontierBounds::new(num_keywords),
-            stats: SearchStats::default(),
-            outputs: Vec::new(),
-            started: Instant::now(),
+            core: StreamCore::new(),
+            ctx,
         }
     }
 
@@ -311,61 +303,79 @@ impl<'a> Expander<'a> {
         }
     }
 
-    fn run(mut self) -> SearchOutcome {
-        self.started = Instant::now();
-        if self.num_keywords == 0 || !self.matches.all_keywords_matched() {
-            self.stats.duration = self.started.elapsed();
-            return SearchOutcome { answers: self.outputs, stats: self.stats };
+    /// Performs one unit of work: seeding on the first call, then exactly
+    /// one frontier expansion (plus the release check) per call, finishing
+    /// the search when the frontier is exhausted, `top_k` is produced, or a
+    /// safety cap trips.  The control flow replicates the pre-streaming
+    /// batch loop exactly, so draining the stream reproduces the batch
+    /// results answer for answer.
+    fn advance(&mut self) {
+        if !self.core.seeded {
+            self.core.begin();
+            if self.num_keywords == 0 || !self.ctx.matches.all_keywords_matched() {
+                self.finish();
+                return;
+            }
+            self.seed();
+            return;
         }
 
-        self.seed();
-
-        while !self.q_in.is_empty() || !self.q_out.is_empty() {
-            if self.outputs.len() >= self.params.top_k {
-                break;
+        if self.q_in.is_empty() && self.q_out.is_empty() {
+            self.finish();
+            return;
+        }
+        if self.core.produced >= self.ctx.params.top_k {
+            self.finish();
+            return;
+        }
+        if let Some(cap) = self.ctx.params.max_explored {
+            if self.core.stats.nodes_explored >= cap {
+                self.core.stats.truncated = true;
+                self.finish();
+                return;
             }
-            if let Some(cap) = self.params.max_explored {
-                if self.stats.nodes_explored >= cap {
-                    self.stats.truncated = true;
-                    break;
-                }
+        }
+        if let Some(cap) = self.ctx.params.max_generated {
+            if self.core.stats.answers_generated >= cap {
+                self.core.stats.truncated = true;
+                self.finish();
+                return;
             }
-            if let Some(cap) = self.params.max_generated {
-                if self.stats.answers_generated >= cap {
-                    self.stats.truncated = true;
-                    break;
-                }
-            }
-
-            let side = self.pick_side();
-            match side {
-                Some(Side::Incoming) => self.expand_incoming(),
-                Some(Side::Outgoing) => self.expand_outgoing(),
-                None => break,
-            }
-            self.release();
         }
 
-        // Frontier exhausted, caps hit, or top-k reached: whatever is still
-        // buffered can safely be flushed (if we stopped early the remaining
-        // answers are still the best known ones).
+        match self.pick_side() {
+            Some(Side::Incoming) => self.expand_incoming(),
+            Some(Side::Outgoing) => self.expand_outgoing(),
+            None => {
+                self.finish();
+                return;
+            }
+        }
+        self.release();
+    }
+
+    /// Ends the search: whatever is still buffered can safely be flushed
+    /// (if we stopped early the remaining answers are still the best known
+    /// ones), and the final statistics are sealed.
+    fn finish(&mut self) {
+        if self.core.done {
+            return;
+        }
         self.flush_remaining();
-
-        self.stats.answers_output = self.outputs.len();
-        self.stats.duplicates_discarded = self.heap.duplicates_discarded();
-        self.stats.non_minimal_discarded = self.heap.non_minimal_discarded();
-        self.stats.duration = self.started.elapsed();
-        SearchOutcome { answers: self.outputs, stats: self.stats }
+        self.core.seal(
+            self.heap.duplicates_discarded(),
+            self.heap.non_minimal_discarded(),
+        );
     }
 
     /// Inserts all keyword nodes into `Q_in` with their seed activation
     /// (Equation 1 of the paper).
     fn seed(&mut self) {
         for i in 0..self.num_keywords {
-            let origin: Vec<NodeId> = self.matches.origin_set(i).to_vec();
+            let origin: Vec<NodeId> = self.ctx.matches.origin_set(i).to_vec();
             let origin_size = origin.len().max(1) as f64;
             for u in origin {
-                let prestige = self.prestige.get(u);
+                let prestige = self.ctx.prestige.get(u);
                 let state = self.state(u);
                 state.dist[i] = 0.0;
                 state.sp[i] = None;
@@ -373,12 +383,12 @@ impl<'a> Expander<'a> {
                 state.depth = 0;
             }
         }
-        let seeds: Vec<NodeId> = self.matches.all_origin_nodes();
+        let seeds: Vec<NodeId> = self.ctx.matches.all_origin_nodes();
         for u in seeds {
             self.state(u).touched_in = true;
             let prio = self.priority(&self.states[&u]);
             self.q_in.push(u, prio);
-            self.stats.nodes_touched += 1;
+            self.core.stats.nodes_touched += 1;
             for i in 0..self.num_keywords {
                 let d = self.states[&u].dist[i];
                 self.bounds.record(i, u, d);
@@ -396,7 +406,11 @@ impl<'a> Expander<'a> {
     /// priority (Figure 3, the `switch` at line 5).
     fn pick_side(&mut self) -> Option<Side> {
         let best_in = self.q_in.peek();
-        let best_out = if self.config.enable_outgoing { self.q_out.peek() } else { None };
+        let best_out = if self.config.enable_outgoing {
+            self.q_out.peek()
+        } else {
+            None
+        };
         match (best_in, best_out) {
             (None, None) => None,
             (Some(_), None) => Some(Side::Incoming),
@@ -413,24 +427,30 @@ impl<'a> Expander<'a> {
 
     /// One expansion step of the incoming iterator (Figure 3, lines 6–14).
     fn expand_incoming(&mut self) {
-        let Some((v, _)) = self.q_in.pop() else { return };
+        let Some((v, _)) = self.q_in.pop() else {
+            return;
+        };
         self.state(v).in_xin = true;
-        self.stats.nodes_explored += 1;
+        self.core.stats.nodes_explored += 1;
 
         if self.state(v).is_complete() {
             self.emit(v);
         }
 
         let depth_v = self.states[&v].depth;
-        if (depth_v as usize) < self.params.dmax {
+        if (depth_v as usize) < self.ctx.params.dmax {
             // Normalisation constant for backward activation spreading: the
             // received activation of v is split over its in-neighbours in
             // inverse proportion to the edge weights u -> v.
-            let in_edges: Vec<(NodeId, f64)> =
-                self.graph.in_edges(v).map(|e| (e.from, e.weight)).collect();
+            let in_edges: Vec<(NodeId, f64)> = self
+                .ctx
+                .graph
+                .in_edges(v)
+                .map(|e| (e.from, e.weight))
+                .collect();
             let z: f64 = in_edges.iter().map(|(_, w)| 1.0 / w).sum();
             for (u, w) in in_edges {
-                self.stats.edges_traversed += 1;
+                self.core.stats.edges_traversed += 1;
                 self.explore_edge(u, v, w, Side::Incoming, z);
                 {
                     let state_u = self.state(u);
@@ -444,7 +464,7 @@ impl<'a> Expander<'a> {
                     let prio = self.priority(&self.states[&u]);
                     self.q_in.push(u, prio);
                     if newly_touched {
-                        self.stats.nodes_touched += 1;
+                        self.core.stats.nodes_touched += 1;
                     }
                     for i in 0..self.num_keywords {
                         let d = self.states[&u].dist[i];
@@ -456,34 +476,37 @@ impl<'a> Expander<'a> {
 
         // Every node explored by the incoming iterator is a potential answer
         // root: hand it to the outgoing iterator (Figure 3, line 14).
-        if self.config.enable_outgoing
-            && !self.states[&v].in_xout
-            && !self.states[&v].touched_out
-        {
+        if self.config.enable_outgoing && !self.states[&v].in_xout && !self.states[&v].touched_out {
             self.state(v).touched_out = true;
             let prio = self.priority(&self.states[&v]);
             self.q_out.push(v, prio);
-            self.stats.nodes_touched += 1;
+            self.core.stats.nodes_touched += 1;
         }
     }
 
     /// One expansion step of the outgoing iterator (Figure 3, lines 15–23).
     fn expand_outgoing(&mut self) {
-        let Some((u, _)) = self.q_out.pop() else { return };
+        let Some((u, _)) = self.q_out.pop() else {
+            return;
+        };
         self.state(u).in_xout = true;
-        self.stats.nodes_explored += 1;
+        self.core.stats.nodes_explored += 1;
 
         if self.state(u).is_complete() {
             self.emit(u);
         }
 
         let depth_u = self.states[&u].depth;
-        if (depth_u as usize) < self.params.dmax {
-            let out_edges: Vec<(NodeId, f64)> =
-                self.graph.out_edges(u).map(|e| (e.to, e.weight)).collect();
+        if (depth_u as usize) < self.ctx.params.dmax {
+            let out_edges: Vec<(NodeId, f64)> = self
+                .ctx
+                .graph
+                .out_edges(u)
+                .map(|e| (e.to, e.weight))
+                .collect();
             let z: f64 = out_edges.iter().map(|(_, w)| 1.0 / w).sum();
             for (v, w) in out_edges {
-                self.stats.edges_traversed += 1;
+                self.core.stats.edges_traversed += 1;
                 self.explore_edge(u, v, w, Side::Outgoing, z);
                 {
                     let state_v = self.state(v);
@@ -497,7 +520,7 @@ impl<'a> Expander<'a> {
                     let prio = self.priority(&self.states[&v]);
                     self.q_out.push(v, prio);
                     if newly_touched {
-                        self.stats.nodes_touched += 1;
+                        self.core.stats.nodes_touched += 1;
                     }
                 }
             }
@@ -522,12 +545,16 @@ impl<'a> Expander<'a> {
         }
 
         // Distance updates: u reaches keyword i through v.
-        let dist_v = self.states.get(&v).map(|s| s.dist.clone()).unwrap_or_default();
+        let dist_v = self
+            .states
+            .get(&v)
+            .map(|s| s.dist.clone())
+            .unwrap_or_default();
         let mut improved = false;
         {
             let state_u = self.state(u);
-            for i in 0..dist_v.len() {
-                let candidate = dist_v[i] + weight;
+            for (i, d) in dist_v.iter().enumerate() {
+                let candidate = d + weight;
                 if candidate < state_u.dist[i] - 1e-12 {
                     state_u.dist[i] = candidate;
                     state_u.sp[i] = Some(v);
@@ -551,7 +578,12 @@ impl<'a> Expander<'a> {
             let spread: Vec<f64> = self
                 .states
                 .get(&spreader)
-                .map(|s| s.act.iter().map(|a| a * self.params.mu * share).collect())
+                .map(|s| {
+                    s.act
+                        .iter()
+                        .map(|a| a * self.ctx.params.mu * share)
+                        .collect()
+                })
                 .unwrap_or_default();
             let mut changed = false;
             {
@@ -597,8 +629,8 @@ impl<'a> Expander<'a> {
                 let mut improved = false;
                 {
                     let state_p = self.state(parent);
-                    for i in 0..dist_node.len() {
-                        let candidate = dist_node[i] + weight;
+                    for (i, d) in dist_node.iter().enumerate() {
+                        let candidate = d + weight;
                         if candidate < state_p.dist[i] - 1e-12 {
                             state_p.dist[i] = candidate;
                             state_p.sp[i] = Some(node);
@@ -634,7 +666,7 @@ impl<'a> Expander<'a> {
                 continue;
             }
             let act_node = self.states[&node].act.clone();
-            let mu = self.params.mu;
+            let mu = self.ctx.params.mu;
             for (parent, weight) in parents {
                 let share = (1.0 / weight) / z;
                 let mut changed = false;
@@ -669,8 +701,8 @@ impl<'a> Expander<'a> {
     /// `Emit`: build the answer tree rooted at `node` from the `sp`
     /// pointers and insert it into the output heap.
     fn emit(&mut self, node: NodeId) {
-        if let Some(cap) = self.params.max_generated {
-            if self.stats.answers_generated >= cap {
+        if let Some(cap) = self.ctx.params.max_generated {
+            if self.core.stats.answers_generated >= cap {
                 return;
             }
         }
@@ -688,11 +720,11 @@ impl<'a> Expander<'a> {
             }
         }
 
-        let tree = AnswerTree::new(node, paths, self.graph, self.prestige, &self.model);
+        let tree = AnswerTree::new(node, paths, self.ctx.graph, self.ctx.prestige, &self.model);
         self.state(node).best_emitted_weight = aggregate;
-        self.stats.answers_generated += 1;
-        let elapsed = self.started.elapsed();
-        let explored = self.stats.nodes_explored;
+        self.core.stats.answers_generated += 1;
+        let elapsed = self.core.started.elapsed();
+        let explored = self.core.stats.nodes_explored;
         let _: InsertOutcome = self.heap.insert(tree, elapsed, explored);
     }
 
@@ -707,13 +739,13 @@ impl<'a> Expander<'a> {
                 return Some(path);
             }
             let next = state.sp[keyword]?;
-            if !self.graph.has_edge(cur, next) {
+            if !self.ctx.graph.has_edge(cur, next) {
                 return None;
             }
             path.push(next);
             cur = next;
             hops += 1;
-            if hops > self.params.dmax + 2 {
+            if hops > self.ctx.params.dmax + 2 {
                 return None; // cycle guard
             }
         }
@@ -721,47 +753,78 @@ impl<'a> Expander<'a> {
 
     /// Releases buffered answers allowed by the emission policy.
     fn release(&mut self) {
-        let (_conservative, sum) = self.bounds.min_future_edge_weight(&self.states, &self.q_in);
         // Both emission policies use the paper's h(m_1..m_k) = Σ_i m_i
         // estimate; the ExactBound policy additionally folds in the maximum
-        // node prestige (Section 4.5).  Like the paper's own bound it is an
-        // approximation: nodes that already left the frontier can still
-        // complete into slightly better answers, so output order is
-        // best-effort (the recall/precision experiment quantifies this).
-        let bound = sum;
-        let elapsed = self.started.elapsed();
-        let explored = self.stats.nodes_explored;
+        // node prestige (Section 4.5).  Output order is best-effort (the
+        // recall/precision experiment quantifies this).
+        let bound = self.bounds.min_future_edge_weight(&self.states, &self.q_in);
+        let elapsed = self.core.started.elapsed();
+        let explored = self.core.stats.nodes_explored;
         let released = self.heap.release(bound, elapsed, explored);
-        for (tree, timing) in released {
-            if self.outputs.len() >= self.params.top_k {
-                break;
-            }
-            let rank = self.outputs.len();
-            self.outputs.push(RankedAnswer { rank, tree, timing });
-        }
+        self.core.push_released(self.ctx.params.top_k, released);
     }
 
     /// Flushes the heap at the end of the search.
     fn flush_remaining(&mut self) {
-        let elapsed = self.started.elapsed();
-        let explored = self.stats.nodes_explored;
+        let elapsed = self.core.started.elapsed();
+        let explored = self.core.stats.nodes_explored;
         let released = self.heap.flush(elapsed, explored);
-        for (tree, timing) in released {
-            if self.outputs.len() >= self.params.top_k {
-                break;
-            }
-            let rank = self.outputs.len();
-            self.outputs.push(RankedAnswer { rank, tree, timing });
-        }
+        self.core.push_released(self.ctx.params.top_k, released);
+    }
+}
+
+impl<'a> ExpansionMachine for Expander<'a> {
+    fn core(&self) -> &StreamCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut StreamCore {
+        &mut self.core
+    }
+
+    fn answer_deadline(&self) -> Option<std::time::Duration> {
+        self.ctx.params.answer_deadline
+    }
+
+    fn advance(&mut self) {
+        Expander::advance(self)
+    }
+
+    fn finish(&mut self) {
+        Expander::finish(self)
+    }
+}
+
+impl<'a> Iterator for Expander<'a> {
+    type Item = RankedAnswer;
+
+    fn next(&mut self) -> Option<RankedAnswer> {
+        next_answer(self)
+    }
+}
+
+impl<'a> AnswerStream for Expander<'a> {
+    fn stats(&self) -> SearchStats {
+        self.core.live_stats()
+    }
+
+    fn engine_name(&self) -> &'static str {
+        config_name(self.config)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.core.is_exhausted()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::EmissionPolicy;
+    use crate::params::{EmissionPolicy, SearchParams};
     use banks_graph::builder::graph_from_edges;
-    use banks_graph::GraphBuilder;
+    use banks_graph::{DataGraph, GraphBuilder};
+    use banks_prestige::PrestigeVector;
+    use banks_textindex::KeywordMatches;
 
     fn uniform(graph: &DataGraph) -> PrestigeVector {
         PrestigeVector::uniform_for(graph)
@@ -782,7 +845,9 @@ mod tests {
         let tree = &outcome.answers[0].tree;
         assert_eq!(tree.root, NodeId(2));
         assert_eq!(tree.leaves(), vec![NodeId(0), NodeId(1)]);
-        assert!(tree.validate(&g, &[vec![NodeId(0)], vec![NodeId(1)]], 8).is_ok());
+        assert!(tree
+            .validate(&g, &[vec![NodeId(0)], vec![NodeId(1)]], 8)
+            .is_ok());
         assert!(outcome.stats.nodes_explored > 0);
         assert!(outcome.stats.nodes_touched >= 2);
     }
@@ -807,10 +872,8 @@ mod tests {
     fn unmatched_keyword_yields_nothing() {
         let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("gray", vec![NodeId(0)]),
-            ("missing", vec![]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("gray", vec![NodeId(0)]), ("missing", vec![])]);
         let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
         assert!(outcome.answers.is_empty());
         assert_eq!(outcome.stats.nodes_explored, 0);
@@ -823,10 +886,8 @@ mod tests {
         // paper 0 cites paper 1 and paper 2
         let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("left", vec![NodeId(1)]),
-            ("right", vec![NodeId(2)]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("left", vec![NodeId(1)]), ("right", vec![NodeId(2)])]);
         let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
         assert!(!outcome.answers.is_empty());
         assert_eq!(outcome.answers[0].tree.root, NodeId(0));
@@ -838,16 +899,20 @@ mod tests {
         // chain: k1 - a - b - c - k2  (undirected thanks to backward edges)
         let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("k1", vec![NodeId(0)]),
-            ("k2", vec![NodeId(4)]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("k1", vec![NodeId(0)]), ("k2", vec![NodeId(4)])]);
         let found = BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default());
-        assert!(!found.answers.is_empty(), "dmax=8 must allow the 4-edge connection");
+        assert!(
+            !found.answers.is_empty(),
+            "dmax=8 must allow the 4-edge connection"
+        );
 
-        let none = BidirectionalSearch::new()
-            .search(&g, &p, &matches, &SearchParams::default().dmax(1));
-        assert!(none.answers.is_empty(), "dmax=1 must forbid the 4-edge connection");
+        let none =
+            BidirectionalSearch::new().search(&g, &p, &matches, &SearchParams::default().dmax(1));
+        assert!(
+            none.answers.is_empty(),
+            "dmax=1 must forbid the 4-edge connection"
+        );
     }
 
     /// The same answer set is produced with and without the forward
@@ -856,10 +921,8 @@ mod tests {
     fn ablated_configurations_agree_on_answers() {
         let g = graph_from_edges(7, &[(3, 0), (3, 1), (4, 1), (4, 2), (5, 2), (5, 0), (6, 0)]);
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("a", vec![NodeId(0)]),
-            ("b", vec![NodeId(1)]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(1)])]);
         // top_k larger than the number of possible answers so both engines
         // exhaust the graph and report their complete answer sets.
         let params = SearchParams::with_top_k(64);
@@ -936,7 +999,19 @@ mod tests {
     /// Emission policies only change output timing, not the answer set.
     #[test]
     fn emission_policy_does_not_change_answer_set() {
-        let g = graph_from_edges(8, &[(4, 0), (4, 1), (5, 1), (5, 2), (6, 2), (6, 3), (7, 3), (7, 0)]);
+        let g = graph_from_edges(
+            8,
+            &[
+                (4, 0),
+                (4, 1),
+                (5, 1),
+                (5, 2),
+                (6, 2),
+                (6, 3),
+                (7, 3),
+                (7, 0),
+            ],
+        );
         let p = uniform(&g);
         let matches = KeywordMatches::from_sets(vec![
             ("a", vec![NodeId(0), NodeId(2)]),
@@ -975,10 +1050,8 @@ mod tests {
     fn explored_cap_truncates() {
         let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
         let p = uniform(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("a", vec![NodeId(0)]),
-            ("b", vec![NodeId(49)]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(49)])]);
         let outcome = BidirectionalSearch::new().search(
             &g,
             &p,
@@ -987,6 +1060,132 @@ mod tests {
         );
         assert!(outcome.stats.truncated);
         assert!(outcome.stats.nodes_explored <= 4);
+    }
+
+    /// One `next()` call on a multi-keyword stream explores strictly fewer
+    /// nodes than draining the search to completion.
+    #[test]
+    fn single_next_explores_fewer_nodes_than_full_drain() {
+        let g = graph_from_edges(
+            12,
+            &[
+                (6, 0),
+                (6, 1),
+                (7, 1),
+                (7, 2),
+                (8, 2),
+                (8, 3),
+                (9, 3),
+                (9, 4),
+                (10, 4),
+                (10, 5),
+                (11, 5),
+                (11, 0),
+            ],
+        );
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0), NodeId(2), NodeId(4)]),
+            ("b", vec![NodeId(1), NodeId(3), NodeId(5)]),
+        ]);
+        let params = SearchParams::with_top_k(64).emission(EmissionPolicy::Immediate);
+        let engine = BidirectionalSearch::new();
+
+        let mut stream = engine.start(crate::stream::QueryContext::new(&g, &p, &matches, params));
+        assert!(stream.next().is_some(), "expected at least one answer");
+        let after_first = stream.stats().nodes_explored;
+        assert!(!stream.is_exhausted());
+
+        let full = engine.search(&g, &p, &matches, &params);
+        assert!(
+            after_first < full.stats.nodes_explored,
+            "one next() explored {} nodes, full drain {}",
+            after_first,
+            full.stats.nodes_explored
+        );
+    }
+
+    /// `top_k == 0` streams end immediately without panicking.
+    #[test]
+    fn zero_top_k_yields_no_answers() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = uniform(&g);
+        let matches =
+            KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(1)])]);
+        let params = SearchParams::with_top_k(0);
+        let outcome = BidirectionalSearch::new().search(&g, &p, &matches, &params);
+        assert!(outcome.answers.is_empty());
+        assert_eq!(outcome.stats.answers_output, 0);
+
+        let mut stream = BidirectionalSearch::new()
+            .start(crate::stream::QueryContext::new(&g, &p, &matches, params));
+        assert!(stream.next().is_none());
+        assert!(stream.is_exhausted());
+    }
+
+    /// An already-expired deadline flushes generated answers and ends the
+    /// stream with the truncation flag set.
+    #[test]
+    fn expired_deadline_truncates_the_stream() {
+        let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let p = uniform(&g);
+        let matches =
+            KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(49)])]);
+        let params = SearchParams::default().answer_deadline(std::time::Duration::ZERO);
+        let mut stream = BidirectionalSearch::new()
+            .start(crate::stream::QueryContext::new(&g, &p, &matches, params));
+        // Drain whatever the deadline lets through; the stream must end.
+        while stream.next().is_some() {}
+        assert!(stream.is_exhausted());
+        assert!(
+            stream.stats().truncated,
+            "missed deadline must set the truncation flag"
+        );
+        assert!(
+            stream.stats().nodes_explored <= 2,
+            "a zero deadline must stop expansion almost immediately, explored {}",
+            stream.stats().nodes_explored
+        );
+    }
+
+    /// Live statistics grow monotonically while the stream runs.
+    #[test]
+    fn stream_stats_are_live() {
+        let g = graph_from_edges(
+            8,
+            &[
+                (4, 0),
+                (4, 1),
+                (5, 1),
+                (5, 2),
+                (6, 2),
+                (6, 3),
+                (7, 3),
+                (7, 0),
+            ],
+        );
+        let p = uniform(&g);
+        let matches = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0), NodeId(2)]),
+            ("b", vec![NodeId(1), NodeId(3)]),
+        ]);
+        let params = SearchParams::with_top_k(64).emission(EmissionPolicy::Immediate);
+        let mut stream = BidirectionalSearch::new()
+            .start(crate::stream::QueryContext::new(&g, &p, &matches, params));
+        assert_eq!(
+            stream.stats().nodes_explored,
+            0,
+            "nothing explored before the first poll"
+        );
+        let mut previous = 0usize;
+        while stream.next().is_some() {
+            let now = stream.stats().nodes_explored;
+            assert!(now >= previous);
+            previous = now;
+        }
+        assert_eq!(stream.engine_name(), "Bidirectional");
+        let sealed = stream.stats();
+        assert_eq!(sealed.answers_output, sealed.answers_output.max(1));
     }
 
     /// Generated timings never exceed output timings.

@@ -1,4 +1,13 @@
 //! The common engine interface shared by all three search algorithms.
+//!
+//! Engines are *streaming*: the primitive operation is
+//! [`SearchEngine::start`], which returns a lazily evaluated
+//! [`AnswerStream`].  The batch entry point [`SearchEngine::search`] is a
+//! default method that drains the stream, so existing batch callers keep
+//! working unchanged while streaming callers gain early termination and
+//! live statistics.
+
+use std::time::Duration;
 
 use banks_graph::DataGraph;
 use banks_prestige::PrestigeVector;
@@ -7,6 +16,7 @@ use banks_textindex::KeywordMatches;
 use crate::answer::AnswerTree;
 use crate::params::SearchParams;
 use crate::stats::{AnswerTiming, SearchStats};
+use crate::stream::{drain, AnswerStream, QueryContext};
 
 /// An answer together with its emission timing.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,32 +59,66 @@ impl SearchOutcome {
 
     /// The best (highest) score among output answers.
     pub fn best_score(&self) -> Option<f64> {
-        self.answers.iter().map(|a| a.tree.score).fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+        self.answers
+            .iter()
+            .map(|a| a.tree.score)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+
+    /// Wall-clock time from the start of the search until the first answer
+    /// was output (the paper's Figure 5/6 time-to-first-answer metric).
+    /// `None` when the search produced no answers.
+    pub fn time_to_first_answer(&self) -> Option<Duration> {
+        self.time_to_kth_answer(1)
+    }
+
+    /// Wall-clock time until the `k`-th answer (1-based) was output.
+    /// `None` when fewer than `k` answers were produced or `k == 0`.
+    pub fn time_to_kth_answer(&self, k: usize) -> Option<Duration> {
+        if k == 0 {
+            return None;
+        }
+        self.answers.get(k - 1).map(|a| a.timing.output_at)
     }
 }
 
 /// A keyword-search engine over a data graph.
+///
+/// Implementors provide [`SearchEngine::start`], a resumable step machine
+/// behind an [`AnswerStream`]; the batch [`SearchEngine::search`] falls out
+/// as "drain the stream" and needs no separate implementation.
 pub trait SearchEngine {
     /// Short name used in benchmark tables ("Bidirectional", "SI-Backward",
     /// "MI-Backward").
     fn name(&self) -> &'static str;
 
-    /// Runs the search and returns the top answers plus statistics.
+    /// Starts a search and returns the lazy answer stream driving it.
+    ///
+    /// Each [`Iterator::next`] call on the stream advances expansion only
+    /// until the next answer clears the emission policy, so callers can
+    /// stop early (`take(1)`, drop) without paying for the full search.
+    fn start<'a>(&self, ctx: QueryContext<'a>) -> Box<dyn AnswerStream + 'a>;
+
+    /// Runs the search to completion and returns the top answers plus
+    /// statistics (the legacy batch entry point, kept so existing callers
+    /// migrate mechanically).
     fn search(
         &self,
         graph: &DataGraph,
         prestige: &PrestigeVector,
         matches: &KeywordMatches,
         params: &SearchParams,
-    ) -> SearchOutcome;
+    ) -> SearchOutcome {
+        drain(self.start(QueryContext::new(graph, prestige, matches, *params)))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::score::ScoreModel;
     use banks_graph::NodeId;
     use banks_prestige::PrestigeVector;
-    use crate::score::ScoreModel;
     use std::time::Duration;
 
     fn dummy_outcome() -> SearchOutcome {
@@ -95,7 +139,11 @@ mod tests {
             explored_at_output: 4,
         };
         SearchOutcome {
-            answers: vec![RankedAnswer { rank: 0, tree, timing }],
+            answers: vec![RankedAnswer {
+                rank: 0,
+                tree,
+                timing,
+            }],
             stats: SearchStats::default(),
         }
     }
@@ -109,5 +157,15 @@ mod tests {
         assert!(o.best_score().unwrap() > 0.0);
         let empty = SearchOutcome::default();
         assert!(empty.best_score().is_none());
+    }
+
+    #[test]
+    fn time_to_answer_helpers() {
+        let o = dummy_outcome();
+        assert_eq!(o.time_to_first_answer(), Some(Duration::from_millis(2)));
+        assert_eq!(o.time_to_kth_answer(1), Some(Duration::from_millis(2)));
+        assert_eq!(o.time_to_kth_answer(2), None);
+        assert_eq!(o.time_to_kth_answer(0), None);
+        assert_eq!(SearchOutcome::default().time_to_first_answer(), None);
     }
 }

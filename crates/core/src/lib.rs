@@ -1,7 +1,58 @@
 //! # banks-core
 //!
 //! The search algorithms of "Bidirectional Expansion For Keyword Search on
-//! Graph Databases" (VLDB 2005), reimplemented in Rust:
+//! Graph Databases" (VLDB 2005), reimplemented in Rust around a **streaming
+//! query API**: searches are lazily evaluated answer streams, and the
+//! public entry point is a builder facade rather than positional arguments.
+//!
+//! ## The query facade
+//!
+//! [`Banks`] owns everything a query needs — the graph, node prestige, the
+//! keyword index (built on demand from node labels when not supplied), and
+//! an [`EngineRegistry`] mapping engine names to factories:
+//!
+//! ```
+//! use banks_core::Banks;
+//! use banks_graph::GraphBuilder;
+//!
+//! let mut builder = GraphBuilder::new();
+//! let author = builder.add_node("author", "Jim Gray");
+//! let paper = builder.add_node("paper", "Granularity of locks");
+//! let writes = builder.add_node("writes", "w0");
+//! builder.add_edge(writes, author).unwrap();
+//! builder.add_edge(writes, paper).unwrap();
+//! let graph = builder.build_default();
+//!
+//! let banks = Banks::open(&graph);
+//! let session = banks.query(["gray", "locks"]).top_k(10);
+//!
+//! // Batch: run to completion.
+//! let outcome = session.run();
+//! assert_eq!(outcome.answers[0].tree.root, writes);
+//!
+//! // Streaming: answers arrive lazily; stop whenever you have enough.
+//! let first = session.stream().next().unwrap();
+//! assert_eq!(first.tree.root, writes);
+//! ```
+//!
+//! ## The streaming execution model
+//!
+//! Every engine implements [`SearchEngine::start`], returning an
+//! [`AnswerStream`] — an iterator over [`RankedAnswer`]s that drives the
+//! expansion machinery *only* as far as the next emission:
+//!
+//! * `stream.next()` measures true time-to-first-answer (the paper's
+//!   headline metric: Bidirectional expansion emits its first relevant
+//!   answers orders of magnitude sooner than backward search),
+//! * `stream.take(k)` or dropping the stream terminates the search early,
+//! * [`AnswerStream::stats`] exposes live work counters,
+//! * [`SearchParams::answer_deadline`] bounds the wall-clock gap between
+//!   emissions.
+//!
+//! The batch [`SearchEngine::search`] is a default method that drains the
+//! stream, so both paths share one implementation.
+//!
+//! ## The engines
 //!
 //! * [`BidirectionalSearch`] — the paper's contribution (Section 4): a
 //!   single *incoming* iterator expanding backward from keyword nodes, a
@@ -13,17 +64,18 @@
 //!   ("MI-Backward" in the evaluation),
 //! * [`SingleIteratorBackwardSearch`] — the intermediate "SI-Backward"
 //!   variant of Section 4.6: a single merged backward iterator prioritised
-//!   by distance, with no forward iterator and no activation,
-//! * the answer-tree model and ranking of Section 2 ([`AnswerTree`],
-//!   [`ScoreModel`]), the output buffering / top-k emission logic of
-//!   Section 4.5 ([`output::OutputHeap`]), and instrumentation
-//!   ([`SearchStats`]) exposing the paper's metrics (nodes explored, nodes
-//!   touched, generation time, output time).
+//!   by distance, with no forward iterator and no activation.
 //!
-//! All engines implement the [`SearchEngine`] trait and consume the same
-//! inputs: a [`banks_graph::DataGraph`], a
-//! [`banks_prestige::PrestigeVector`], and the per-keyword origin sets
-//! resolved by `banks-textindex` ([`banks_textindex::KeywordMatches`]).
+//! All three are registered in [`EngineRegistry::with_default_engines`] and
+//! selectable by name (`"bidirectional"`, `"si-backward"`,
+//! `"mi-backward"`, plus the ablation configurations), which is how the
+//! benchmark harness and examples pick engines.
+//!
+//! Supporting structure: the answer-tree model and ranking of Section 2
+//! ([`AnswerTree`], [`ScoreModel`]), the output buffering / top-k emission
+//! logic of Section 4.5 ([`output::OutputHeap`]), and instrumentation
+//! ([`SearchStats`], [`SearchOutcome::time_to_first_answer`]) exposing the
+//! paper's metrics.
 
 pub mod answer;
 pub mod backward;
@@ -32,17 +84,23 @@ pub mod engine;
 pub mod output;
 pub mod params;
 pub mod pq;
+pub mod registry;
 pub mod relevance;
 pub mod score;
+pub mod session;
 pub mod si_backward;
 pub mod stats;
+pub mod stream;
 
 pub use answer::AnswerTree;
 pub use backward::BackwardExpandingSearch;
 pub use bidirectional::{BidirectionalConfig, BidirectionalSearch};
 pub use engine::{RankedAnswer, SearchEngine, SearchOutcome};
 pub use params::{EmissionPolicy, SearchParams};
+pub use registry::EngineRegistry;
 pub use relevance::{GroundTruth, RecallPrecision};
 pub use score::{EdgeScoreCombiner, ScoreModel};
+pub use session::{Banks, QuerySession};
 pub use si_backward::SingleIteratorBackwardSearch;
 pub use stats::{AnswerTiming, SearchStats};
+pub use stream::{drain, AnswerStream, QueryContext};

@@ -46,6 +46,10 @@ pub struct OutputHeap {
     policy: EmissionPolicy,
     num_keywords: usize,
     max_node_prestige: f64,
+    /// Remaining output budget (`top_k` minus answers already released).
+    /// Guards the degenerate `top_k == 0` request: such a heap buffers and
+    /// deduplicates but never releases anything.
+    remaining_budget: usize,
     buffered: HashMap<Vec<NodeId>, Buffered>,
     /// Signatures already output, with the score they were output at, so
     /// later re-discoveries of the same tree are suppressed.
@@ -55,18 +59,21 @@ pub struct OutputHeap {
 }
 
 impl OutputHeap {
-    /// Creates an output heap.
+    /// Creates an output heap releasing at most `top_k` answers over its
+    /// lifetime.  `top_k == 0` is valid: the heap then never releases.
     pub fn new(
         model: ScoreModel,
         policy: EmissionPolicy,
         num_keywords: usize,
         max_node_prestige: f64,
+        top_k: usize,
     ) -> Self {
         OutputHeap {
             model,
             policy,
             num_keywords,
             max_node_prestige,
+            remaining_budget: top_k,
             buffered: HashMap::new(),
             emitted: HashMap::new(),
             duplicates_discarded: 0,
@@ -77,6 +84,11 @@ impl OutputHeap {
     /// Number of answers currently buffered.
     pub fn buffered_len(&self) -> usize {
         self.buffered.len()
+    }
+
+    /// Number of answers the heap may still release before hitting `top_k`.
+    pub fn remaining_budget(&self) -> usize {
+        self.remaining_budget
     }
 
     /// Number of duplicate answers discarded so far.
@@ -118,14 +130,26 @@ impl OutputHeap {
                 InsertOutcome::DiscardedDuplicate
             }
             Some(_) => {
-                self.buffered
-                    .insert(signature, Buffered { tree, generated_at, explored_at_generation });
+                self.buffered.insert(
+                    signature,
+                    Buffered {
+                        tree,
+                        generated_at,
+                        explored_at_generation,
+                    },
+                );
                 self.duplicates_discarded += 1;
                 InsertOutcome::ReplacedDuplicate
             }
             None => {
-                self.buffered
-                    .insert(signature, Buffered { tree, generated_at, explored_at_generation });
+                self.buffered.insert(
+                    signature,
+                    Buffered {
+                        tree,
+                        generated_at,
+                        explored_at_generation,
+                    },
+                );
                 InsertOutcome::Buffered
             }
         }
@@ -134,13 +158,19 @@ impl OutputHeap {
     /// Releases every buffered answer whose score clears the emission
     /// policy's bar, given a lower bound on the aggregate edge weight of any
     /// answer not yet generated.  Released answers are returned in
-    /// descending score order.
+    /// descending score order.  At most [`OutputHeap::remaining_budget`]
+    /// answers are released; answers that clear the bar beyond the budget
+    /// stay buffered (and can never be released, since the budget only
+    /// shrinks).
     pub fn release(
         &mut self,
         min_future_edge_weight: f64,
         now: Duration,
         explored_now: usize,
     ) -> Vec<(AnswerTree, AnswerTiming)> {
+        if self.remaining_budget == 0 {
+            return Vec::new();
+        }
         let release_all = min_future_edge_weight.is_infinite();
         let ready: Vec<Vec<NodeId>> = match self.policy {
             EmissionPolicy::Immediate => self.buffered.keys().cloned().collect(),
@@ -184,6 +214,19 @@ impl OutputHeap {
                 .total_cmp(&a.0.score)
                 .then_with(|| a.0.signature().cmp(&b.0.signature()))
         });
+        // Enforce the lifetime output budget: overflow answers return to the
+        // buffer untouched.
+        for (tree, timing) in released.split_off(released.len().min(self.remaining_budget)) {
+            self.buffered.insert(
+                tree.signature(),
+                Buffered {
+                    tree,
+                    generated_at: timing.generated_at,
+                    explored_at_generation: timing.explored_at_generation,
+                },
+            );
+        }
+        self.remaining_budget -= released.len();
         for (tree, _) in &released {
             self.emitted.insert(tree.signature(), tree.score);
         }
@@ -209,30 +252,54 @@ mod tests {
         // root 4 with two arms of different lengths, plus a rotation edge.
         let g = graph_from_weighted_edges(
             5,
-            &[(4, 0, 1.0), (4, 1, 1.0), (4, 2, 1.0), (2, 3, 1.0), (0, 4, 1.0)],
+            &[
+                (4, 0, 1.0),
+                (4, 1, 1.0),
+                (4, 2, 1.0),
+                (2, 3, 1.0),
+                (0, 4, 1.0),
+            ],
         );
         let p = PrestigeVector::uniform_for(&g);
         (g, p, ScoreModel::paper_default())
     }
 
-    fn tree(g: &DataGraph, p: &PrestigeVector, m: &ScoreModel, root: u32, paths: Vec<Vec<u32>>) -> AnswerTree {
+    fn tree(
+        g: &DataGraph,
+        p: &PrestigeVector,
+        m: &ScoreModel,
+        root: u32,
+        paths: Vec<Vec<u32>>,
+    ) -> AnswerTree {
         AnswerTree::new(
             NodeId(root),
-            paths.into_iter().map(|p| p.into_iter().map(NodeId).collect()).collect(),
+            paths
+                .into_iter()
+                .map(|p| p.into_iter().map(NodeId).collect())
+                .collect(),
             g,
             p,
             m,
         )
     }
 
+    /// Budget large enough to never interfere (the legacy engine-side cap).
+    const UNCAPPED: usize = usize::MAX;
+
     #[test]
     fn immediate_policy_releases_everything_in_score_order() {
         let (g, p, m) = setup();
-        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), UNCAPPED);
         let short = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
         let long = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]);
-        assert_eq!(heap.insert(long.clone(), Duration::ZERO, 1), InsertOutcome::Buffered);
-        assert_eq!(heap.insert(short.clone(), Duration::ZERO, 2), InsertOutcome::Buffered);
+        assert_eq!(
+            heap.insert(long.clone(), Duration::ZERO, 1),
+            InsertOutcome::Buffered
+        );
+        assert_eq!(
+            heap.insert(short.clone(), Duration::ZERO, 2),
+            InsertOutcome::Buffered
+        );
         let out = heap.release(0.0, Duration::from_millis(5), 10);
         assert_eq!(out.len(), 2);
         assert!(out[0].0.score >= out[1].0.score);
@@ -245,7 +312,7 @@ mod tests {
     #[test]
     fn exact_bound_holds_answers_back() {
         let (g, p, m) = setup();
-        let mut heap = OutputHeap::new(m, EmissionPolicy::ExactBound, 2, p.max());
+        let mut heap = OutputHeap::new(m, EmissionPolicy::ExactBound, 2, p.max(), UNCAPPED);
         let short = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]); // E = 2
         heap.insert(short.clone(), Duration::ZERO, 1);
         // Future answers could still have aggregate weight 0 -> bound is high,
@@ -262,7 +329,7 @@ mod tests {
     #[test]
     fn heuristic_releases_on_edge_weight_alone() {
         let (g, p, m) = setup();
-        let mut heap = OutputHeap::new(m, EmissionPolicy::Heuristic, 2, p.max());
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Heuristic, 2, p.max(), UNCAPPED);
         let short = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]); // E = 2
         let long = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]); // E = 3
         heap.insert(short.clone(), Duration::ZERO, 1);
@@ -276,7 +343,7 @@ mod tests {
     #[test]
     fn duplicates_keep_best_score() {
         let (g, p, m) = setup();
-        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), UNCAPPED);
         // Same node set {0, 2, 3, 4} reached with different path splits:
         // a cheaper and a costlier version.
         let costly = tree(&g, &p, &m, 4, vec![vec![4, 2, 3], vec![4, 2, 3]]);
@@ -285,8 +352,14 @@ mod tests {
         assert_ne!(costly.signature(), cheap.signature());
 
         // true duplicates: same paths inserted twice
-        assert_eq!(heap.insert(cheap.clone(), Duration::ZERO, 1), InsertOutcome::Buffered);
-        assert_eq!(heap.insert(cheap.clone(), Duration::ZERO, 2), InsertOutcome::DiscardedDuplicate);
+        assert_eq!(
+            heap.insert(cheap.clone(), Duration::ZERO, 1),
+            InsertOutcome::Buffered
+        );
+        assert_eq!(
+            heap.insert(cheap.clone(), Duration::ZERO, 2),
+            InsertOutcome::DiscardedDuplicate
+        );
         assert_eq!(heap.duplicates_discarded(), 1);
 
         // a higher-scoring tree over the same node set replaces the buffered
@@ -296,9 +369,15 @@ mod tests {
         let rooted_better = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
         assert_eq!(rotation_worse.signature(), rooted_better.signature());
         assert!(rooted_better.score > rotation_worse.score);
-        let mut heap2 = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
-        assert_eq!(heap2.insert(rotation_worse, Duration::ZERO, 1), InsertOutcome::Buffered);
-        assert_eq!(heap2.insert(rooted_better.clone(), Duration::ZERO, 2), InsertOutcome::ReplacedDuplicate);
+        let mut heap2 = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), UNCAPPED);
+        assert_eq!(
+            heap2.insert(rotation_worse, Duration::ZERO, 1),
+            InsertOutcome::Buffered
+        );
+        assert_eq!(
+            heap2.insert(rooted_better.clone(), Duration::ZERO, 2),
+            InsertOutcome::ReplacedDuplicate
+        );
         let out = heap2.release(f64::INFINITY, Duration::ZERO, 3);
         assert_eq!(out.len(), 1);
         assert!((out[0].0.score - rooted_better.score).abs() < 1e-12);
@@ -307,11 +386,14 @@ mod tests {
     #[test]
     fn already_output_trees_are_not_re_emitted() {
         let (g, p, m) = setup();
-        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), UNCAPPED);
         let t = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
         heap.insert(t.clone(), Duration::ZERO, 1);
         assert_eq!(heap.release(0.0, Duration::ZERO, 1).len(), 1);
-        assert_eq!(heap.insert(t, Duration::ZERO, 2), InsertOutcome::DiscardedDuplicate);
+        assert_eq!(
+            heap.insert(t, Duration::ZERO, 2),
+            InsertOutcome::DiscardedDuplicate
+        );
         assert!(heap.release(0.0, Duration::ZERO, 2).is_empty());
     }
 
@@ -322,13 +404,19 @@ mod tests {
         let m = ScoreModel::paper_default();
         let t = AnswerTree::new(
             NodeId(0),
-            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(0), NodeId(1), NodeId(2)]],
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+            ],
             &g,
             &p,
             &m,
         );
-        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max());
-        assert_eq!(heap.insert(t, Duration::ZERO, 1), InsertOutcome::DiscardedNonMinimal);
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), UNCAPPED);
+        assert_eq!(
+            heap.insert(t, Duration::ZERO, 1),
+            InsertOutcome::DiscardedNonMinimal
+        );
         assert_eq!(heap.non_minimal_discarded(), 1);
         assert_eq!(heap.buffered_len(), 0);
     }
@@ -336,12 +424,105 @@ mod tests {
     #[test]
     fn flush_empties_the_heap() {
         let (g, p, m) = setup();
-        let mut heap = OutputHeap::new(m, EmissionPolicy::ExactBound, 2, p.max());
-        heap.insert(tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]), Duration::ZERO, 1);
-        heap.insert(tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]), Duration::ZERO, 1);
+        let mut heap = OutputHeap::new(m, EmissionPolicy::ExactBound, 2, p.max(), UNCAPPED);
+        heap.insert(
+            tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]),
+            Duration::ZERO,
+            1,
+        );
+        heap.insert(
+            tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]),
+            Duration::ZERO,
+            1,
+        );
         let out = heap.flush(Duration::from_millis(9), 99);
         assert_eq!(out.len(), 2);
         assert_eq!(heap.buffered_len(), 0);
         assert!(out[0].0.score >= out[1].0.score);
+    }
+
+    /// `top_k == 0`: the heap accepts inserts (including duplicates) but
+    /// never releases, even on flush — no panics, no output.
+    #[test]
+    fn zero_top_k_never_releases() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), 0);
+        assert_eq!(heap.remaining_budget(), 0);
+        let t = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
+        assert_eq!(
+            heap.insert(t.clone(), Duration::ZERO, 1),
+            InsertOutcome::Buffered
+        );
+        assert_eq!(
+            heap.insert(t, Duration::ZERO, 2),
+            InsertOutcome::DiscardedDuplicate
+        );
+        assert!(heap.release(0.0, Duration::ZERO, 1).is_empty());
+        assert!(heap.flush(Duration::ZERO, 1).is_empty());
+        assert_eq!(
+            heap.buffered_len(),
+            1,
+            "buffered answers survive, they just never leave"
+        );
+        assert_eq!(heap.remaining_budget(), 0);
+    }
+
+    /// A small budget truncates release in score order and parks the
+    /// overflow back in the buffer; the budget never goes negative.
+    #[test]
+    fn budget_caps_release_and_preserves_overflow() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), 1);
+        let short = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
+        let long = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 2, 3]]);
+        heap.insert(long.clone(), Duration::ZERO, 1);
+        heap.insert(short.clone(), Duration::ZERO, 1);
+        let out = heap.flush(Duration::ZERO, 1);
+        assert_eq!(out.len(), 1, "budget of one releases exactly one answer");
+        assert_eq!(
+            out[0].0.signature(),
+            short.signature(),
+            "the best answer wins the budget"
+        );
+        assert_eq!(heap.remaining_budget(), 0);
+        assert_eq!(
+            heap.buffered_len(),
+            1,
+            "the overflow answer returns to the buffer"
+        );
+        assert!(
+            heap.flush(Duration::ZERO, 2).is_empty(),
+            "an exhausted budget stays exhausted"
+        );
+    }
+
+    /// Pathological duplicate pressure: many inserts of the same signature
+    /// (before and after emission) are absorbed without panicking and are
+    /// all counted.
+    #[test]
+    fn repeated_duplicate_signatures_never_panic() {
+        let (g, p, m) = setup();
+        let mut heap = OutputHeap::new(m, EmissionPolicy::Immediate, 2, p.max(), UNCAPPED);
+        let t = tree(&g, &p, &m, 4, vec![vec![4, 0], vec![4, 1]]);
+        assert_eq!(
+            heap.insert(t.clone(), Duration::ZERO, 1),
+            InsertOutcome::Buffered
+        );
+        for i in 0..50 {
+            assert_eq!(
+                heap.insert(t.clone(), Duration::ZERO, i),
+                InsertOutcome::DiscardedDuplicate
+            );
+        }
+        assert_eq!(heap.release(f64::INFINITY, Duration::ZERO, 50).len(), 1);
+        for i in 0..50 {
+            assert_eq!(
+                heap.insert(t.clone(), Duration::ZERO, i),
+                InsertOutcome::DiscardedDuplicate,
+                "post-emission duplicates are suppressed"
+            );
+        }
+        assert_eq!(heap.duplicates_discarded(), 100);
+        assert_eq!(heap.buffered_len(), 0);
     }
 }

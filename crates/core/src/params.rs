@@ -1,5 +1,7 @@
 //! Search parameters shared by all engines.
 
+use std::time::Duration;
+
 use crate::score::EdgeScoreCombiner;
 
 /// When buffered answers are released from the output heap.
@@ -46,6 +48,12 @@ pub struct SearchParams {
     /// multi-iterator Backward search whose cross-product of iterators can
     /// explode).  `None` means unlimited.
     pub max_generated: Option<usize>,
+    /// Wall-clock budget for producing each answer when the search runs as
+    /// an [`crate::AnswerStream`]: if the gap between consecutive emissions
+    /// exceeds the deadline, the engine stops expanding, flushes whatever
+    /// answers it already generated, and ends the stream (marking
+    /// [`crate::SearchStats::truncated`]).  `None` means unlimited.
+    pub answer_deadline: Option<Duration>,
 }
 
 impl Default for SearchParams {
@@ -59,6 +67,7 @@ impl Default for SearchParams {
             edge_score: EdgeScoreCombiner::ReciprocalEdgeSum,
             max_explored: None,
             max_generated: None,
+            answer_deadline: None,
         }
     }
 }
@@ -66,7 +75,10 @@ impl Default for SearchParams {
 impl SearchParams {
     /// Paper defaults with a different `top_k`.
     pub fn with_top_k(top_k: usize) -> Self {
-        SearchParams { top_k, ..Default::default() }
+        SearchParams {
+            top_k,
+            ..Default::default()
+        }
     }
 
     /// Builder-style setter for `dmax`.
@@ -107,6 +119,12 @@ impl SearchParams {
         self
     }
 
+    /// Builder-style setter for the per-answer streaming deadline.
+    pub fn answer_deadline(mut self, deadline: Duration) -> Self {
+        self.answer_deadline = Some(deadline);
+        self
+    }
+
     /// The score model induced by these parameters.
     pub fn score_model(&self) -> crate::score::ScoreModel {
         crate::score::ScoreModel::new(self.edge_score, self.lambda)
@@ -136,7 +154,8 @@ mod tests {
             .lambda(1.0)
             .emission(EmissionPolicy::Heuristic)
             .max_explored(1000)
-            .max_generated(500);
+            .max_generated(500)
+            .answer_deadline(Duration::from_millis(250));
         assert_eq!(p.top_k, 5);
         assert_eq!(p.dmax, 4);
         assert_eq!(p.mu, 0.7);
@@ -144,6 +163,7 @@ mod tests {
         assert_eq!(p.emission, EmissionPolicy::Heuristic);
         assert_eq!(p.max_explored, Some(1000));
         assert_eq!(p.max_generated, Some(500));
+        assert_eq!(p.answer_deadline, Some(Duration::from_millis(250)));
     }
 
     #[test]

@@ -125,7 +125,9 @@ impl MaxPriorityQueue {
 
 impl std::fmt::Debug for MaxPriorityQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MaxPriorityQueue").field("len", &self.len()).finish()
+        f.debug_struct("MaxPriorityQueue")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -1,0 +1,256 @@
+//! Name → engine-factory registry.
+//!
+//! Benchmarks, examples and services select engines by string (a CLI flag,
+//! a config entry, a request parameter) instead of hardcoding match arms
+//! over engine types.  The registry also lets downstream code plug in
+//! custom engines without touching this crate.
+
+use crate::backward::BackwardExpandingSearch;
+use crate::bidirectional::{BidirectionalConfig, BidirectionalSearch};
+use crate::engine::SearchEngine;
+use crate::si_backward::SingleIteratorBackwardSearch;
+
+/// A factory producing a boxed engine.
+pub type EngineFactory = Box<dyn Fn() -> Box<dyn SearchEngine> + Send + Sync>;
+
+struct Entry {
+    name: &'static str,
+    aliases: Vec<&'static str>,
+    factory: EngineFactory,
+}
+
+/// Registry mapping engine names to factories.
+///
+/// Lookup is case-insensitive and treats `_` and `-` as equivalent, so
+/// `"SI_Backward"` resolves the `"si-backward"` entry.
+pub struct EngineRegistry {
+    entries: Vec<Entry>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        EngineRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry with the paper's three engines plus the ablation
+    /// configurations:
+    ///
+    /// | name | engine |
+    /// |------|--------|
+    /// | `bidirectional` (alias `bidir`) | [`BidirectionalSearch`] |
+    /// | `si-backward` (alias `si`) | [`SingleIteratorBackwardSearch`] |
+    /// | `mi-backward` (aliases `mi`, `backward`) | [`BackwardExpandingSearch`] |
+    /// | `bidirectional-no-activation` | forward iterator, distance priority |
+    /// | `backward-activation` | no forward iterator, activation priority |
+    pub fn with_default_engines() -> Self {
+        let mut registry = EngineRegistry::new();
+        registry.register_with_aliases(
+            "bidirectional",
+            vec!["bidir"],
+            Box::new(|| Box::new(BidirectionalSearch::new())),
+        );
+        registry.register_with_aliases(
+            "si-backward",
+            vec!["si"],
+            Box::new(|| Box::new(SingleIteratorBackwardSearch::new())),
+        );
+        registry.register_with_aliases(
+            "mi-backward",
+            vec!["mi", "backward"],
+            Box::new(|| Box::new(BackwardExpandingSearch::new())),
+        );
+        registry.register_with_aliases(
+            "bidirectional-no-activation",
+            vec![],
+            Box::new(|| {
+                Box::new(BidirectionalSearch::with_config(BidirectionalConfig {
+                    enable_outgoing: true,
+                    use_activation: false,
+                }))
+            }),
+        );
+        registry.register_with_aliases(
+            "backward-activation",
+            vec![],
+            Box::new(|| {
+                Box::new(BidirectionalSearch::with_config(BidirectionalConfig {
+                    enable_outgoing: false,
+                    use_activation: true,
+                }))
+            }),
+        );
+        registry
+    }
+
+    /// Registers a factory under a canonical name.  Re-registering a name
+    /// replaces the previous entry (latest wins), so callers can override
+    /// defaults.
+    pub fn register(&mut self, name: &'static str, factory: EngineFactory) {
+        self.register_with_aliases(name, Vec::new(), factory);
+    }
+
+    /// Registers a factory with additional lookup aliases.
+    ///
+    /// When this replaces an entry with the same canonical name and no new
+    /// aliases are given, the replaced entry's aliases carry over to the
+    /// new factory, so `register("mi-backward", ..)` keeps `"mi"` and
+    /// `"backward"` resolving (now to the override).
+    pub fn register_with_aliases(
+        &mut self,
+        name: &'static str,
+        mut aliases: Vec<&'static str>,
+        factory: EngineFactory,
+    ) {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| normalize(e.name) == normalize(name))
+        {
+            let old = self.entries.remove(pos);
+            if aliases.is_empty() {
+                aliases = old.aliases;
+            }
+        }
+        self.entries.push(Entry {
+            name,
+            aliases,
+            factory,
+        });
+    }
+
+    /// Instantiates the engine registered under `name` (or one of its
+    /// aliases).  Returns `None` for unknown names.
+    ///
+    /// Canonical names take precedence over aliases, so registering a new
+    /// engine under a name that happens to be another entry's alias (e.g.
+    /// `"bidir"`) makes the new entry win, preserving the latest-wins
+    /// override semantics.  Among aliases, the most recently registered
+    /// entry wins.
+    pub fn create(&self, name: &str) -> Option<Box<dyn SearchEngine>> {
+        let wanted = normalize(name);
+        if let Some(entry) = self.entries.iter().find(|e| normalize(e.name) == wanted) {
+            return Some((entry.factory)());
+        }
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.aliases.iter().any(|a| normalize(a) == wanted))
+            .map(|e| (e.factory)())
+    }
+
+    /// Canonical names in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// True when `name` (or an alias) resolves to an engine.  Pure name
+    /// scan — never invokes a factory.
+    pub fn contains(&self, name: &str) -> bool {
+        let wanted = normalize(name);
+        self.entries.iter().any(|e| {
+            normalize(e.name) == wanted || e.aliases.iter().any(|a| normalize(a) == wanted)
+        })
+    }
+}
+
+impl Default for EngineRegistry {
+    fn default() -> Self {
+        EngineRegistry::with_default_engines()
+    }
+}
+
+fn normalize(name: &str) -> String {
+    name.trim().to_ascii_lowercase().replace('_', "-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_creates_all_engines() {
+        let registry = EngineRegistry::with_default_engines();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "bidirectional",
+                "si-backward",
+                "mi-backward",
+                "bidirectional-no-activation",
+                "backward-activation",
+            ]
+        );
+        assert_eq!(
+            registry.create("bidirectional").unwrap().name(),
+            "Bidirectional"
+        );
+        assert_eq!(
+            registry.create("si-backward").unwrap().name(),
+            "SI-Backward"
+        );
+        assert_eq!(
+            registry.create("mi-backward").unwrap().name(),
+            "MI-Backward"
+        );
+        assert_eq!(
+            registry
+                .create("bidirectional-no-activation")
+                .unwrap()
+                .name(),
+            "Bidirectional(no-activation)"
+        );
+        assert_eq!(
+            registry.create("backward-activation").unwrap().name(),
+            "Backward(activation)"
+        );
+    }
+
+    #[test]
+    fn lookup_is_forgiving() {
+        let registry = EngineRegistry::with_default_engines();
+        assert!(registry.contains("SI_Backward"));
+        assert!(registry.contains(" Bidirectional "));
+        assert!(registry.contains("bidir"));
+        assert!(registry.contains("mi"));
+        assert!(!registry.contains("quantum"));
+        assert!(registry.create("quantum").is_none());
+    }
+
+    #[test]
+    fn canonical_registration_shadows_builtin_aliases() {
+        let mut registry = EngineRegistry::with_default_engines();
+        // "bidir" is an alias of the builtin "bidirectional" entry; a
+        // canonical registration under that name must win.
+        registry.register(
+            "bidir",
+            Box::new(|| Box::new(SingleIteratorBackwardSearch::new())),
+        );
+        assert_eq!(registry.create("bidir").unwrap().name(), "SI-Backward");
+        // the builtin stays reachable under its canonical name
+        assert_eq!(
+            registry.create("bidirectional").unwrap().name(),
+            "Bidirectional"
+        );
+    }
+
+    #[test]
+    fn registration_overrides_and_extends() {
+        let mut registry = EngineRegistry::with_default_engines();
+        registry.register(
+            "bidirectional",
+            Box::new(|| Box::new(SingleIteratorBackwardSearch::new())),
+        );
+        assert_eq!(
+            registry.create("bidirectional").unwrap().name(),
+            "SI-Backward"
+        );
+        // the replaced entry's aliases survive and point at the override
+        assert_eq!(registry.create("bidir").unwrap().name(), "SI-Backward");
+        registry.register("custom", Box::new(|| Box::new(BidirectionalSearch::new())));
+        assert!(registry.contains("custom"));
+        assert_eq!(registry.names().len(), 6);
+    }
+}

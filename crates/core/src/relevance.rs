@@ -51,7 +51,9 @@ impl GroundTruth {
         I: IntoIterator<Item = S>,
         S: IntoIterator<Item = NodeId>,
     {
-        GroundTruth { relevant: sets.into_iter().map(|s| s.into_iter().collect()).collect() }
+        GroundTruth {
+            relevant: sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
     }
 
     /// Adds one relevant node set.
@@ -181,7 +183,10 @@ mod tests {
         let p = PrestigeVector::uniform_for(g);
         AnswerTree::new(
             NodeId(root),
-            paths.into_iter().map(|path| path.into_iter().map(NodeId).collect()).collect(),
+            paths
+                .into_iter()
+                .map(|path| path.into_iter().map(NodeId).collect())
+                .collect(),
             g,
             &p,
             &ScoreModel::paper_default(),

@@ -18,21 +18,16 @@
 
 /// Monotone decreasing map from the aggregate tree edge weight `E` to a
 /// relevance factor in `(0, 1]`.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum EdgeScoreCombiner {
     /// `1 / (1 + E)` — the BANKS-I map; the default.
+    #[default]
     ReciprocalEdgeSum,
     /// `exp(-E / scale)` — a steeper alternative used in ablations.
     ExponentialDecay {
         /// Scale of the exponential decay (larger = gentler).
         scale: f64,
     },
-}
-
-impl Default for EdgeScoreCombiner {
-    fn default() -> Self {
-        EdgeScoreCombiner::ReciprocalEdgeSum
-    }
 }
 
 impl EdgeScoreCombiner {
@@ -155,7 +150,10 @@ mod tests {
         for e in [4.0, 4.5, 6.0, 10.0] {
             for leaves in 1..=n + 1 {
                 let score = m.tree_score(e, max_prestige * leaves as f64);
-                assert!(score <= bound + 1e-12, "score {score} exceeds bound {bound}");
+                assert!(
+                    score <= bound + 1e-12,
+                    "score {score} exceeds bound {bound}"
+                );
             }
         }
     }

@@ -1,0 +1,404 @@
+//! The query facade: [`Banks`] and [`QuerySession`].
+//!
+//! The legacy entry point took four positional arguments —
+//! `search(graph, prestige, matches, params)` — and pushed keyword
+//! resolution, prestige selection and parameter assembly onto every caller.
+//! The facade owns those concerns:
+//!
+//! ```
+//! use banks_core::Banks;
+//! use banks_graph::builder::graph_from_edges;
+//!
+//! let graph = graph_from_edges(3, &[(2, 0), (2, 1)]);
+//! let banks = Banks::open(&graph);
+//! let outcome = banks.query(["v0", "v1"]).top_k(10).run();
+//! # let _ = outcome;
+//! ```
+//!
+//! `Banks::open` borrows the graph; node prestige defaults to uniform and
+//! the keyword index is built lazily from node labels and kind names unless
+//! supplied with [`Banks::with_prestige`] / [`Banks::with_index`].  Engines
+//! are selected by registry name ([`QuerySession::engine`]), and each
+//! session can either [`QuerySession::run`] to completion or stream
+//! answers lazily via [`QuerySession::stream`].
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use banks_graph::{DataGraph, KindId};
+use banks_prestige::PrestigeVector;
+use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query};
+
+use crate::engine::{SearchEngine, SearchOutcome};
+use crate::params::{EmissionPolicy, SearchParams};
+use crate::registry::EngineRegistry;
+use crate::stream::{drain, AnswerStream, QueryContext};
+
+/// A search handle over one graph: prestige, keyword index and engine
+/// registry in one place.
+pub struct Banks<'g> {
+    graph: &'g DataGraph,
+    prestige: Option<PrestigeVector>,
+    index: Option<InvertedIndex>,
+    registry: EngineRegistry,
+    default_engine: String,
+    uniform_prestige: OnceLock<PrestigeVector>,
+    label_index: OnceLock<InvertedIndex>,
+}
+
+impl<'g> Banks<'g> {
+    /// Opens a graph for querying with uniform prestige, a lazily built
+    /// label index, and the default engine registry.
+    pub fn open(graph: &'g DataGraph) -> Self {
+        Banks {
+            graph,
+            prestige: None,
+            index: None,
+            registry: EngineRegistry::with_default_engines(),
+            default_engine: "bidirectional".to_string(),
+            uniform_prestige: OnceLock::new(),
+            label_index: OnceLock::new(),
+        }
+    }
+
+    /// Uses a precomputed prestige vector (e.g. biased PageRank) instead of
+    /// the uniform default.
+    pub fn with_prestige(mut self, prestige: PrestigeVector) -> Self {
+        self.prestige = Some(prestige);
+        self
+    }
+
+    /// Uses a prebuilt keyword index instead of the lazily built label
+    /// index (datasets extracted from relational databases carry one).
+    pub fn with_index(mut self, index: InvertedIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// Sets the default engine for sessions created from this handle.
+    ///
+    /// # Panics
+    /// Panics when the name resolves to no registered engine.
+    pub fn with_engine(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(
+            self.registry.contains(&name),
+            "unknown engine {name:?}; registered: {:?}",
+            self.registry.names()
+        );
+        self.default_engine = name;
+        self
+    }
+
+    /// Registers a custom engine factory on this handle's registry.
+    pub fn register_engine(&mut self, name: &'static str, factory: crate::registry::EngineFactory) {
+        self.registry.register(name, factory);
+    }
+
+    /// The engine names this handle can instantiate.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.registry.names()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g DataGraph {
+        self.graph
+    }
+
+    /// The prestige vector queries will use.
+    pub fn prestige(&self) -> &PrestigeVector {
+        match &self.prestige {
+            Some(p) => p,
+            None => self
+                .uniform_prestige
+                .get_or_init(|| PrestigeVector::uniform_for(self.graph)),
+        }
+    }
+
+    /// The keyword index queries will resolve against.  When none was
+    /// supplied, one is built (once) from every node's label plus the
+    /// node-kind names, so relation names like `"writes"` are searchable
+    /// exactly as in the paper's DBLP examples.
+    pub fn index(&self) -> &InvertedIndex {
+        match &self.index {
+            Some(index) => index,
+            None => self.label_index.get_or_init(|| {
+                let mut builder = IndexBuilder::with_default_tokenizer();
+                for node in self.graph.nodes() {
+                    builder.add_text(node, self.graph.node_label(node));
+                }
+                for kind in 0..self.graph.num_kinds() {
+                    let kind = KindId(kind as u16);
+                    builder.add_relation_name(self.graph.kind_name(kind), kind);
+                }
+                builder.build()
+            }),
+        }
+    }
+
+    /// Starts a query from individual keywords.
+    pub fn query<I, S>(&self, keywords: I) -> QuerySession<'_, 'g>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.query_parsed(&Query::from_keywords(keywords))
+    }
+
+    /// Starts a query from a raw string, honouring quoted phrases
+    /// (`"\"C. Mohan\" Rothermel"`).
+    pub fn query_str(&self, raw: &str) -> QuerySession<'_, 'g> {
+        self.query_parsed(&Query::parse(raw))
+    }
+
+    /// Starts a query from an already-parsed [`Query`].
+    pub fn query_parsed(&self, query: &Query) -> QuerySession<'_, 'g> {
+        let matches = KeywordMatches::resolve(self.graph, self.index(), query);
+        self.query_matches(matches)
+    }
+
+    /// Starts a query from pre-resolved origin sets (hand-built sets in
+    /// tests, or match sources other than the text index).
+    pub fn query_matches(&self, matches: KeywordMatches) -> QuerySession<'_, 'g> {
+        QuerySession {
+            banks: self,
+            matches,
+            params: SearchParams::default(),
+            engine: self.default_engine.clone(),
+        }
+    }
+}
+
+/// One prepared query: resolved keyword matches plus parameters, ready to
+/// run in batch or as a stream (both can be called repeatedly).
+pub struct QuerySession<'b, 'g> {
+    banks: &'b Banks<'g>,
+    matches: KeywordMatches,
+    params: SearchParams,
+    engine: String,
+}
+
+impl<'b, 'g> QuerySession<'b, 'g> {
+    /// Selects the engine by registry name (`"bidirectional"`,
+    /// `"si-backward"`, `"mi-backward"`, ...).
+    ///
+    /// # Panics
+    /// Panics when the name resolves to no registered engine.
+    pub fn engine(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(
+            self.banks.registry.contains(&name),
+            "unknown engine {name:?}; registered: {:?}",
+            self.banks.registry.names()
+        );
+        self.engine = name;
+        self
+    }
+
+    /// Number of answers requested.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.params.top_k = top_k;
+        self
+    }
+
+    /// Depth cutoff `dmax`.
+    pub fn dmax(mut self, dmax: usize) -> Self {
+        self.params = self.params.dmax(dmax);
+        self
+    }
+
+    /// Activation attenuation `µ`.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.params = self.params.mu(mu);
+        self
+    }
+
+    /// Prestige exponent `λ`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.params = self.params.lambda(lambda);
+        self
+    }
+
+    /// Emission policy for the output heap.
+    pub fn emission(mut self, emission: EmissionPolicy) -> Self {
+        self.params = self.params.emission(emission);
+        self
+    }
+
+    /// Safety cap on explored nodes.
+    pub fn max_explored(mut self, cap: usize) -> Self {
+        self.params = self.params.max_explored(cap);
+        self
+    }
+
+    /// Safety cap on generated answer trees.
+    pub fn max_generated(mut self, cap: usize) -> Self {
+        self.params = self.params.max_generated(cap);
+        self
+    }
+
+    /// Per-answer streaming deadline.
+    pub fn answer_deadline(mut self, deadline: Duration) -> Self {
+        self.params = self.params.answer_deadline(deadline);
+        self
+    }
+
+    /// Replaces the whole parameter set at once.
+    pub fn params(mut self, params: SearchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The resolved per-keyword origin sets.
+    pub fn matches(&self) -> &KeywordMatches {
+        &self.matches
+    }
+
+    /// The parameters this session will run with.
+    pub fn current_params(&self) -> &SearchParams {
+        &self.params
+    }
+
+    /// The engine instance this session will run.
+    pub fn build_engine(&self) -> Box<dyn SearchEngine> {
+        self.banks
+            .registry
+            .create(&self.engine)
+            .unwrap_or_else(|| panic!("engine {:?} disappeared from the registry", self.engine))
+    }
+
+    /// Starts the search and returns the lazy answer stream.
+    pub fn stream(&self) -> Box<dyn AnswerStream + '_> {
+        let ctx = QueryContext::new(
+            self.banks.graph,
+            self.banks.prestige(),
+            &self.matches,
+            self.params,
+        );
+        self.build_engine().start(ctx)
+    }
+
+    /// Runs the search to completion (drains the stream).
+    pub fn run(&self) -> SearchOutcome {
+        drain(self.stream())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::{GraphBuilder, NodeId};
+
+    /// writes -> {author, paper} with searchable labels.
+    fn tiny_graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let author = b.add_node("author", "Jim Gray");
+        let paper = b.add_node("paper", "Granularity of locks");
+        let writes = b.add_node("writes", "w0");
+        b.add_edge(writes, author).unwrap();
+        b.add_edge(writes, paper).unwrap();
+        b.build_default()
+    }
+
+    #[test]
+    fn builder_resolves_keywords_and_finds_answers() {
+        let graph = tiny_graph();
+        let banks = Banks::open(&graph);
+        let session = banks.query(["gray", "locks"]).top_k(5);
+        assert_eq!(session.matches().num_keywords(), 2);
+        assert!(session.matches().all_keywords_matched());
+        let outcome = session.run();
+        assert_eq!(outcome.answers[0].tree.root, NodeId(2));
+    }
+
+    #[test]
+    fn query_str_honours_phrases() {
+        let graph = tiny_graph();
+        let banks = Banks::open(&graph);
+        let session = banks.query_str("\"jim gray\" locks");
+        assert_eq!(session.matches().num_keywords(), 2);
+        assert!(session.matches().all_keywords_matched());
+        assert!(!session.run().answers.is_empty());
+    }
+
+    #[test]
+    fn relation_names_are_searchable() {
+        let graph = tiny_graph();
+        let banks = Banks::open(&graph);
+        let session = banks.query(["writes"]);
+        assert!(session.matches().all_keywords_matched());
+        assert_eq!(session.matches().origin_set(0), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn engine_selection_by_name_matches_defaults() {
+        let graph = tiny_graph();
+        let banks = Banks::open(&graph);
+        let batch = banks.query(["gray", "locks"]).top_k(50);
+        let a = batch.run();
+        for name in ["si-backward", "mi-backward"] {
+            let b = banks.query(["gray", "locks"]).top_k(50).engine(name).run();
+            let mut sa = a.signatures();
+            let mut sb = b.signatures();
+            sa.sort();
+            sb.sort();
+            assert_eq!(sa, sb, "{name} disagrees with bidirectional");
+        }
+    }
+
+    #[test]
+    fn with_engine_changes_the_default() {
+        let graph = tiny_graph();
+        let banks = Banks::open(&graph).with_engine("si-backward");
+        assert_eq!(banks.query(["gray"]).build_engine().name(), "SI-Backward");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown engine")]
+    fn unknown_engine_panics_with_candidates() {
+        let graph = tiny_graph();
+        let _ = Banks::open(&graph).query(["gray"]).engine("quantum");
+    }
+
+    #[test]
+    fn streaming_and_batch_agree() {
+        let graph = tiny_graph();
+        let banks = Banks::open(&graph);
+        let session = banks.query(["gray", "locks"]).top_k(5);
+        let batch = session.run();
+        let streamed: Vec<_> = session.stream().collect();
+        assert_eq!(batch.answers.len(), streamed.len());
+        for (a, b) in batch.answers.iter().zip(&streamed) {
+            assert_eq!(a.tree.signature(), b.tree.signature());
+        }
+    }
+
+    #[test]
+    fn explicit_prestige_and_index_are_used() {
+        let graph = tiny_graph();
+        let prestige = PrestigeVector::uniform_for(&graph);
+        let mut builder = IndexBuilder::with_default_tokenizer();
+        builder.add_text(NodeId(0), "custom-token");
+        let banks = Banks::open(&graph)
+            .with_prestige(prestige)
+            .with_index(builder.build());
+        assert!(banks.query(["custom"]).matches().all_keywords_matched());
+        // the custom index knows nothing about "gray"
+        assert!(!banks.query(["gray"]).matches().all_keywords_matched());
+    }
+
+    #[test]
+    fn custom_engines_can_be_registered() {
+        let graph = tiny_graph();
+        let mut banks = Banks::open(&graph);
+        banks.register_engine(
+            "mine",
+            Box::new(|| Box::new(crate::si_backward::SingleIteratorBackwardSearch::new())),
+        );
+        assert_eq!(
+            banks.query(["gray"]).engine("mine").build_engine().name(),
+            "SI-Backward"
+        );
+        assert!(banks.engine_names().contains(&"mine"));
+    }
+}

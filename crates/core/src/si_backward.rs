@@ -11,13 +11,9 @@
 //! of [`crate::BidirectionalSearch`] with the outgoing iterator and the
 //! activation prioritisation switched off.
 
-use banks_graph::DataGraph;
-use banks_prestige::PrestigeVector;
-use banks_textindex::KeywordMatches;
-
 use crate::bidirectional::{BidirectionalConfig, BidirectionalSearch};
-use crate::engine::{SearchEngine, SearchOutcome};
-use crate::params::SearchParams;
+use crate::engine::SearchEngine;
+use crate::stream::{AnswerStream, QueryContext};
 
 /// The SI-Backward search engine.
 #[derive(Clone, Copy, Debug, Default)]
@@ -31,7 +27,10 @@ impl SingleIteratorBackwardSearch {
 
     /// The underlying configuration of the shared expander.
     pub fn config() -> BidirectionalConfig {
-        BidirectionalConfig { enable_outgoing: false, use_activation: false }
+        BidirectionalConfig {
+            enable_outgoing: false,
+            use_activation: false,
+        }
     }
 }
 
@@ -40,22 +39,19 @@ impl SearchEngine for SingleIteratorBackwardSearch {
         "SI-Backward"
     }
 
-    fn search(
-        &self,
-        graph: &DataGraph,
-        prestige: &PrestigeVector,
-        matches: &KeywordMatches,
-        params: &SearchParams,
-    ) -> SearchOutcome {
-        BidirectionalSearch::with_config(Self::config()).search(graph, prestige, matches, params)
+    fn start<'a>(&self, ctx: QueryContext<'a>) -> Box<dyn AnswerStream + 'a> {
+        BidirectionalSearch::with_config(Self::config()).start(ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::SearchParams;
     use banks_graph::builder::graph_from_edges;
     use banks_graph::NodeId;
+    use banks_prestige::PrestigeVector;
+    use banks_textindex::KeywordMatches;
 
     #[test]
     fn name_and_config() {
@@ -69,10 +65,8 @@ mod tests {
     fn finds_simple_answer() {
         let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
         let p = PrestigeVector::uniform_for(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("a", vec![NodeId(0)]),
-            ("b", vec![NodeId(1)]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(1)])]);
         let outcome =
             SingleIteratorBackwardSearch::new().search(&g, &p, &matches, &SearchParams::default());
         assert_eq!(outcome.answers.len(), 1);
@@ -83,13 +77,22 @@ mod tests {
     fn matches_bidirectional_answers_on_small_graph() {
         let g = graph_from_edges(
             9,
-            &[(4, 0), (4, 1), (5, 1), (5, 2), (6, 2), (6, 3), (7, 3), (7, 0), (8, 0), (8, 2)],
+            &[
+                (4, 0),
+                (4, 1),
+                (5, 1),
+                (5, 2),
+                (6, 2),
+                (6, 3),
+                (7, 3),
+                (7, 0),
+                (8, 0),
+                (8, 2),
+            ],
         );
         let p = PrestigeVector::uniform_for(&g);
-        let matches = KeywordMatches::from_sets(vec![
-            ("a", vec![NodeId(0)]),
-            ("b", vec![NodeId(2)]),
-        ]);
+        let matches =
+            KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(2)])]);
         let params = SearchParams::with_top_k(100);
         let si = SingleIteratorBackwardSearch::new().search(&g, &p, &matches, &params);
         let bidir = BidirectionalSearch::new().search(&g, &p, &matches, &params);
@@ -97,6 +100,9 @@ mod tests {
         let mut b = bidir.signatures();
         a.sort();
         b.sort();
-        assert_eq!(a, b, "SI-Backward and Bidirectional must report the same answers");
+        assert_eq!(
+            a, b,
+            "SI-Backward and Bidirectional must report the same answers"
+        );
     }
 }

@@ -104,7 +104,11 @@ mod tests {
 
     #[test]
     fn last_answer_summary_picks_latest_output() {
-        let timings = vec![timing(1, 10, 5, 50), timing(3, 30, 15, 150), timing(2, 20, 10, 100)];
+        let timings = vec![
+            timing(1, 10, 5, 50),
+            timing(3, 30, 15, 150),
+            timing(2, 20, 10, 100),
+        ];
         let last = SearchStats::last_answer_summary(&timings).unwrap();
         assert_eq!(last.output_at, Duration::from_millis(30));
         assert_eq!(last.explored_at_output, 150);
@@ -113,8 +117,18 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let a = SearchStats { nodes_explored: 10, nodes_touched: 100, duration: Duration::from_millis(20), ..Default::default() };
-        let b = SearchStats { nodes_explored: 40, nodes_touched: 300, duration: Duration::from_millis(60), ..Default::default() };
+        let a = SearchStats {
+            nodes_explored: 10,
+            nodes_touched: 100,
+            duration: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let b = SearchStats {
+            nodes_explored: 40,
+            nodes_touched: 300,
+            duration: Duration::from_millis(60),
+            ..Default::default()
+        };
         assert_eq!(a.explored_ratio_vs(&b), Some(4.0));
         assert_eq!(a.touched_ratio_vs(&b), Some(3.0));
         assert!((a.time_ratio_vs(&b).unwrap() - 3.0).abs() < 1e-9);

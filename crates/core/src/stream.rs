@@ -1,0 +1,281 @@
+//! The streaming execution model: lazily evaluated answer streams.
+//!
+//! The paper's headline result is *incremental* emission — Bidirectional
+//! expansion produces its first relevant answers long before the search
+//! completes (Figures 5 and 6 measure time to the last relevant answer, but
+//! Section 4.5's output heap exists precisely so answers can leave the
+//! engine early).  A batch API hides that property: callers only see a
+//! finished [`SearchOutcome`](crate::SearchOutcome) and can neither observe
+//! time-to-first-answer directly nor terminate a search early.
+//!
+//! [`AnswerStream`] makes emission the primitive.  Engines are resumable
+//! step machines: [`crate::SearchEngine::start`] returns a stream, and each
+//! [`Iterator::next`] call advances the underlying expansion *only* until
+//! the next answer clears the emission policy.  Consequences:
+//!
+//! * `stream.next()` measures true time-to-first-answer,
+//! * `stream.take(k)` / dropping the stream terminates the search early
+//!   without exploring the rest of the graph,
+//! * [`AnswerStream::stats`] exposes live work counters while the search
+//!   runs,
+//! * a per-answer deadline ([`crate::SearchParams::answer_deadline`])
+//!   bounds the wall-clock gap between consecutive emissions: when it
+//!   expires, the engine stops expanding, flushes the answers it has
+//!   already generated, and ends the stream (marking
+//!   [`SearchStats::truncated`]).
+//!
+//! The batch entry point [`crate::SearchEngine::search`] is now a default
+//! method that drains the stream, so both paths share one implementation
+//! and produce identical answer sequences.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use banks_graph::DataGraph;
+use banks_prestige::PrestigeVector;
+use banks_textindex::KeywordMatches;
+
+use crate::answer::AnswerTree;
+use crate::engine::{RankedAnswer, SearchOutcome};
+use crate::params::SearchParams;
+use crate::stats::{AnswerTiming, SearchStats};
+
+/// Everything an engine needs to start a search: the borrowed inputs plus
+/// an owned copy of the parameters.
+///
+/// `QueryContext` replaces the four positional arguments of the legacy
+/// `search(graph, prestige, matches, params)` call; the
+/// [`crate::Banks`] facade assembles it from a query builder.
+#[derive(Clone, Copy)]
+pub struct QueryContext<'a> {
+    /// The data graph to search.
+    pub graph: &'a DataGraph,
+    /// Node prestige (uniform or biased PageRank).
+    pub prestige: &'a PrestigeVector,
+    /// Per-keyword origin sets.
+    pub matches: &'a KeywordMatches,
+    /// Search parameters (owned copy: `SearchParams` is `Copy`).
+    pub params: SearchParams,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Bundles the search inputs.
+    pub fn new(
+        graph: &'a DataGraph,
+        prestige: &'a PrestigeVector,
+        matches: &'a KeywordMatches,
+        params: SearchParams,
+    ) -> Self {
+        QueryContext {
+            graph,
+            prestige,
+            matches,
+            params,
+        }
+    }
+}
+
+/// A lazily evaluated stream of ranked answers.
+///
+/// Produced by [`crate::SearchEngine::start`].  Each `next()` call resumes
+/// the engine's expansion state machine until the next answer is released
+/// by the emission policy (or the search exhausts / hits a cap / misses its
+/// per-answer deadline).  Dropping the stream terminates the search.
+pub trait AnswerStream: Iterator<Item = RankedAnswer> {
+    /// Snapshot of the work counters so far.  While the stream is live the
+    /// duration field reflects elapsed time; after exhaustion it is the
+    /// total search duration.
+    fn stats(&self) -> SearchStats;
+
+    /// The engine variant driving this stream.
+    fn engine_name(&self) -> &'static str;
+
+    /// True once the stream can produce no further answers (every
+    /// subsequent `next()` returns `None`).
+    fn is_exhausted(&self) -> bool;
+}
+
+/// The stream-driver state shared by every engine's step machine: the
+/// ready queue, emission bookkeeping, lifecycle flags and work counters.
+/// Engines own one `StreamCore` and contribute only their expansion logic
+/// through [`ExpansionMachine`].
+pub(crate) struct StreamCore {
+    /// Answers released by the emission policy but not yet consumed by the
+    /// stream's caller.
+    pub ready: VecDeque<RankedAnswer>,
+    /// Total answers ever pushed into `ready` (the batch API's
+    /// `outputs.len()`): ranks and the `top_k` cutoff derive from it.
+    pub produced: usize,
+    /// Whether the engine has seeded its frontier (done lazily on the
+    /// first `next()` call so `started` reflects the consumer's first
+    /// poll).
+    pub seeded: bool,
+    /// Whether the search has finished (frontier exhausted, caps hit,
+    /// `top_k` reached, or deadline missed) and flushed its buffer.
+    pub done: bool,
+    pub started: Instant,
+    /// When the previous answer left the stream (deadline bookkeeping).
+    pub last_emission: Instant,
+    pub stats: SearchStats,
+}
+
+impl StreamCore {
+    pub fn new() -> Self {
+        let now = Instant::now();
+        StreamCore {
+            ready: VecDeque::new(),
+            produced: 0,
+            seeded: false,
+            done: false,
+            started: now,
+            last_emission: now,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Marks the lazy-initialisation point: the consumer's first poll.
+    pub fn begin(&mut self) {
+        self.seeded = true;
+        self.started = Instant::now();
+        self.last_emission = self.started;
+    }
+
+    /// Moves policy-released answers into the ready queue, assigning ranks.
+    pub fn push_released(&mut self, top_k: usize, released: Vec<(AnswerTree, AnswerTiming)>) {
+        for (tree, timing) in released {
+            // The heap's lifetime budget (initialized to top_k) already
+            // caps total releases; assert that invariant instead of
+            // silently re-enforcing it.
+            debug_assert!(
+                self.produced < top_k,
+                "OutputHeap released more than top_k answers"
+            );
+            let rank = self.produced;
+            self.produced += 1;
+            self.stats.answers_output = self.produced;
+            self.ready.push_back(RankedAnswer { rank, tree, timing });
+        }
+    }
+
+    /// Seals the final statistics and marks the stream done.
+    pub fn seal(&mut self, duplicates_discarded: usize, non_minimal_discarded: usize) {
+        self.stats.answers_output = self.produced;
+        self.stats.duplicates_discarded = duplicates_discarded;
+        self.stats.non_minimal_discarded = non_minimal_discarded;
+        self.stats.duration = self.started.elapsed();
+        self.done = true;
+    }
+
+    /// Snapshot for [`AnswerStream::stats`]: live elapsed time while
+    /// running, sealed duration once done.
+    pub fn live_stats(&self) -> SearchStats {
+        let mut stats = self.stats.clone();
+        if self.seeded && !self.done {
+            stats.duration = self.started.elapsed();
+        }
+        stats
+    }
+
+    pub fn is_exhausted(&self) -> bool {
+        self.done && self.ready.is_empty()
+    }
+}
+
+/// An engine's resumable expansion logic, plugged into the shared
+/// [`next_answer`] driver.
+pub(crate) trait ExpansionMachine {
+    fn core(&self) -> &StreamCore;
+    fn core_mut(&mut self) -> &mut StreamCore;
+    /// The per-answer deadline from the engine's parameters.
+    fn answer_deadline(&self) -> Option<std::time::Duration>;
+    /// One unit of work: seed on the first call, then one expansion step;
+    /// must call `finish` when the search ends.
+    fn advance(&mut self);
+    /// Ends the search: flush buffered answers and seal the statistics.
+    fn finish(&mut self);
+}
+
+/// The shared `Iterator::next` body: pump the ready queue, honour the
+/// per-answer deadline, and otherwise advance the machine one step.
+pub(crate) fn next_answer<M: ExpansionMachine>(machine: &mut M) -> Option<RankedAnswer> {
+    loop {
+        if let Some(answer) = machine.core_mut().ready.pop_front() {
+            machine.core_mut().last_emission = Instant::now();
+            return Some(answer);
+        }
+        if machine.core().done {
+            return None;
+        }
+        if let Some(deadline) = machine.answer_deadline() {
+            let core = machine.core_mut();
+            if core.seeded && core.last_emission.elapsed() > deadline {
+                // Out of time for this answer: stop expanding, hand out
+                // whatever was already generated, and end the stream.
+                core.stats.truncated = true;
+                machine.finish();
+                continue;
+            }
+        }
+        machine.advance();
+    }
+}
+
+/// Runs a stream to completion and packages the batch result.
+///
+/// This is the bridge from the streaming model back to the legacy batch
+/// API: [`crate::SearchEngine::search`] is default-implemented as
+/// `drain(self.start(ctx))`, which guarantees the two paths emit identical
+/// answer sequences.
+pub fn drain(mut stream: Box<dyn AnswerStream + '_>) -> SearchOutcome {
+    let mut answers = Vec::new();
+    for answer in stream.by_ref() {
+        answers.push(answer);
+    }
+    SearchOutcome {
+        answers,
+        stats: stream.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bidirectional::BidirectionalSearch;
+    use crate::engine::SearchEngine;
+    use banks_graph::builder::graph_from_edges;
+    use banks_graph::NodeId;
+
+    #[test]
+    fn query_context_is_copy() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = PrestigeVector::uniform_for(&g);
+        let m = KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(1)])]);
+        let ctx = QueryContext::new(&g, &p, &m, SearchParams::default());
+        let ctx2 = ctx; // Copy
+        assert_eq!(ctx.params.top_k, ctx2.params.top_k);
+    }
+
+    #[test]
+    fn drain_matches_manual_iteration() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = PrestigeVector::uniform_for(&g);
+        let m = KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(1)])]);
+        let params = SearchParams::default();
+        let engine = BidirectionalSearch::new();
+
+        let outcome = drain(engine.start(QueryContext::new(&g, &p, &m, params)));
+
+        let mut stream = engine.start(QueryContext::new(&g, &p, &m, params));
+        let mut manual = Vec::new();
+        for a in stream.by_ref() {
+            manual.push(a);
+        }
+        assert!(stream.is_exhausted());
+        assert_eq!(outcome.answers.len(), manual.len());
+        for (a, b) in outcome.answers.iter().zip(&manual) {
+            assert_eq!(a.tree.signature(), b.tree.signature());
+            assert_eq!(a.rank, b.rank);
+        }
+        assert_eq!(outcome.stats.nodes_explored, stream.stats().nodes_explored);
+    }
+}

@@ -59,7 +59,13 @@ impl Default for DblpConfig {
 impl DblpConfig {
     /// A small configuration for fast unit tests.
     pub fn tiny() -> Self {
-        DblpConfig { num_authors: 60, num_papers: 120, num_conferences: 4, seed: 7, ..Default::default() }
+        DblpConfig {
+            num_authors: 60,
+            num_papers: 120,
+            num_conferences: 4,
+            seed: 7,
+            ..Default::default()
+        }
     }
 
     /// Scales the entity counts by a factor (used by the benches to sweep
@@ -101,11 +107,15 @@ impl DblpDataset {
         let vocab = Vocabulary::default();
 
         let mut schema = DatabaseSchema::new();
-        let catalog = schema.add_simple_table("catalog", &["name"], &[]).expect("schema");
+        let catalog = schema
+            .add_simple_table("catalog", &["name"], &[])
+            .expect("schema");
         let conference = schema
             .add_simple_table("conference", &["name"], &[("catalog", catalog)])
             .expect("schema");
-        let author = schema.add_simple_table("author", &["name"], &[]).expect("schema");
+        let author = schema
+            .add_simple_table("author", &["name"], &[])
+            .expect("schema");
         let paper = schema
             .add_simple_table("paper", &["title"], &[("conference", conference)])
             .expect("schema");
@@ -118,10 +128,13 @@ impl DblpDataset {
         let mut db = Database::new(schema);
 
         // Metadata hub and conferences.
-        let catalog_row = db.insert(catalog, vec!["conference catalog".into()]).expect("insert");
+        let catalog_row = db
+            .insert(catalog, vec!["conference catalog".into()])
+            .expect("insert");
         for c in 0..config.num_conferences {
             let name = vocab.org_name(&mut rng, "Conference", c);
-            db.insert(conference, vec![name.into(), catalog_row.into()]).expect("insert");
+            db.insert(conference, vec![name.into(), catalog_row.into()])
+                .expect("insert");
         }
 
         // Authors.
@@ -136,7 +149,9 @@ impl DblpDataset {
         for _ in 0..config.num_papers {
             let title = vocab.title(&mut rng, config.title_words);
             let conf = conf_zipf.sample(&mut rng) as u32;
-            let paper_row = db.insert(paper, vec![title.into(), conf.into()]).expect("insert");
+            let paper_row = db
+                .insert(paper, vec![title.into(), conf.into()])
+                .expect("insert");
             // authorship
             let num_authors = rng.gen_range(1..=config.max_authors_per_paper.max(1));
             let mut chosen: Vec<u32> = Vec::with_capacity(num_authors);
@@ -147,7 +162,8 @@ impl DblpDataset {
                 }
             }
             for author_row in chosen {
-                db.insert(writes, vec![author_row.into(), paper_row.into()]).expect("insert");
+                db.insert(writes, vec![author_row.into(), paper_row.into()])
+                    .expect("insert");
             }
         }
 
@@ -158,7 +174,8 @@ impl DblpDataset {
             for _ in 0..count {
                 let cited = popularity.sample(&mut rng) as u32;
                 if cited != citing {
-                    db.insert(cites, vec![citing.into(), cited.into()]).expect("insert");
+                    db.insert(cites, vec![citing.into(), cited.into()])
+                        .expect("insert");
                 }
             }
         }
@@ -199,8 +216,14 @@ mod tests {
         let a = DblpDataset::generate(DblpConfig::tiny());
         let b = DblpDataset::generate(DblpConfig::tiny());
         assert_eq!(a.dataset.graph().num_nodes(), b.dataset.graph().num_nodes());
-        assert_eq!(a.dataset.graph().num_original_edges(), b.dataset.graph().num_original_edges());
-        let c = DblpDataset::generate(DblpConfig { seed: 99, ..DblpConfig::tiny() });
+        assert_eq!(
+            a.dataset.graph().num_original_edges(),
+            b.dataset.graph().num_original_edges()
+        );
+        let c = DblpDataset::generate(DblpConfig {
+            seed: 99,
+            ..DblpConfig::tiny()
+        });
         // different seed, very likely different edge count (citations are random)
         assert!(
             c.dataset.graph().num_original_edges() != a.dataset.graph().num_original_edges()
@@ -213,13 +236,20 @@ mod tests {
         let d = DblpDataset::generate(DblpConfig::tiny());
         let stats = GraphStats::compute(d.dataset.graph());
         // the catalog node and/or popular conferences should have large fan-in
-        assert!(stats.max_forward_indegree >= 10, "max indegree {}", stats.max_forward_indegree);
+        assert!(
+            stats.max_forward_indegree >= 10,
+            "max indegree {}",
+            stats.max_forward_indegree
+        );
     }
 
     #[test]
     fn frequent_keyword_matches_many_papers() {
         let d = DblpDataset::generate(DblpConfig::tiny());
-        let matches = d.dataset.index().matching_nodes(d.dataset.graph(), "database");
+        let matches = d
+            .dataset
+            .index()
+            .matching_nodes(d.dataset.graph(), "database");
         assert!(
             matches.len() > 20,
             "expected the top topic word to match many papers, got {}",
@@ -236,6 +266,10 @@ mod tests {
         let name = d.dataset.db.row_text(d.author, 0).to_lowercase();
         let matches = d.dataset.index().matching_nodes(d.dataset.graph(), &name);
         assert!(!matches.is_empty());
-        assert!(matches.len() <= 3, "author full name should be rare, matched {}", matches.len());
+        assert!(
+            matches.len() <= 3,
+            "author full name should be rare, matched {}",
+            matches.len()
+        );
     }
 }

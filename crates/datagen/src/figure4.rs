@@ -35,7 +35,10 @@ pub struct Figure4Example {
 /// papers match the frequent keyword (the paper uses 100) and John has
 /// written `john_paper_count` of them (the paper uses 48).
 pub fn figure4_example(num_database_papers: usize, john_paper_count: usize) -> Figure4Example {
-    assert!(john_paper_count <= num_database_papers, "John cannot write more papers than exist");
+    assert!(
+        john_paper_count <= num_database_papers,
+        "John cannot write more papers than exist"
+    );
     assert!(num_database_papers >= 1);
 
     let mut builder = GraphBuilder::new();
@@ -70,7 +73,14 @@ pub fn figure4_example(num_database_papers: usize, john_paper_count: usize) -> F
 
     let expected_answer_nodes = vec![papers[0], james, john, john_writes[0], james_writes];
 
-    Figure4Example { graph, matches, target_paper: papers[0], james, john, expected_answer_nodes }
+    Figure4Example {
+        graph,
+        matches,
+        target_paper: papers[0],
+        james,
+        john,
+        expected_answer_nodes,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +107,11 @@ mod tests {
         // the target paper has two incoming writes edges
         assert_eq!(ex.graph.forward_indegree(ex.target_paper), 2);
         // every other database paper has at most one
-        let others = ex.matches.origin_set(0).iter().filter(|p| **p != ex.target_paper);
+        let others = ex
+            .matches
+            .origin_set(0)
+            .iter()
+            .filter(|p| **p != ex.target_paper);
         for p in others {
             assert!(ex.graph.forward_indegree(*p) <= 1);
         }

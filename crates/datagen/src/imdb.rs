@@ -47,7 +47,13 @@ impl Default for ImdbConfig {
 impl ImdbConfig {
     /// A small configuration for unit tests.
     pub fn tiny() -> Self {
-        ImdbConfig { num_persons: 80, num_movies: 60, num_genres: 5, seed: 11, ..Default::default() }
+        ImdbConfig {
+            num_persons: 80,
+            num_movies: 60,
+            num_genres: 5,
+            seed: 11,
+            ..Default::default()
+        }
     }
 }
 
@@ -77,15 +83,25 @@ impl ImdbDataset {
         let vocab = Vocabulary::default();
 
         let mut schema = DatabaseSchema::new();
-        let person = schema.add_simple_table("person", &["name"], &[]).expect("schema");
-        let movie = schema.add_simple_table("movie", &["title"], &[]).expect("schema");
+        let person = schema
+            .add_simple_table("person", &["name"], &[])
+            .expect("schema");
+        let movie = schema
+            .add_simple_table("movie", &["title"], &[])
+            .expect("schema");
         let casts = schema
-            .add_simple_table("casts", &["character"], &[("actor", person), ("movie", movie)])
+            .add_simple_table(
+                "casts",
+                &["character"],
+                &[("actor", person), ("movie", movie)],
+            )
             .expect("schema");
         let directs = schema
             .add_simple_table("directs", &[], &[("director", person), ("movie", movie)])
             .expect("schema");
-        let genre = schema.add_simple_table("genre", &["name"], &[]).expect("schema");
+        let genre = schema
+            .add_simple_table("genre", &["name"], &[])
+            .expect("schema");
         let movie_genre = schema
             .add_simple_table("movie_genre", &[], &[("movie", movie), ("genre", genre)])
             .expect("schema");
@@ -115,15 +131,20 @@ impl ImdbDataset {
             }
             for actor in &cast {
                 let character = vocab.person_name(&mut rng, *actor as usize + 100_000);
-                db.insert(casts, vec![character.into(), (*actor).into(), movie_row.into()])
-                    .expect("insert");
+                db.insert(
+                    casts,
+                    vec![character.into(), (*actor).into(), movie_row.into()],
+                )
+                .expect("insert");
             }
             // director
             let director = person_zipf.sample(&mut rng) as u32;
-            db.insert(directs, vec![director.into(), movie_row.into()]).expect("insert");
+            db.insert(directs, vec![director.into(), movie_row.into()])
+                .expect("insert");
             // genres
             let genre_row = rng.gen_range(0..config.num_genres as u32);
-            db.insert(movie_genre, vec![movie_row.into(), genre_row.into()]).expect("insert");
+            db.insert(movie_genre, vec![movie_row.into(), genre_row.into()])
+                .expect("insert");
         }
 
         let extraction = GraphExtraction::extract(&db);
@@ -160,9 +181,15 @@ mod tests {
     fn popular_actor_has_large_fanin() {
         let d = ImdbDataset::generate(ImdbConfig::tiny());
         // person row 0 is the most popular under the Zipf draw
-        let node = d.dataset.extraction.node_of(banks_relational::TupleId::new(d.person, 0));
+        let node = d
+            .dataset
+            .extraction
+            .node_of(banks_relational::TupleId::new(d.person, 0));
         let fanin = d.dataset.graph().forward_indegree(node);
-        assert!(fanin >= 5, "expected popular actor to have large fan-in, got {fanin}");
+        assert!(
+            fanin >= 5,
+            "expected popular actor to have large fan-in, got {fanin}"
+        );
     }
 
     #[test]
@@ -176,8 +203,10 @@ mod tests {
         let movies = d.dataset.index().matching_nodes(d.dataset.graph(), "movie");
         assert!(movies.len() >= 60);
         let movie_kind = d.dataset.graph().kind_by_name("movie").unwrap();
-        let movie_only =
-            movies.iter().filter(|n| d.dataset.graph().node_kind(**n) == movie_kind).count();
+        let movie_only = movies
+            .iter()
+            .filter(|n| d.dataset.graph().node_kind(**n) == movie_kind)
+            .count();
         assert_eq!(movie_only, 60);
     }
 }

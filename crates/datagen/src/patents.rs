@@ -90,9 +90,15 @@ impl PatentsDataset {
         let vocab = Vocabulary::default();
 
         let mut schema = DatabaseSchema::new();
-        let assignee = schema.add_simple_table("assignee", &["name"], &[]).expect("schema");
-        let category = schema.add_simple_table("category", &["name"], &[]).expect("schema");
-        let inventor = schema.add_simple_table("inventor", &["name"], &[]).expect("schema");
+        let assignee = schema
+            .add_simple_table("assignee", &["name"], &[])
+            .expect("schema");
+        let category = schema
+            .add_simple_table("category", &["name"], &[])
+            .expect("schema");
+        let inventor = schema
+            .add_simple_table("inventor", &["name"], &[])
+            .expect("schema");
         let patent = schema
             .add_simple_table(
                 "patent",
@@ -101,10 +107,18 @@ impl PatentsDataset {
             )
             .expect("schema");
         let invented_by = schema
-            .add_simple_table("invented_by", &[], &[("inventor", inventor), ("patent", patent)])
+            .add_simple_table(
+                "invented_by",
+                &[],
+                &[("inventor", inventor), ("patent", patent)],
+            )
             .expect("schema");
         let patent_cites = schema
-            .add_simple_table("patent_cites", &[], &[("citing", patent), ("cited", patent)])
+            .add_simple_table(
+                "patent_cites",
+                &[],
+                &[("citing", patent), ("cited", patent)],
+            )
             .expect("schema");
         let mut db = Database::new(schema);
 
@@ -127,8 +141,9 @@ impl PatentsDataset {
             let title = vocab.title(&mut rng, config.title_words);
             let company = assignee_zipf.sample(&mut rng) as u32;
             let class = rng.gen_range(0..config.num_categories as u32);
-            let patent_row =
-                db.insert(patent, vec![title.into(), company.into(), class.into()]).expect("insert");
+            let patent_row = db
+                .insert(patent, vec![title.into(), company.into(), class.into()])
+                .expect("insert");
             let team = rng.gen_range(1..=config.max_inventors_per_patent.max(1));
             let mut chosen: Vec<u32> = Vec::with_capacity(team);
             while chosen.len() < team {
@@ -138,7 +153,8 @@ impl PatentsDataset {
                 }
             }
             for inv in chosen {
-                db.insert(invented_by, vec![inv.into(), patent_row.into()]).expect("insert");
+                db.insert(invented_by, vec![inv.into(), patent_row.into()])
+                    .expect("insert");
             }
         }
         for citing in 1..config.num_patents as u32 {
@@ -147,7 +163,8 @@ impl PatentsDataset {
             for _ in 0..count {
                 let cited = popularity.sample(&mut rng) as u32;
                 if cited != citing {
-                    db.insert(patent_cites, vec![citing.into(), cited.into()]).expect("insert");
+                    db.insert(patent_cites, vec![citing.into(), cited.into()])
+                        .expect("insert");
                 }
             }
         }
@@ -185,10 +202,16 @@ mod tests {
         let d = PatentsDataset::generate(PatentsConfig::tiny());
         let name = d.dataset.db.row_text(d.assignee, 0).to_lowercase();
         let first_word = name.split(' ').next().unwrap();
-        let matches = d.dataset.index().matching_nodes(d.dataset.graph(), first_word);
+        let matches = d
+            .dataset
+            .index()
+            .matching_nodes(d.dataset.graph(), first_word);
         assert!(!matches.is_empty());
         // the most popular assignee is a hub
-        let node = d.dataset.extraction.node_of(banks_relational::TupleId::new(d.assignee, 0));
+        let node = d
+            .dataset
+            .extraction
+            .node_of(banks_relational::TupleId::new(d.assignee, 0));
         assert!(d.dataset.graph().forward_indegree(node) >= 5);
     }
 

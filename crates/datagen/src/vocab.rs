@@ -11,8 +11,8 @@ use rand::Rng;
 use crate::zipf::Zipf;
 
 const FIRST_SYLLABLES: &[&str] = &[
-    "jo", "ma", "an", "ka", "vi", "su", "ra", "de", "li", "ha", "mi", "ta", "pe", "sa", "ro",
-    "be", "ni", "ga", "fe", "lu",
+    "jo", "ma", "an", "ka", "vi", "su", "ra", "de", "li", "ha", "mi", "ta", "pe", "sa", "ro", "be",
+    "ni", "ga", "fe", "lu",
 ];
 const LAST_SYLLABLES: &[&str] = &[
     "son", "nath", "gupta", "mura", "lez", "berg", "ström", "wicz", "moto", "poulos", "ishi",
@@ -23,21 +23,107 @@ const LAST_SYLLABLES: &[&str] = &[
 /// frequent rank in the Zipf draw, so `TOPIC_WORDS[0]` plays the role of the
 /// paper's ubiquitous `database` keyword.
 pub const TOPIC_WORDS: &[&str] = &[
-    "database", "system", "query", "data", "distributed", "model", "analysis", "processing",
-    "web", "performance", "transaction", "index", "parallel", "optimization", "stream",
-    "storage", "graph", "learning", "semantic", "cache", "concurrency", "recovery", "parametric",
-    "spatial", "temporal", "probabilistic", "keyword", "search", "join", "aggregation",
-    "mining", "clustering", "replication", "scheduling", "compression", "encryption",
-    "provenance", "workflow", "benchmark", "visualization", "crowdsourcing", "federated",
-    "approximate", "adaptive", "incremental", "declarative", "transactional", "columnar",
-    "versioning", "sampling", "sketching", "partitioning", "serialization", "deduplication",
-    "normalization", "materialized", "heterogeneous", "multidimensional", "autonomic",
-    "selectivity", "cardinality", "lineage", "entity", "resolution", "schema", "matching",
-    "integration", "migration", "anonymization", "differential", "privacy", "consensus",
-    "gossip", "quorum", "snapshot", "isolation", "logging", "checkpointing", "vectorized",
-    "compilation", "codegen", "pushdown", "predicate", "bitmap", "inverted", "posting",
-    "wavelet", "histogram", "bloom", "trie", "suffix", "prefix", "lattice", "tensor",
-    "embedding", "similarity", "nearest", "neighbour", "locality", "hashing", "shingling",
+    "database",
+    "system",
+    "query",
+    "data",
+    "distributed",
+    "model",
+    "analysis",
+    "processing",
+    "web",
+    "performance",
+    "transaction",
+    "index",
+    "parallel",
+    "optimization",
+    "stream",
+    "storage",
+    "graph",
+    "learning",
+    "semantic",
+    "cache",
+    "concurrency",
+    "recovery",
+    "parametric",
+    "spatial",
+    "temporal",
+    "probabilistic",
+    "keyword",
+    "search",
+    "join",
+    "aggregation",
+    "mining",
+    "clustering",
+    "replication",
+    "scheduling",
+    "compression",
+    "encryption",
+    "provenance",
+    "workflow",
+    "benchmark",
+    "visualization",
+    "crowdsourcing",
+    "federated",
+    "approximate",
+    "adaptive",
+    "incremental",
+    "declarative",
+    "transactional",
+    "columnar",
+    "versioning",
+    "sampling",
+    "sketching",
+    "partitioning",
+    "serialization",
+    "deduplication",
+    "normalization",
+    "materialized",
+    "heterogeneous",
+    "multidimensional",
+    "autonomic",
+    "selectivity",
+    "cardinality",
+    "lineage",
+    "entity",
+    "resolution",
+    "schema",
+    "matching",
+    "integration",
+    "migration",
+    "anonymization",
+    "differential",
+    "privacy",
+    "consensus",
+    "gossip",
+    "quorum",
+    "snapshot",
+    "isolation",
+    "logging",
+    "checkpointing",
+    "vectorized",
+    "compilation",
+    "codegen",
+    "pushdown",
+    "predicate",
+    "bitmap",
+    "inverted",
+    "posting",
+    "wavelet",
+    "histogram",
+    "bloom",
+    "trie",
+    "suffix",
+    "prefix",
+    "lattice",
+    "tensor",
+    "embedding",
+    "similarity",
+    "nearest",
+    "neighbour",
+    "locality",
+    "hashing",
+    "shingling",
 ];
 
 /// Name and title generator.
@@ -65,7 +151,10 @@ impl Vocabulary {
     /// Creates a vocabulary with an explicit vocabulary size.
     pub fn with_size(vocab_size: usize, topic_exponent: f64) -> Self {
         let vocab_size = vocab_size.max(TOPIC_WORDS.len());
-        Vocabulary { topic_zipf: Zipf::new(vocab_size, topic_exponent), vocab_size }
+        Vocabulary {
+            topic_zipf: Zipf::new(vocab_size, topic_exponent),
+            vocab_size,
+        }
     }
 
     /// Number of distinct topic words.
@@ -173,7 +262,10 @@ mod tests {
                 .filter(|w| *w == TOPIC_WORDS[TOPIC_WORDS.len() - 1])
                 .count();
         }
-        assert!(count_top > count_rare * 3, "top word {count_top} vs rare {count_rare}");
+        assert!(
+            count_top > count_rare * 3,
+            "top word {count_top} vs rare {count_rare}"
+        );
     }
 
     #[test]
@@ -186,7 +278,10 @@ mod tests {
         assert_eq!(vocab.topic_word(150), "topic150");
         assert_eq!(vocab.topic_word(10_000), "topic1999");
         assert!(vocab.num_topic_words() >= 2000);
-        assert_eq!(Vocabulary::with_size(10, 1.0).num_topic_words(), TOPIC_WORDS.len());
+        assert_eq!(
+            Vocabulary::with_size(10, 1.0).num_topic_words(),
+            TOPIC_WORDS.len()
+        );
         assert_eq!(capitalize(""), "");
         assert_eq!(capitalize("query"), "Query");
     }

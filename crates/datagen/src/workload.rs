@@ -176,7 +176,10 @@ pub struct WorkloadGenerator<'a> {
 impl<'a> WorkloadGenerator<'a> {
     /// Creates a generator with its own seeded RNG.
     pub fn new(data: &'a DblpDataset, seed: u64) -> Self {
-        WorkloadGenerator { data, rng: SmallRng::seed_from_u64(seed) }
+        WorkloadGenerator {
+            data,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Number of keyword-bearing tuples used as the corpus size for
@@ -229,20 +232,32 @@ impl<'a> WorkloadGenerator<'a> {
         let mut ranked: Vec<(RowId, usize)> = db
             .rows(self.data.author)
             .map(|row| {
-                let node = self.data.dataset.extraction.node_of(TupleId::new(self.data.author, row));
+                let node = self
+                    .data
+                    .dataset
+                    .extraction
+                    .node_of(TupleId::new(self.data.author, row));
                 (row, graph.forward_indegree(node))
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
         if ranked.len() < 2 {
             return None;
         }
         let (a, b) = (ranked[0].0, ranked[1].0);
-        let keywords =
-            vec![db.row_text(self.data.author, a).to_lowercase(), db.row_text(self.data.author, b).to_lowercase()];
+        let keywords = vec![
+            db.row_text(self.data.author, a).to_lowercase(),
+            db.row_text(self.data.author, b).to_lowercase(),
+        ];
         let planted = vec![
-            self.data.dataset.extraction.node_of(TupleId::new(self.data.author, a)),
-            self.data.dataset.extraction.node_of(TupleId::new(self.data.author, b)),
+            self.data
+                .dataset
+                .extraction
+                .node_of(TupleId::new(self.data.author, a)),
+            self.data
+                .dataset
+                .extraction
+                .node_of(TupleId::new(self.data.author, b)),
         ];
         Some(self.finish_case(keywords, planted, 5, true, ground_truth_cap))
     }
@@ -271,7 +286,13 @@ impl<'a> WorkloadGenerator<'a> {
             .dataset
             .extraction
             .node_of(TupleId::new(self.data.paper, paper_row))];
-        Some(self.finish_case(keywords, planted, 1, config.compute_ground_truth, config.ground_truth_cap))
+        Some(self.finish_case(
+            keywords,
+            planted,
+            1,
+            config.compute_ground_truth,
+            config.ground_truth_cap,
+        ))
     }
 
     /// Answer size 3: paper A cites paper B; keywords split between the two
@@ -287,20 +308,39 @@ impl<'a> WorkloadGenerator<'a> {
         let words_a = self.title_words(citing);
         let words_b = self.title_words(cited);
         let half = config.num_keywords / 2;
-        let from_a = self.pick_title_keywords(&words_a, config.num_keywords - half, config.origin_bias)?;
+        let from_a =
+            self.pick_title_keywords(&words_a, config.num_keywords - half, config.origin_bias)?;
         let mut keywords = from_a;
         let from_b = self.pick_title_keywords(
-            &words_b.into_iter().filter(|w| !keywords.contains(w)).collect::<Vec<_>>(),
+            &words_b
+                .into_iter()
+                .filter(|w| !keywords.contains(w))
+                .collect::<Vec<_>>(),
             half,
             config.origin_bias,
         )?;
         keywords.extend(from_b);
         let planted = vec![
-            self.data.dataset.extraction.node_of(TupleId::new(self.data.paper, citing)),
-            self.data.dataset.extraction.node_of(TupleId::new(self.data.cites, cites_row)),
-            self.data.dataset.extraction.node_of(TupleId::new(self.data.paper, cited)),
+            self.data
+                .dataset
+                .extraction
+                .node_of(TupleId::new(self.data.paper, citing)),
+            self.data
+                .dataset
+                .extraction
+                .node_of(TupleId::new(self.data.cites, cites_row)),
+            self.data
+                .dataset
+                .extraction
+                .node_of(TupleId::new(self.data.paper, cited)),
         ];
-        Some(self.finish_case(keywords, planted, 3, config.compute_ground_truth, config.ground_truth_cap))
+        Some(self.finish_case(
+            keywords,
+            planted,
+            3,
+            config.compute_ground_truth,
+            config.ground_truth_cap,
+        ))
     }
 
     /// Answer size 5: a paper with two authors; keywords are the two author
@@ -330,7 +370,11 @@ impl<'a> WorkloadGenerator<'a> {
             ext.node_of(TupleId::new(self.data.writes, writes_b)),
             ext.node_of(TupleId::new(self.data.author, author_b)),
         ];
-        let planted = if config.num_keywords == 1 { planted[..2].to_vec() } else { planted };
+        let planted = if config.num_keywords == 1 {
+            planted[..2].to_vec()
+        } else {
+            planted
+        };
         Some(self.finish_case(
             keywords,
             planted,
@@ -404,7 +448,12 @@ impl<'a> WorkloadGenerator<'a> {
     }
 
     fn title_words(&self, paper_row: RowId) -> Vec<String> {
-        let text = self.data.dataset.db.row_text(self.data.paper, paper_row).to_lowercase();
+        let text = self
+            .data
+            .dataset
+            .db
+            .row_text(self.data.paper, paper_row)
+            .to_lowercase();
         let mut words: Vec<String> = text.split_whitespace().map(|s| s.to_string()).collect();
         words.sort();
         words.dedup();
@@ -431,11 +480,13 @@ impl<'a> WorkloadGenerator<'a> {
         if words.len() < count {
             return None;
         }
-        let mut ranked: Vec<(String, usize)> =
-            words.iter().map(|w| (w.clone(), self.term_frequency(w))).collect();
+        let mut ranked: Vec<(String, usize)> = words
+            .iter()
+            .map(|w| (w.clone(), self.term_frequency(w)))
+            .collect();
         match bias {
             OriginBias::Rare => ranked.sort_by_key(|(_, f)| *f),
-            OriginBias::Frequent => ranked.sort_by(|a, b| b.1.cmp(&a.1)),
+            OriginBias::Frequent => ranked.sort_by_key(|(_, f)| std::cmp::Reverse(*f)),
             OriginBias::Any => {
                 // deterministic shuffle via the generator's RNG
                 for i in (1..ranked.len()).rev() {
@@ -458,8 +509,10 @@ impl<'a> WorkloadGenerator<'a> {
     ) -> QueryCase {
         let graph = self.data.dataset.graph();
         let index = self.data.dataset.index();
-        let origin_sizes: Vec<usize> =
-            keywords.iter().map(|k| index.matching_nodes(graph, k).len()).collect();
+        let origin_sizes: Vec<usize> = keywords
+            .iter()
+            .map(|k| index.matching_nodes(graph, k).len())
+            .collect();
 
         // Relevant node sets are stored sorted so that the same answer
         // reached from the planted tree and from the relational oracle is
@@ -486,7 +539,13 @@ impl<'a> WorkloadGenerator<'a> {
             relevant.truncate(ground_truth_cap.max(1));
         }
 
-        QueryCase { keywords, planted_nodes, relevant, origin_sizes, answer_size }
+        QueryCase {
+            keywords,
+            planted_nodes,
+            relevant,
+            origin_sizes,
+            answer_size,
+        }
     }
 }
 
@@ -511,9 +570,18 @@ mod tests {
         assert_eq!(s_hi + 1, m_lo);
         assert_eq!(m_hi + 1, l_lo);
         assert_eq!(KeywordCategory::classify(1, corpus), KeywordCategory::Tiny);
-        assert_eq!(KeywordCategory::classify(50, corpus), KeywordCategory::Small);
-        assert_eq!(KeywordCategory::classify(300, corpus), KeywordCategory::Medium);
-        assert_eq!(KeywordCategory::classify(5000, corpus), KeywordCategory::Large);
+        assert_eq!(
+            KeywordCategory::classify(50, corpus),
+            KeywordCategory::Small
+        );
+        assert_eq!(
+            KeywordCategory::classify(300, corpus),
+            KeywordCategory::Medium
+        );
+        assert_eq!(
+            KeywordCategory::classify(5000, corpus),
+            KeywordCategory::Large
+        );
         assert_eq!(KeywordCategory::Tiny.label(), "T");
         assert_eq!(KeywordCategory::Large.label(), "L");
     }
@@ -522,7 +590,11 @@ mod tests {
     fn generates_coauthorship_queries_with_ground_truth() {
         let data = dataset();
         let mut generator = WorkloadGenerator::new(&data, 1);
-        let config = WorkloadConfig { num_queries: 5, num_keywords: 2, ..Default::default() };
+        let config = WorkloadConfig {
+            num_queries: 5,
+            num_keywords: 2,
+            ..Default::default()
+        };
         let cases = generator.generate(&config);
         assert_eq!(cases.len(), 5);
         for case in &cases {

@@ -48,7 +48,10 @@ impl Zipf {
     /// Draws a rank in `0..n`; rank 0 is the most probable.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }

@@ -127,7 +127,10 @@ impl GraphBuilder {
 
     fn check_node(&self, node: NodeId) -> Result<()> {
         if node.index() >= self.nodes.len() {
-            return Err(GraphError::NodeOutOfBounds { node, len: self.nodes.len() });
+            return Err(GraphError::NodeOutOfBounds {
+                node,
+                len: self.nodes.len(),
+            });
         }
         Ok(())
     }
@@ -145,7 +148,13 @@ impl GraphBuilder {
     /// Freezes the builder into an immutable [`DataGraph`] using the given
     /// expansion policy.
     pub fn build(self, policy: ExpansionPolicy) -> DataGraph {
-        let GraphBuilder { kinds, nodes, mut edges, allow_parallel_edges, .. } = self;
+        let GraphBuilder {
+            kinds,
+            nodes,
+            mut edges,
+            allow_parallel_edges,
+            ..
+        } = self;
         if !allow_parallel_edges {
             let mut seen = std::collections::HashSet::with_capacity(edges.len());
             edges.retain(|(u, v, _)| seen.insert((*u, *v)));
@@ -172,7 +181,8 @@ pub fn graph_from_edges(n: usize, edges: &[(u32, u32)]) -> DataGraph {
         b.add_node("node", format!("v{i}"));
     }
     for (u, v) in edges {
-        b.add_edge(NodeId(*u), NodeId(*v)).expect("edge endpoints must exist");
+        b.add_edge(NodeId(*u), NodeId(*v))
+            .expect("edge endpoints must exist");
     }
     b.build_default()
 }
@@ -184,7 +194,8 @@ pub fn graph_from_weighted_edges(n: usize, edges: &[(u32, u32, f64)]) -> DataGra
         b.add_node("node", format!("v{i}"));
     }
     for (u, v, w) in edges {
-        b.add_edge_weighted(NodeId(*u), NodeId(*v), *w).expect("edge must be valid");
+        b.add_edge_weighted(NodeId(*u), NodeId(*v), *w)
+            .expect("edge must be valid");
     }
     b.build_default()
 }
@@ -273,7 +284,9 @@ mod tests {
         // conference must be log2(1 + 3) = 2 times the forward weight.
         let mut b = GraphBuilder::new();
         let conf = b.add_node("conference", "VLDB");
-        let papers: Vec<NodeId> = (0..3).map(|i| b.add_node("paper", format!("p{i}"))).collect();
+        let papers: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node("paper", format!("p{i}")))
+            .collect();
         for p in &papers {
             b.add_edge_weighted(*p, conf, 1.0).unwrap();
         }
@@ -284,7 +297,11 @@ mod tests {
                 .find(|e| e.to == *p)
                 .expect("backward edge must exist");
             assert_eq!(back.kind, EdgeKind::Backward);
-            assert!((back.weight - 2.0).abs() < 1e-12, "weight was {}", back.weight);
+            assert!(
+                (back.weight - 2.0).abs() < 1e-12,
+                "weight was {}",
+                back.weight
+            );
             let fwd = g.out_edges(*p).find(|e| e.to == conf).unwrap();
             assert_eq!(fwd.kind, EdgeKind::Forward);
             assert!((fwd.weight - 1.0).abs() < 1e-12);

@@ -52,7 +52,12 @@ impl CsrAdjacency {
             cursor[from.index()] += 1;
         }
 
-        let mut csr = CsrAdjacency { offsets, neighbours, weights, kinds };
+        let mut csr = CsrAdjacency {
+            offsets,
+            neighbours,
+            weights,
+            kinds,
+        };
         csr.sort_rows();
         csr
     }
@@ -70,7 +75,8 @@ impl CsrAdjacency {
                 .map(|i| (self.neighbours[i], self.weights[i], self.kinds[i]))
                 .collect();
             row.sort_by(|a, b| {
-                a.0.cmp(&b.0).then_with(|| a.2.is_backward().cmp(&b.2.is_backward()))
+                a.0.cmp(&b.0)
+                    .then_with(|| a.2.is_backward().cmp(&b.2.is_backward()))
             });
             for (offset, (nbr, w, k)) in row.into_iter().enumerate() {
                 self.neighbours[start + offset] = nbr;
@@ -170,8 +176,10 @@ mod tests {
     #[test]
     fn weights_and_kinds_follow_their_edge() {
         let csr = CsrAdjacency::from_edges(4, &sample_edges());
-        let row: Vec<(u32, f64, EdgeKind)> =
-            csr.neighbours(NodeId(0)).map(|(v, w, k)| (v.0, w, k)).collect();
+        let row: Vec<(u32, f64, EdgeKind)> = csr
+            .neighbours(NodeId(0))
+            .map(|(v, w, k)| (v.0, w, k))
+            .collect();
         assert_eq!(row[0], (1, 2.0, EdgeKind::Forward));
         assert_eq!(row[1], (2, 1.0, EdgeKind::Forward));
         assert_eq!(row[2], (3, 4.0, EdgeKind::Backward));
@@ -181,7 +189,10 @@ mod tests {
     fn edge_weight_lookup() {
         let csr = CsrAdjacency::from_edges(4, &sample_edges());
         assert_eq!(csr.edge_weight(NodeId(0), NodeId(1)), Some(2.0));
-        assert_eq!(csr.edge_weight(NodeId(0), NodeId(9).min(NodeId(3))), Some(4.0));
+        assert_eq!(
+            csr.edge_weight(NodeId(0), NodeId(9).min(NodeId(3))),
+            Some(4.0)
+        );
         assert_eq!(csr.edge_weight(NodeId(3), NodeId(0)), None);
         assert!(csr.has_edge(NodeId(1), NodeId(2)));
         assert!(!csr.has_edge(NodeId(2), NodeId(1)));

@@ -21,13 +21,21 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { include_backward_edges: false, include_weights: true, max_nodes: 10_000 }
+        DotOptions {
+            include_backward_edges: false,
+            include_weights: true,
+            max_nodes: 10_000,
+        }
     }
 }
 
 /// Renders the whole graph (or its first `max_nodes` nodes) as a DOT digraph.
 pub fn to_dot(graph: &DataGraph, options: DotOptions) -> String {
-    let limit = if options.max_nodes == 0 { graph.num_nodes() } else { options.max_nodes };
+    let limit = if options.max_nodes == 0 {
+        graph.num_nodes()
+    } else {
+        options.max_nodes
+    };
     let node_included = |n: NodeId| n.index() < limit;
     let mut out = String::new();
     out.push_str("digraph banks {\n");
@@ -49,11 +57,25 @@ pub fn to_dot(graph: &DataGraph, options: DotOptions) -> String {
             if e.kind == EdgeKind::Backward && !options.include_backward_edges {
                 continue;
             }
-            let style = if e.kind == EdgeKind::Backward { ", style=dashed" } else { "" };
-            if options.include_weights {
-                let _ = writeln!(out, "  n{} -> n{} [label=\"{:.2}\"{}];", u.0, e.to.0, e.weight, style);
+            let style = if e.kind == EdgeKind::Backward {
+                ", style=dashed"
             } else {
-                let _ = writeln!(out, "  n{} -> n{} [{}];", u.0, e.to.0, style.trim_start_matches(", "));
+                ""
+            };
+            if options.include_weights {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"{:.2}\"{}];",
+                    u.0, e.to.0, e.weight, style
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [{}];",
+                    u.0,
+                    e.to.0,
+                    style.trim_start_matches(", ")
+                );
             }
         }
     }
@@ -94,7 +116,11 @@ mod tests {
     fn includes_backward_edges_when_asked() {
         let dot = to_dot(
             &tiny(),
-            DotOptions { include_backward_edges: true, include_weights: false, max_nodes: 0 },
+            DotOptions {
+                include_backward_edges: true,
+                include_weights: false,
+                max_nodes: 0,
+            },
         );
         assert!(dot.contains("style=dashed"));
         assert!(!dot.contains("label=\"1.00\""));
@@ -102,7 +128,13 @@ mod tests {
 
     #[test]
     fn respects_node_limit() {
-        let dot = to_dot(&tiny(), DotOptions { max_nodes: 1, ..DotOptions::default() });
+        let dot = to_dot(
+            &tiny(),
+            DotOptions {
+                max_nodes: 1,
+                ..DotOptions::default()
+            },
+        );
         assert!(dot.contains("n0 ["));
         assert!(!dot.contains("n1 ["));
         assert!(!dot.contains("n1 -> n0"));

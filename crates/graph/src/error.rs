@@ -43,7 +43,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, len } => {
-                write!(f, "node {node} is out of bounds for a graph with {len} nodes")
+                write!(
+                    f,
+                    "node {node} is out of bounds for a graph with {len} nodes"
+                )
             }
             GraphError::InvalidEdgeWeight { from, to, weight } => {
                 write!(f, "edge {from} -> {to} has invalid weight {weight}")
@@ -69,17 +72,27 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_facts() {
-        let e = GraphError::NodeOutOfBounds { node: NodeId(7), len: 3 };
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId(7),
+            len: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
 
-        let e = GraphError::InvalidEdgeWeight { from: NodeId(0), to: NodeId(1), weight: -1.0 };
+        let e = GraphError::InvalidEdgeWeight {
+            from: NodeId(0),
+            to: NodeId(1),
+            weight: -1.0,
+        };
         assert!(e.to_string().contains("-1"));
 
         let e = GraphError::SelfLoop { node: NodeId(2) };
         assert!(e.to_string().contains("self-loop"));
 
-        let e = GraphError::ParseError { line: 12, message: "bad token".into() };
+        let e = GraphError::ParseError {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("bad token"));
 

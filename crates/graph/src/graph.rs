@@ -70,14 +70,18 @@ impl DataGraph {
         }
         if policy.add_backward_edges {
             for (u, v, w) in &forward_edges {
-                let bw = policy.backward_weight.backward_weight(*w, forward_indegree[v.index()] as usize);
+                let bw = policy
+                    .backward_weight
+                    .backward_weight(*w, forward_indegree[v.index()] as usize);
                 expanded.push((*v, *u, bw, EdgeKind::Backward));
             }
         }
 
         let out = CsrAdjacency::from_edges(n, &expanded);
-        let reversed: Vec<(NodeId, NodeId, f64, EdgeKind)> =
-            expanded.iter().map(|(u, v, w, k)| (*v, *u, *w, *k)).collect();
+        let reversed: Vec<(NodeId, NodeId, f64, EdgeKind)> = expanded
+            .iter()
+            .map(|(u, v, w, k)| (*v, *u, *w, *k))
+            .collect();
         let inc = CsrAdjacency::from_edges(n, &reversed);
 
         DataGraph {
@@ -131,7 +135,10 @@ impl DataGraph {
     #[inline]
     pub fn check_node(&self, node: NodeId) -> Result<()> {
         if node.index() >= self.num_nodes() {
-            Err(GraphError::NodeOutOfBounds { node, len: self.num_nodes() })
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                len: self.num_nodes(),
+            })
         } else {
             Ok(())
         }
@@ -180,13 +187,18 @@ impl DataGraph {
 
     /// Looks up a kind id by name.
     pub fn kind_by_name(&self, name: &str) -> Option<KindId> {
-        self.kinds.iter().position(|k| k == name).map(KindId::from_index)
+        self.kinds
+            .iter()
+            .position(|k| k == name)
+            .map(KindId::from_index)
     }
 
     /// All node ids belonging to a given kind.  Linear scan — intended for
     /// index construction and tests, not hot paths.
     pub fn nodes_of_kind(&self, kind: KindId) -> Vec<NodeId> {
-        self.nodes().filter(|n| self.node_kind(*n) == kind).collect()
+        self.nodes()
+            .filter(|n| self.node_kind(*n) == kind)
+            .collect()
     }
 
     // ------------------------------------------------------------- adjacency
@@ -196,7 +208,12 @@ impl DataGraph {
     pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
         self.out
             .neighbours(u)
-            .map(move |(to, weight, kind)| EdgeRef { from: u, to, weight, kind })
+            .map(move |(to, weight, kind)| EdgeRef {
+                from: u,
+                to,
+                weight,
+                kind,
+            })
     }
 
     /// Incoming edges of `v` in the expanded graph: every returned
@@ -205,7 +222,12 @@ impl DataGraph {
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
         self.inc
             .neighbours(v)
-            .map(move |(from, weight, kind)| EdgeRef { from, to: v, weight, kind })
+            .map(move |(from, weight, kind)| EdgeRef {
+                from,
+                to: v,
+                weight,
+                kind,
+            })
     }
 
     /// Out-degree in the expanded graph.
@@ -274,13 +296,15 @@ mod tests {
         for u in g.nodes() {
             for e in g.out_edges(u) {
                 assert!(
-                    g.in_edges(e.to).any(|b| b.from == u && b.weight == e.weight && b.kind == e.kind),
+                    g.in_edges(e.to)
+                        .any(|b| b.from == u && b.weight == e.weight && b.kind == e.kind),
                     "out edge {e:?} missing from in-adjacency"
                 );
             }
             for e in g.in_edges(u) {
                 assert!(
-                    g.out_edges(e.from).any(|b| b.to == u && b.weight == e.weight && b.kind == e.kind),
+                    g.out_edges(e.from)
+                        .any(|b| b.to == u && b.weight == e.weight && b.kind == e.kind),
                     "in edge {e:?} missing from out-adjacency"
                 );
             }

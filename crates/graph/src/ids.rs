@@ -39,7 +39,10 @@ impl NodeId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        assert!(index <= u32::MAX as usize, "node index {index} overflows u32");
+        assert!(
+            index <= u32::MAX as usize,
+            "node index {index} overflows u32"
+        );
         NodeId(index as u32)
     }
 }
@@ -57,7 +60,10 @@ impl EdgeId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        assert!(index <= u32::MAX as usize, "edge index {index} overflows u32");
+        assert!(
+            index <= u32::MAX as usize,
+            "edge index {index} overflows u32"
+        );
         EdgeId(index as u32)
     }
 }
@@ -75,7 +81,10 @@ impl KindId {
     /// Panics if `index` does not fit in `u16`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        assert!(index <= u16::MAX as usize, "kind index {index} overflows u16");
+        assert!(
+            index <= u16::MAX as usize,
+            "kind index {index} overflows u16"
+        );
         KindId(index as u16)
     }
 }

@@ -52,7 +52,10 @@ pub struct NodeMeta {
 impl NodeMeta {
     /// Creates node metadata.
     pub fn new(kind: KindId, label: impl Into<String>) -> Self {
-        NodeMeta { kind, label: label.into() }
+        NodeMeta {
+            kind,
+            label: label.into(),
+        }
     }
 }
 

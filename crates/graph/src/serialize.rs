@@ -76,7 +76,10 @@ pub fn from_text(text: &str, policy: ExpansionPolicy) -> Result<DataGraph> {
 
     let (line_no, header) = expect("header")?;
     if header.trim() != HEADER {
-        return Err(GraphError::ParseError { line: line_no, message: format!("bad header {header:?}") });
+        return Err(GraphError::ParseError {
+            line: line_no,
+            message: format!("bad header {header:?}"),
+        });
     }
 
     let (line_no, kinds_line) = expect("kinds count")?;
@@ -87,7 +90,10 @@ pub fn from_text(text: &str, policy: ExpansionPolicy) -> Result<DataGraph> {
         let (line_no, line) = expect("kind")?;
         let name = line
             .strip_prefix("k ")
-            .ok_or_else(|| GraphError::ParseError { line: line_no, message: "expected `k <name>`".into() })?;
+            .ok_or_else(|| GraphError::ParseError {
+                line: line_no,
+                message: "expected `k <name>`".into(),
+            })?;
         kind_ids.push(builder.kind(name));
     }
 
@@ -97,7 +103,10 @@ pub fn from_text(text: &str, policy: ExpansionPolicy) -> Result<DataGraph> {
         let (line_no, line) = expect("node")?;
         let rest = line
             .strip_prefix("n ")
-            .ok_or_else(|| GraphError::ParseError { line: line_no, message: "expected `n <kind> <label>`".into() })?;
+            .ok_or_else(|| GraphError::ParseError {
+                line: line_no,
+                message: "expected `n <kind> <label>`".into(),
+            })?;
         let (kind_str, label) = rest.split_once(' ').unwrap_or((rest, ""));
         let kind_idx: usize = kind_str.parse().map_err(|_| GraphError::ParseError {
             line: line_no,
@@ -116,24 +125,33 @@ pub fn from_text(text: &str, policy: ExpansionPolicy) -> Result<DataGraph> {
         let (line_no, line) = expect("edge")?;
         let rest = line
             .strip_prefix("e ")
-            .ok_or_else(|| GraphError::ParseError { line: line_no, message: "expected `e <from> <to> <w>`".into() })?;
+            .ok_or_else(|| GraphError::ParseError {
+                line: line_no,
+                message: "expected `e <from> <to> <w>`".into(),
+            })?;
         let mut parts = rest.split_whitespace();
         let from: u32 = parse_field(parts.next(), line_no, "from")?;
         let to: u32 = parse_field(parts.next(), line_no, "to")?;
         let weight: f64 = parse_field(parts.next(), line_no, "weight")?;
         builder
             .add_edge_weighted(NodeId(from), NodeId(to), weight)
-            .map_err(|e| GraphError::ParseError { line: line_no, message: e.to_string() })?;
+            .map_err(|e| GraphError::ParseError {
+                line: line_no,
+                message: e.to_string(),
+            })?;
     }
 
     Ok(builder.build(policy))
 }
 
 fn parse_count(line: &str, keyword: &str, line_no: usize) -> Result<usize> {
-    let rest = line.strip_prefix(keyword).map(str::trim).ok_or_else(|| GraphError::ParseError {
-        line: line_no,
-        message: format!("expected `{keyword} <count>`, got {line:?}"),
-    })?;
+    let rest = line
+        .strip_prefix(keyword)
+        .map(str::trim)
+        .ok_or_else(|| GraphError::ParseError {
+            line: line_no,
+            message: format!("expected `{keyword} <count>`, got {line:?}"),
+        })?;
     rest.parse().map_err(|_| GraphError::ParseError {
         line: line_no,
         message: format!("bad count in {line:?}"),
@@ -143,7 +161,10 @@ fn parse_count(line: &str, keyword: &str, line_no: usize) -> Result<usize> {
 fn parse_field<T: std::str::FromStr>(field: Option<&str>, line_no: usize, what: &str) -> Result<T> {
     field
         .and_then(|f| f.parse().ok())
-        .ok_or_else(|| GraphError::ParseError { line: line_no, message: format!("missing or bad {what}") })
+        .ok_or_else(|| GraphError::ParseError {
+            line: line_no,
+            message: format!("missing or bad {what}"),
+        })
 }
 
 #[cfg(test)]

@@ -50,7 +50,11 @@ impl GraphStats {
             num_kinds: graph.num_kinds(),
             nodes_per_kind,
             max_forward_indegree,
-            mean_forward_indegree: if n == 0 { 0.0 } else { sum_forward_indegree as f64 / n as f64 },
+            mean_forward_indegree: if n == 0 {
+                0.0
+            } else {
+                sum_forward_indegree as f64 / n as f64
+            },
             max_out_degree,
             memory_bytes: graph.memory_bytes(),
         }

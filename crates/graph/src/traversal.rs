@@ -100,7 +100,10 @@ pub fn dijkstra(graph: &DataGraph, source: NodeId, direction: Direction) -> Shor
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if done[u.index()] {
@@ -121,7 +124,12 @@ pub fn dijkstra(graph: &DataGraph, source: NodeId, direction: Direction) -> Shor
         }
     }
 
-    ShortestPaths { dist, pred, source, direction }
+    ShortestPaths {
+        dist,
+        pred,
+        source,
+        direction,
+    }
 }
 
 /// Breadth-first search returning the hop distance of every node from
@@ -183,7 +191,12 @@ pub fn weakly_connected_components(graph: &DataGraph) -> (Vec<usize>, usize) {
 
 /// True when `target` is reachable from `source` following the given
 /// direction.
-pub fn is_reachable(graph: &DataGraph, source: NodeId, target: NodeId, direction: Direction) -> bool {
+pub fn is_reachable(
+    graph: &DataGraph,
+    source: NodeId,
+    target: NodeId,
+    direction: Direction,
+) -> bool {
     bfs_levels(graph, source, direction)[target.index()] != usize::MAX
 }
 
@@ -213,7 +226,10 @@ mod tests {
         for i in 0..5u32 {
             assert_eq!(sp.distance(NodeId(i)), i as f64);
         }
-        assert_eq!(sp.path_to(NodeId(4)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            sp.path_to(NodeId(4)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
         // reverse direction: nothing reachable from 0 except itself
         let sp_in = dijkstra(&g, NodeId(0), Direction::Incoming);
         assert!(sp_in.is_reachable(NodeId(0)));
@@ -236,7 +252,10 @@ mod tests {
         };
         let sp = dijkstra(&g, NodeId(0), Direction::Outgoing);
         assert_eq!(sp.distance(NodeId(1)), 2.0);
-        assert_eq!(sp.path_to(NodeId(1)).unwrap(), vec![NodeId(0), NodeId(2), NodeId(1)]);
+        assert_eq!(
+            sp.path_to(NodeId(1)).unwrap(),
+            vec![NodeId(0), NodeId(2), NodeId(1)]
+        );
     }
 
     #[test]

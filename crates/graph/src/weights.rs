@@ -3,7 +3,7 @@
 
 /// How the weight of a derived backward edge `v -> u` is computed from the
 /// weight `w` of the original forward edge `u -> v`.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum BackwardWeightPolicy {
     /// The paper's default (Section 2.3):
     /// `w(v -> u) = w(u -> v) * log2(1 + indegree(v))`.
@@ -12,6 +12,7 @@ pub enum BackwardWeightPolicy {
     /// edges.  Hubs with many incident edges therefore hand out expensive
     /// backward edges, which discourages spurious shortcut answers through
     /// metadata nodes such as DBLP's "conference" node.
+    #[default]
     IndegreeLog,
     /// Backward edges copy the forward weight unchanged.  Corresponds to
     /// treating the graph as undirected (the DBXplorer / Discover model).
@@ -40,12 +41,6 @@ impl BackwardWeightPolicy {
                 forward_weight * factor * (1.0 + indegree as f64).log2().max(1.0)
             }
         }
-    }
-}
-
-impl Default for BackwardWeightPolicy {
-    fn default() -> Self {
-        BackwardWeightPolicy::IndegreeLog
     }
 }
 
@@ -130,7 +125,10 @@ mod tests {
     #[test]
     fn mirror_and_constant_policies() {
         assert_eq!(BackwardWeightPolicy::Mirror.backward_weight(3.0, 1000), 3.0);
-        assert_eq!(BackwardWeightPolicy::Constant(7.5).backward_weight(3.0, 1000), 7.5);
+        assert_eq!(
+            BackwardWeightPolicy::Constant(7.5).backward_weight(3.0, 1000),
+            7.5
+        );
     }
 
     #[test]
@@ -151,7 +149,10 @@ mod tests {
 
     #[test]
     fn preset_policies() {
-        assert_eq!(ExpansionPolicy::undirected_like().backward_weight, BackwardWeightPolicy::Mirror);
+        assert_eq!(
+            ExpansionPolicy::undirected_like().backward_weight,
+            BackwardWeightPolicy::Mirror
+        );
         assert!(!ExpansionPolicy::directed_only().add_backward_edges);
     }
 }

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 /// Strategy producing a random edge list over `n` nodes.
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (2usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.25f64..4.0),
-            0..(n * 3),
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.25f64..4.0), 0..(n * 3));
         (Just(n), edges)
     })
 }

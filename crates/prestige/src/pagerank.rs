@@ -51,12 +51,19 @@ pub struct PageRankStats {
 /// Nodes with no outgoing edges teleport with probability 1.
 ///
 /// The result is normalised to sum to 1 over all nodes.
-pub fn compute_pagerank(graph: &DataGraph, config: PageRankConfig) -> (PrestigeVector, PageRankStats) {
+pub fn compute_pagerank(
+    graph: &DataGraph,
+    config: PageRankConfig,
+) -> (PrestigeVector, PageRankStats) {
     let n = graph.num_nodes();
     if n == 0 {
         return (
             PrestigeVector::from_values(Vec::new()),
-            PageRankStats { iterations: 0, final_delta: 0.0, converged: true },
+            PageRankStats {
+                iterations: 0,
+                final_delta: 0.0,
+                converged: true,
+            },
         );
     }
 
@@ -86,7 +93,10 @@ pub fn compute_pagerank(graph: &DataGraph, config: PageRankConfig) -> (PrestigeV
     for _ in 0..config.max_iterations {
         iterations += 1;
         // Mass from teleportation and dangling nodes.
-        let dangling_mass: f64 = (0..n).filter(|i| targets[*i].is_empty()).map(|i| rank[i]).sum();
+        let dangling_mass: f64 = (0..n)
+            .filter(|i| targets[*i].is_empty())
+            .map(|i| rank[i])
+            .sum();
         let base = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
         next.iter_mut().for_each(|x| *x = base);
         for u in 0..n {
@@ -98,7 +108,11 @@ pub fn compute_pagerank(graph: &DataGraph, config: PageRankConfig) -> (PrestigeV
                 next[*v as usize] += share * p;
             }
         }
-        final_delta = rank.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+        final_delta = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         std::mem::swap(&mut rank, &mut next);
         if final_delta < config.tolerance {
             converged = true;
@@ -114,7 +128,11 @@ pub fn compute_pagerank(graph: &DataGraph, config: PageRankConfig) -> (PrestigeV
 
     (
         PrestigeVector::from_values(rank),
-        PageRankStats { iterations, final_delta, converged },
+        PageRankStats {
+            iterations,
+            final_delta,
+            converged,
+        },
     )
 }
 
@@ -156,7 +174,13 @@ mod tests {
             b.add_edge_weighted(NodeId(0), NodeId(2), 10.0).unwrap();
             b.build(ExpansionPolicy::directed_only())
         };
-        let (p, _) = compute_pagerank(&g, PageRankConfig { use_backward_edges: false, ..Default::default() });
+        let (p, _) = compute_pagerank(
+            &g,
+            PageRankConfig {
+                use_backward_edges: false,
+                ..Default::default()
+            },
+        );
         assert!(p.get(NodeId(1)) > p.get(NodeId(2)));
     }
 
@@ -172,7 +196,13 @@ mod tests {
             b.add_edge(NodeId(1), NodeId(2)).unwrap();
             b.build(ExpansionPolicy::directed_only())
         };
-        let (p, _) = compute_pagerank(&g, PageRankConfig { use_backward_edges: false, ..Default::default() });
+        let (p, _) = compute_pagerank(
+            &g,
+            PageRankConfig {
+                use_backward_edges: false,
+                ..Default::default()
+            },
+        );
         assert!((p.sum() - 1.0).abs() < 1e-9);
         // Downstream nodes accumulate prestige.
         assert!(p.get(NodeId(2)) > p.get(NodeId(0)));
@@ -191,7 +221,11 @@ mod tests {
         let g = graph_from_weighted_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
         let (_, stats) = compute_pagerank(
             &g,
-            PageRankConfig { max_iterations: 2, tolerance: 0.0, ..Default::default() },
+            PageRankConfig {
+                max_iterations: 2,
+                tolerance: 0.0,
+                ..Default::default()
+            },
         );
         assert_eq!(stats.iterations, 2);
         assert!(!stats.converged);

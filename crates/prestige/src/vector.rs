@@ -31,7 +31,10 @@ impl PrestigeVector {
     /// Figure 4 walk-through ("assume all node prestiges and edge weights to
     /// be unity").
     pub fn uniform(num_nodes: usize) -> Self {
-        PrestigeVector { values: vec![1.0; num_nodes], max: if num_nodes == 0 { 0.0 } else { 1.0 } }
+        PrestigeVector {
+            values: vec![1.0; num_nodes],
+            max: if num_nodes == 0 { 0.0 } else { 1.0 },
+        }
     }
 
     /// Uniform prestige sized for a graph.

@@ -111,7 +111,11 @@ impl CandidateNetwork {
                 if other == parent {
                     None
                 } else {
-                    Some(format!("{}{}", orientation, self.encode_from(other, node, schema)))
+                    Some(format!(
+                        "{}{}",
+                        orientation,
+                        self.encode_from(other, node, schema)
+                    ))
                 }
             })
             .collect();
@@ -139,8 +143,15 @@ pub fn enumerate_candidate_networks(
     cap: usize,
 ) -> Vec<CandidateNetwork> {
     let num_keywords = keyword_tables.len();
-    assert!(num_keywords <= 64, "more than 64 keywords are not supported");
-    let full_mask: u64 = if num_keywords == 64 { u64::MAX } else { (1u64 << num_keywords) - 1 };
+    assert!(
+        num_keywords <= 64,
+        "more than 64 keywords are not supported"
+    );
+    let full_mask: u64 = if num_keywords == 64 {
+        u64::MAX
+    } else {
+        (1u64 << num_keywords) - 1
+    };
     let adjacency = schema.adjacency();
 
     // Which keywords can a given table hold?
@@ -166,7 +177,10 @@ pub fn enumerate_candidate_networks(
                 continue;
             }
             let cn = CandidateNetwork {
-                nodes: vec![CnNode { table: TableId(table_idx as u16), keywords: assignment }],
+                nodes: vec![CnNode {
+                    table: TableId(table_idx as u16),
+                    keywords: assignment,
+                }],
                 edges: vec![],
             };
             queue.push(cn);
@@ -200,28 +214,38 @@ pub fn enumerate_candidate_networks(
             for edge in &adjacency[attach_node.table.index()] {
                 // The new occurrence instantiates the other endpoint of the
                 // schema edge (or the same table for self-relationships).
-                let candidates: Vec<(TableId, bool)> = if edge.from == attach_node.table
-                    && edge.to == attach_node.table
-                {
-                    vec![(edge.to, true), (edge.from, false)]
-                } else if edge.from == attach_node.table {
-                    // existing node is the referencing side; new node is referenced
-                    vec![(edge.to, false)]
-                } else {
-                    // existing node is referenced; new node references it
-                    vec![(edge.from, true)]
-                };
+                let candidates: Vec<(TableId, bool)> =
+                    if edge.from == attach_node.table && edge.to == attach_node.table {
+                        vec![(edge.to, true), (edge.from, false)]
+                    } else if edge.from == attach_node.table {
+                        // existing node is the referencing side; new node is referenced
+                        vec![(edge.to, false)]
+                    } else {
+                        // existing node is referenced; new node references it
+                        vec![(edge.from, true)]
+                    };
                 for (new_table, new_is_referencing) in candidates {
                     let assignable = table_masks[new_table.index()] & remaining;
                     for assignment in subsets_of(assignable) {
                         let mut nodes = cn.nodes.clone();
-                        nodes.push(CnNode { table: new_table, keywords: assignment });
+                        nodes.push(CnNode {
+                            table: new_table,
+                            keywords: assignment,
+                        });
                         let new_idx = nodes.len() - 1;
                         let mut edges = cn.edges.clone();
                         edges.push(if new_is_referencing {
-                            CnEdge { referencing: new_idx, referenced: attach_idx, via: *edge }
+                            CnEdge {
+                                referencing: new_idx,
+                                referenced: attach_idx,
+                                via: *edge,
+                            }
                         } else {
-                            CnEdge { referencing: attach_idx, referenced: new_idx, via: *edge }
+                            CnEdge {
+                                referencing: attach_idx,
+                                referenced: new_idx,
+                                via: *edge,
+                            }
                         });
                         let candidate = CandidateNetwork { nodes, edges };
                         // keep the expansion frontier bounded
@@ -317,10 +341,13 @@ mod tests {
         // the single-occurrence CN (both keywords on the same author tuple) exists
         assert_eq!(cns[0].size(), 1);
         // and a 5-occurrence author-writes-paper-writes-author network exists
-        let has_coauthor_network = cns.iter().any(|cn| {
-            cn.size() == 5 && cn.nodes.iter().filter(|n| n.table == author).count() == 2
-        });
-        assert!(has_coauthor_network, "expected the co-authorship candidate network");
+        let has_coauthor_network = cns
+            .iter()
+            .any(|cn| cn.size() == 5 && cn.nodes.iter().filter(|n| n.table == author).count() == 2);
+        assert!(
+            has_coauthor_network,
+            "expected the co-authorship candidate network"
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl Database {
     pub fn new(schema: DatabaseSchema) -> Self {
         schema.validate().expect("invalid schema");
         let tables = vec![TableData::default(); schema.num_tables()];
-        Database { schema, tables, tokenizer: Tokenizer::new() }
+        Database {
+            schema,
+            tables,
+            tokenizer: Tokenizer::new(),
+        }
     }
 
     /// The schema.
@@ -72,16 +76,20 @@ impl Database {
         if values.len() != schema.columns.len() {
             return Err(RelationalError::RowShapeMismatch {
                 table: schema.name.clone(),
-                message: format!("expected {} values, got {}", schema.columns.len(), values.len()),
+                message: format!(
+                    "expected {} values, got {}",
+                    schema.columns.len(),
+                    values.len()
+                ),
             });
         }
         for (column, value) in schema.columns.iter().zip(values.iter()) {
-            let ok = match (column.column_type, value) {
-                (_, Value::Null) => true,
-                (ColumnType::Int, Value::Int(_)) => true,
-                (ColumnType::Text, Value::Text(_)) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (column.column_type, value),
+                (_, Value::Null)
+                    | (ColumnType::Int, Value::Int(_))
+                    | (ColumnType::Text, Value::Text(_))
+            );
             if !ok {
                 return Err(RelationalError::RowShapeMismatch {
                     table: schema.name.clone(),
@@ -118,7 +126,10 @@ impl Database {
 
     /// A row's values.
     pub fn row(&self, table: TableId, row: RowId) -> Option<&[Value]> {
-        self.tables[table.index()].rows.get(row as usize).map(|r| r.as_slice())
+        self.tables[table.index()]
+            .rows
+            .get(row as usize)
+            .map(|r| r.as_slice())
     }
 
     /// A single cell.
@@ -162,7 +173,12 @@ impl Database {
 
     /// Rows of `table` referencing `target_row` through the foreign key in
     /// column `fk_column` (uses the maintained index).
-    pub fn referencing_rows(&self, table: TableId, fk_column: usize, target_row: RowId) -> &[RowId] {
+    pub fn referencing_rows(
+        &self,
+        table: TableId,
+        fk_column: usize,
+        target_row: RowId,
+    ) -> &[RowId] {
         self.tables[table.index()]
             .fk_indexes
             .get(&fk_column)
@@ -215,8 +231,12 @@ mod tests {
         let mut db = Database::new(schema);
         let a0 = db.insert(author, vec!["Jim Gray".into()]).unwrap();
         let a1 = db.insert(author, vec!["David Fernandez".into()]).unwrap();
-        let p0 = db.insert(paper, vec!["Transaction recovery".into()]).unwrap();
-        let p1 = db.insert(paper, vec!["Parametric query optimization".into()]).unwrap();
+        let p0 = db
+            .insert(paper, vec!["Transaction recovery".into()])
+            .unwrap();
+        let p1 = db
+            .insert(paper, vec!["Parametric query optimization".into()])
+            .unwrap();
         db.insert(writes, vec![a0.into(), p0.into()]).unwrap();
         db.insert(writes, vec![a1.into(), p1.into()]).unwrap();
         db.insert(writes, vec![a0.into(), p1.into()]).unwrap();
@@ -231,7 +251,10 @@ mod tests {
         assert_eq!(db.num_rows(writes), 3);
         assert_eq!(db.total_rows(), 7);
         assert_eq!(db.row(author, 0).unwrap()[0].as_text(), Some("Jim Gray"));
-        assert_eq!(db.cell(TupleId::new(writes, 1), 0).unwrap().as_int(), Some(1));
+        assert_eq!(
+            db.cell(TupleId::new(writes, 1), 0).unwrap().as_int(),
+            Some(1)
+        );
         assert!(db.row(author, 5).is_none());
         assert!(db.check_integrity().is_ok());
     }
@@ -270,14 +293,20 @@ mod tests {
     #[test]
     fn integrity_check_catches_dangling_references() {
         let (mut db, _, _, writes) = tiny_db();
-        db.insert(writes, vec![Value::Int(99), Value::Int(0)]).unwrap();
-        assert!(matches!(db.check_integrity(), Err(RelationalError::DanglingReference { .. })));
+        db.insert(writes, vec![Value::Int(99), Value::Int(0)])
+            .unwrap();
+        assert!(matches!(
+            db.check_integrity(),
+            Err(RelationalError::DanglingReference { .. })
+        ));
     }
 
     #[test]
     fn row_text_concatenates_text_columns() {
         let mut schema = DatabaseSchema::new();
-        let t = schema.add_simple_table("person", &["first", "last"], &[]).unwrap();
+        let t = schema
+            .add_simple_table("person", &["first", "last"], &[])
+            .unwrap();
         let mut db = Database::new(schema);
         db.insert(t, vec!["Ada".into(), "Lovelace".into()]).unwrap();
         assert_eq!(db.row_text(t, 0), "Ada Lovelace");

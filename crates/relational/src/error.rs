@@ -46,7 +46,11 @@ impl fmt::Display for RelationalError {
             RelationalError::RowShapeMismatch { table, message } => {
                 write!(f, "bad row for table {table:?}: {message}")
             }
-            RelationalError::DanglingReference { table, column, target } => {
+            RelationalError::DanglingReference {
+                table,
+                column,
+                target,
+            } => {
                 write!(f, "dangling reference in {table}.{column} -> row {target}")
             }
         }
@@ -61,13 +65,27 @@ mod tests {
 
     #[test]
     fn messages_contain_context() {
-        assert!(RelationalError::DuplicateTable("paper".into()).to_string().contains("paper"));
-        assert!(RelationalError::UnknownTable("x".into()).to_string().contains('x'));
-        let e = RelationalError::UnknownColumn { table: "paper".into(), column: "title".into() };
+        assert!(RelationalError::DuplicateTable("paper".into())
+            .to_string()
+            .contains("paper"));
+        assert!(RelationalError::UnknownTable("x".into())
+            .to_string()
+            .contains('x'));
+        let e = RelationalError::UnknownColumn {
+            table: "paper".into(),
+            column: "title".into(),
+        };
         assert!(e.to_string().contains("title"));
-        let e = RelationalError::RowShapeMismatch { table: "t".into(), message: "arity".into() };
+        let e = RelationalError::RowShapeMismatch {
+            table: "t".into(),
+            message: "arity".into(),
+        };
         assert!(e.to_string().contains("arity"));
-        let e = RelationalError::DanglingReference { table: "writes".into(), column: "pid".into(), target: 7 };
+        let e = RelationalError::DanglingReference {
+            table: "writes".into(),
+            column: "pid".into(),
+            target: 7,
+        };
         assert!(e.to_string().contains('7'));
     }
 }

@@ -86,7 +86,11 @@ impl GraphExtraction {
 
         let graph = builder.build(policy);
         let index = index_builder.build();
-        GraphExtraction { graph, index, node_offsets }
+        GraphExtraction {
+            graph,
+            index,
+            node_offsets,
+        }
     }
 
     /// The graph node corresponding to a tuple.
@@ -104,7 +108,10 @@ impl GraphExtraction {
                 break;
             }
         }
-        TupleId { table: TableId(table_idx as u16), row: node.0 - self.node_offsets[table_idx] }
+        TupleId {
+            table: TableId(table_idx as u16),
+            row: node.0 - self.node_offsets[table_idx],
+        }
     }
 }
 
@@ -124,8 +131,10 @@ mod tests {
         let mut db = Database::new(schema);
         db.insert(author, vec!["Jim Gray".into()]).unwrap();
         db.insert(author, vec!["David Fernandez".into()]).unwrap();
-        db.insert(paper, vec!["Transaction recovery".into()]).unwrap();
-        db.insert(paper, vec!["Parametric query optimization".into()]).unwrap();
+        db.insert(paper, vec!["Transaction recovery".into()])
+            .unwrap();
+        db.insert(paper, vec!["Parametric query optimization".into()])
+            .unwrap();
         db.insert(writes, vec![0u32.into(), 0u32.into()]).unwrap();
         db.insert(writes, vec![1u32.into(), 1u32.into()]).unwrap();
         (db, author, paper, writes)

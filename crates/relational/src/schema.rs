@@ -37,12 +37,18 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Creates an integer column.
     pub fn int(name: &str) -> Self {
-        ColumnDef { name: name.to_string(), column_type: ColumnType::Int }
+        ColumnDef {
+            name: name.to_string(),
+            column_type: ColumnType::Int,
+        }
     }
 
     /// Creates a text column.
     pub fn text(name: &str) -> Self {
-        ColumnDef { name: name.to_string(), column_type: ColumnType::Text }
+        ColumnDef {
+            name: name.to_string(),
+            column_type: ColumnType::Text,
+        }
     }
 }
 
@@ -134,10 +140,17 @@ impl DatabaseSchema {
         let mut columns: Vec<ColumnDef> = text_columns.iter().map(|c| ColumnDef::text(c)).collect();
         let mut foreign_keys = Vec::new();
         for (col_name, target) in fk_targets {
-            foreign_keys.push(ForeignKey { column: columns.len(), target: *target });
+            foreign_keys.push(ForeignKey {
+                column: columns.len(),
+                target: *target,
+            });
             columns.push(ColumnDef::int(col_name));
         }
-        self.add_table(TableSchema { name: name.to_string(), columns, foreign_keys })
+        self.add_table(TableSchema {
+            name: name.to_string(),
+            columns,
+            foreign_keys,
+        })
     }
 
     /// Number of tables.
@@ -152,7 +165,10 @@ impl DatabaseSchema {
 
     /// All tables with their ids.
     pub fn tables(&self) -> impl Iterator<Item = (TableId, &TableSchema)> {
-        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u16), t))
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u16), t))
     }
 
     /// Looks a table up by name.
@@ -166,7 +182,10 @@ impl DatabaseSchema {
         for table in &self.tables {
             for fk in &table.foreign_keys {
                 if fk.target.index() >= self.tables.len() {
-                    return Err(RelationalError::UnknownTable(format!("table #{}", fk.target.0)));
+                    return Err(RelationalError::UnknownTable(format!(
+                        "table #{}",
+                        fk.target.0
+                    )));
                 }
                 match table.columns.get(fk.column) {
                     None => {
@@ -193,7 +212,11 @@ impl DatabaseSchema {
         let mut edges = Vec::new();
         for (i, table) in self.tables.iter().enumerate() {
             for fk in &table.foreign_keys {
-                edges.push(SchemaEdge { from: TableId(i as u16), column: fk.column, to: fk.target });
+                edges.push(SchemaEdge {
+                    from: TableId(i as u16),
+                    column: fk.column,
+                    to: fk.target,
+                });
             }
         }
         edges
@@ -220,7 +243,9 @@ mod tests {
         let mut s = DatabaseSchema::new();
         let author = s.add_simple_table("author", &["name"], &[]).unwrap();
         let conference = s.add_simple_table("conference", &["name"], &[]).unwrap();
-        let paper = s.add_simple_table("paper", &["title"], &[("cid", conference)]).unwrap();
+        let paper = s
+            .add_simple_table("paper", &["title"], &[("cid", conference)])
+            .unwrap();
         let _writes = s
             .add_simple_table("writes", &[], &[("aid", author), ("pid", paper)])
             .unwrap();
@@ -268,7 +293,10 @@ mod tests {
         s.add_table(TableSchema {
             name: "bad".into(),
             columns: vec![ColumnDef::text("name")],
-            foreign_keys: vec![ForeignKey { column: 0, target: TableId(0) }],
+            foreign_keys: vec![ForeignKey {
+                column: 0,
+                target: TableId(0),
+            }],
         })
         .unwrap();
         // fk column is Text -> invalid
@@ -278,7 +306,10 @@ mod tests {
         s.add_table(TableSchema {
             name: "bad".into(),
             columns: vec![ColumnDef::int("ref")],
-            foreign_keys: vec![ForeignKey { column: 0, target: TableId(9) }],
+            foreign_keys: vec![ForeignKey {
+                column: 0,
+                target: TableId(9),
+            }],
         })
         .unwrap();
         // fk target table does not exist

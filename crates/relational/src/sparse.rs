@@ -82,7 +82,10 @@ impl Default for SparseSearch {
 impl SparseSearch {
     /// Creates a Sparse baseline with the given CN size limit.
     pub fn with_max_size(max_cn_size: usize) -> Self {
-        SparseSearch { max_cn_size, ..Default::default() }
+        SparseSearch {
+            max_cn_size,
+            ..Default::default()
+        }
     }
 
     /// Runs the baseline for a list of keywords.
@@ -176,7 +179,10 @@ impl SparseSearch {
                 candidates.push(Some(set.unwrap_or_default()));
             }
         }
-        if candidates.iter().any(|c| matches!(c, Some(s) if s.is_empty())) {
+        if candidates
+            .iter()
+            .any(|c| matches!(c, Some(s) if s.is_empty()))
+        {
             return Vec::new();
         }
 
@@ -227,7 +233,8 @@ impl SparseSearch {
                 let parent_row = assignment[parent].expect("parent already assigned");
                 let matches: Vec<RowId> = if edge.referencing == node {
                     // the new occurrence references the parent: use the FK index
-                    db.referencing_rows(cn.nodes[node].table, edge.via.column, parent_row).to_vec()
+                    db.referencing_rows(cn.nodes[node].table, edge.via.column, parent_row)
+                        .to_vec()
                 } else {
                     // the parent references the new occurrence
                     db.referenced_row(cn.nodes[parent].table, parent_row, edge.via.column)
@@ -243,9 +250,7 @@ impl SparseSearch {
                     // Occurrences of the same table must bind distinct rows
                     // (an answer tree never repeats a node).
                     let duplicate = assignment.iter().enumerate().any(|(i, r)| {
-                        r.is_some()
-                            && cn.nodes[i].table == cn.nodes[node].table
-                            && *r == Some(row)
+                        r.is_some() && cn.nodes[i].table == cn.nodes[node].table && *r == Some(row)
                     });
                     if duplicate {
                         continue;
@@ -266,7 +271,12 @@ impl SparseSearch {
 
         results
             .into_iter()
-            .map(|assignment| assignment.into_iter().map(|r| r.expect("complete")).collect())
+            .map(|assignment| {
+                assignment
+                    .into_iter()
+                    .map(|r| r.expect("complete"))
+                    .collect()
+            })
             .collect()
     }
 
@@ -307,8 +317,12 @@ mod tests {
         let mut db = Database::new(schema);
         let gray = db.insert(author, vec!["Jim Gray".into()]).unwrap();
         let fern = db.insert(author, vec!["David Fernandez".into()]).unwrap();
-        let p0 = db.insert(paper, vec!["Transaction recovery".into()]).unwrap();
-        let p1 = db.insert(paper, vec!["Parametric query optimization".into()]).unwrap();
+        let p0 = db
+            .insert(paper, vec!["Transaction recovery".into()])
+            .unwrap();
+        let p1 = db
+            .insert(paper, vec!["Parametric query optimization".into()])
+            .unwrap();
         db.insert(writes, vec![gray.into(), p0.into()]).unwrap();
         db.insert(writes, vec![gray.into(), p1.into()]).unwrap();
         db.insert(writes, vec![fern.into(), p1.into()]).unwrap();
@@ -337,7 +351,10 @@ mod tests {
         let (db, author, _, _) = tiny_db();
         // Gray and Fernandez co-authored paper 1 (via two writes rows).
         let small = SparseSearch::with_max_size(3).run(&db, &["gray", "fernandez"]);
-        assert!(small.results.is_empty(), "size-3 CNs cannot join two authors");
+        assert!(
+            small.results.is_empty(),
+            "size-3 CNs cannot join two authors"
+        );
         let big = SparseSearch::with_max_size(5).run(&db, &["gray", "fernandez"]);
         assert!(!big.results.is_empty());
         let best = &big.results[0];

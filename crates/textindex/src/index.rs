@@ -30,7 +30,11 @@ pub struct IndexBuilder {
 impl IndexBuilder {
     /// Creates a builder with the given tokenizer.
     pub fn new(tokenizer: Tokenizer) -> Self {
-        IndexBuilder { tokenizer, postings: HashMap::new(), kind_terms: HashMap::new() }
+        IndexBuilder {
+            tokenizer,
+            postings: HashMap::new(),
+            kind_terms: HashMap::new(),
+        }
     }
 
     /// Creates a builder with the default tokenizer.
@@ -63,7 +67,11 @@ impl IndexBuilder {
     /// Freezes the builder: posting lists are sorted, deduplicated and
     /// boxed.
     pub fn build(self) -> InvertedIndex {
-        let IndexBuilder { tokenizer, postings, kind_terms } = self;
+        let IndexBuilder {
+            tokenizer,
+            postings,
+            kind_terms,
+        } = self;
         let mut index: HashMap<String, Box<[NodeId]>> = HashMap::with_capacity(postings.len());
         for (term, mut nodes) in postings {
             nodes.sort_unstable();
@@ -76,7 +84,11 @@ impl IndexBuilder {
             ids.dedup();
             kinds.insert(term, ids.into_boxed_slice());
         }
-        InvertedIndex { tokenizer, postings: index, kind_terms: kinds }
+        InvertedIndex {
+            tokenizer,
+            postings: index,
+            kind_terms: kinds,
+        }
     }
 }
 
@@ -114,9 +126,10 @@ impl InvertedIndex {
 
     /// Statistics for a term (`None` if the term is not in the vocabulary).
     pub fn term_stats(&self, term: &str) -> Option<TermStats> {
-        self.postings
-            .get(term)
-            .map(|p| TermStats { node_frequency: p.len(), postings: p.len() })
+        self.postings.get(term).map(|p| TermStats {
+            node_frequency: p.len(),
+            postings: p.len(),
+        })
     }
 
     /// Iterates over the vocabulary in arbitrary order.
@@ -235,7 +248,10 @@ mod tests {
     fn phrase_keywords_intersect() {
         let g = tiny_graph();
         let idx = build_index(&g);
-        assert_eq!(idx.matching_nodes(&g, "\"David Fernandez\""), vec![NodeId(0)]);
+        assert_eq!(
+            idx.matching_nodes(&g, "\"David Fernandez\""),
+            vec![NodeId(0)]
+        );
         assert_eq!(idx.matching_nodes(&g, "Giora Fernandez"), vec![NodeId(1)]);
         assert!(idx.matching_nodes(&g, "David Giora").is_empty());
     }

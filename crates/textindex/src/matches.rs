@@ -97,7 +97,10 @@ impl KeywordMatches {
     /// keyword indices it matches (keyword `i` sets bit `i`).  Keyword counts
     /// beyond 64 are not supported (the paper's queries have 2–7 keywords).
     pub fn node_keyword_bitmask(&self) -> HashMap<NodeId, u64> {
-        assert!(self.keywords.len() <= 64, "more than 64 keywords are not supported");
+        assert!(
+            self.keywords.len() <= 64,
+            "more than 64 keywords are not supported"
+        );
         let mut map: HashMap<NodeId, u64> = HashMap::new();
         for (i, set) in self.sets.iter().enumerate() {
             for node in set {
@@ -155,7 +158,10 @@ mod tests {
         assert!(m.all_keywords_matched());
         assert_eq!(m.max_origin_size(), 2);
         assert_eq!(m.min_origin_size(), 1);
-        assert_eq!(m.all_origin_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            m.all_origin_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 
     #[test]

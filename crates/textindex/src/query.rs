@@ -21,7 +21,9 @@ impl Query {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Query { keywords: keywords.into_iter().map(Into::into).collect() }
+        Query {
+            keywords: keywords.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Parses a raw query string, honouring double-quoted phrases.
@@ -100,7 +102,13 @@ impl std::fmt::Display for Query {
         let rendered: Vec<String> = self
             .keywords
             .iter()
-            .map(|k| if k.contains(' ') { format!("\"{k}\"") } else { k.clone() })
+            .map(|k| {
+                if k.contains(' ') {
+                    format!("\"{k}\"")
+                } else {
+                    k.clone()
+                }
+            })
             .collect();
         write!(f, "{}", rendered.join(" "))
     }
@@ -121,7 +129,10 @@ mod tests {
     #[test]
     fn parses_plain_keywords() {
         let q = Query::parse("Gray transaction");
-        assert_eq!(q.keywords(), &["Gray".to_string(), "transaction".to_string()]);
+        assert_eq!(
+            q.keywords(),
+            &["Gray".to_string(), "transaction".to_string()]
+        );
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
     }
@@ -129,16 +140,25 @@ mod tests {
     #[test]
     fn parses_quoted_phrases() {
         let q = Query::parse("\"David Fernandez\" parametric");
-        assert_eq!(q.keywords(), &["David Fernandez".to_string(), "parametric".to_string()]);
+        assert_eq!(
+            q.keywords(),
+            &["David Fernandez".to_string(), "parametric".to_string()]
+        );
 
         let q = Query::parse("\"C. Mohan\" Rothermel");
-        assert_eq!(q.keywords(), &["C. Mohan".to_string(), "Rothermel".to_string()]);
+        assert_eq!(
+            q.keywords(),
+            &["C. Mohan".to_string(), "Rothermel".to_string()]
+        );
     }
 
     #[test]
     fn handles_unterminated_quote() {
         let q = Query::parse("recovery \"Jim Gray");
-        assert_eq!(q.keywords(), &["recovery".to_string(), "Jim Gray".to_string()]);
+        assert_eq!(
+            q.keywords(),
+            &["recovery".to_string(), "Jim Gray".to_string()]
+        );
     }
 
     #[test]
@@ -161,7 +181,10 @@ mod tests {
         let t = Tokenizer::new();
         let q = Query::parse("\"C. Mohan\" ROTHERMEL ...");
         let n = q.normalized(&t);
-        assert_eq!(n.keywords(), &["c mohan".to_string(), "rothermel".to_string()]);
+        assert_eq!(
+            n.keywords(),
+            &["c mohan".to_string(), "rothermel".to_string()]
+        );
     }
 
     #[test]

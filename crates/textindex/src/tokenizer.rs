@@ -80,7 +80,10 @@ impl Tokenizer {
     /// indexing a document where each term should be posted once.
     pub fn tokenize_unique(&self, text: &str) -> Vec<String> {
         let mut seen = HashSet::new();
-        self.tokenize(text).into_iter().filter(|t| seen.insert(t.clone())).collect()
+        self.tokenize(text)
+            .into_iter()
+            .filter(|t| seen.insert(t.clone()))
+            .collect()
     }
 
     /// Normalises a single query keyword (phrase keywords are normalised
@@ -106,7 +109,10 @@ mod tests {
     #[test]
     fn keeps_digits() {
         let t = Tokenizer::new();
-        assert_eq!(t.tokenize("VLDB 2005 paper #31"), vec!["vldb", "2005", "paper", "31"]);
+        assert_eq!(
+            t.tokenize("VLDB 2005 paper #31"),
+            vec!["vldb", "2005", "paper", "31"]
+        );
     }
 
     #[test]
@@ -121,26 +127,37 @@ mod tests {
 
     #[test]
     fn custom_stopwords() {
-        let t = Tokenizer::new().with_stopwords(["Foo"]).with_stopword_removal(true);
+        let t = Tokenizer::new()
+            .with_stopwords(["Foo"])
+            .with_stopword_removal(true);
         assert_eq!(t.tokenize("foo bar the"), vec!["bar", "the"]);
     }
 
     #[test]
     fn min_token_length() {
         let t = Tokenizer::new().with_min_token_len(3);
-        assert_eq!(t.tokenize("a an and transaction"), vec!["and", "transaction"]);
+        assert_eq!(
+            t.tokenize("a an and transaction"),
+            vec!["and", "transaction"]
+        );
     }
 
     #[test]
     fn unique_preserves_order() {
         let t = Tokenizer::new();
-        assert_eq!(t.tokenize_unique("data data base data"), vec!["data", "base"]);
+        assert_eq!(
+            t.tokenize_unique("data data base data"),
+            vec!["data", "base"]
+        );
     }
 
     #[test]
     fn normalizes_phrases() {
         let t = Tokenizer::new();
-        assert_eq!(t.normalize_keyword("  David   FERNANDEZ "), "david fernandez");
+        assert_eq!(
+            t.normalize_keyword("  David   FERNANDEZ "),
+            "david fernandez"
+        );
         assert_eq!(t.normalize_keyword("C. Mohan"), "c mohan");
     }
 

@@ -12,8 +12,16 @@
 use banks::prelude::*;
 
 fn main() {
-    let config = DblpConfig { num_authors: 2_000, num_papers: 4_000, seed: 2026, ..DblpConfig::default() };
-    println!("generating synthetic DBLP dataset ({} papers)...", config.num_papers);
+    let config = DblpConfig {
+        num_authors: 2_000,
+        num_papers: 4_000,
+        seed: 2026,
+        ..DblpConfig::default()
+    };
+    println!(
+        "generating synthetic DBLP dataset ({} papers)...",
+        config.num_papers
+    );
     let data = DblpDataset::generate(config);
     let graph = data.dataset.graph();
     let stats = GraphStats::compute(graph);
@@ -21,7 +29,10 @@ fn main() {
 
     println!("computing node prestige (biased PageRank)...");
     let (prestige, pr_stats) = compute_pagerank(graph, PageRankConfig::default());
-    println!("  converged after {} iterations (delta {:.2e})", pr_stats.iterations, pr_stats.final_delta);
+    println!(
+        "  converged after {} iterations (delta {:.2e})",
+        pr_stats.iterations, pr_stats.final_delta
+    );
 
     // Build a query the way the paper does: two author names from a
     // co-authored paper plus the most frequent title word.
@@ -32,29 +43,35 @@ fn main() {
         origin_bias: banks::datagen::workload::OriginBias::Frequent,
         ..WorkloadConfig::default()
     };
-    let case = workload.generate(&config).into_iter().next().expect("workload query");
+    let case = workload
+        .generate(&config)
+        .into_iter()
+        .next()
+        .expect("workload query");
     println!("\nquery: {}", case.query());
     println!("origin sizes: {:?}", case.origin_sizes);
 
-    let matches = KeywordMatches::resolve(graph, data.dataset.index(), &case.query());
-    let params = SearchParams::with_top_k(10);
-    let engines: Vec<Box<dyn SearchEngine>> = vec![
-        Box::new(BidirectionalSearch::new()),
-        Box::new(SingleIteratorBackwardSearch::new()),
-        Box::new(BackwardExpandingSearch::new()),
-    ];
+    // The facade owns keyword resolution (against the dataset's index) and
+    // prestige; engines are selected by registry name.
+    let banks = Banks::open(graph)
+        .with_prestige(prestige)
+        .with_index(data.dataset.index().clone());
 
     println!(
         "\n{:<16} {:>9} {:>9} {:>9} {:>10} {:>8}",
         "engine", "explored", "touched", "answers", "recall", "time"
     );
     let ground_truth = GroundTruth::from_sets(case.relevant.clone());
-    for engine in engines {
-        let outcome = engine.search(graph, &prestige, &matches, &params);
+    for engine in ["bidirectional", "si-backward", "mi-backward"] {
+        let outcome = banks
+            .query_parsed(&case.query())
+            .engine(engine)
+            .top_k(10)
+            .run();
         let rp = ground_truth.evaluate(&outcome);
         println!(
             "{:<16} {:>9} {:>9} {:>9} {:>9.0}% {:>7.1?}",
-            engine.name(),
+            engine,
             outcome.stats.nodes_explored,
             outcome.stats.nodes_touched,
             outcome.answers.len(),
@@ -63,15 +80,22 @@ fn main() {
         );
     }
 
-    println!("\ntop answers (Bidirectional):");
-    let outcome = BidirectionalSearch::new().search(graph, &prestige, &matches, &params);
-    for answer in outcome.answers.iter().take(3) {
+    // Stream the winning engine: answers surface incrementally, long before
+    // the search would have finished.
+    println!("\ntop answers (Bidirectional, streamed):");
+    let session = banks.query_parsed(&case.query()).top_k(10);
+    let mut stream = session.stream();
+    while let Some(answer) = stream.next() {
         println!(
-            "  #{} score {:.5} root [{}] {}",
+            "  #{} score {:.5} root [{}] {} (explored {} so far)",
             answer.rank + 1,
             answer.tree.score,
             graph.node_kind_name(answer.tree.root),
-            graph.node_label(answer.tree.root)
+            graph.node_label(answer.tree.root),
+            stream.stats().nodes_explored
         );
+        if answer.rank + 1 >= 3 {
+            break; // early termination: the rest of the search never runs
+        }
     }
 }

@@ -13,11 +13,23 @@ use banks::prelude::*;
 use banks::relational::TupleId;
 
 fn main() {
-    let config = ImdbConfig { num_persons: 3_000, num_movies: 2_500, seed: 7, ..ImdbConfig::default() };
-    println!("generating synthetic IMDB dataset ({} movies)...", config.num_movies);
+    let config = ImdbConfig {
+        num_persons: 3_000,
+        num_movies: 2_500,
+        seed: 7,
+        ..ImdbConfig::default()
+    };
+    println!(
+        "generating synthetic IMDB dataset ({} movies)...",
+        config.num_movies
+    );
     let data = ImdbDataset::generate(config);
     let graph = data.dataset.graph();
-    println!("graph: {} nodes, {} directed edges", graph.num_nodes(), graph.num_directed_edges());
+    println!(
+        "graph: {} nodes, {} directed edges",
+        graph.num_nodes(),
+        graph.num_directed_edges()
+    );
 
     let (prestige, _) = compute_pagerank(graph, PageRankConfig::default());
 
@@ -39,18 +51,17 @@ fn main() {
     let query = Query::parse(&query_text);
     println!("\nquery: {query}");
 
-    let matches = KeywordMatches::resolve(graph, data.dataset.index(), &query);
-    println!("origin sizes: {:?}", matches.origin_sizes());
+    let banks = Banks::open(graph)
+        .with_prestige(prestige)
+        .with_index(data.dataset.index().clone());
+    let session = banks.query_parsed(&query).top_k(5);
+    println!("origin sizes: {:?}", session.matches().origin_sizes());
 
-    let params = SearchParams::with_top_k(5);
-    for engine in [
-        Box::new(BidirectionalSearch::new()) as Box<dyn SearchEngine>,
-        Box::new(SingleIteratorBackwardSearch::new()),
-    ] {
-        let outcome = engine.search(graph, &prestige, &matches, &params);
+    for engine in ["bidirectional", "si-backward"] {
+        let outcome = banks.query_parsed(&query).engine(engine).top_k(5).run();
         println!(
             "{:<16} explored {:>7} touched {:>7} answers {:>2} time {:.1?}",
-            engine.name(),
+            engine,
             outcome.stats.nodes_explored,
             outcome.stats.nodes_touched,
             outcome.answers.len(),
@@ -58,8 +69,7 @@ fn main() {
         );
     }
 
-    let outcome =
-        BidirectionalSearch::new().search(graph, &prestige, &matches, &params);
+    let outcome = session.run();
     println!("\ntop answers (Bidirectional):");
     for answer in outcome.answers.iter().take(3) {
         let tree = &answer.tree;
@@ -73,7 +83,13 @@ fn main() {
     }
 
     // Sanity: the expected movie connects the actor and the title word.
-    let expected_movie = data.dataset.extraction.node_of(TupleId::new(data.movie, movie_row));
-    let found = outcome.answers.iter().any(|a| a.tree.nodes().contains(&expected_movie));
+    let expected_movie = data
+        .dataset
+        .extraction
+        .node_of(TupleId::new(data.movie, movie_row));
+    let found = outcome
+        .answers
+        .iter()
+        .any(|a| a.tree.nodes().contains(&expected_movie));
     println!("\nexpected movie node {expected_movie} present in some answer: {found}");
 }

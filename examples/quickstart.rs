@@ -1,4 +1,4 @@
-//! Quickstart: run Bidirectional search on the paper's Figure 4 example.
+//! Quickstart: the streaming query API on the paper's Figure 4 example.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,8 +7,10 @@
 //! The example reproduces the walk-through of Section 4.4: the query
 //! `Database James John` over a graph where `Database` matches 100 paper
 //! nodes, `James` and `John` match one author node each, and John has a
-//! large fan-in.  It prints the answer trees found by Bidirectional search
-//! and compares the number of nodes explored against SI-Backward search.
+//! large fan-in.  Everything goes through the `Banks` facade: it resolves
+//! keywords against an automatically built label index, assembles the
+//! search parameters, and lets the same session run either as a lazy
+//! answer stream (time-to-first-answer, early termination) or in batch.
 
 use banks::prelude::*;
 
@@ -23,34 +25,34 @@ fn main() {
         graph.num_directed_edges()
     );
 
-    let prestige = PrestigeVector::uniform_for(graph);
-    let params = SearchParams::with_top_k(3);
-
-    // The paper's algorithm ...
-    let bidirectional = BidirectionalSearch::new();
-    let outcome = bidirectional.search(graph, &prestige, &example.matches, &params);
-
-    // ... and the single-iterator backward baseline for comparison.
-    let backward = SingleIteratorBackwardSearch::new();
-    let baseline = backward.search(graph, &prestige, &example.matches, &params);
-
+    // Open the graph for querying.  The facade indexes the node labels,
+    // defaults to uniform prestige and the Bidirectional engine; the
+    // session below carries the query and its parameters.
+    let banks = Banks::open(graph);
+    let session = banks.query(["database", "james", "john"]).top_k(3);
     println!("\nquery: Database James John");
-    println!(
-        "{:<16} explored {:>5} touched {:>5} answers {:>2}",
-        bidirectional.name(),
-        outcome.stats.nodes_explored,
-        outcome.stats.nodes_touched,
-        outcome.answers.len()
-    );
-    println!(
-        "{:<16} explored {:>5} touched {:>5} answers {:>2}",
-        backward.name(),
-        baseline.stats.nodes_explored,
-        baseline.stats.nodes_touched,
-        baseline.answers.len()
-    );
+    println!("origin sizes: {:?}", session.matches().origin_sizes());
 
-    println!("\ntop answers (Bidirectional):");
+    // --- Streaming: pull answers one at a time -------------------------
+    let mut stream = session.stream();
+    if let Some(first) = stream.next() {
+        let live = stream.stats();
+        println!(
+            "\nfirst answer after exploring only {} nodes (touched {}):",
+            live.nodes_explored, live.nodes_touched
+        );
+        println!(
+            "  score {:.4}  root {} ({})",
+            first.tree.score,
+            first.tree.root,
+            graph.node_label(first.tree.root)
+        );
+    }
+    drop(stream); // dropping the stream terminates the search early
+
+    // --- Batch: drain the same session to completion -------------------
+    let outcome = session.run();
+    println!("\ntop answers ({}):", stream_name(&session));
     for answer in &outcome.answers {
         let tree = &answer.tree;
         println!(
@@ -68,8 +70,33 @@ fn main() {
             println!("    keyword {}: {}", i + 1, rendered.join(" -> "));
         }
     }
+    if let Some(ttfa) = outcome.time_to_first_answer() {
+        println!("\ntime to first answer: {ttfa:.2?}");
+    }
 
-    let speedup =
-        baseline.stats.nodes_explored as f64 / outcome.stats.nodes_explored.max(1) as f64;
+    // --- Engine comparison via the registry ----------------------------
+    println!("\nengines ({}):", banks.engine_names().join(", "));
+    let mut explored = std::collections::HashMap::new();
+    for engine in ["bidirectional", "si-backward", "mi-backward"] {
+        let run = banks
+            .query(["database", "james", "john"])
+            .engine(engine)
+            .top_k(3)
+            .run();
+        println!(
+            "{:<16} explored {:>5} touched {:>5} answers {:>2}",
+            engine,
+            run.stats.nodes_explored,
+            run.stats.nodes_touched,
+            run.answers.len()
+        );
+        explored.insert(engine, run.stats.nodes_explored);
+    }
+
+    let speedup = explored["si-backward"] as f64 / explored["bidirectional"].max(1) as f64;
     println!("\nBidirectional explored {speedup:.1}x fewer nodes than SI-Backward on this query.");
+}
+
+fn stream_name(session: &QuerySession<'_, '_>) -> &'static str {
+    session.build_engine().name()
 }

@@ -13,7 +13,12 @@
 use banks::prelude::*;
 
 fn main() {
-    let data = DblpDataset::generate(DblpConfig { num_papers: 2_000, num_authors: 1_200, seed: 5, ..DblpConfig::default() });
+    let data = DblpDataset::generate(DblpConfig {
+        num_papers: 2_000,
+        num_authors: 1_200,
+        seed: 5,
+        ..DblpConfig::default()
+    });
     let db = &data.dataset.db;
     let graph = data.dataset.graph();
     println!(
@@ -28,12 +33,19 @@ fn main() {
     // from one of their papers, like DQ1/DQ3 in the paper.
     let mut workload = WorkloadGenerator::new(&data, 31);
     let case = workload
-        .generate(&WorkloadConfig { num_queries: 1, num_keywords: 2, ..WorkloadConfig::default() })
+        .generate(&WorkloadConfig {
+            num_queries: 1,
+            num_keywords: 2,
+            ..WorkloadConfig::default()
+        })
         .into_iter()
         .next()
         .expect("query");
     println!("\nquery: {}", case.query());
-    println!("relevant answers (relational oracle): {}", case.relevant.len());
+    println!(
+        "relevant answers (relational oracle): {}",
+        case.relevant.len()
+    );
 
     // --- Sparse baseline over the relational database --------------------
     let keywords: Vec<&str> = case.keywords.iter().map(String::as_str).collect();
@@ -51,18 +63,20 @@ fn main() {
             .iter()
             .map(|t| db.schema().table(t.table).name.as_str())
             .collect();
-        println!("  CN#{} size {}: {}", result.candidate_network, result.size, tables.join(" - "));
+        println!(
+            "  CN#{} size {}: {}",
+            result.candidate_network,
+            result.size,
+            tables.join(" - ")
+        );
     }
 
     // --- Bidirectional search over the extracted graph -------------------
     let (prestige, _) = compute_pagerank(graph, PageRankConfig::default());
-    let matches = KeywordMatches::resolve(graph, data.dataset.index(), &case.query());
-    let outcome = BidirectionalSearch::new().search(
-        graph,
-        &prestige,
-        &matches,
-        &SearchParams::with_top_k(10),
-    );
+    let banks = Banks::open(graph)
+        .with_prestige(prestige)
+        .with_index(data.dataset.index().clone());
+    let outcome = banks.query_parsed(&case.query()).top_k(10).run();
     println!(
         "\nBidirectional: explored {} nodes, {} answers, {:.1?}",
         outcome.stats.nodes_explored,
@@ -81,7 +95,9 @@ fn main() {
     );
 
     // Cross-check: both sides agree on the connecting tuples.
-    if let (Some(sparse_best), Some(graph_best)) = (sparse_outcome.results.first(), outcome.answers.first()) {
+    if let (Some(sparse_best), Some(graph_best)) =
+        (sparse_outcome.results.first(), outcome.answers.first())
+    {
         let sparse_nodes: Vec<NodeId> = sparse_best
             .distinct_tuples()
             .into_iter()

@@ -13,7 +13,12 @@
 use banks::prelude::*;
 
 fn main() {
-    let data = DblpDataset::generate(DblpConfig { num_papers: 2_500, num_authors: 1_500, seed: 17, ..DblpConfig::default() });
+    let data = DblpDataset::generate(DblpConfig {
+        num_papers: 2_500,
+        num_authors: 1_500,
+        seed: 17,
+        ..DblpConfig::default()
+    });
     let graph = data.dataset.graph();
     let (prestige, _) = compute_pagerank(graph, PageRankConfig::default());
 
@@ -23,18 +28,29 @@ fn main() {
         num_keywords: 3,
         ..WorkloadConfig::default()
     });
-    println!("workload: {} queries over {} nodes\n", cases.len(), graph.num_nodes());
+    println!(
+        "workload: {} queries over {} nodes\n",
+        cases.len(),
+        graph.num_nodes()
+    );
 
+    let banks = Banks::open(graph)
+        .with_prestige(prestige)
+        .with_index(data.dataset.index().clone());
     let run = |params: &SearchParams| -> (f64, f64) {
         let mut explored = 0usize;
         let mut recall = 0.0;
         for case in &cases {
-            let matches = KeywordMatches::resolve(graph, data.dataset.index(), &case.query());
-            let outcome = BidirectionalSearch::new().search(graph, &prestige, &matches, params);
+            let outcome = banks.query_parsed(&case.query()).params(*params).run();
             explored += outcome.stats.nodes_explored;
-            recall += GroundTruth::from_sets(case.relevant.clone()).evaluate(&outcome).recall;
+            recall += GroundTruth::from_sets(case.relevant.clone())
+                .evaluate(&outcome)
+                .recall;
         }
-        (explored as f64 / cases.len() as f64, recall / cases.len() as f64)
+        (
+            explored as f64 / cases.len() as f64,
+            recall / cases.len() as f64,
+        )
     };
 
     println!("-- µ sweep (activation attenuation, paper default 0.5) --");
@@ -59,8 +75,15 @@ fn main() {
     }
 
     println!("\n-- emission policy (exact bound vs heuristic vs immediate) --");
-    for policy in [EmissionPolicy::ExactBound, EmissionPolicy::Heuristic, EmissionPolicy::Immediate] {
+    for policy in [
+        EmissionPolicy::ExactBound,
+        EmissionPolicy::Heuristic,
+        EmissionPolicy::Immediate,
+    ] {
         let (explored, recall) = run(&SearchParams::default().emission(policy));
-        println!("{policy:>12?} avg explored {explored:>10.1} recall {:>5.0}%", recall * 100.0);
+        println!(
+            "{policy:>12?} avg explored {explored:>10.1} recall {:>5.0}%",
+            recall * 100.0
+        );
     }
 }

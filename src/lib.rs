@@ -12,10 +12,14 @@
 //! * [`relational`] — the in-memory relational engine, graph extraction and
 //!   the Sparse candidate-network baseline,
 //! * [`datagen`] — synthetic DBLP/IMDB/Patents datasets and query workloads,
-//! * [`core`] — the search engines: Bidirectional expansion, Backward
-//!   expansion (multi- and single-iterator), answer trees and ranking.
+//! * [`core`] — the search engines behind the streaming query API:
+//!   Bidirectional expansion, Backward expansion (multi- and
+//!   single-iterator), answer trees and ranking.
 //!
 //! ## Quick start
+//!
+//! The [`core::Banks`] builder owns keyword resolution, prestige and engine
+//! selection; searches run in batch or as lazy answer streams:
 //!
 //! ```
 //! use banks::prelude::*;
@@ -29,20 +33,24 @@
 //! builder.add_edge(writes, paper).unwrap();
 //! let graph = builder.build_default();
 //!
-//! // Index the node text and resolve a two-keyword query.
-//! let mut index = IndexBuilder::with_default_tokenizer();
-//! for node in graph.nodes() {
-//!     index.add_text(node, graph.node_label(node));
-//! }
-//! let index = index.build();
-//! let query = Query::parse("gray locks");
-//! let matches = KeywordMatches::resolve(&graph, &index, &query);
+//! // Open the graph and query it: the facade indexes node labels, applies
+//! // uniform prestige, and runs Bidirectional search by default.
+//! let banks = Banks::open(&graph);
+//! let session = banks.query(["gray", "locks"]).top_k(10);
 //!
-//! // Run Bidirectional search with uniform node prestige.
-//! let prestige = PrestigeVector::uniform_for(&graph);
-//! let outcome = BidirectionalSearch::new()
-//!     .search(&graph, &prestige, &matches, &SearchParams::default());
+//! // Batch: run to completion.
+//! let outcome = session.run();
 //! assert_eq!(outcome.answers[0].tree.root, writes);
+//!
+//! // Streaming: answers arrive lazily — stop as soon as you have enough.
+//! let first = session.stream().next().unwrap();
+//! assert_eq!(first.tree.root, writes);
+//!
+//! // Engines are selected by registry name.
+//! let baseline = session.stream();
+//! assert_eq!(baseline.engine_name(), "Bidirectional");
+//! let outcome_si = banks.query(["gray", "locks"]).engine("si-backward").run();
+//! assert_eq!(outcome_si.answers[0].tree.root, writes);
 //! ```
 
 pub use banks_core as core;
@@ -55,20 +63,17 @@ pub use banks_textindex as textindex;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use banks_core::{
-        AnswerTree, BackwardExpandingSearch, BidirectionalConfig, BidirectionalSearch,
-        EdgeScoreCombiner, EmissionPolicy, GroundTruth, RankedAnswer, ScoreModel, SearchEngine,
-        SearchOutcome, SearchParams, SearchStats, SingleIteratorBackwardSearch,
+        drain, AnswerStream, AnswerTree, BackwardExpandingSearch, Banks, BidirectionalConfig,
+        BidirectionalSearch, EdgeScoreCombiner, EmissionPolicy, EngineRegistry, GroundTruth,
+        QueryContext, QuerySession, RankedAnswer, ScoreModel, SearchEngine, SearchOutcome,
+        SearchParams, SearchStats, SingleIteratorBackwardSearch,
     };
     pub use banks_datagen::{
         figure4_example, DblpConfig, DblpDataset, ImdbConfig, ImdbDataset, KeywordCategory,
         PatentsConfig, PatentsDataset, QueryCase, WorkloadConfig, WorkloadGenerator,
     };
-    pub use banks_graph::{
-        DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphStats, NodeId,
-    };
+    pub use banks_graph::{DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphStats, NodeId};
     pub use banks_prestige::{compute_pagerank, PageRankConfig, PrestigeVector};
-    pub use banks_relational::{
-        Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId,
-    };
+    pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }

@@ -84,7 +84,11 @@ fn answer_trees_are_structurally_valid() {
                     .tree
                     .validate(graph, &origin_sets, params.dmax)
                     .unwrap_or_else(|e| panic!("{}: invalid answer tree: {e}", engine.name()));
-                assert!(answer.tree.is_minimal(), "{}: non-minimal answer emitted", engine.name());
+                assert!(
+                    answer.tree.is_minimal(),
+                    "{}: non-minimal answer emitted",
+                    engine.name()
+                );
                 assert!(answer.tree.score > 0.0);
                 assert!(answer.timing.generated_at <= answer.timing.output_at);
             }
@@ -93,7 +97,12 @@ fn answer_trees_are_structurally_valid() {
             let before = signatures.len();
             signatures.sort();
             signatures.dedup();
-            assert_eq!(before, signatures.len(), "{} emitted duplicate answers", engine.name());
+            assert_eq!(
+                before,
+                signatures.len(),
+                "{} emitted duplicate answers",
+                engine.name()
+            );
         }
     }
 }
@@ -155,7 +164,9 @@ fn sparse_oracle_and_graph_search_agree() {
                 .into_iter()
                 .map(|t| data.dataset.extraction.node_of(t))
                 .collect();
-            let covered = answer_nodes.iter().any(|answer| nodes.iter().all(|n| answer.contains(n)));
+            let covered = answer_nodes
+                .iter()
+                .any(|answer| nodes.iter().all(|n| answer.contains(n)));
             assert!(
                 covered,
                 "Sparse result {:?} not covered by any graph answer for query {:?}",

@@ -10,9 +10,17 @@
 
 use banks::prelude::*;
 
-fn run(engine: &dyn SearchEngine, example: &banks::datagen::figure4::Figure4Example) -> SearchOutcome {
+fn run(
+    engine: &dyn SearchEngine,
+    example: &banks::datagen::figure4::Figure4Example,
+) -> SearchOutcome {
     let prestige = PrestigeVector::uniform_for(&example.graph);
-    engine.search(&example.graph, &prestige, &example.matches, &SearchParams::with_top_k(1))
+    engine.search(
+        &example.graph,
+        &prestige,
+        &example.matches,
+        &SearchParams::with_top_k(1),
+    )
 }
 
 #[test]
@@ -31,8 +39,16 @@ fn all_engines_find_the_planted_answer() {
         );
         let best = &outcome.answers[0].tree;
         let nodes = best.nodes();
-        assert!(nodes.contains(&example.james), "{}: answer misses James", engine.name());
-        assert!(nodes.contains(&example.john), "{}: answer misses John", engine.name());
+        assert!(
+            nodes.contains(&example.james),
+            "{}: answer misses James",
+            engine.name()
+        );
+        assert!(
+            nodes.contains(&example.john),
+            "{}: answer misses John",
+            engine.name()
+        );
         assert!(
             nodes.contains(&example.target_paper),
             "{}: answer misses the co-authored database paper",
@@ -42,7 +58,8 @@ fn all_engines_find_the_planted_answer() {
         let origin_sets: Vec<Vec<NodeId>> = (0..example.matches.num_keywords())
             .map(|i| example.matches.origin_set(i).to_vec())
             .collect();
-        best.validate(&example.graph, &origin_sets, 8).expect("valid answer tree");
+        best.validate(&example.graph, &origin_sets, 8)
+            .expect("valid answer tree");
     }
 }
 

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the `proptest` API subset the workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), range / tuple /
+//! [`strategy::Just`] / [`collection::vec`] strategies, `prop_flat_map`, and
+//! the `prop_assert!` family.  Test cases are generated deterministically
+//! from the test name and case index; there is no shrinking — a failing
+//! case reports its inputs via the panic message instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number-of-elements specification for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Minimum length, inclusive.
+        pub min: usize,
+        /// Maximum length, inclusive.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The commonly imported surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs `cases` deterministic test cases of `strategy` through `check`.
+///
+/// This is the engine behind the [`proptest!`] macro; it is public so the
+/// macro expansion (and any hand-rolled harness) can call it.
+pub fn run_cases<S, F>(
+    name: &'static str,
+    config: &test_runner::ProptestConfig,
+    strategy: &S,
+    mut check: F,
+) where
+    S: strategy::Strategy,
+    S::Value: core::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(name, case);
+        let value = strategy.new_value(&mut rng);
+        let rendered = format!("{value:?}");
+        if let Err(err) = check(value) {
+            panic!("{name}: case #{case} failed: {err}\n  input: {rendered}");
+        }
+    }
+}
+
+/// Property-test entry point: the `proptest 1.x` macro grammar restricted to
+/// `fn name(pattern in strategy) { body }` items with optional attributes
+/// and an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($pat:pat in $strategy:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = $strategy;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    &strategy,
+                    |value| {
+                        let $pat = value;
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($pat:pat in $strategy:expr) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($pat in $strategy) $body)*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} != {:?}", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: both sides equal {:?}",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range, tuple and vec strategies stay within bounds.
+        #[test]
+        fn strategies_respect_bounds((n, pairs) in (2usize..10).prop_flat_map(|n| {
+            let pairs = crate::collection::vec((0..n as u32, 0..n as u32), 1..8);
+            (Just(n), pairs)
+        })) {
+            prop_assert!((2..10).contains(&n));
+            prop_assert!(!pairs.is_empty() && pairs.len() < 8);
+            for (a, b) in &pairs {
+                prop_assert!((*a as usize) < n, "a = {} out of range", a);
+                prop_assert!((*b as usize) < n);
+            }
+        }
+
+        /// Early `return Ok(())` is supported.
+        #[test]
+        fn early_return_ok(n in 0usize..5) {
+            if n < 5 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+
+        /// Inclusive ranges include both endpoints eventually.
+        #[test]
+        fn inclusive_range(k in 2usize..=3) {
+            prop_assert!(k == 2 || k == 3);
+        }
+
+        /// Float ranges produce finite values in range.
+        #[test]
+        fn float_range(w in 0.25f64..4.0) {
+            prop_assert!(w.is_finite());
+            prop_assert!((0.25..4.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strategy = (0u32..1000, 0u32..1000);
+        let mut first = Vec::new();
+        for case in 0..10 {
+            let mut rng = crate::test_runner::TestRng::for_case("det", case);
+            first.push(strategy.new_value(&mut rng));
+        }
+        for case in 0..10 {
+            let mut rng = crate::test_runner::TestRng::for_case("det", case);
+            assert_eq!(first[case as usize], strategy.new_value(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics_with_input() {
+        crate::run_cases(
+            "always_fails",
+            &ProptestConfig::with_cases(1),
+            &(0usize..10),
+            |_| Err(TestCaseError::fail("nope".to_string())),
+        );
+    }
+}

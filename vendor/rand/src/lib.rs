@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! provides exactly the API subset the workspace uses — `Rng::gen_range`
+//! over integer ranges, `Rng::gen::<f64>()`, and a seedable small RNG —
+//! with the same method names and bounds as `rand 0.8`.  The generator is
+//! xoshiro256** seeded through SplitMix64, so all datagen output is
+//! deterministic for a given seed (though not bit-identical to upstream
+//! `SmallRng`, which is irrelevant here: every consumer treats the seed as
+//! an opaque reproducibility handle).
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next random 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from `Rng::gen`.
+pub trait Standard01: Sized {
+    /// Builds a sample from a random 64-bit word.
+    fn from_word(word: u64) -> Self;
+}
+
+impl Standard01 for f64 {
+    fn from_word(word: u64) -> f64 {
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard01 for f32 {
+    fn from_word(word: u64) -> f32 {
+        (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard01 for bool {
+    fn from_word(word: u64) -> bool {
+        word & 1 == 1
+    }
+}
+
+impl Standard01 for u64 {
+    fn from_word(word: u64) -> u64 {
+        word
+    }
+}
+
+impl Standard01 for u32 {
+    fn from_word(word: u64) -> u32 {
+        (word >> 32) as u32
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (bounded(rng, span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                start + (bounded(rng, span + 1) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f64::from_word(rng.next_u64())
+    }
+}
+
+/// Uniform value in `[0, bound)` by rejection sampling (bound > 0).
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let word = rng.next_u64();
+        if word < zone {
+            return word % bound;
+        }
+    }
+}
+
+/// The user-facing sampling interface (the `rand 0.8` method names).
+pub trait Rng: RngCore {
+    /// Uniform sample of a `Standard01` type (`rng.gen::<f64>()` is
+    /// uniform in `[0, 1)`).
+    fn gen<T: Standard01>(&mut self) -> T {
+        T::from_word(self.next_u64())
+    }
+
+    /// Uniform sample from an integer or float range.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator (xoshiro256** behind SplitMix64
+    /// seeding) — the shim's equivalent of `rand::rngs::SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let state = [next(), next(), next(), next()];
+            SmallRng { state }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = rng.gen_range(0..=4);
+            assert!(w <= 4);
+            let f: f64 = rng.gen_range(0.25..4.0);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval_and_covers_it() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            low |= u < 0.25;
+            high |= u > 0.75;
+        }
+        assert!(low && high, "samples should spread over [0, 1)");
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample<R: super::Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let dynrng: &mut dyn super::RngCore = &mut rng;
+        assert!(sample(dynrng) < 10);
+    }
+
+    #[test]
+    fn every_residue_reachable() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}
