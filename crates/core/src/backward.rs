@@ -357,8 +357,12 @@ impl<'a> ExpansionMachine for MiExpander<'a> {
         &mut self.core
     }
 
-    fn answer_deadline(&self) -> Option<std::time::Duration> {
-        self.ctx.params.answer_deadline
+    fn answer_work_budget(&self) -> Option<usize> {
+        self.ctx.params.answer_work_budget
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.ctx.is_cancelled()
     }
 
     fn advance(&mut self) {

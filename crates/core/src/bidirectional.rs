@@ -782,8 +782,12 @@ impl<'a> ExpansionMachine for Expander<'a> {
         &mut self.core
     }
 
-    fn answer_deadline(&self) -> Option<std::time::Duration> {
-        self.ctx.params.answer_deadline
+    fn answer_work_budget(&self) -> Option<usize> {
+        self.ctx.params.answer_work_budget
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.ctx.is_cancelled()
     }
 
     fn advance(&mut self) {
@@ -1123,29 +1127,34 @@ mod tests {
         assert!(stream.is_exhausted());
     }
 
-    /// An already-expired deadline flushes generated answers and ends the
-    /// stream with the truncation flag set.
+    /// An exhausted work budget flushes generated answers and ends the
+    /// stream with the truncation flag set — deterministically, at the same
+    /// node count on every run.
     #[test]
-    fn expired_deadline_truncates_the_stream() {
+    fn exhausted_work_budget_truncates_the_stream() {
         let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
         let p = uniform(&g);
         let matches =
             KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(49)])]);
-        let params = SearchParams::default().answer_deadline(std::time::Duration::ZERO);
+        let params = SearchParams::default().answer_work_budget(0);
         let mut stream = BidirectionalSearch::new()
             .start(crate::stream::QueryContext::new(&g, &p, &matches, params));
-        // Drain whatever the deadline lets through; the stream must end.
+        // Drain whatever the budget lets through; the stream must end.
         while stream.next().is_some() {}
         assert!(stream.is_exhausted());
         assert!(
             stream.stats().truncated,
-            "missed deadline must set the truncation flag"
+            "exhausted work budget must set the truncation flag"
         );
         assert!(
             stream.stats().nodes_explored <= 2,
-            "a zero deadline must stop expansion almost immediately, explored {}",
+            "a zero budget must stop expansion almost immediately, explored {}",
             stream.stats().nodes_explored
         );
+
+        // Determinism: a second run truncates at exactly the same point.
+        let rerun = BidirectionalSearch::new().search(&g, &p, &matches, &params);
+        assert_eq!(rerun.stats.nodes_explored, stream.stats().nodes_explored);
     }
 
     /// Live statistics grow monotonically while the stream runs.

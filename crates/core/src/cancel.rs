@@ -1,0 +1,93 @@
+//! Cooperative cancellation of running searches.
+//!
+//! Before cancellation tokens, the only way to abort a search early was to
+//! drop the [`crate::AnswerStream`] from the thread consuming it — useless
+//! for a serving tier where the consuming thread is a worker blocked inside
+//! the expansion loop.  A [`CancelToken`] decouples the two: the caller
+//! keeps a clone, the engine carries another inside its
+//! [`crate::QueryContext`], and the stream driver checks the token before
+//! every expansion step, so a cancelled search stops within one
+//! `advance()` step without the worker thread being torn down.
+//!
+//! Cancellation is *not* exhaustion: a cancelled stream stops emitting
+//! ([`Iterator::next`] returns `None`) and marks
+//! [`crate::SearchStats::cancelled`], but
+//! [`crate::AnswerStream::is_exhausted`] stays `false` — the engine never
+//! proved there were no further answers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe cancellation flag.
+///
+/// All clones share one flag: cancelling any clone cancels them all.
+///
+/// ```
+/// use banks_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.  Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested (on this or any clone).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+        // idempotent
+        a.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || {
+            remote.cancel();
+        });
+        handle.join().expect("thread");
+        assert!(token.is_cancelled());
+    }
+}

@@ -46,11 +46,22 @@
 //!   answers orders of magnitude sooner than backward search),
 //! * `stream.take(k)` or dropping the stream terminates the search early,
 //! * [`AnswerStream::stats`] exposes live work counters,
-//! * [`SearchParams::answer_deadline`] bounds the wall-clock gap between
-//!   emissions.
+//! * [`SearchParams::answer_work_budget`] bounds the nodes explored between
+//!   emissions (a deterministic, load-independent deadline),
+//! * a [`CancelToken`] attached via [`QueryContext::with_cancel`] (or
+//!   [`QuerySession::cancel_token`]) aborts a running search from another
+//!   thread within one expansion step.
 //!
 //! The batch [`SearchEngine::search`] is a default method that drains the
 //! stream, so both paths share one implementation.
+//!
+//! ## Serving-tier building blocks
+//!
+//! [`ResultCache`] is a thread-safe LRU over completed [`SearchOutcome`]s,
+//! keyed by `(graph epoch, normalized keywords, params/engine fingerprint)`
+//! and interposed in the facade ([`Banks::with_cache`]); the concurrent
+//! query service (`banks-service`) shares the same cache type, the same
+//! cancellation tokens, and the same work-budget deadlines.
 //!
 //! ## The engines
 //!
@@ -80,6 +91,8 @@
 pub mod answer;
 pub mod backward;
 pub mod bidirectional;
+pub mod cache;
+pub mod cancel;
 pub mod engine;
 pub mod output;
 pub mod params;
@@ -95,12 +108,14 @@ pub mod stream;
 pub use answer::AnswerTree;
 pub use backward::BackwardExpandingSearch;
 pub use bidirectional::{BidirectionalConfig, BidirectionalSearch};
+pub use cache::{CacheKey, CachedStream, ResultCache};
+pub use cancel::CancelToken;
 pub use engine::{RankedAnswer, SearchEngine, SearchOutcome};
 pub use params::{EmissionPolicy, SearchParams};
-pub use registry::EngineRegistry;
+pub use registry::{EngineRegistry, UnknownEngine};
 pub use relevance::{GroundTruth, RecallPrecision};
 pub use score::{EdgeScoreCombiner, ScoreModel};
-pub use session::{Banks, QuerySession};
+pub use session::{build_label_index, Banks, QuerySession};
 pub use si_backward::SingleIteratorBackwardSearch;
 pub use stats::{AnswerTiming, SearchStats};
 pub use stream::{drain, AnswerStream, QueryContext};

@@ -1,7 +1,5 @@
 //! Search parameters shared by all engines.
 
-use std::time::Duration;
-
 use crate::score::EdgeScoreCombiner;
 
 /// When buffered answers are released from the output heap.
@@ -48,12 +46,15 @@ pub struct SearchParams {
     /// multi-iterator Backward search whose cross-product of iterators can
     /// explode).  `None` means unlimited.
     pub max_generated: Option<usize>,
-    /// Wall-clock budget for producing each answer when the search runs as
-    /// an [`crate::AnswerStream`]: if the gap between consecutive emissions
-    /// exceeds the deadline, the engine stops expanding, flushes whatever
-    /// answers it already generated, and ends the stream (marking
-    /// [`crate::SearchStats::truncated`]).  `None` means unlimited.
-    pub answer_deadline: Option<Duration>,
+    /// Work budget for producing each answer when the search runs as an
+    /// [`crate::AnswerStream`]: if the engine explores more than this many
+    /// nodes between consecutive emissions, it stops expanding, flushes
+    /// whatever answers it already generated, and ends the stream (marking
+    /// [`crate::SearchStats::truncated`]).  Unlike the wall-clock gap
+    /// accounting it replaced, a work budget is deterministic: the search is
+    /// cut at exactly the same node whether the machine is idle or saturated
+    /// by concurrent queries.  `None` means unlimited.
+    pub answer_work_budget: Option<usize>,
 }
 
 impl Default for SearchParams {
@@ -67,7 +68,7 @@ impl Default for SearchParams {
             edge_score: EdgeScoreCombiner::ReciprocalEdgeSum,
             max_explored: None,
             max_generated: None,
-            answer_deadline: None,
+            answer_work_budget: None,
         }
     }
 }
@@ -119,15 +120,90 @@ impl SearchParams {
         self
     }
 
-    /// Builder-style setter for the per-answer streaming deadline.
-    pub fn answer_deadline(mut self, deadline: Duration) -> Self {
-        self.answer_deadline = Some(deadline);
+    /// Builder-style setter for the per-answer streaming work budget
+    /// (nodes explored between emissions).
+    pub fn answer_work_budget(mut self, budget: usize) -> Self {
+        self.answer_work_budget = Some(budget);
         self
     }
 
     /// The score model induced by these parameters.
     pub fn score_model(&self) -> crate::score::ScoreModel {
         crate::score::ScoreModel::new(self.edge_score, self.lambda)
+    }
+
+    /// A stable 64-bit fingerprint of the full parameter set, used (together
+    /// with the graph epoch and the normalized keywords) as a result-cache
+    /// key.  Two parameter sets fingerprint equally iff every field —
+    /// including the float-valued ones, compared bit-for-bit — is equal.
+    ///
+    /// The hash is FNV-1a over a canonical field encoding, so it does not
+    /// depend on `std`'s per-process hasher seeds and is reproducible across
+    /// runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fnv = Fnv1a::new();
+        fnv.write_u64(self.dmax as u64);
+        fnv.write_u64(self.mu.to_bits());
+        fnv.write_u64(self.lambda.to_bits());
+        fnv.write_u64(self.top_k as u64);
+        fnv.write_u64(match self.emission {
+            EmissionPolicy::ExactBound => 0,
+            EmissionPolicy::Heuristic => 1,
+            EmissionPolicy::Immediate => 2,
+        });
+        match self.edge_score {
+            EdgeScoreCombiner::ReciprocalEdgeSum => fnv.write_u64(0),
+            EdgeScoreCombiner::ExponentialDecay { scale } => {
+                fnv.write_u64(1);
+                fnv.write_u64(scale.to_bits());
+            }
+        }
+        fnv.write_opt_usize(self.max_explored);
+        fnv.write_opt_usize(self.max_generated);
+        fnv.write_opt_usize(self.answer_work_budget);
+        fnv.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator (no dependency on `std::hash`, whose default
+/// hasher is seeded per process and therefore unsuitable for stable
+/// fingerprints).
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.0 ^= *byte as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn write_opt_usize(&mut self, value: Option<usize>) {
+        match value {
+            None => self.write_u64(u64::MAX),
+            Some(v) => {
+                self.write_u64(1);
+                self.write_u64(v as u64);
+            }
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -155,7 +231,7 @@ mod tests {
             .emission(EmissionPolicy::Heuristic)
             .max_explored(1000)
             .max_generated(500)
-            .answer_deadline(Duration::from_millis(250));
+            .answer_work_budget(250);
         assert_eq!(p.top_k, 5);
         assert_eq!(p.dmax, 4);
         assert_eq!(p.mu, 0.7);
@@ -163,7 +239,42 @@ mod tests {
         assert_eq!(p.emission, EmissionPolicy::Heuristic);
         assert_eq!(p.max_explored, Some(1000));
         assert_eq!(p.max_generated, Some(500));
-        assert_eq!(p.answer_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(p.answer_work_budget, Some(250));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let base = SearchParams::default();
+        assert_eq!(base.fingerprint(), SearchParams::default().fingerprint());
+        // every field participates
+        assert_ne!(base.fingerprint(), base.dmax(7).fingerprint());
+        assert_ne!(base.fingerprint(), base.mu(0.25).fingerprint());
+        assert_ne!(base.fingerprint(), base.lambda(0.3).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            SearchParams::with_top_k(11).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.emission(EmissionPolicy::Immediate).fingerprint()
+        );
+        assert_ne!(base.fingerprint(), base.max_explored(10).fingerprint());
+        assert_ne!(base.fingerprint(), base.max_generated(10).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            base.answer_work_budget(10).fingerprint()
+        );
+        // None and Some(0) caps must not collide
+        assert_ne!(
+            base.max_explored(0).fingerprint(),
+            base.fingerprint(),
+            "Some(0) must differ from None"
+        );
+        let decay = SearchParams {
+            edge_score: crate::score::EdgeScoreCombiner::ExponentialDecay { scale: 2.0 },
+            ..SearchParams::default()
+        };
+        assert_ne!(base.fingerprint(), decay.fingerprint());
     }
 
     #[test]

@@ -13,6 +13,40 @@ use crate::si_backward::SingleIteratorBackwardSearch;
 /// A factory producing a boxed engine.
 pub type EngineFactory = Box<dyn Fn() -> Box<dyn SearchEngine> + Send + Sync>;
 
+/// A name resolved to no registered engine.
+///
+/// Instead of a bare failure the error carries everything a caller needs to
+/// recover: the canonical names the registry *does* know, and the nearest
+/// name or alias by edit distance (when one is plausibly close), so a typo
+/// like `"bidirectonal"` produces `did you mean "bidirectional"?`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownEngine {
+    /// The name that failed to resolve.
+    pub requested: String,
+    /// Canonical names of every registered engine, in registration order.
+    pub known: Vec<&'static str>,
+    /// The closest known name or alias, if any is within a plausible
+    /// typo distance.
+    pub suggestion: Option<&'static str>,
+}
+
+impl std::fmt::Display for UnknownEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown engine {:?}; known engines: {}",
+            self.requested,
+            self.known.join(", ")
+        )?;
+        if let Some(suggestion) = self.suggestion {
+            write!(f, " (did you mean {suggestion:?}?)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownEngine {}
+
 struct Entry {
     name: &'static str,
     aliases: Vec<&'static str>,
@@ -141,6 +175,38 @@ impl EngineRegistry {
             .map(|e| (e.factory)())
     }
 
+    /// Instantiates the engine registered under `name`, or returns an
+    /// [`UnknownEngine`] error listing the known engine names and the
+    /// nearest alias when the name resolves to nothing.
+    pub fn resolve(&self, name: &str) -> Result<Box<dyn SearchEngine>, UnknownEngine> {
+        self.create(name).ok_or_else(|| self.unknown(name))
+    }
+
+    /// Builds the [`UnknownEngine`] error for a name that failed to resolve
+    /// (also used by callers that validate names without instantiating).
+    pub fn unknown(&self, name: &str) -> UnknownEngine {
+        let wanted = normalize(name);
+        let mut best: Option<(&'static str, usize)> = None;
+        for entry in &self.entries {
+            for candidate in std::iter::once(&entry.name).chain(entry.aliases.iter()) {
+                let d = edit_distance(&wanted, &normalize(candidate));
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((candidate, d));
+                }
+            }
+        }
+        // Only suggest plausible typos: within 3 edits and under half the
+        // requested name's length (so "quantum" doesn't suggest "mi").
+        let suggestion = best
+            .filter(|(_, d)| *d <= 3 && *d * 2 <= wanted.len().max(2))
+            .map(|(candidate, _)| candidate);
+        UnknownEngine {
+            requested: name.to_string(),
+            known: self.names(),
+            suggestion,
+        }
+    }
+
     /// Canonical names in registration order.
     pub fn names(&self) -> Vec<&'static str> {
         self.entries.iter().map(|e| e.name).collect()
@@ -164,6 +230,23 @@ impl Default for EngineRegistry {
 
 fn normalize(name: &str) -> String {
     name.trim().to_ascii_lowercase().replace('_', "-")
+}
+
+/// Levenshtein edit distance over bytes (names are ASCII), used to rank
+/// "did you mean" suggestions for unknown engine names.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitution = previous[j] + usize::from(ca != cb);
+            current[j + 1] = substitution.min(previous[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[b.len()]
 }
 
 #[cfg(test)]
@@ -217,6 +300,52 @@ mod tests {
         assert!(registry.contains("mi"));
         assert!(!registry.contains("quantum"));
         assert!(registry.create("quantum").is_none());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("bidirectonal", "bidirectional"), 1);
+    }
+
+    #[test]
+    fn unknown_engine_error_lists_names_and_suggests_nearest() {
+        let registry = EngineRegistry::with_default_engines();
+        let err = registry.resolve("bidirectonal").err().expect("must fail");
+        assert_eq!(err.requested, "bidirectonal");
+        assert_eq!(err.known, registry.names());
+        assert_eq!(err.suggestion, Some("bidirectional"));
+        let rendered = err.to_string();
+        assert!(rendered.contains("unknown engine \"bidirectonal\""));
+        assert!(rendered.contains("bidirectional"));
+        assert!(rendered.contains("si-backward"));
+        assert!(rendered.contains("did you mean"));
+
+        // Aliases are candidates too.
+        let err = registry.resolve("bakward").err().expect("must fail");
+        assert_eq!(err.suggestion, Some("backward"));
+
+        // Nothing close: no misleading suggestion.
+        let err = registry
+            .resolve("quantum-annealer")
+            .err()
+            .expect("must fail");
+        assert_eq!(err.suggestion, None);
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn resolve_succeeds_for_known_names() {
+        let registry = EngineRegistry::with_default_engines();
+        assert_eq!(registry.resolve("bidir").unwrap().name(), "Bidirectional");
+        assert_eq!(
+            registry.resolve("MI_Backward").unwrap().name(),
+            "MI-Backward"
+        );
     }
 
     #[test]

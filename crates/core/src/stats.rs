@@ -46,8 +46,13 @@ pub struct SearchStats {
     /// Total wall-clock duration of the search.
     pub duration: Duration,
     /// Whether the search stopped because a safety cap
-    /// (`max_explored` / `max_generated`) was hit.
+    /// (`max_explored` / `max_generated`) or the per-answer work budget
+    /// (`answer_work_budget`) was hit.
     pub truncated: bool,
+    /// Whether the search stopped because its [`crate::CancelToken`] was
+    /// cancelled.  A cancelled stream is *not* exhausted: the engine simply
+    /// stopped advancing.
+    pub cancelled: bool,
 }
 
 impl SearchStats {
@@ -144,5 +149,6 @@ mod tests {
         assert_eq!(s.nodes_explored, 0);
         assert_eq!(s.answers_output, 0);
         assert!(!s.truncated);
+        assert!(!s.cancelled);
     }
 }

@@ -5,7 +5,7 @@
 //! completes (Figures 5 and 6 measure time to the last relevant answer, but
 //! Section 4.5's output heap exists precisely so answers can leave the
 //! engine early).  A batch API hides that property: callers only see a
-//! finished [`SearchOutcome`](crate::SearchOutcome) and can neither observe
+//! finished [`SearchOutcome`] and can neither observe
 //! time-to-first-answer directly nor terminate a search early.
 //!
 //! [`AnswerStream`] makes emission the primitive.  Engines are resumable
@@ -18,11 +18,19 @@
 //!   without exploring the rest of the graph,
 //! * [`AnswerStream::stats`] exposes live work counters while the search
 //!   runs,
-//! * a per-answer deadline ([`crate::SearchParams::answer_deadline`])
-//!   bounds the wall-clock gap between consecutive emissions: when it
-//!   expires, the engine stops expanding, flushes the answers it has
-//!   already generated, and ends the stream (marking
-//!   [`SearchStats::truncated`]).
+//! * a per-answer **work budget**
+//!   ([`crate::SearchParams::answer_work_budget`]) bounds the number of
+//!   nodes the engine may explore between consecutive emissions: when the
+//!   budget is exceeded, the engine stops expanding, flushes the answers it
+//!   has already generated, and ends the stream (marking
+//!   [`SearchStats::truncated`]).  Work budgets are deterministic — unlike
+//!   the wall-clock gap accounting they replaced, they behave identically
+//!   whether the process is idle or saturated by a hundred concurrent
+//!   queries,
+//! * a cooperative [`crate::CancelToken`] carried by the [`QueryContext`]
+//!   is checked before every expansion step, so another thread can abort
+//!   the search without dropping the stream (marking
+//!   [`SearchStats::cancelled`]; the stream is *not* exhausted).
 //!
 //! The batch entry point [`crate::SearchEngine::search`] is now a default
 //! method that drains the stream, so both paths share one implementation
@@ -36,6 +44,7 @@ use banks_prestige::PrestigeVector;
 use banks_textindex::KeywordMatches;
 
 use crate::answer::AnswerTree;
+use crate::cancel::CancelToken;
 use crate::engine::{RankedAnswer, SearchOutcome};
 use crate::params::SearchParams;
 use crate::stats::{AnswerTiming, SearchStats};
@@ -56,10 +65,14 @@ pub struct QueryContext<'a> {
     pub matches: &'a KeywordMatches,
     /// Search parameters (owned copy: `SearchParams` is `Copy`).
     pub params: SearchParams,
+    /// Cooperative cancellation flag, checked before every expansion step.
+    /// `None` means the search cannot be cancelled externally.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> QueryContext<'a> {
-    /// Bundles the search inputs.
+    /// Bundles the search inputs (no cancellation token; attach one with
+    /// [`QueryContext::with_cancel`]).
     pub fn new(
         graph: &'a DataGraph,
         prestige: &'a PrestigeVector,
@@ -71,7 +84,20 @@ impl<'a> QueryContext<'a> {
             prestige,
             matches,
             params,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token: the engine checks it before every
+    /// expansion step and stops (without exhausting) once it is cancelled.
+    pub fn with_cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the attached token (if any) has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -111,24 +137,24 @@ pub(crate) struct StreamCore {
     /// poll).
     pub seeded: bool,
     /// Whether the search has finished (frontier exhausted, caps hit,
-    /// `top_k` reached, or deadline missed) and flushed its buffer.
+    /// `top_k` reached, or work budget exceeded) and flushed its buffer.
     pub done: bool,
     pub started: Instant,
-    /// When the previous answer left the stream (deadline bookkeeping).
-    pub last_emission: Instant,
+    /// `nodes_explored` when the previous answer left the stream (work
+    /// budget bookkeeping).
+    pub last_emission_explored: usize,
     pub stats: SearchStats,
 }
 
 impl StreamCore {
     pub fn new() -> Self {
-        let now = Instant::now();
         StreamCore {
             ready: VecDeque::new(),
             produced: 0,
             seeded: false,
             done: false,
-            started: now,
-            last_emission: now,
+            started: Instant::now(),
+            last_emission_explored: 0,
             stats: SearchStats::default(),
         }
     }
@@ -137,7 +163,7 @@ impl StreamCore {
     pub fn begin(&mut self) {
         self.seeded = true;
         self.started = Instant::now();
-        self.last_emission = self.started;
+        self.last_emission_explored = 0;
     }
 
     /// Moves policy-released answers into the ready queue, assigning ranks.
@@ -186,8 +212,11 @@ impl StreamCore {
 pub(crate) trait ExpansionMachine {
     fn core(&self) -> &StreamCore;
     fn core_mut(&mut self) -> &mut StreamCore;
-    /// The per-answer deadline from the engine's parameters.
-    fn answer_deadline(&self) -> Option<std::time::Duration>;
+    /// The per-answer work budget (nodes explored between emissions) from
+    /// the engine's parameters.
+    fn answer_work_budget(&self) -> Option<usize>;
+    /// Whether the query's cancellation token has been triggered.
+    fn is_cancelled(&self) -> bool;
     /// One unit of work: seed on the first call, then one expansion step;
     /// must call `finish` when the search ends.
     fn advance(&mut self);
@@ -195,22 +224,38 @@ pub(crate) trait ExpansionMachine {
     fn finish(&mut self);
 }
 
-/// The shared `Iterator::next` body: pump the ready queue, honour the
-/// per-answer deadline, and otherwise advance the machine one step.
+/// The shared `Iterator::next` body: pump the ready queue, honour
+/// cancellation and the per-answer work budget, and otherwise advance the
+/// machine one step.
 pub(crate) fn next_answer<M: ExpansionMachine>(machine: &mut M) -> Option<RankedAnswer> {
     loop {
         if let Some(answer) = machine.core_mut().ready.pop_front() {
-            machine.core_mut().last_emission = Instant::now();
+            let core = machine.core_mut();
+            core.last_emission_explored = core.stats.nodes_explored;
             return Some(answer);
         }
         if machine.core().done {
             return None;
         }
-        if let Some(deadline) = machine.answer_deadline() {
+        if machine.is_cancelled() {
+            // Cooperative abort: stop immediately without flushing or
+            // sealing.  The stream is not exhausted — the engine never
+            // proved there were no further answers — and the live stats
+            // stay consistent (monotone counters, live duration).
+            machine.core_mut().stats.cancelled = true;
+            return None;
+        }
+        if let Some(budget) = machine.answer_work_budget() {
             let core = machine.core_mut();
-            if core.seeded && core.last_emission.elapsed() > deadline {
-                // Out of time for this answer: stop expanding, hand out
-                // whatever was already generated, and end the stream.
+            let spent = core
+                .stats
+                .nodes_explored
+                .saturating_sub(core.last_emission_explored);
+            if core.seeded && spent > budget {
+                // Out of work budget for this answer: stop expanding, hand
+                // out whatever was already generated, and end the stream.
+                // Node counts (unlike wall-clock gaps) are deterministic, so
+                // the cut-off point is identical under any load.
                 core.stats.truncated = true;
                 machine.finish();
                 continue;
@@ -253,6 +298,116 @@ mod tests {
         let ctx = QueryContext::new(&g, &p, &m, SearchParams::default());
         let ctx2 = ctx; // Copy
         assert_eq!(ctx.params.top_k, ctx2.params.top_k);
+    }
+
+    /// Cancelling a token mid-stream stops the engine within one
+    /// `advance()` step: no further nodes are explored, the partial stats
+    /// stay consistent (monotone counters), and the stream is *not*
+    /// exhausted — cancellation is an abort, not a completed search.
+    #[test]
+    fn cancellation_mid_stream_stops_within_one_step() {
+        // A cycle of writes-nodes with alternating keywords: many answers,
+        // so the stream is genuinely mid-flight after the first emission.
+        let g = graph_from_edges(
+            12,
+            &[
+                (6, 0),
+                (6, 1),
+                (7, 1),
+                (7, 2),
+                (8, 2),
+                (8, 3),
+                (9, 3),
+                (9, 4),
+                (10, 4),
+                (10, 5),
+                (11, 5),
+                (11, 0),
+            ],
+        );
+        let p = PrestigeVector::uniform_for(&g);
+        let m = KeywordMatches::from_sets(vec![
+            ("a", vec![NodeId(0), NodeId(2), NodeId(4)]),
+            ("b", vec![NodeId(1), NodeId(3), NodeId(5)]),
+        ]);
+        // Immediate emission keeps the stream live after the first answer
+        // (ExactBound could complete the whole search before releasing).
+        let params =
+            SearchParams::with_top_k(64).emission(crate::params::EmissionPolicy::Immediate);
+        let token = crate::CancelToken::new();
+        let engine = BidirectionalSearch::new();
+        let mut stream = engine.start(QueryContext::new(&g, &p, &m, params).with_cancel(&token));
+        assert!(!stream.is_exhausted());
+
+        let first = stream.next().expect("at least one answer before cancel");
+        assert_eq!(first.rank, 0);
+        let live_before = stream.stats();
+        assert!(!live_before.cancelled);
+
+        token.cancel();
+        // Any buffered answers may still drain (they are already paid for),
+        // but no further expansion happens.
+        while stream.next().is_some() {}
+        let live_after = stream.stats();
+        assert!(live_after.cancelled, "cancel flag must be recorded");
+        assert!(
+            !stream.is_exhausted(),
+            "a cancelled stream is aborted, not exhausted"
+        );
+        assert_eq!(
+            live_after.nodes_explored, live_before.nodes_explored,
+            "no expansion step may run after cancellation"
+        );
+        // live_stats stay monotone and consistent with the pre-cancel view
+        assert!(live_after.nodes_touched >= live_before.nodes_touched);
+        assert!(live_after.edges_traversed >= live_before.edges_traversed);
+        assert!(live_after.answers_output >= live_before.answers_output);
+        // ...and repeated polling stays put.
+        assert!(stream.next().is_none());
+        assert_eq!(stream.stats().nodes_explored, live_after.nodes_explored);
+    }
+
+    /// A token cancelled before the first poll prevents any work at all.
+    #[test]
+    fn cancellation_before_start_explores_nothing() {
+        let g = graph_from_edges(3, &[(2, 0), (2, 1)]);
+        let p = PrestigeVector::uniform_for(&g);
+        let m = KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(1)])]);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let mut stream = BidirectionalSearch::new()
+            .start(QueryContext::new(&g, &p, &m, SearchParams::default()).with_cancel(&token));
+        assert!(stream.next().is_none());
+        let stats = stream.stats();
+        assert!(stats.cancelled);
+        assert_eq!(stats.nodes_explored, 0);
+        assert!(!stream.is_exhausted());
+    }
+
+    /// All three engines honour cancellation through the shared driver.
+    #[test]
+    fn every_engine_honours_cancellation() {
+        use crate::backward::BackwardExpandingSearch;
+        use crate::si_backward::SingleIteratorBackwardSearch;
+
+        let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let p = PrestigeVector::uniform_for(&g);
+        let m = KeywordMatches::from_sets(vec![("a", vec![NodeId(0)]), ("b", vec![NodeId(49)])]);
+        let params = SearchParams::default();
+        let engines: Vec<Box<dyn crate::SearchEngine>> = vec![
+            Box::new(BidirectionalSearch::new()),
+            Box::new(SingleIteratorBackwardSearch::new()),
+            Box::new(BackwardExpandingSearch::new()),
+        ];
+        for engine in engines {
+            let token = crate::CancelToken::new();
+            token.cancel();
+            let mut stream =
+                engine.start(QueryContext::new(&g, &p, &m, params).with_cancel(&token));
+            assert!(stream.next().is_none(), "{}", engine.name());
+            assert!(stream.stats().cancelled, "{}", engine.name());
+            assert!(!stream.is_exhausted(), "{}", engine.name());
+        }
     }
 
     #[test]

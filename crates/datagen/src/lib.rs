@@ -39,7 +39,7 @@ pub use dblp::{DblpConfig, DblpDataset};
 pub use figure4::figure4_example;
 pub use imdb::{ImdbConfig, ImdbDataset};
 pub use patents::{PatentsConfig, PatentsDataset};
-pub use workload::{KeywordCategory, QueryCase, WorkloadConfig, WorkloadGenerator};
+pub use workload::{KeywordCategory, OriginBias, QueryCase, WorkloadConfig, WorkloadGenerator};
 pub use zipf::Zipf;
 
 use banks_graph::DataGraph;

@@ -1,11 +1,21 @@
 //! The immutable, queryable data graph.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::csr::CsrAdjacency;
 use crate::error::GraphError;
 use crate::ids::{KindId, NodeId};
 use crate::node::{EdgeKind, NodeMeta};
 use crate::weights::ExpansionPolicy;
 use crate::Result;
+
+/// Process-wide epoch source: every constructed graph (and every
+/// [`DataGraph::bump_epoch`] call) draws a fresh, never-reused value.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A single directed edge of the *expanded* search graph, as returned by the
 /// adjacency iterators.
@@ -40,6 +50,10 @@ pub struct DataGraph {
     forward_outdegree: Vec<u32>,
     num_original_edges: usize,
     policy: ExpansionPolicy,
+    /// Identity/version marker used by result caches: two graphs with the
+    /// same epoch hold identical data.  Fresh per construction; clones share
+    /// the epoch of the original (same contents).
+    epoch: u64,
 }
 
 impl DataGraph {
@@ -93,7 +107,27 @@ impl DataGraph {
             forward_outdegree,
             num_original_edges: forward_edges.len(),
             policy,
+            epoch: fresh_epoch(),
         }
+    }
+
+    // ----------------------------------------------------------------- epoch
+
+    /// The graph's epoch: an identity/version marker for result caches.
+    /// Each constructed graph gets a unique epoch; clones keep the epoch of
+    /// the original (their contents are identical), and
+    /// [`DataGraph::bump_epoch`] assigns a fresh one.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Assigns the graph a fresh epoch, invalidating every cache entry keyed
+    /// on the old one.  Call after out-of-band changes the graph abstraction
+    /// cannot see (e.g. rebuilding from mutated source tables while reusing
+    /// the same node ids).
+    pub fn bump_epoch(&mut self) {
+        self.epoch = fresh_epoch();
     }
 
     // ----------------------------------------------------------------- sizes
@@ -369,5 +403,22 @@ mod tests {
     fn memory_bytes_positive_for_nonempty() {
         let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn epochs_are_unique_per_construction() {
+        let a = graph_from_edges(2, &[(0, 1)]);
+        let b = graph_from_edges(2, &[(0, 1)]);
+        assert_ne!(a.epoch(), b.epoch(), "distinct graphs get distinct epochs");
+        let clone = a.clone();
+        assert_eq!(a.epoch(), clone.epoch(), "clones share the epoch");
+    }
+
+    #[test]
+    fn bump_epoch_assigns_a_fresh_value() {
+        let mut g = graph_from_edges(2, &[(0, 1)]);
+        let before = g.epoch();
+        g.bump_epoch();
+        assert_ne!(g.epoch(), before);
     }
 }

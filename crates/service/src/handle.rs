@@ -1,0 +1,182 @@
+//! The caller's side of a submitted query.
+
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use banks_core::{CancelToken, RankedAnswer, SearchOutcome, SearchStats};
+
+/// Identifier of a submitted query, unique within one service instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Progress events delivered to a [`QueryHandle`], in order: zero or more
+/// [`QueryEvent::Answer`]s followed by exactly one [`QueryEvent::Finished`].
+#[derive(Clone, Debug)]
+pub enum QueryEvent {
+    /// One ranked answer, streamed as soon as the engine emits it.
+    Answer(RankedAnswer),
+    /// The query ended (completed, truncated, cancelled, or served from the
+    /// cache).  No further events follow.
+    Finished(QueryResult),
+}
+
+/// Terminal summary of a query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// Final engine statistics (for a cache hit: the stats of the original
+    /// execution).
+    pub stats: SearchStats,
+    /// Whether the answers were replayed from the result cache (zero engine
+    /// work happened).
+    pub cache_hit: bool,
+    /// Time from submission to the first answer leaving the worker (`None`
+    /// when no answer was produced; approximately zero for cache hits).
+    pub time_to_first_answer: Option<Duration>,
+}
+
+/// State shared between the executing worker and the handle, so live
+/// statistics are observable while the query runs.
+#[derive(Debug, Default)]
+pub(crate) struct HandleState {
+    pub(crate) live_stats: Mutex<SearchStats>,
+    /// The terminal result, stashed when a `Finished` event passes through
+    /// `recv` so that `wait` can report it even after `next_answer`
+    /// consumed (and discarded) the event.
+    pub(crate) finished: Mutex<Option<QueryResult>>,
+}
+
+impl HandleState {
+    pub(crate) fn publish(&self, stats: SearchStats) {
+        *self.live_stats.lock().expect("stats lock") = stats;
+    }
+}
+
+/// A submitted query: poll or block for answers, watch live statistics,
+/// cancel at any time.
+///
+/// Dropping the handle cancels the query: the worker notices the closed
+/// channel (or the cancelled token) and stops expanding.
+pub struct QueryHandle {
+    pub(crate) id: QueryId,
+    pub(crate) token: CancelToken,
+    pub(crate) events: Receiver<QueryEvent>,
+    pub(crate) state: Arc<HandleState>,
+}
+
+impl QueryHandle {
+    /// The query's service-unique id.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// A clone of the query's cancellation token (usable from any thread).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Requests cooperative cancellation: the executing engine stops within
+    /// one expansion step.  Already-produced answers remain receivable.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// Snapshot of the work counters published by the worker so far (zeros
+    /// while the query waits in the admission queue).
+    pub fn live_stats(&self) -> SearchStats {
+        self.state.live_stats.lock().expect("stats lock").clone()
+    }
+
+    /// Blocks until the next event.  Returns `None` once the stream is over
+    /// (after [`QueryEvent::Finished`], or if the service dropped the query
+    /// during shutdown).
+    pub fn recv(&self) -> Option<QueryEvent> {
+        let event = self.events.recv().ok()?;
+        self.stash_if_finished(&event);
+        Some(event)
+    }
+
+    /// Non-blocking poll for the next event.
+    pub fn try_recv(&self) -> Option<QueryEvent> {
+        match self.events.try_recv() {
+            Ok(event) => {
+                self.stash_if_finished(&event);
+                Some(event)
+            }
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Records the terminal result so it stays observable (via
+    /// [`QueryHandle::result`] and [`QueryHandle::wait`]) no matter which
+    /// receive path consumed the event.
+    fn stash_if_finished(&self, event: &QueryEvent) {
+        if let QueryEvent::Finished(result) = event {
+            *self.state.finished.lock().expect("result lock") = Some(result.clone());
+        }
+    }
+
+    /// The terminal [`QueryResult`], once any receive path has seen the
+    /// `Finished` event.
+    pub fn result(&self) -> Option<QueryResult> {
+        self.state.finished.lock().expect("result lock").clone()
+    }
+
+    /// Blocks until the next *answer*: returns `None` once the query
+    /// finished (the terminal [`QueryResult`] then remains available via
+    /// [`QueryHandle::result`] or [`QueryHandle::wait`]).
+    pub fn next_answer(&self) -> Option<RankedAnswer> {
+        match self.recv()? {
+            QueryEvent::Answer(answer) => Some(answer),
+            QueryEvent::Finished(_) => None,
+        }
+    }
+
+    /// Drains the query to completion and packages the batch outcome.
+    ///
+    /// Works regardless of how much was already consumed: a `Finished`
+    /// event seen earlier (e.g. through [`QueryHandle::next_answer`]) is
+    /// reused.  Only when the service dropped the query before it ran —
+    /// shutdown — does the result fall back to `cancelled` stats.
+    pub fn wait(self) -> (SearchOutcome, QueryResult) {
+        let mut answers = Vec::new();
+        let mut result = None;
+        while let Some(event) = self.recv() {
+            match event {
+                QueryEvent::Answer(answer) => answers.push(answer),
+                QueryEvent::Finished(r) => {
+                    result = Some(r);
+                    break;
+                }
+            }
+        }
+        let result = result
+            .or_else(|| self.result())
+            .unwrap_or_else(|| QueryResult {
+                stats: SearchStats {
+                    cancelled: true,
+                    ..SearchStats::default()
+                },
+                cache_hit: false,
+                time_to_first_answer: None,
+            });
+        (
+            SearchOutcome {
+                answers,
+                stats: result.stats.clone(),
+            },
+            result,
+        )
+    }
+}

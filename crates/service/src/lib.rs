@@ -1,0 +1,81 @@
+//! # banks-service
+//!
+//! A concurrent query **serving tier** over the BANKS search engines: the
+//! layering move the OLAP literature makes between the query engine and the
+//! tier that fields traffic.  `banks-core` executes one search on the
+//! caller's thread; this crate owns a [`banks_graph::DataGraph`] (plus
+//! prestige, keyword index and engine registry) and executes many queries
+//! concurrently on a pool of `std` worker threads — channels and mutexes
+//! only, no external runtime.
+//!
+//! ## The moving parts
+//!
+//! * **[`Service`]** — built with
+//!   `Service::builder(graph).workers(4).cache_capacity(256).build()`;
+//!   owns the shared read-only search state and the worker pool.
+//! * **[`QuerySpec`]** — keywords + [`banks_core::SearchParams`] +
+//!   optional engine name; normalized by the same single function the
+//!   `Banks` facade uses, so cache keys agree byte for byte.
+//! * **[`QueryHandle`]** — returned by [`Service::submit`]: stream answers
+//!   as the engine emits them ([`QueryHandle::recv`] /
+//!   [`QueryHandle::next_answer`]), watch live
+//!   [`banks_core::SearchStats`], [`QueryHandle::cancel`] at any time, or
+//!   [`QueryHandle::wait`] for the batch outcome.
+//! * **Cancellation** — every query carries a [`banks_core::CancelToken`]
+//!   checked before each expansion step, so aborts land within one step
+//!   without tearing down the worker.
+//! * **Admission control** — a bounded queue; a full queue rejects with
+//!   [`SubmitError::QueueFull`] instead of buffering without limit.
+//! * **Result cache** — a shared [`banks_core::ResultCache`] keyed by
+//!   `(graph epoch, normalized keywords, params/engine fingerprint)`;
+//!   hits complete at submit time with zero engine work.
+//! * **Deterministic deadlines** — per-answer budgets are *work-based*
+//!   ([`banks_core::SearchParams::answer_work_budget`], nodes explored per
+//!   answer), so they cut at the same node whether the pool is idle or
+//!   saturated.
+//! * **[`ServiceMetrics`]** — aggregate counters (submitted / rejected /
+//!   executed / cancelled / cache hits / answers delivered).
+//!
+//! ## Example
+//!
+//! ```
+//! use banks_graph::GraphBuilder;
+//! use banks_service::{QueryEvent, QuerySpec, Service};
+//!
+//! let mut b = GraphBuilder::new();
+//! let author = b.add_node("author", "Jim Gray");
+//! let paper = b.add_node("paper", "Granularity of locks");
+//! let writes = b.add_node("writes", "w0");
+//! b.add_edge(writes, author).unwrap();
+//! b.add_edge(writes, paper).unwrap();
+//!
+//! let service = Service::builder(b.build_default())
+//!     .workers(2)
+//!     .cache_capacity(64)
+//!     .build();
+//!
+//! // Stream answers as they arrive.
+//! let handle = service.submit(QuerySpec::parse("gray locks").top_k(3)).unwrap();
+//! while let Some(event) = handle.recv() {
+//!     match event {
+//!         QueryEvent::Answer(answer) => assert_eq!(answer.tree.root, writes),
+//!         QueryEvent::Finished(result) => assert!(!result.cache_hit),
+//!     }
+//! }
+//!
+//! // The identical query now hits the cache: zero engine work.
+//! let spec = QuerySpec::parse("gray locks").top_k(3);
+//! let (outcome, result) = service.submit(spec).unwrap().wait();
+//! assert!(result.cache_hit);
+//! assert_eq!(outcome.answers.len(), 1);
+//! ```
+
+pub mod handle;
+pub mod metrics;
+pub mod service;
+pub mod spec;
+
+pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult};
+pub use metrics::ServiceMetrics;
+pub use service::{Service, ServiceBuilder, SubmitError};
+pub use spec::QuerySpec;

@@ -1,0 +1,101 @@
+//! Aggregate service instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters updated by the submit path and the workers.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub executed: AtomicU64,
+    pub completed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub truncated: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub answers_delivered: AtomicU64,
+    pub nodes_explored: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Queries accepted by `submit` (including cache hits).
+    pub submitted: u64,
+    /// Queries rejected by admission control (bounded queue full).
+    pub rejected: u64,
+    /// Queries that actually ran on a worker (cache misses).
+    pub executed: u64,
+    /// Queries that finished (completed, truncated or cancelled), plus
+    /// cache hits (which finish at submit time).
+    pub completed: u64,
+    /// Queries that ended cancelled.
+    pub cancelled: u64,
+    /// Queries cut short by a safety cap or work budget.
+    pub truncated: u64,
+    /// Queries answered entirely from the result cache.
+    pub cache_hits: u64,
+    /// Ranked answers streamed to handles.
+    pub answers_delivered: u64,
+    /// Total nodes explored across all executed queries.
+    pub nodes_explored: u64,
+    /// Queries currently waiting in the admission queue.
+    pub queued: u64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn snapshot(counters: &Counters, queued: usize) -> Self {
+        ServiceMetrics {
+            submitted: counters.submitted.load(Ordering::Relaxed),
+            rejected: counters.rejected.load(Ordering::Relaxed),
+            executed: counters.executed.load(Ordering::Relaxed),
+            completed: counters.completed.load(Ordering::Relaxed),
+            cancelled: counters.cancelled.load(Ordering::Relaxed),
+            truncated: counters.truncated.load(Ordering::Relaxed),
+            cache_hits: counters.cache_hits.load(Ordering::Relaxed),
+            answers_delivered: counters.answers_delivered.load(Ordering::Relaxed),
+            nodes_explored: counters.nodes_explored.load(Ordering::Relaxed),
+            queued: queued as u64,
+        }
+    }
+
+    /// Fraction of accepted queries served from the cache (0.0 when none
+    /// were accepted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.submitted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let counters = Counters::default();
+        Counters::bump(&counters.submitted);
+        Counters::bump(&counters.submitted);
+        Counters::bump(&counters.cache_hits);
+        Counters::add(&counters.answers_delivered, 5);
+        let snap = ServiceMetrics::snapshot(&counters, 3);
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.answers_delivered, 5);
+        assert_eq!(snap.queued, 3);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(ServiceMetrics::default().cache_hit_rate(), 0.0);
+    }
+}

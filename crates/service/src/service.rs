@@ -1,0 +1,477 @@
+//! The worker-pool query service.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use banks_core::cache::CacheKey;
+use banks_core::registry::UnknownEngine;
+use banks_core::{
+    build_label_index, CancelToken, EngineRegistry, QueryContext, ResultCache, SearchOutcome,
+    SearchParams,
+};
+use banks_graph::DataGraph;
+use banks_prestige::PrestigeVector;
+use banks_textindex::{InvertedIndex, KeywordMatches};
+
+use crate::handle::{HandleState, QueryEvent, QueryHandle, QueryId, QueryResult};
+use crate::metrics::{Counters, ServiceMetrics};
+use crate::spec::QuerySpec;
+
+/// Why a submission was not accepted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Admission control: the bounded queue is full.  Back off and retry —
+    /// accepting the query anyway would only grow an unbounded backlog.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The requested engine is not registered; the error lists the known
+    /// engines and the nearest alias.
+    UnknownEngine(UnknownEngine),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} queries waiting)")
+            }
+            SubmitError::UnknownEngine(e) => write!(f, "{e}"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One unit of queued work.
+struct Job {
+    matches: KeywordMatches,
+    cache_key: CacheKey,
+    params: SearchParams,
+    engine: String,
+    token: CancelToken,
+    events: Sender<QueryEvent>,
+    state: Arc<HandleState>,
+    submitted_at: Instant,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Everything the workers share.
+struct Inner {
+    graph: DataGraph,
+    prestige: PrestigeVector,
+    index: InvertedIndex,
+    registry: EngineRegistry,
+    default_engine: String,
+    cache: Arc<ResultCache>,
+    queue: Mutex<QueueState>,
+    queue_capacity: usize,
+    work_available: Condvar,
+    counters: Counters,
+    next_id: AtomicU64,
+}
+
+/// Configures and spawns a [`Service`].
+pub struct ServiceBuilder {
+    graph: DataGraph,
+    workers: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    shared_cache: Option<Arc<ResultCache>>,
+    prestige: Option<PrestigeVector>,
+    index: Option<InvertedIndex>,
+    registry: Option<EngineRegistry>,
+    default_engine: String,
+}
+
+impl ServiceBuilder {
+    /// Number of worker threads (default: available parallelism, capped at
+    /// 8; always at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Bound of the admission queue (default 64).  A full queue rejects new
+    /// submissions with [`SubmitError::QueueFull`] instead of buffering
+    /// without limit — backpressure is explicit.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Capacity of the LRU result cache (default 256; 0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Shares an existing result cache instead of creating a private one.
+    /// Keys carry the graph epoch, so one cache can serve several services
+    /// (and graph versions) without cross-talk.
+    pub fn shared_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Uses a precomputed prestige vector instead of the uniform default.
+    pub fn prestige(mut self, prestige: PrestigeVector) -> Self {
+        self.prestige = Some(prestige);
+        self
+    }
+
+    /// Uses a prebuilt keyword index instead of the label index built from
+    /// the graph.
+    pub fn index(mut self, index: InvertedIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// Replaces the engine registry (default: the paper's engines).
+    pub fn registry(mut self, registry: EngineRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Sets the engine run when a [`QuerySpec`] names none.
+    ///
+    /// # Panics
+    /// `build` panics when this name is not in the registry.
+    pub fn default_engine(mut self, name: impl Into<String>) -> Self {
+        self.default_engine = name.into();
+        self
+    }
+
+    /// Validates the configuration, builds the shared state (prestige and
+    /// keyword index included) and spawns the worker threads.
+    pub fn build(self) -> Service {
+        let prestige = self
+            .prestige
+            .unwrap_or_else(|| PrestigeVector::uniform_for(&self.graph));
+        let index = self.index.unwrap_or_else(|| build_label_index(&self.graph));
+        let registry = self.registry.unwrap_or_default();
+        if !registry.contains(&self.default_engine) {
+            panic!("{}", registry.unknown(&self.default_engine));
+        }
+        let inner = Arc::new(Inner {
+            graph: self.graph,
+            prestige,
+            index,
+            registry,
+            default_engine: self.default_engine,
+            cache: self
+                .shared_cache
+                .unwrap_or_else(|| Arc::new(ResultCache::new(self.cache_capacity))),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            queue_capacity: self.queue_capacity,
+            work_available: Condvar::new(),
+            counters: Counters::default(),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("banks-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+}
+
+/// A multi-threaded query service owning one graph plus its prestige,
+/// keyword index, engine registry and result cache.
+///
+/// Queries are submitted as [`QuerySpec`]s and executed by a pool of worker
+/// threads; the returned [`QueryHandle`] streams answers as the engine
+/// emits them and supports cooperative cancellation and live statistics.
+/// Admission control is a bounded queue, repeated queries are served from
+/// the shared LRU [`ResultCache`], and per-answer deadlines are expressed
+/// as deterministic work budgets
+/// ([`banks_core::SearchParams::answer_work_budget`]).
+///
+/// ```
+/// use banks_graph::GraphBuilder;
+/// use banks_service::{QuerySpec, Service};
+///
+/// let mut b = GraphBuilder::new();
+/// let author = b.add_node("author", "Jim Gray");
+/// let paper = b.add_node("paper", "Granularity of locks");
+/// let writes = b.add_node("writes", "w0");
+/// b.add_edge(writes, author).unwrap();
+/// b.add_edge(writes, paper).unwrap();
+///
+/// let service = Service::builder(b.build_default())
+///     .workers(4)
+///     .cache_capacity(256)
+///     .build();
+/// let handle = service.submit(QuerySpec::parse("gray locks")).unwrap();
+/// let (outcome, result) = handle.wait();
+/// assert_eq!(outcome.answers[0].tree.root, writes);
+/// assert!(!result.cache_hit);
+/// ```
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts configuring a service over `graph`.
+    pub fn builder(graph: DataGraph) -> ServiceBuilder {
+        let default_workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2);
+        ServiceBuilder {
+            graph,
+            workers: default_workers,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            shared_cache: None,
+            prestige: None,
+            index: None,
+            registry: None,
+            default_engine: "bidirectional".to_string(),
+        }
+    }
+
+    /// Submits a query.  Returns immediately: on a cache hit the handle is
+    /// already fully populated (zero engine work), otherwise the query
+    /// waits in the bounded admission queue for a worker.
+    pub fn submit(&self, spec: impl Into<QuerySpec>) -> Result<QueryHandle, SubmitError> {
+        let spec = spec.into();
+        let inner = &self.inner;
+        let engine = spec.engine.unwrap_or_else(|| inner.default_engine.clone());
+        if !inner.registry.contains(&engine) {
+            return Err(SubmitError::UnknownEngine(inner.registry.unknown(&engine)));
+        }
+
+        // The same single normalization point as the `Banks` facade: the
+        // normalized keywords feed both origin-set resolution and the cache
+        // key.  Resolution must precede the cache lookup because the
+        // resolved origin sets participate in the key (two indexes can give
+        // the same keywords different sets); it is cheap next to expansion.
+        let normalized = spec.query.normalized(inner.index.tokenizer());
+        let matches = KeywordMatches::resolve_normalized(&inner.graph, &inner.index, &normalized);
+        let cache_key = CacheKey::new(
+            inner.graph.epoch(),
+            normalized.keywords().to_vec(),
+            &spec.params,
+            &engine,
+            &matches,
+        );
+
+        let id = QueryId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let token = CancelToken::new();
+        let state = Arc::new(HandleState::default());
+        let (tx, rx) = channel();
+        let submitted_at = Instant::now();
+
+        if let Some(hit) = inner.cache.get(&cache_key) {
+            // Served entirely from the cache: no queue slot, no worker, no
+            // engine — the handle is complete before `submit` returns.
+            Counters::bump(&inner.counters.submitted);
+            Counters::bump(&inner.counters.cache_hits);
+            Counters::bump(&inner.counters.completed);
+            state.publish(hit.stats.clone());
+            let mut first_answer = None;
+            for answer in &hit.answers {
+                let _ = tx.send(QueryEvent::Answer(answer.clone()));
+                first_answer.get_or_insert_with(|| submitted_at.elapsed());
+                Counters::bump(&inner.counters.answers_delivered);
+            }
+            let _ = tx.send(QueryEvent::Finished(QueryResult {
+                stats: hit.stats.clone(),
+                cache_hit: true,
+                time_to_first_answer: first_answer,
+            }));
+            return Ok(QueryHandle {
+                id,
+                token,
+                events: rx,
+                state,
+            });
+        }
+
+        let job = Job {
+            matches,
+            cache_key,
+            params: spec.params,
+            engine,
+            token: token.clone(),
+            events: tx,
+            state: Arc::clone(&state),
+            submitted_at,
+        };
+        {
+            let mut queue = inner.queue.lock().expect("queue lock");
+            if queue.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if queue.jobs.len() >= inner.queue_capacity {
+                Counters::bump(&inner.counters.rejected);
+                return Err(SubmitError::QueueFull {
+                    capacity: inner.queue_capacity,
+                });
+            }
+            queue.jobs.push_back(job);
+            Counters::bump(&inner.counters.submitted);
+        }
+        inner.work_available.notify_one();
+        Ok(QueryHandle {
+            id,
+            token,
+            events: rx,
+            state,
+        })
+    }
+
+    /// A point-in-time snapshot of the aggregate counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let queued = self.inner.queue.lock().expect("queue lock").jobs.len();
+        ServiceMetrics::snapshot(&self.inner.counters, queued)
+    }
+
+    /// The shared result cache (hit/miss counters included).
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.inner.cache
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &DataGraph {
+        &self.inner.graph
+    }
+
+    /// The epoch of the graph being served (the cache-key component).
+    pub fn epoch(&self) -> u64 {
+        self.inner.graph.epoch()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Engine names this service can run.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.inner.registry.names()
+    }
+
+    /// Stops accepting new queries, drains the admission queue and joins
+    /// the workers.  Equivalent to dropping the service, but explicit.
+    pub fn shutdown(self) {}
+
+    fn begin_shutdown(&mut self) {
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+        }
+        self.inner.work_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+    }
+}
+
+/// Worker thread body: pop jobs until shutdown, then drain and exit.
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = inner.work_available.wait(queue).expect("queue lock");
+            }
+        };
+        execute(&inner, job);
+    }
+}
+
+/// Runs one query to completion (or cancellation) on the calling worker.
+fn execute(inner: &Inner, job: Job) {
+    Counters::bump(&inner.counters.executed);
+    let ctx = QueryContext::new(&inner.graph, &inner.prestige, &job.matches, job.params)
+        .with_cancel(&job.token);
+    let engine = inner
+        .registry
+        .create(&job.engine)
+        .expect("engine validated at submit time");
+    let mut stream = engine.start(ctx);
+
+    let mut answers = Vec::new();
+    let mut first_answer = None;
+    let mut receiver_gone = false;
+    #[allow(clippy::while_let_on_iterator)] // stats() borrows between polls
+    while let Some(answer) = stream.next() {
+        first_answer.get_or_insert_with(|| job.submitted_at.elapsed());
+        job.state.publish(stream.stats());
+        if !receiver_gone {
+            if job.events.send(QueryEvent::Answer(answer.clone())).is_err() {
+                // The handle is gone: nobody will read further answers.
+                // Cancel cooperatively so the engine stops within one step.
+                receiver_gone = true;
+                job.token.cancel();
+            } else {
+                Counters::bump(&inner.counters.answers_delivered);
+            }
+        }
+        answers.push(answer);
+    }
+
+    let stats = stream.stats();
+    job.state.publish(stats.clone());
+    Counters::bump(&inner.counters.completed);
+    if stats.cancelled {
+        Counters::bump(&inner.counters.cancelled);
+    }
+    if stats.truncated {
+        Counters::bump(&inner.counters.truncated);
+    }
+    Counters::add(&inner.counters.nodes_explored, stats.nodes_explored as u64);
+
+    // Only completed searches are cached: a cancelled run's answer set is
+    // whatever happened to be emitted before the abort, not a reproducible
+    // result.  (Work-budget truncation, by contrast, is deterministic and
+    // safe to cache.)
+    if !stats.cancelled {
+        inner.cache.insert(
+            job.cache_key,
+            Arc::new(SearchOutcome {
+                answers,
+                stats: stats.clone(),
+            }),
+        );
+    }
+    let _ = job.events.send(QueryEvent::Finished(QueryResult {
+        stats,
+        cache_hit: false,
+        time_to_first_answer: first_answer,
+    }));
+}

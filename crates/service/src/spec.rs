@@ -1,0 +1,115 @@
+//! Query specifications submitted to the service.
+
+use banks_core::SearchParams;
+use banks_textindex::Query;
+
+/// One query request: the keywords, the search parameters and (optionally)
+/// a non-default engine.
+///
+/// ```
+/// use banks_service::QuerySpec;
+///
+/// let spec = QuerySpec::parse("\"jim gray\" locks")
+///     .top_k(5)
+///     .engine("si-backward");
+/// assert_eq!(spec.query.len(), 2);
+/// assert_eq!(spec.engine.as_deref(), Some("si-backward"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The parsed keyword query (normalization happens inside the service,
+    /// with the same function the `Banks` facade uses).
+    pub query: Query,
+    /// Search parameters.
+    pub params: SearchParams,
+    /// Engine registry name; `None` runs the service's default engine.
+    pub engine: Option<String>,
+}
+
+impl QuerySpec {
+    /// A spec over an already-parsed query with default parameters.
+    pub fn new(query: Query) -> Self {
+        QuerySpec {
+            query,
+            params: SearchParams::default(),
+            engine: None,
+        }
+    }
+
+    /// Parses a raw query string (quoted phrases honoured).
+    pub fn parse(raw: &str) -> Self {
+        Self::new(Query::parse(raw))
+    }
+
+    /// Builds a spec from pre-split keywords.
+    pub fn keywords<I, S>(keywords: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::new(Query::from_keywords(keywords))
+    }
+
+    /// Number of answers requested.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.params.top_k = top_k;
+        self
+    }
+
+    /// Replaces the whole parameter set.
+    pub fn params(mut self, params: SearchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Per-answer work budget (nodes explored between emissions): the
+    /// deterministic deadline enforced identically under any load.
+    pub fn answer_work_budget(mut self, budget: usize) -> Self {
+        self.params = self.params.answer_work_budget(budget);
+        self
+    }
+
+    /// Selects a non-default engine by registry name.
+    pub fn engine(mut self, name: impl Into<String>) -> Self {
+        self.engine = Some(name.into());
+        self
+    }
+}
+
+impl From<Query> for QuerySpec {
+    fn from(query: Query) -> Self {
+        QuerySpec::new(query)
+    }
+}
+
+impl From<&str> for QuerySpec {
+    fn from(raw: &str) -> Self {
+        QuerySpec::parse(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let spec = QuerySpec::keywords(["gray", "locks"])
+            .top_k(7)
+            .answer_work_budget(100)
+            .engine("mi");
+        assert_eq!(spec.query.len(), 2);
+        assert_eq!(spec.params.top_k, 7);
+        assert_eq!(spec.params.answer_work_budget, Some(100));
+        assert_eq!(spec.engine.as_deref(), Some("mi"));
+    }
+
+    #[test]
+    fn conversions() {
+        let from_str: QuerySpec = "gray locks".into();
+        assert_eq!(from_str.query.len(), 2);
+        let from_query: QuerySpec = Query::parse("gray").into();
+        assert_eq!(from_query.query.len(), 1);
+        assert!(from_query.engine.is_none());
+    }
+}

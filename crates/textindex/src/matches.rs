@@ -24,12 +24,21 @@ pub struct KeywordMatches {
 }
 
 impl KeywordMatches {
-    /// Resolves a query against an inverted index and graph.
+    /// Resolves a query against an inverted index and graph.  The query is
+    /// normalized with the index's tokenizer first — callers that already
+    /// normalized (to compute a cache key, say) should use
+    /// [`KeywordMatches::resolve_normalized`] so normalization happens in
+    /// exactly one place.
     pub fn resolve(graph: &DataGraph, index: &InvertedIndex, query: &Query) -> Self {
-        let normalized = query.normalized(index.tokenizer());
-        let mut keywords = Vec::with_capacity(normalized.len());
-        let mut sets = Vec::with_capacity(normalized.len());
-        for keyword in normalized.keywords() {
+        Self::resolve_normalized(graph, index, &query.normalized(index.tokenizer()))
+    }
+
+    /// Resolves an **already-normalized** query against an inverted index
+    /// and graph, without normalizing again.
+    pub fn resolve_normalized(graph: &DataGraph, index: &InvertedIndex, query: &Query) -> Self {
+        let mut keywords = Vec::with_capacity(query.len());
+        let mut sets = Vec::with_capacity(query.len());
+        for keyword in query.keywords() {
             keywords.push(keyword.clone());
             sets.push(index.matching_nodes(graph, keyword));
         }

@@ -14,7 +14,11 @@
 //! * [`datagen`] — synthetic DBLP/IMDB/Patents datasets and query workloads,
 //! * [`core`] — the search engines behind the streaming query API:
 //!   Bidirectional expansion, Backward expansion (multi- and
-//!   single-iterator), answer trees and ranking.
+//!   single-iterator), answer trees and ranking,
+//! * [`service`] — the concurrent query service: a worker-pool executor
+//!   with cancellation tokens, an LRU result cache keyed by graph epoch,
+//!   bounded-queue admission control and deterministic work-based
+//!   deadlines.
 //!
 //! ## Quick start
 //!
@@ -52,21 +56,48 @@
 //! let outcome_si = banks.query(["gray", "locks"]).engine("si-backward").run();
 //! assert_eq!(outcome_si.answers[0].tree.root, writes);
 //! ```
+//!
+//! ## Serving many queries at once
+//!
+//! For concurrent traffic, hand the graph to the [`service::Service`]
+//! worker pool instead of querying on the caller's thread:
+//!
+//! ```
+//! use banks::prelude::*;
+//!
+//! let mut builder = GraphBuilder::new();
+//! let author = builder.add_node("author", "Jim Gray");
+//! let paper = builder.add_node("paper", "Granularity of locks");
+//! let writes = builder.add_node("writes", "w0");
+//! builder.add_edge(writes, author).unwrap();
+//! builder.add_edge(writes, paper).unwrap();
+//!
+//! let service = Service::builder(builder.build_default())
+//!     .workers(4)
+//!     .cache_capacity(256)
+//!     .build();
+//! let handle = service.submit(QuerySpec::parse("gray locks")).unwrap();
+//! let (outcome, result) = handle.wait();
+//! assert_eq!(outcome.answers[0].tree.root, writes);
+//! assert!(!result.cache_hit); // a resubmission would hit the cache
+//! ```
 
 pub use banks_core as core;
 pub use banks_datagen as datagen;
 pub use banks_graph as graph;
 pub use banks_prestige as prestige;
 pub use banks_relational as relational;
+pub use banks_service as service;
 pub use banks_textindex as textindex;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use banks_core::{
-        drain, AnswerStream, AnswerTree, BackwardExpandingSearch, Banks, BidirectionalConfig,
-        BidirectionalSearch, EdgeScoreCombiner, EmissionPolicy, EngineRegistry, GroundTruth,
-        QueryContext, QuerySession, RankedAnswer, ScoreModel, SearchEngine, SearchOutcome,
-        SearchParams, SearchStats, SingleIteratorBackwardSearch,
+        build_label_index, drain, AnswerStream, AnswerTree, BackwardExpandingSearch, Banks,
+        BidirectionalConfig, BidirectionalSearch, CacheKey, CancelToken, EdgeScoreCombiner,
+        EmissionPolicy, EngineRegistry, GroundTruth, QueryContext, QuerySession, RankedAnswer,
+        ResultCache, ScoreModel, SearchEngine, SearchOutcome, SearchParams, SearchStats,
+        SingleIteratorBackwardSearch, UnknownEngine,
     };
     pub use banks_datagen::{
         figure4_example, DblpConfig, DblpDataset, ImdbConfig, ImdbDataset, KeywordCategory,
@@ -75,5 +106,9 @@ pub mod prelude {
     pub use banks_graph::{DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphStats, NodeId};
     pub use banks_prestige::{compute_pagerank, PageRankConfig, PrestigeVector};
     pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
+    pub use banks_service::{
+        QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec, Service, ServiceBuilder,
+        ServiceMetrics, SubmitError,
+    };
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }

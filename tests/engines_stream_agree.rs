@@ -162,7 +162,7 @@ fn facade_builder_matches_manual_wiring() {
 }
 
 #[test]
-fn deadline_streams_terminate() {
+fn work_budget_streams_terminate() {
     let data = dataset();
     let graph = data.dataset.graph();
     let banks = Banks::open(graph).with_index(data.dataset.index().clone());
@@ -180,16 +180,16 @@ fn deadline_streams_terminate() {
     let session = banks
         .query_parsed(&case.query())
         .top_k(1000)
-        .answer_deadline(std::time::Duration::ZERO);
+        .answer_work_budget(0);
     let mut stream = session.stream();
     let mut count = 0usize;
     while stream.next().is_some() {
         count += 1;
-        assert!(count < 10_000, "deadline stream failed to terminate");
+        assert!(count < 10_000, "budgeted stream failed to terminate");
     }
     assert!(stream.is_exhausted());
     assert!(
         stream.stats().truncated,
-        "expired deadline must mark truncation"
+        "exhausted work budget must mark truncation"
     );
 }
