@@ -91,25 +91,57 @@ struct Table {
 ///
 /// Capacity 0 disables the cache entirely (every lookup misses, nothing is
 /// stored).  Eviction is least-recently-used; lookups refresh recency.
+///
+/// ## Admission policy
+///
+/// By default every completed outcome is stored.  Under a mixed workload
+/// that lets a stream of trivial queries (one origin node, answered in a
+/// handful of expansion steps) evict the expensive outcomes that are the
+/// whole point of caching — re-running a tiny query costs less than the
+/// cache slot it occupies.  [`ResultCache::min_work`] sets a cost threshold
+/// in nodes explored ([`crate::SearchStats::nodes_explored`]): outcomes
+/// measured below it are *not admitted* (counted in
+/// [`ResultCache::admission_rejected`]), while lookups behave exactly as
+/// before.  The threshold trades recomputation of cheap queries for
+/// retention of expensive ones; 0 (the default) admits everything.
 pub struct ResultCache {
     capacity: usize,
+    min_work: u64,
     table: Mutex<Table>,
     hits: AtomicU64,
     misses: AtomicU64,
+    admission_rejected: AtomicU64,
 }
 
 impl ResultCache {
-    /// Creates a cache holding at most `capacity` outcomes.
+    /// Creates a cache holding at most `capacity` outcomes, admitting every
+    /// completed outcome (no cost threshold).
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             capacity,
+            min_work: 0,
             table: Mutex::new(Table {
                 entries: HashMap::new(),
                 tick: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the admission threshold: only outcomes whose measured work
+    /// (`stats.nodes_explored`) is at least `min_work` are stored, so tiny
+    /// queries stop evicting expensive ones.  Builder-style — call before
+    /// sharing the cache.
+    pub fn min_work(mut self, min_work: u64) -> Self {
+        self.min_work = min_work;
+        self
+    }
+
+    /// The configured admission threshold (0 admits everything).
+    pub fn admission_threshold(&self) -> u64 {
+        self.min_work
     }
 
     /// Maximum number of cached outcomes.
@@ -146,9 +178,14 @@ impl ResultCache {
     }
 
     /// Stores an outcome, evicting the least-recently-used entry when full.
-    /// No-op when the capacity is 0.
+    /// No-op when the capacity is 0 or the outcome's measured work falls
+    /// below the [admission threshold](ResultCache::min_work).
     pub fn insert(&self, key: CacheKey, outcome: Arc<SearchOutcome>) {
         if self.capacity == 0 {
+            return;
+        }
+        if (outcome.stats.nodes_explored as u64) < self.min_work {
+            self.admission_rejected.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let mut table = self.table.lock().expect("cache lock");
@@ -178,6 +215,27 @@ impl ResultCache {
     /// Drops every cached outcome (counters are kept).
     pub fn clear(&self) {
         self.table.lock().expect("cache lock").entries.clear();
+    }
+
+    /// Drops every outcome cached under the given graph epoch, returning how
+    /// many entries were removed.
+    ///
+    /// Entries for a superseded epoch can never be hit again (keys carry the
+    /// epoch), so after a graph swap they are dead weight; a service that
+    /// *owns* its cache reclaims the space eagerly with this call.  A cache
+    /// **shared** across services must not be purged this way — another
+    /// service may still be serving that epoch.
+    pub fn evict_epoch(&self, epoch: u64) -> usize {
+        let mut table = self.table.lock().expect("cache lock");
+        let before = table.entries.len();
+        table.entries.retain(|key, _| key.epoch != epoch);
+        before - table.entries.len()
+    }
+
+    /// Number of completed outcomes refused admission because their measured
+    /// work fell below the [threshold](ResultCache::min_work).
+    pub fn admission_rejected(&self) -> u64 {
+        self.admission_rejected.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that found an entry.
@@ -359,6 +417,47 @@ mod tests {
     }
 
     #[test]
+    fn admission_threshold_rejects_cheap_outcomes() {
+        let cache = ResultCache::new(4).min_work(100);
+        assert_eq!(cache.admission_threshold(), 100);
+        // measured work below the threshold: refused, counted
+        cache.insert(key(1, "tiny"), outcome(5));
+        assert!(cache.is_empty());
+        assert_eq!(cache.admission_rejected(), 1);
+        // at/above the threshold: admitted as usual
+        cache.insert(key(1, "big"), outcome(100));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(1, "big")).is_some());
+        assert_eq!(cache.admission_rejected(), 1);
+    }
+
+    #[test]
+    fn cheap_queries_cannot_evict_expensive_ones() {
+        let cache = ResultCache::new(1).min_work(50);
+        cache.insert(key(1, "expensive"), outcome(500));
+        for i in 0..10 {
+            cache.insert(key(1, &format!("tiny{i}")), outcome(1));
+        }
+        assert!(
+            cache.get(&key(1, "expensive")).is_some(),
+            "sub-threshold outcomes must not displace the expensive entry"
+        );
+        assert_eq!(cache.admission_rejected(), 10);
+    }
+
+    #[test]
+    fn evict_epoch_drops_only_that_epoch() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(1, "a"), outcome(1));
+        cache.insert(key(1, "b"), outcome(2));
+        cache.insert(key(2, "a"), outcome(3));
+        assert_eq!(cache.evict_epoch(1), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(2, "a")).is_some());
+        assert_eq!(cache.evict_epoch(1), 0, "already gone");
+    }
+
+    #[test]
     fn cached_stream_replays_in_order() {
         let out = SearchOutcome {
             answers: Vec::new(),
@@ -376,7 +475,10 @@ mod tests {
 
     #[test]
     fn cache_is_shareable_across_threads() {
-        let cache = Arc::new(ResultCache::new(64));
+        // Capacity must hold every insert (4 threads × 50 keys): with a
+        // smaller cache the per-insert `get` below races against LRU
+        // eviction by the other threads and the test flakes.
+        let cache = Arc::new(ResultCache::new(256));
         let mut handles = Vec::new();
         for t in 0..4u64 {
             let cache = Arc::clone(&cache);
@@ -391,7 +493,7 @@ mod tests {
         for h in handles {
             h.join().expect("thread");
         }
-        assert!(cache.len() <= 64);
+        assert_eq!(cache.len(), 200, "every insert retained, none evicted");
         assert!(cache.hits() >= 1);
     }
 }

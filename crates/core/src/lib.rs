@@ -84,15 +84,19 @@
 //!
 //! Supporting structure: the answer-tree model and ranking of Section 2
 //! ([`AnswerTree`], [`ScoreModel`]), the output buffering / top-k emission
-//! logic of Section 4.5 ([`output::OutputHeap`]), and instrumentation
+//! logic of Section 4.5 ([`output::OutputHeap`]), a priori cost estimation
+//! for admission scheduling ([`QueryCost`]), and instrumentation
 //! ([`SearchStats`], [`SearchOutcome::time_to_first_answer`]) exposing the
 //! paper's metrics.
+
+#![deny(missing_docs)]
 
 pub mod answer;
 pub mod backward;
 pub mod bidirectional;
 pub mod cache;
 pub mod cancel;
+pub mod cost;
 pub mod engine;
 pub mod output;
 pub mod params;
@@ -110,6 +114,7 @@ pub use backward::BackwardExpandingSearch;
 pub use bidirectional::{BidirectionalConfig, BidirectionalSearch};
 pub use cache::{CacheKey, CachedStream, ResultCache};
 pub use cancel::CancelToken;
+pub use cost::QueryCost;
 pub use engine::{RankedAnswer, SearchEngine, SearchOutcome};
 pub use params::{EmissionPolicy, SearchParams};
 pub use registry::{EngineRegistry, UnknownEngine};

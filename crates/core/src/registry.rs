@@ -228,7 +228,10 @@ impl Default for EngineRegistry {
     }
 }
 
-fn normalize(name: &str) -> String {
+/// Canonical form of an engine name: trimmed, lower-cased, underscores
+/// folded to dashes.  Shared with the cost estimator
+/// ([`crate::cost`]) so pricing and resolution agree on what a name means.
+pub(crate) fn normalize(name: &str) -> String {
     name.trim().to_ascii_lowercase().replace('_', "-")
 }
 

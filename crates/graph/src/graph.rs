@@ -113,10 +113,23 @@ impl DataGraph {
 
     // ----------------------------------------------------------------- epoch
 
-    /// The graph's epoch: an identity/version marker for result caches.
+    /// The graph's epoch: an identity/version marker for result caches and
+    /// for online version handoff.
+    ///
     /// Each constructed graph gets a unique epoch; clones keep the epoch of
     /// the original (their contents are identical), and
-    /// [`DataGraph::bump_epoch`] assigns a fresh one.
+    /// [`DataGraph::bump_epoch`] assigns a fresh one.  Epochs are drawn
+    /// from a process-wide counter and **never reused**, which is the
+    /// property the layers above build on:
+    ///
+    /// * result caches fold the epoch into every key, so entries for one
+    ///   graph version can never answer for another — invalidation after a
+    ///   version change is structural, not a flush;
+    /// * the serving tier (`banks-service`) swaps graph versions online by
+    ///   replacing an `Arc`-held snapshot: queries pinned to the old
+    ///   version keep reporting (and caching under) the old epoch while
+    ///   new admissions carry the new one, and the two interleave safely
+    ///   in one shared cache precisely because epochs never collide.
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.epoch

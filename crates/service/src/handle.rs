@@ -39,6 +39,15 @@ pub struct QueryResult {
     /// Time from submission to the first answer leaving the worker (`None`
     /// when no answer was produced; approximately zero for cache hits).
     pub time_to_first_answer: Option<Duration>,
+    /// Time the query waited in the admission scheduler before a worker
+    /// picked it up — the scheduler-induced share of the latency (zero for
+    /// cache hits, which never queue).
+    pub queue_wait: Duration,
+    /// Epoch of the graph version this query ran against (for a cache hit:
+    /// the epoch the entry was cached under).  After a
+    /// [`crate::Service::swap_graph`], in-flight queries report the old
+    /// epoch and new admissions the new one.
+    pub epoch: u64,
 }
 
 /// State shared between the executing worker and the handle, so live
@@ -168,8 +177,7 @@ impl QueryHandle {
                     cancelled: true,
                     ..SearchStats::default()
                 },
-                cache_hit: false,
-                time_to_first_answer: None,
+                ..QueryResult::default()
             });
         (
             SearchOutcome {

@@ -3,19 +3,30 @@
 //! A concurrent query **serving tier** over the BANKS search engines: the
 //! layering move the OLAP literature makes between the query engine and the
 //! tier that fields traffic.  `banks-core` executes one search on the
-//! caller's thread; this crate owns a [`banks_graph::DataGraph`] (plus
-//! prestige, keyword index and engine registry) and executes many queries
-//! concurrently on a pool of `std` worker threads — channels and mutexes
-//! only, no external runtime.
+//! caller's thread; this crate owns a serving [`GraphSnapshot`] (graph +
+//! prestige + keyword index) plus an engine registry, and executes many
+//! queries concurrently on a pool of `std` worker threads — channels and
+//! mutexes only, no external runtime.
 //!
 //! ## The moving parts
 //!
 //! * **[`Service`]** — built with
 //!   `Service::builder(graph).workers(4).cache_capacity(256).build()`;
 //!   owns the shared read-only search state and the worker pool.
-//! * **[`QuerySpec`]** — keywords + [`banks_core::SearchParams`] +
-//!   optional engine name; normalized by the same single function the
+//! * **[`QuerySpec`]** — keywords + [`banks_core::SearchParams`] + optional
+//!   engine name, plus the scheduling identity: [`QuerySpec::tenant`] and
+//!   [`QuerySpec::priority`].  Normalized by the same single function the
 //!   `Banks` facade uses, so cache keys agree byte for byte.
+//! * **Priority scheduling** — admission is not FIFO: queries are ordered
+//!   shortest-expected-work-first from an a priori cost estimate
+//!   ([`banks_core::QueryCost`]), with per-tenant fair share and built-in
+//!   aging so an expensive query is delayed but never starved.  Interactive
+//!   traffic stops queueing behind batch trawls.
+//! * **Online graph swapping** — [`Service::swap_graph`] atomically
+//!   replaces the served snapshot.  Every query is pinned at admission to
+//!   the snapshot it resolved against: in-flight work finishes on the old
+//!   version, new admissions see the new epoch, and the epoch-keyed result
+//!   cache can never serve stale answers.
 //! * **[`QueryHandle`]** — returned by [`Service::submit`]: stream answers
 //!   as the engine emits them ([`QueryHandle::recv`] /
 //!   [`QueryHandle::next_answer`]), watch live
@@ -27,20 +38,23 @@
 //! * **Admission control** — a bounded queue; a full queue rejects with
 //!   [`SubmitError::QueueFull`] instead of buffering without limit.
 //! * **Result cache** — a shared [`banks_core::ResultCache`] keyed by
-//!   `(graph epoch, normalized keywords, params/engine fingerprint)`;
-//!   hits complete at submit time with zero engine work.
+//!   `(graph epoch, normalized keywords, params/engine fingerprint)`; hits
+//!   complete at submit time with zero engine work.  An admission
+//!   threshold ([`ServiceBuilder::cache_min_work`]) keeps tiny queries
+//!   from evicting expensive outcomes.
 //! * **Deterministic deadlines** — per-answer budgets are *work-based*
 //!   ([`banks_core::SearchParams::answer_work_budget`], nodes explored per
 //!   answer), so they cut at the same node whether the pool is idle or
 //!   saturated.
 //! * **[`ServiceMetrics`]** — aggregate counters (submitted / rejected /
-//!   executed / cancelled / cache hits / answers delivered).
+//!   executed / cancelled / cache hits / swaps), queue-wait percentiles
+//!   ([`QueueWaitSummary`]) and per-tenant outcomes ([`TenantMetrics`]).
 //!
 //! ## Example
 //!
 //! ```
 //! use banks_graph::GraphBuilder;
-//! use banks_service::{QueryEvent, QuerySpec, Service};
+//! use banks_service::{Priority, QueryEvent, QuerySpec, Service};
 //!
 //! let mut b = GraphBuilder::new();
 //! let author = b.add_node("author", "Jim Gray");
@@ -54,8 +68,12 @@
 //!     .cache_capacity(64)
 //!     .build();
 //!
-//! // Stream answers as they arrive.
-//! let handle = service.submit(QuerySpec::parse("gray locks").top_k(3)).unwrap();
+//! // Stream answers as they arrive; interactive traffic can say so.
+//! let spec = QuerySpec::parse("gray locks")
+//!     .top_k(3)
+//!     .tenant("ui")
+//!     .priority(Priority::Interactive);
+//! let handle = service.submit(spec).unwrap();
 //! while let Some(event) = handle.recv() {
 //!     match event {
 //!         QueryEvent::Answer(answer) => assert_eq!(answer.tree.root, writes),
@@ -68,14 +86,36 @@
 //! let (outcome, result) = service.submit(spec).unwrap().wait();
 //! assert!(result.cache_hit);
 //! assert_eq!(outcome.answers.len(), 1);
+//!
+//! // Swap in a new graph version online: the epoch changes, the cache is
+//! // cold for it, and new submissions run against the new data.
+//! let mut b2 = GraphBuilder::new();
+//! let author2 = b2.add_node("author", "Jim Gray");
+//! let paper2 = b2.add_node("paper", "Granularity of locks, 2nd ed");
+//! let writes2 = b2.add_node("writes", "w0");
+//! b2.add_edge(writes2, author2).unwrap();
+//! b2.add_edge(writes2, paper2).unwrap();
+//! let new_epoch = service.swap_graph(b2.build_default());
+//! assert_eq!(service.epoch(), new_epoch);
+//! let (_, result) = service
+//!     .submit(QuerySpec::parse("gray locks").top_k(3))
+//!     .unwrap()
+//!     .wait();
+//! assert!(!result.cache_hit, "new epoch starts cold");
+//! assert_eq!(result.epoch, new_epoch);
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod handle;
 pub mod metrics;
+mod sched;
 pub mod service;
+pub mod snapshot;
 pub mod spec;
 
 pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult};
-pub use metrics::ServiceMetrics;
+pub use metrics::{QueueWaitSummary, ServiceMetrics, TenantMetrics, OVERFLOW_TENANT};
 pub use service::{Service, ServiceBuilder, SubmitError};
-pub use spec::QuerySpec;
+pub use snapshot::GraphSnapshot;
+pub use spec::{Priority, QuerySpec};

@@ -1,6 +1,19 @@
 //! Aggregate service instrumentation.
+//!
+//! Two kinds of state feed [`ServiceMetrics`]:
+//!
+//! * `Counters` — lock-free atomics bumped on the submit path and by the
+//!   workers (throughput, rejections, cache hits, swaps),
+//! * `WaitStats` — a mutex-guarded log₂ histogram of **queue wait** (the
+//!   time between admission and a worker picking the job up), recorded once
+//!   per executed job, plus per-tenant accumulators.  Scheduling is
+//!   non-preemptive — once picked up, a query runs to completion — so queue
+//!   wait is exactly the scheduler-induced latency, and its percentiles are
+//!   the number to watch when tuning priorities and fair share.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Lock-free counters updated by the submit path and the workers.
 #[derive(Debug, Default)]
@@ -14,6 +27,7 @@ pub(crate) struct Counters {
     pub cache_hits: AtomicU64,
     pub answers_delivered: AtomicU64,
     pub nodes_explored: AtomicU64,
+    pub swaps: AtomicU64,
 }
 
 impl Counters {
@@ -24,6 +38,161 @@ impl Counters {
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
+}
+
+/// Number of log₂ microsecond buckets.  Bucket 0 holds exactly-zero waits
+/// and bucket `i > 0` holds waits in `[2^(i-1), 2^i)` µs; the last bucket
+/// (i = 36, lower bound 2^35 µs ≈ 9.5 h) is open-ended and absorbs
+/// everything larger.
+const WAIT_BUCKETS: usize = 37;
+
+/// Bound on distinct per-tenant accumulator rows.  Callers are free to put
+/// high-cardinality values in [`crate::QuerySpec::tenant`] (per-user ids,
+/// say); without a cap the map — and the sort in every `metrics()` call —
+/// would grow for the service's lifetime.  Once the cap is reached, new
+/// tenant names are accounted under the synthetic [`OVERFLOW_TENANT`] row.
+const MAX_TENANT_ROWS: usize = 64;
+
+/// Name of the catch-all row absorbing tenant names beyond the 64-row
+/// tracking bound.  Angle brackets keep it from colliding with real tenant
+/// names produced by well-behaved clients.
+pub const OVERFLOW_TENANT: &str = "<other>";
+
+/// Per-tenant wait/throughput accumulator.
+#[derive(Clone, Debug, Default)]
+struct TenantAccum {
+    executed: u64,
+    wait_sum_us: u64,
+    wait_max_us: u64,
+}
+
+/// Queue-wait histogram plus per-tenant accumulators, updated once per job
+/// at the moment a worker picks it up.
+#[derive(Debug)]
+pub(crate) struct WaitStats {
+    buckets: [u64; WAIT_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+    tenants: HashMap<String, TenantAccum>,
+}
+
+impl Default for WaitStats {
+    fn default() -> Self {
+        WaitStats {
+            buckets: [0; WAIT_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            tenants: HashMap::new(),
+        }
+    }
+}
+
+impl WaitStats {
+    pub(crate) fn record(&mut self, tenant: &str, wait: Duration) {
+        let us = wait.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(WAIT_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+        let key = if self.tenants.len() >= MAX_TENANT_ROWS && !self.tenants.contains_key(tenant) {
+            OVERFLOW_TENANT
+        } else {
+            tenant
+        };
+        let t = self.tenants.entry(key.to_string()).or_default();
+        t.executed += 1;
+        t.wait_sum_us = t.wait_sum_us.saturating_add(us);
+        t.wait_max_us = t.wait_max_us.max(us);
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile.
+    fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // bucket i spans [2^(i-1), 2^i) µs (bucket 0 is exactly 0);
+                // report the upper bound, capped by the observed maximum.
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Duration::from_micros(upper.min(self.max_us));
+            }
+        }
+        Duration::from_micros(self.max_us)
+    }
+
+    fn summary(&self) -> QueueWaitSummary {
+        QueueWaitSummary {
+            count: self.count,
+            mean: Duration::from_micros(self.sum_us.checked_div(self.count).unwrap_or(0)),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            max: Duration::from_micros(self.max_us),
+        }
+    }
+
+    fn tenant_metrics(&self) -> Vec<TenantMetrics> {
+        let mut rows: Vec<TenantMetrics> = self
+            .tenants
+            .iter()
+            .map(|(name, t)| TenantMetrics {
+                tenant: name.clone(),
+                executed: t.executed,
+                mean_queue_wait: Duration::from_micros(
+                    t.wait_sum_us.checked_div(t.executed).unwrap_or(0),
+                ),
+                max_queue_wait: Duration::from_micros(t.wait_max_us),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
+    }
+}
+
+/// Distribution of queue wait (admission → worker pickup) across every
+/// executed query.  Percentiles are bucketed (log₂ µs resolution): each is
+/// the upper bound of the bucket the true percentile falls in, capped at
+/// the exact observed maximum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueWaitSummary {
+    /// Jobs measured (cache hits never queue and are not counted).
+    pub count: u64,
+    /// Mean queue wait.
+    pub mean: Duration,
+    /// Median queue wait.
+    pub p50: Duration,
+    /// 90th-percentile queue wait.
+    pub p90: Duration,
+    /// 99th-percentile queue wait.
+    pub p99: Duration,
+    /// Largest observed queue wait (exact).
+    pub max: Duration,
+}
+
+/// Per-tenant scheduling outcomes: how much ran and how long it queued.
+///
+/// At most 64 distinct tenant rows are tracked; past that bound, further
+/// tenant names are accounted under the synthetic [`OVERFLOW_TENANT`]
+/// (`"<other>"`) row, so a client putting per-request ids in the tenant
+/// field cannot grow the metrics state without bound.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// Tenant name (`""` is the anonymous tenant, [`OVERFLOW_TENANT`] the
+    /// catch-all once the row bound is reached).
+    pub tenant: String,
+    /// Queries executed for this tenant (cache hits excluded).
+    pub executed: u64,
+    /// Mean queue wait of this tenant's executed queries.
+    pub mean_queue_wait: Duration,
+    /// Worst queue wait of this tenant's executed queries.
+    pub max_queue_wait: Duration,
 }
 
 /// A point-in-time snapshot of the service counters.
@@ -48,12 +217,25 @@ pub struct ServiceMetrics {
     pub answers_delivered: u64,
     /// Total nodes explored across all executed queries.
     pub nodes_explored: u64,
-    /// Queries currently waiting in the admission queue.
+    /// Queries currently waiting in the admission scheduler.
     pub queued: u64,
+    /// Graph versions swapped in since the service started.
+    pub swaps: u64,
+    /// Epoch of the graph currently being served.
+    pub epoch: u64,
+    /// Queue-wait distribution across executed queries.
+    pub queue_wait: QueueWaitSummary,
+    /// Per-tenant scheduling outcomes, sorted by tenant name.
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl ServiceMetrics {
-    pub(crate) fn snapshot(counters: &Counters, queued: usize) -> Self {
+    pub(crate) fn snapshot(
+        counters: &Counters,
+        waits: &WaitStats,
+        queued: usize,
+        epoch: u64,
+    ) -> Self {
         ServiceMetrics {
             submitted: counters.submitted.load(Ordering::Relaxed),
             rejected: counters.rejected.load(Ordering::Relaxed),
@@ -65,6 +247,10 @@ impl ServiceMetrics {
             answers_delivered: counters.answers_delivered.load(Ordering::Relaxed),
             nodes_explored: counters.nodes_explored.load(Ordering::Relaxed),
             queued: queued as u64,
+            swaps: counters.swaps.load(Ordering::Relaxed),
+            epoch,
+            queue_wait: waits.summary(),
+            tenants: waits.tenant_metrics(),
         }
     }
 
@@ -76,6 +262,11 @@ impl ServiceMetrics {
         } else {
             self.cache_hits as f64 / self.submitted as f64
         }
+    }
+
+    /// Scheduling outcomes for one tenant, if it executed anything.
+    pub fn tenant(&self, name: &str) -> Option<&TenantMetrics> {
+        self.tenants.iter().find(|t| t.tenant == name)
     }
 }
 
@@ -89,13 +280,79 @@ mod tests {
         Counters::bump(&counters.submitted);
         Counters::bump(&counters.submitted);
         Counters::bump(&counters.cache_hits);
+        Counters::bump(&counters.swaps);
         Counters::add(&counters.answers_delivered, 5);
-        let snap = ServiceMetrics::snapshot(&counters, 3);
+        let waits = WaitStats::default();
+        let snap = ServiceMetrics::snapshot(&counters, &waits, 3, 42);
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.answers_delivered, 5);
         assert_eq!(snap.queued, 3);
+        assert_eq!(snap.swaps, 1);
+        assert_eq!(snap.epoch, 42);
         assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(ServiceMetrics::default().cache_hit_rate(), 0.0);
+        assert_eq!(snap.queue_wait, QueueWaitSummary::default());
+        assert!(snap.tenants.is_empty());
+    }
+
+    #[test]
+    fn wait_percentiles_bracket_the_observations() {
+        let mut waits = WaitStats::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            waits.record("", Duration::from_micros(us));
+        }
+        let s = waits.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, Duration::from_micros(10_000));
+        assert_eq!(s.mean, Duration::from_micros(1045));
+        // bucketed upper bounds: monotone, and bracketing the true values
+        assert!(s.p50 >= Duration::from_micros(50) && s.p50 < Duration::from_micros(128));
+        assert!(s.p90 >= Duration::from_micros(90) && s.p90 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn per_tenant_accumulators_are_sorted_and_isolated() {
+        let mut waits = WaitStats::default();
+        waits.record("zeta", Duration::from_micros(100));
+        waits.record("alpha", Duration::from_micros(10));
+        waits.record("alpha", Duration::from_micros(30));
+        let rows = waits.tenant_metrics();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tenant, "alpha");
+        assert_eq!(rows[0].executed, 2);
+        assert_eq!(rows[0].mean_queue_wait, Duration::from_micros(20));
+        assert_eq!(rows[0].max_queue_wait, Duration::from_micros(30));
+        assert_eq!(rows[1].tenant, "zeta");
+        assert_eq!(rows[1].executed, 1);
+    }
+
+    #[test]
+    fn tenant_rows_are_bounded_with_an_overflow_bucket() {
+        let mut waits = WaitStats::default();
+        for i in 0..(MAX_TENANT_ROWS + 20) {
+            waits.record(&format!("tenant-{i:04}"), Duration::from_micros(10));
+        }
+        // an already-tracked tenant keeps accumulating on its own row
+        waits.record("tenant-0000", Duration::from_micros(10));
+        let rows = waits.tenant_metrics();
+        assert_eq!(rows.len(), MAX_TENANT_ROWS + 1, "cap + overflow row");
+        let overflow = rows
+            .iter()
+            .find(|r| r.tenant == OVERFLOW_TENANT)
+            .expect("overflow row");
+        assert_eq!(overflow.executed, 20);
+        let first = rows.iter().find(|r| r.tenant == "tenant-0000").unwrap();
+        assert_eq!(first.executed, 2);
+    }
+
+    #[test]
+    fn zero_wait_lands_in_the_zero_bucket() {
+        let mut waits = WaitStats::default();
+        waits.record("", Duration::ZERO);
+        let s = waits.summary();
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
     }
 }

@@ -1,6 +1,6 @@
-//! The worker-pool query service.
+//! The worker-pool query service: priority admission, pinned snapshots,
+//! online graph swapping.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -10,15 +10,16 @@ use std::time::Instant;
 use banks_core::cache::CacheKey;
 use banks_core::registry::UnknownEngine;
 use banks_core::{
-    build_label_index, CancelToken, EngineRegistry, QueryContext, ResultCache, SearchOutcome,
-    SearchParams,
+    CancelToken, EngineRegistry, QueryContext, QueryCost, ResultCache, SearchOutcome,
 };
 use banks_graph::DataGraph;
 use banks_prestige::PrestigeVector;
 use banks_textindex::{InvertedIndex, KeywordMatches};
 
 use crate::handle::{HandleState, QueryEvent, QueryHandle, QueryId, QueryResult};
-use crate::metrics::{Counters, ServiceMetrics};
+use crate::metrics::{Counters, ServiceMetrics, WaitStats};
+use crate::sched::WorkQueue;
+use crate::snapshot::GraphSnapshot;
 use crate::spec::QuerySpec;
 
 /// Why a submission was not accepted.
@@ -51,12 +52,17 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// One unit of queued work.
+/// One unit of queued work, pinned to the serving snapshot it was admitted
+/// under.
 struct Job {
+    /// The graph version this query resolves, expands and caches against —
+    /// fixed at admission, unaffected by later swaps.
+    snapshot: Arc<GraphSnapshot>,
     matches: KeywordMatches,
     cache_key: CacheKey,
-    params: SearchParams,
+    spec_params: banks_core::SearchParams,
     engine: String,
+    tenant: String,
     token: CancelToken,
     events: Sender<QueryEvent>,
     state: Arc<HandleState>,
@@ -64,22 +70,26 @@ struct Job {
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: WorkQueue<Job>,
     shutdown: bool,
 }
 
 /// Everything the workers share.
 struct Inner {
-    graph: DataGraph,
-    prestige: PrestigeVector,
-    index: InvertedIndex,
+    /// The currently-served snapshot; [`Service::swap_graph`] replaces the
+    /// `Arc` while in-flight queries keep their pinned clones alive.
+    serving: Mutex<Arc<GraphSnapshot>>,
     registry: EngineRegistry,
     default_engine: String,
     cache: Arc<ResultCache>,
+    /// Whether the cache was created by (and is private to) this service —
+    /// only then may a swap eagerly evict the superseded epoch's entries.
+    cache_private: bool,
     queue: Mutex<QueueState>,
     queue_capacity: usize,
     work_available: Condvar,
     counters: Counters,
+    waits: Mutex<WaitStats>,
     next_id: AtomicU64,
 }
 
@@ -89,6 +99,7 @@ pub struct ServiceBuilder {
     workers: usize,
     queue_capacity: usize,
     cache_capacity: usize,
+    cache_min_work: u64,
     shared_cache: Option<Arc<ResultCache>>,
     prestige: Option<PrestigeVector>,
     index: Option<InvertedIndex>,
@@ -118,9 +129,23 @@ impl ServiceBuilder {
         self
     }
 
+    /// Admission threshold of the private result cache, in nodes explored
+    /// (default 0: admit everything).  Outcomes measured cheaper than this
+    /// are recomputed on demand instead of occupying a cache slot, so a
+    /// stream of tiny queries cannot evict the expensive outcomes caching
+    /// exists for.  Ignored when [`ServiceBuilder::shared_cache`] supplies
+    /// the cache — configure the threshold on the shared instance
+    /// ([`ResultCache::min_work`]) instead.
+    pub fn cache_min_work(mut self, min_work: u64) -> Self {
+        self.cache_min_work = min_work;
+        self
+    }
+
     /// Shares an existing result cache instead of creating a private one.
     /// Keys carry the graph epoch, so one cache can serve several services
-    /// (and graph versions) without cross-talk.
+    /// (and graph versions) without cross-talk.  A shared cache is never
+    /// purged on [`Service::swap_graph`] — another service may still serve
+    /// the old epoch.
     pub fn shared_cache(mut self, cache: Arc<ResultCache>) -> Self {
         self.shared_cache = Some(cache);
         self
@@ -154,33 +179,41 @@ impl ServiceBuilder {
         self
     }
 
-    /// Validates the configuration, builds the shared state (prestige and
-    /// keyword index included) and spawns the worker threads.
+    /// Validates the configuration, builds the initial serving snapshot
+    /// (prestige and keyword index included) and spawns the worker threads.
     pub fn build(self) -> Service {
         let prestige = self
             .prestige
             .unwrap_or_else(|| PrestigeVector::uniform_for(&self.graph));
-        let index = self.index.unwrap_or_else(|| build_label_index(&self.graph));
+        let index = self
+            .index
+            .unwrap_or_else(|| banks_core::build_label_index(&self.graph));
+        let snapshot = GraphSnapshot::new(self.graph, prestige, index);
         let registry = self.registry.unwrap_or_default();
         if !registry.contains(&self.default_engine) {
             panic!("{}", registry.unknown(&self.default_engine));
         }
+        let (cache, cache_private) = match self.shared_cache {
+            Some(cache) => (cache, false),
+            None => (
+                Arc::new(ResultCache::new(self.cache_capacity).min_work(self.cache_min_work)),
+                true,
+            ),
+        };
         let inner = Arc::new(Inner {
-            graph: self.graph,
-            prestige,
-            index,
+            serving: Mutex::new(Arc::new(snapshot)),
             registry,
             default_engine: self.default_engine,
-            cache: self
-                .shared_cache
-                .unwrap_or_else(|| Arc::new(ResultCache::new(self.cache_capacity))),
+            cache,
+            cache_private,
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: WorkQueue::new(),
                 shutdown: false,
             }),
             queue_capacity: self.queue_capacity,
             work_available: Condvar::new(),
             counters: Counters::default(),
+            waits: Mutex::new(WaitStats::default()),
             next_id: AtomicU64::new(0),
         });
         let workers = (0..self.workers)
@@ -196,16 +229,20 @@ impl ServiceBuilder {
     }
 }
 
-/// A multi-threaded query service owning one graph plus its prestige,
-/// keyword index, engine registry and result cache.
+/// A multi-threaded query service owning one *serving snapshot* (graph,
+/// prestige, keyword index — see [`GraphSnapshot`]) plus an engine registry
+/// and result cache.
 ///
 /// Queries are submitted as [`QuerySpec`]s and executed by a pool of worker
 /// threads; the returned [`QueryHandle`] streams answers as the engine
 /// emits them and supports cooperative cancellation and live statistics.
-/// Admission control is a bounded queue, repeated queries are served from
-/// the shared LRU [`ResultCache`], and per-answer deadlines are expressed
-/// as deterministic work budgets
-/// ([`banks_core::SearchParams::answer_work_budget`]).
+/// Admission is a bounded **priority scheduler** — shortest expected work
+/// first ([`banks_core::QueryCost`]), per-tenant fair share, aging so
+/// nothing starves (see [`QuerySpec::tenant`] / [`QuerySpec::priority`]) —
+/// repeated queries are served from the shared LRU [`ResultCache`], and
+/// per-answer deadlines are deterministic work budgets
+/// ([`banks_core::SearchParams::answer_work_budget`]).  The served graph
+/// can be replaced online with [`Service::swap_graph`].
 ///
 /// ```
 /// use banks_graph::GraphBuilder;
@@ -226,6 +263,7 @@ impl ServiceBuilder {
 /// let (outcome, result) = handle.wait();
 /// assert_eq!(outcome.answers[0].tree.root, writes);
 /// assert!(!result.cache_hit);
+/// assert_eq!(result.epoch, service.epoch());
 /// ```
 pub struct Service {
     inner: Arc<Inner>,
@@ -243,6 +281,7 @@ impl Service {
             workers: default_workers,
             queue_capacity: 64,
             cache_capacity: 256,
+            cache_min_work: 0,
             shared_cache: None,
             prestige: None,
             index: None,
@@ -253,7 +292,9 @@ impl Service {
 
     /// Submits a query.  Returns immediately: on a cache hit the handle is
     /// already fully populated (zero engine work), otherwise the query
-    /// waits in the bounded admission queue for a worker.
+    /// enters the bounded priority scheduler at its estimated cost
+    /// ([`banks_core::QueryCost`], scaled by [`QuerySpec::priority`]) and
+    /// waits for a worker.
     pub fn submit(&self, spec: impl Into<QuerySpec>) -> Result<QueryHandle, SubmitError> {
         let spec = spec.into();
         let inner = &self.inner;
@@ -262,15 +303,21 @@ impl Service {
             return Err(SubmitError::UnknownEngine(inner.registry.unknown(&engine)));
         }
 
+        // Pin the serving snapshot: everything below — keyword resolution,
+        // cache key, execution — consistently uses this version, no matter
+        // how many swaps happen while the query waits or runs.
+        let snapshot = Arc::clone(&inner.serving.lock().expect("serving lock"));
+
         // The same single normalization point as the `Banks` facade: the
         // normalized keywords feed both origin-set resolution and the cache
         // key.  Resolution must precede the cache lookup because the
         // resolved origin sets participate in the key (two indexes can give
         // the same keywords different sets); it is cheap next to expansion.
-        let normalized = spec.query.normalized(inner.index.tokenizer());
-        let matches = KeywordMatches::resolve_normalized(&inner.graph, &inner.index, &normalized);
+        let normalized = spec.query.normalized(snapshot.index().tokenizer());
+        let matches =
+            KeywordMatches::resolve_normalized(snapshot.graph(), snapshot.index(), &normalized);
         let cache_key = CacheKey::new(
-            inner.graph.epoch(),
+            snapshot.epoch(),
             normalized.keywords().to_vec(),
             &spec.params,
             &engine,
@@ -300,6 +347,8 @@ impl Service {
                 stats: hit.stats.clone(),
                 cache_hit: true,
                 time_to_first_answer: first_answer,
+                queue_wait: std::time::Duration::ZERO,
+                epoch: cache_key.epoch,
             }));
             return Ok(QueryHandle {
                 id,
@@ -309,11 +358,19 @@ impl Service {
             });
         }
 
+        // Shortest-expected-work-first: the scheduler charges the a priori
+        // estimate, scaled by the submission's priority class.
+        let cost = QueryCost::estimate(&matches, &spec.params, &engine);
+        let charged = spec.priority.charge(cost.estimated_work);
+        let tenant = spec.tenant.unwrap_or_default();
+
         let job = Job {
+            snapshot,
             matches,
             cache_key,
-            params: spec.params,
+            spec_params: spec.params,
             engine,
+            tenant: tenant.clone(),
             token: token.clone(),
             events: tx,
             state: Arc::clone(&state),
@@ -330,7 +387,7 @@ impl Service {
                     capacity: inner.queue_capacity,
                 });
             }
-            queue.jobs.push_back(job);
+            queue.jobs.push(&tenant, charged, job);
             Counters::bump(&inner.counters.submitted);
         }
         inner.work_available.notify_one();
@@ -342,10 +399,63 @@ impl Service {
         })
     }
 
-    /// A point-in-time snapshot of the aggregate counters.
+    /// Atomically replaces the served graph with a new version, deriving
+    /// the default prestige vector and label index for it (use
+    /// [`Service::swap_snapshot`] to supply precomputed ones).  Returns the
+    /// new serving epoch.
+    ///
+    /// The swap is the whole online-reindexing story:
+    ///
+    /// * **in-flight queries** — running *or still queued* — finish on the
+    ///   snapshot they were admitted under, which stays alive until its
+    ///   last query drops it;
+    /// * **new admissions** resolve, execute and cache against the new
+    ///   version;
+    /// * **the result cache** needs no flush: keys carry the epoch, so old
+    ///   entries can never serve the new graph.  If this service owns its
+    ///   cache (no [`ServiceBuilder::shared_cache`]), the superseded
+    ///   epoch's entries are evicted eagerly to reclaim capacity.
+    ///
+    /// Swapping in a clone of the currently-served graph still produces a
+    /// distinct epoch (and therefore a cold cache): the contract is
+    /// "admissions after the swap run on the swapped-in version", not
+    /// "...unless the bytes look the same".
+    pub fn swap_graph(&self, graph: DataGraph) -> u64 {
+        // Derivations run *before* the serving lock is taken: queries keep
+        // flowing against the old version while prestige and the index for
+        // the new one are computed.
+        self.swap_snapshot(GraphSnapshot::with_defaults(graph))
+    }
+
+    /// [`Service::swap_graph`] with caller-supplied prestige and index (the
+    /// online equivalent of [`ServiceBuilder::prestige`] /
+    /// [`ServiceBuilder::index`]).  Returns the new serving epoch.
+    pub fn swap_snapshot(&self, mut snapshot: GraphSnapshot) -> u64 {
+        let old_epoch;
+        let new_epoch;
+        {
+            let mut serving = self.inner.serving.lock().expect("serving lock");
+            old_epoch = serving.epoch();
+            if snapshot.epoch() == old_epoch {
+                snapshot.bump_epoch();
+            }
+            new_epoch = snapshot.epoch();
+            *serving = Arc::new(snapshot);
+        }
+        Counters::bump(&self.inner.counters.swaps);
+        if self.inner.cache_private {
+            self.inner.cache.evict_epoch(old_epoch);
+        }
+        new_epoch
+    }
+
+    /// A point-in-time snapshot of the aggregate counters, queue-wait
+    /// percentiles and per-tenant scheduling outcomes.
     pub fn metrics(&self) -> ServiceMetrics {
         let queued = self.inner.queue.lock().expect("queue lock").jobs.len();
-        ServiceMetrics::snapshot(&self.inner.counters, queued)
+        let epoch = self.epoch();
+        let waits = self.inner.waits.lock().expect("waits lock");
+        ServiceMetrics::snapshot(&self.inner.counters, &waits, queued, epoch)
     }
 
     /// The shared result cache (hit/miss counters included).
@@ -353,14 +463,17 @@ impl Service {
         &self.inner.cache
     }
 
-    /// The graph being served.
-    pub fn graph(&self) -> &DataGraph {
-        &self.inner.graph
+    /// The snapshot currently being served: new submissions are pinned to
+    /// it.  The returned `Arc` stays valid across swaps (it simply stops
+    /// being current).
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(&self.inner.serving.lock().expect("serving lock"))
     }
 
-    /// The epoch of the graph being served (the cache-key component).
+    /// The epoch of the graph currently being served (the cache-key
+    /// component).
     pub fn epoch(&self) -> u64 {
-        self.inner.graph.epoch()
+        self.inner.serving.lock().expect("serving lock").epoch()
     }
 
     /// Number of worker threads.
@@ -395,13 +508,14 @@ impl Drop for Service {
     }
 }
 
-/// Worker thread body: pop jobs until shutdown, then drain and exit.
+/// Worker thread body: pop jobs (priority order) until shutdown, then drain
+/// and exit.
 fn worker_loop(inner: Arc<Inner>) {
     loop {
         let job = {
             let mut queue = inner.queue.lock().expect("queue lock");
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
+                if let Some(job) = queue.jobs.pop() {
                     break job;
                 }
                 if queue.shutdown {
@@ -410,15 +524,28 @@ fn worker_loop(inner: Arc<Inner>) {
                 queue = inner.work_available.wait(queue).expect("queue lock");
             }
         };
-        execute(&inner, job);
+        let queue_wait = job.submitted_at.elapsed();
+        inner
+            .waits
+            .lock()
+            .expect("waits lock")
+            .record(&job.tenant, queue_wait);
+        execute(&inner, job, queue_wait);
     }
 }
 
-/// Runs one query to completion (or cancellation) on the calling worker.
-fn execute(inner: &Inner, job: Job) {
+/// Runs one query to completion (or cancellation) on the calling worker,
+/// against the snapshot the job was pinned to at admission.
+fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
     Counters::bump(&inner.counters.executed);
-    let ctx = QueryContext::new(&inner.graph, &inner.prestige, &job.matches, job.params)
-        .with_cancel(&job.token);
+    let snapshot = &job.snapshot;
+    let ctx = QueryContext::new(
+        snapshot.graph(),
+        snapshot.prestige(),
+        &job.matches,
+        job.spec_params,
+    )
+    .with_cancel(&job.token);
     let engine = inner
         .registry
         .create(&job.engine)
@@ -459,19 +586,33 @@ fn execute(inner: &Inner, job: Job) {
     // Only completed searches are cached: a cancelled run's answer set is
     // whatever happened to be emitted before the abort, not a reproducible
     // result.  (Work-budget truncation, by contrast, is deterministic and
-    // safe to cache.)
+    // safe to cache.)  The key carries the job's pinned epoch, so a result
+    // computed on a superseded snapshot can never serve post-swap queries —
+    // and in a *private* cache such an entry could never be hit at all
+    // (swap already evicted its epoch; all future lookups use newer ones),
+    // so storing it would only waste a slot: skip it.  The epoch check and
+    // the insert happen under the serving lock so a concurrent swap cannot
+    // slip between them and evict before we insert; `swap_snapshot` takes
+    // the same lock first and evicts after releasing it, so the lock order
+    // (serving → cache) is acyclic.  Shared caches always take the insert —
+    // another service may be serving that epoch.
     if !stats.cancelled {
-        inner.cache.insert(
-            job.cache_key,
-            Arc::new(SearchOutcome {
-                answers,
-                stats: stats.clone(),
-            }),
-        );
+        let serving = inner.serving.lock().expect("serving lock");
+        if !inner.cache_private || job.cache_key.epoch == serving.epoch() {
+            inner.cache.insert(
+                job.cache_key.clone(),
+                Arc::new(SearchOutcome {
+                    answers,
+                    stats: stats.clone(),
+                }),
+            );
+        }
     }
     let _ = job.events.send(QueryEvent::Finished(QueryResult {
         stats,
         cache_hit: false,
         time_to_first_answer: first_answer,
+        queue_wait,
+        epoch: job.cache_key.epoch,
     }));
 }

@@ -1,0 +1,130 @@
+//! The immutable serving version: one graph plus everything derived from it.
+//!
+//! Online graph swapping needs a single unit of atomicity.  The service does
+//! not serve a bare [`DataGraph`]: every query also consults the node
+//! prestige vector and the keyword index, and the three must agree — a
+//! query resolved against version N's index but expanded over version N+1's
+//! adjacency would produce garbage.  [`GraphSnapshot`] bundles the three
+//! into one immutable value; the service holds the *current* snapshot
+//! behind an `Arc` and every query pins (clones) that `Arc` at admission
+//! time.  [`crate::Service::swap_graph`] replaces the `Arc` atomically:
+//!
+//! * queries admitted **before** the swap — including ones still waiting in
+//!   the scheduler — run to completion on their pinned snapshot, which stays
+//!   alive until the last such query drops its reference;
+//! * queries admitted **after** the swap resolve, expand and cache against
+//!   the new version;
+//! * the shared result cache needs no flush: keys carry the graph
+//!   [epoch](DataGraph::epoch), so entries for the old version simply stop
+//!   matching (a service that owns its cache also evicts them eagerly).
+
+use banks_core::build_label_index;
+use banks_graph::DataGraph;
+use banks_prestige::PrestigeVector;
+use banks_textindex::InvertedIndex;
+
+/// One immutable serving version: the data graph together with the prestige
+/// vector and keyword index derived from it.
+///
+/// Constructed once per version ([`GraphSnapshot::new`] for precomputed
+/// parts, [`GraphSnapshot::with_defaults`] to derive them) and then shared
+/// read-only behind an `Arc` — in-flight queries keep the version they were
+/// admitted under alive for exactly as long as they need it.
+#[derive(Clone, Debug)]
+pub struct GraphSnapshot {
+    graph: DataGraph,
+    prestige: PrestigeVector,
+    index: InvertedIndex,
+}
+
+impl GraphSnapshot {
+    /// Bundles an already-prepared graph, prestige vector and keyword index
+    /// into one serving version.  The caller asserts the three describe the
+    /// same graph revision.
+    pub fn new(graph: DataGraph, prestige: PrestigeVector, index: InvertedIndex) -> Self {
+        GraphSnapshot {
+            graph,
+            prestige,
+            index,
+        }
+    }
+
+    /// Builds a serving version with the default derivations: uniform
+    /// prestige and the label index built from the graph's node labels —
+    /// the same defaults [`crate::ServiceBuilder::build`] applies.
+    pub fn with_defaults(graph: DataGraph) -> Self {
+        let prestige = PrestigeVector::uniform_for(&graph);
+        let index = build_label_index(&graph);
+        GraphSnapshot {
+            graph,
+            prestige,
+            index,
+        }
+    }
+
+    /// The graph of this serving version.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The node prestige of this serving version.
+    pub fn prestige(&self) -> &PrestigeVector {
+        &self.prestige
+    }
+
+    /// The keyword index of this serving version.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The graph's epoch — the cache-key component that distinguishes this
+    /// version from every other.
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// Assigns the underlying graph a fresh epoch.  Used by the swap path
+    /// when a caller swaps in a clone of the currently-served graph: the
+    /// contents may be identical, but the swap contract promises a cold
+    /// cache, so the epochs must differ.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.graph.bump_epoch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::GraphBuilder;
+
+    fn tiny() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("author", "Jim Gray");
+        let p = b.add_node("paper", "Granularity of locks");
+        let w = b.add_node("writes", "w0");
+        b.add_edge(w, a).unwrap();
+        b.add_edge(w, p).unwrap();
+        b.build_default()
+    }
+
+    #[test]
+    fn defaults_derive_prestige_and_index() {
+        let graph = tiny();
+        let epoch = graph.epoch();
+        let snap = GraphSnapshot::with_defaults(graph);
+        assert_eq!(snap.epoch(), epoch, "construction must not change epoch");
+        assert_eq!(snap.prestige().len(), snap.graph().num_nodes());
+        assert!(
+            !snap.index().matching_nodes(snap.graph(), "gray").is_empty(),
+            "label index must cover node labels"
+        );
+    }
+
+    #[test]
+    fn bump_epoch_distinguishes_cloned_versions() {
+        let mut snap = GraphSnapshot::with_defaults(tiny());
+        let before = snap.epoch();
+        snap.bump_epoch();
+        assert_ne!(snap.epoch(), before);
+    }
+}

@@ -3,17 +3,53 @@
 use banks_core::SearchParams;
 use banks_textindex::Query;
 
-/// One query request: the keywords, the search parameters and (optionally)
-/// a non-default engine.
+/// Scheduling class of a submission, applied as a multiplier to the
+/// estimated cost before the scheduler charges it.
+///
+/// The scheduler orders work by *charged* cost
+/// ([`banks_core::QueryCost::estimated_work`] scaled by this class), so a
+/// higher class both sorts a query earlier within its tenant and debits the
+/// tenant's fair share less.  Priority shifts ordering; it cannot starve
+/// anyone — aging applies to charged costs exactly as to real ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic (a user is waiting): charged a quarter of
+    /// the estimated cost.
+    Interactive,
+    /// The default class: charged exactly the estimated cost.
+    #[default]
+    Normal,
+    /// Throughput traffic that tolerates queueing (reindex probes, batch
+    /// analytics): charged four times the estimated cost.
+    Batch,
+}
+
+impl Priority {
+    /// The cost the scheduler charges for a job with this priority and the
+    /// given estimated work (always at least 1).
+    pub fn charge(self, estimated_work: u64) -> u64 {
+        match self {
+            Priority::Interactive => (estimated_work / 4).max(1),
+            Priority::Normal => estimated_work.max(1),
+            Priority::Batch => estimated_work.saturating_mul(4).max(1),
+        }
+    }
+}
+
+/// One query request: the keywords, the search parameters, scheduling
+/// identity (tenant + priority) and (optionally) a non-default engine.
 ///
 /// ```
-/// use banks_service::QuerySpec;
+/// use banks_service::{Priority, QuerySpec};
 ///
 /// let spec = QuerySpec::parse("\"jim gray\" locks")
 ///     .top_k(5)
-///     .engine("si-backward");
+///     .engine("si-backward")
+///     .tenant("ui")
+///     .priority(Priority::Interactive);
 /// assert_eq!(spec.query.len(), 2);
 /// assert_eq!(spec.engine.as_deref(), Some("si-backward"));
+/// assert_eq!(spec.tenant.as_deref(), Some("ui"));
 /// ```
 #[derive(Clone, Debug)]
 pub struct QuerySpec {
@@ -24,6 +60,12 @@ pub struct QuerySpec {
     pub params: SearchParams,
     /// Engine registry name; `None` runs the service's default engine.
     pub engine: Option<String>,
+    /// Fair-share accounting identity.  Submissions naming no tenant share
+    /// the anonymous tenant `""`.  Tenancy affects only *scheduling* — the
+    /// result cache is shared across tenants (same query, same answers).
+    pub tenant: Option<String>,
+    /// Scheduling class (see [`Priority`]).
+    pub priority: Priority,
 }
 
 impl QuerySpec {
@@ -33,6 +75,8 @@ impl QuerySpec {
             query,
             params: SearchParams::default(),
             engine: None,
+            tenant: None,
+            priority: Priority::Normal,
         }
     }
 
@@ -74,6 +118,19 @@ impl QuerySpec {
         self.engine = Some(name.into());
         self
     }
+
+    /// Names the tenant this submission is accounted to for fair-share
+    /// scheduling.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
 }
 
 impl From<Query> for QuerySpec {
@@ -97,19 +154,36 @@ mod tests {
         let spec = QuerySpec::keywords(["gray", "locks"])
             .top_k(7)
             .answer_work_budget(100)
-            .engine("mi");
+            .engine("mi")
+            .tenant("dashboard")
+            .priority(Priority::Batch);
         assert_eq!(spec.query.len(), 2);
         assert_eq!(spec.params.top_k, 7);
         assert_eq!(spec.params.answer_work_budget, Some(100));
         assert_eq!(spec.engine.as_deref(), Some("mi"));
+        assert_eq!(spec.tenant.as_deref(), Some("dashboard"));
+        assert_eq!(spec.priority, Priority::Batch);
     }
 
     #[test]
     fn conversions() {
         let from_str: QuerySpec = "gray locks".into();
         assert_eq!(from_str.query.len(), 2);
+        assert!(from_str.tenant.is_none());
+        assert_eq!(from_str.priority, Priority::Normal);
         let from_query: QuerySpec = Query::parse("gray").into();
         assert_eq!(from_query.query.len(), 1);
         assert!(from_query.engine.is_none());
+    }
+
+    #[test]
+    fn priority_scales_the_charged_cost() {
+        assert_eq!(Priority::Interactive.charge(1000), 250);
+        assert_eq!(Priority::Normal.charge(1000), 1000);
+        assert_eq!(Priority::Batch.charge(1000), 4000);
+        // clamped to at least one unit, and saturating at the top
+        assert_eq!(Priority::Interactive.charge(2), 1);
+        assert_eq!(Priority::Normal.charge(0), 1);
+        assert_eq!(Priority::Batch.charge(u64::MAX), u64::MAX);
     }
 }

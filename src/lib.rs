@@ -95,9 +95,9 @@ pub mod prelude {
     pub use banks_core::{
         build_label_index, drain, AnswerStream, AnswerTree, BackwardExpandingSearch, Banks,
         BidirectionalConfig, BidirectionalSearch, CacheKey, CancelToken, EdgeScoreCombiner,
-        EmissionPolicy, EngineRegistry, GroundTruth, QueryContext, QuerySession, RankedAnswer,
-        ResultCache, ScoreModel, SearchEngine, SearchOutcome, SearchParams, SearchStats,
-        SingleIteratorBackwardSearch, UnknownEngine,
+        EmissionPolicy, EngineRegistry, GroundTruth, QueryContext, QueryCost, QuerySession,
+        RankedAnswer, ResultCache, ScoreModel, SearchEngine, SearchOutcome, SearchParams,
+        SearchStats, SingleIteratorBackwardSearch, UnknownEngine,
     };
     pub use banks_datagen::{
         figure4_example, DblpConfig, DblpDataset, ImdbConfig, ImdbDataset, KeywordCategory,
@@ -107,8 +107,8 @@ pub mod prelude {
     pub use banks_prestige::{compute_pagerank, PageRankConfig, PrestigeVector};
     pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
     pub use banks_service::{
-        QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec, Service, ServiceBuilder,
-        ServiceMetrics, SubmitError,
+        GraphSnapshot, Priority, QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec,
+        QueueWaitSummary, Service, ServiceBuilder, ServiceMetrics, SubmitError, TenantMetrics,
     };
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }
