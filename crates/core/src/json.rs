@@ -1,0 +1,241 @@
+//! JSON fragment rendering for answers and statistics.
+//!
+//! The network front-end (`banks-server`) streams [`RankedAnswer`]s over
+//! server-sent events and reports [`SearchStats`] in its responses.  The
+//! workspace carries no serialization dependency, so the JSON encoding is
+//! hand-rolled here — next to the types it renders — and shared by every
+//! consumer, which is what makes "the HTTP stream is byte-identical to the
+//! in-process stream" a checkable property: both sides render through this
+//! one module.
+//!
+//! Only *rendering* lives in core.  Request parsing (the other half of a
+//! JSON story) is a transport concern and stays in the server crate.
+
+use std::time::Duration;
+
+use crate::answer::AnswerTree;
+use crate::engine::RankedAnswer;
+use crate::stats::{AnswerTiming, SearchStats};
+
+/// Appends `s` to `buf` as a JSON string literal (quotes included).
+///
+/// Control characters, quotes and backslashes are escaped; everything else
+/// passes through verbatim (the output is UTF-8, which JSON permits).
+pub fn push_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            '\u{08}' => buf.push_str("\\b"),
+            '\u{0c}' => buf.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Renders `s` as a JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut buf = String::with_capacity(s.len() + 2);
+    push_string(&mut buf, s);
+    buf
+}
+
+/// Renders a float as a JSON number.  JSON has no NaN/Infinity, so
+/// non-finite values render as `null`.
+pub fn number(f: f64) -> String {
+    if f.is_finite() {
+        format!("{f}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A duration as integer microseconds (the unit every timing field in this
+/// module uses; micros keep sub-millisecond TTFA observable without
+/// floating-point noise).
+pub fn duration_us(d: Duration) -> u128 {
+    d.as_micros()
+}
+
+/// Renders an [`AnswerTree`] as a JSON object.
+///
+/// Node ids render as plain integers (ids are dense `u32`s); `paths[i]` is
+/// the root-to-leaf node sequence for keyword `i`, exactly as stored.
+pub fn answer_tree(tree: &AnswerTree) -> String {
+    let mut buf = String::with_capacity(128);
+    buf.push_str("{\"root\":");
+    buf.push_str(&tree.root.0.to_string());
+    buf.push_str(",\"score\":");
+    buf.push_str(&number(tree.score));
+    buf.push_str(",\"aggregate_edge_weight\":");
+    buf.push_str(&number(tree.aggregate_edge_weight));
+    buf.push_str(",\"node_prestige\":");
+    buf.push_str(&number(tree.node_prestige));
+    buf.push_str(",\"paths\":[");
+    for (i, path) in tree.paths.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push('[');
+        for (j, node) in path.iter().enumerate() {
+            if j > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&node.0.to_string());
+        }
+        buf.push(']');
+    }
+    buf.push_str("],\"nodes\":[");
+    for (i, node) in tree.nodes().iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&node.0.to_string());
+    }
+    buf.push_str("]}");
+    buf
+}
+
+/// Renders an [`AnswerTiming`] as a JSON object (durations in µs).
+pub fn answer_timing(timing: &AnswerTiming) -> String {
+    format!(
+        "{{\"generated_at_us\":{},\"output_at_us\":{},\
+         \"explored_at_generation\":{},\"explored_at_output\":{}}}",
+        duration_us(timing.generated_at),
+        duration_us(timing.output_at),
+        timing.explored_at_generation,
+        timing.explored_at_output,
+    )
+}
+
+/// Renders a [`RankedAnswer`] as a JSON object: rank, timing, tree.
+///
+/// This is the exact payload of one `answer` server-sent event, so a client
+/// replaying an SSE stream and a caller holding the in-process
+/// `QueryHandle` see byte-identical answer encodings.
+pub fn ranked_answer(answer: &RankedAnswer) -> String {
+    format!(
+        "{{\"rank\":{},\"timing\":{},\"tree\":{}}}",
+        answer.rank,
+        answer_timing(&answer.timing),
+        answer_tree(&answer.tree),
+    )
+}
+
+/// Renders [`SearchStats`] as a JSON object (duration in µs).
+pub fn search_stats(stats: &SearchStats) -> String {
+    format!(
+        "{{\"nodes_explored\":{},\"nodes_touched\":{},\"edges_traversed\":{},\
+         \"answers_generated\":{},\"duplicates_discarded\":{},\
+         \"non_minimal_discarded\":{},\"answers_output\":{},\
+         \"duration_us\":{},\"truncated\":{},\"cancelled\":{}}}",
+        stats.nodes_explored,
+        stats.nodes_touched,
+        stats.edges_traversed,
+        stats.answers_generated,
+        stats.duplicates_discarded,
+        stats.non_minimal_discarded,
+        stats.answers_output,
+        duration_us(stats.duration),
+        stats.truncated,
+        stats.cancelled,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::ScoreModel;
+    use banks_graph::builder::graph_from_weighted_edges;
+    use banks_graph::NodeId;
+    use banks_prestige::PrestigeVector;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(string("\u{01}"), "\"\\u0001\"");
+        assert_eq!(string("ünïcode"), "\"ünïcode\"");
+    }
+
+    #[test]
+    fn numbers_render_as_json() {
+        assert_eq!(number(1.0), "1");
+        assert_eq!(number(0.25), "0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn answer_tree_renders_structure() {
+        let g = graph_from_weighted_edges(3, &[(2, 0, 1.0), (2, 1, 2.0)]);
+        let p = PrestigeVector::uniform_for(&g);
+        let m = ScoreModel::paper_default();
+        let tree = AnswerTree::new(
+            NodeId(2),
+            vec![vec![NodeId(2), NodeId(0)], vec![NodeId(2), NodeId(1)]],
+            &g,
+            &p,
+            &m,
+        );
+        let json = answer_tree(&tree);
+        assert!(json.starts_with("{\"root\":2,"));
+        assert!(json.contains("\"paths\":[[2,0],[2,1]]"));
+        assert!(json.contains("\"nodes\":[0,1,2]"));
+        assert!(json.contains("\"aggregate_edge_weight\":3"));
+    }
+
+    #[test]
+    fn ranked_answer_embeds_timing_and_tree() {
+        let g = graph_from_weighted_edges(3, &[(2, 0, 1.0), (2, 1, 2.0)]);
+        let p = PrestigeVector::uniform_for(&g);
+        let m = ScoreModel::paper_default();
+        let tree = AnswerTree::new(
+            NodeId(2),
+            vec![vec![NodeId(2), NodeId(0)], vec![NodeId(2), NodeId(1)]],
+            &g,
+            &p,
+            &m,
+        );
+        let answer = RankedAnswer {
+            rank: 3,
+            tree,
+            timing: AnswerTiming {
+                generated_at: Duration::from_micros(12),
+                output_at: Duration::from_micros(40),
+                explored_at_generation: 5,
+                explored_at_output: 9,
+            },
+        };
+        let json = ranked_answer(&answer);
+        assert!(json.starts_with("{\"rank\":3,"));
+        assert!(json.contains("\"generated_at_us\":12"));
+        assert!(json.contains("\"output_at_us\":40"));
+        assert!(json.contains("\"tree\":{\"root\":2,"));
+    }
+
+    #[test]
+    fn search_stats_render_flags_and_duration() {
+        let stats = SearchStats {
+            nodes_explored: 7,
+            nodes_touched: 11,
+            duration: Duration::from_micros(1234),
+            truncated: true,
+            ..SearchStats::default()
+        };
+        let json = search_stats(&stats);
+        assert!(json.contains("\"nodes_explored\":7"));
+        assert!(json.contains("\"duration_us\":1234"));
+        assert!(json.contains("\"truncated\":true"));
+        assert!(json.contains("\"cancelled\":false"));
+    }
+}

@@ -98,6 +98,7 @@ pub mod cache;
 pub mod cancel;
 pub mod cost;
 pub mod engine;
+pub mod json;
 pub mod output;
 pub mod params;
 pub mod pq;

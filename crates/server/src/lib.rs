@@ -1,0 +1,65 @@
+//! # banks-server
+//!
+//! The network front-end over [`banks_service::Service`]: a
+//! dependency-free HTTP/1.1 server on [`std::net::TcpListener`] that turns
+//! the service's handle/event model into **server-sent events**, so remote
+//! clients get the same incrementally-streamed answers — and the same
+//! time-to-first-answer — an in-process caller gets.  This is the
+//! deployment mode BANKS-style systems assume: interactive keyword search
+//! over a database, served to browsers.
+//!
+//! Everything is hand-rolled over `std` (the workspace vendors no HTTP or
+//! JSON dependency): request parsing with strict resource limits
+//! ([`http`]), a minimal JSON parser and the response encodings
+//! ([`json`]), SSE framing with flush-per-answer ([`sse`]), and a
+//! thread-pool listener with graceful drain ([`Server`]).
+//!
+//! ## Endpoints
+//!
+//! | method + path | behaviour |
+//! |---------------|-----------|
+//! | `POST /query` (also `GET`) | submit a query; stream `answer` SSE events incrementally, then one `finished` event |
+//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON (per-tenant rows, queue-wait percentiles, quota rejections) |
+//! | `POST /admin/swap` | rebuild and atomically swap the served [`banks_service::GraphSnapshot`] |
+//! | `GET /healthz` | liveness: status, serving epoch, worker count, engine names |
+//!
+//! `POST /query` takes a JSON body — `{"q":"jim gray","top_k":5}` or
+//! `{"keywords":["jim","gray"],"engine":"si-backward"}` — while `GET
+//! /query?q=jim+gray&top_k=5` serves the same stream to `EventSource`-style
+//! clients.  Scheduling identity rides in headers: `X-Banks-Tenant` names
+//! the tenant for fair share and quotas, `X-Banks-Priority`
+//! (`interactive` / `normal` / `batch`) the class — remote traffic is
+//! governed by the same scheduler and token buckets as in-process
+//! submissions.
+//!
+//! ## Error surface
+//!
+//! Every failure is a structured JSON envelope
+//! (`{"error":{"status":…,"code":…,"message":…}}`) with the right status:
+//! malformed requests **400**, unknown engines **404** (carrying the
+//! registry's known names and its "did you mean" suggestion), per-tenant
+//! quota rejections **429** with `Retry-After`, a full admission queue or
+//! a shutting-down service **503**.
+//!
+//! ## Cancellation and shutdown
+//!
+//! A client that drops its connection mid-stream cancels the query: the
+//! handler notices the dead peer, cancels the
+//! [`banks_core::CancelToken`], and the engine stops within one expansion
+//! step — remote disconnects cost one step of wasted work, not a full
+//! query.  [`Server::shutdown`] (or drop) stops accepting, lets in-flight
+//! streams finish, and drains the service.
+
+#![deny(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod routes;
+pub mod server;
+pub mod sse;
+
+pub use http::{Limits, ParseError, Request};
+pub use json::JsonValue;
+pub use routes::GraphSource;
+pub use server::{Server, ServerBuilder};
+pub use sse::SseWriter;

@@ -1,0 +1,465 @@
+//! Request dispatch: the endpoint surface over [`banks_service::Service`].
+//!
+//! | endpoint | behaviour |
+//! |----------|-----------|
+//! | `POST /query` (also `GET`) | submit a [`QuerySpec`], stream `answer` events as SSE, finish with a `finished` event |
+//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON |
+//! | `POST /admin/swap` | rebuild and atomically swap the served snapshot |
+//! | `GET /healthz` | liveness probe |
+//!
+//! Tenant and priority travel as headers (`X-Banks-Tenant`,
+//! `X-Banks-Priority`), so the PR-3 scheduler and the quota layer govern
+//! remote traffic exactly as in-process traffic.  Every failure maps to a
+//! structured JSON error envelope with the appropriate status code:
+//! malformed requests → 400, unknown engines (with their "did you mean"
+//! suggestion) → 404, quota rejections → 429 + `Retry-After`, a full
+//! admission queue or shutdown → 503.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use banks_core::json as corejson;
+use banks_core::EmissionPolicy;
+use banks_service::{
+    GraphSnapshot, Priority, QueryEvent, QueryResult, QuerySpec, RecvTimeout, Service, SubmitError,
+};
+
+use crate::http::{self, Limits, ParseError, Request};
+use crate::json::{self, JsonValue};
+use crate::sse::{SseWriter, STREAM_HEADER};
+
+/// A callback producing the next serving snapshot for `POST /admin/swap`
+/// (e.g. re-extracting the graph from the system of record).
+pub type GraphSource = Box<dyn Fn() -> GraphSnapshot + Send + Sync>;
+
+/// Everything a connection handler needs, shared across the handler pool.
+pub(crate) struct ServerContext {
+    pub(crate) service: Arc<Service>,
+    pub(crate) graph_source: Option<GraphSource>,
+    pub(crate) limits: Limits,
+}
+
+/// An error destined for the wire: status, machine-readable code, message,
+/// extra envelope members and extra headers.
+struct HttpError {
+    status: u16,
+    code: &'static str,
+    message: String,
+    extras: Vec<(&'static str, String)>,
+    headers: Vec<(&'static str, String)>,
+}
+
+impl HttpError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            code,
+            message: message.into(),
+            extras: Vec::new(),
+            headers: Vec::new(),
+        }
+    }
+
+    fn bad_request(message: impl Into<String>) -> Self {
+        HttpError::new(400, "bad_request", message)
+    }
+}
+
+/// Serves one connection: parse, dispatch, respond, close.
+pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
+    // TTFA survives the hop: answers must not sit in Nagle's buffer.
+    let _ = stream.set_nodelay(true);
+    // A peer that stops sending mid-request cannot pin a handler forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    // Nor can one that stops *reading*: a full send buffer (suspended
+    // client, zero TCP window) fails the blocked write after this bound,
+    // which the stream loop treats as a disconnect and cancels the query.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = &stream;
+
+    let request = match http::read_request(&mut reader, &ctx.limits) {
+        Ok(request) => request,
+        Err(ParseError::ConnectionClosed) | Err(ParseError::Io(_)) => return,
+        Err(ParseError::BadRequest(msg)) => {
+            respond_error(&mut writer, &HttpError::bad_request(msg));
+            return;
+        }
+        Err(ParseError::HeadTooLarge) => {
+            respond_error(
+                &mut writer,
+                &HttpError::new(431, "headers_too_large", "request head too large"),
+            );
+            return;
+        }
+        Err(ParseError::BodyTooLarge) => {
+            respond_error(
+                &mut writer,
+                &HttpError::new(413, "body_too_large", "request body too large"),
+            );
+            return;
+        }
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => respond_healthz(ctx, &mut writer),
+        ("GET", "/metrics") => respond_metrics(ctx, &mut writer),
+        ("POST", "/query") | ("GET", "/query") => respond_query(ctx, &request, &stream),
+        ("POST", "/admin/swap") => respond_swap(ctx, &mut writer),
+        (_, "/healthz") | (_, "/metrics") | (_, "/query") | (_, "/admin/swap") => respond_error(
+            &mut writer,
+            &HttpError::new(
+                405,
+                "method_not_allowed",
+                format!("{} not allowed on {}", request.method, request.path),
+            ),
+        ),
+        (_, path) => respond_error(
+            &mut writer,
+            &HttpError::new(404, "not_found", format!("no route for {path}")),
+        ),
+    }
+}
+
+fn respond_error(w: &mut impl Write, error: &HttpError) {
+    let body = json::error_body(error.status, error.code, &error.message, &error.extras);
+    let headers: Vec<(&str, &str)> = error
+        .headers
+        .iter()
+        .map(|(n, v)| (*n, v.as_str()))
+        .collect();
+    let _ = http::write_response(
+        w,
+        error.status,
+        &headers,
+        "application/json",
+        body.as_bytes(),
+    );
+}
+
+fn respond_healthz(ctx: &ServerContext, w: &mut impl Write) {
+    let engines = json::string_array(&ctx.service.engine_names());
+    let body = format!(
+        "{{\"status\":\"ok\",\"epoch\":{},\"workers\":{},\"engines\":{}}}",
+        ctx.service.epoch(),
+        ctx.service.workers(),
+        engines,
+    );
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes());
+}
+
+fn respond_metrics(ctx: &ServerContext, w: &mut impl Write) {
+    let body = json::metrics(&ctx.service.metrics());
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes());
+}
+
+fn respond_swap(ctx: &ServerContext, w: &mut impl Write) {
+    let started = Instant::now();
+    let previous_epoch = ctx.service.epoch();
+    // Build the new snapshot *before* touching the serving lock: queries
+    // keep flowing on the old version during the (potentially long)
+    // prestige/index derivation.
+    let snapshot = match &ctx.graph_source {
+        Some(source) => source(),
+        // No source configured: reindex the currently-served graph (a
+        // clone-swap still gets a fresh epoch, per the swap contract).
+        None => GraphSnapshot::with_defaults(ctx.service.snapshot().graph().clone()),
+    };
+    let epoch = ctx.service.swap_snapshot(snapshot);
+    let body = format!(
+        "{{\"swapped\":true,\"epoch\":{epoch},\"previous_epoch\":{previous_epoch},\
+         \"rebuild_us\":{}}}",
+        started.elapsed().as_micros(),
+    );
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes());
+}
+
+/// Builds the [`QuerySpec`] a request describes, or the error to send back.
+fn build_spec(request: &Request) -> Result<QuerySpec, HttpError> {
+    let mut spec = if request.method == "GET" {
+        spec_from_query_string(request)?
+    } else {
+        spec_from_json_body(request)?
+    };
+    if let Some(tenant) = request.header("x-banks-tenant") {
+        spec = spec.tenant(tenant);
+    }
+    if let Some(raw) = request.header("x-banks-priority") {
+        let priority: Priority = raw.parse().map_err(|e: String| HttpError::bad_request(e))?;
+        spec = spec.priority(priority);
+    }
+    Ok(spec)
+}
+
+fn spec_from_query_string(request: &Request) -> Result<QuerySpec, HttpError> {
+    let q = request
+        .query_param("q")
+        .filter(|q| !q.trim().is_empty())
+        .ok_or_else(|| HttpError::bad_request("missing query parameter \"q\""))?;
+    let mut spec = QuerySpec::parse(&q);
+    if let Some(raw) = request.query_param("top_k") {
+        let top_k: usize = raw
+            .parse()
+            .map_err(|_| HttpError::bad_request(format!("top_k is not an integer: {raw:?}")))?;
+        spec = spec.top_k(top_k);
+    }
+    if let Some(raw) = request.query_param("answer_work_budget") {
+        let budget: usize = raw.parse().map_err(|_| {
+            HttpError::bad_request(format!("answer_work_budget is not an integer: {raw:?}"))
+        })?;
+        spec = spec.answer_work_budget(budget);
+    }
+    if let Some(raw) = request.query_param("emission") {
+        let mut params = spec.params;
+        params.emission = parse_emission(&raw)?;
+        spec = spec.params(params);
+    }
+    if let Some(engine) = request.query_param("engine") {
+        spec = spec.engine(engine);
+    }
+    Ok(spec)
+}
+
+/// The wire names of [`EmissionPolicy`]: how eagerly buffered answers are
+/// released.  `immediate` gives the lowest time-to-first-answer; the
+/// default `exact-bound` is the paper's no-better-answer-possible gate.
+fn parse_emission(raw: &str) -> Result<EmissionPolicy, HttpError> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "immediate" => Ok(EmissionPolicy::Immediate),
+        "heuristic" => Ok(EmissionPolicy::Heuristic),
+        "exact-bound" | "exact" | "" => Ok(EmissionPolicy::ExactBound),
+        other => Err(HttpError::bad_request(format!(
+            "unknown emission policy {other:?} (expected immediate, heuristic or exact-bound)"
+        ))),
+    }
+}
+
+fn spec_from_json_body(request: &Request) -> Result<QuerySpec, HttpError> {
+    let body = request.body_utf8().map_err(HttpError::bad_request)?;
+    if body.trim().is_empty() {
+        return Err(HttpError::bad_request(
+            "empty body (expected a JSON object with \"q\" or \"keywords\")",
+        ));
+    }
+    let value =
+        json::parse(body).map_err(|e| HttpError::bad_request(format!("invalid JSON body: {e}")))?;
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(HttpError::bad_request("body must be a JSON object"));
+    }
+
+    let mut spec = match (value.get("q"), value.get("keywords")) {
+        (Some(q), _) => {
+            let q = q
+                .as_str()
+                .ok_or_else(|| HttpError::bad_request("\"q\" must be a string"))?;
+            if q.trim().is_empty() {
+                return Err(HttpError::bad_request("\"q\" must not be empty"));
+            }
+            QuerySpec::parse(q)
+        }
+        (None, Some(JsonValue::Array(items))) => {
+            let keywords: Vec<&str> = items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .ok_or_else(|| HttpError::bad_request("\"keywords\" must be strings"))
+                })
+                .collect::<Result<_, _>>()?;
+            if keywords.is_empty() {
+                return Err(HttpError::bad_request("\"keywords\" must not be empty"));
+            }
+            QuerySpec::keywords(keywords)
+        }
+        (None, Some(_)) => {
+            return Err(HttpError::bad_request("\"keywords\" must be an array"));
+        }
+        (None, None) => {
+            return Err(HttpError::bad_request(
+                "body must contain \"q\" (string) or \"keywords\" (array)",
+            ));
+        }
+    };
+
+    if let Some(raw) = value.get("top_k") {
+        let top_k = raw
+            .as_usize()
+            .ok_or_else(|| HttpError::bad_request("\"top_k\" must be a non-negative integer"))?;
+        spec = spec.top_k(top_k);
+    }
+    if let Some(raw) = value.get("answer_work_budget") {
+        let budget = raw.as_usize().ok_or_else(|| {
+            HttpError::bad_request("\"answer_work_budget\" must be a non-negative integer")
+        })?;
+        spec = spec.answer_work_budget(budget);
+    }
+    if let Some(raw) = value.get("emission") {
+        let raw = raw
+            .as_str()
+            .ok_or_else(|| HttpError::bad_request("\"emission\" must be a string"))?;
+        let mut params = spec.params;
+        params.emission = parse_emission(raw)?;
+        spec = spec.params(params);
+    }
+    if let Some(raw) = value.get("engine") {
+        let engine = raw
+            .as_str()
+            .ok_or_else(|| HttpError::bad_request("\"engine\" must be a string"))?;
+        spec = spec.engine(engine);
+    }
+    Ok(spec)
+}
+
+/// Maps a [`SubmitError`] onto the wire: status, code, retry hints.
+fn submit_error(err: SubmitError) -> HttpError {
+    match err {
+        SubmitError::UnknownEngine(e) => {
+            let mut error = HttpError::new(404, "unknown_engine", e.to_string());
+            error.extras.push(("known", json::string_array(&e.known)));
+            error.extras.push((
+                "suggestion",
+                e.suggestion
+                    .map_or_else(|| "null".to_string(), corejson::string),
+            ));
+            error
+        }
+        SubmitError::QuotaExceeded {
+            tenant,
+            retry_after,
+        } => {
+            let mut error = HttpError::new(
+                429,
+                "quota_exceeded",
+                format!("tenant {tenant:?} is over its admission quota"),
+            );
+            let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
+            error.headers.push(("Retry-After", secs.to_string()));
+            error
+                .extras
+                .push(("retry_after_ms", retry_after.as_millis().to_string()));
+            error.extras.push(("tenant", corejson::string(&tenant)));
+            error
+        }
+        SubmitError::QueueFull { capacity } => {
+            let mut error = HttpError::new(
+                503,
+                "queue_full",
+                format!("admission queue full ({capacity} queries waiting)"),
+            );
+            error.headers.push(("Retry-After", "1".to_string()));
+            error.extras.push(("capacity", capacity.to_string()));
+            error
+        }
+        SubmitError::ShuttingDown => {
+            HttpError::new(503, "shutting_down", "service is shutting down")
+        }
+    }
+}
+
+/// `POST /query`: submit and stream.
+fn respond_query(ctx: &ServerContext, request: &Request, stream: &TcpStream) {
+    let mut writer = stream;
+    let spec = match build_spec(request) {
+        Ok(spec) => spec,
+        Err(error) => {
+            respond_error(&mut writer, &error);
+            return;
+        }
+    };
+    let handle = match ctx.service.submit(spec) {
+        Ok(handle) => handle,
+        Err(err) => {
+            respond_error(&mut writer, &submit_error(err));
+            return;
+        }
+    };
+
+    if writer.write_all(STREAM_HEADER.as_bytes()).is_err() {
+        handle.cancel();
+        return;
+    }
+    let mut sse = SseWriter::new(writer);
+    // A dead client must cancel the query even when the engine emits
+    // nothing for a long stretch (or nothing at all), so the receive is
+    // *bounded*: on every timeout tick the handler probes the peer — a
+    // cheap nonblocking peek, plus an SSE keep-alive comment whose write
+    // failure catches what the peek cannot (e.g. a peer that left stray
+    // bytes in the receive buffer before vanishing).
+    loop {
+        match handle.recv_timeout(Duration::from_millis(250)) {
+            Ok(QueryEvent::Answer(answer)) => {
+                // The SSE payload is rendered by the same banks-core
+                // function an in-process consumer would use: the stream is
+                // byte-identical to the in-process encoding.
+                if peer_disconnected(stream)
+                    || sse
+                        .event("answer", &corejson::ranked_answer(&answer))
+                        .is_err()
+                {
+                    // The client is gone: cancel cooperatively so the
+                    // engine stops within one expansion step instead of
+                    // computing answers nobody will read.
+                    handle.cancel();
+                    break;
+                }
+            }
+            Ok(QueryEvent::Finished(result)) => {
+                let _ = sse.event("finished", &result_json(&result));
+                break;
+            }
+            Err(RecvTimeout::Closed) => break,
+            Err(RecvTimeout::TimedOut) => {
+                if peer_disconnected(stream) || sse.comment("keepalive").is_err() {
+                    handle.cancel();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The `finished` event payload.
+fn result_json(result: &QueryResult) -> String {
+    let ttfa = result
+        .time_to_first_answer
+        .map_or_else(|| "null".to_string(), |d| d.as_micros().to_string());
+    format!(
+        "{{\"cache_hit\":{},\"epoch\":{},\"queue_wait_us\":{},\
+         \"time_to_first_answer_us\":{ttfa},\"stats\":{}}}",
+        result.cache_hit,
+        result.epoch,
+        result.queue_wait.as_micros(),
+        corejson::search_stats(&result.stats),
+    )
+}
+
+/// Whether the SSE peer has gone away.
+///
+/// SSE clients send nothing after the request, so any readable state is
+/// either EOF / reset (peer closed — the signal we want) or stray pipelined
+/// bytes (ignored).  A non-blocking one-byte `peek` distinguishes the
+/// cases without consuming anything.  A peer that parked stray bytes in
+/// the buffer and *then* vanished defeats the peek (it keeps returning
+/// the buffered byte); the periodic keep-alive write in the stream loop
+/// catches that case through its write error.
+fn peer_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let verdict = match stream.peek(&mut probe) {
+        Ok(0) => true,                                                 // orderly FIN
+        Ok(_) => false,                                                // stray bytes
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false, // healthy and idle
+        Err(_) => true,                                                // reset
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return true;
+    }
+    verdict
+}

@@ -1,0 +1,140 @@
+//! Server-sent event framing (the `text/event-stream` wire format).
+//!
+//! The service's handle/event model maps one-to-one onto SSE: each
+//! [`banks_service::QueryEvent::Answer`] becomes an `answer` event, the
+//! terminal [`banks_service::QueryEvent::Finished`] a `finished` event.
+//! Two properties matter for time-to-first-answer — the paper's headline
+//! metric — to survive the network hop:
+//!
+//! * **one write + flush per event** — an answer leaves the process the
+//!   moment the engine emits it, never parked in a userspace buffer behind
+//!   the next answer;
+//! * **correct boundaries** — every event is terminated by a blank line,
+//!   and payload newlines are split across `data:` lines per the SSE spec,
+//!   so a conforming client (`EventSource`, `curl -N`) reassembles exactly
+//!   the payload the server rendered.
+
+use std::io::Write;
+
+/// The response head that precedes an SSE stream.
+pub const STREAM_HEADER: &str = "HTTP/1.1 200 OK\r\n\
+    Content-Type: text/event-stream\r\n\
+    Cache-Control: no-cache\r\n\
+    Connection: close\r\n\r\n";
+
+/// Writes SSE frames to an underlying writer, flushing per event.
+pub struct SseWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> SseWriter<W> {
+    /// Wraps `writer`.  The caller has already sent [`STREAM_HEADER`].
+    pub fn new(writer: W) -> Self {
+        SseWriter { writer }
+    }
+
+    /// Writes one event frame and flushes it.
+    ///
+    /// The frame is assembled in memory and sent with a single `write_all`,
+    /// so a frame is never interleaved with another thread's bytes and the
+    /// transport sees exactly one packet burst per answer.
+    pub fn event(&mut self, name: &str, data: &str) -> std::io::Result<()> {
+        let mut frame = String::with_capacity(data.len() + name.len() + 16);
+        frame.push_str("event: ");
+        frame.push_str(name);
+        frame.push('\n');
+        for line in data.split('\n') {
+            frame.push_str("data: ");
+            frame.push_str(line);
+            frame.push('\n');
+        }
+        frame.push('\n');
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Writes a comment frame (`: text`) — the SSE keep-alive idiom; a
+    /// client parser ignores it, but the write proves the peer is still
+    /// there.
+    pub fn comment(&mut self, text: &str) -> std::io::Result<()> {
+        self.writer.write_all(format!(": {text}\n\n").as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// The underlying writer.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.writer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer recording both the bytes and the flush boundaries.
+    #[derive(Default)]
+    struct Recorder {
+        bytes: Vec<u8>,
+        flushes: usize,
+        writes: usize,
+    }
+
+    impl Write for Recorder {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writes += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_framed_with_blank_line_boundaries() {
+        let mut sse = SseWriter::new(Recorder::default());
+        sse.event("answer", "{\"rank\":0}").unwrap();
+        sse.event("finished", "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(sse.get_mut().bytes.clone()).unwrap();
+        assert_eq!(
+            text,
+            "event: answer\ndata: {\"rank\":0}\n\n\
+             event: finished\ndata: {\"ok\":true}\n\n"
+        );
+    }
+
+    #[test]
+    fn each_event_is_one_write_and_one_flush() {
+        let mut sse = SseWriter::new(Recorder::default());
+        for i in 0..5 {
+            sse.event("answer", &format!("{{\"rank\":{i}}}")).unwrap();
+        }
+        assert_eq!(sse.get_mut().writes, 5, "one write_all per event");
+        assert_eq!(sse.get_mut().flushes, 5, "flush-per-answer");
+    }
+
+    #[test]
+    fn multiline_payloads_split_across_data_lines() {
+        let mut sse = SseWriter::new(Recorder::default());
+        sse.event("answer", "line one\nline two").unwrap();
+        let text = String::from_utf8(sse.get_mut().bytes.clone()).unwrap();
+        assert_eq!(text, "event: answer\ndata: line one\ndata: line two\n\n");
+    }
+
+    #[test]
+    fn comments_frame_as_keepalives() {
+        let mut sse = SseWriter::new(Recorder::default());
+        sse.comment("ping").unwrap();
+        let text = String::from_utf8(sse.get_mut().bytes.clone()).unwrap();
+        assert_eq!(text, ": ping\n\n");
+        assert_eq!(sse.get_mut().flushes, 1);
+    }
+
+    #[test]
+    fn stream_header_declares_event_stream() {
+        assert!(STREAM_HEADER.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(STREAM_HEADER.contains("Content-Type: text/event-stream\r\n"));
+        assert!(STREAM_HEADER.ends_with("\r\n\r\n"));
+    }
+}

@@ -1,6 +1,6 @@
 //! The caller's side of a submitted query.
 
-use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -14,6 +14,18 @@ impl std::fmt::Display for QueryId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "q{}", self.0)
     }
+}
+
+/// Why [`QueryHandle::recv_timeout`] returned without an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeout {
+    /// No event arrived within the timeout; the query is still running (or
+    /// still queued).  Call again.
+    TimedOut,
+    /// The stream is over: the terminal event was already consumed, or the
+    /// service dropped the query during shutdown.  No further events will
+    /// ever arrive.
+    Closed,
 }
 
 /// Progress events delivered to a [`QueryHandle`], in order: zero or more
@@ -114,6 +126,23 @@ impl QueryHandle {
         let event = self.events.recv().ok()?;
         self.stash_if_finished(&event);
         Some(event)
+    }
+
+    /// Blocks for at most `timeout` waiting for the next event.
+    ///
+    /// The bounded-wait receive loop a network front-end needs: between
+    /// events it can time out, probe its client for liveness, and call
+    /// again — instead of blocking indefinitely on a query that may emit
+    /// nothing for a long stretch.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<QueryEvent, RecvTimeout> {
+        match self.events.recv_timeout(timeout) {
+            Ok(event) => {
+                self.stash_if_finished(&event);
+                Ok(event)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RecvTimeout::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvTimeout::Closed),
+        }
     }
 
     /// Non-blocking poll for the next event.

@@ -37,6 +37,14 @@
 //!   without tearing down the worker.
 //! * **Admission control** — a bounded queue; a full queue rejects with
 //!   [`SubmitError::QueueFull`] instead of buffering without limit.
+//! * **Per-tenant quotas** — optional token buckets
+//!   ([`ServiceBuilder::tenant_quota`]): each tenant may burst up to the
+//!   bucket capacity, then is limited to the refill rate; an empty bucket
+//!   rejects with [`SubmitError::QuotaExceeded`] (carrying a retry-after
+//!   hint), counted per tenant in [`TenantMetrics::quota_rejected`].
+//! * **Graceful drain** — [`Service::drain`] blocks until the queue is
+//!   empty and no worker is mid-query, the hook a network front-end uses
+//!   to finish in-flight streams before shutting down.
 //! * **Result cache** — a shared [`banks_core::ResultCache`] keyed by
 //!   `(graph epoch, normalized keywords, params/engine fingerprint)`; hits
 //!   complete at submit time with zero engine work.  An admission
@@ -109,12 +117,13 @@
 
 pub mod handle;
 pub mod metrics;
+mod quota;
 mod sched;
 pub mod service;
 pub mod snapshot;
 pub mod spec;
 
-pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult};
+pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult, RecvTimeout};
 pub use metrics::{QueueWaitSummary, ServiceMetrics, TenantMetrics, OVERFLOW_TENANT};
 pub use service::{Service, ServiceBuilder, SubmitError};
 pub use snapshot::GraphSnapshot;

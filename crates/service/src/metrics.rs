@@ -20,6 +20,7 @@ use std::time::Duration;
 pub(crate) struct Counters {
     pub submitted: AtomicU64,
     pub rejected: AtomicU64,
+    pub quota_rejected: AtomicU64,
     pub executed: AtomicU64,
     pub completed: AtomicU64,
     pub cancelled: AtomicU64,
@@ -64,6 +65,7 @@ struct TenantAccum {
     executed: u64,
     wait_sum_us: u64,
     wait_max_us: u64,
+    quota_rejected: u64,
 }
 
 /// Queue-wait histogram plus per-tenant accumulators, updated once per job
@@ -90,6 +92,17 @@ impl Default for WaitStats {
 }
 
 impl WaitStats {
+    /// The accumulator row for `tenant`, subject to the row cap (overflow
+    /// names share the [`OVERFLOW_TENANT`] row).
+    fn row(&mut self, tenant: &str) -> &mut TenantAccum {
+        let key = if self.tenants.len() >= MAX_TENANT_ROWS && !self.tenants.contains_key(tenant) {
+            OVERFLOW_TENANT
+        } else {
+            tenant
+        };
+        self.tenants.entry(key.to_string()).or_default()
+    }
+
     pub(crate) fn record(&mut self, tenant: &str, wait: Duration) {
         let us = wait.as_micros().min(u64::MAX as u128) as u64;
         let bucket = (64 - us.leading_zeros() as usize).min(WAIT_BUCKETS - 1);
@@ -97,15 +110,17 @@ impl WaitStats {
         self.count += 1;
         self.sum_us = self.sum_us.saturating_add(us);
         self.max_us = self.max_us.max(us);
-        let key = if self.tenants.len() >= MAX_TENANT_ROWS && !self.tenants.contains_key(tenant) {
-            OVERFLOW_TENANT
-        } else {
-            tenant
-        };
-        let t = self.tenants.entry(key.to_string()).or_default();
+        let t = self.row(tenant);
         t.executed += 1;
         t.wait_sum_us = t.wait_sum_us.saturating_add(us);
         t.wait_max_us = t.wait_max_us.max(us);
+    }
+
+    /// Counts one quota rejection against `tenant`'s row.  A tenant that
+    /// only ever gets rejected still shows up in the per-tenant metrics —
+    /// the 429 path must be observable, not silent.
+    pub(crate) fn record_quota_rejection(&mut self, tenant: &str) {
+        self.row(tenant).quota_rejected += 1;
     }
 
     /// Upper bound of the bucket containing the `p`-th percentile.
@@ -145,6 +160,7 @@ impl WaitStats {
             .map(|(name, t)| TenantMetrics {
                 tenant: name.clone(),
                 executed: t.executed,
+                quota_rejected: t.quota_rejected,
                 mean_queue_wait: Duration::from_micros(
                     t.wait_sum_us.checked_div(t.executed).unwrap_or(0),
                 ),
@@ -189,6 +205,10 @@ pub struct TenantMetrics {
     pub tenant: String,
     /// Queries executed for this tenant (cache hits excluded).
     pub executed: u64,
+    /// Submissions rejected by this tenant's admission quota
+    /// ([`crate::ServiceBuilder::tenant_quota`]) — the per-tenant view of
+    /// the HTTP 429 path.
+    pub quota_rejected: u64,
     /// Mean queue wait of this tenant's executed queries.
     pub mean_queue_wait: Duration,
     /// Worst queue wait of this tenant's executed queries.
@@ -202,6 +222,9 @@ pub struct ServiceMetrics {
     pub submitted: u64,
     /// Queries rejected by admission control (bounded queue full).
     pub rejected: u64,
+    /// Submissions rejected by a per-tenant token-bucket quota
+    /// ([`crate::ServiceBuilder::tenant_quota`]), across all tenants.
+    pub quota_rejected: u64,
     /// Queries that actually ran on a worker (cache misses).
     pub executed: u64,
     /// Queries that finished (completed, truncated or cancelled), plus
@@ -239,6 +262,7 @@ impl ServiceMetrics {
         ServiceMetrics {
             submitted: counters.submitted.load(Ordering::Relaxed),
             rejected: counters.rejected.load(Ordering::Relaxed),
+            quota_rejected: counters.quota_rejected.load(Ordering::Relaxed),
             executed: counters.executed.load(Ordering::Relaxed),
             completed: counters.completed.load(Ordering::Relaxed),
             cancelled: counters.cancelled.load(Ordering::Relaxed),
@@ -345,6 +369,21 @@ mod tests {
         assert_eq!(overflow.executed, 20);
         let first = rows.iter().find(|r| r.tenant == "tenant-0000").unwrap();
         assert_eq!(first.executed, 2);
+    }
+
+    #[test]
+    fn quota_rejections_surface_per_tenant() {
+        let mut waits = WaitStats::default();
+        waits.record("paid", Duration::from_micros(10));
+        waits.record_quota_rejection("free");
+        waits.record_quota_rejection("free");
+        let rows = waits.tenant_metrics();
+        let free = rows.iter().find(|r| r.tenant == "free").expect("free row");
+        assert_eq!(free.quota_rejected, 2);
+        assert_eq!(free.executed, 0, "rejected-only tenants still get a row");
+        let paid = rows.iter().find(|r| r.tenant == "paid").expect("paid row");
+        assert_eq!(paid.quota_rejected, 0);
+        assert_eq!(paid.executed, 1);
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl<T> WorkQueue<T> {
         self.len
     }
 
-    #[cfg(test)]
+    /// Whether no job is queued.
     pub(crate) fn is_empty(&self) -> bool {
         self.len == 0
     }

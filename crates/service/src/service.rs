@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use banks_core::cache::CacheKey;
 use banks_core::registry::UnknownEngine;
@@ -18,6 +18,7 @@ use banks_textindex::{InvertedIndex, KeywordMatches};
 
 use crate::handle::{HandleState, QueryEvent, QueryHandle, QueryId, QueryResult};
 use crate::metrics::{Counters, ServiceMetrics, WaitStats};
+use crate::quota::{QuotaConfig, QuotaState};
 use crate::sched::WorkQueue;
 use crate::snapshot::GraphSnapshot;
 use crate::spec::QuerySpec;
@@ -34,6 +35,16 @@ pub enum SubmitError {
     /// The requested engine is not registered; the error lists the known
     /// engines and the nearest alias.
     UnknownEngine(UnknownEngine),
+    /// The tenant's token bucket is empty (see
+    /// [`ServiceBuilder::tenant_quota`]).  Quota rejection happens before
+    /// any work — no snapshot pin, no cache lookup, no queue slot.
+    QuotaExceeded {
+        /// The tenant whose bucket rejected the submission.
+        tenant: String,
+        /// Time until the bucket refills enough for one submission — the
+        /// value an HTTP front-end surfaces as `Retry-After`.
+        retry_after: Duration,
+    },
     /// The service is shutting down.
     ShuttingDown,
 }
@@ -45,6 +56,13 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "admission queue full ({capacity} queries waiting)")
             }
             SubmitError::UnknownEngine(e) => write!(f, "{e}"),
+            SubmitError::QuotaExceeded {
+                tenant,
+                retry_after,
+            } => write!(
+                f,
+                "tenant {tenant:?} is over its admission quota (retry in {retry_after:?})"
+            ),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -71,6 +89,9 @@ struct Job {
 
 struct QueueState {
     jobs: WorkQueue<Job>,
+    /// Jobs currently running on a worker (popped but not finished) — the
+    /// other half of the quiescence test [`Service::drain`] waits on.
+    executing: usize,
     shutdown: bool,
 }
 
@@ -88,6 +109,11 @@ struct Inner {
     queue: Mutex<QueueState>,
     queue_capacity: usize,
     work_available: Condvar,
+    /// Signalled whenever the queue empties *and* the last executing job
+    /// finishes; [`Service::drain`] waits on it.
+    idle: Condvar,
+    /// Per-tenant token buckets (`None`: quotas disabled).
+    quota: Option<Mutex<QuotaState>>,
     counters: Counters,
     waits: Mutex<WaitStats>,
     next_id: AtomicU64,
@@ -105,6 +131,7 @@ pub struct ServiceBuilder {
     index: Option<InvertedIndex>,
     registry: Option<EngineRegistry>,
     default_engine: String,
+    tenant_quota: Option<QuotaConfig>,
 }
 
 impl ServiceBuilder {
@@ -179,6 +206,26 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enables per-tenant admission quotas: every tenant owns a token
+    /// bucket of capacity `burst` refilled at `rate_per_sec` tokens per
+    /// second, and each submission — cache hit or miss — takes one token.
+    /// An empty bucket rejects with [`SubmitError::QuotaExceeded`], whose
+    /// `retry_after` says when the next token arrives.
+    ///
+    /// Quotas complement the scheduler's fair share: fair share decides
+    /// *who runs next* among admitted work, the quota decides *whether a
+    /// tenant may submit at all*.  Submissions naming no tenant share the
+    /// anonymous tenant `""` (and therefore one bucket).  Rejections are
+    /// counted per tenant in [`crate::TenantMetrics::quota_rejected`].
+    ///
+    /// Default: no quota (every submission admitted subject to queue
+    /// capacity).  `rate_per_sec` is floored at one token per day and
+    /// `burst` at 1.
+    pub fn tenant_quota(mut self, rate_per_sec: f64, burst: u64) -> Self {
+        self.tenant_quota = Some(QuotaConfig::new(rate_per_sec, burst));
+        self
+    }
+
     /// Validates the configuration, builds the initial serving snapshot
     /// (prestige and keyword index included) and spawns the worker threads.
     pub fn build(self) -> Service {
@@ -208,10 +255,15 @@ impl ServiceBuilder {
             cache_private,
             queue: Mutex::new(QueueState {
                 jobs: WorkQueue::new(),
+                executing: 0,
                 shutdown: false,
             }),
             queue_capacity: self.queue_capacity,
             work_available: Condvar::new(),
+            idle: Condvar::new(),
+            quota: self
+                .tenant_quota
+                .map(|cfg| Mutex::new(QuotaState::new(cfg))),
             counters: Counters::default(),
             waits: Mutex::new(WaitStats::default()),
             next_id: AtomicU64::new(0),
@@ -287,6 +339,7 @@ impl Service {
             index: None,
             registry: None,
             default_engine: "bidirectional".to_string(),
+            tenant_quota: None,
         }
     }
 
@@ -301,6 +354,29 @@ impl Service {
         let engine = spec.engine.unwrap_or_else(|| inner.default_engine.clone());
         if !inner.registry.contains(&engine) {
             return Err(SubmitError::UnknownEngine(inner.registry.unknown(&engine)));
+        }
+        let tenant = spec.tenant.unwrap_or_default();
+
+        // Admission quota: charged per submission, before any work happens
+        // (even a cache hit costs a token — the quota throttles the
+        // tenant's request *rate*, not its engine work).
+        if let Some(quota) = &inner.quota {
+            let verdict = quota
+                .lock()
+                .expect("quota lock")
+                .try_take(&tenant, Instant::now());
+            if let Err(retry_after) = verdict {
+                Counters::bump(&inner.counters.quota_rejected);
+                inner
+                    .waits
+                    .lock()
+                    .expect("waits lock")
+                    .record_quota_rejection(&tenant);
+                return Err(SubmitError::QuotaExceeded {
+                    tenant,
+                    retry_after,
+                });
+            }
         }
 
         // Pin the serving snapshot: everything below — keyword resolution,
@@ -362,7 +438,6 @@ impl Service {
         // estimate, scaled by the submission's priority class.
         let cost = QueryCost::estimate(&matches, &spec.params, &engine);
         let charged = spec.priority.charge(cost.estimated_work);
-        let tenant = spec.tenant.unwrap_or_default();
 
         let job = Job {
             snapshot,
@@ -486,6 +561,22 @@ impl Service {
         self.inner.registry.names()
     }
 
+    /// Blocks until the service is *quiescent*: the admission queue is
+    /// empty and no worker is mid-query.  The drain hook for graceful
+    /// shutdown of a front-end — stop accepting requests, `drain()`, then
+    /// drop the service.
+    ///
+    /// Quiescence is a point-in-time property: a query submitted after
+    /// `drain` returns starts the clock again.  A query whose handle is
+    /// blocked on a slow consumer still counts as executing until the
+    /// worker finishes it.
+    pub fn drain(&self) {
+        let mut queue = self.inner.queue.lock().expect("queue lock");
+        while !queue.jobs.is_empty() || queue.executing > 0 {
+            queue = self.inner.idle.wait(queue).expect("queue lock");
+        }
+    }
+
     /// Stops accepting new queries, drains the admission queue and joins
     /// the workers.  Equivalent to dropping the service, but explicit.
     pub fn shutdown(self) {}
@@ -508,6 +599,23 @@ impl Drop for Service {
     }
 }
 
+/// Decrements [`QueueState::executing`] when dropped — including on an
+/// unwind out of `execute` — so a panicking engine cannot leave the count
+/// permanently raised and wedge [`Service::drain`] forever.
+struct ExecutingGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl Drop for ExecutingGuard<'_> {
+    fn drop(&mut self) {
+        let mut queue = self.inner.queue.lock().expect("queue lock");
+        queue.executing -= 1;
+        if queue.executing == 0 && queue.jobs.is_empty() {
+            self.inner.idle.notify_all();
+        }
+    }
+}
+
 /// Worker thread body: pop jobs (priority order) until shutdown, then drain
 /// and exit.
 fn worker_loop(inner: Arc<Inner>) {
@@ -516,6 +624,7 @@ fn worker_loop(inner: Arc<Inner>) {
             let mut queue = inner.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = queue.jobs.pop() {
+                    queue.executing += 1;
                     break job;
                 }
                 if queue.shutdown {
@@ -524,6 +633,7 @@ fn worker_loop(inner: Arc<Inner>) {
                 queue = inner.work_available.wait(queue).expect("queue lock");
             }
         };
+        let guard = ExecutingGuard { inner: &inner };
         let queue_wait = job.submitted_at.elapsed();
         inner
             .waits
@@ -531,6 +641,7 @@ fn worker_loop(inner: Arc<Inner>) {
             .expect("waits lock")
             .record(&job.tenant, queue_wait);
         execute(&inner, job, queue_wait);
+        drop(guard);
     }
 }
 

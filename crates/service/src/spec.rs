@@ -34,6 +34,34 @@ impl Priority {
             Priority::Batch => estimated_work.saturating_mul(4).max(1),
         }
     }
+
+    /// The wire name of this class (the value accepted back by
+    /// [`Priority::from_str`](std::str::FromStr)).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+
+    /// Parses the wire form used by network front-ends (e.g. the
+    /// `X-Banks-Priority` header): `interactive`, `normal` or `batch`,
+    /// case-insensitive; the empty string means the default class.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "interactive" => Ok(Priority::Interactive),
+            "normal" | "" => Ok(Priority::Normal),
+            "batch" => Ok(Priority::Batch),
+            other => Err(format!(
+                "unknown priority {other:?} (expected interactive, normal or batch)"
+            )),
+        }
+    }
 }
 
 /// One query request: the keywords, the search parameters, scheduling
@@ -174,6 +202,18 @@ mod tests {
         let from_query: QuerySpec = Query::parse("gray").into();
         assert_eq!(from_query.query.len(), 1);
         assert!(from_query.engine.is_none());
+    }
+
+    #[test]
+    fn priority_parses_wire_names() {
+        assert_eq!("interactive".parse::<Priority>(), Ok(Priority::Interactive));
+        assert_eq!(" Batch ".parse::<Priority>(), Ok(Priority::Batch));
+        assert_eq!("NORMAL".parse::<Priority>(), Ok(Priority::Normal));
+        assert_eq!("".parse::<Priority>(), Ok(Priority::Normal));
+        assert!("urgent".parse::<Priority>().is_err());
+        for p in [Priority::Interactive, Priority::Normal, Priority::Batch] {
+            assert_eq!(p.as_str().parse::<Priority>(), Ok(p), "round-trip");
+        }
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //!   single-iterator), answer trees and ranking,
 //! * [`service`] — the concurrent query service: a worker-pool executor
 //!   with cancellation tokens, an LRU result cache keyed by graph epoch,
-//!   bounded-queue admission control and deterministic work-based
-//!   deadlines.
+//!   priority scheduling, per-tenant admission quotas and deterministic
+//!   work-based deadlines,
+//! * [`server`] — the HTTP/SSE network front-end over the service:
+//!   hand-rolled HTTP/1.1 on `std::net`, answers streamed as server-sent
+//!   events, structured JSON errors, graceful drain.
 //!
 //! ## Quick start
 //!
@@ -87,6 +90,7 @@ pub use banks_datagen as datagen;
 pub use banks_graph as graph;
 pub use banks_prestige as prestige;
 pub use banks_relational as relational;
+pub use banks_server as server;
 pub use banks_service as service;
 pub use banks_textindex as textindex;
 
@@ -106,6 +110,7 @@ pub mod prelude {
     pub use banks_graph::{DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphStats, NodeId};
     pub use banks_prestige::{compute_pagerank, PageRankConfig, PrestigeVector};
     pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
+    pub use banks_server::Server;
     pub use banks_service::{
         GraphSnapshot, Priority, QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec,
         QueueWaitSummary, Service, ServiceBuilder, ServiceMetrics, SubmitError, TenantMetrics,
