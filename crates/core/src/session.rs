@@ -53,6 +53,37 @@ pub fn build_label_index(graph: &DataGraph) -> InvertedIndex {
     builder.build()
 }
 
+/// Translates a mutation-batch outcome into the text delta that keeps a
+/// [`build_label_index`]-style index current: each added or relabelled
+/// node contributes its pre-batch label (what the index holds) and its
+/// post-batch label (read from `graph`, which must be the **successor**
+/// graph the batch produced), and newly-interned kinds are registered as
+/// relation-name pseudo terms.
+///
+/// Feeding the result to [`InvertedIndex::apply_delta`] yields an index
+/// equivalent to rebuilding with [`build_label_index`] over the successor
+/// graph — the bridge the serving tier uses to avoid full reindexing on
+/// every mutation.  It is only correct for indexes whose per-node text is
+/// exactly the node label; indexes built over richer external text should
+/// be rebuilt through the wholesale swap path instead.
+pub fn label_index_delta(
+    graph: &DataGraph,
+    outcome: &banks_graph::BatchOutcome,
+) -> banks_textindex::TextDelta {
+    banks_textindex::TextDelta {
+        changes: outcome
+            .label_changes
+            .iter()
+            .map(|change| banks_textindex::TextChange {
+                node: change.node,
+                old: change.old_label.clone().into_iter().collect(),
+                new: vec![graph.node_label(change.node).to_string()],
+            })
+            .collect(),
+        new_relations: outcome.new_kinds.clone(),
+    }
+}
+
 /// A search handle over one graph: prestige, keyword index, engine registry
 /// and (optionally) a result cache in one place.
 pub struct Banks<'g> {
@@ -620,6 +651,32 @@ mod tests {
         let clean = banks.query(["gray", "locks"]).run();
         assert!(!clean.answers.is_empty());
         assert!(!clean.stats.cancelled);
+    }
+
+    #[test]
+    fn label_index_delta_tracks_a_rebuild() {
+        use banks_graph::{MutationBatch, NodeId};
+        let graph = tiny_graph();
+        let index = build_label_index(&graph);
+        let batch = MutationBatch::new()
+            .add_node("venue", "VLDB 2005")
+            .set_label(NodeId(0), "James Gray");
+        let (successor, outcome) = graph.apply_batch(&batch);
+        let updated = index.apply_delta(&label_index_delta(&successor, &outcome));
+        let rebuilt = build_label_index(&successor);
+        assert_eq!(updated.num_terms(), rebuilt.num_terms());
+        for term in rebuilt.terms() {
+            assert_eq!(
+                updated.postings(term),
+                rebuilt.postings(term),
+                "term {term}"
+            );
+        }
+        // new kind name matches as a relation pseudo-term
+        assert_eq!(
+            updated.matching_nodes(&successor, "venue"),
+            rebuilt.matching_nodes(&successor, "venue")
+        );
     }
 
     #[test]

@@ -112,9 +112,13 @@ impl CsrAdjacency {
 
     /// Iterates over the `(neighbour, weight, kind)` triples of `u`.
     #[inline]
-    pub fn neighbours(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64, EdgeKind)> + '_ {
+    pub fn neighbours(&self, u: NodeId) -> CsrRow<'_> {
         let (start, end) = self.range(u.index());
-        (start..end).map(move |i| (NodeId(self.neighbours[i]), self.weights[i], self.kinds[i]))
+        CsrRow {
+            csr: self,
+            pos: start,
+            end,
+        }
     }
 
     /// Returns the weight of the edge `u -> v` if present (the smallest
@@ -140,6 +144,44 @@ impl CsrAdjacency {
             + self.kinds.len() * std::mem::size_of::<EdgeKind>()
     }
 }
+
+/// Concrete iterator over one CSR row.
+///
+/// A nameable type (unlike `impl Iterator`) so that [`crate::DataGraph`]
+/// can dispatch between a base CSR row and a copy-on-write overlay row
+/// without boxing on the adjacency hot path.
+#[derive(Clone, Debug)]
+pub struct CsrRow<'a> {
+    csr: &'a CsrAdjacency,
+    pos: usize,
+    end: usize,
+}
+
+impl Iterator for CsrRow<'_> {
+    type Item = (NodeId, f64, EdgeKind);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some((
+            NodeId(self.csr.neighbours[i]),
+            self.csr.weights[i],
+            self.csr.kinds[i],
+        ))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CsrRow<'_> {}
 
 #[cfg(test)]
 mod tests {

@@ -28,6 +28,13 @@ pub enum GraphError {
         /// The node that would loop onto itself.
         node: NodeId,
     },
+    /// A mutation addressed a forward edge that does not exist.
+    EdgeNotFound {
+        /// Tail of the missing edge.
+        from: NodeId,
+        /// Head of the missing edge.
+        to: NodeId,
+    },
     /// The serialised form could not be parsed.
     ParseError {
         /// Line number (1-based) at which parsing failed.
@@ -53,6 +60,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed by the builder")
+            }
+            GraphError::EdgeNotFound { from, to } => {
+                write!(f, "no forward edge {from} -> {to} exists")
             }
             GraphError::ParseError { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

@@ -1,8 +1,20 @@
 //! The immutable, queryable data graph.
+//!
+//! Since the mutation-first redesign, a [`DataGraph`] is a *persistent*
+//! (structurally shared) value: the bulk CSR storage lives behind an `Arc`
+//! in a private `BaseStorage`, and a small copy-on-write `Overlay` carries
+//! everything a [`crate::MutationBatch`] changed — patched adjacency rows,
+//! appended nodes and kinds, relabelled metadata, adjusted degrees.
+//! Applying a batch therefore costs O(touched rows), not O(V + E), and the
+//! successor graph shares the untouched base with its ancestor byte for
+//! byte.  Freshly built graphs have an empty overlay and behave exactly as
+//! the flat representation did.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crate::csr::CsrAdjacency;
+use crate::csr::{CsrAdjacency, CsrRow};
 use crate::error::GraphError;
 use crate::ids::{KindId, NodeId};
 use crate::node::{EdgeKind, NodeMeta};
@@ -13,7 +25,7 @@ use crate::Result;
 /// [`DataGraph::bump_epoch`] call) draws a fresh, never-reused value.
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
-fn fresh_epoch() -> u64 {
+pub(crate) fn fresh_epoch() -> u64 {
     NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -31,6 +43,147 @@ pub struct EdgeRef {
     pub kind: EdgeKind,
 }
 
+/// One stored adjacency entry of an overlay row: `(neighbour, weight, kind)`
+/// in the same shape the CSR rows use.
+pub(crate) type OverlayEdge = (u32, f64, EdgeKind);
+
+/// The bulk, immutable storage a family of structurally-shared graphs is
+/// built over.  Shared behind an `Arc`; never modified after construction.
+#[derive(Debug)]
+pub(crate) struct BaseStorage {
+    pub(crate) kinds: Vec<String>,
+    pub(crate) meta: Vec<NodeMeta>,
+    pub(crate) out: CsrAdjacency,
+    pub(crate) inc: CsrAdjacency,
+    pub(crate) forward_indegree: Vec<u32>,
+    pub(crate) forward_outdegree: Vec<u32>,
+}
+
+impl BaseStorage {
+    /// Heap footprint of the adjacency structures (the quantity
+    /// [`DataGraph::memory_bytes`] historically reported).
+    fn memory_bytes(&self) -> usize {
+        self.out.memory_bytes()
+            + self.inc.memory_bytes()
+            + self.forward_indegree.len() * 4
+            + self.forward_outdegree.len() * 4
+    }
+}
+
+/// Copy-on-write delta on top of a [`BaseStorage`]: everything mutations
+/// changed relative to the shared base.  Cloning an overlay is cheap — the
+/// patched rows themselves are `Arc`-shared.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Overlay {
+    /// Kind names appended beyond `base.kinds`.
+    pub(crate) extra_kinds: Vec<String>,
+    /// Nodes appended beyond `base.meta` (ids continue the dense range).
+    pub(crate) extra_meta: Vec<NodeMeta>,
+    /// Metadata overrides for base nodes (relabels).
+    pub(crate) meta_patch: HashMap<u32, NodeMeta>,
+    /// Out-adjacency rows that replace the base row of a node (also the
+    /// only rows appended nodes have).
+    pub(crate) out_rows: HashMap<u32, Arc<Vec<OverlayEdge>>>,
+    /// In-adjacency rows, mirroring `out_rows`.
+    pub(crate) inc_rows: HashMap<u32, Arc<Vec<OverlayEdge>>>,
+    /// Forward in-degree overrides.
+    pub(crate) indegree_patch: HashMap<u32, u32>,
+    /// Forward out-degree overrides.
+    pub(crate) outdegree_patch: HashMap<u32, u32>,
+}
+
+impl Overlay {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.extra_kinds.is_empty()
+            && self.extra_meta.is_empty()
+            && self.meta_patch.is_empty()
+            && self.out_rows.is_empty()
+            && self.inc_rows.is_empty()
+            && self.indegree_patch.is_empty()
+            && self.outdegree_patch.is_empty()
+    }
+
+    /// Approximate heap footprint of the overlay itself (owned, not
+    /// shared with the base).
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let row_bytes = |rows: &HashMap<u32, Arc<Vec<OverlayEdge>>>| {
+            rows.values()
+                .map(|row| {
+                    size_of::<(u32, Arc<Vec<OverlayEdge>>)>() + row.len() * size_of::<OverlayEdge>()
+                })
+                .sum::<usize>()
+        };
+        self.extra_kinds.iter().map(|k| k.len()).sum::<usize>()
+            + self
+                .extra_meta
+                .iter()
+                .map(|m| size_of::<NodeMeta>() + m.label.len())
+                .sum::<usize>()
+            + self
+                .meta_patch
+                .values()
+                .map(|m| size_of::<(u32, NodeMeta)>() + m.label.len())
+                .sum::<usize>()
+            + row_bytes(&self.out_rows)
+            + row_bytes(&self.inc_rows)
+            + (self.indegree_patch.len() + self.outdegree_patch.len()) * size_of::<(u32, u32)>()
+    }
+}
+
+/// Breakdown of a graph's resident memory: the `Arc`-shared base versus the
+/// bytes this graph value owns alone.  See [`DataGraph::memory_bytes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphMemory {
+    /// Bytes of the shared base storage (adjacency CSRs + degree arrays).
+    /// Every graph in a structural-sharing family reports the same number.
+    pub shared_bytes: usize,
+    /// Bytes owned by this graph alone (its copy-on-write overlay).
+    pub owned_bytes: usize,
+    /// How many live graph values currently share the base storage.
+    pub sharers: usize,
+}
+
+impl GraphMemory {
+    /// The resident bytes attributable to this graph: its owned overlay
+    /// plus an equal share of the base.  Summing this over every sharer
+    /// approximates the true resident total without double-counting.
+    pub fn attributed_bytes(&self) -> usize {
+        self.owned_bytes + self.shared_bytes / self.sharers.max(1)
+    }
+}
+
+/// One adjacency row: either the shared CSR row or a copy-on-write patch.
+enum RowIter<'a> {
+    Base(CsrRow<'a>),
+    Patch(std::slice::Iter<'a, OverlayEdge>),
+    Empty,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (NodeId, f64, EdgeKind);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RowIter::Base(it) => it.next(),
+            RowIter::Patch(it) => it.next().map(|(to, w, k)| (NodeId(*to), *w, *k)),
+            RowIter::Empty => None,
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIter::Base(it) => it.size_hint(),
+            RowIter::Patch(it) => it.size_hint(),
+            RowIter::Empty => (0, Some(0)),
+        }
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
 /// Immutable weighted directed graph over which the BANKS search algorithms
 /// run.
 ///
@@ -40,20 +193,21 @@ pub struct EdgeRef {
 /// and the in-adjacency are materialised in CSR form, because the backward
 /// expanding iterators traverse edges "against the arrow" while the outgoing
 /// iterator follows them.
+///
+/// Graphs are *persistent values*: [`DataGraph::apply_batch`] produces a
+/// structurally-shared successor (new epoch, shared base storage, small
+/// copy-on-write overlay) instead of a rebuild, and `clone()` is cheap.
 #[derive(Clone, Debug)]
 pub struct DataGraph {
-    kinds: Vec<String>,
-    meta: Vec<NodeMeta>,
-    out: CsrAdjacency,
-    inc: CsrAdjacency,
-    forward_indegree: Vec<u32>,
-    forward_outdegree: Vec<u32>,
-    num_original_edges: usize,
-    policy: ExpansionPolicy,
+    pub(crate) base: Arc<BaseStorage>,
+    pub(crate) overlay: Overlay,
+    pub(crate) num_original_edges: usize,
+    pub(crate) num_directed_edges: usize,
+    pub(crate) policy: ExpansionPolicy,
     /// Identity/version marker used by result caches: two graphs with the
     /// same epoch hold identical data.  Fresh per construction; clones share
     /// the epoch of the original (same contents).
-    epoch: u64,
+    pub(crate) epoch: u64,
 }
 
 impl DataGraph {
@@ -97,15 +251,20 @@ impl DataGraph {
             .map(|(u, v, w, k)| (*v, *u, *w, *k))
             .collect();
         let inc = CsrAdjacency::from_edges(n, &reversed);
+        let num_directed_edges = out.num_edges();
 
         DataGraph {
-            kinds,
-            meta,
-            out,
-            inc,
-            forward_indegree,
-            forward_outdegree,
+            base: Arc::new(BaseStorage {
+                kinds,
+                meta,
+                out,
+                inc,
+                forward_indegree,
+                forward_outdegree,
+            }),
+            overlay: Overlay::default(),
             num_original_edges: forward_edges.len(),
+            num_directed_edges,
             policy,
             epoch: fresh_epoch(),
         }
@@ -129,7 +288,10 @@ impl DataGraph {
     ///   replacing an `Arc`-held snapshot: queries pinned to the old
     ///   version keep reporting (and caching under) the old epoch while
     ///   new admissions carry the new one, and the two interleave safely
-    ///   in one shared cache precisely because epochs never collide.
+    ///   in one shared cache precisely because epochs never collide;
+    /// * every accepted [`crate::MutationBatch`] produces a successor graph
+    ///   under a fresh epoch, so incremental updates invalidate caches with
+    ///   exactly the machinery wholesale swaps use.
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -148,7 +310,14 @@ impl DataGraph {
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.meta.len()
+        self.base.meta.len() + self.overlay.extra_meta.len()
+    }
+
+    /// Number of nodes in the shared base storage (ids below this bound may
+    /// have patched rows; ids at or above it live entirely in the overlay).
+    #[inline]
+    pub(crate) fn base_nodes(&self) -> usize {
+        self.base.meta.len()
     }
 
     /// Number of *original* forward edges the graph was built from.
@@ -161,7 +330,7 @@ impl DataGraph {
     /// backward).
     #[inline]
     pub fn num_directed_edges(&self) -> usize {
-        self.out.num_edges()
+        self.num_directed_edges
     }
 
     /// The policy used to expand the graph.
@@ -173,7 +342,7 @@ impl DataGraph {
     /// Returns true when the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.meta.is_empty()
+        self.num_nodes() == 0
     }
 
     // ------------------------------------------------------------- node data
@@ -199,43 +368,61 @@ impl DataGraph {
     /// Metadata of a node.
     #[inline]
     pub fn node_meta(&self, node: NodeId) -> &NodeMeta {
-        &self.meta[node.index()]
+        let i = node.index();
+        let base_len = self.base.meta.len();
+        if i >= base_len {
+            return &self.overlay.extra_meta[i - base_len];
+        }
+        if !self.overlay.meta_patch.is_empty() {
+            if let Some(patched) = self.overlay.meta_patch.get(&node.0) {
+                return patched;
+            }
+        }
+        &self.base.meta[i]
     }
 
     /// Kind id of a node.
     #[inline]
     pub fn node_kind(&self, node: NodeId) -> KindId {
-        self.meta[node.index()].kind
+        self.node_meta(node).kind
     }
 
     /// Kind name of a node (e.g. `"paper"`).
     #[inline]
     pub fn node_kind_name(&self, node: NodeId) -> &str {
-        &self.kinds[self.meta[node.index()].kind.index()]
+        self.kind_name(self.node_kind(node))
     }
 
     /// Display label of a node.
     #[inline]
     pub fn node_label(&self, node: NodeId) -> &str {
-        &self.meta[node.index()].label
+        &self.node_meta(node).label
     }
 
     /// Number of distinct node kinds.
     #[inline]
     pub fn num_kinds(&self) -> usize {
-        self.kinds.len()
+        self.base.kinds.len() + self.overlay.extra_kinds.len()
     }
 
     /// Name of a kind.
     #[inline]
     pub fn kind_name(&self, kind: KindId) -> &str {
-        &self.kinds[kind.index()]
+        let i = kind.index();
+        let base_len = self.base.kinds.len();
+        if i >= base_len {
+            &self.overlay.extra_kinds[i - base_len]
+        } else {
+            &self.base.kinds[i]
+        }
     }
 
     /// Looks up a kind id by name.
     pub fn kind_by_name(&self, name: &str) -> Option<KindId> {
-        self.kinds
+        self.base
+            .kinds
             .iter()
+            .chain(self.overlay.extra_kinds.iter())
             .position(|k| k == name)
             .map(KindId::from_index)
     }
@@ -250,68 +437,113 @@ impl DataGraph {
 
     // ------------------------------------------------------------- adjacency
 
+    #[inline]
+    fn out_row(&self, u: NodeId) -> RowIter<'_> {
+        if !self.overlay.out_rows.is_empty() {
+            if let Some(row) = self.overlay.out_rows.get(&u.0) {
+                return RowIter::Patch(row.iter());
+            }
+        }
+        if u.index() < self.base.meta.len() {
+            RowIter::Base(self.base.out.neighbours(u))
+        } else {
+            RowIter::Empty
+        }
+    }
+
+    #[inline]
+    fn inc_row(&self, v: NodeId) -> RowIter<'_> {
+        if !self.overlay.inc_rows.is_empty() {
+            if let Some(row) = self.overlay.inc_rows.get(&v.0) {
+                return RowIter::Patch(row.iter());
+            }
+        }
+        if v.index() < self.base.meta.len() {
+            RowIter::Base(self.base.inc.neighbours(v))
+        } else {
+            RowIter::Empty
+        }
+    }
+
     /// Outgoing edges of `u` in the expanded graph.
     #[inline]
     pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.out
-            .neighbours(u)
-            .map(move |(to, weight, kind)| EdgeRef {
-                from: u,
-                to,
-                weight,
-                kind,
-            })
+        self.out_row(u).map(move |(to, weight, kind)| EdgeRef {
+            from: u,
+            to,
+            weight,
+            kind,
+        })
     }
 
     /// Incoming edges of `v` in the expanded graph: every returned
     /// [`EdgeRef`] has `e.to == v`.
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.inc
-            .neighbours(v)
-            .map(move |(from, weight, kind)| EdgeRef {
-                from,
-                to: v,
-                weight,
-                kind,
-            })
+        self.inc_row(v).map(move |(from, weight, kind)| EdgeRef {
+            from,
+            to: v,
+            weight,
+            kind,
+        })
     }
 
     /// Out-degree in the expanded graph.
     #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {
-        self.out.degree(u)
+        self.out_row(u).len()
     }
 
     /// In-degree in the expanded graph.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.inc.degree(v)
+        self.inc_row(v).len()
     }
 
     /// In-degree counting only original forward edges (this is the quantity
     /// used for backward-edge weighting and for indegree prestige).
     #[inline]
     pub fn forward_indegree(&self, v: NodeId) -> usize {
-        self.forward_indegree[v.index()] as usize
+        if !self.overlay.indegree_patch.is_empty() {
+            if let Some(d) = self.overlay.indegree_patch.get(&v.0) {
+                return *d as usize;
+            }
+        }
+        if v.index() < self.base.forward_indegree.len() {
+            self.base.forward_indegree[v.index()] as usize
+        } else {
+            0
+        }
     }
 
     /// Out-degree counting only original forward edges.
     #[inline]
     pub fn forward_outdegree(&self, u: NodeId) -> usize {
-        self.forward_outdegree[u.index()] as usize
+        if !self.overlay.outdegree_patch.is_empty() {
+            if let Some(d) = self.overlay.outdegree_patch.get(&u.0) {
+                return *d as usize;
+            }
+        }
+        if u.index() < self.base.forward_outdegree.len() {
+            self.base.forward_outdegree[u.index()] as usize
+        } else {
+            0
+        }
     }
 
     /// Whether a directed edge `u -> v` exists in the expanded graph.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.out.has_edge(u, v)
+        self.out_row(u).any(|(to, _, _)| to == v)
     }
 
     /// Weight of the cheapest directed edge `u -> v` in the expanded graph.
     #[inline]
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.out.edge_weight(u, v)
+        self.out_row(u)
+            .filter(|(to, _, _)| *to == v)
+            .map(|(_, w, _)| w)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.min(w))))
     }
 
     /// Weight of the cheapest *forward* edge `u -> v`.
@@ -322,12 +554,74 @@ impl DataGraph {
             .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.min(w))))
     }
 
-    /// Approximate heap footprint of the adjacency structures in bytes.
+    // --------------------------------------------------------------- memory
+
+    /// Approximate resident heap footprint attributable to this graph, in
+    /// bytes.
+    ///
+    /// The adjacency base is structurally shared between a graph and its
+    /// mutation successors (and clones), so naively reporting the full base
+    /// from every version would double-count what is resident once.  This
+    /// method therefore reports the graph's *attributed* bytes: its owned
+    /// copy-on-write overlay plus an equal share of the `Arc`-shared base —
+    /// summing `memory_bytes()` across all live sharers approximates the
+    /// true resident total.  A graph that shares with nobody reports
+    /// exactly its full footprint, matching the historical behaviour.
+    ///
+    /// Use [`DataGraph::memory_breakdown`] for the shared/owned split.
     pub fn memory_bytes(&self) -> usize {
-        self.out.memory_bytes()
-            + self.inc.memory_bytes()
-            + self.forward_indegree.len() * 4
-            + self.forward_outdegree.len() * 4
+        self.memory_breakdown().attributed_bytes()
+    }
+
+    /// The shared/owned memory split behind [`DataGraph::memory_bytes`].
+    pub fn memory_breakdown(&self) -> GraphMemory {
+        GraphMemory {
+            shared_bytes: self.base.memory_bytes(),
+            owned_bytes: self.overlay.memory_bytes(),
+            sharers: Arc::strong_count(&self.base),
+        }
+    }
+
+    /// Whether this graph carries a copy-on-write overlay (true after
+    /// mutations; false for freshly built or compacted graphs).
+    pub fn has_overlay(&self) -> bool {
+        !self.overlay.is_empty()
+    }
+
+    /// Fraction of nodes whose adjacency rows live in the overlay rather
+    /// than the shared base — the signal [`crate::GraphStore`] uses to
+    /// decide when compaction pays.
+    pub fn overlay_ratio(&self) -> f64 {
+        let n = self.num_nodes();
+        if n == 0 {
+            return 0.0;
+        }
+        self.overlay.out_rows.len() as f64 / n as f64
+    }
+
+    /// Rebuilds this graph into flat CSR storage with an empty overlay,
+    /// **keeping the epoch** — contents are identical, and equal epochs
+    /// promise equal data, so caches keyed on the epoch stay valid.  An
+    /// overlay-free graph is returned as a cheap clone.
+    pub fn compacted(&self) -> DataGraph {
+        if !self.has_overlay() {
+            return self.clone();
+        }
+        let kinds: Vec<String> = (0..self.num_kinds())
+            .map(|k| self.kind_name(KindId::from_index(k)).to_string())
+            .collect();
+        let meta: Vec<NodeMeta> = self.nodes().map(|n| self.node_meta(n).clone()).collect();
+        let mut forward: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(self.num_original_edges());
+        for u in self.nodes() {
+            for e in self.out_edges(u) {
+                if e.kind == EdgeKind::Forward {
+                    forward.push((u, e.to, e.weight));
+                }
+            }
+        }
+        let mut flat = DataGraph::from_parts(kinds, meta, forward, self.policy());
+        flat.epoch = self.epoch;
+        flat
     }
 }
 
@@ -416,6 +710,25 @@ mod tests {
     fn memory_bytes_positive_for_nonempty() {
         let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_is_attributed_across_sharers() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let solo = g.memory_bytes();
+        let breakdown = g.memory_breakdown();
+        assert_eq!(breakdown.sharers, 1);
+        assert_eq!(breakdown.owned_bytes, 0, "fresh graph owns no overlay");
+        assert_eq!(solo, breakdown.shared_bytes);
+
+        // A clone shares the base: each copy reports roughly half, and the
+        // sum stays near the true resident footprint instead of doubling.
+        let clone = g.clone();
+        let summed = g.memory_bytes() + clone.memory_bytes();
+        assert!(summed <= solo + 1, "sum {summed} must not exceed {solo}+1");
+        assert_eq!(g.memory_breakdown().sharers, 2);
+        drop(clone);
+        assert_eq!(g.memory_bytes(), solo, "sole owner reports everything");
     }
 
     #[test]

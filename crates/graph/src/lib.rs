@@ -19,6 +19,12 @@
 //! * [`DataGraph`] — an immutable, compact CSR-style representation holding
 //!   both the forward and the induced backward edges, with O(1) access to
 //!   the out- and in-adjacency of every node,
+//! * [`GraphMutation`] / [`MutationBatch`] / [`DataGraph::apply_batch`] —
+//!   first-class incremental updates: a batch produces a structurally
+//!   shared successor graph (copy-on-write adjacency, fresh epoch) in
+//!   O(touched rows) instead of a rebuild,
+//! * [`GraphStore`] — owns the current version, applies batches, keeps the
+//!   mutation log, and compacts the overlay when it grows,
 //! * [`ExpansionPolicy`] / [`BackwardWeightPolicy`] — the knobs controlling
 //!   how backward edges are derived,
 //! * traversal helpers ([`traversal`]), statistics ([`stats`]),
@@ -35,19 +41,23 @@ pub mod dot;
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod mutation;
 pub mod node;
 pub mod serialize;
 pub mod stats;
+pub mod store;
 pub mod traversal;
 pub mod weights;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrAdjacency;
 pub use error::GraphError;
-pub use graph::{DataGraph, EdgeRef};
+pub use graph::{DataGraph, EdgeRef, GraphMemory};
 pub use ids::{EdgeId, KindId, NodeId};
+pub use mutation::{BatchOutcome, GraphMutation, LabelChange, MutationBatch, OpEffect};
 pub use node::{EdgeKind, NodeMeta};
 pub use stats::GraphStats;
+pub use store::{AppliedBatch, GraphStore};
 pub use weights::{BackwardWeightPolicy, ExpansionPolicy};
 
 /// Result alias used throughout the crate.

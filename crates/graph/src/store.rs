@@ -1,0 +1,226 @@
+//! [`GraphStore`]: ownership of the *current* graph version plus its
+//! mutation log.
+//!
+//! A [`crate::DataGraph`] is a persistent value — [`DataGraph::apply_batch`]
+//! never modifies its receiver — so something has to own "the" graph and
+//! advance it as batches land.  `GraphStore` is that owner: it holds the
+//! current version, applies batches (keeping a bounded log of what was
+//! applied, epoch to epoch), and compacts the copy-on-write overlay back
+//! into flat CSR storage when enough of the graph has been overwritten
+//! that the overlay indirection stops paying for itself.
+
+use crate::graph::DataGraph;
+use crate::mutation::{BatchOutcome, MutationBatch};
+
+/// Cap on retained [`AppliedBatch`] log entries; older entries are dropped
+/// from the front.  The log is an audit/debugging surface, not a redo log —
+/// the current graph is always authoritative.
+const MAX_LOG: usize = 1024;
+
+/// One applied batch, as recorded in the [`GraphStore`] mutation log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppliedBatch {
+    /// Epoch of the graph the batch was applied to.
+    pub parent_epoch: u64,
+    /// Epoch of the successor graph the batch produced.
+    pub epoch: u64,
+    /// Total ops in the batch.
+    pub ops: usize,
+    /// Ops accepted.
+    pub accepted: usize,
+    /// Ops rejected (validation failures; they changed nothing).
+    pub rejected: usize,
+}
+
+/// Owns the current [`DataGraph`] version and a log of the mutation batches
+/// that produced it.
+///
+/// ```
+/// use banks_graph::builder::graph_from_edges;
+/// use banks_graph::{GraphStore, MutationBatch, NodeId};
+///
+/// let mut store = GraphStore::new(graph_from_edges(3, &[(0, 1)]));
+/// let before = store.epoch();
+/// let outcome = store.apply(&MutationBatch::new().add_edge(NodeId(1), NodeId(2)));
+/// assert_eq!(outcome.accepted(), 1);
+/// assert_ne!(store.epoch(), before);
+/// assert!(store.current().has_edge(NodeId(1), NodeId(2)));
+/// assert_eq!(store.log().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphStore {
+    current: DataGraph,
+    log: Vec<AppliedBatch>,
+}
+
+impl GraphStore {
+    /// Wraps a graph as the initial version.
+    pub fn new(graph: DataGraph) -> Self {
+        GraphStore {
+            current: graph,
+            log: Vec::new(),
+        }
+    }
+
+    /// The current graph version.  Clone it (cheap — structural sharing)
+    /// to pin this version against future [`GraphStore::apply`] calls.
+    pub fn current(&self) -> &DataGraph {
+        &self.current
+    }
+
+    /// Epoch of the current version.
+    pub fn epoch(&self) -> u64 {
+        self.current.epoch()
+    }
+
+    /// Applies a batch: the store advances to the structurally-shared
+    /// successor and logs the transition.  A batch in which *no* op was
+    /// accepted leaves the store (and its epoch) untouched — readers see
+    /// no spurious version churn.
+    pub fn apply(&mut self, batch: &MutationBatch) -> BatchOutcome {
+        let parent_epoch = self.current.epoch();
+        let (next, outcome) = self.current.apply_batch(batch);
+        if outcome.accepted() > 0 {
+            self.log.push(AppliedBatch {
+                parent_epoch,
+                epoch: next.epoch(),
+                ops: batch.len(),
+                accepted: outcome.accepted(),
+                rejected: outcome.rejected(),
+            });
+            if self.log.len() > MAX_LOG {
+                let excess = self.log.len() - MAX_LOG;
+                self.log.drain(..excess);
+            }
+            self.current = next;
+        }
+        outcome
+    }
+
+    /// The applied-batch log, oldest first (bounded; see [`AppliedBatch`]).
+    pub fn log(&self) -> &[AppliedBatch] {
+        &self.log
+    }
+
+    /// Replaces the current version wholesale (the `swap_graph` analogue).
+    /// The log records nothing — this is not a mutation but a new world.
+    pub fn replace(&mut self, graph: DataGraph) {
+        self.current = graph;
+    }
+
+    /// Rebuilds the current version into flat CSR storage with an empty
+    /// overlay, **keeping the epoch** — contents are identical, and equal
+    /// epochs promise equal data, so caches stay valid.  Call when
+    /// [`DataGraph::overlay_ratio`] says the per-lookup overlay check has
+    /// stopped paying (see [`GraphStore::maybe_compact`]).
+    pub fn compact(&mut self) {
+        self.current = self.current.compacted();
+    }
+
+    /// Compacts when more than `ratio` of the nodes carry overlay rows.
+    /// Returns whether compaction ran.
+    pub fn maybe_compact(&mut self, ratio: f64) -> bool {
+        if self.current.overlay_ratio() > ratio {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::NodeId;
+
+    #[test]
+    fn apply_advances_and_logs() {
+        let mut store = GraphStore::new(graph_from_edges(4, &[(0, 1), (1, 2)]));
+        let e0 = store.epoch();
+        let outcome = store.apply(
+            &MutationBatch::new()
+                .add_edge(NodeId(2), NodeId(3))
+                .remove_edge(NodeId(0), NodeId(3)), // rejected
+        );
+        assert_eq!(outcome.accepted(), 1);
+        assert_eq!(outcome.rejected(), 1);
+        let log = store.log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].parent_epoch, e0);
+        assert_eq!(log[0].epoch, store.epoch());
+        assert_eq!(log[0].ops, 2);
+        assert_eq!(log[0].accepted, 1);
+    }
+
+    #[test]
+    fn fully_rejected_batches_do_not_advance_the_epoch() {
+        let mut store = GraphStore::new(graph_from_edges(2, &[(0, 1)]));
+        let e0 = store.epoch();
+        let outcome = store.apply(&MutationBatch::new().remove_edge(NodeId(1), NodeId(0)));
+        assert_eq!(outcome.accepted(), 0);
+        assert_eq!(store.epoch(), e0, "no accepted op, no new version");
+        assert!(store.log().is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_epoch() {
+        let mut store = GraphStore::new(graph_from_edges(4, &[(0, 1), (1, 2)]));
+        store.apply(
+            &MutationBatch::new()
+                .add_node("node", "v4")
+                .add_edge(NodeId(3), NodeId(4))
+                .set_weight(NodeId(0), NodeId(1), 2.5),
+        );
+        let epoch = store.epoch();
+        let before: Vec<Vec<(u32, u64, bool)>> = store
+            .current()
+            .nodes()
+            .map(|u| {
+                store
+                    .current()
+                    .out_edges(u)
+                    .map(|e| (e.to.0, e.weight.to_bits(), e.kind.is_backward()))
+                    .collect()
+            })
+            .collect();
+        assert!(store.current().has_overlay());
+        store.compact();
+        assert!(!store.current().has_overlay());
+        assert_eq!(store.epoch(), epoch, "identical contents keep the epoch");
+        let after: Vec<Vec<(u32, u64, bool)>> = store
+            .current()
+            .nodes()
+            .map(|u| {
+                store
+                    .current()
+                    .out_edges(u)
+                    .map(|e| (e.to.0, e.weight.to_bits(), e.kind.is_backward()))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(before, after);
+        assert_eq!(store.current().node_label(NodeId(4)), "v4");
+    }
+
+    #[test]
+    fn maybe_compact_uses_the_overlay_ratio() {
+        let mut store = GraphStore::new(graph_from_edges(3, &[(0, 1)]));
+        store.apply(&MutationBatch::new().add_edge(NodeId(1), NodeId(2)));
+        assert!(!store.maybe_compact(0.9), "ratio below threshold");
+        assert!(store.current().has_overlay());
+        assert!(store.maybe_compact(0.1), "ratio above threshold compacts");
+        assert!(!store.current().has_overlay());
+    }
+
+    #[test]
+    fn replace_swaps_wholesale_without_logging() {
+        let mut store = GraphStore::new(graph_from_edges(2, &[(0, 1)]));
+        let replacement = graph_from_edges(3, &[(0, 2)]);
+        let replacement_epoch = replacement.epoch();
+        store.replace(replacement);
+        assert_eq!(store.epoch(), replacement_epoch);
+        assert!(store.log().is_empty());
+    }
+}

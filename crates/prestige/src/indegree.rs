@@ -5,7 +5,7 @@
 //! PageRank.  We expose it both for ablations and because the synthetic
 //! workload generators use it when the random-walk prestige is not needed.
 
-use banks_graph::DataGraph;
+use banks_graph::{DataGraph, NodeId};
 
 use crate::vector::PrestigeVector;
 
@@ -16,16 +16,95 @@ use crate::vector::PrestigeVector;
 /// incoming edges) from drowning out every other signal, mirroring the
 /// paper's treatment of hub edges.
 pub fn compute_indegree_prestige(graph: &DataGraph) -> PrestigeVector {
-    let raw: Vec<f64> = graph
-        .nodes()
-        .map(|u| (1.0 + graph.forward_indegree(u) as f64).log2())
-        .collect();
-    let max = raw.iter().copied().fold(0.0_f64, f64::max);
-    if max <= 0.0 {
-        // No edges at all: fall back to uniform prestige.
-        return PrestigeVector::uniform(graph.num_nodes());
+    IndegreePrestige::compute(graph).to_vector()
+}
+
+/// Incrementally-maintainable state behind the indegree prestige backend.
+///
+/// A full [`compute_indegree_prestige`] re-reads every node's forward
+/// in-degree.  When the serving tier applies a [`banks_graph::MutationBatch`]
+/// it already knows exactly which nodes' in-degrees changed
+/// ([`banks_graph::BatchOutcome::dirty_nodes`]), so this type keeps the raw
+/// (unnormalised) per-node scores and refreshes only the dirty entries:
+/// [`IndegreePrestige::refresh`] is O(|dirty|) except in the rare case that
+/// the previous maximum decreased, which triggers one O(n) rescan.
+///
+/// The normalised vector produced by [`IndegreePrestige::to_vector`] is
+/// **bit-identical** to a from-scratch [`compute_indegree_prestige`] on the
+/// same graph — raw scores and the division by the maximum use exactly the
+/// same operations — which is what lets the serving tier answer queries on
+/// incrementally-refreshed prestige without any drift from the rebuild
+/// path.
+#[derive(Clone, Debug)]
+pub struct IndegreePrestige {
+    /// `log2(1 + forward_indegree(u))` per node.
+    raw: Vec<f64>,
+    max: f64,
+}
+
+impl IndegreePrestige {
+    /// Computes the state from scratch.
+    pub fn compute(graph: &DataGraph) -> Self {
+        let raw: Vec<f64> = graph
+            .nodes()
+            .map(|u| (1.0 + graph.forward_indegree(u) as f64).log2())
+            .collect();
+        let max = raw.iter().copied().fold(0.0_f64, f64::max);
+        IndegreePrestige { raw, max }
     }
-    PrestigeVector::from_values(raw.into_iter().map(|v| v / max).collect())
+
+    /// Refreshes the entries of `dirty` nodes against the (post-mutation)
+    /// `graph`, extending the state for nodes the mutation appended.
+    /// `dirty` must cover every node whose forward in-degree changed — the
+    /// contract [`banks_graph::BatchOutcome::dirty_nodes`] provides.
+    pub fn refresh(&mut self, graph: &DataGraph, dirty: &[NodeId]) {
+        let n = graph.num_nodes();
+        if self.raw.len() < n {
+            // Appended nodes: fill with their true score right away (the
+            // dirty list covers them too, but this keeps the state valid
+            // even for callers passing a narrower list).
+            for i in self.raw.len()..n {
+                let v = (1.0 + graph.forward_indegree(NodeId::from_index(i)) as f64).log2();
+                self.raw.push(v);
+                self.max = self.max.max(v);
+            }
+        }
+        let mut max_lowered = false;
+        for &d in dirty {
+            let v = (1.0 + graph.forward_indegree(d) as f64).log2();
+            let old = self.raw[d.index()];
+            self.raw[d.index()] = v;
+            if v > self.max {
+                self.max = v;
+            } else if old == self.max && v < old {
+                max_lowered = true;
+            }
+        }
+        if max_lowered {
+            self.max = self.raw.iter().copied().fold(0.0_f64, f64::max);
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True when no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Produces the normalised prestige vector (maximum rescaled to 1;
+    /// uniform fallback for edgeless graphs) — bit-identical to
+    /// [`compute_indegree_prestige`] on the same graph.
+    pub fn to_vector(&self) -> PrestigeVector {
+        if self.max <= 0.0 {
+            // No edges at all: fall back to uniform prestige.
+            return PrestigeVector::uniform(self.raw.len());
+        }
+        PrestigeVector::from_values(self.raw.iter().map(|v| v / self.max).collect())
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +142,57 @@ mod tests {
         // node 0 has indegree 3, node 6 has indegree 3, node 5 has indegree 1
         assert!(p.get(NodeId(0)) > p.get(NodeId(5)));
         assert_eq!(p.get(NodeId(0)), p.get(NodeId(6)));
+    }
+
+    #[test]
+    fn refresh_is_bit_identical_to_full_recompute() {
+        use banks_graph::MutationBatch;
+        let g = graph_from_edges(6, &[(1, 0), (2, 0), (3, 0), (4, 5)]);
+        let mut state = IndegreePrestige::compute(&g);
+        let batch = MutationBatch::new()
+            .add_node("node", "v6")
+            .add_edge(NodeId(6), NodeId(0))
+            .add_edge(NodeId(1), NodeId(5))
+            .remove_edge(NodeId(4), NodeId(5));
+        let (g2, outcome) = g.apply_batch(&batch);
+        state.refresh(&g2, &outcome.dirty_nodes);
+        let incremental = state.to_vector();
+        let full = compute_indegree_prestige(&g2);
+        assert_eq!(incremental.len(), full.len());
+        for (a, b) in incremental.values().iter().zip(full.values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "values must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn refresh_rescans_when_the_maximum_drops() {
+        use banks_graph::MutationBatch;
+        // node 0 is the unique hub; removing its edges lowers the max
+        let g = graph_from_edges(5, &[(1, 0), (2, 0), (3, 0), (3, 4)]);
+        let mut state = IndegreePrestige::compute(&g);
+        let batch = MutationBatch::new()
+            .remove_edge(NodeId(1), NodeId(0))
+            .remove_edge(NodeId(2), NodeId(0));
+        let (g2, outcome) = g.apply_batch(&batch);
+        state.refresh(&g2, &outcome.dirty_nodes);
+        let full = compute_indegree_prestige(&g2);
+        for (a, b) in state.to_vector().values().iter().zip(full.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // indegree(0) == 1 == indegree(4): both are now the maximum
+        assert_eq!(state.to_vector().get(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn edgeless_refresh_keeps_the_uniform_fallback() {
+        let mut b = GraphBuilder::new();
+        b.add_node("node", "a");
+        let g = b.build_default();
+        let mut state = IndegreePrestige::compute(&g);
+        let (g2, outcome) = g.apply_batch(&banks_graph::MutationBatch::new().add_node("node", "b"));
+        state.refresh(&g2, &outcome.dirty_nodes);
+        let v = state.to_vector();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(NodeId(1)), 1.0, "uniform fallback");
     }
 }

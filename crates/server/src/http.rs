@@ -15,12 +15,21 @@
 //!   fails fast with [`ParseError::BadRequest`] instead of being echoed
 //!   into some later error message.
 //!
-//! One request per connection: every response carries `Connection: close`.
-//! Keep-alive buys little for an SSE-centric server (the long-lived
-//! streams hold their connection anyway) and would complicate lifetime
-//! accounting for graceful shutdown.
+//! Connection reuse: a client that sends `Connection: keep-alive` may
+//! issue further requests on the same connection to the non-streaming
+//! endpoints (`/metrics`, `/healthz`, `/admin/*`), bounded by a request
+//! count and an idle timeout (see the dispatch loop in `routes`).  SSE
+//! query streams hold their connection for the stream's lifetime and
+//! always close, and error responses close — the conservative cases stay
+//! exactly as before keep-alive existed.
 
 use std::io::{BufRead, Write};
+
+/// Idle seconds a kept-alive connection is allowed between requests.
+/// Single source of truth: advertised in the `Keep-Alive` response header
+/// by [`write_response`] and enforced (as the socket read timeout between
+/// requests) by the dispatch loop in `routes`.
+pub const KEEPALIVE_IDLE_SECS: u64 = 5;
 
 /// Parser resource bounds.
 #[derive(Clone, Copy, Debug)]
@@ -299,13 +308,15 @@ pub fn reason_phrase(status: u16) -> &'static str {
 }
 
 /// Writes a complete response (status line, headers, body).  Always adds
-/// `Content-Length` and `Connection: close`.
+/// `Content-Length`; the `Connection` header reflects `keep_alive` (a
+/// kept-alive response also advertises the idle timeout via `Keep-Alive`).
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
     extra_headers: &[(&str, &str)],
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
     let mut head = format!("HTTP/1.1 {status} {}\r\n", reason_phrase(status));
     head.push_str(&format!("Content-Type: {content_type}\r\n"));
@@ -313,7 +324,13 @@ pub fn write_response(
     for (name, value) in extra_headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
-    head.push_str("Connection: close\r\n\r\n");
+    if keep_alive {
+        head.push_str(&format!(
+            "Connection: keep-alive\r\nKeep-Alive: timeout={KEEPALIVE_IDLE_SECS}\r\n\r\n"
+        ));
+    } else {
+        head.push_str("Connection: close\r\n\r\n");
+    }
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -499,6 +516,7 @@ mod tests {
             &[("Retry-After", "7")],
             "application/json",
             b"{}",
+            false,
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -506,6 +524,17 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Retry-After: 7\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn write_response_advertises_keep_alive_when_asked() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, &[], "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Keep-Alive: timeout=5\r\n"));
+        assert!(!text.contains("Connection: close"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

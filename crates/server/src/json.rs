@@ -297,7 +297,8 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         "{{\"submitted\":{},\"rejected\":{},\"quota_rejected\":{},\"executed\":{},\
          \"completed\":{},\"cancelled\":{},\"truncated\":{},\"cache_hits\":{},\
          \"cache_hit_rate\":{},\"answers_delivered\":{},\"nodes_explored\":{},\
-         \"queued\":{},\"swaps\":{},\"epoch\":{}",
+         \"queued\":{},\"swaps\":{},\"mutation_batches\":{},\
+         \"mutation_ops_accepted\":{},\"mutation_ops_rejected\":{},\"epoch\":{}",
         m.submitted,
         m.rejected,
         m.quota_rejected,
@@ -311,6 +312,9 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         m.nodes_explored,
         m.queued,
         m.swaps,
+        m.mutation_batches,
+        m.mutation_ops_accepted,
+        m.mutation_ops_rejected,
         m.epoch,
     ));
     buf.push_str(&format!(
@@ -330,12 +334,17 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         }
         buf.push_str(&format!(
             "{{\"tenant\":{},\"executed\":{},\"quota_rejected\":{},\
-             \"mean_queue_wait_us\":{},\"max_queue_wait_us\":{}}}",
+             \"mean_queue_wait_us\":{},\"max_queue_wait_us\":{},\
+             \"quota_rate_per_sec\":{},\"quota_burst\":{}}}",
             corejson::string(&t.tenant),
             t.executed,
             t.quota_rejected,
             corejson::duration_us(t.mean_queue_wait),
             corejson::duration_us(t.max_queue_wait),
+            t.quota_rate_per_sec
+                .map_or_else(|| "null".to_string(), corejson::number),
+            t.quota_burst
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
         ));
     }
     buf.push_str("]}");
@@ -491,6 +500,9 @@ mod tests {
             "cache_hits",
             "queued",
             "swaps",
+            "mutation_batches",
+            "mutation_ops_accepted",
+            "mutation_ops_rejected",
             "epoch",
         ] {
             assert!(v.get(key).is_some(), "metrics must include {key}");

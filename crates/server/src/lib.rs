@@ -21,6 +21,7 @@
 //! | `POST /query` (also `GET`) | submit a query; stream `answer` SSE events incrementally, then one `finished` event |
 //! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON (per-tenant rows, queue-wait percentiles, quota rejections) |
 //! | `POST /admin/swap` | rebuild and atomically swap the served [`banks_service::GraphSnapshot`] |
+//! | `POST /admin/mutate` | apply a JSON [`banks_graph::MutationBatch`] incrementally: delta snapshot, fresh epoch, per-op accept/reject counts |
 //! | `GET /healthz` | liveness: status, serving epoch, worker count, engine names |
 //!
 //! `POST /query` takes a JSON body — `{"q":"jim gray","top_k":5}` or
@@ -31,6 +32,11 @@
 //! (`interactive` / `normal` / `batch`) the class — remote traffic is
 //! governed by the same scheduler and token buckets as in-process
 //! submissions.
+//!
+//! The non-streaming endpoints honour `Connection: keep-alive` (bounded
+//! request count, 5 s idle timeout), so metrics scrapers and mutation
+//! ingest pipelines can reuse one connection; SSE streams and error
+//! responses always close.
 //!
 //! ## Error surface
 //!

@@ -5,6 +5,7 @@
 //! | `POST /query` (also `GET`) | submit a [`QuerySpec`], stream `answer` events as SSE, finish with a `finished` event |
 //! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON |
 //! | `POST /admin/swap` | rebuild and atomically swap the served snapshot |
+//! | `POST /admin/mutate` | apply a JSON [`MutationBatch`] incrementally: new epoch + per-op accept/reject |
 //! | `GET /healthz` | liveness probe |
 //!
 //! Tenant and priority travel as headers (`X-Banks-Tenant`,
@@ -14,6 +15,16 @@
 //! malformed requests → 400, unknown engines (with their "did you mean"
 //! suggestion) → 404, quota rejections → 429 + `Retry-After`, a full
 //! admission queue or shutdown → 503.
+//!
+//! ## Keep-alive
+//!
+//! The non-streaming endpoints honour `Connection: keep-alive`: a client
+//! sending the header may reuse the connection for up to
+//! [`KEEPALIVE_MAX_REQUESTS`] requests, with [`KEEPALIVE_IDLE`] allowed
+//! between them — a metrics scraper polls without a handshake per sample,
+//! and an ingest pipeline streams many small mutation batches down one
+//! connection.  SSE query streams occupy their connection anyway and
+//! always close; error responses close.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -22,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use banks_core::json as corejson;
 use banks_core::EmissionPolicy;
+use banks_graph::{GraphMutation, MutationBatch, NodeId, OpEffect};
 use banks_service::{
     GraphSnapshot, Priority, QueryEvent, QueryResult, QuerySpec, RecvTimeout, Service, SubmitError,
 };
@@ -29,6 +41,15 @@ use banks_service::{
 use crate::http::{self, Limits, ParseError, Request};
 use crate::json::{self, JsonValue};
 use crate::sse::{SseWriter, STREAM_HEADER};
+
+/// Bound on requests served over one kept-alive connection before the
+/// server closes it (defence against a connection monopolised forever).
+pub const KEEPALIVE_MAX_REQUESTS: usize = 64;
+
+/// Idle time allowed between requests on a kept-alive connection (also
+/// advertised in the `Keep-Alive` response header — one constant,
+/// [`http::KEEPALIVE_IDLE_SECS`], drives both).
+pub const KEEPALIVE_IDLE: Duration = Duration::from_secs(http::KEEPALIVE_IDLE_SECS);
 
 /// A callback producing the next serving snapshot for `POST /admin/swap`
 /// (e.g. re-extracting the graph from the system of record).
@@ -67,7 +88,9 @@ impl HttpError {
     }
 }
 
-/// Serves one connection: parse, dispatch, respond, close.
+/// Serves one connection: parse, dispatch, respond — looping while the
+/// client asked for (and the endpoint allows) keep-alive, closing
+/// otherwise.
 pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
     // TTFA survives the hop: answers must not sit in Nagle's buffer.
     let _ = stream.set_nodelay(true);
@@ -84,50 +107,100 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
     let mut reader = BufReader::new(reader_stream);
     let mut writer = &stream;
 
-    let request = match http::read_request(&mut reader, &ctx.limits) {
-        Ok(request) => request,
-        Err(ParseError::ConnectionClosed) | Err(ParseError::Io(_)) => return,
-        Err(ParseError::BadRequest(msg)) => {
-            respond_error(&mut writer, &HttpError::bad_request(msg));
-            return;
-        }
-        Err(ParseError::HeadTooLarge) => {
-            respond_error(
-                &mut writer,
-                &HttpError::new(431, "headers_too_large", "request head too large"),
-            );
-            return;
-        }
-        Err(ParseError::BodyTooLarge) => {
-            respond_error(
-                &mut writer,
-                &HttpError::new(413, "body_too_large", "request body too large"),
-            );
-            return;
-        }
-    };
+    let mut served = 0usize;
+    loop {
+        let request = match http::read_request(&mut reader, &ctx.limits) {
+            Ok(request) => request,
+            // Idle keep-alive connections end here: either an orderly close
+            // or the idle read timeout surfacing as an I/O error.
+            Err(ParseError::ConnectionClosed) | Err(ParseError::Io(_)) => return,
+            Err(ParseError::BadRequest(msg)) => {
+                respond_error(&mut writer, &HttpError::bad_request(msg), false);
+                return;
+            }
+            Err(ParseError::HeadTooLarge) => {
+                respond_error(
+                    &mut writer,
+                    &HttpError::new(431, "headers_too_large", "request head too large"),
+                    false,
+                );
+                return;
+            }
+            Err(ParseError::BodyTooLarge) => {
+                respond_error(
+                    &mut writer,
+                    &HttpError::new(413, "body_too_large", "request body too large"),
+                    false,
+                );
+                return;
+            }
+        };
+        served += 1;
 
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => respond_healthz(ctx, &mut writer),
-        ("GET", "/metrics") => respond_metrics(ctx, &mut writer),
-        ("POST", "/query") | ("GET", "/query") => respond_query(ctx, &request, &stream),
-        ("POST", "/admin/swap") => respond_swap(ctx, &mut writer),
-        (_, "/healthz") | (_, "/metrics") | (_, "/query") | (_, "/admin/swap") => respond_error(
-            &mut writer,
-            &HttpError::new(
-                405,
-                "method_not_allowed",
-                format!("{} not allowed on {}", request.method, request.path),
-            ),
-        ),
-        (_, path) => respond_error(
-            &mut writer,
-            &HttpError::new(404, "not_found", format!("no route for {path}")),
-        ),
+        // Opt-in persistence, for non-streaming endpoints only: the client
+        // must say `Connection: keep-alive`, and the request budget bounds
+        // how long one connection can monopolise a handler.
+        let wants_keep_alive = request.header("connection").is_some_and(|v| {
+            v.split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case("keep-alive"))
+        });
+        let keep = wants_keep_alive && served < KEEPALIVE_MAX_REQUESTS && request.path != "/query";
+
+        // Dispatch returns whether the connection actually stays open —
+        // error responses always close (and say so on the wire), so the
+        // loop must agree with what the responder wrote.
+        let kept = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                respond_healthz(ctx, &mut writer, keep);
+                keep
+            }
+            ("GET", "/metrics") => {
+                respond_metrics(ctx, &mut writer, keep);
+                keep
+            }
+            ("POST", "/query") | ("GET", "/query") => {
+                respond_query(ctx, &request, &stream);
+                false
+            }
+            ("POST", "/admin/swap") => {
+                respond_swap(ctx, &mut writer, keep);
+                keep
+            }
+            ("POST", "/admin/mutate") => respond_mutate(ctx, &request, &mut writer, keep),
+            (_, "/healthz")
+            | (_, "/metrics")
+            | (_, "/query")
+            | (_, "/admin/swap")
+            | (_, "/admin/mutate") => {
+                respond_error(
+                    &mut writer,
+                    &HttpError::new(
+                        405,
+                        "method_not_allowed",
+                        format!("{} not allowed on {}", request.method, request.path),
+                    ),
+                    false,
+                );
+                false
+            }
+            (_, path) => {
+                respond_error(
+                    &mut writer,
+                    &HttpError::new(404, "not_found", format!("no route for {path}")),
+                    false,
+                );
+                false
+            }
+        };
+        if !kept {
+            return;
+        }
+        // The next request gets the (shorter) keep-alive idle budget.
+        let _ = stream.set_read_timeout(Some(KEEPALIVE_IDLE));
     }
 }
 
-fn respond_error(w: &mut impl Write, error: &HttpError) {
+fn respond_error(w: &mut impl Write, error: &HttpError, keep_alive: bool) {
     let body = json::error_body(error.status, error.code, &error.message, &error.extras);
     let headers: Vec<(&str, &str)> = error
         .headers
@@ -140,10 +213,11 @@ fn respond_error(w: &mut impl Write, error: &HttpError) {
         &headers,
         "application/json",
         body.as_bytes(),
+        keep_alive,
     );
 }
 
-fn respond_healthz(ctx: &ServerContext, w: &mut impl Write) {
+fn respond_healthz(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
     let engines = json::string_array(&ctx.service.engine_names());
     let body = format!(
         "{{\"status\":\"ok\",\"epoch\":{},\"workers\":{},\"engines\":{}}}",
@@ -151,15 +225,15 @@ fn respond_healthz(ctx: &ServerContext, w: &mut impl Write) {
         ctx.service.workers(),
         engines,
     );
-    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes());
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
 }
 
-fn respond_metrics(ctx: &ServerContext, w: &mut impl Write) {
+fn respond_metrics(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
     let body = json::metrics(&ctx.service.metrics());
-    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes());
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
 }
 
-fn respond_swap(ctx: &ServerContext, w: &mut impl Write) {
+fn respond_swap(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
     let started = Instant::now();
     let previous_epoch = ctx.service.epoch();
     // Build the new snapshot *before* touching the serving lock: queries
@@ -177,7 +251,178 @@ fn respond_swap(ctx: &ServerContext, w: &mut impl Write) {
          \"rebuild_us\":{}}}",
         started.elapsed().as_micros(),
     );
-    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes());
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+}
+
+/// `POST /admin/mutate`: apply a JSON mutation batch incrementally.
+///
+/// Body shape:
+///
+/// ```json
+/// {"ops": [
+///   {"op": "add_node", "kind": "paper", "label": "Recovery"},
+///   {"op": "add_edge", "from": 7, "to": 12, "weight": 1.5},
+///   {"op": "remove_edge", "from": 3, "to": 4},
+///   {"op": "set_label", "node": 9, "label": "renamed"},
+///   {"op": "set_weight", "from": 1, "to": 2, "weight": 2.0}
+/// ]}
+/// ```
+///
+/// The response reports the epoch transition plus per-op accept/reject
+/// results; a malformed *body* is a 400 before anything is applied, while
+/// a semantically invalid *op* (unknown node, missing edge) is applied
+/// batch semantics: it is rejected individually and the rest proceed.
+fn respond_mutate(
+    ctx: &ServerContext,
+    request: &Request,
+    w: &mut impl Write,
+    keep_alive: bool,
+) -> bool {
+    let started = Instant::now();
+    let batch = match parse_mutation_body(request) {
+        Ok(batch) => batch,
+        Err(error) => {
+            respond_error(w, &error, false);
+            return false;
+        }
+    };
+    let report = ctx.service.apply_mutations(&batch);
+    let mut results = String::from("[");
+    for (i, result) in report.outcome.results.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        match result {
+            Ok(effect) => {
+                results.push_str(&format!(
+                    "{{\"index\":{i},\"status\":\"accepted\",{}}}",
+                    op_effect_json(effect)
+                ));
+            }
+            Err(error) => {
+                results.push_str(&format!(
+                    "{{\"index\":{i},\"status\":\"rejected\",\"error\":{}}}",
+                    corejson::string(&error.to_string())
+                ));
+            }
+        }
+    }
+    results.push(']');
+    let body = format!(
+        "{{\"swapped\":{},\"epoch\":{},\"previous_epoch\":{},\"accepted\":{},\
+         \"rejected\":{},\"apply_us\":{},\"results\":{results}}}",
+        report.swapped,
+        report.epoch,
+        report.previous_epoch,
+        report.outcome.accepted(),
+        report.outcome.rejected(),
+        started.elapsed().as_micros(),
+    );
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+    keep_alive
+}
+
+fn op_effect_json(effect: &OpEffect) -> String {
+    match effect {
+        OpEffect::NodeAdded(node) => format!("\"effect\":\"node_added\",\"node\":{node}"),
+        OpEffect::EdgeAdded { from, to } => {
+            format!("\"effect\":\"edge_added\",\"from\":{from},\"to\":{to}")
+        }
+        OpEffect::EdgesRemoved { from, to, count } => {
+            format!("\"effect\":\"edges_removed\",\"from\":{from},\"to\":{to},\"count\":{count}")
+        }
+        OpEffect::LabelSet(node) => format!("\"effect\":\"label_set\",\"node\":{node}"),
+        OpEffect::WeightSet { from, to, count } => {
+            format!("\"effect\":\"weight_set\",\"from\":{from},\"to\":{to},\"count\":{count}")
+        }
+    }
+}
+
+/// Parses the `POST /admin/mutate` body into a [`MutationBatch`].
+fn parse_mutation_body(request: &Request) -> Result<MutationBatch, HttpError> {
+    let body = request.body_utf8().map_err(HttpError::bad_request)?;
+    if body.trim().is_empty() {
+        return Err(HttpError::bad_request(
+            "empty body (expected a JSON object with an \"ops\" array)",
+        ));
+    }
+    let value =
+        json::parse(body).map_err(|e| HttpError::bad_request(format!("invalid JSON body: {e}")))?;
+    let ops = match value.get("ops") {
+        Some(JsonValue::Array(items)) => items,
+        Some(_) => return Err(HttpError::bad_request("\"ops\" must be an array")),
+        None => {
+            return Err(HttpError::bad_request(
+                "body must contain \"ops\" (an array of mutation objects)",
+            ))
+        }
+    };
+    let mut batch = MutationBatch::new();
+    for (i, item) in ops.iter().enumerate() {
+        batch.push(parse_mutation_op(i, item)?);
+    }
+    Ok(batch)
+}
+
+fn parse_mutation_op(i: usize, item: &JsonValue) -> Result<GraphMutation, HttpError> {
+    let op = item.get("op").and_then(JsonValue::as_str).ok_or_else(|| {
+        HttpError::bad_request(format!("ops[{i}] must be an object with an \"op\" string"))
+    })?;
+    let string_field = |field: &str| -> Result<String, HttpError> {
+        item.get(field)
+            .and_then(JsonValue::as_str)
+            .map(|s| s.to_string())
+            .ok_or_else(|| {
+                HttpError::bad_request(format!("ops[{i}] ({op}): \"{field}\" must be a string"))
+            })
+    };
+    let node_field = |field: &str| -> Result<NodeId, HttpError> {
+        item.get(field)
+            .and_then(JsonValue::as_usize)
+            .filter(|v| *v <= u32::MAX as usize)
+            .map(|v| NodeId(v as u32))
+            .ok_or_else(|| {
+                HttpError::bad_request(format!(
+                    "ops[{i}] ({op}): \"{field}\" must be a node id (non-negative integer)"
+                ))
+            })
+    };
+    let weight_field = |field: &str| -> Result<f64, HttpError> {
+        item.get(field).and_then(JsonValue::as_f64).ok_or_else(|| {
+            HttpError::bad_request(format!("ops[{i}] ({op}): \"{field}\" must be a number"))
+        })
+    };
+    match op {
+        "add_node" => Ok(GraphMutation::AddNode {
+            kind: string_field("kind")?,
+            label: string_field("label")?,
+        }),
+        "add_edge" => Ok(GraphMutation::AddEdge {
+            from: node_field("from")?,
+            to: node_field("to")?,
+            weight: match item.get("weight") {
+                Some(_) => Some(weight_field("weight")?),
+                None => None,
+            },
+        }),
+        "remove_edge" => Ok(GraphMutation::RemoveEdge {
+            from: node_field("from")?,
+            to: node_field("to")?,
+        }),
+        "set_label" => Ok(GraphMutation::SetLabel {
+            node: node_field("node")?,
+            label: string_field("label")?,
+        }),
+        "set_weight" => Ok(GraphMutation::SetWeight {
+            from: node_field("from")?,
+            to: node_field("to")?,
+            weight: weight_field("weight")?,
+        }),
+        other => Err(HttpError::bad_request(format!(
+            "ops[{i}]: unknown op {other:?} (expected add_node, add_edge, remove_edge, \
+             set_label or set_weight)"
+        ))),
+    }
 }
 
 /// Builds the [`QuerySpec`] a request describes, or the error to send back.
@@ -367,14 +612,14 @@ fn respond_query(ctx: &ServerContext, request: &Request, stream: &TcpStream) {
     let spec = match build_spec(request) {
         Ok(spec) => spec,
         Err(error) => {
-            respond_error(&mut writer, &error);
+            respond_error(&mut writer, &error, false);
             return;
         }
     };
     let handle = match ctx.service.submit(spec) {
         Ok(handle) => handle,
         Err(err) => {
-            respond_error(&mut writer, &submit_error(err));
+            respond_error(&mut writer, &submit_error(err), false);
             return;
         }
     };

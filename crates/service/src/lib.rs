@@ -27,6 +27,12 @@
 //!   the snapshot it resolved against: in-flight work finishes on the old
 //!   version, new admissions see the new epoch, and the epoch-keyed result
 //!   cache can never serve stale answers.
+//! * **Incremental mutations** — [`Service::apply_mutations`] applies a
+//!   [`banks_graph::MutationBatch`] to the served snapshot as a *delta*:
+//!   copy-on-write adjacency, index delta (only touched labels
+//!   re-tokenized), incremental prestige refresh — built outside the
+//!   serving lock and swapped in through the same epoch-pinning machinery
+//!   as a wholesale swap, at O(touched rows) instead of O(V + E).
 //! * **[`QueryHandle`]** — returned by [`Service::submit`]: stream answers
 //!   as the engine emits them ([`QueryHandle::recv`] /
 //!   [`QueryHandle::next_answer`]), watch live
@@ -42,6 +48,11 @@
 //!   bucket capacity, then is limited to the refill rate; an empty bucket
 //!   rejects with [`SubmitError::QuotaExceeded`] (carrying a retry-after
 //!   hint), counted per tenant in [`TenantMetrics::quota_rejected`].
+//!   Named tenants get their own configured rates
+//!   ([`ServiceBuilder::tenant_quota_for`], surfaced in
+//!   [`TenantMetrics::quota_rate_per_sec`]), and
+//!   [`ServiceBuilder::quota_work_per_token`] switches charging from one
+//!   token per request to the query's estimated work.
 //! * **Graceful drain** — [`Service::drain`] blocks until the queue is
 //!   empty and no worker is mid-query, the hook a network front-end uses
 //!   to finish in-flight streams before shutting down.
@@ -125,6 +136,6 @@ pub mod spec;
 
 pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult, RecvTimeout};
 pub use metrics::{QueueWaitSummary, ServiceMetrics, TenantMetrics, OVERFLOW_TENANT};
-pub use service::{Service, ServiceBuilder, SubmitError};
+pub use service::{MutationReport, Service, ServiceBuilder, SubmitError};
 pub use snapshot::GraphSnapshot;
 pub use spec::{Priority, QuerySpec};

@@ -15,6 +15,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::quota::QuotaSettings;
+
 /// Lock-free counters updated by the submit path and the workers.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
@@ -29,6 +31,9 @@ pub(crate) struct Counters {
     pub answers_delivered: AtomicU64,
     pub nodes_explored: AtomicU64,
     pub swaps: AtomicU64,
+    pub mutation_batches: AtomicU64,
+    pub mutation_ops_accepted: AtomicU64,
+    pub mutation_ops_rejected: AtomicU64,
 }
 
 impl Counters {
@@ -165,6 +170,8 @@ impl WaitStats {
                     t.wait_sum_us.checked_div(t.executed).unwrap_or(0),
                 ),
                 max_queue_wait: Duration::from_micros(t.wait_max_us),
+                quota_rate_per_sec: None,
+                quota_burst: None,
             })
             .collect();
         rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -198,7 +205,7 @@ pub struct QueueWaitSummary {
 /// tenant names are accounted under the synthetic [`OVERFLOW_TENANT`]
 /// (`"<other>"`) row, so a client putting per-request ids in the tenant
 /// field cannot grow the metrics state without bound.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TenantMetrics {
     /// Tenant name (`""` is the anonymous tenant, [`OVERFLOW_TENANT`] the
     /// catch-all once the row bound is reached).
@@ -213,10 +220,18 @@ pub struct TenantMetrics {
     pub mean_queue_wait: Duration,
     /// Worst queue wait of this tenant's executed queries.
     pub max_queue_wait: Duration,
+    /// The quota refill rate governing this tenant
+    /// ([`crate::ServiceBuilder::tenant_quota_for`] override if one is
+    /// configured, else the shared default); `None` when the tenant is
+    /// unlimited.
+    pub quota_rate_per_sec: Option<f64>,
+    /// The quota burst capacity governing this tenant; `None` when
+    /// unlimited.
+    pub quota_burst: Option<u64>,
 }
 
 /// A point-in-time snapshot of the service counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServiceMetrics {
     /// Queries accepted by `submit` (including cache hits).
     pub submitted: u64,
@@ -242,8 +257,17 @@ pub struct ServiceMetrics {
     pub nodes_explored: u64,
     /// Queries currently waiting in the admission scheduler.
     pub queued: u64,
-    /// Graph versions swapped in since the service started.
+    /// Graph versions swapped in since the service started (wholesale
+    /// swaps *and* accepted mutation batches — both advance the epoch).
     pub swaps: u64,
+    /// Mutation batches applied via [`crate::Service::apply_mutations`]
+    /// (batches in which every op was rejected are not counted — they
+    /// produce no new version).
+    pub mutation_batches: u64,
+    /// Mutation ops accepted across all applied batches.
+    pub mutation_ops_accepted: u64,
+    /// Mutation ops rejected across all applied batches.
+    pub mutation_ops_rejected: u64,
     /// Epoch of the graph currently being served.
     pub epoch: u64,
     /// Queue-wait distribution across executed queries.
@@ -258,7 +282,32 @@ impl ServiceMetrics {
         waits: &WaitStats,
         queued: usize,
         epoch: u64,
+        quota: Option<&QuotaSettings>,
     ) -> Self {
+        let mut tenants = waits.tenant_metrics();
+        if let Some(quota) = quota {
+            for row in &mut tenants {
+                // the overflow row aggregates many tenants; quote the
+                // default rate for it, like any non-overridden name
+                if let Some(cfg) = quota.config_for(&row.tenant) {
+                    row.quota_rate_per_sec = Some(cfg.rate_per_sec);
+                    row.quota_burst = Some(cfg.burst);
+                }
+            }
+            // Tenants with a configured override but no traffic yet still
+            // surface their configured rate.
+            for (name, cfg) in &quota.overrides {
+                if !tenants.iter().any(|t| &t.tenant == name) {
+                    tenants.push(TenantMetrics {
+                        tenant: name.clone(),
+                        quota_rate_per_sec: Some(cfg.rate_per_sec),
+                        quota_burst: Some(cfg.burst),
+                        ..TenantMetrics::default()
+                    });
+                }
+            }
+            tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        }
         ServiceMetrics {
             submitted: counters.submitted.load(Ordering::Relaxed),
             rejected: counters.rejected.load(Ordering::Relaxed),
@@ -272,9 +321,12 @@ impl ServiceMetrics {
             nodes_explored: counters.nodes_explored.load(Ordering::Relaxed),
             queued: queued as u64,
             swaps: counters.swaps.load(Ordering::Relaxed),
+            mutation_batches: counters.mutation_batches.load(Ordering::Relaxed),
+            mutation_ops_accepted: counters.mutation_ops_accepted.load(Ordering::Relaxed),
+            mutation_ops_rejected: counters.mutation_ops_rejected.load(Ordering::Relaxed),
             epoch,
             queue_wait: waits.summary(),
-            tenants: waits.tenant_metrics(),
+            tenants,
         }
     }
 
@@ -307,7 +359,7 @@ mod tests {
         Counters::bump(&counters.swaps);
         Counters::add(&counters.answers_delivered, 5);
         let waits = WaitStats::default();
-        let snap = ServiceMetrics::snapshot(&counters, &waits, 3, 42);
+        let snap = ServiceMetrics::snapshot(&counters, &waits, 3, 42, None);
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.answers_delivered, 5);
@@ -384,6 +436,38 @@ mod tests {
         let paid = rows.iter().find(|r| r.tenant == "paid").expect("paid row");
         assert_eq!(paid.quota_rejected, 0);
         assert_eq!(paid.executed, 1);
+    }
+
+    #[test]
+    fn tenant_rows_surface_their_configured_quota() {
+        use crate::quota::{QuotaConfig, QuotaSettings};
+        let mut waits = WaitStats::default();
+        waits.record("free", Duration::from_micros(10));
+        let mut settings = QuotaSettings {
+            default: Some(QuotaConfig::new(5.0, 10)),
+            ..QuotaSettings::default()
+        };
+        settings
+            .overrides
+            .insert("paid".to_string(), QuotaConfig::new(100.0, 500));
+        let counters = Counters::default();
+        let snap = ServiceMetrics::snapshot(&counters, &waits, 0, 1, Some(&settings));
+        let free = snap.tenant("free").expect("free row");
+        assert_eq!(free.quota_rate_per_sec, Some(5.0));
+        assert_eq!(free.quota_burst, Some(10));
+        // configured-but-silent tenants still surface their rate
+        let paid = snap.tenant("paid").expect("paid row from override");
+        assert_eq!(paid.quota_rate_per_sec, Some(100.0));
+        assert_eq!(paid.quota_burst, Some(500));
+        assert_eq!(paid.executed, 0);
+        // rows stay sorted by tenant name
+        let names: Vec<&str> = snap.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        // without quotas, the fields stay None
+        let snap = ServiceMetrics::snapshot(&counters, &waits, 0, 1, None);
+        assert_eq!(snap.tenant("free").unwrap().quota_rate_per_sec, None);
     }
 
     #[test]

@@ -12,13 +12,13 @@ use banks_core::registry::UnknownEngine;
 use banks_core::{
     CancelToken, EngineRegistry, QueryContext, QueryCost, ResultCache, SearchOutcome,
 };
-use banks_graph::DataGraph;
+use banks_graph::{BatchOutcome, DataGraph, MutationBatch};
 use banks_prestige::PrestigeVector;
 use banks_textindex::{InvertedIndex, KeywordMatches};
 
 use crate::handle::{HandleState, QueryEvent, QueryHandle, QueryId, QueryResult};
 use crate::metrics::{Counters, ServiceMetrics, WaitStats};
-use crate::quota::{QuotaConfig, QuotaState};
+use crate::quota::{QuotaConfig, QuotaSettings, QuotaState};
 use crate::sched::WorkQueue;
 use crate::snapshot::GraphSnapshot;
 use crate::spec::QuerySpec;
@@ -70,6 +70,22 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// What [`Service::apply_mutations`] did: the epoch transition plus the
+/// per-op [`BatchOutcome`].
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// The serving epoch after the call (unchanged when nothing was
+    /// accepted).
+    pub epoch: u64,
+    /// The serving epoch the batch was applied against.
+    pub previous_epoch: u64,
+    /// Whether a successor snapshot was actually swapped in (false when
+    /// every op was rejected).
+    pub swapped: bool,
+    /// Per-op accept/reject results and the derived-structure deltas.
+    pub outcome: BatchOutcome,
+}
+
 /// One unit of queued work, pinned to the serving snapshot it was admitted
 /// under.
 struct Job {
@@ -114,6 +130,14 @@ struct Inner {
     idle: Condvar,
     /// Per-tenant token buckets (`None`: quotas disabled).
     quota: Option<Mutex<QuotaState>>,
+    /// The quota configuration (kept outside the bucket mutex so metrics
+    /// snapshots never contend with the admission path).
+    quota_settings: Option<QuotaSettings>,
+    /// Serializes [`Service::apply_mutations`] callers, so concurrent
+    /// batches compose instead of clobbering each other.  Never held while
+    /// queries are admitted or executed — the delta build happens outside
+    /// the serving lock.
+    mutate: Mutex<()>,
     counters: Counters,
     waits: Mutex<WaitStats>,
     next_id: AtomicU64,
@@ -131,7 +155,7 @@ pub struct ServiceBuilder {
     index: Option<InvertedIndex>,
     registry: Option<EngineRegistry>,
     default_engine: String,
-    tenant_quota: Option<QuotaConfig>,
+    quota: QuotaSettings,
 }
 
 impl ServiceBuilder {
@@ -208,34 +232,78 @@ impl ServiceBuilder {
 
     /// Enables per-tenant admission quotas: every tenant owns a token
     /// bucket of capacity `burst` refilled at `rate_per_sec` tokens per
-    /// second, and each submission — cache hit or miss — takes one token.
-    /// An empty bucket rejects with [`SubmitError::QuotaExceeded`], whose
-    /// `retry_after` says when the next token arrives.
+    /// second, and each submission — cache hit or miss — takes one token
+    /// (or a cost-weighted charge; see
+    /// [`ServiceBuilder::quota_work_per_token`]).  An underfunded bucket
+    /// rejects with [`SubmitError::QuotaExceeded`], whose `retry_after`
+    /// says when the charge becomes affordable.
     ///
     /// Quotas complement the scheduler's fair share: fair share decides
     /// *who runs next* among admitted work, the quota decides *whether a
     /// tenant may submit at all*.  Submissions naming no tenant share the
     /// anonymous tenant `""` (and therefore one bucket).  Rejections are
-    /// counted per tenant in [`crate::TenantMetrics::quota_rejected`].
+    /// counted per tenant in [`crate::TenantMetrics::quota_rejected`],
+    /// and each tracked tenant's governing rate is surfaced in
+    /// [`crate::TenantMetrics::quota_rate_per_sec`].
     ///
+    /// This sets the rate every tenant shares by default; named tenants
+    /// can get their own rate via [`ServiceBuilder::tenant_quota_for`].
     /// Default: no quota (every submission admitted subject to queue
     /// capacity).  `rate_per_sec` is floored at one token per day and
     /// `burst` at 1.
     pub fn tenant_quota(mut self, rate_per_sec: f64, burst: u64) -> Self {
-        self.tenant_quota = Some(QuotaConfig::new(rate_per_sec, burst));
+        self.quota.default = Some(QuotaConfig::new(rate_per_sec, burst));
+        self
+    }
+
+    /// Configures a *per-tenant* quota override: `tenant` gets its own
+    /// token bucket of capacity `burst` refilled at `rate_per_sec`,
+    /// regardless of the shared default — a paid tier bursts higher, an
+    /// abusive scraper is pinned lower.  May be called once per tenant.
+    ///
+    /// Overrides work with or without a [`ServiceBuilder::tenant_quota`]
+    /// default; without one, tenants that have no override are unlimited.
+    pub fn tenant_quota_for(
+        mut self,
+        tenant: impl Into<String>,
+        rate_per_sec: f64,
+        burst: u64,
+    ) -> Self {
+        self.quota
+            .overrides
+            .insert(tenant.into(), QuotaConfig::new(rate_per_sec, burst));
+        self
+    }
+
+    /// Switches quota charging from flat (one token per submission) to
+    /// **cost-weighted**: a submission is charged
+    /// `max(1, estimated_work / work_per_token)` tokens, where
+    /// `estimated_work` is the scheduler's a priori estimate
+    /// ([`banks_core::QueryCost`]).  A tenant's quota then bounds the
+    /// *engine work* it can demand per second, not merely its request
+    /// rate — a burst of expensive trawls drains the bucket as fast as
+    /// many cheap lookups.
+    ///
+    /// Details: the one-token floor is charged *up front*, before any
+    /// resolution work, so an over-quota tenant cannot extract free
+    /// tokenization/cache probes by hammering; the work-priced remainder
+    /// is charged once the resolved origin sets make the estimate
+    /// available.  Cache hits are charged only the floor (they cost the
+    /// service almost nothing), and a single query estimated above
+    /// `burst × work_per_token` is clamped to the full bucket rather than
+    /// being forever unaffordable.
+    pub fn quota_work_per_token(mut self, work_per_token: u64) -> Self {
+        self.quota.work_per_token = Some(work_per_token.max(1));
         self
     }
 
     /// Validates the configuration, builds the initial serving snapshot
     /// (prestige and keyword index included) and spawns the worker threads.
     pub fn build(self) -> Service {
-        let prestige = self
-            .prestige
-            .unwrap_or_else(|| PrestigeVector::uniform_for(&self.graph));
-        let index = self
-            .index
-            .unwrap_or_else(|| banks_core::build_label_index(&self.graph));
-        let snapshot = GraphSnapshot::new(self.graph, prestige, index);
+        // Derived parts (uniform prestige, label index) refresh exactly on
+        // `apply_mutations`; caller-supplied parts are treated as external
+        // (prestige carried forward, index updated additively only).
+        let snapshot = GraphSnapshot::from_optional(self.graph, self.prestige, self.index);
         let registry = self.registry.unwrap_or_default();
         if !registry.contains(&self.default_engine) {
             panic!("{}", registry.unknown(&self.default_engine));
@@ -247,6 +315,7 @@ impl ServiceBuilder {
                 true,
             ),
         };
+        let quota_enabled = self.quota.enabled();
         let inner = Arc::new(Inner {
             serving: Mutex::new(Arc::new(snapshot)),
             registry,
@@ -261,9 +330,9 @@ impl ServiceBuilder {
             queue_capacity: self.queue_capacity,
             work_available: Condvar::new(),
             idle: Condvar::new(),
-            quota: self
-                .tenant_quota
-                .map(|cfg| Mutex::new(QuotaState::new(cfg))),
+            quota: quota_enabled.then(|| Mutex::new(QuotaState::new(self.quota.clone()))),
+            quota_settings: quota_enabled.then_some(self.quota),
+            mutate: Mutex::new(()),
             counters: Counters::default(),
             waits: Mutex::new(WaitStats::default()),
             next_id: AtomicU64::new(0),
@@ -339,7 +408,7 @@ impl Service {
             index: None,
             registry: None,
             default_engine: "bidirectional".to_string(),
-            tenant_quota: None,
+            quota: QuotaSettings::default(),
         }
     }
 
@@ -357,25 +426,37 @@ impl Service {
         }
         let tenant = spec.tenant.unwrap_or_default();
 
-        // Admission quota: charged per submission, before any work happens
-        // (even a cache hit costs a token — the quota throttles the
-        // tenant's request *rate*, not its engine work).
+        let quota_reject = |tenant: String, retry_after: Duration| {
+            Counters::bump(&inner.counters.quota_rejected);
+            inner
+                .waits
+                .lock()
+                .expect("waits lock")
+                .record_quota_rejection(&tenant);
+            Err(SubmitError::QuotaExceeded {
+                tenant,
+                retry_after,
+            })
+        };
+        let cost_weighted = inner
+            .quota_settings
+            .as_ref()
+            .is_some_and(|s| s.work_per_token.is_some());
+
+        // Admission quota, the one-token floor: charged per submission,
+        // before any work happens — an over-quota tenant is rejected
+        // without keyword normalization, origin-set resolution or a cache
+        // probe, whichever charging model is active (the quota throttles
+        // the tenant's request *rate* first).  Cost-weighted quotas charge
+        // the work-priced remainder further down, once the resolved origin
+        // sets make the estimate available.
         if let Some(quota) = &inner.quota {
             let verdict = quota
                 .lock()
                 .expect("quota lock")
-                .try_take(&tenant, Instant::now());
+                .try_take(&tenant, Instant::now(), 1.0);
             if let Err(retry_after) = verdict {
-                Counters::bump(&inner.counters.quota_rejected);
-                inner
-                    .waits
-                    .lock()
-                    .expect("waits lock")
-                    .record_quota_rejection(&tenant);
-                return Err(SubmitError::QuotaExceeded {
-                    tenant,
-                    retry_after,
-                });
+                return quota_reject(tenant, retry_after);
             }
         }
 
@@ -409,6 +490,10 @@ impl Service {
         if let Some(hit) = inner.cache.get(&cache_key) {
             // Served entirely from the cache: no queue slot, no worker, no
             // engine — the handle is complete before `submit` returns.
+            // Cost-weighted quotas charge hits only the one-token floor
+            // (already taken up front): the quota still bounds the request
+            // rate, but a hit costs the service almost nothing, so it is
+            // not billed as engine work.
             Counters::bump(&inner.counters.submitted);
             Counters::bump(&inner.counters.cache_hits);
             Counters::bump(&inner.counters.completed);
@@ -438,6 +523,29 @@ impl Service {
         // estimate, scaled by the submission's priority class.
         let cost = QueryCost::estimate(&matches, &spec.params, &engine);
         let charged = spec.priority.charge(cost.estimated_work);
+
+        // Cost-weighted quota, the remainder beyond the up-front floor:
+        // the same a priori estimate prices the admission — an expensive
+        // trawl drains the tenant's bucket as fast as many cheap lookups
+        // would (the total charge, floor included, is clamped to the
+        // bucket's burst).
+        if cost_weighted {
+            if let Some(quota) = &inner.quota {
+                let tokens = inner
+                    .quota_settings
+                    .as_ref()
+                    .expect("settings exist when quota does")
+                    .charge_for(cost.estimated_work);
+                let verdict = quota.lock().expect("quota lock").try_take_remainder(
+                    &tenant,
+                    Instant::now(),
+                    tokens,
+                );
+                if let Err(retry_after) = verdict {
+                    return quota_reject(tenant, retry_after);
+                }
+            }
+        }
 
         let job = Job {
             snapshot,
@@ -502,6 +610,69 @@ impl Service {
         self.swap_snapshot(GraphSnapshot::with_defaults(graph))
     }
 
+    /// Applies a [`MutationBatch`] to the currently-served snapshot and
+    /// swaps the successor in, returning the per-op outcome and the new
+    /// serving epoch.
+    ///
+    /// This is the incremental counterpart of [`Service::swap_graph`],
+    /// sharing all of its machinery and guarantees — pinned snapshots,
+    /// epoch-keyed caches, eager eviction for private caches — while
+    /// building the new version as a **delta** instead of a rebuild:
+    ///
+    /// * the successor snapshot (graph + index + prestige) is derived
+    ///   *outside the serving lock* via [`GraphSnapshot::apply_batch`], so
+    ///   queries keep flowing on the old version throughout;
+    /// * queued and in-flight queries finish on the snapshot they pinned
+    ///   at admission; new admissions see the new epoch;
+    /// * the epoch-keyed result cache stays correct for free (a private
+    ///   cache additionally evicts the superseded epoch eagerly);
+    /// * a batch in which **no** op was accepted swaps nothing — the
+    ///   epoch, the cache and the serving snapshot are untouched, and the
+    ///   report says so (`swapped == false`).
+    ///
+    /// Concurrent `apply_mutations` callers are serialized (each batch
+    /// builds on the previous one's result); a concurrent
+    /// [`Service::swap_graph`] interleaves on last-writer-wins terms,
+    /// exactly as two wholesale swaps would.
+    ///
+    /// Long mutation chains do not degrade the serving graph: once more
+    /// than a quarter of the nodes carry copy-on-write overlay rows, the
+    /// successor is compacted back into flat CSR storage before the swap
+    /// (same contents, same epoch — invisible to queries and caches).
+    pub fn apply_mutations(&self, batch: &MutationBatch) -> MutationReport {
+        /// Overlay fraction beyond which the successor graph is flattened.
+        const COMPACT_OVERLAY_RATIO: f64 = 0.25;
+
+        let _admin = self.inner.mutate.lock().expect("mutate lock");
+        let current = self.snapshot();
+        let previous_epoch = current.epoch();
+        // The expensive part — adjacency row rewrites, index delta,
+        // prestige refresh, the occasional compaction — happens here, with
+        // no service lock held.
+        let (mut next, outcome) = current.apply_batch(batch);
+        next.maybe_compact(COMPACT_OVERLAY_RATIO);
+        let accepted = outcome.accepted();
+        let (epoch, swapped) = if accepted > 0 {
+            (self.swap_snapshot(next), true)
+        } else {
+            (previous_epoch, false)
+        };
+        if swapped {
+            Counters::bump(&self.inner.counters.mutation_batches);
+        }
+        Counters::add(&self.inner.counters.mutation_ops_accepted, accepted as u64);
+        Counters::add(
+            &self.inner.counters.mutation_ops_rejected,
+            outcome.rejected() as u64,
+        );
+        MutationReport {
+            epoch,
+            previous_epoch,
+            swapped,
+            outcome,
+        }
+    }
+
     /// [`Service::swap_graph`] with caller-supplied prestige and index (the
     /// online equivalent of [`ServiceBuilder::prestige`] /
     /// [`ServiceBuilder::index`]).  Returns the new serving epoch.
@@ -530,7 +701,13 @@ impl Service {
         let queued = self.inner.queue.lock().expect("queue lock").jobs.len();
         let epoch = self.epoch();
         let waits = self.inner.waits.lock().expect("waits lock");
-        ServiceMetrics::snapshot(&self.inner.counters, &waits, queued, epoch)
+        ServiceMetrics::snapshot(
+            &self.inner.counters,
+            &waits,
+            queued,
+            epoch,
+            self.inner.quota_settings.as_ref(),
+        )
     }
 
     /// The shared result cache (hit/miss counters included).

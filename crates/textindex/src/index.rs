@@ -1,6 +1,14 @@
 //! The inverted index mapping terms to node posting lists.
+//!
+//! The index is an immutable value, but not a dead end: mutations to the
+//! graph propagate through [`InvertedIndex::apply_delta`], which
+//! re-tokenizes only the nodes whose text actually changed and rebuilds
+//! only the posting lists of affected terms.  Untouched lists are shared
+//! (`Arc`) between the old and new index, so a delta costs
+//! O(touched terms + map clone), not O(total postings).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use banks_graph::{DataGraph, KindId, NodeId};
 
@@ -65,18 +73,18 @@ impl IndexBuilder {
     }
 
     /// Freezes the builder: posting lists are sorted, deduplicated and
-    /// boxed.
+    /// frozen behind `Arc`s (so index deltas can share untouched lists).
     pub fn build(self) -> InvertedIndex {
         let IndexBuilder {
             tokenizer,
             postings,
             kind_terms,
         } = self;
-        let mut index: HashMap<String, Box<[NodeId]>> = HashMap::with_capacity(postings.len());
+        let mut index: HashMap<Arc<str>, Arc<[NodeId]>> = HashMap::with_capacity(postings.len());
         for (term, mut nodes) in postings {
             nodes.sort_unstable();
             nodes.dedup();
-            index.insert(term, nodes.into_boxed_slice());
+            index.insert(Arc::from(term.as_str()), nodes.into());
         }
         let mut kinds: HashMap<String, Box<[KindId]>> = HashMap::with_capacity(kind_terms.len());
         for (term, mut ids) in kind_terms {
@@ -93,11 +101,42 @@ impl IndexBuilder {
 }
 
 /// Immutable inverted index: term → sorted, deduplicated posting list.
+///
+/// Posting lists — and the term strings keying them — are `Arc`-shared,
+/// so cloning the index (and producing a successor via
+/// [`InvertedIndex::apply_delta`]) shares every untouched allocation
+/// structurally; the per-delta cost is refcount bumps plus the touched
+/// terms, not a copy of the vocabulary.
 #[derive(Clone, Debug)]
 pub struct InvertedIndex {
     tokenizer: Tokenizer,
-    postings: HashMap<String, Box<[NodeId]>>,
+    postings: HashMap<Arc<str>, Arc<[NodeId]>>,
     kind_terms: HashMap<String, Box<[KindId]>>,
+}
+
+/// One node's text change, in the form [`InvertedIndex::apply_delta`]
+/// consumes: what the index currently holds for the node (`old`) and what
+/// it should hold (`new`).  `old` must be exactly the texts originally
+/// indexed for the node — for the label indexes the serving tier builds,
+/// that is the node's pre-mutation label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TextChange {
+    /// The node whose text changed.
+    pub node: NodeId,
+    /// The texts previously indexed for this node (empty for new nodes).
+    pub old: Vec<String>,
+    /// The texts to index now (empty to remove the node's text).
+    pub new: Vec<String>,
+}
+
+/// The input to [`InvertedIndex::apply_delta`]: per-node text changes plus
+/// any relation names the mutation introduced.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TextDelta {
+    /// Per-node text changes.
+    pub changes: Vec<TextChange>,
+    /// Newly-registered relation (kind) names, matched as pseudo terms.
+    pub new_relations: Vec<(String, KindId)>,
 }
 
 impl InvertedIndex {
@@ -134,7 +173,7 @@ impl InvertedIndex {
 
     /// Iterates over the vocabulary in arbitrary order.
     pub fn terms(&self) -> impl Iterator<Item = &str> {
-        self.postings.keys().map(|s| s.as_str())
+        self.postings.keys().map(|s| &**s)
     }
 
     /// Computes the set of nodes matching a (possibly multi-word / phrase)
@@ -184,6 +223,89 @@ impl InvertedIndex {
             .iter()
             .map(|(term, nodes)| term.len() + nodes.len() * std::mem::size_of::<NodeId>())
             .sum()
+    }
+
+    /// Applies a text delta, producing a successor index equivalent to
+    /// rebuilding from scratch over the post-change texts.
+    ///
+    /// Only the nodes named in the delta are re-tokenized, and only the
+    /// posting lists of terms whose membership actually changed are
+    /// rebuilt; every other list is `Arc`-shared with `self`.  The
+    /// equivalence contract — `apply_delta` result == full rebuild — holds
+    /// as long as each change's `old` texts match what was originally
+    /// indexed for that node (see [`TextChange`]); it is asserted by the
+    /// randomized mutation-equivalence suite.
+    pub fn apply_delta(&self, delta: &TextDelta) -> InvertedIndex {
+        // Per term: nodes leaving and nodes entering the posting list.
+        let mut removals: BTreeMap<String, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut additions: BTreeMap<String, BTreeSet<NodeId>> = BTreeMap::new();
+        for change in &delta.changes {
+            let old_terms: BTreeSet<String> = change
+                .old
+                .iter()
+                .flat_map(|text| self.tokenizer.tokenize_unique(text))
+                .collect();
+            let new_terms: BTreeSet<String> = change
+                .new
+                .iter()
+                .flat_map(|text| self.tokenizer.tokenize_unique(text))
+                .collect();
+            for term in old_terms.difference(&new_terms) {
+                removals
+                    .entry(term.clone())
+                    .or_default()
+                    .insert(change.node);
+            }
+            for term in new_terms.difference(&old_terms) {
+                additions
+                    .entry(term.clone())
+                    .or_default()
+                    .insert(change.node);
+            }
+        }
+
+        let mut postings = self.postings.clone();
+        let affected: BTreeSet<&String> = removals.keys().chain(additions.keys()).collect();
+        for term in affected {
+            let removed = removals.get(term);
+            let added = additions.get(term);
+            let old_list = postings.get(term.as_str()).map(|l| &**l).unwrap_or(&[]);
+            let mut list: Vec<NodeId> = old_list
+                .iter()
+                .filter(|n| removed.is_none_or(|r| !r.contains(n)))
+                .copied()
+                .collect();
+            if let Some(added) = added {
+                list.extend(added.iter().copied());
+                list.sort_unstable();
+                list.dedup();
+            }
+            if list.is_empty() {
+                postings.remove(term.as_str());
+            } else {
+                postings.insert(Arc::from(term.as_str()), list.into());
+            }
+        }
+
+        let mut kind_terms = self.kind_terms.clone();
+        for (name, kind) in &delta.new_relations {
+            for term in self.tokenizer.tokenize_unique(name) {
+                let mut ids: Vec<KindId> = kind_terms
+                    .get(&term)
+                    .map(|k| k.to_vec())
+                    .unwrap_or_default();
+                ids.push(*kind);
+                ids.sort_unstable();
+                ids.dedup();
+                kind_terms.insert(term, ids.into_boxed_slice());
+            }
+        }
+
+        InvertedIndex {
+            tokenizer: self.tokenizer.clone(),
+            postings,
+            kind_terms,
+        }
     }
 }
 
@@ -307,6 +429,121 @@ mod tests {
         assert!(idx.num_terms() >= 6);
         assert!(idx.terms().any(|t| t == "parametric"));
         assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        // relabel node 0, add a new node 4 with fresh text, clear node 3
+        let delta = TextDelta {
+            changes: vec![
+                TextChange {
+                    node: NodeId(0),
+                    old: vec!["David Fernandez".to_string()],
+                    new: vec!["Maria Sanchez".to_string()],
+                },
+                TextChange {
+                    node: NodeId(4),
+                    old: vec![],
+                    new: vec!["Streaming recovery".to_string()],
+                },
+                TextChange {
+                    node: NodeId(3),
+                    old: vec!["Database recovery".to_string()],
+                    new: vec![],
+                },
+            ],
+            new_relations: vec![],
+        };
+        let updated = idx.apply_delta(&delta);
+
+        let mut ib = IndexBuilder::with_default_tokenizer();
+        for (node, text) in [
+            (NodeId(0), "Maria Sanchez"),
+            (NodeId(1), "Giora Fernandez"),
+            (NodeId(2), "Parametric query optimization"),
+            (NodeId(4), "Streaming recovery"),
+        ] {
+            ib.add_text(node, text);
+        }
+        for kind_name in ["author", "paper"] {
+            ib.add_relation_name(kind_name, g.kind_by_name(kind_name).unwrap());
+        }
+        let rebuilt = ib.build();
+
+        assert_eq!(updated.num_terms(), rebuilt.num_terms());
+        for term in rebuilt.terms() {
+            assert_eq!(
+                updated.postings(term),
+                rebuilt.postings(term),
+                "term {term}"
+            );
+        }
+        assert_eq!(updated.postings("fernandez"), &[NodeId(1)]);
+        assert_eq!(updated.postings("recovery"), &[NodeId(4)]);
+        assert!(updated.postings("database").is_empty(), "emptied term gone");
+        assert_eq!(updated.postings("sanchez"), &[NodeId(0)]);
+        // the source index is untouched
+        assert_eq!(idx.postings("fernandez"), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn apply_delta_shares_untouched_posting_lists() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        let delta = TextDelta {
+            changes: vec![TextChange {
+                node: NodeId(3),
+                old: vec!["Database recovery".to_string()],
+                new: vec!["Database theory".to_string()],
+            }],
+            new_relations: vec![],
+        };
+        let updated = idx.apply_delta(&delta);
+        // "parametric" was untouched: the very same allocation is shared
+        assert!(std::ptr::eq(
+            idx.postings("parametric").as_ptr(),
+            updated.postings("parametric").as_ptr()
+        ));
+        // "recovery" was touched: lists diverge
+        assert!(updated.postings("recovery").is_empty());
+        assert_eq!(idx.postings("recovery"), &[NodeId(3)]);
+    }
+
+    #[test]
+    fn apply_delta_registers_new_relation_names() {
+        let g = tiny_graph();
+        let idx = build_index(&g);
+        let delta = TextDelta {
+            changes: vec![],
+            new_relations: vec![("venue".to_string(), KindId(7))],
+        };
+        let updated = idx.apply_delta(&delta);
+        assert_eq!(updated.kinds_for_term("venue"), &[KindId(7)]);
+        assert!(idx.kinds_for_term("venue").is_empty());
+    }
+
+    #[test]
+    fn apply_delta_handles_overlapping_terms() {
+        // old and new text share a term: the node must stay posted exactly
+        // once, not be removed or duplicated.
+        let mut ib = IndexBuilder::with_default_tokenizer();
+        ib.add_text(NodeId(0), "database recovery");
+        ib.add_text(NodeId(1), "database theory");
+        let idx = ib.build();
+        let delta = TextDelta {
+            changes: vec![TextChange {
+                node: NodeId(0),
+                old: vec!["database recovery".to_string()],
+                new: vec!["database locking".to_string()],
+            }],
+            new_relations: vec![],
+        };
+        let updated = idx.apply_delta(&delta);
+        assert_eq!(updated.postings("database"), &[NodeId(0), NodeId(1)]);
+        assert_eq!(updated.postings("locking"), &[NodeId(0)]);
+        assert!(updated.postings("recovery").is_empty());
     }
 
     #[test]

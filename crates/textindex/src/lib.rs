@@ -13,7 +13,10 @@
 //! * [`Tokenizer`] — lower-casing, punctuation-splitting tokenizer with an
 //!   optional stop-word list,
 //! * [`InvertedIndex`] / [`IndexBuilder`] — term → sorted posting list of
-//!   node ids, plus per-kind pseudo terms for relation names,
+//!   node ids, plus per-kind pseudo terms for relation names; posting
+//!   lists are `Arc`-shared so [`InvertedIndex::apply_delta`] can produce
+//!   an incrementally-updated successor (only touched nodes re-tokenized,
+//!   only affected terms rebuilt) when the graph mutates,
 //! * [`Query`] — a parsed keyword query (supporting quoted phrases such as
 //!   `"David Fernandez"` from the paper's DQ1), and
 //! * [`KeywordMatches`] — the per-term origin sets `S_i` handed to the
@@ -26,7 +29,7 @@ pub mod matches;
 pub mod query;
 pub mod tokenizer;
 
-pub use index::{IndexBuilder, InvertedIndex, TermStats};
+pub use index::{IndexBuilder, InvertedIndex, TermStats, TextChange, TextDelta};
 pub use matches::KeywordMatches;
 pub use query::Query;
 pub use tokenizer::Tokenizer;

@@ -107,13 +107,19 @@ pub mod prelude {
         figure4_example, DblpConfig, DblpDataset, ImdbConfig, ImdbDataset, KeywordCategory,
         PatentsConfig, PatentsDataset, QueryCase, WorkloadConfig, WorkloadGenerator,
     };
-    pub use banks_graph::{DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphStats, NodeId};
-    pub use banks_prestige::{compute_pagerank, PageRankConfig, PrestigeVector};
+    pub use banks_graph::{
+        BatchOutcome, DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphMutation,
+        GraphStats, GraphStore, MutationBatch, NodeId,
+    };
+    pub use banks_prestige::{
+        compute_pagerank, refresh_pagerank, IndegreePrestige, PageRankConfig, PrestigeVector,
+    };
     pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
     pub use banks_server::Server;
     pub use banks_service::{
-        GraphSnapshot, Priority, QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec,
-        QueueWaitSummary, Service, ServiceBuilder, ServiceMetrics, SubmitError, TenantMetrics,
+        GraphSnapshot, MutationReport, Priority, QueryEvent, QueryHandle, QueryId, QueryResult,
+        QuerySpec, QueueWaitSummary, Service, ServiceBuilder, ServiceMetrics, SubmitError,
+        TenantMetrics,
     };
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }
