@@ -1,0 +1,297 @@
+//! Stable binary serialization of [`GraphMutation`] batches.
+//!
+//! The write-ahead log in `banks-persist` appends every accepted
+//! [`MutationBatch`] to disk and replays it after a crash, so the encoding
+//! must be *stable across releases*: little-endian fixed-width integers, a
+//! one-byte tag per op, and length-prefixed UTF-8 strings.  Weights are
+//! stored as raw IEEE-754 bit patterns so a replayed batch reproduces the
+//! pre-crash graph bit for bit.
+//!
+//! Decoding is totally defensive — truncated, oversized or unknown-tag
+//! input yields [`GraphError::ParseError`] (with the failing op index as
+//! the `line`), never a panic, because the bytes may come off a torn or
+//! corrupted log.
+
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use crate::mutation::{GraphMutation, MutationBatch};
+use crate::Result;
+
+/// Format version written as the first byte of every encoded batch.
+pub const CODEC_VERSION: u8 = 1;
+
+const TAG_ADD_NODE: u8 = 0;
+const TAG_ADD_EDGE: u8 = 1;
+const TAG_REMOVE_EDGE: u8 = 2;
+const TAG_SET_LABEL: u8 = 3;
+const TAG_SET_WEIGHT: u8 = 4;
+
+/// Encodes a batch into a self-describing byte string.
+///
+/// Layout: `version: u8`, `op_count: u32`, then each op as a `tag: u8`
+/// followed by tag-specific fields.  Strings are `len: u32` + UTF-8 bytes;
+/// node ids are `u32`; weights are `f64` bit patterns.  All integers are
+/// little-endian.
+pub fn encode_batch(batch: &MutationBatch) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + batch.len() * 16);
+    buf.push(CODEC_VERSION);
+    buf.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for op in batch.ops() {
+        match op {
+            GraphMutation::AddNode { kind, label } => {
+                buf.push(TAG_ADD_NODE);
+                put_str(&mut buf, kind);
+                put_str(&mut buf, label);
+            }
+            GraphMutation::AddEdge { from, to, weight } => {
+                buf.push(TAG_ADD_EDGE);
+                buf.extend_from_slice(&from.0.to_le_bytes());
+                buf.extend_from_slice(&to.0.to_le_bytes());
+                match weight {
+                    Some(w) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&w.to_bits().to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+            }
+            GraphMutation::RemoveEdge { from, to } => {
+                buf.push(TAG_REMOVE_EDGE);
+                buf.extend_from_slice(&from.0.to_le_bytes());
+                buf.extend_from_slice(&to.0.to_le_bytes());
+            }
+            GraphMutation::SetLabel { node, label } => {
+                buf.push(TAG_SET_LABEL);
+                buf.extend_from_slice(&node.0.to_le_bytes());
+                put_str(&mut buf, label);
+            }
+            GraphMutation::SetWeight { from, to, weight } => {
+                buf.push(TAG_SET_WEIGHT);
+                buf.extend_from_slice(&from.0.to_le_bytes());
+                buf.extend_from_slice(&to.0.to_le_bytes());
+                buf.extend_from_slice(&weight.to_bits().to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a batch previously produced by [`encode_batch`].
+///
+/// Rejects unknown format versions, unknown op tags, truncated input and
+/// invalid UTF-8 with [`GraphError::ParseError`]; the reported `line` is
+/// the 1-based index of the op being decoded (0 for header problems).
+pub fn decode_batch(bytes: &[u8]) -> Result<MutationBatch> {
+    let mut r = Reader::new(bytes);
+    let version = r.u8(0)?;
+    if version != CODEC_VERSION {
+        return Err(parse_err(
+            0,
+            format!("unsupported mutation codec version {version}"),
+        ));
+    }
+    let count = r.u32(0)? as usize;
+    // A conservative bound: every op needs at least 1 tag byte.
+    if count > bytes.len() {
+        return Err(parse_err(
+            0,
+            format!("op count {count} exceeds payload of {} bytes", bytes.len()),
+        ));
+    }
+    let mut batch = MutationBatch::new();
+    for i in 1..=count {
+        let op = match r.u8(i)? {
+            TAG_ADD_NODE => GraphMutation::AddNode {
+                kind: r.string(i)?,
+                label: r.string(i)?,
+            },
+            TAG_ADD_EDGE => {
+                let from = NodeId(r.u32(i)?);
+                let to = NodeId(r.u32(i)?);
+                let weight = match r.u8(i)? {
+                    0 => None,
+                    1 => Some(f64::from_bits(r.u64(i)?)),
+                    other => {
+                        return Err(parse_err(i, format!("invalid weight flag {other}")));
+                    }
+                };
+                GraphMutation::AddEdge { from, to, weight }
+            }
+            TAG_REMOVE_EDGE => GraphMutation::RemoveEdge {
+                from: NodeId(r.u32(i)?),
+                to: NodeId(r.u32(i)?),
+            },
+            TAG_SET_LABEL => GraphMutation::SetLabel {
+                node: NodeId(r.u32(i)?),
+                label: r.string(i)?,
+            },
+            TAG_SET_WEIGHT => GraphMutation::SetWeight {
+                from: NodeId(r.u32(i)?),
+                to: NodeId(r.u32(i)?),
+                weight: f64::from_bits(r.u64(i)?),
+            },
+            tag => return Err(parse_err(i, format!("unknown mutation tag {tag}"))),
+        };
+        batch.push(op);
+    }
+    if !r.is_done() {
+        return Err(parse_err(
+            count,
+            format!("{} trailing bytes after final op", r.remaining()),
+        ));
+    }
+    Ok(batch)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn parse_err(line: usize, message: String) -> GraphError {
+    GraphError::ParseError { line, message }
+}
+
+/// Bounds-checked little-endian cursor over the encoded bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, op: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(parse_err(
+                op,
+                format!(
+                    "truncated input: wanted {n} bytes, {} left",
+                    self.bytes.len() - self.pos
+                ),
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, op: usize) -> Result<u8> {
+        Ok(self.take(1, op)?[0])
+    }
+
+    fn u32(&mut self, op: usize) -> Result<u32> {
+        let b = self.take(4, op)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, op: usize) -> Result<u64> {
+        let b = self.take(8, op)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self, op: usize) -> Result<String> {
+        let len = self.u32(op)? as usize;
+        let bytes = self.take(len, op)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| parse_err(op, format!("invalid UTF-8 in string: {e}")))
+    }
+
+    fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> MutationBatch {
+        MutationBatch::new()
+            .add_node("paper", "Keyword Searching and Browsing")
+            .add_edge(NodeId(0), NodeId(1))
+            .add_edge_weighted(NodeId(1), NodeId(2), 2.5)
+            .remove_edge(NodeId(3), NodeId(4))
+            .set_label(NodeId(5), "renamed")
+            .set_weight(NodeId(6), NodeId(7), 0.125)
+    }
+
+    #[test]
+    fn round_trips_every_op_kind() {
+        let batch = sample_batch();
+        let decoded = decode_batch(&encode_batch(&batch)).unwrap();
+        assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn round_trips_empty_batch_and_empty_strings() {
+        let empty = MutationBatch::new();
+        assert_eq!(decode_batch(&encode_batch(&empty)).unwrap(), empty);
+        let blank = MutationBatch::new().add_node("", "");
+        assert_eq!(decode_batch(&encode_batch(&blank)).unwrap(), blank);
+    }
+
+    #[test]
+    fn weight_bit_patterns_survive_exactly() {
+        let w = 0.1f64 + 0.2f64; // a value with an awkward binary expansion
+        let batch = MutationBatch::new().set_weight(NodeId(0), NodeId(1), w);
+        let decoded = decode_batch(&encode_batch(&batch)).unwrap();
+        match decoded.ops()[0] {
+            GraphMutation::SetWeight { weight, .. } => {
+                assert_eq!(weight.to_bits(), w.to_bits());
+            }
+            ref other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let bytes = encode_batch(&sample_batch());
+        for cut in 0..bytes.len() {
+            match decode_batch(&bytes[..cut]) {
+                Err(GraphError::ParseError { .. }) => {}
+                Ok(_) => panic!("decoding a {cut}-byte prefix must not succeed"),
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_version_tag_and_trailing_bytes_are_rejected() {
+        let mut bytes = encode_batch(&sample_batch());
+        bytes[0] = 99;
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(GraphError::ParseError { line: 0, .. })
+        ));
+
+        let mut bytes = encode_batch(&MutationBatch::new().remove_edge(NodeId(0), NodeId(1)));
+        bytes[5] = 200; // op tag
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(GraphError::ParseError { line: 1, .. })
+        ));
+
+        let mut bytes = encode_batch(&MutationBatch::new());
+        bytes.push(0);
+        assert!(decode_batch(&bytes).is_err());
+    }
+
+    #[test]
+    fn bogus_op_count_is_rejected_without_allocation_blowup() {
+        let mut bytes = vec![CODEC_VERSION];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(GraphError::ParseError { .. })
+        ));
+    }
+}

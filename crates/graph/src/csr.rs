@@ -7,6 +7,7 @@
 //! close to the `16·|V| + 8·|E|` bytes the paper quotes for its Java
 //! prototype.
 
+use crate::error::GraphError;
 use crate::ids::NodeId;
 use crate::node::EdgeKind;
 
@@ -133,6 +134,96 @@ impl CsrAdjacency {
     /// Checks whether the edge `u -> v` exists.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.neighbours(u).any(|(nbr, _, _)| nbr == v)
+    }
+
+    // ------------------------------------------------------------ raw parts
+    //
+    // The persistence layer (`banks-persist`) serializes the CSR arrays
+    // verbatim and reconstructs them without re-sorting, so a loaded graph
+    // is bit-identical to the one that was written (weights included).
+
+    /// The offsets array: `offsets[u] .. offsets[u + 1]` indexes the edge
+    /// arrays for node `u`.  Length is `num_nodes() + 1` (or 0 for a
+    /// default-constructed adjacency).
+    #[inline]
+    pub fn raw_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The neighbour ids, parallel to [`CsrAdjacency::raw_weights`].
+    #[inline]
+    pub fn raw_targets(&self) -> &[u32] {
+        &self.neighbours
+    }
+
+    /// The edge weights, parallel to [`CsrAdjacency::raw_targets`].
+    #[inline]
+    pub fn raw_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The edge kinds, parallel to [`CsrAdjacency::raw_targets`].
+    #[inline]
+    pub fn raw_kinds(&self) -> &[EdgeKind] {
+        &self.kinds
+    }
+
+    /// Reassembles an adjacency from arrays previously obtained via the
+    /// `raw_*` accessors, **without** re-sorting rows — callers must supply
+    /// arrays in the exact layout a [`CsrAdjacency`] produced them.
+    ///
+    /// Validates structural invariants (monotone offsets covering the edge
+    /// arrays, parallel array lengths) and rejects inconsistent input with
+    /// [`GraphError::InvalidStorage`] instead of panicking, so corrupt
+    /// on-disk data cannot crash a loader.
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        neighbours: Vec<u32>,
+        weights: Vec<f64>,
+        kinds: Vec<EdgeKind>,
+    ) -> crate::Result<Self> {
+        let invalid = |message: String| GraphError::InvalidStorage { message };
+        if offsets.is_empty() {
+            if !(neighbours.is_empty() && weights.is_empty() && kinds.is_empty()) {
+                return Err(invalid("empty offsets with non-empty edge arrays".into()));
+            }
+            return Ok(CsrAdjacency::default());
+        }
+        let num_edges = neighbours.len();
+        if weights.len() != num_edges || kinds.len() != num_edges {
+            return Err(invalid(format!(
+                "edge array lengths differ: {} targets, {} weights, {} kinds",
+                num_edges,
+                weights.len(),
+                kinds.len()
+            )));
+        }
+        if offsets[0] != 0 {
+            return Err(invalid(format!("offsets[0] = {}, expected 0", offsets[0])));
+        }
+        for w in offsets.windows(2) {
+            if w[1] < w[0] {
+                return Err(invalid("offsets are not monotonically increasing".into()));
+            }
+        }
+        let last = *offsets.last().expect("non-empty offsets") as usize;
+        if last != num_edges {
+            return Err(invalid(format!(
+                "offsets cover {last} edges but {num_edges} are stored"
+            )));
+        }
+        let num_nodes = offsets.len() - 1;
+        if let Some(bad) = neighbours.iter().find(|&&t| t as usize >= num_nodes) {
+            return Err(invalid(format!(
+                "edge target {bad} out of bounds for {num_nodes} nodes"
+            )));
+        }
+        Ok(CsrAdjacency {
+            offsets,
+            neighbours,
+            weights,
+            kinds,
+        })
     }
 
     /// Approximate heap footprint in bytes (used by the stats module and by

@@ -44,6 +44,12 @@ pub enum GraphError {
     },
     /// Too many distinct node kinds were registered (kind ids are u16).
     TooManyKinds,
+    /// Raw storage parts handed to a reassembly constructor are internally
+    /// inconsistent (e.g. decoded from a corrupt snapshot).
+    InvalidStorage {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -69,6 +75,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::TooManyKinds => {
                 write!(f, "more than {} distinct node kinds registered", u16::MAX)
+            }
+            GraphError::InvalidStorage { message } => {
+                write!(f, "inconsistent graph storage: {message}")
             }
         }
     }

@@ -305,6 +305,19 @@ impl DataGraph {
         self.epoch = fresh_epoch();
     }
 
+    /// Restores a previously persisted epoch onto this graph and advances
+    /// the process-wide epoch counter past it, so the restored value is
+    /// served verbatim across a restart while freshly constructed graphs
+    /// can never collide with it.
+    ///
+    /// Used by crash recovery (`banks-persist`): the epoch counter resets
+    /// with the process, but cache keys and the serving tier rely on epochs
+    /// never being reused.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        NEXT_EPOCH.fetch_max(epoch.saturating_add(1), Ordering::Relaxed);
+    }
+
     // ----------------------------------------------------------------- sizes
 
     /// Number of nodes.
@@ -623,6 +636,147 @@ impl DataGraph {
         flat.epoch = self.epoch;
         flat
     }
+
+    // ----------------------------------------------------------- raw storage
+
+    /// Borrows the flat storage arrays of an overlay-free graph, or `None`
+    /// when a copy-on-write overlay is present (call
+    /// [`DataGraph::compacted`] first).
+    ///
+    /// This is the serialization surface used by `banks-persist`: the
+    /// returned arrays, written verbatim and fed back through
+    /// [`DataGraph::from_storage_parts`], reproduce the graph bit for bit —
+    /// no re-sorting, no weight recomputation.
+    pub fn flat_storage(&self) -> Option<StorageRef<'_>> {
+        if self.has_overlay() {
+            return None;
+        }
+        Some(StorageRef {
+            kinds: &self.base.kinds,
+            meta: &self.base.meta,
+            out: &self.base.out,
+            inc: &self.base.inc,
+            forward_indegree: &self.base.forward_indegree,
+            forward_outdegree: &self.base.forward_outdegree,
+            num_original_edges: self.num_original_edges,
+            num_directed_edges: self.num_directed_edges,
+            policy: self.policy,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Reassembles a graph from owned storage parts previously obtained via
+    /// [`DataGraph::flat_storage`], without rebuilding or re-sorting
+    /// anything.  The result carries a fresh epoch; callers restoring a
+    /// persisted graph follow up with [`DataGraph::restore_epoch`].
+    ///
+    /// Structural invariants are validated and violations reported as
+    /// [`GraphError::InvalidStorage`] — corrupt input never panics.
+    pub fn from_storage_parts(parts: StorageParts) -> Result<Self> {
+        let invalid = |message: String| GraphError::InvalidStorage { message };
+        let n = parts.meta.len();
+        if parts.out.num_nodes() != n || parts.inc.num_nodes() != n {
+            return Err(invalid(format!(
+                "adjacency covers {} / {} nodes but {} metadata rows are stored",
+                parts.out.num_nodes(),
+                parts.inc.num_nodes(),
+                n
+            )));
+        }
+        if parts.out.num_edges() != parts.inc.num_edges() {
+            return Err(invalid(format!(
+                "out adjacency has {} edges but in adjacency has {}",
+                parts.out.num_edges(),
+                parts.inc.num_edges()
+            )));
+        }
+        if parts.forward_indegree.len() != n || parts.forward_outdegree.len() != n {
+            return Err(invalid(format!(
+                "degree arrays cover {} / {} nodes, expected {}",
+                parts.forward_indegree.len(),
+                parts.forward_outdegree.len(),
+                n
+            )));
+        }
+        if parts.kinds.len() > u16::MAX as usize {
+            return Err(invalid(format!(
+                "{} kinds exceed u16 ids",
+                parts.kinds.len()
+            )));
+        }
+        let num_kinds = parts.kinds.len();
+        if let Some(bad) = parts.meta.iter().find(|m| m.kind.index() >= num_kinds) {
+            return Err(invalid(format!(
+                "node kind {} out of bounds for {} kinds",
+                bad.kind.index(),
+                num_kinds
+            )));
+        }
+        let num_directed_edges = parts.out.num_edges();
+        Ok(DataGraph {
+            base: Arc::new(BaseStorage {
+                kinds: parts.kinds,
+                meta: parts.meta,
+                out: parts.out,
+                inc: parts.inc,
+                forward_indegree: parts.forward_indegree,
+                forward_outdegree: parts.forward_outdegree,
+            }),
+            overlay: Overlay::default(),
+            num_original_edges: parts.num_original_edges,
+            num_directed_edges,
+            policy: parts.policy,
+            epoch: fresh_epoch(),
+        })
+    }
+}
+
+/// Borrowed view of an overlay-free graph's flat storage, as returned by
+/// [`DataGraph::flat_storage`].  The arrays are exactly what a
+/// [`StorageParts`] reassembly expects back.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageRef<'a> {
+    /// Kind names, indexed by [`KindId`].
+    pub kinds: &'a [String],
+    /// Node metadata, indexed by [`NodeId`].
+    pub meta: &'a [NodeMeta],
+    /// Out-adjacency of the expanded graph.
+    pub out: &'a CsrAdjacency,
+    /// In-adjacency of the expanded graph (exact mirror of `out`).
+    pub inc: &'a CsrAdjacency,
+    /// Forward in-degree per node.
+    pub forward_indegree: &'a [u32],
+    /// Forward out-degree per node.
+    pub forward_outdegree: &'a [u32],
+    /// Number of original forward edges.
+    pub num_original_edges: usize,
+    /// Number of directed edges in the expanded graph.
+    pub num_directed_edges: usize,
+    /// The expansion policy the graph was built with.
+    pub policy: ExpansionPolicy,
+    /// The graph's epoch at serialization time.
+    pub epoch: u64,
+}
+
+/// Owned storage parts accepted by [`DataGraph::from_storage_parts`].
+#[derive(Clone, Debug)]
+pub struct StorageParts {
+    /// Kind names, indexed by [`KindId`].
+    pub kinds: Vec<String>,
+    /// Node metadata, indexed by [`NodeId`].
+    pub meta: Vec<NodeMeta>,
+    /// Out-adjacency of the expanded graph.
+    pub out: CsrAdjacency,
+    /// In-adjacency of the expanded graph (exact mirror of `out`).
+    pub inc: CsrAdjacency,
+    /// Forward in-degree per node.
+    pub forward_indegree: Vec<u32>,
+    /// Forward out-degree per node.
+    pub forward_outdegree: Vec<u32>,
+    /// Number of original forward edges.
+    pub num_original_edges: usize,
+    /// The expansion policy the graph was built with.
+    pub policy: ExpansionPolicy,
 }
 
 #[cfg(test)]

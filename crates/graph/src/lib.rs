@@ -36,6 +36,7 @@
 //! attribute text lives in the companion `banks-textindex` crate.
 
 pub mod builder;
+pub mod codec;
 pub mod csr;
 pub mod dot;
 pub mod error;
@@ -50,14 +51,15 @@ pub mod traversal;
 pub mod weights;
 
 pub use builder::GraphBuilder;
+pub use codec::{decode_batch, encode_batch};
 pub use csr::CsrAdjacency;
 pub use error::GraphError;
-pub use graph::{DataGraph, EdgeRef, GraphMemory};
+pub use graph::{DataGraph, EdgeRef, GraphMemory, StorageParts, StorageRef};
 pub use ids::{EdgeId, KindId, NodeId};
 pub use mutation::{BatchOutcome, GraphMutation, LabelChange, MutationBatch, OpEffect};
 pub use node::{EdgeKind, NodeMeta};
 pub use stats::GraphStats;
-pub use store::{AppliedBatch, GraphStore};
+pub use store::{AppliedBatch, GraphStore, MutationLog, DEFAULT_LOG_CAPACITY};
 pub use weights::{BackwardWeightPolicy, ExpansionPolicy};
 
 /// Result alias used throughout the crate.

@@ -12,10 +12,76 @@
 use crate::graph::DataGraph;
 use crate::mutation::{BatchOutcome, MutationBatch};
 
-/// Cap on retained [`AppliedBatch`] log entries; older entries are dropped
-/// from the front.  The log is an audit/debugging surface, not a redo log —
-/// the current graph is always authoritative.
-const MAX_LOG: usize = 1024;
+/// Default cap on retained [`AppliedBatch`] log entries; older entries are
+/// dropped from the front (and counted — see
+/// [`MutationLog::dropped`]).  The log is an audit/debugging surface, not a
+/// redo log — the current graph is always authoritative.
+pub const DEFAULT_LOG_CAPACITY: usize = 1024;
+
+/// A bounded, oldest-first log of [`AppliedBatch`] records.
+///
+/// Shared by [`GraphStore`] and the serving tier: both need "what batches
+/// landed recently" with an explicit record of how many entries the bound
+/// silently evicted, so truncation is observable instead of invisible.
+#[derive(Clone, Debug)]
+pub struct MutationLog {
+    entries: Vec<AppliedBatch>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MutationLog {
+    /// An empty log retaining at most `capacity` entries (a capacity of 0
+    /// records nothing and counts every push as dropped).
+    pub fn new(capacity: usize) -> Self {
+        MutationLog {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting from the front once past capacity.
+    pub fn push(&mut self, record: AppliedBatch) {
+        self.entries.push(record);
+        if self.entries.len() > self.capacity {
+            let excess = self.entries.len() - self.capacity;
+            self.entries.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn entries(&self) -> &[AppliedBatch] {
+        &self.entries
+    }
+
+    /// How many records the capacity bound has evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for MutationLog {
+    fn default() -> Self {
+        MutationLog::new(DEFAULT_LOG_CAPACITY)
+    }
+}
 
 /// One applied batch, as recorded in the [`GraphStore`] mutation log.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,15 +116,23 @@ pub struct AppliedBatch {
 #[derive(Clone, Debug)]
 pub struct GraphStore {
     current: DataGraph,
-    log: Vec<AppliedBatch>,
+    log: MutationLog,
 }
 
 impl GraphStore {
-    /// Wraps a graph as the initial version.
+    /// Wraps a graph as the initial version, retaining
+    /// [`DEFAULT_LOG_CAPACITY`] log entries.
     pub fn new(graph: DataGraph) -> Self {
+        GraphStore::with_log_capacity(graph, DEFAULT_LOG_CAPACITY)
+    }
+
+    /// Wraps a graph as the initial version with an explicit bound on the
+    /// in-memory mutation log.  Entries evicted by the bound are counted —
+    /// see [`GraphStore::log_dropped`].
+    pub fn with_log_capacity(graph: DataGraph, capacity: usize) -> Self {
         GraphStore {
             current: graph,
-            log: Vec::new(),
+            log: MutationLog::new(capacity),
         }
     }
 
@@ -88,10 +162,6 @@ impl GraphStore {
                 accepted: outcome.accepted(),
                 rejected: outcome.rejected(),
             });
-            if self.log.len() > MAX_LOG {
-                let excess = self.log.len() - MAX_LOG;
-                self.log.drain(..excess);
-            }
             self.current = next;
         }
         outcome
@@ -99,7 +169,17 @@ impl GraphStore {
 
     /// The applied-batch log, oldest first (bounded; see [`AppliedBatch`]).
     pub fn log(&self) -> &[AppliedBatch] {
-        &self.log
+        self.log.entries()
+    }
+
+    /// How many log entries the capacity bound has silently evicted.
+    pub fn log_dropped(&self) -> u64 {
+        self.log.dropped()
+    }
+
+    /// The configured mutation-log retention bound.
+    pub fn log_capacity(&self) -> usize {
+        self.log.capacity()
     }
 
     /// Replaces the current version wholesale (the `swap_graph` analogue).
@@ -212,6 +292,29 @@ mod tests {
         assert!(store.current().has_overlay());
         assert!(store.maybe_compact(0.1), "ratio above threshold compacts");
         assert!(!store.current().has_overlay());
+    }
+
+    #[test]
+    fn log_capacity_bound_is_configurable_and_drops_are_counted() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let mut store = GraphStore::with_log_capacity(g, 2);
+        assert_eq!(store.log_capacity(), 2);
+        for _ in 0..5 {
+            store.apply(&MutationBatch::new().add_node("node", "x"));
+        }
+        assert_eq!(store.log().len(), 2, "log is bounded");
+        assert_eq!(store.log_dropped(), 3, "evictions are counted");
+        // The retained entries are the most recent ones.
+        assert_eq!(store.log().last().unwrap().epoch, store.epoch());
+    }
+
+    #[test]
+    fn zero_capacity_log_records_nothing_but_counts_everything() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let mut store = GraphStore::with_log_capacity(g, 0);
+        store.apply(&MutationBatch::new().add_node("node", "x"));
+        assert!(store.log().is_empty());
+        assert_eq!(store.log_dropped(), 1);
     }
 
     #[test]

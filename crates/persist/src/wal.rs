@@ -1,0 +1,533 @@
+//! The mutation write-ahead log.
+//!
+//! Every accepted [`MutationBatch`] is appended here **before** the
+//! in-memory snapshot pointer swings to the new graph version, so a crash
+//! at any point leaves the log a superset of the served state.  On boot
+//! the WAL suffix newer than the latest snapshot is replayed through
+//! `DataGraph::apply_batch`, arriving at exactly the pre-crash graph.
+//!
+//! ## Layout
+//!
+//! ```text
+//! +------------------------------------------------+
+//! | header (16 B): magic "BANKSWAL" | version | CRC |
+//! +------------------------------------------------+
+//! | record: len | CRC | seq | parent_epoch | epoch |
+//! |         <encode_batch payload>                 |
+//! +------------------------------------------------+
+//! | ... appended until rotation ...                |
+//! +------------------------------------------------+
+//! ```
+//!
+//! The record CRC covers everything after the `len`/`CRC` pair — sequence
+//! number, epochs and the serialized batch — so a torn or bit-flipped tail
+//! is detected and everything before it is still replayable.  Scanning is
+//! deliberately lenient: the first bad record ends the scan (it is almost
+//! always the torn final write of a crash) and [`WalScan::valid_bytes`]
+//! tells the caller where to truncate before appending resumes.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use banks_graph::{decode_batch, encode_batch, MutationBatch};
+
+use crate::bytes::{put_u32, put_u64, Cursor};
+use crate::crc::crc32;
+use crate::error::{PersistError, Result};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"BANKSWAL";
+/// WAL format version written and read by this build.
+pub const WAL_VERSION: u32 = 1;
+
+const WAL_HEADER_LEN: usize = 16;
+const WAL_RECORD_HEADER_LEN: usize = 32;
+
+/// When the operating-system write buffer is flushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record — full durability, slowest.
+    Always,
+    /// `fsync` every `n` records (and on checkpoint/rotation).  A crash can
+    /// lose at most the last `n - 1` acknowledged batches.
+    EveryN(u32),
+    /// Never `fsync` explicitly; rely on the OS flushing on its own
+    /// schedule.  Fastest, weakest.
+    Never,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(64)
+    }
+}
+
+/// One logical WAL entry: the batch a service accepted, plus the epochs it
+/// moved the graph between.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic sequence number within this WAL file (starts at 1).
+    pub seq: u64,
+    /// Epoch of the graph version the batch was applied to.
+    pub parent_epoch: u64,
+    /// Epoch of the graph version the batch produced.
+    pub epoch: u64,
+    /// The mutation batch itself.
+    pub batch: MutationBatch,
+}
+
+/// Result of leniently scanning a WAL file.
+#[derive(Clone, Debug, Default)]
+pub struct WalScan {
+    /// Records that passed CRC and decode checks, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (header plus intact records).
+    /// Appending must resume here; anything after is a torn tail.
+    pub valid_bytes: u64,
+    /// Why the scan stopped early, if it did not reach a clean EOF.
+    pub anomaly: Option<String>,
+}
+
+fn encode_record(seq: u64, parent_epoch: u64, epoch: u64, batch: &MutationBatch) -> Vec<u8> {
+    let payload = encode_batch(batch);
+    let mut body = Vec::with_capacity(24 + payload.len());
+    put_u64(&mut body, seq);
+    put_u64(&mut body, parent_epoch);
+    put_u64(&mut body, epoch);
+    body.extend_from_slice(&payload);
+    let mut rec = Vec::with_capacity(8 + body.len());
+    put_u32(&mut rec, body.len() as u32);
+    put_u32(&mut rec, crc32(&body));
+    rec.extend_from_slice(&body);
+    rec
+}
+
+fn header() -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[..8].copy_from_slice(WAL_MAGIC);
+    h[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    let crc = crc32(&h[..12]);
+    h[12..].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Leniently scans WAL bytes: returns every intact record and the length
+/// of the valid prefix.  A torn or corrupt tail sets [`WalScan::anomaly`]
+/// instead of failing — that is the expected post-crash state.
+///
+/// Only structural header problems (wrong magic, future version, flipped
+/// header bits) are hard errors: they mean the file is not a WAL at all.
+pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(PersistError::Truncated {
+            offset: 0,
+            region: "wal header",
+        });
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(PersistError::BadMagic {
+            found: bytes[..8].to_vec(),
+            expected: WAL_MAGIC,
+        });
+    }
+    let stored = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let computed = crc32(&bytes[..12]);
+    if stored != computed {
+        return Err(PersistError::ChecksumMismatch {
+            region: "wal header",
+            stored,
+            computed,
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+
+    let mut scan = WalScan {
+        valid_bytes: WAL_HEADER_LEN as u64,
+        ..WalScan::default()
+    };
+    let mut pos = WAL_HEADER_LEN;
+    let mut expected_seq = 1u64;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            scan.anomaly = Some(format!("torn record header at byte {pos}"));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let body_start = pos + 8;
+        let body_end = match body_start.checked_add(len) {
+            Some(e) if e <= bytes.len() => e,
+            _ => {
+                scan.anomaly = Some(format!(
+                    "torn record at byte {pos}: {len}-byte body extends past EOF"
+                ));
+                break;
+            }
+        };
+        if len < WAL_RECORD_HEADER_LEN - 8 {
+            scan.anomaly = Some(format!("record at byte {pos} too short ({len} bytes)"));
+            break;
+        }
+        let body = &bytes[body_start..body_end];
+        let computed = crc32(body);
+        if computed != stored_crc {
+            scan.anomaly = Some(format!(
+                "checksum mismatch at byte {pos}: stored {stored_crc:#010x}, \
+                 computed {computed:#010x}"
+            ));
+            break;
+        }
+        let mut c = Cursor::new(body, body_start as u64);
+        let seq = c.u64("wal seq")?;
+        let parent_epoch = c.u64("wal parent epoch")?;
+        let epoch = c.u64("wal epoch")?;
+        let batch = match decode_batch(c.take(c.remaining(), "wal payload")?) {
+            Ok(b) => b,
+            Err(e) => {
+                scan.anomaly = Some(format!("undecodable batch at byte {pos}: {e}"));
+                break;
+            }
+        };
+        if seq != expected_seq {
+            scan.anomaly = Some(format!(
+                "sequence gap at byte {pos}: found {seq}, expected {expected_seq}"
+            ));
+            break;
+        }
+        expected_seq += 1;
+        scan.records.push(WalRecord {
+            seq,
+            parent_epoch,
+            epoch,
+            batch,
+        });
+        pos = body_end;
+        scan.valid_bytes = pos as u64;
+    }
+    Ok(scan)
+}
+
+/// Leniently scans a WAL file on disk.  A missing file is an empty scan,
+/// not an error — a fresh data directory simply has no WAL yet.
+pub fn scan_file(path: &Path) -> Result<WalScan> {
+    match std::fs::read(path) {
+        Ok(bytes) => scan_bytes(&bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(WalScan::default()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Strictly reads a WAL file: any anomaly (torn tail included) becomes a
+/// typed error.  Used by tests and integrity checks; recovery paths want
+/// [`scan_file`].
+pub fn read_strict(path: &Path) -> Result<Vec<WalRecord>> {
+    let scan = scan_file(path)?;
+    match scan.anomaly {
+        None => Ok(scan.records),
+        Some(detail) => Err(PersistError::Corrupt { detail }),
+    }
+}
+
+/// An open, append-only WAL file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    fsync: FsyncPolicy,
+    /// Records appended since the last fsync (for [`FsyncPolicy::EveryN`]).
+    unsynced: u32,
+    next_seq: u64,
+    records: u64,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Creates a fresh, empty WAL at `path`, truncating whatever was there.
+    pub fn create(path: &Path, fsync: FsyncPolicy) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&header())?;
+        file.sync_all()?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            fsync,
+            unsynced: 0,
+            next_seq: 1,
+            records: 0,
+            bytes: WAL_HEADER_LEN as u64,
+        })
+    }
+
+    /// Opens an existing WAL for appending after a recovery scan,
+    /// truncating any torn tail past `scan.valid_bytes`.  Creates the file
+    /// if it does not exist.
+    pub fn open_after_scan(path: &Path, fsync: FsyncPolicy, scan: &WalScan) -> Result<Wal> {
+        if scan.valid_bytes == 0 {
+            // No file (or nothing valid): start fresh.
+            return Wal::create(path, fsync);
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(scan.valid_bytes)?;
+        file.sync_all()?;
+        let mut wal = Wal {
+            path: path.to_path_buf(),
+            file,
+            fsync,
+            unsynced: 0,
+            next_seq: scan.records.last().map_or(1, |r| r.seq + 1),
+            records: scan.records.len() as u64,
+            bytes: scan.valid_bytes,
+        };
+        // Position at the end of the valid prefix.
+        use std::io::Seek;
+        wal.file.seek(std::io::SeekFrom::Start(scan.valid_bytes))?;
+        Ok(wal)
+    }
+
+    /// Appends one accepted batch and applies the fsync policy.  Returns
+    /// the record's sequence number.  On error the in-memory counters are
+    /// untouched; the caller must treat the mutation as not durable.
+    pub fn append(&mut self, parent_epoch: u64, epoch: u64, batch: &MutationBatch) -> Result<u64> {
+        let seq = self.next_seq;
+        let rec = encode_record(seq, parent_epoch, epoch, batch);
+        self.file.write_all(&rec)?;
+        match self.fsync {
+            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.file.sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        self.next_seq += 1;
+        self.records += 1;
+        self.bytes += rec.len() as u64;
+        Ok(seq)
+    }
+
+    /// Forces any buffered records to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Truncates the log back to an empty header — called after a
+    /// checkpoint makes every logged record redundant.
+    pub fn reset(&mut self) -> Result<()> {
+        use std::io::Seek;
+        self.file.set_len(0)?;
+        self.file.seek(std::io::SeekFrom::Start(0))?;
+        self.file.write_all(&header())?;
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        self.next_seq = 1;
+        self.records = 0;
+        self.bytes = WAL_HEADER_LEN as u64;
+        Ok(())
+    }
+
+    /// Number of records in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Size of the log in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::NodeId;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("banks-wal-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_batch(i: u64) -> MutationBatch {
+        MutationBatch::new()
+            .add_node("author", format!("Author {i}"))
+            .add_edge(NodeId(0), NodeId(1))
+            .set_weight(NodeId(0), NodeId(1), 1.5 + i as f64)
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        for i in 0..5 {
+            let seq = wal.append(100 + i, 101 + i, &sample_batch(i)).unwrap();
+            assert_eq!(seq, i + 1);
+        }
+        assert_eq!(wal.records(), 5);
+        let scan = scan_file(&path).unwrap();
+        assert!(scan.anomaly.is_none());
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.valid_bytes, wal.bytes());
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.parent_epoch, 100 + i as u64);
+            assert_eq!(rec.epoch, 101 + i as u64);
+            assert_eq!(rec.batch, sample_batch(i as u64));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let dir = tmp_dir("missing");
+        let scan = scan_file(&dir.join("nope.log")).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_truncated() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        for i in 0..3 {
+            wal.append(i, i + 1, &sample_batch(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let full = wal.bytes();
+        drop(wal);
+        // Tear the final record: chop 5 bytes off the end.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let scan = scan_file(&path).unwrap();
+        assert_eq!(scan.records.len(), 2, "two intact records survive");
+        assert!(scan.anomaly.is_some());
+        assert!(scan.valid_bytes < full);
+
+        // Re-open truncates the tear and appending resumes at seq 3.
+        let mut wal = Wal::open_after_scan(&path, FsyncPolicy::Always, &scan).unwrap();
+        assert_eq!(wal.records(), 2);
+        let seq = wal.append(10, 11, &sample_batch(9)).unwrap();
+        assert_eq!(seq, 3);
+        let rescan = scan_file(&path).unwrap();
+        assert!(rescan.anomaly.is_none());
+        assert_eq!(rescan.records.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_stops_the_scan_at_the_flip() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        let mut first_end = 0;
+        for i in 0..3 {
+            wal.append(i, i + 1, &sample_batch(i)).unwrap();
+            if i == 0 {
+                first_end = wal.bytes();
+            }
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the second record's payload.
+        let target = first_end as usize + WAL_RECORD_HEADER_LEN + 2;
+        bytes[target] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = scan_file(&path).unwrap();
+        assert_eq!(scan.records.len(), 1, "only the record before the flip");
+        assert!(scan.anomaly.unwrap().contains("checksum mismatch"));
+        assert_eq!(scan.valid_bytes, first_end);
+
+        assert!(matches!(
+            read_strict(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_hard_errors() {
+        let dir = tmp_dir("magic");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, b"NOTABANKSWALFILE").unwrap();
+        assert!(matches!(
+            scan_file(&path),
+            Err(PersistError::BadMagic { .. })
+        ));
+
+        let mut h = header().to_vec();
+        h[8] = 9; // future version
+        let crc = crc32(&h[..12]);
+        h[12..16].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &h).unwrap();
+        assert!(matches!(
+            scan_file(&path),
+            Err(PersistError::UnsupportedVersion { found: 9, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let dir = tmp_dir("reset");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        wal.append(1, 2, &sample_batch(0)).unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.bytes(), WAL_HEADER_LEN as u64);
+        let scan = scan_file(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.anomaly.is_none());
+        // Appending after reset restarts the sequence.
+        let seq = wal.append(5, 6, &sample_batch(1)).unwrap();
+        assert_eq!(seq, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_batches_syncs() {
+        let dir = tmp_dir("everyn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7 {
+            wal.append(i, i + 1, &sample_batch(i)).unwrap();
+        }
+        // 7 appends with n=3 leaves one unsynced; sync() clears it.
+        assert_eq!(wal.unsynced, 1);
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

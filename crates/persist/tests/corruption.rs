@@ -1,0 +1,262 @@
+//! Corruption-robustness suite: every way the disk can lie — torn tails,
+//! bit flips, wrong magic, future format versions, total garbage — must
+//! surface as a typed `PersistError` (or a tolerated scan anomaly), never
+//! a panic, and recovery must fall back to the newest loadable state.
+
+use std::path::PathBuf;
+
+use banks_graph::{DataGraph, GraphBuilder, MutationBatch, NodeId};
+use banks_persist::{
+    decode_snapshot, encode_snapshot, list_snapshots, read_snapshot, recover, scan_file,
+    BootSource, FsyncPolicy, PersistError, PersistOptions, PersistentStore, FORMAT_VERSION,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("banks-corrupt-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn seed_graph() -> DataGraph {
+    let mut b = GraphBuilder::new();
+    let a1 = b.add_node("author", "Grace Hopper");
+    let a2 = b.add_node("author", "Barbara Liskov");
+    let p1 = b.add_node("paper", "Crash Recovery Considered Essential");
+    let p2 = b.add_node("paper", "Logs All The Way Down");
+    b.add_edge(p1, a1).unwrap();
+    b.add_edge(p1, a2).unwrap();
+    b.add_edge_weighted(p2, a2, 3.0).unwrap();
+    b.build_default()
+}
+
+/// One node's identity: label plus out-edges as `(target, weight bits,
+/// is-backward)`.
+type NodeSignature = (String, Vec<(u32, u64, bool)>);
+
+fn graph_signature(g: &DataGraph) -> Vec<NodeSignature> {
+    g.nodes()
+        .map(|u| {
+            (
+                g.node_label(u).to_string(),
+                g.out_edges(u)
+                    .map(|e| (e.to.0, e.weight.to_bits(), e.kind.is_backward()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn truncated_wal_tail_recovers_prefix() {
+    let dir = tmp_dir("torn-wal");
+    let expected;
+    {
+        let mut store = PersistentStore::open(&dir, seed_graph).unwrap();
+        for i in 0..5 {
+            store
+                .apply(&MutationBatch::new().add_node("author", format!("N{i}")))
+                .unwrap();
+        }
+        store.sync().unwrap();
+        // The first four batches are what a torn fifth record leaves.
+        expected = 4 + seed_graph().num_nodes();
+    }
+    // Tear the last record mid-payload.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 11]).unwrap();
+
+    let store = PersistentStore::open(&dir, || panic!("must recover")).unwrap();
+    match store.boot_source() {
+        BootSource::Recovered {
+            replayed,
+            torn_tail,
+            ..
+        } => {
+            assert_eq!(replayed, 4);
+            assert!(torn_tail);
+        }
+        other => panic!("expected recovery, got {other:?}"),
+    }
+    assert_eq!(store.graph().num_nodes(), expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flipped_wal_record_stops_replay_at_flip() {
+    let dir = tmp_dir("flip-wal");
+    {
+        let mut store = PersistentStore::open(&dir, seed_graph).unwrap();
+        for i in 0..3 {
+            store
+                .apply(&MutationBatch::new().add_node("conference", format!("C{i}")))
+                .unwrap();
+        }
+        store.sync().unwrap();
+    }
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    // Flip a bit two thirds in — inside the second or third record.
+    let target = bytes.len() * 2 / 3;
+    bytes[target] ^= 0x01;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let scan = scan_file(&wal).unwrap();
+    assert!(scan.anomaly.is_some(), "flip must be detected");
+    assert!(scan.records.len() < 3, "replay stops before the flip");
+
+    // Recovery still succeeds with the intact prefix.
+    let store = PersistentStore::open(&dir, || panic!("must recover")).unwrap();
+    assert_eq!(
+        store.graph().num_nodes(),
+        seed_graph().num_nodes() + scan.records.len()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_magic_snapshot_is_typed_and_skipped() {
+    let dir = tmp_dir("magic");
+    let sig;
+    {
+        let mut store = PersistentStore::open(&dir, seed_graph).unwrap();
+        store
+            .apply(&MutationBatch::new().set_label(NodeId(0), "Renamed"))
+            .unwrap();
+        store.checkpoint().unwrap();
+        sig = graph_signature(store.graph());
+    }
+    let snaps = list_snapshots(&dir).unwrap();
+    assert_eq!(snaps.len(), 2);
+
+    // Overwrite the newest snapshot's magic.
+    let newest = snaps[0].1.clone();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    bytes[..8].copy_from_slice(b"NOTBANKS");
+    std::fs::write(&newest, &bytes).unwrap();
+
+    // Direct read gives the typed error…
+    assert!(matches!(
+        read_snapshot(&newest),
+        Err(PersistError::BadMagic { .. })
+    ));
+    // …and recovery falls back to the older snapshot.  Its WAL is empty
+    // (checkpoint truncated it), so the fallback state is the older epoch.
+    let rec = recover(&dir).unwrap().expect("older snapshot usable");
+    assert_eq!(rec.skipped_snapshots, 1);
+    assert_eq!(rec.snapshot_epoch, snaps[1].0);
+    // The pre-corruption signature differs from the fallback: data from
+    // the lost checkpoint window is gone, but nothing panicked.
+    assert_ne!(graph_signature(&rec.contents.graph), sig);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_format_version_is_unsupported() {
+    let g = seed_graph();
+    let mut bytes = encode_snapshot(&g, None, None);
+    // Bump the version field and fix the header CRC so only the version
+    // check can fire.
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    let crc = {
+        // Recompute with the crate's own CRC via a decode round trip trick:
+        // encode_snapshot always writes a valid header, so splice the new
+        // version in and recompute using the public constant layout.
+        banks_persist_crc(&bytes[..60])
+    };
+    bytes[60..64].copy_from_slice(&crc.to_le_bytes());
+    match decode_snapshot(&bytes) {
+        Err(PersistError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 7);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+/// CRC-32 (IEEE) reimplemented locally so the test can forge a valid
+/// header checksum without reaching into crate internals.
+fn banks_persist_crc(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+#[test]
+fn garbage_files_never_panic() {
+    let dir = tmp_dir("garbage");
+    let patterns: &[&[u8]] = &[
+        b"",
+        b"x",
+        b"BANKSDB0",
+        b"BANKSWAL",
+        &[0u8; 64],
+        &[0xFF; 128],
+        b"BANKSDB0\x01\x00\x00\x00\x00\x10\x00\x00 and then nonsense",
+    ];
+    for (i, p) in patterns.iter().enumerate() {
+        let path = dir.join(format!("snapshot-{i:020}.banks"));
+        std::fs::write(&path, p).unwrap();
+    }
+    // Every candidate fails with a typed error; none panics.
+    match recover(&dir) {
+        Err(PersistError::NoValidSnapshot { attempts, .. }) => {
+            assert_eq!(attempts, patterns.len());
+        }
+        other => panic!("expected NoValidSnapshot, got {other:?}"),
+    }
+    // WAL garbage likewise.
+    std::fs::write(dir.join("wal.log"), b"BANKSWALgarbage").unwrap();
+    assert!(scan_file(&dir.join("wal.log")).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_bit_flip_sweep_never_panics_end_to_end() {
+    let g = seed_graph();
+    let bytes = encode_snapshot(&g, None, None);
+    // Sparse sweep (every 13th byte) across the whole file, all 8 bits.
+    for pos in (0..bytes.len()).step_by(13) {
+        for bit in 0..8 {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 1 << bit;
+            let _ = decode_snapshot(&corrupted); // must not panic
+        }
+    }
+}
+
+#[test]
+fn fsync_policies_all_round_trip() {
+    for policy in [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(2),
+        FsyncPolicy::Never,
+    ] {
+        let dir = tmp_dir("fsync");
+        let options = PersistOptions {
+            fsync: policy,
+            ..PersistOptions::default()
+        };
+        {
+            let mut store = PersistentStore::open_with(&dir, options, seed_graph).unwrap();
+            store
+                .apply(&MutationBatch::new().add_node("author", "Synced"))
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let store = PersistentStore::open_with(&dir, options, || panic!("must recover")).unwrap();
+        assert_eq!(store.graph().num_nodes(), seed_graph().num_nodes() + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -318,6 +318,18 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         m.epoch,
     ));
     buf.push_str(&format!(
+        ",\"persistence_enabled\":{},\"last_checkpoint_epoch\":{},\
+         \"wal_records\":{},\"wal_bytes\":{},\"checkpoints\":{},\
+         \"mutation_log_entries\":{},\"mutation_log_dropped\":{}",
+        m.persistence_enabled,
+        m.last_checkpoint_epoch,
+        m.wal_records,
+        m.wal_bytes,
+        m.checkpoints,
+        m.mutation_log_entries,
+        m.mutation_log_dropped,
+    ));
+    buf.push_str(&format!(
         ",\"queue_wait\":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\
          \"p99_us\":{},\"max_us\":{}}}",
         m.queue_wait.count,
@@ -504,6 +516,13 @@ mod tests {
             "mutation_ops_accepted",
             "mutation_ops_rejected",
             "epoch",
+            "persistence_enabled",
+            "last_checkpoint_epoch",
+            "wal_records",
+            "wal_bytes",
+            "checkpoints",
+            "mutation_log_entries",
+            "mutation_log_dropped",
         ] {
             assert!(v.get(key).is_some(), "metrics must include {key}");
         }

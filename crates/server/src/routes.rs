@@ -6,7 +6,8 @@
 //! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON |
 //! | `POST /admin/swap` | rebuild and atomically swap the served snapshot |
 //! | `POST /admin/mutate` | apply a JSON [`MutationBatch`] incrementally: new epoch + per-op accept/reject |
-//! | `GET /healthz` | liveness probe |
+//! | `POST /admin/checkpoint` | force a durable snapshot and truncate the WAL |
+//! | `GET /healthz` | liveness probe + durability status |
 //!
 //! Tenant and priority travel as headers (`X-Banks-Tenant`,
 //! `X-Banks-Priority`), so the PR-3 scheduler and the quota layer govern
@@ -35,7 +36,8 @@ use banks_core::json as corejson;
 use banks_core::EmissionPolicy;
 use banks_graph::{GraphMutation, MutationBatch, NodeId, OpEffect};
 use banks_service::{
-    GraphSnapshot, Priority, QueryEvent, QueryResult, QuerySpec, RecvTimeout, Service, SubmitError,
+    GraphSnapshot, PersistError, Priority, QueryEvent, QueryResult, QuerySpec, RecvTimeout,
+    Service, SubmitError,
 };
 
 use crate::http::{self, Limits, ParseError, Request};
@@ -167,11 +169,13 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
                 keep
             }
             ("POST", "/admin/mutate") => respond_mutate(ctx, &request, &mut writer, keep),
+            ("POST", "/admin/checkpoint") => respond_checkpoint(ctx, &mut writer, keep),
             (_, "/healthz")
             | (_, "/metrics")
             | (_, "/query")
             | (_, "/admin/swap")
-            | (_, "/admin/mutate") => {
+            | (_, "/admin/mutate")
+            | (_, "/admin/checkpoint") => {
                 respond_error(
                     &mut writer,
                     &HttpError::new(
@@ -219,13 +223,62 @@ fn respond_error(w: &mut impl Write, error: &HttpError, keep_alive: bool) {
 
 fn respond_healthz(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
     let engines = json::string_array(&ctx.service.engine_names());
+    // Durability fields are all-zero (and `persistence` false) when the
+    // service runs without a data directory, so probes read one shape
+    // either way.
+    let durability = ctx.service.durability();
     let body = format!(
-        "{{\"status\":\"ok\",\"epoch\":{},\"workers\":{},\"engines\":{}}}",
+        "{{\"status\":\"ok\",\"epoch\":{},\"workers\":{},\"engines\":{},\
+         \"persistence\":{},\"last_checkpoint_epoch\":{},\"wal_records\":{},\
+         \"wal_bytes\":{}}}",
         ctx.service.epoch(),
         ctx.service.workers(),
         engines,
+        durability.enabled,
+        durability.last_checkpoint_epoch,
+        durability.wal_records,
+        durability.wal_bytes,
     );
     let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+}
+
+/// `POST /admin/checkpoint`: write a durable snapshot of the serving
+/// version and truncate the WAL.  409 when the service has no data
+/// directory; 500 (with the typed message) when the write fails.  Returns
+/// whether the connection stays open — error responses close it.
+fn respond_checkpoint(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) -> bool {
+    let started = Instant::now();
+    match ctx.service.checkpoint() {
+        Ok(epoch) => {
+            let body = format!(
+                "{{\"checkpointed\":true,\"epoch\":{epoch},\"checkpoint_us\":{}}}",
+                started.elapsed().as_micros(),
+            );
+            let _ =
+                http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+            keep_alive
+        }
+        Err(PersistError::Disabled) => {
+            respond_error(
+                w,
+                &HttpError::new(
+                    409,
+                    "persistence_disabled",
+                    "service is running without a data directory",
+                ),
+                false,
+            );
+            false
+        }
+        Err(e) => {
+            respond_error(
+                w,
+                &HttpError::new(500, "checkpoint_failed", e.to_string()),
+                false,
+            );
+            false
+        }
+    }
 }
 
 fn respond_metrics(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {

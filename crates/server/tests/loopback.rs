@@ -159,6 +159,89 @@ fn metrics_reflect_served_queries() {
     server.shutdown();
 }
 
+#[test]
+fn checkpoint_endpoint_truncates_wal_and_healthz_reports_durability() {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "banks-server-ckpt-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let service = Arc::new(
+        Service::builder(tiny_graph())
+            .workers(1)
+            .persistence(&dir, banks_service::FsyncPolicy::Always)
+            .build(),
+    );
+    let server = Server::builder(Arc::clone(&service)).spawn().unwrap();
+    let addr = server.local_addr();
+
+    // A remote mutation lands in the WAL…
+    let body = r#"{"ops":[{"op":"add_node","kind":"author","label":"Pat Selinger"}]}"#;
+    let response = send(
+        addr,
+        &format!(
+            "POST /admin/mutate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status_of(&response), 200);
+
+    // …and /healthz shows it, alongside the rest of the durability fields.
+    let v = banks_server::json::parse(body_of(&get(addr, "/healthz"))).unwrap();
+    assert_eq!(v.get("persistence"), Some(&JsonValue::Bool(true)));
+    assert_eq!(v.get("wal_records").and_then(JsonValue::as_usize), Some(1));
+    assert!(v.get("wal_bytes").and_then(JsonValue::as_usize).unwrap() > 0);
+    assert!(v.get("last_checkpoint_epoch").is_some());
+
+    // Forcing a checkpoint truncates the WAL at the served epoch.
+    let response = send(
+        addr,
+        "POST /admin/checkpoint HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), 200);
+    let v = banks_server::json::parse(body_of(&response)).unwrap();
+    assert_eq!(v.get("checkpointed"), Some(&JsonValue::Bool(true)));
+    let epoch = v.get("epoch").and_then(JsonValue::as_usize).unwrap();
+    assert_eq!(epoch as u64, service.epoch());
+
+    let v = banks_server::json::parse(body_of(&get(addr, "/healthz"))).unwrap();
+    assert_eq!(v.get("wal_records").and_then(JsonValue::as_usize), Some(0));
+    assert_eq!(
+        v.get("last_checkpoint_epoch").and_then(JsonValue::as_usize),
+        Some(epoch)
+    );
+
+    // Wrong method on the new route follows the 405 convention.
+    let response = get(addr, "/admin/checkpoint");
+    assert_eq!(status_of(&response), 405);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_without_persistence_is_409_and_healthz_zeros() {
+    let service = Arc::new(Service::builder(tiny_graph()).workers(1).build());
+    let server = Server::builder(service).spawn().unwrap();
+    let addr = server.local_addr();
+    let v = banks_server::json::parse(body_of(&get(addr, "/healthz"))).unwrap();
+    assert_eq!(v.get("persistence"), Some(&JsonValue::Bool(false)));
+    assert_eq!(v.get("wal_records").and_then(JsonValue::as_usize), Some(0));
+    assert_eq!(v.get("wal_bytes").and_then(JsonValue::as_usize), Some(0));
+    assert_eq!(
+        v.get("last_checkpoint_epoch").and_then(JsonValue::as_usize),
+        Some(0)
+    );
+    let response = send(
+        addr,
+        "POST /admin/checkpoint HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), 409);
+    assert_eq!(error_code(&response), "persistence_disabled");
+    server.shutdown();
+}
+
 /// The headline contract: the SSE stream re-renders nothing — each
 /// `answer` event's payload is the byte-identical `banks_core::json`
 /// encoding of the `RankedAnswer` the in-process handle yields.

@@ -128,14 +128,17 @@
 
 pub mod handle;
 pub mod metrics;
+pub mod persistence;
 mod quota;
 mod sched;
 pub mod service;
 pub mod snapshot;
 pub mod spec;
 
+pub use banks_persist::{FsyncPolicy, PersistError, PersistOptions};
 pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult, RecvTimeout};
 pub use metrics::{QueueWaitSummary, ServiceMetrics, TenantMetrics, OVERFLOW_TENANT};
+pub use persistence::DurabilityStatus;
 pub use service::{MutationReport, Service, ServiceBuilder, SubmitError};
 pub use snapshot::GraphSnapshot;
 pub use spec::{Priority, QuerySpec};

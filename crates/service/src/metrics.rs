@@ -270,6 +270,25 @@ pub struct ServiceMetrics {
     pub mutation_ops_rejected: u64,
     /// Epoch of the graph currently being served.
     pub epoch: u64,
+    /// Whether durable persistence is enabled
+    /// ([`crate::ServiceBuilder::persistence`]).  When `false`, every
+    /// durability field below reads zero.
+    pub persistence_enabled: bool,
+    /// Epoch of the most recent on-disk snapshot (0 when persistence is
+    /// off).
+    pub last_checkpoint_epoch: u64,
+    /// Mutation batches in the write-ahead log since the last checkpoint.
+    pub wal_records: u64,
+    /// Size of the write-ahead log in bytes.
+    pub wal_bytes: u64,
+    /// Checkpoints taken since the service started (boot checkpoint
+    /// included).
+    pub checkpoints: u64,
+    /// Applied batches currently held in the in-memory mutation log ring.
+    pub mutation_log_entries: u64,
+    /// Applied batches dropped from the ring after it filled
+    /// ([`crate::ServiceBuilder::mutation_log_capacity`]).
+    pub mutation_log_dropped: u64,
     /// Queue-wait distribution across executed queries.
     pub queue_wait: QueueWaitSummary,
     /// Per-tenant scheduling outcomes, sorted by tenant name.
@@ -325,6 +344,15 @@ impl ServiceMetrics {
             mutation_ops_accepted: counters.mutation_ops_accepted.load(Ordering::Relaxed),
             mutation_ops_rejected: counters.mutation_ops_rejected.load(Ordering::Relaxed),
             epoch,
+            // Durability and mutation-log occupancy are owned by other
+            // locks; `Service::metrics` fills them in after this snapshot.
+            persistence_enabled: false,
+            last_checkpoint_epoch: 0,
+            wal_records: 0,
+            wal_bytes: 0,
+            checkpoints: 0,
+            mutation_log_entries: 0,
+            mutation_log_dropped: 0,
             queue_wait: waits.summary(),
             tenants,
         }

@@ -1,0 +1,172 @@
+//! Service-side durability plumbing: the WAL + checkpoint lifecycle run
+//! around the serving snapshot.
+//!
+//! The [`crate::Service`] write path is WAL-first: inside the mutation
+//! mutex, an accepted batch is appended (and fsynced per policy) *before*
+//! the successor snapshot is swapped in.  Checkpoints — a full snapshot of
+//! graph, prestige **and** keyword index, then WAL truncation and stale
+//! snapshot pruning — happen on demand ([`crate::Service::checkpoint`]),
+//! when a mutation chain triggers compaction, when the WAL crosses its
+//! rotation threshold, and after a wholesale
+//! [`crate::Service::swap_graph`] (which bypasses the WAL and therefore
+//! must be made durable by a snapshot).
+
+use std::path::{Path, PathBuf};
+
+use banks_persist::{
+    list_snapshots, snapshot_file_name, write_snapshot, PersistError, PersistOptions, Wal, WalScan,
+};
+
+use crate::snapshot::GraphSnapshot;
+
+/// Durability state of a service, as reported by
+/// [`crate::Service::durability`] and the `/healthz` endpoint.  All-zero
+/// numeric fields with `enabled == false` mean persistence is off.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurabilityStatus {
+    /// Whether the service was built with a data directory.
+    pub enabled: bool,
+    /// The data directory, when enabled.
+    pub data_dir: Option<PathBuf>,
+    /// Epoch of the most recent on-disk snapshot.
+    pub last_checkpoint_epoch: u64,
+    /// Mutation batches in the WAL since that snapshot.
+    pub wal_records: u64,
+    /// Size of the WAL file in bytes.
+    pub wal_bytes: u64,
+    /// Checkpoints taken since the service started (the boot checkpoint
+    /// included).
+    pub checkpoints: u64,
+    /// WAL records replayed at boot (0 after a clean shutdown).
+    pub replayed_records: u64,
+    /// The most recent persistence failure, if any (a failed WAL append
+    /// rejects the mutation; a failed background checkpoint is recorded
+    /// here and retried on the next trigger).
+    pub last_error: Option<String>,
+}
+
+/// The mutable durability state guarded by `Inner::persistence`.
+pub(crate) struct Persistence {
+    dir: PathBuf,
+    wal: Wal,
+    options: PersistOptions,
+    last_checkpoint_epoch: u64,
+    checkpoints: u64,
+    replayed_records: u64,
+    last_error: Option<String>,
+}
+
+impl Persistence {
+    /// Wraps a freshly-created WAL for a directory with no prior state.
+    pub(crate) fn fresh(dir: &Path, wal: Wal, options: PersistOptions) -> Self {
+        Persistence {
+            dir: dir.to_path_buf(),
+            wal,
+            options,
+            last_checkpoint_epoch: 0,
+            checkpoints: 0,
+            replayed_records: 0,
+            last_error: None,
+        }
+    }
+
+    /// Wraps the WAL re-opened after recovery.
+    pub(crate) fn recovered(
+        dir: &Path,
+        wal: Wal,
+        options: PersistOptions,
+        snapshot_epoch: u64,
+        replayed_records: u64,
+    ) -> Self {
+        Persistence {
+            dir: dir.to_path_buf(),
+            wal,
+            options,
+            last_checkpoint_epoch: snapshot_epoch,
+            checkpoints: 0,
+            replayed_records,
+            last_error: None,
+        }
+    }
+
+    /// Opens (or creates) the WAL for `dir` after a recovery scan.
+    pub(crate) fn open_wal(
+        dir: &Path,
+        options: &PersistOptions,
+        scan: &WalScan,
+    ) -> Result<Wal, PersistError> {
+        Wal::open_after_scan(&dir.join(banks_persist::WAL_FILE), options.fsync, scan)
+    }
+
+    /// Appends one accepted batch, WAL-first.  A failure here means the
+    /// mutation is **not** durable; the caller must not swap the successor
+    /// in.
+    pub(crate) fn append(
+        &mut self,
+        parent_epoch: u64,
+        epoch: u64,
+        batch: &banks_graph::MutationBatch,
+    ) -> Result<(), PersistError> {
+        match self.wal.append(parent_epoch, epoch, batch) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.last_error = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether the WAL has grown past the rotation threshold.
+    pub(crate) fn wants_rotation(&self) -> bool {
+        self.wal.bytes() >= self.options.rotate_wal_bytes
+    }
+
+    /// Writes a full snapshot of `snapshot` (graph, prestige and index),
+    /// truncates the WAL and prunes snapshots beyond the retention bound.
+    /// Returns the checkpointed epoch.
+    pub(crate) fn checkpoint(&mut self, snapshot: &GraphSnapshot) -> Result<u64, PersistError> {
+        let epoch = snapshot.epoch();
+        let path = self.dir.join(snapshot_file_name(epoch));
+        let result = write_snapshot(
+            &path,
+            snapshot.graph(),
+            Some(snapshot.prestige()),
+            Some(snapshot.index()),
+        )
+        .and_then(|_| self.wal.reset());
+        match result {
+            Ok(()) => {
+                self.last_checkpoint_epoch = epoch;
+                self.checkpoints += 1;
+                self.last_error = None;
+                let keep = self.options.keep_snapshots.max(1);
+                if let Ok(snapshots) = list_snapshots(&self.dir) {
+                    for (_, stale) in snapshots.into_iter().skip(keep) {
+                        // Best-effort: a vanished file must not fail the
+                        // checkpoint that just succeeded.
+                        let _ = std::fs::remove_file(stale);
+                    }
+                }
+                Ok(epoch)
+            }
+            Err(e) => {
+                self.last_error = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Current status, for metrics and `/healthz`.
+    pub(crate) fn status(&self) -> DurabilityStatus {
+        DurabilityStatus {
+            enabled: true,
+            data_dir: Some(self.dir.clone()),
+            last_checkpoint_epoch: self.last_checkpoint_epoch,
+            wal_records: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+            checkpoints: self.checkpoints,
+            replayed_records: self.replayed_records,
+            last_error: self.last_error.clone(),
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The worker-pool query service: priority admission, pinned snapshots,
 //! online graph swapping.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -12,12 +13,16 @@ use banks_core::registry::UnknownEngine;
 use banks_core::{
     CancelToken, EngineRegistry, QueryContext, QueryCost, ResultCache, SearchOutcome,
 };
-use banks_graph::{BatchOutcome, DataGraph, MutationBatch};
+use banks_graph::{
+    AppliedBatch, BatchOutcome, DataGraph, MutationBatch, MutationLog, DEFAULT_LOG_CAPACITY,
+};
+use banks_persist::{recover, replay_wal, FsyncPolicy, PersistError, PersistOptions, Wal};
 use banks_prestige::PrestigeVector;
 use banks_textindex::{InvertedIndex, KeywordMatches};
 
 use crate::handle::{HandleState, QueryEvent, QueryHandle, QueryId, QueryResult};
 use crate::metrics::{Counters, ServiceMetrics, WaitStats};
+use crate::persistence::{DurabilityStatus, Persistence};
 use crate::quota::{QuotaConfig, QuotaSettings, QuotaState};
 use crate::sched::WorkQueue;
 use crate::snapshot::GraphSnapshot;
@@ -80,10 +85,15 @@ pub struct MutationReport {
     /// The serving epoch the batch was applied against.
     pub previous_epoch: u64,
     /// Whether a successor snapshot was actually swapped in (false when
-    /// every op was rejected).
+    /// every op was rejected, or when the WAL append failed).
     pub swapped: bool,
     /// Per-op accept/reject results and the derived-structure deltas.
     pub outcome: BatchOutcome,
+    /// Why the batch could not be made durable, when persistence is
+    /// enabled and the WAL append failed.  The batch was **not** applied:
+    /// the serving snapshot, the epoch and the disk state are all
+    /// unchanged, so the caller can retry safely.
+    pub persist_error: Option<String>,
 }
 
 /// One unit of queued work, pinned to the serving snapshot it was admitted
@@ -138,6 +148,14 @@ struct Inner {
     /// queries are admitted or executed — the delta build happens outside
     /// the serving lock.
     mutate: Mutex<()>,
+    /// Durability state (WAL + checkpoint bookkeeping); `None` when the
+    /// service was built without [`ServiceBuilder::persistence`].  Lock
+    /// order: `mutate` → `persistence` (never the reverse).
+    persistence: Option<Mutex<Persistence>>,
+    /// Ring of recently applied mutation batches (epoch transitions and
+    /// accept/reject counts), bounded by
+    /// [`ServiceBuilder::mutation_log_capacity`].
+    mutation_log: Mutex<MutationLog>,
     counters: Counters,
     waits: Mutex<WaitStats>,
     next_id: AtomicU64,
@@ -156,6 +174,8 @@ pub struct ServiceBuilder {
     registry: Option<EngineRegistry>,
     default_engine: String,
     quota: QuotaSettings,
+    persistence: Option<(PathBuf, PersistOptions)>,
+    log_capacity: usize,
 }
 
 impl ServiceBuilder {
@@ -297,13 +317,116 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enables durable persistence in `data_dir` with the given fsync
+    /// policy (defaults for everything else — see
+    /// [`ServiceBuilder::persistence_with`] for the full knob set).
+    ///
+    /// With persistence enabled, [`Service::build`](ServiceBuilder::build)
+    /// first tries to **recover**: if `data_dir` holds a usable snapshot,
+    /// it is loaded, the WAL suffix is replayed, and the builder's graph is
+    /// ignored — the service boots serving exactly the pre-crash state.
+    /// On a fresh directory the builder's graph is used and an initial
+    /// checkpoint is written immediately.  Thereafter every accepted
+    /// mutation batch is WAL-appended *before* its snapshot swap, and
+    /// checkpoints run on demand ([`Service::checkpoint`]), on compaction,
+    /// on WAL rotation, and after a wholesale [`Service::swap_graph`].
+    ///
+    /// Recovery derives the keyword index and prestige from the recovered
+    /// graph (the builder defaults).  A deployment that supplies its own
+    /// [`ServiceBuilder::index`] / [`ServiceBuilder::prestige`] must
+    /// re-supply them on restart — they are treated as external state, and
+    /// the persisted copies are available to the caller via
+    /// [`banks_persist::read_snapshot`].
+    pub fn persistence(self, data_dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Self {
+        let options = PersistOptions {
+            fsync,
+            ..PersistOptions::default()
+        };
+        self.persistence_with(data_dir, options)
+    }
+
+    /// Enables durable persistence with full [`PersistOptions`] control
+    /// (fsync policy, WAL rotation threshold, snapshot retention).
+    pub fn persistence_with(
+        mut self,
+        data_dir: impl Into<PathBuf>,
+        options: PersistOptions,
+    ) -> Self {
+        self.persistence = Some((data_dir.into(), options));
+        self
+    }
+
+    /// Capacity of the in-memory mutation log ring (default
+    /// [`banks_graph::DEFAULT_LOG_CAPACITY`]).  Once full, the oldest
+    /// entries are dropped and counted in
+    /// [`ServiceMetrics::mutation_log_dropped`].
+    pub fn mutation_log_capacity(mut self, capacity: usize) -> Self {
+        self.log_capacity = capacity;
+        self
+    }
+
     /// Validates the configuration, builds the initial serving snapshot
     /// (prestige and keyword index included) and spawns the worker threads.
+    ///
+    /// # Panics
+    /// Panics when persistence is enabled and recovery or the initial
+    /// checkpoint fails — use [`ServiceBuilder::try_build`] to handle
+    /// those errors.  (Without persistence this never fails, except for
+    /// the documented unknown-default-engine panic.)
     pub fn build(self) -> Service {
+        match self.try_build() {
+            Ok(service) => service,
+            Err(e) => panic!("service persistence initialisation failed: {e}"),
+        }
+    }
+
+    /// Fallible [`ServiceBuilder::build`]: persistence errors (unreadable
+    /// data directory, corrupt state beyond recovery, failed initial
+    /// checkpoint) are returned instead of panicking.
+    pub fn try_build(self) -> Result<Service, PersistError> {
         // Derived parts (uniform prestige, label index) refresh exactly on
         // `apply_mutations`; caller-supplied parts are treated as external
         // (prestige carried forward, index updated additively only).
-        let snapshot = GraphSnapshot::from_optional(self.graph, self.prestige, self.index);
+        //
+        // With persistence, recovery decides the boot graph: a usable
+        // snapshot (plus replayed WAL suffix) supersedes the builder's
+        // graph; a fresh directory uses the builder's graph and writes an
+        // initial checkpoint so the directory is valid from the first
+        // moment.
+        let (snapshot, persistence) = match self.persistence {
+            None => (
+                GraphSnapshot::from_optional(self.graph, self.prestige, self.index),
+                None,
+            ),
+            Some((dir, options)) => {
+                std::fs::create_dir_all(&dir)?;
+                match recover(&dir)? {
+                    Some(recovery) => {
+                        let (graph, replayed) =
+                            replay_wal(recovery.contents.graph, &recovery.wal.records)?;
+                        let wal = Persistence::open_wal(&dir, &options, &recovery.wal)?;
+                        let snapshot =
+                            GraphSnapshot::from_optional(graph, self.prestige, self.index);
+                        let persistence = Persistence::recovered(
+                            &dir,
+                            wal,
+                            options,
+                            recovery.snapshot_epoch,
+                            replayed as u64,
+                        );
+                        (snapshot, Some(persistence))
+                    }
+                    None => {
+                        let snapshot =
+                            GraphSnapshot::from_optional(self.graph, self.prestige, self.index);
+                        let wal = Wal::create(&dir.join(banks_persist::WAL_FILE), options.fsync)?;
+                        let mut persistence = Persistence::fresh(&dir, wal, options);
+                        persistence.checkpoint(&snapshot)?;
+                        (snapshot, Some(persistence))
+                    }
+                }
+            }
+        };
         let registry = self.registry.unwrap_or_default();
         if !registry.contains(&self.default_engine) {
             panic!("{}", registry.unknown(&self.default_engine));
@@ -333,6 +456,8 @@ impl ServiceBuilder {
             quota: quota_enabled.then(|| Mutex::new(QuotaState::new(self.quota.clone()))),
             quota_settings: quota_enabled.then_some(self.quota),
             mutate: Mutex::new(()),
+            persistence: persistence.map(Mutex::new),
+            mutation_log: Mutex::new(MutationLog::new(self.log_capacity)),
             counters: Counters::default(),
             waits: Mutex::new(WaitStats::default()),
             next_id: AtomicU64::new(0),
@@ -346,7 +471,7 @@ impl ServiceBuilder {
                     .expect("spawn worker thread")
             })
             .collect();
-        Service { inner, workers }
+        Ok(Service { inner, workers })
     }
 }
 
@@ -409,6 +534,8 @@ impl Service {
             registry: None,
             default_engine: "bidirectional".to_string(),
             quota: QuotaSettings::default(),
+            persistence: None,
+            log_capacity: DEFAULT_LOG_CAPACITY,
         }
     }
 
@@ -639,6 +766,16 @@ impl Service {
     /// than a quarter of the nodes carry copy-on-write overlay rows, the
     /// successor is compacted back into flat CSR storage before the swap
     /// (same contents, same epoch — invisible to queries and caches).
+    ///
+    /// With persistence enabled ([`ServiceBuilder::persistence`]) the
+    /// write path is **WAL-first**: the accepted batch is appended to the
+    /// log (and fsynced per policy) *before* the successor snapshot swaps
+    /// in.  If the append fails, nothing swaps — the report carries
+    /// [`MutationReport::persist_error`] and the serving state is
+    /// unchanged, so acknowledged mutations are exactly the durable ones.
+    /// A swap that triggered compaction, or a WAL past its rotation
+    /// threshold, checkpoints immediately afterwards (snapshot + WAL
+    /// truncation), off the freshly-swapped snapshot.
     pub fn apply_mutations(&self, batch: &MutationBatch) -> MutationReport {
         /// Overlay fraction beyond which the successor graph is flattened.
         const COMPACT_OVERLAY_RATIO: f64 = 0.25;
@@ -650,33 +787,105 @@ impl Service {
         // prestige refresh, the occasional compaction — happens here, with
         // no service lock held.
         let (mut next, outcome) = current.apply_batch(batch);
-        next.maybe_compact(COMPACT_OVERLAY_RATIO);
+        let compacted = next.maybe_compact(COMPACT_OVERLAY_RATIO);
         let accepted = outcome.accepted();
-        let (epoch, swapped) = if accepted > 0 {
-            (self.swap_snapshot(next), true)
-        } else {
-            (previous_epoch, false)
-        };
-        if swapped {
-            Counters::bump(&self.inner.counters.mutation_batches);
+        if accepted == 0 {
+            Counters::add(
+                &self.inner.counters.mutation_ops_rejected,
+                outcome.rejected() as u64,
+            );
+            return MutationReport {
+                epoch: previous_epoch,
+                previous_epoch,
+                swapped: false,
+                outcome,
+                persist_error: None,
+            };
         }
+
+        // Durability barrier: the batch must be on the log before any
+        // query can observe its effects.  A failed append aborts the
+        // mutation entirely — the successor is dropped, the epoch does not
+        // advance, and the disk and memory states remain consistent.
+        if let Some(persistence) = &self.inner.persistence {
+            let mut persistence = persistence.lock().expect("persistence lock");
+            if let Err(e) = persistence.append(previous_epoch, next.epoch(), batch) {
+                Counters::add(
+                    &self.inner.counters.mutation_ops_rejected,
+                    outcome.rejected() as u64,
+                );
+                return MutationReport {
+                    epoch: previous_epoch,
+                    previous_epoch,
+                    swapped: false,
+                    outcome,
+                    persist_error: Some(e.to_string()),
+                };
+            }
+        }
+
+        let epoch = self.swap_snapshot_inner(next);
+        Counters::bump(&self.inner.counters.mutation_batches);
         Counters::add(&self.inner.counters.mutation_ops_accepted, accepted as u64);
         Counters::add(
             &self.inner.counters.mutation_ops_rejected,
             outcome.rejected() as u64,
         );
+        self.inner
+            .mutation_log
+            .lock()
+            .expect("mutation log lock")
+            .push(AppliedBatch {
+                parent_epoch: previous_epoch,
+                epoch,
+                ops: batch.len(),
+                accepted,
+                rejected: outcome.rejected(),
+            });
+
+        // Checkpoint triggers: a compaction just produced the flat graph a
+        // snapshot wants anyway, and a WAL past its rotation threshold is
+        // due for truncation.  Both write off the freshly-swapped
+        // snapshot.  Failures are recorded (and surfaced via
+        // `durability()`) but do not fail the mutation — it is already
+        // durable in the WAL.
+        if let Some(persistence) = &self.inner.persistence {
+            let mut persistence = persistence.lock().expect("persistence lock");
+            if compacted || persistence.wants_rotation() {
+                let snapshot = self.snapshot();
+                let _ = persistence.checkpoint(&snapshot);
+            }
+        }
+
         MutationReport {
             epoch,
             previous_epoch,
-            swapped,
+            swapped: true,
             outcome,
+            persist_error: None,
         }
     }
 
     /// [`Service::swap_graph`] with caller-supplied prestige and index (the
     /// online equivalent of [`ServiceBuilder::prestige`] /
     /// [`ServiceBuilder::index`]).  Returns the new serving epoch.
-    pub fn swap_snapshot(&self, mut snapshot: GraphSnapshot) -> u64 {
+    ///
+    /// A wholesale swap bypasses the mutation WAL — there is no batch to
+    /// log — so with persistence enabled the swap is made durable by an
+    /// immediate checkpoint of the new version.  A checkpoint failure does
+    /// not undo the swap (queries are already running on the new graph);
+    /// it is recorded and surfaced via [`Service::durability`].
+    pub fn swap_snapshot(&self, snapshot: GraphSnapshot) -> u64 {
+        let epoch = self.swap_snapshot_inner(snapshot);
+        if let Some(persistence) = &self.inner.persistence {
+            let mut persistence = persistence.lock().expect("persistence lock");
+            let current = self.snapshot();
+            let _ = persistence.checkpoint(&current);
+        }
+        epoch
+    }
+
+    fn swap_snapshot_inner(&self, mut snapshot: GraphSnapshot) -> u64 {
         let old_epoch;
         let new_epoch;
         {
@@ -695,19 +904,65 @@ impl Service {
         new_epoch
     }
 
+    /// Forces a checkpoint now: writes a full snapshot of the currently
+    /// served version (graph, prestige, keyword index), truncates the WAL
+    /// and prunes snapshots beyond the retention bound.  Returns the
+    /// checkpointed epoch, or [`PersistError::Disabled`] when the service
+    /// was built without [`ServiceBuilder::persistence`].
+    ///
+    /// Serialized with [`Service::apply_mutations`] (same admin mutex), so
+    /// the written snapshot is never mid-mutation.
+    pub fn checkpoint(&self) -> Result<u64, PersistError> {
+        let _admin = self.inner.mutate.lock().expect("mutate lock");
+        let Some(persistence) = &self.inner.persistence else {
+            return Err(PersistError::Disabled);
+        };
+        let snapshot = self.snapshot();
+        persistence
+            .lock()
+            .expect("persistence lock")
+            .checkpoint(&snapshot)
+    }
+
+    /// The service's durability state: whether persistence is on, the last
+    /// checkpoint epoch, WAL size, and the most recent persistence error
+    /// (if any).  All-zero with `enabled == false` when the service was
+    /// built without a data directory.
+    pub fn durability(&self) -> DurabilityStatus {
+        match &self.inner.persistence {
+            Some(persistence) => persistence.lock().expect("persistence lock").status(),
+            None => DurabilityStatus::default(),
+        }
+    }
+
     /// A point-in-time snapshot of the aggregate counters, queue-wait
-    /// percentiles and per-tenant scheduling outcomes.
+    /// percentiles, per-tenant scheduling outcomes, durability state and
+    /// mutation-log occupancy.
     pub fn metrics(&self) -> ServiceMetrics {
         let queued = self.inner.queue.lock().expect("queue lock").jobs.len();
         let epoch = self.epoch();
-        let waits = self.inner.waits.lock().expect("waits lock");
-        ServiceMetrics::snapshot(
-            &self.inner.counters,
-            &waits,
-            queued,
-            epoch,
-            self.inner.quota_settings.as_ref(),
-        )
+        let mut metrics = {
+            let waits = self.inner.waits.lock().expect("waits lock");
+            ServiceMetrics::snapshot(
+                &self.inner.counters,
+                &waits,
+                queued,
+                epoch,
+                self.inner.quota_settings.as_ref(),
+            )
+        };
+        {
+            let log = self.inner.mutation_log.lock().expect("mutation log lock");
+            metrics.mutation_log_entries = log.len() as u64;
+            metrics.mutation_log_dropped = log.dropped();
+        }
+        let durability = self.durability();
+        metrics.persistence_enabled = durability.enabled;
+        metrics.last_checkpoint_epoch = durability.last_checkpoint_epoch;
+        metrics.wal_records = durability.wal_records;
+        metrics.wal_bytes = durability.wal_bytes;
+        metrics.checkpoints = durability.checkpoints;
+        metrics
     }
 
     /// The shared result cache (hit/miss counters included).

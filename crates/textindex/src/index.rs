@@ -176,6 +176,48 @@ impl InvertedIndex {
         self.postings.keys().map(|s| &**s)
     }
 
+    /// Iterates over the relation-name pseudo terms and the kinds they
+    /// match, in arbitrary order.  (Serialization surface — the regular
+    /// query path goes through [`InvertedIndex::kinds_for_term`].)
+    pub fn kind_terms(&self) -> impl Iterator<Item = (&str, &[KindId])> {
+        self.kind_terms.iter().map(|(term, ids)| (&**term, &**ids))
+    }
+
+    /// Reassembles an index from lists previously obtained via
+    /// [`InvertedIndex::terms`] / [`InvertedIndex::postings`] /
+    /// [`InvertedIndex::kind_terms`], skipping tokenization entirely.
+    ///
+    /// Lists are defensively sorted and deduplicated (a no-op for lists a
+    /// real index produced), so malformed input degrades to a valid index
+    /// rather than breaking the sorted-list invariants lookups rely on.
+    pub fn from_raw_parts(
+        tokenizer: Tokenizer,
+        postings: Vec<(String, Vec<NodeId>)>,
+        kind_terms: Vec<(String, Vec<KindId>)>,
+    ) -> InvertedIndex {
+        let mut index: HashMap<Arc<str>, Arc<[NodeId]>> = HashMap::with_capacity(postings.len());
+        for (term, mut nodes) in postings {
+            nodes.sort_unstable();
+            nodes.dedup();
+            if !nodes.is_empty() {
+                index.insert(Arc::from(term.as_str()), nodes.into());
+            }
+        }
+        let mut kinds: HashMap<String, Box<[KindId]>> = HashMap::with_capacity(kind_terms.len());
+        for (term, mut ids) in kind_terms {
+            ids.sort_unstable();
+            ids.dedup();
+            if !ids.is_empty() {
+                kinds.insert(term, ids.into_boxed_slice());
+            }
+        }
+        InvertedIndex {
+            tokenizer,
+            postings: index,
+            kind_terms: kinds,
+        }
+    }
+
     /// Computes the set of nodes matching a (possibly multi-word / phrase)
     /// keyword.  A phrase keyword such as `"david fernandez"` matches nodes
     /// that contain *all* of its words (conjunctive semantics, which is how

@@ -66,6 +66,22 @@ impl Tokenizer {
         self.stopwords.contains(token)
     }
 
+    /// Iterates over the configured stop words in arbitrary order
+    /// (serialization surface — pair with [`Tokenizer::with_stopwords`]).
+    pub fn stopwords(&self) -> impl Iterator<Item = &str> {
+        self.stopwords.iter().map(|s| &**s)
+    }
+
+    /// Whether stop-word removal is enabled.
+    pub fn removes_stopwords(&self) -> bool {
+        self.remove_stopwords
+    }
+
+    /// The minimum token length; shorter tokens are discarded.
+    pub fn min_token_len(&self) -> usize {
+        self.min_token_len
+    }
+
     /// Tokenises a text into lower-case terms.
     pub fn tokenize(&self, text: &str) -> Vec<String> {
         text.split(|c: char| !c.is_alphanumeric())

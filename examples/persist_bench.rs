@@ -1,0 +1,120 @@
+//! Perf gate: snapshot load vs from-scratch rebuild.
+//!
+//! ```text
+//! cargo run --release --example persist_bench
+//! ```
+//!
+//! Boots the synthetic DBLP corpus two ways — regenerating graph, keyword
+//! index and prestige from the generator (the cold-boot path a process
+//! without persistence pays) and loading the epoch-versioned binary
+//! snapshot ([`read_snapshot`]) — and prints both times plus the snapshot
+//! size.  **Exits non-zero unless the snapshot load is at least 5× faster
+//! than the rebuild**, which is the acceptance bar CI enforces; it also
+//! cross-checks that the loaded state matches the rebuilt state (node and
+//! edge counts, epoch, and keyword matches for probe terms).  The numbers
+//! land in `BENCH_persist.json` for CI to archive.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use banks::prelude::*;
+
+fn generate() -> DblpDataset {
+    DblpDataset::generate(DblpConfig {
+        num_authors: 3000,
+        num_papers: 6000,
+        num_conferences: 12,
+        seed: 7,
+        ..DblpConfig::default()
+    })
+}
+
+fn main() {
+    let data = generate();
+    let graph = data.dataset.graph().clone();
+    let prestige = PrestigeVector::uniform_for(&graph);
+    let index = data.dataset.index().clone();
+    println!(
+        "dblp graph: {} nodes, {} directed edges, {} index terms",
+        graph.num_nodes(),
+        graph.num_directed_edges(),
+        index.num_terms(),
+    );
+
+    let dir = std::env::temp_dir().join(format!("banks-persist-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.banks");
+    let write_started = Instant::now();
+    let snapshot_bytes = write_snapshot(&path, &graph, Some(&prestige), Some(&index)).unwrap();
+    let write_time = write_started.elapsed();
+    println!("snapshot: {snapshot_bytes} bytes written (fsynced) in {write_time:.2?}",);
+
+    // Best-of-3 for both sides: the gate compares steady-state costs, not
+    // first-touch page-cache noise.
+    let mut load_time = Duration::MAX;
+    let mut loaded_nodes = 0;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let contents = read_snapshot(&path).unwrap();
+        load_time = load_time.min(started.elapsed());
+        loaded_nodes = contents.graph.num_nodes();
+        std::hint::black_box(&contents);
+    }
+
+    let mut rebuild_time = Duration::MAX;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let data = generate();
+        let rebuilt_prestige = PrestigeVector::uniform_for(data.dataset.graph());
+        rebuild_time = rebuild_time.min(started.elapsed());
+        std::hint::black_box((&data, &rebuilt_prestige));
+    }
+
+    // The loaded state must *be* the rebuilt state, or the speedup is
+    // meaningless: same shape, same epoch, same keyword reach.
+    let contents = read_snapshot(&path).unwrap();
+    assert_eq!(loaded_nodes, graph.num_nodes());
+    assert_eq!(contents.graph.num_nodes(), graph.num_nodes());
+    assert_eq!(
+        contents.graph.num_directed_edges(),
+        graph.num_directed_edges()
+    );
+    assert_eq!(contents.graph.epoch(), graph.epoch());
+    let loaded_index = contents.index.expect("snapshot carries the index");
+    assert_eq!(loaded_index.num_terms(), index.num_terms());
+    for probe in ["database", "query", "search"] {
+        assert_eq!(
+            loaded_index.postings(probe),
+            index.postings(probe),
+            "probe term {probe:?} must match identically"
+        );
+    }
+
+    let ratio = rebuild_time.as_secs_f64() / load_time.as_secs_f64();
+    println!("\nboot paths (best of 3):");
+    println!("  from-scratch rebuild {:>11.2?}", rebuild_time);
+    println!("  snapshot load        {:>11.2?}", load_time);
+    println!("  speedup              {ratio:>10.1}x");
+
+    let report = format!(
+        "{{\"nodes\":{},\"directed_edges\":{},\"snapshot_bytes\":{},\
+         \"write_us\":{},\"load_us\":{},\"rebuild_us\":{},\"speedup\":{:.2}}}\n",
+        graph.num_nodes(),
+        graph.num_directed_edges(),
+        snapshot_bytes,
+        write_time.as_micros(),
+        load_time.as_micros(),
+        rebuild_time.as_micros(),
+        ratio,
+    );
+    let mut file = std::fs::File::create("BENCH_persist.json").unwrap();
+    file.write_all(report.as_bytes()).unwrap();
+    println!("wrote BENCH_persist.json: {}", report.trim());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    if ratio < 5.0 {
+        eprintln!("PERF GATE FAILED: snapshot load must be >= 5x faster than a rebuild");
+        std::process::exit(1);
+    }
+    println!("perf gate passed (>= 5x)");
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --example server_demo            # workload demo
 //! cargo run --release --example server_demo -- --serve 127.0.0.1:7878
+//! cargo run --release --example server_demo -- --serve 127.0.0.1:7878 --data-dir ./banks-data
 //! ```
 //!
 //! The default mode boots a [`Server`] on a loopback port, fires a
@@ -13,7 +14,11 @@
 //! metrics rows.
 //!
 //! `--serve [addr]` just serves until killed — the mode CI's smoke step
-//! (and any curl exploration) uses.
+//! (and any curl exploration) uses.  Adding `--data-dir <dir>` makes the
+//! served graph durable: every accepted `POST /admin/mutate` batch is
+//! WAL-logged before it is acknowledged, `POST /admin/checkpoint` forces a
+//! snapshot, and a restart (even after `kill -9`) recovers the pre-crash
+//! graph from the directory instead of regenerating the corpus.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -42,16 +47,55 @@ fn dblp_service() -> Service {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--serve") {
-        let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7878");
-        serve_forever(addr);
+        let addr = args
+            .get(2)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("127.0.0.1:7878");
+        let data_dir = args
+            .iter()
+            .position(|a| a == "--data-dir")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        serve_forever(addr, data_dir);
         return;
     }
     workload_demo();
 }
 
-/// `--serve`: boot and block (CI smoke / manual curl exploration).
-fn serve_forever(addr: &str) {
-    let service = Arc::new(dblp_service());
+/// `--serve`: boot and block (CI smoke / manual curl exploration).  With
+/// `--data-dir`, the service recovers whatever the directory holds (the
+/// generated corpus only seeds an empty directory), uses the default
+/// label index so recovery needs nothing beyond the graph, and fsyncs
+/// every mutation before acknowledging it.
+fn serve_forever(addr: &str, data_dir: Option<String>) {
+    let service = match &data_dir {
+        Some(dir) => {
+            let data = DblpDataset::generate(DblpConfig {
+                num_authors: 600,
+                num_papers: 1200,
+                num_conferences: 8,
+                seed: 11,
+                ..DblpConfig::default()
+            });
+            let service = Service::builder(data.dataset.graph().clone())
+                .workers(4)
+                .queue_capacity(1024)
+                .cache_capacity(256)
+                .tenant_quota(25.0, 40)
+                .persistence(dir, FsyncPolicy::Always)
+                .build();
+            let durability = service.durability();
+            println!(
+                "durable mode: data dir {dir}, recovered epoch {}, {} WAL record(s) replayed",
+                service.epoch(),
+                durability.replayed_records,
+            );
+            service
+        }
+        None => dblp_service(),
+    };
+    let service = Arc::new(service);
     let server = Server::builder(service)
         .addr(addr)
         .graph_source(|| {

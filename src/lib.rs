@@ -19,6 +19,8 @@
 //!   with cancellation tokens, an LRU result cache keyed by graph epoch,
 //!   priority scheduling, per-tenant admission quotas and deterministic
 //!   work-based deadlines,
+//! * [`persist`] — durable persistence: epoch-versioned binary snapshots,
+//!   a mutation write-ahead log and crash recovery (snapshot + WAL replay),
 //! * [`server`] — the HTTP/SSE network front-end over the service:
 //!   hand-rolled HTTP/1.1 on `std::net`, answers streamed as server-sent
 //!   events, structured JSON errors, graceful drain.
@@ -88,6 +90,7 @@
 pub use banks_core as core;
 pub use banks_datagen as datagen;
 pub use banks_graph as graph;
+pub use banks_persist as persist;
 pub use banks_prestige as prestige;
 pub use banks_relational as relational;
 pub use banks_server as server;
@@ -111,15 +114,16 @@ pub mod prelude {
         BatchOutcome, DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphMutation,
         GraphStats, GraphStore, MutationBatch, NodeId,
     };
+    pub use banks_persist::{read_snapshot, write_snapshot, PersistentStore, SnapshotContents};
     pub use banks_prestige::{
         compute_pagerank, refresh_pagerank, IndegreePrestige, PageRankConfig, PrestigeVector,
     };
     pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
     pub use banks_server::Server;
     pub use banks_service::{
-        GraphSnapshot, MutationReport, Priority, QueryEvent, QueryHandle, QueryId, QueryResult,
-        QuerySpec, QueueWaitSummary, Service, ServiceBuilder, ServiceMetrics, SubmitError,
-        TenantMetrics,
+        DurabilityStatus, FsyncPolicy, GraphSnapshot, MutationReport, PersistError, PersistOptions,
+        Priority, QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec, QueueWaitSummary,
+        Service, ServiceBuilder, ServiceMetrics, SubmitError, TenantMetrics,
     };
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }
