@@ -1,0 +1,230 @@
+//! Online calibration of the a priori query-cost model.
+//!
+//! The scheduler charges admission cost from a static estimate
+//! (`origin × (1 + top_k × work-per-answer) × engine-factor`).  That model
+//! is deliberately crude; this module closes the loop by recording the
+//! *measured* `nodes_explored` of every completed query into a per
+//! (engine, origin-size bucket) cell and maintaining an exponential
+//! moving average of the measured/estimated ratio.  The resulting
+//! correction factor is blended back into future estimates, clamped to
+//! a sane band so one outlier can never swing admission by more than 8×.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log₂ origin-size buckets (bucket 15 is open-ended).
+pub const ORIGIN_BUCKETS: usize = 16;
+
+/// Correction factors are clamped to `[1/CORRECTION_CLAMP, CORRECTION_CLAMP]`.
+const CORRECTION_CLAMP: f64 = 8.0;
+
+/// The log₂ bucket an origin-set size falls in: 1 node → bucket 0,
+/// 2–3 → 1, 4–7 → 2, …, ≥ 2¹⁵ → bucket 15.
+pub fn origin_bucket(origin_nodes: usize) -> usize {
+    let n = origin_nodes.max(1) as u64;
+    ((63 - n.leading_zeros()) as usize).min(ORIGIN_BUCKETS - 1)
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Cell {
+    samples: u64,
+    nodes_sum: u64,
+    /// EMA of measured/estimated; 0.0 means "no samples yet".
+    ratio_ema: f64,
+}
+
+/// One row of the exported calibration table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CalibrationRow {
+    /// Engine the row calibrates.
+    pub engine: String,
+    /// Origin-size bucket index (log₂ of the origin node count).
+    pub origin_bucket: usize,
+    /// Smallest origin size in the bucket.
+    pub origin_lo: u64,
+    /// Largest origin size in the bucket (`u64::MAX` for the last).
+    pub origin_hi: u64,
+    /// Completed queries recorded into this cell.
+    pub samples: u64,
+    /// Mean measured `nodes_explored` across those queries.
+    pub mean_nodes_explored: u64,
+    /// Current correction factor applied to estimates in this cell.
+    pub correction: f64,
+}
+
+/// Online EMA calibration of cost estimates, keyed by
+/// (engine, origin-size bucket).
+///
+/// The first sample seeds the EMA directly; later samples decay into it
+/// with weight `alpha`, so the table tracks drift (graph growth, engine
+/// changes) without a reset.
+#[derive(Debug)]
+pub struct CostCalibration {
+    alpha: f64,
+    cells: Mutex<BTreeMap<String, [Cell; ORIGIN_BUCKETS]>>,
+}
+
+impl Default for CostCalibration {
+    fn default() -> Self {
+        CostCalibration::new(0.25)
+    }
+}
+
+impl CostCalibration {
+    /// A calibration table with EMA decay `alpha` (clamped to (0, 1]).
+    pub fn new(alpha: f64) -> Self {
+        CostCalibration {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            cells: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records one completed query: the estimate the scheduler charged
+    /// and the `nodes_explored` the engine actually reported.
+    pub fn record(&self, engine: &str, origin_nodes: usize, estimated: u64, measured: u64) {
+        let ratio = measured.max(1) as f64 / estimated.max(1) as f64;
+        let bucket = origin_bucket(origin_nodes);
+        let mut cells = self.cells.lock().unwrap();
+        let row = cells
+            .entry(engine.to_string())
+            .or_insert_with(|| [Cell::default(); ORIGIN_BUCKETS]);
+        let cell = &mut row[bucket];
+        cell.ratio_ema = if cell.samples == 0 {
+            ratio
+        } else {
+            self.alpha * ratio + (1.0 - self.alpha) * cell.ratio_ema
+        };
+        cell.samples += 1;
+        cell.nodes_sum += measured;
+    }
+
+    /// The correction factor for an (engine, origin-size) cell: the
+    /// clamped EMA of measured/estimated, or 1.0 before any samples.
+    pub fn correction(&self, engine: &str, origin_nodes: usize) -> f64 {
+        let cells = self.cells.lock().unwrap();
+        match cells.get(engine) {
+            Some(row) => {
+                let cell = &row[origin_bucket(origin_nodes)];
+                if cell.samples == 0 {
+                    1.0
+                } else {
+                    cell.ratio_ema
+                        .clamp(1.0 / CORRECTION_CLAMP, CORRECTION_CLAMP)
+                }
+            }
+            None => 1.0,
+        }
+    }
+
+    /// An estimate blended with the learned correction: rounded
+    /// `estimated × correction`, floored at 1.
+    pub fn corrected(&self, engine: &str, origin_nodes: usize, estimated: u64) -> u64 {
+        let corrected = (estimated as f64 * self.correction(engine, origin_nodes)).round();
+        (corrected as u64).max(1)
+    }
+
+    /// The populated calibration rows, sorted by engine then bucket.
+    pub fn rows(&self) -> Vec<CalibrationRow> {
+        let cells = self.cells.lock().unwrap();
+        let mut out = Vec::new();
+        for (engine, row) in cells.iter() {
+            for (bucket, cell) in row.iter().enumerate() {
+                if cell.samples == 0 {
+                    continue;
+                }
+                out.push(CalibrationRow {
+                    engine: engine.clone(),
+                    origin_bucket: bucket,
+                    origin_lo: 1u64 << bucket,
+                    origin_hi: if bucket == ORIGIN_BUCKETS - 1 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (bucket + 1)) - 1
+                    },
+                    samples: cell.samples,
+                    mean_nodes_explored: cell.nodes_sum / cell.samples,
+                    correction: cell
+                        .ratio_ema
+                        .clamp(1.0 / CORRECTION_CLAMP, CORRECTION_CLAMP),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_buckets_are_log2() {
+        assert_eq!(origin_bucket(0), 0);
+        assert_eq!(origin_bucket(1), 0);
+        assert_eq!(origin_bucket(2), 1);
+        assert_eq!(origin_bucket(3), 1);
+        assert_eq!(origin_bucket(4), 2);
+        assert_eq!(origin_bucket(1 << 14), 14);
+        assert_eq!(origin_bucket(1 << 20), ORIGIN_BUCKETS - 1);
+    }
+
+    #[test]
+    fn first_sample_seeds_then_ema_decays() {
+        let c = CostCalibration::new(0.25);
+        assert_eq!(c.correction("bidirectional", 4), 1.0);
+
+        // First sample seeds the EMA: measured 200 on an estimate of 100.
+        c.record("bidirectional", 4, 100, 200);
+        assert!((c.correction("bidirectional", 4) - 2.0).abs() < 1e-9);
+
+        // Second sample (ratio 1.0) decays with alpha 0.25:
+        // 0.25·1.0 + 0.75·2.0 = 1.75.
+        c.record("bidirectional", 4, 100, 100);
+        assert!((c.correction("bidirectional", 4) - 1.75).abs() < 1e-9);
+
+        // Repeated agreement converges toward 1.0.
+        for _ in 0..64 {
+            c.record("bidirectional", 4, 100, 100);
+        }
+        assert!((c.correction("bidirectional", 4) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn correction_is_clamped_and_cells_are_isolated() {
+        let c = CostCalibration::new(0.5);
+        c.record("mi", 2, 1, 1_000_000);
+        assert_eq!(c.correction("mi", 2), 8.0);
+        c.record("mi", 1 << 8, 1_000_000, 1);
+        assert_eq!(c.correction("mi", 1 << 8), 0.125);
+        // Other engines and buckets stay untouched.
+        assert_eq!(c.correction("mi", 1 << 4), 1.0);
+        assert_eq!(c.correction("bidirectional", 2), 1.0);
+    }
+
+    #[test]
+    fn corrected_scales_and_floors_estimates() {
+        let c = CostCalibration::new(0.25);
+        assert_eq!(c.corrected("si", 4, 100), 100);
+        c.record("si", 4, 100, 50);
+        assert_eq!(c.corrected("si", 4, 100), 50);
+        c.record("si", 1, 1_000_000, 1);
+        assert_eq!(c.corrected("si", 1, 2), 1);
+    }
+
+    #[test]
+    fn rows_export_populated_cells_sorted() {
+        let c = CostCalibration::new(0.25);
+        c.record("mi", 5, 100, 300);
+        c.record("bidirectional", 1, 10, 20);
+        c.record("bidirectional", 1, 10, 40);
+        let rows = c.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].engine, "bidirectional");
+        assert_eq!(rows[0].origin_bucket, 0);
+        assert_eq!(rows[0].samples, 2);
+        assert_eq!(rows[0].mean_nodes_explored, 30);
+        assert_eq!(rows[1].engine, "mi");
+        assert_eq!(rows[1].origin_bucket, 2);
+        assert_eq!((rows[1].origin_lo, rows[1].origin_hi), (4, 7));
+    }
+}

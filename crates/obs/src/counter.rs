@@ -1,0 +1,153 @@
+//! Relaxed-atomic scalars: the cheapest possible instruments.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter, updated with relaxed atomics.
+///
+/// Relaxed ordering is deliberate: metrics are *statistical* reads, never
+/// synchronization points, so the instrument costs one uncontended atomic
+/// add and imposes no ordering on the code it measures.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (used when sampling an absolute progress
+    /// counter, e.g. an engine's `nodes_explored`, into a shared cell).
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Live per-query work counters, published by an engine's step driver with
+/// relaxed stores on every expansion step and read by whoever holds the
+/// other end (the tracing layer, a live-stats poller).
+///
+/// The names follow the expansion machinery: a *heap pop* is one node
+/// leaving a frontier priority queue (the unit `nodes_explored` counts and
+/// work budgets are denominated in), a *row expanded* is one adjacency row
+/// entry traversed.
+#[derive(Debug, Default)]
+pub struct WorkCounters {
+    /// Nodes popped from expansion frontiers (`nodes_explored`).
+    pub heap_pops: Counter,
+    /// Distinct nodes ever inserted into a frontier.
+    pub nodes_touched: Counter,
+    /// Adjacency entries traversed (`edges_traversed`).
+    pub rows_expanded: Counter,
+    /// Answers released by the emission policy so far.
+    pub answers_emitted: Counter,
+}
+
+impl WorkCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        WorkCounters::default()
+    }
+
+    /// Publishes one progress sample (absolute values, relaxed stores).
+    pub fn store(&self, heap_pops: u64, nodes_touched: u64, rows_expanded: u64, answers: u64) {
+        self.heap_pops.store(heap_pops);
+        self.nodes_touched.store(nodes_touched);
+        self.rows_expanded.store(rows_expanded);
+        self.answers_emitted.store(answers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.store(2);
+        assert_eq!(c.get(), 2);
+
+        let g = Gauge::new();
+        g.add(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn work_counters_publish_absolute_samples() {
+        let w = WorkCounters::new();
+        w.store(10, 20, 30, 2);
+        w.store(15, 25, 40, 3);
+        assert_eq!(w.heap_pops.get(), 15);
+        assert_eq!(w.nodes_touched.get(), 25);
+        assert_eq!(w.rows_expanded.get(), 40);
+        assert_eq!(w.answers_emitted.get(), 3);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,203 @@
+//! The lock-free log₂-microsecond latency histogram.
+//!
+//! Extracted (and generalized) from the service's original queue-wait
+//! histogram: same bucket layout, same percentile semantics, but the
+//! buckets are relaxed atomics, so one `Histogram` can be shared across
+//! worker threads without a mutex and recorded into from the hot path at
+//! the cost of four uncontended atomic operations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ microsecond buckets.  Bucket 0 holds exactly-zero
+/// durations and bucket `i > 0` holds durations in `[2^(i-1), 2^i)` µs; the
+/// last bucket (i = 36, lower bound 2^35 µs ≈ 9.5 h) is open-ended and
+/// absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 37;
+
+/// A concurrent latency histogram at log₂-µs resolution.
+///
+/// ```
+/// use std::time::Duration;
+/// use banks_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for us in [10, 20, 30, 10_000] {
+///     h.record(Duration::from_micros(us));
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.max, Duration::from_micros(10_000));
+/// assert!(s.p50 >= Duration::from_micros(20));
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a microsecond value falls in.
+    pub fn bucket_index(us: u64) -> usize {
+        (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one duration given in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary (count, mean, bucketed p50/p90/p99, exact
+    /// max).  Concurrent recorders may land between the individual loads;
+    /// the summary is statistically consistent, not a linearizable
+    /// snapshot — the right trade for an instrument.
+    pub fn summary(&self) -> LatencySummary {
+        let buckets: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = buckets.iter().sum();
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let max_us = self.max_us.load(Ordering::Relaxed);
+        let percentile = |p: f64| -> Duration {
+            if count == 0 {
+                return Duration::ZERO;
+            }
+            let rank = ((count as f64) * p).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // bucket i spans [2^(i-1), 2^i) µs (bucket 0 is exactly
+                    // 0); report the upper bound, capped by the observed
+                    // maximum.
+                    let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                    return Duration::from_micros(upper.min(max_us));
+                }
+            }
+            Duration::from_micros(max_us)
+        };
+        LatencySummary {
+            count,
+            mean: Duration::from_micros(sum_us.checked_div(count).unwrap_or(0)),
+            p50: percentile(0.50),
+            p90: percentile(0.90),
+            p99: percentile(0.99),
+            max: Duration::from_micros(max_us),
+        }
+    }
+}
+
+/// Summary of a latency distribution.  Percentiles are bucketed (log₂-µs
+/// resolution): each is the upper bound of the bucket the true percentile
+/// falls in, capped at the exact observed maximum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 90th-percentile latency.
+    pub p90: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Largest observed latency (exact).
+    pub max: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_matches_the_original_queue_wait_histogram() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_observations() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, Duration::from_micros(10_000));
+        assert_eq!(s.mean, Duration::from_micros(1045));
+        assert!(s.p50 >= Duration::from_micros(50) && s.p50 < Duration::from_micros(128));
+        assert!(s.p90 >= Duration::from_micros(90) && s.p90 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_the_zero_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        let s = h.summary();
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        assert_eq!(Histogram::new().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_us(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.summary().count, 4000);
+        assert_eq!(h.summary().max, Duration::from_micros(3999));
+    }
+}

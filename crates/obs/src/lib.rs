@@ -1,0 +1,41 @@
+//! # banks-obs
+//!
+//! The observability kit underneath every BANKS tier: the measurement
+//! substrate the paper's whole evaluation (time-to-first-answer, nodes
+//! explored per engine) needs in a *running service*, not a benchmark
+//! harness.  `std`-only, dependency-free, and designed so the instruments
+//! themselves stay off the hot path:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars, safe to bump from
+//!   any thread without a lock;
+//! * [`Histogram`] — a lock-free log₂-microsecond latency histogram with
+//!   [`LatencySummary`] percentiles (p50/p90/p99), generalized from the
+//!   service's original queue-wait histogram so one implementation serves
+//!   queue wait, TTFA, mutation apply, checkpoint and WAL-fsync latencies;
+//! * [`WorkCounters`] — the per-query live counters (heap pops, rows
+//!   expanded) an engine's step driver publishes with relaxed stores;
+//! * [`QueryTrace`] / [`TraceSpan`] — one query's phase timeline
+//!   (admit → queue → resolve → expand → first-answer → finish);
+//! * [`TraceRing`] — the bounded ring retaining traced and slow queries
+//!   for `GET /debug/slow` and `GET /debug/trace/<id>`;
+//! * [`CostCalibration`] — an online EMA correction of the a priori cost
+//!   model from measured `nodes_explored`, per (engine, origin-size
+//!   bucket);
+//! * [`PromText`] — a Prometheus text-format (version 0.0.4) writer with
+//!   `# HELP`/`# TYPE` bookkeeping and a duplicate-series guard.
+
+#![deny(missing_docs)]
+
+mod calib;
+mod counter;
+mod hist;
+mod prom;
+mod ring;
+mod trace;
+
+pub use calib::{origin_bucket, CalibrationRow, CostCalibration, ORIGIN_BUCKETS};
+pub use counter::{Counter, Gauge, WorkCounters};
+pub use hist::{Histogram, LatencySummary, HISTOGRAM_BUCKETS};
+pub use prom::PromText;
+pub use ring::TraceRing;
+pub use trace::{QueryTrace, TraceSpan};

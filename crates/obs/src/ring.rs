@@ -1,0 +1,125 @@
+//! The bounded trace retention ring.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::trace::QueryTrace;
+
+/// A bounded ring of recently retained [`QueryTrace`]s.
+///
+/// The service pushes every explicitly traced query plus every query that
+/// crossed the slow threshold; the oldest trace is dropped when the ring
+/// is full.  Lookups by query id serve `GET /debug/trace/<id>`; the
+/// recent-slow view serves `GET /debug/slow`.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    traces: Mutex<VecDeque<Arc<QueryTrace>>>,
+}
+
+impl TraceRing {
+    /// A ring retaining at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity: capacity.max(1),
+            traces: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Retains a trace, evicting the oldest if the ring is full.
+    pub fn push(&self, trace: Arc<QueryTrace>) {
+        let mut traces = self.traces.lock().unwrap();
+        if traces.len() == self.capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    /// The trace for query `id`, if still retained.
+    pub fn get(&self, id: u64) -> Option<Arc<QueryTrace>> {
+        let traces = self.traces.lock().unwrap();
+        traces.iter().rev().find(|t| t.id == id).cloned()
+    }
+
+    /// The most recent retained traces, newest first, capped at `limit`.
+    /// When `slow_only` is set, only traces that crossed the slow
+    /// threshold are returned.
+    pub fn recent(&self, limit: usize, slow_only: bool) -> Vec<Arc<QueryTrace>> {
+        let traces = self.traces.lock().unwrap();
+        traces
+            .iter()
+            .rev()
+            .filter(|t| !slow_only || t.slow)
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.traces.lock().unwrap().len()
+    }
+
+    /// Whether the ring holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, slow: bool) -> Arc<QueryTrace> {
+        Arc::new(QueryTrace {
+            id,
+            slow,
+            ..QueryTrace::default()
+        })
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let ring = TraceRing::new(3);
+        for id in 1..=5 {
+            ring.push(trace(id, false));
+        }
+        assert_eq!(ring.len(), 3);
+        assert!(ring.get(1).is_none());
+        assert!(ring.get(2).is_none());
+        assert!(ring.get(3).is_some());
+        assert!(ring.get(5).is_some());
+    }
+
+    #[test]
+    fn recent_is_newest_first_and_filters_slow() {
+        let ring = TraceRing::new(10);
+        ring.push(trace(1, true));
+        ring.push(trace(2, false));
+        ring.push(trace(3, true));
+
+        let all: Vec<u64> = ring.recent(10, false).iter().map(|t| t.id).collect();
+        assert_eq!(all, vec![3, 2, 1]);
+
+        let slow: Vec<u64> = ring.recent(10, true).iter().map(|t| t.id).collect();
+        assert_eq!(slow, vec![3, 1]);
+
+        assert_eq!(ring.recent(1, false).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_resolve_to_the_newest() {
+        let ring = TraceRing::new(4);
+        ring.push(Arc::new(QueryTrace {
+            id: 9,
+            total_us: 100,
+            ..QueryTrace::default()
+        }));
+        ring.push(Arc::new(QueryTrace {
+            id: 9,
+            total_us: 200,
+            ..QueryTrace::default()
+        }));
+        assert_eq!(ring.get(9).unwrap().total_us, 200);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-query phase traces.
+//!
+//! A [`QueryTrace`] is one query's post-mortem timeline: a handful of
+//! named [`TraceSpan`]s whose endpoints are microsecond offsets from the
+//! moment the service first saw the query, plus a small table of engine
+//! work counters sampled at completion.  Offsets (rather than absolute
+//! timestamps) make traces cheap to record, trivially serializable, and
+//! self-consistent: every span is bounded by `[0, total_us]`.
+
+/// One named phase of a query's lifecycle.
+///
+/// `start_us`/`end_us` are offsets in microseconds from the query's
+/// admission instant (the top of `Service::submit`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Phase name (`admit`, `queue`, `resolve`, `expand`, `first-answer`,
+    /// `finish`).
+    pub name: &'static str,
+    /// Offset of the phase start, µs since admission.
+    pub start_us: u64,
+    /// Offset of the phase end, µs since admission.
+    pub end_us: u64,
+}
+
+impl TraceSpan {
+    /// Duration of the span in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// The full trace of one query, assembled by the service as the query
+/// moves through admission, queueing and execution.
+#[derive(Clone, Debug, Default)]
+pub struct QueryTrace {
+    /// Service-assigned query id (the numeric part of `q<N>`).
+    pub id: u64,
+    /// Client-supplied trace reference (the `X-Banks-Trace` header value),
+    /// echoed back verbatim.
+    pub client_ref: Option<String>,
+    /// Tenant the query was accounted to, if any.
+    pub tenant: Option<String>,
+    /// Engine that executed the query.
+    pub engine: String,
+    /// Whether the result was served from the answer cache.
+    pub cache_hit: bool,
+    /// Whether the query crossed the configured slow-query threshold.
+    pub slow: bool,
+    /// Snapshot epoch the query ran against.
+    pub epoch: u64,
+    /// End-to-end wall time in microseconds (admission to finish).
+    pub total_us: u64,
+    /// Phase spans, in the order they were recorded.
+    pub spans: Vec<TraceSpan>,
+    /// Engine work counters sampled at completion
+    /// (`heap_pops`, `rows_expanded`, …).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl QueryTrace {
+    /// Appends a span.
+    pub fn push_span(&mut self, name: &'static str, start_us: u64, end_us: u64) {
+        self.spans.push(TraceSpan {
+            name,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Appends a work counter sample.
+    pub fn push_counter(&mut self, name: &'static str, value: u64) {
+        self.counters.push((name, value));
+    }
+
+    /// Looks up a span by name.
+    pub fn span(&self, name: &str) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_counters_are_retrievable_by_name() {
+        let mut t = QueryTrace {
+            id: 7,
+            engine: "bidirectional".to_string(),
+            total_us: 1500,
+            ..QueryTrace::default()
+        };
+        t.push_span("queue", 100, 400);
+        t.push_span("expand", 400, 1500);
+        t.push_counter("heap_pops", 42);
+
+        assert_eq!(t.span("queue").unwrap().duration_us(), 300);
+        assert_eq!(t.span("expand").unwrap().end_us, 1500);
+        assert!(t.span("missing").is_none());
+        assert_eq!(t.counter("heap_pops"), Some(42));
+        assert_eq!(t.counter("missing"), None);
+    }
+
+    #[test]
+    fn span_duration_saturates_rather_than_underflows() {
+        let s = TraceSpan {
+            name: "odd",
+            start_us: 10,
+            end_us: 5,
+        };
+        assert_eq!(s.duration_us(), 0);
+    }
+}

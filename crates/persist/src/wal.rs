@@ -246,6 +246,8 @@ pub struct Wal {
     next_seq: u64,
     records: u64,
     bytes: u64,
+    /// Latency distribution of the `sync_data` calls this WAL has issued.
+    fsync_hist: banks_obs::Histogram,
 }
 
 impl Wal {
@@ -266,6 +268,7 @@ impl Wal {
             next_seq: 1,
             records: 0,
             bytes: WAL_HEADER_LEN as u64,
+            fsync_hist: banks_obs::Histogram::new(),
         })
     }
 
@@ -288,6 +291,7 @@ impl Wal {
             next_seq: scan.records.last().map_or(1, |r| r.seq + 1),
             records: scan.records.len() as u64,
             bytes: scan.valid_bytes,
+            fsync_hist: banks_obs::Histogram::new(),
         };
         // Position at the end of the valid prefix.
         use std::io::Seek;
@@ -303,11 +307,11 @@ impl Wal {
         let rec = encode_record(seq, parent_epoch, epoch, batch);
         self.file.write_all(&rec)?;
         match self.fsync {
-            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::Always => self.timed_sync_data()?,
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n.max(1) {
-                    self.file.sync_data()?;
+                    self.timed_sync_data()?;
                     self.unsynced = 0;
                 }
             }
@@ -321,8 +325,16 @@ impl Wal {
 
     /// Forces any buffered records to stable storage.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync_data()?;
+        self.timed_sync_data()?;
         self.unsynced = 0;
+        Ok(())
+    }
+
+    /// `sync_data` with its latency recorded into the fsync histogram.
+    fn timed_sync_data(&mut self) -> Result<()> {
+        let started = std::time::Instant::now();
+        self.file.sync_data()?;
+        self.fsync_hist.record(started.elapsed());
         Ok(())
     }
 
@@ -359,6 +371,12 @@ impl Wal {
     /// The configured fsync policy.
     pub fn fsync_policy(&self) -> FsyncPolicy {
         self.fsync
+    }
+
+    /// Latency summary of every fsync this WAL has issued since it was
+    /// opened (the distribution is in-memory only; it restarts empty).
+    pub fn fsync_latency(&self) -> banks_obs::LatencySummary {
+        self.fsync_hist.summary()
     }
 }
 

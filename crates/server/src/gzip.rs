@@ -1,0 +1,134 @@
+//! A dependency-free gzip encoder for response bodies.
+//!
+//! The workspace vendors no compression library, so this wraps the payload
+//! in a *stored* (uncompressed) DEFLATE stream inside a gzip container:
+//! RFC 1952 header + trailer around RFC 1951 stored blocks.  Stored blocks
+//! add ~5 bytes per 64 KiB — the point is not to shrink the body but to
+//! satisfy scrapers that unconditionally send `Accept-Encoding: gzip` and
+//! expect the server to honour it.  Any standard gzip decoder (curl
+//! `--compressed`, Prometheus itself) inflates the result byte-for-byte.
+
+/// Largest payload of one DEFLATE stored block (LEN is a 16-bit field).
+const MAX_STORED_BLOCK: usize = 65_535;
+
+/// Wraps `data` in a gzip member containing stored DEFLATE blocks.
+///
+/// ```
+/// let framed = banks_server::gzip::compress(b"hello");
+/// assert_eq!(&framed[..2], &[0x1f, 0x8b], "gzip magic");
+/// assert!(framed.len() >= 5 + 18, "header + trailer + block framing");
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    // 10-byte header: magic, CM=8 (deflate), no flags, zero mtime,
+    // no extra flags, OS=255 (unknown).
+    let mut out = Vec::with_capacity(data.len() + 18 + 5 * (data.len() / MAX_STORED_BLOCK + 1));
+    out.extend_from_slice(&[0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff]);
+
+    // DEFLATE stored blocks: BFINAL|BTYPE=00 byte, then LEN/NLEN (LE).
+    // An empty payload still needs one (final, zero-length) block.
+    let mut chunks = data.chunks(MAX_STORED_BLOCK).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = if chunks.peek().is_none() { 1 } else { 0 };
+        let len = chunk.len() as u16;
+        out.push(bfinal);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+
+    // Trailer: CRC-32 of the uncompressed data, then its length mod 2^32.
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xff) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+/// The byte-at-a-time CRC-32 lookup table, built at compile time.
+static CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal inflater for *stored* DEFLATE blocks — enough to verify
+    /// our own framing without a compression dependency.
+    fn inflate_stored(gz: &[u8]) -> Vec<u8> {
+        assert_eq!(&gz[..2], &[0x1f, 0x8b], "magic");
+        assert_eq!(gz[2], 0x08, "deflate method");
+        assert_eq!(gz[3], 0x00, "no flags, so the header is 10 bytes");
+        let mut pos = 10;
+        let mut out = Vec::new();
+        loop {
+            let bfinal = gz[pos] & 1;
+            assert_eq!(gz[pos] >> 1, 0, "stored block type");
+            let len = u16::from_le_bytes([gz[pos + 1], gz[pos + 2]]) as usize;
+            let nlen = u16::from_le_bytes([gz[pos + 3], gz[pos + 4]]);
+            assert_eq!(!nlen, len as u16, "NLEN is the ones' complement");
+            pos += 5;
+            out.extend_from_slice(&gz[pos..pos + len]);
+            pos += len;
+            if bfinal == 1 {
+                break;
+            }
+        }
+        let crc = u32::from_le_bytes([gz[pos], gz[pos + 1], gz[pos + 2], gz[pos + 3]]);
+        let isize = u32::from_le_bytes([gz[pos + 4], gz[pos + 5], gz[pos + 6], gz[pos + 7]]);
+        assert_eq!(crc, crc32(&out), "trailer CRC matches payload");
+        assert_eq!(isize, out.len() as u32, "trailer length matches payload");
+        assert_eq!(pos + 8, gz.len(), "nothing after the trailer");
+        out
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values from the IEEE CRC-32 everyone implements.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn roundtrips_small_payloads() {
+        for payload in [&b""[..], b"x", b"hello world", &[0u8; 1000]] {
+            assert_eq!(inflate_stored(&compress(payload)), payload);
+        }
+    }
+
+    #[test]
+    fn roundtrips_multi_block_payloads() {
+        // Crosses the 64 KiB stored-block bound twice.
+        let payload: Vec<u8> = (0..150_000u32).map(|i| (i % 251) as u8).collect();
+        let framed = compress(&payload);
+        assert_eq!(inflate_stored(&framed), payload);
+    }
+}

@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 
 use banks_core::json as corejson;
-use banks_service::ServiceMetrics;
+use banks_service::{LatencySummary, QueryTrace, ServiceMetrics};
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -320,7 +320,8 @@ pub fn metrics(m: &ServiceMetrics) -> String {
     buf.push_str(&format!(
         ",\"persistence_enabled\":{},\"last_checkpoint_epoch\":{},\
          \"wal_records\":{},\"wal_bytes\":{},\"checkpoints\":{},\
-         \"mutation_log_entries\":{},\"mutation_log_dropped\":{}",
+         \"mutation_log_entries\":{},\"mutation_log_dropped\":{},\
+         \"slow_queries\":{}",
         m.persistence_enabled,
         m.last_checkpoint_epoch,
         m.wal_records,
@@ -328,17 +329,35 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         m.checkpoints,
         m.mutation_log_entries,
         m.mutation_log_dropped,
+        m.slow_queries,
     ));
-    buf.push_str(&format!(
-        ",\"queue_wait\":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\
-         \"p99_us\":{},\"max_us\":{}}}",
-        m.queue_wait.count,
-        corejson::duration_us(m.queue_wait.mean),
-        corejson::duration_us(m.queue_wait.p50),
-        corejson::duration_us(m.queue_wait.p90),
-        corejson::duration_us(m.queue_wait.p99),
-        corejson::duration_us(m.queue_wait.max),
-    ));
+    for (name, summary) in [
+        ("queue_wait", &m.queue_wait),
+        ("ttfa", &m.ttfa),
+        ("mutation_apply", &m.mutation_apply),
+        ("checkpoint_latency", &m.checkpoint_latency),
+        ("wal_fsync", &m.wal_fsync),
+    ] {
+        buf.push_str(&format!(",\"{name}\":{}", latency_summary(summary)));
+    }
+    buf.push_str(",\"calibration\":[");
+    for (i, row) in m.calibration.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&format!(
+            "{{\"engine\":{},\"origin_bucket\":{},\"origin_lo\":{},\"origin_hi\":{},\
+             \"samples\":{},\"mean_nodes_explored\":{},\"correction\":{}}}",
+            corejson::string(&row.engine),
+            row.origin_bucket,
+            row.origin_lo,
+            row.origin_hi,
+            row.samples,
+            row.mean_nodes_explored,
+            corejson::number(row.correction),
+        ));
+    }
+    buf.push(']');
     buf.push_str(",\"tenants\":[");
     for (i, t) in m.tenants.iter().enumerate() {
         if i > 0 {
@@ -360,6 +379,63 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         ));
     }
     buf.push_str("]}");
+    buf
+}
+
+/// Renders a [`LatencySummary`] as the `{"count":…,"mean_us":…,…}` object
+/// every latency distribution in the metrics document uses.
+fn latency_summary(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\
+         \"p99_us\":{},\"max_us\":{}}}",
+        s.count,
+        corejson::duration_us(s.mean),
+        corejson::duration_us(s.p50),
+        corejson::duration_us(s.p90),
+        corejson::duration_us(s.p99),
+        corejson::duration_us(s.max),
+    )
+}
+
+/// Renders a [`QueryTrace`] — the payload of the SSE `trace` event and of
+/// `GET /debug/trace/<id>`.
+pub fn query_trace(t: &QueryTrace) -> String {
+    let mut buf = format!(
+        "{{\"id\":{},\"client_ref\":{},\"tenant\":{},\"engine\":{},\
+         \"cache_hit\":{},\"slow\":{},\"epoch\":{},\"total_us\":{}",
+        t.id,
+        t.client_ref
+            .as_deref()
+            .map_or_else(|| "null".to_string(), corejson::string),
+        t.tenant
+            .as_deref()
+            .map_or_else(|| "null".to_string(), corejson::string),
+        corejson::string(&t.engine),
+        t.cache_hit,
+        t.slow,
+        t.epoch,
+        t.total_us,
+    );
+    buf.push_str(",\"spans\":[");
+    for (i, span) in t.spans.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&format!(
+            "{{\"name\":{},\"start_us\":{},\"end_us\":{}}}",
+            corejson::string(span.name),
+            span.start_us,
+            span.end_us,
+        ));
+    }
+    buf.push_str("],\"counters\":{");
+    for (i, (name, value)) in t.counters.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&format!("{}:{value}", corejson::string(name)));
+    }
+    buf.push_str("}}");
     buf
 }
 
@@ -523,11 +599,72 @@ mod tests {
             "checkpoints",
             "mutation_log_entries",
             "mutation_log_dropped",
+            "slow_queries",
         ] {
             assert!(v.get(key).is_some(), "metrics must include {key}");
         }
-        assert!(v.get("queue_wait").and_then(|q| q.get("p99_us")).is_some());
+        for summary in [
+            "queue_wait",
+            "ttfa",
+            "mutation_apply",
+            "checkpoint_latency",
+            "wal_fsync",
+        ] {
+            for field in ["count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us"] {
+                assert!(
+                    v.get(summary).and_then(|q| q.get(field)).is_some(),
+                    "metrics must include {summary}.{field}"
+                );
+            }
+        }
         assert_eq!(v.get("tenants"), Some(&JsonValue::Array(vec![])));
+        assert_eq!(v.get("calibration"), Some(&JsonValue::Array(vec![])));
+    }
+
+    #[test]
+    fn trace_encoding_is_parseable() {
+        let mut t = QueryTrace {
+            id: 7,
+            client_ref: Some("req-1".to_string()),
+            tenant: None,
+            engine: "bidirectional".to_string(),
+            cache_hit: false,
+            slow: true,
+            epoch: 3,
+            total_us: 1500,
+            ..QueryTrace::default()
+        };
+        t.push_span("queue", 10, 40);
+        t.push_span("expand", 40, 1400);
+        t.push_counter("heap_pops", 123);
+        let v = parse(&query_trace(&t)).unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_usize), Some(7));
+        assert_eq!(
+            v.get("client_ref").and_then(JsonValue::as_str),
+            Some("req-1")
+        );
+        assert_eq!(v.get("tenant"), Some(&JsonValue::Null));
+        assert_eq!(v.get("slow"), Some(&JsonValue::Bool(true)));
+        match v.get("spans") {
+            Some(JsonValue::Array(spans)) => {
+                assert_eq!(spans.len(), 2);
+                assert_eq!(
+                    spans[1].get("name").and_then(JsonValue::as_str),
+                    Some("expand")
+                );
+                assert_eq!(
+                    spans[1].get("end_us").and_then(JsonValue::as_usize),
+                    Some(1400)
+                );
+            }
+            other => panic!("expected spans array, got {other:?}"),
+        }
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("heap_pops"))
+                .and_then(JsonValue::as_usize),
+            Some(123)
+        );
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //!
 //! | method + path | behaviour |
 //! |---------------|-----------|
-//! | `POST /query` (also `GET`) | submit a query; stream `answer` SSE events incrementally, then one `finished` event |
-//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON (per-tenant rows, queue-wait percentiles, quota rejections) |
+//! | `POST /query` (also `GET`) | submit a query; stream `answer` SSE events incrementally, then one `finished` event — plus a `trace` event when `X-Banks-Trace` was sent |
+//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON (per-tenant rows, latency percentiles, calibration table); `?format=prometheus` for text format 0.0.4; gzip on `Accept-Encoding: gzip` |
+//! | `GET /debug/slow` | recent slow-query traces, newest first (`?limit=N`) |
+//! | `GET /debug/trace/<id>` | one retained [`banks_service::QueryTrace`] by query id |
 //! | `POST /admin/swap` | rebuild and atomically swap the served [`banks_service::GraphSnapshot`] |
 //! | `POST /admin/mutate` | apply a JSON [`banks_graph::MutationBatch`] incrementally: delta snapshot, fresh epoch, per-op accept/reject counts |
 //! | `POST /admin/checkpoint` | force a durable snapshot + WAL truncation (409 when persistence is off) |
@@ -59,8 +61,10 @@
 
 #![deny(missing_docs)]
 
+pub mod gzip;
 pub mod http;
 pub mod json;
+pub mod prom;
 pub mod routes;
 pub mod server;
 pub mod sse;

@@ -1,0 +1,340 @@
+//! The Prometheus exposition of [`banks_service::ServiceMetrics`].
+//!
+//! `GET /metrics?format=prometheus` renders the same snapshot the JSON
+//! document carries, as text format 0.0.4: counters suffixed `_total`,
+//! latency distributions as `summary` families in seconds (quantile
+//! samples plus `_sum`/`_count`), per-tenant rows as `tenant`-labeled
+//! series, and the cost-model calibration table as
+//! `engine`/`origin_bucket`-labeled series.  The writer itself
+//! ([`banks_obs::PromText`]) deduplicates `HELP`/`TYPE` lines and refuses
+//! duplicate series, so the output always satisfies the scrape grammar.
+
+use banks_obs::PromText;
+use banks_service::{LatencySummary, ServiceMetrics};
+
+/// Renders `m` as a complete Prometheus text-format document.
+pub fn render(m: &ServiceMetrics) -> String {
+    let mut p = PromText::new();
+
+    p.counter(
+        "banks_queries_submitted_total",
+        "Queries accepted by submit (cache hits included).",
+        m.submitted,
+    );
+    p.counter(
+        "banks_queries_rejected_total",
+        "Queries rejected by admission control (queue full).",
+        m.rejected,
+    );
+    p.counter(
+        "banks_quota_rejected_total",
+        "Submissions rejected by per-tenant quotas, all tenants.",
+        m.quota_rejected,
+    );
+    p.counter(
+        "banks_queries_executed_total",
+        "Queries that ran on a worker (cache misses).",
+        m.executed,
+    );
+    p.counter(
+        "banks_queries_completed_total",
+        "Queries that finished, cache hits included.",
+        m.completed,
+    );
+    p.counter(
+        "banks_queries_cancelled_total",
+        "Queries that ended cancelled.",
+        m.cancelled,
+    );
+    p.counter(
+        "banks_queries_truncated_total",
+        "Queries cut short by a safety cap or work budget.",
+        m.truncated,
+    );
+    p.counter(
+        "banks_cache_hits_total",
+        "Queries answered entirely from the result cache.",
+        m.cache_hits,
+    );
+    p.gauge(
+        "banks_cache_hit_rate",
+        "Fraction of accepted queries served from the cache.",
+        m.cache_hit_rate(),
+    );
+    p.counter(
+        "banks_answers_delivered_total",
+        "Ranked answers streamed to handles.",
+        m.answers_delivered,
+    );
+    p.counter(
+        "banks_nodes_explored_total",
+        "Nodes explored across all executed queries.",
+        m.nodes_explored,
+    );
+    p.gauge(
+        "banks_queries_queued",
+        "Queries currently waiting in the admission scheduler.",
+        m.queued as f64,
+    );
+    p.counter(
+        "banks_graph_swaps_total",
+        "Graph versions swapped in since start.",
+        m.swaps,
+    );
+    p.counter(
+        "banks_mutation_batches_total",
+        "Mutation batches applied.",
+        m.mutation_batches,
+    );
+    p.counter(
+        "banks_mutation_ops_accepted_total",
+        "Mutation ops accepted across all applied batches.",
+        m.mutation_ops_accepted,
+    );
+    p.counter(
+        "banks_mutation_ops_rejected_total",
+        "Mutation ops rejected across all applied batches.",
+        m.mutation_ops_rejected,
+    );
+    p.gauge(
+        "banks_graph_epoch",
+        "Epoch of the graph currently being served.",
+        m.epoch as f64,
+    );
+    p.gauge(
+        "banks_persistence_enabled",
+        "Whether durable persistence is enabled (1) or off (0).",
+        if m.persistence_enabled { 1.0 } else { 0.0 },
+    );
+    p.gauge(
+        "banks_last_checkpoint_epoch",
+        "Epoch of the most recent on-disk snapshot.",
+        m.last_checkpoint_epoch as f64,
+    );
+    p.gauge(
+        "banks_wal_records",
+        "Mutation batches in the WAL since the last checkpoint.",
+        m.wal_records as f64,
+    );
+    p.gauge(
+        "banks_wal_bytes",
+        "Size of the write-ahead log in bytes.",
+        m.wal_bytes as f64,
+    );
+    p.counter(
+        "banks_checkpoints_total",
+        "Checkpoints taken since start (boot checkpoint included).",
+        m.checkpoints,
+    );
+    p.gauge(
+        "banks_mutation_log_entries",
+        "Applied batches held in the in-memory mutation log ring.",
+        m.mutation_log_entries as f64,
+    );
+    p.counter(
+        "banks_mutation_log_dropped_total",
+        "Applied batches dropped from the mutation log ring.",
+        m.mutation_log_dropped,
+    );
+    p.counter(
+        "banks_slow_queries_total",
+        "Queries whose latency crossed the slow-query threshold.",
+        m.slow_queries,
+    );
+
+    summary(
+        &mut p,
+        "banks_queue_wait_seconds",
+        "Queue wait (admission to worker pickup) across executed queries.",
+        &m.queue_wait,
+    );
+    summary(
+        &mut p,
+        "banks_ttfa_seconds",
+        "Time to first answer across executed queries that answered.",
+        &m.ttfa,
+    );
+    summary(
+        &mut p,
+        "banks_mutation_apply_seconds",
+        "Apply latency of successful mutation batches.",
+        &m.mutation_apply,
+    );
+    summary(
+        &mut p,
+        "banks_checkpoint_seconds",
+        "Latency of successful checkpoints.",
+        &m.checkpoint_latency,
+    );
+    summary(
+        &mut p,
+        "banks_wal_fsync_seconds",
+        "Latency of WAL fsyncs.",
+        &m.wal_fsync,
+    );
+
+    for t in &m.tenants {
+        let labels = [("tenant", t.tenant.as_str())];
+        p.counter_labeled(
+            "banks_tenant_executed_total",
+            "Queries executed per tenant.",
+            &labels,
+            t.executed,
+        );
+        p.counter_labeled(
+            "banks_tenant_quota_rejected_total",
+            "Quota rejections per tenant.",
+            &labels,
+            t.quota_rejected,
+        );
+        p.gauge_labeled(
+            "banks_tenant_mean_queue_wait_seconds",
+            "Mean queue wait per tenant.",
+            &labels,
+            t.mean_queue_wait.as_secs_f64(),
+        );
+        p.gauge_labeled(
+            "banks_tenant_max_queue_wait_seconds",
+            "Worst queue wait per tenant.",
+            &labels,
+            t.max_queue_wait.as_secs_f64(),
+        );
+        if let Some(rate) = t.quota_rate_per_sec {
+            p.gauge_labeled(
+                "banks_tenant_quota_rate_per_sec",
+                "Configured quota refill rate per tenant.",
+                &labels,
+                rate,
+            );
+        }
+        if let Some(burst) = t.quota_burst {
+            p.gauge_labeled(
+                "banks_tenant_quota_burst",
+                "Configured quota burst capacity per tenant.",
+                &labels,
+                burst as f64,
+            );
+        }
+    }
+
+    for row in &m.calibration {
+        let bucket = row.origin_bucket.to_string();
+        let labels = [("engine", row.engine.as_str()), ("origin_bucket", &bucket)];
+        p.counter_labeled(
+            "banks_calibration_samples_total",
+            "Cost-calibration samples per (engine, origin-size bucket).",
+            &labels,
+            row.samples,
+        );
+        p.gauge_labeled(
+            "banks_calibration_mean_nodes_explored",
+            "Mean measured nodes explored per (engine, origin-size bucket).",
+            &labels,
+            row.mean_nodes_explored as f64,
+        );
+        p.gauge_labeled(
+            "banks_calibration_correction",
+            "Learned measured/estimated work correction factor.",
+            &labels,
+            row.correction,
+        );
+    }
+
+    p.render()
+}
+
+fn summary(p: &mut PromText, name: &str, help: &str, s: &LatencySummary) {
+    p.summary_seconds(
+        name,
+        help,
+        s.count,
+        s.mean,
+        &[("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_service::{CalibrationRow, TenantMetrics};
+    use std::collections::HashSet;
+    use std::time::Duration;
+
+    fn populated() -> ServiceMetrics {
+        ServiceMetrics {
+            submitted: 10,
+            executed: 7,
+            cache_hits: 3,
+            slow_queries: 1,
+            persistence_enabled: true,
+            tenants: vec![TenantMetrics {
+                tenant: "acme".to_string(),
+                executed: 5,
+                quota_rejected: 2,
+                mean_queue_wait: Duration::from_micros(120),
+                max_queue_wait: Duration::from_micros(900),
+                quota_rate_per_sec: Some(50.0),
+                quota_burst: Some(100),
+            }],
+            calibration: vec![CalibrationRow {
+                engine: "bidirectional".to_string(),
+                origin_bucket: 3,
+                origin_lo: 8,
+                origin_hi: 15,
+                samples: 4,
+                mean_nodes_explored: 220,
+                correction: 1.4,
+            }],
+            ..ServiceMetrics::default()
+        }
+    }
+
+    #[test]
+    fn grammar_holds_for_a_populated_snapshot() {
+        let text = render(&populated());
+        assert!(text.ends_with('\n'));
+        let mut seen_series = HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(
+                seen_series.insert(series.to_string()),
+                "duplicate series {series}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "bad value in {line}"
+            );
+        }
+        // every TYPE line names a family some sample belongs to
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let family = line.split(' ').nth(2).unwrap();
+            assert!(
+                seen_series
+                    .iter()
+                    .any(|s| s.starts_with(family) || s == family),
+                "family {family} has no samples"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_tenants_summaries_and_calibration() {
+        let text = render(&populated());
+        assert!(text.contains("banks_queries_submitted_total 10"));
+        assert!(text.contains("banks_tenant_executed_total{tenant=\"acme\"} 5"));
+        assert!(text.contains("banks_tenant_quota_rate_per_sec{tenant=\"acme\"} 50"));
+        assert!(text.contains("banks_queue_wait_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("banks_ttfa_seconds_count 0"));
+        assert!(text.contains(
+            "banks_calibration_correction{engine=\"bidirectional\",origin_bucket=\"3\"} 1.4"
+        ));
+        assert!(text.contains("banks_persistence_enabled 1"));
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! | endpoint | behaviour |
 //! |----------|-----------|
-//! | `POST /query` (also `GET`) | submit a [`QuerySpec`], stream `answer` events as SSE, finish with a `finished` event |
-//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON |
+//! | `POST /query` (also `GET`) | submit a [`QuerySpec`], stream `answer` events as SSE, finish with a `finished` event (plus a `trace` event when `X-Banks-Trace` was sent) |
+//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON; `?format=prometheus` renders text format 0.0.4; `Accept-Encoding: gzip` is honoured |
+//! | `GET /debug/slow` | recent slow-query traces (newest first; `?limit=N`) |
+//! | `GET /debug/trace/<id>` | one retained trace by query id (`7` or `q7`) |
 //! | `POST /admin/swap` | rebuild and atomically swap the served snapshot |
 //! | `POST /admin/mutate` | apply a JSON [`MutationBatch`] incrementally: new epoch + per-op accept/reject |
 //! | `POST /admin/checkpoint` | force a durable snapshot and truncate the WAL |
@@ -11,11 +13,13 @@
 //!
 //! Tenant and priority travel as headers (`X-Banks-Tenant`,
 //! `X-Banks-Priority`), so the PR-3 scheduler and the quota layer govern
-//! remote traffic exactly as in-process traffic.  Every failure maps to a
-//! structured JSON error envelope with the appropriate status code:
-//! malformed requests → 400, unknown engines (with their "did you mean"
-//! suggestion) → 404, quota rejections → 429 + `Retry-After`, a full
-//! admission queue or shutdown → 503.
+//! remote traffic exactly as in-process traffic; `X-Banks-Trace` requests
+//! a per-query phase trace, echoed back with the header's value as the
+//! correlation reference.  Every failure maps to a structured JSON error
+//! envelope with the appropriate status code: malformed requests → 400,
+//! unknown engines (with their "did you mean" suggestion) → 404, quota
+//! rejections → 429 + `Retry-After`, a full admission queue or shutdown →
+//! 503.
 //!
 //! ## Keep-alive
 //!
@@ -157,8 +161,15 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
                 keep
             }
             ("GET", "/metrics") => {
-                respond_metrics(ctx, &mut writer, keep);
+                respond_metrics(ctx, &request, &mut writer, keep);
                 keep
+            }
+            ("GET", "/debug/slow") => {
+                respond_slow(ctx, &request, &mut writer, keep);
+                keep
+            }
+            ("GET", path) if path.starts_with("/debug/trace/") => {
+                respond_trace(ctx, path, &mut writer, keep)
             }
             ("POST", "/query") | ("GET", "/query") => {
                 respond_query(ctx, &request, &stream);
@@ -173,9 +184,22 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
             (_, "/healthz")
             | (_, "/metrics")
             | (_, "/query")
+            | (_, "/debug/slow")
             | (_, "/admin/swap")
             | (_, "/admin/mutate")
             | (_, "/admin/checkpoint") => {
+                respond_error(
+                    &mut writer,
+                    &HttpError::new(
+                        405,
+                        "method_not_allowed",
+                        format!("{} not allowed on {}", request.method, request.path),
+                    ),
+                    false,
+                );
+                false
+            }
+            (_, path) if path.starts_with("/debug/trace/") => {
                 respond_error(
                     &mut writer,
                     &HttpError::new(
@@ -281,9 +305,107 @@ fn respond_checkpoint(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool)
     }
 }
 
-fn respond_metrics(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
-    let body = json::metrics(&ctx.service.metrics());
+/// `GET /metrics`: JSON by default, Prometheus text format 0.0.4 with
+/// `?format=prometheus`.  A client advertising `Accept-Encoding: gzip`
+/// gets the body gzip-framed (stored DEFLATE blocks — see [`crate::gzip`]).
+fn respond_metrics(ctx: &ServerContext, request: &Request, w: &mut impl Write, keep_alive: bool) {
+    let metrics = ctx.service.metrics();
+    let (body, content_type) = match request.query_param("format").as_deref() {
+        Some("prometheus") => (
+            crate::prom::render(&metrics),
+            "text/plain; version=0.0.4; charset=utf-8",
+        ),
+        _ => (json::metrics(&metrics), "application/json"),
+    };
+    if accepts_gzip(request) {
+        let compressed = crate::gzip::compress(body.as_bytes());
+        let _ = http::write_response(
+            w,
+            200,
+            &[("Content-Encoding", "gzip")],
+            content_type,
+            &compressed,
+            keep_alive,
+        );
+    } else {
+        let _ = http::write_response(w, 200, &[], content_type, body.as_bytes(), keep_alive);
+    }
+}
+
+/// Whether the client listed `gzip` in `Accept-Encoding` (q-values beyond
+/// an explicit `gzip;q=0` refusal are not weighed — any mention opts in).
+fn accepts_gzip(request: &Request) -> bool {
+    request.header("accept-encoding").is_some_and(|v| {
+        v.split(',').any(|token| {
+            let mut parts = token.split(';');
+            let coding = parts.next().unwrap_or("").trim();
+            let refused = parts.any(|p| {
+                p.trim().eq_ignore_ascii_case("q=0") || p.trim().eq_ignore_ascii_case("q=0.0")
+            });
+            coding.eq_ignore_ascii_case("gzip") && !refused
+        })
+    })
+}
+
+/// `GET /debug/slow`: the retained slow-query traces, newest first.
+fn respond_slow(ctx: &ServerContext, request: &Request, w: &mut impl Write, keep_alive: bool) {
+    let limit = request
+        .query_param("limit")
+        .and_then(|raw| raw.parse::<usize>().ok())
+        .unwrap_or(32);
+    let traces = ctx.service.slow_traces(limit);
+    let mut body = format!(
+        "{{\"slow_query_threshold_us\":{},\"count\":{},\"traces\":[",
+        ctx.service.slow_query_threshold().as_micros(),
+        traces.len(),
+    );
+    for (i, trace) in traces.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&json::query_trace(trace));
+    }
+    body.push_str("]}");
     let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+}
+
+/// `GET /debug/trace/<id>`: one retained trace by query id (`7` and the
+/// display form `q7` both work).  404 once the ring has evicted it (or if
+/// it was never retained — traces are kept only when requested or slow).
+fn respond_trace(ctx: &ServerContext, path: &str, w: &mut impl Write, keep_alive: bool) -> bool {
+    let raw = path.trim_start_matches("/debug/trace/");
+    let id = raw.strip_prefix('q').unwrap_or(raw).parse::<u64>();
+    let trace = match id {
+        Ok(id) => ctx.service.trace(banks_service::QueryId(id)),
+        Err(_) => {
+            respond_error(
+                w,
+                &HttpError::bad_request(format!("bad query id {raw:?} (expected 7 or q7)")),
+                false,
+            );
+            return false;
+        }
+    };
+    match trace {
+        Some(trace) => {
+            let body = json::query_trace(&trace);
+            let _ =
+                http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+            keep_alive
+        }
+        None => {
+            respond_error(
+                w,
+                &HttpError::new(
+                    404,
+                    "trace_not_found",
+                    format!("no retained trace for query {raw} (evicted, or never traced)"),
+                ),
+                false,
+            );
+            false
+        }
+    }
 }
 
 fn respond_swap(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
@@ -491,6 +613,9 @@ fn build_spec(request: &Request) -> Result<QuerySpec, HttpError> {
     if let Some(raw) = request.header("x-banks-priority") {
         let priority: Priority = raw.parse().map_err(|e: String| HttpError::bad_request(e))?;
         spec = spec.priority(priority);
+    }
+    if let Some(reference) = request.header("x-banks-trace") {
+        spec = spec.trace(reference);
     }
     Ok(spec)
 }
@@ -708,6 +833,12 @@ fn respond_query(ctx: &ServerContext, request: &Request, stream: &TcpStream) {
             }
             Ok(QueryEvent::Finished(result)) => {
                 let _ = sse.event("finished", &result_json(&result));
+                // The phase trace, when the submission asked for one
+                // (X-Banks-Trace), rides the same stream after `finished`
+                // so clients correlate latency without a second request.
+                if let Some(trace) = &result.trace {
+                    let _ = sse.event("trace", &json::query_trace(trace));
+                }
                 break;
             }
             Err(RecvTimeout::Closed) => break,

@@ -60,6 +60,10 @@ pub struct QueryResult {
     /// [`crate::Service::swap_graph`], in-flight queries report the old
     /// epoch and new admissions the new one.
     pub epoch: u64,
+    /// The phase trace, present only when the submission requested one
+    /// ([`crate::QuerySpec::trace`]).  Shared with the service's trace
+    /// ring, hence the `Arc`.
+    pub trace: Option<Arc<banks_obs::QueryTrace>>,
 }
 
 /// State shared between the executing worker and the handle, so live

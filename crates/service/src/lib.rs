@@ -135,6 +135,7 @@ pub mod service;
 pub mod snapshot;
 pub mod spec;
 
+pub use banks_obs::{CalibrationRow, LatencySummary, QueryTrace, TraceSpan};
 pub use banks_persist::{FsyncPolicy, PersistError, PersistOptions};
 pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult, RecvTimeout};
 pub use metrics::{QueueWaitSummary, ServiceMetrics, TenantMetrics, OVERFLOW_TENANT};

@@ -10,10 +10,18 @@
 //!   non-preemptive — once picked up, a query runs to completion — so queue
 //!   wait is exactly the scheduler-induced latency, and its percentiles are
 //!   the number to watch when tuning priorities and fair share.
+//!
+//! The histogram machinery itself lives in [`banks_obs`]: the queue-wait
+//! distribution delegates to a [`banks_obs::Histogram`], and the same type
+//! backs the service's time-to-first-answer and mutation-apply
+//! distributions plus the durability-layer checkpoint and WAL-fsync
+//! latencies surfaced here.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use banks_obs::{CalibrationRow, Histogram};
 
 use crate::quota::QuotaSettings;
 
@@ -34,6 +42,7 @@ pub(crate) struct Counters {
     pub mutation_batches: AtomicU64,
     pub mutation_ops_accepted: AtomicU64,
     pub mutation_ops_rejected: AtomicU64,
+    pub slow_queries: AtomicU64,
 }
 
 impl Counters {
@@ -45,12 +54,6 @@ impl Counters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 }
-
-/// Number of log₂ microsecond buckets.  Bucket 0 holds exactly-zero waits
-/// and bucket `i > 0` holds waits in `[2^(i-1), 2^i)` µs; the last bucket
-/// (i = 36, lower bound 2^35 µs ≈ 9.5 h) is open-ended and absorbs
-/// everything larger.
-const WAIT_BUCKETS: usize = 37;
 
 /// Bound on distinct per-tenant accumulator rows.  Callers are free to put
 /// high-cardinality values in [`crate::QuerySpec::tenant`] (per-user ids,
@@ -74,26 +77,13 @@ struct TenantAccum {
 }
 
 /// Queue-wait histogram plus per-tenant accumulators, updated once per job
-/// at the moment a worker picks it up.
-#[derive(Debug)]
+/// at the moment a worker picks it up.  The distribution itself is a
+/// [`banks_obs::Histogram`]; the per-tenant rows stay here because they
+/// are service-level accounting, not a latency distribution.
+#[derive(Debug, Default)]
 pub(crate) struct WaitStats {
-    buckets: [u64; WAIT_BUCKETS],
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
+    hist: Histogram,
     tenants: HashMap<String, TenantAccum>,
-}
-
-impl Default for WaitStats {
-    fn default() -> Self {
-        WaitStats {
-            buckets: [0; WAIT_BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-            tenants: HashMap::new(),
-        }
-    }
 }
 
 impl WaitStats {
@@ -110,11 +100,7 @@ impl WaitStats {
 
     pub(crate) fn record(&mut self, tenant: &str, wait: Duration) {
         let us = wait.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(WAIT_BUCKETS - 1);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
+        self.hist.record_us(us);
         let t = self.row(tenant);
         t.executed += 1;
         t.wait_sum_us = t.wait_sum_us.saturating_add(us);
@@ -128,34 +114,8 @@ impl WaitStats {
         self.row(tenant).quota_rejected += 1;
     }
 
-    /// Upper bound of the bucket containing the `p`-th percentile.
-    fn percentile(&self, p: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((self.count as f64) * p).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // bucket i spans [2^(i-1), 2^i) µs (bucket 0 is exactly 0);
-                // report the upper bound, capped by the observed maximum.
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                return Duration::from_micros(upper.min(self.max_us));
-            }
-        }
-        Duration::from_micros(self.max_us)
-    }
-
     fn summary(&self) -> QueueWaitSummary {
-        QueueWaitSummary {
-            count: self.count,
-            mean: Duration::from_micros(self.sum_us.checked_div(self.count).unwrap_or(0)),
-            p50: self.percentile(0.50),
-            p90: self.percentile(0.90),
-            p99: self.percentile(0.99),
-            max: Duration::from_micros(self.max_us),
-        }
+        self.hist.summary()
     }
 
     fn tenant_metrics(&self) -> Vec<TenantMetrics> {
@@ -180,24 +140,10 @@ impl WaitStats {
 }
 
 /// Distribution of queue wait (admission → worker pickup) across every
-/// executed query.  Percentiles are bucketed (log₂ µs resolution): each is
-/// the upper bound of the bucket the true percentile falls in, capped at
-/// the exact observed maximum.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct QueueWaitSummary {
-    /// Jobs measured (cache hits never queue and are not counted).
-    pub count: u64,
-    /// Mean queue wait.
-    pub mean: Duration,
-    /// Median queue wait.
-    pub p50: Duration,
-    /// 90th-percentile queue wait.
-    pub p90: Duration,
-    /// 99th-percentile queue wait.
-    pub p99: Duration,
-    /// Largest observed queue wait (exact).
-    pub max: Duration,
-}
+/// executed query.  An alias of [`banks_obs::LatencySummary`] — the
+/// generalized histogram kit this summary's original implementation was
+/// extracted into — kept for source compatibility.
+pub type QueueWaitSummary = banks_obs::LatencySummary;
 
 /// Per-tenant scheduling outcomes: how much ran and how long it queued.
 ///
@@ -289,10 +235,31 @@ pub struct ServiceMetrics {
     /// Applied batches dropped from the ring after it filled
     /// ([`crate::ServiceBuilder::mutation_log_capacity`]).
     pub mutation_log_dropped: u64,
+    /// Queries whose end-to-end latency crossed the configured
+    /// [`crate::ServiceBuilder::slow_query_threshold`] (their traces are
+    /// retained for `GET /debug/slow`).
+    pub slow_queries: u64,
     /// Queue-wait distribution across executed queries.
     pub queue_wait: QueueWaitSummary,
+    /// Time-to-first-answer distribution across executed queries that
+    /// produced at least one answer (cache hits excluded — they answer at
+    /// submit time).
+    pub ttfa: QueueWaitSummary,
+    /// Apply-latency distribution of successful mutation batches
+    /// (lock acquisition through snapshot swap, WAL append included).
+    pub mutation_apply: QueueWaitSummary,
+    /// Checkpoint-latency distribution (snapshot write + WAL reset +
+    /// prune); empty when persistence is off.
+    pub checkpoint_latency: QueueWaitSummary,
+    /// WAL fsync-latency distribution; empty when persistence is off or
+    /// the fsync policy never syncs.
+    pub wal_fsync: QueueWaitSummary,
     /// Per-tenant scheduling outcomes, sorted by tenant name.
     pub tenants: Vec<TenantMetrics>,
+    /// Cost-model calibration rows: measured `nodes_explored` per
+    /// (engine, origin-size bucket) and the learned correction factor the
+    /// scheduler blends into admission cost estimates.
+    pub calibration: Vec<CalibrationRow>,
 }
 
 impl ServiceMetrics {
@@ -344,8 +311,10 @@ impl ServiceMetrics {
             mutation_ops_accepted: counters.mutation_ops_accepted.load(Ordering::Relaxed),
             mutation_ops_rejected: counters.mutation_ops_rejected.load(Ordering::Relaxed),
             epoch,
-            // Durability and mutation-log occupancy are owned by other
-            // locks; `Service::metrics` fills them in after this snapshot.
+            // Durability, mutation-log occupancy, the latency distributions
+            // other than queue wait, and the calibration table are owned by
+            // other locks; `Service::metrics` fills them in after this
+            // snapshot.
             persistence_enabled: false,
             last_checkpoint_epoch: 0,
             wal_records: 0,
@@ -353,8 +322,14 @@ impl ServiceMetrics {
             checkpoints: 0,
             mutation_log_entries: 0,
             mutation_log_dropped: 0,
+            slow_queries: counters.slow_queries.load(Ordering::Relaxed),
             queue_wait: waits.summary(),
+            ttfa: QueueWaitSummary::default(),
+            mutation_apply: QueueWaitSummary::default(),
+            checkpoint_latency: QueueWaitSummary::default(),
+            wal_fsync: QueueWaitSummary::default(),
             tenants,
+            calibration: Vec::new(),
         }
     }
 

@@ -13,6 +13,7 @@
 
 use std::path::{Path, PathBuf};
 
+use banks_obs::{Histogram, LatencySummary};
 use banks_persist::{
     list_snapshots, snapshot_file_name, write_snapshot, PersistError, PersistOptions, Wal, WalScan,
 };
@@ -43,6 +44,11 @@ pub struct DurabilityStatus {
     /// rejects the mutation; a failed background checkpoint is recorded
     /// here and retried on the next trigger).
     pub last_error: Option<String>,
+    /// Latency distribution of successful checkpoints (snapshot write +
+    /// WAL reset + prune) since the service started.
+    pub checkpoint_latency: LatencySummary,
+    /// Latency distribution of WAL fsyncs since the service started.
+    pub wal_fsync: LatencySummary,
 }
 
 /// The mutable durability state guarded by `Inner::persistence`.
@@ -54,6 +60,7 @@ pub(crate) struct Persistence {
     checkpoints: u64,
     replayed_records: u64,
     last_error: Option<String>,
+    checkpoint_hist: Histogram,
 }
 
 impl Persistence {
@@ -67,6 +74,7 @@ impl Persistence {
             checkpoints: 0,
             replayed_records: 0,
             last_error: None,
+            checkpoint_hist: Histogram::new(),
         }
     }
 
@@ -86,6 +94,7 @@ impl Persistence {
             checkpoints: 0,
             replayed_records,
             last_error: None,
+            checkpoint_hist: Histogram::new(),
         }
     }
 
@@ -125,6 +134,7 @@ impl Persistence {
     /// truncates the WAL and prunes snapshots beyond the retention bound.
     /// Returns the checkpointed epoch.
     pub(crate) fn checkpoint(&mut self, snapshot: &GraphSnapshot) -> Result<u64, PersistError> {
+        let started = std::time::Instant::now();
         let epoch = snapshot.epoch();
         let path = self.dir.join(snapshot_file_name(epoch));
         let result = write_snapshot(
@@ -136,6 +146,7 @@ impl Persistence {
         .and_then(|_| self.wal.reset());
         match result {
             Ok(()) => {
+                self.checkpoint_hist.record(started.elapsed());
                 self.last_checkpoint_epoch = epoch;
                 self.checkpoints += 1;
                 self.last_error = None;
@@ -167,6 +178,8 @@ impl Persistence {
             checkpoints: self.checkpoints,
             replayed_records: self.replayed_records,
             last_error: self.last_error.clone(),
+            checkpoint_latency: self.checkpoint_hist.summary(),
+            wal_fsync: self.wal.fsync_latency(),
         }
     }
 }

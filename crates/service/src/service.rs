@@ -11,11 +11,12 @@ use std::time::{Duration, Instant};
 use banks_core::cache::CacheKey;
 use banks_core::registry::UnknownEngine;
 use banks_core::{
-    CancelToken, EngineRegistry, QueryContext, QueryCost, ResultCache, SearchOutcome,
+    CancelToken, EngineRegistry, QueryContext, QueryCost, ResultCache, SearchOutcome, SearchStats,
 };
 use banks_graph::{
     AppliedBatch, BatchOutcome, DataGraph, MutationBatch, MutationLog, DEFAULT_LOG_CAPACITY,
 };
+use banks_obs::{CostCalibration, Histogram, QueryTrace, TraceRing, WorkCounters};
 use banks_persist::{recover, replay_wal, FsyncPolicy, PersistError, PersistOptions, Wal};
 use banks_prestige::PrestigeVector;
 use banks_textindex::{InvertedIndex, KeywordMatches};
@@ -96,9 +97,120 @@ pub struct MutationReport {
     pub persist_error: Option<String>,
 }
 
+/// Capacity of the trace retention ring ([`Service::trace`] /
+/// [`Service::slow_traces`] look traces up in it).
+const TRACE_RING_CAPACITY: usize = 256;
+
+/// Phase timestamps collected while a query moves through admission and
+/// execution, as microsecond offsets from `t0` (the top of
+/// [`Service::submit`]).  Built for *every* query — a handful of `Instant`
+/// reads — so slow queries produce a trace even when the caller did not
+/// ask for one; the [`QueryTrace`] itself is only assembled (and the
+/// engine's [`WorkCounters`] only attached) when tracing was requested or
+/// the query crossed the slow threshold.
+struct TraceCtx {
+    /// The client correlation reference when the submission explicitly
+    /// requested a trace ([`QuerySpec::trace`]).
+    requested: Option<String>,
+    t0: Instant,
+    admit_us: u64,
+    resolve_start_us: u64,
+    resolve_end_us: u64,
+    enqueued_us: u64,
+    submitted_off_us: u64,
+    /// Live engine counters, allocated only for explicitly traced queries
+    /// so untraced expansion steps skip the sampling stores entirely.
+    counters: Option<Arc<WorkCounters>>,
+}
+
+impl TraceCtx {
+    fn new(requested: Option<String>, t0: Instant) -> Self {
+        let counters = requested.as_ref().map(|_| Arc::new(WorkCounters::new()));
+        TraceCtx {
+            requested,
+            t0,
+            admit_us: 0,
+            resolve_start_us: 0,
+            resolve_end_us: 0,
+            enqueued_us: 0,
+            submitted_off_us: 0,
+            counters,
+        }
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        self.t0.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+/// Assembles the retained [`QueryTrace`] for one finished query.  `pickup`
+/// and `expand_end` are `None` for cache hits (which never queue or run).
+#[allow(clippy::too_many_arguments)]
+fn build_trace(
+    ctx: &TraceCtx,
+    id: QueryId,
+    engine: &str,
+    tenant: &str,
+    epoch: u64,
+    cache_hit: bool,
+    slow: bool,
+    total_us: u64,
+    pickup_us: Option<u64>,
+    expand_end_us: Option<u64>,
+    time_to_first_answer: Option<Duration>,
+    stats: &SearchStats,
+) -> QueryTrace {
+    let mut trace = QueryTrace {
+        id: id.0,
+        client_ref: ctx.requested.clone(),
+        tenant: (!tenant.is_empty()).then(|| tenant.to_string()),
+        engine: engine.to_string(),
+        cache_hit,
+        slow,
+        epoch,
+        total_us,
+        spans: Vec::new(),
+        counters: Vec::new(),
+    };
+    trace.push_span("admit", 0, ctx.admit_us);
+    trace.push_span("resolve", ctx.resolve_start_us, ctx.resolve_end_us);
+    if let (Some(pickup), Some(expand_end)) = (pickup_us, expand_end_us) {
+        trace.push_span("queue", ctx.enqueued_us, pickup);
+        trace.push_span("expand", pickup, expand_end);
+    }
+    if let Some(ttfa) = time_to_first_answer {
+        let ttfa_us = ttfa.as_micros().min(u64::MAX as u128) as u64;
+        trace.push_span(
+            "first-answer",
+            ctx.submitted_off_us,
+            ctx.submitted_off_us + ttfa_us,
+        );
+    }
+    trace.push_span("finish", 0, total_us);
+    // Explicitly traced queries carry the live counters the step driver
+    // sampled; slow-only traces fall back to the final statistics (same
+    // values, just not sampled mid-flight).
+    match &ctx.counters {
+        Some(c) => {
+            trace.push_counter("heap_pops", c.heap_pops.get());
+            trace.push_counter("nodes_touched", c.nodes_touched.get());
+            trace.push_counter("rows_expanded", c.rows_expanded.get());
+            trace.push_counter("answers_emitted", c.answers_emitted.get());
+        }
+        None => {
+            trace.push_counter("heap_pops", stats.nodes_explored as u64);
+            trace.push_counter("nodes_touched", stats.nodes_touched as u64);
+            trace.push_counter("rows_expanded", stats.edges_traversed as u64);
+            trace.push_counter("answers_emitted", stats.answers_output as u64);
+        }
+    }
+    trace
+}
+
 /// One unit of queued work, pinned to the serving snapshot it was admitted
 /// under.
 struct Job {
+    id: QueryId,
     /// The graph version this query resolves, expands and caches against —
     /// fixed at admission, unaffected by later swaps.
     snapshot: Arc<GraphSnapshot>,
@@ -111,6 +223,10 @@ struct Job {
     events: Sender<QueryEvent>,
     state: Arc<HandleState>,
     submitted_at: Instant,
+    /// The a priori cost estimate the scheduler charged (calibration
+    /// feedback compares it with the measured `nodes_explored`).
+    cost: QueryCost,
+    trace: TraceCtx,
 }
 
 struct QueueState {
@@ -159,6 +275,18 @@ struct Inner {
     counters: Counters,
     waits: Mutex<WaitStats>,
     next_id: AtomicU64,
+    /// Retained phase traces (explicitly traced + slow queries).
+    traces: TraceRing,
+    /// End-to-end latency beyond which a query counts as *slow*: its trace
+    /// is retained and [`ServiceMetrics::slow_queries`] is bumped.
+    slow_threshold: Duration,
+    /// Time-to-first-answer distribution across executed queries.
+    ttfa_hist: Histogram,
+    /// Apply-latency distribution of successful mutation batches.
+    mutation_apply_hist: Histogram,
+    /// Online correction of the a priori cost model from measured
+    /// `nodes_explored`, per (engine, origin-size bucket).
+    calibration: CostCalibration,
 }
 
 /// Configures and spawns a [`Service`].
@@ -176,6 +304,7 @@ pub struct ServiceBuilder {
     quota: QuotaSettings,
     persistence: Option<(PathBuf, PersistOptions)>,
     log_capacity: usize,
+    slow_query_threshold: Duration,
 }
 
 impl ServiceBuilder {
@@ -365,6 +494,16 @@ impl ServiceBuilder {
         self
     }
 
+    /// End-to-end latency beyond which a query counts as **slow** (default
+    /// 250 ms): its phase trace is retained in the bounded trace ring —
+    /// retrievable via [`Service::slow_traces`] / [`Service::trace`], and
+    /// over HTTP at `GET /debug/slow` — even when the submission did not
+    /// request tracing, and [`ServiceMetrics::slow_queries`] is bumped.
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = threshold;
+        self
+    }
+
     /// Validates the configuration, builds the initial serving snapshot
     /// (prestige and keyword index included) and spawns the worker threads.
     ///
@@ -461,6 +600,11 @@ impl ServiceBuilder {
             counters: Counters::default(),
             waits: Mutex::new(WaitStats::default()),
             next_id: AtomicU64::new(0),
+            traces: TraceRing::new(TRACE_RING_CAPACITY),
+            slow_threshold: self.slow_query_threshold,
+            ttfa_hist: Histogram::new(),
+            mutation_apply_hist: Histogram::new(),
+            calibration: CostCalibration::default(),
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -536,6 +680,7 @@ impl Service {
             quota: QuotaSettings::default(),
             persistence: None,
             log_capacity: DEFAULT_LOG_CAPACITY,
+            slow_query_threshold: Duration::from_millis(250),
         }
     }
 
@@ -545,6 +690,7 @@ impl Service {
     /// ([`banks_core::QueryCost`], scaled by [`QuerySpec::priority`]) and
     /// waits for a worker.
     pub fn submit(&self, spec: impl Into<QuerySpec>) -> Result<QueryHandle, SubmitError> {
+        let t0 = Instant::now();
         let spec = spec.into();
         let inner = &self.inner;
         let engine = spec.engine.unwrap_or_else(|| inner.default_engine.clone());
@@ -552,6 +698,7 @@ impl Service {
             return Err(SubmitError::UnknownEngine(inner.registry.unknown(&engine)));
         }
         let tenant = spec.tenant.unwrap_or_default();
+        let mut trace = TraceCtx::new(spec.trace, t0);
 
         let quota_reject = |tenant: String, retry_after: Duration| {
             Counters::bump(&inner.counters.quota_rejected);
@@ -586,6 +733,7 @@ impl Service {
                 return quota_reject(tenant, retry_after);
             }
         }
+        trace.admit_us = trace.elapsed_us();
 
         // Pin the serving snapshot: everything below — keyword resolution,
         // cache key, execution — consistently uses this version, no matter
@@ -597,6 +745,7 @@ impl Service {
         // key.  Resolution must precede the cache lookup because the
         // resolved origin sets participate in the key (two indexes can give
         // the same keywords different sets); it is cheap next to expansion.
+        trace.resolve_start_us = trace.elapsed_us();
         let normalized = spec.query.normalized(snapshot.index().tokenizer());
         let matches =
             KeywordMatches::resolve_normalized(snapshot.graph(), snapshot.index(), &normalized);
@@ -607,12 +756,14 @@ impl Service {
             &engine,
             &matches,
         );
+        trace.resolve_end_us = trace.elapsed_us();
 
         let id = QueryId(inner.next_id.fetch_add(1, Ordering::Relaxed));
         let token = CancelToken::new();
         let state = Arc::new(HandleState::default());
         let (tx, rx) = channel();
         let submitted_at = Instant::now();
+        trace.submitted_off_us = trace.elapsed_us();
 
         if let Some(hit) = inner.cache.get(&cache_key) {
             // Served entirely from the cache: no queue slot, no worker, no
@@ -631,12 +782,37 @@ impl Service {
                 first_answer.get_or_insert_with(|| submitted_at.elapsed());
                 Counters::bump(&inner.counters.answers_delivered);
             }
+            let total_us = trace.elapsed_us();
+            let slow = Duration::from_micros(total_us) >= inner.slow_threshold;
+            let retained = (trace.requested.is_some() || slow).then(|| {
+                Arc::new(build_trace(
+                    &trace,
+                    id,
+                    &engine,
+                    &tenant,
+                    cache_key.epoch,
+                    true,
+                    slow,
+                    total_us,
+                    None,
+                    None,
+                    first_answer,
+                    &hit.stats,
+                ))
+            });
+            if slow {
+                Counters::bump(&inner.counters.slow_queries);
+            }
+            if let Some(t) = &retained {
+                inner.traces.push(Arc::clone(t));
+            }
             let _ = tx.send(QueryEvent::Finished(QueryResult {
                 stats: hit.stats.clone(),
                 cache_hit: true,
                 time_to_first_answer: first_answer,
                 queue_wait: std::time::Duration::ZERO,
                 epoch: cache_key.epoch,
+                trace: trace.requested.is_some().then_some(retained).flatten(),
             }));
             return Ok(QueryHandle {
                 id,
@@ -647,8 +823,16 @@ impl Service {
         }
 
         // Shortest-expected-work-first: the scheduler charges the a priori
-        // estimate, scaled by the submission's priority class.
-        let cost = QueryCost::estimate(&matches, &spec.params, &engine);
+        // estimate, scaled by the submission's priority class.  The static
+        // model is blended with the online calibration table — the EMA of
+        // measured/estimated `nodes_explored` for this (engine,
+        // origin-size) cell — so systematic over- or under-estimation
+        // corrects itself as queries complete.
+        let mut cost = QueryCost::estimate(&matches, &spec.params, &engine);
+        cost.estimated_work =
+            inner
+                .calibration
+                .corrected(&engine, cost.origin_nodes as usize, cost.estimated_work);
         let charged = spec.priority.charge(cost.estimated_work);
 
         // Cost-weighted quota, the remainder beyond the up-front floor:
@@ -674,7 +858,9 @@ impl Service {
             }
         }
 
+        trace.enqueued_us = trace.elapsed_us();
         let job = Job {
+            id,
             snapshot,
             matches,
             cache_key,
@@ -685,6 +871,8 @@ impl Service {
             events: tx,
             state: Arc::clone(&state),
             submitted_at,
+            cost,
+            trace,
         };
         {
             let mut queue = inner.queue.lock().expect("queue lock");
@@ -780,6 +968,7 @@ impl Service {
         /// Overlay fraction beyond which the successor graph is flattened.
         const COMPACT_OVERLAY_RATIO: f64 = 0.25;
 
+        let apply_started = Instant::now();
         let _admin = self.inner.mutate.lock().expect("mutate lock");
         let current = self.snapshot();
         let previous_epoch = current.epoch();
@@ -825,6 +1014,11 @@ impl Service {
         }
 
         let epoch = self.swap_snapshot_inner(next);
+        // Apply latency: admin-lock acquisition through WAL append and
+        // snapshot swap (post-swap checkpoints are accounted separately).
+        self.inner
+            .mutation_apply_hist
+            .record(apply_started.elapsed());
         Counters::bump(&self.inner.counters.mutation_batches);
         Counters::add(&self.inner.counters.mutation_ops_accepted, accepted as u64);
         Counters::add(
@@ -962,7 +1156,37 @@ impl Service {
         metrics.wal_records = durability.wal_records;
         metrics.wal_bytes = durability.wal_bytes;
         metrics.checkpoints = durability.checkpoints;
+        metrics.checkpoint_latency = durability.checkpoint_latency;
+        metrics.wal_fsync = durability.wal_fsync;
+        metrics.ttfa = self.inner.ttfa_hist.summary();
+        metrics.mutation_apply = self.inner.mutation_apply_hist.summary();
+        metrics.calibration = self.inner.calibration.rows();
         metrics
+    }
+
+    /// The retained phase trace for query `id`, if it is still in the
+    /// bounded trace ring (explicitly traced and slow queries are
+    /// retained; capacity 256, oldest evicted first).
+    pub fn trace(&self, id: QueryId) -> Option<Arc<QueryTrace>> {
+        self.inner.traces.get(id.0)
+    }
+
+    /// The most recently retained **slow** query traces (end-to-end
+    /// latency over [`ServiceBuilder::slow_query_threshold`]), newest
+    /// first, capped at `limit`.
+    pub fn slow_traces(&self, limit: usize) -> Vec<Arc<QueryTrace>> {
+        self.inner.traces.recent(limit, true)
+    }
+
+    /// The most recently retained traces of any kind (explicitly traced
+    /// and slow), newest first, capped at `limit`.
+    pub fn recent_traces(&self, limit: usize) -> Vec<Arc<QueryTrace>> {
+        self.inner.traces.recent(limit, false)
+    }
+
+    /// The configured slow-query threshold.
+    pub fn slow_query_threshold(&self) -> Duration {
+        self.inner.slow_threshold
     }
 
     /// The shared result cache (hit/miss counters included).
@@ -1081,14 +1305,18 @@ fn worker_loop(inner: Arc<Inner>) {
 /// against the snapshot the job was pinned to at admission.
 fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
     Counters::bump(&inner.counters.executed);
+    let pickup_us = job.trace.elapsed_us();
     let snapshot = &job.snapshot;
-    let ctx = QueryContext::new(
+    let mut ctx = QueryContext::new(
         snapshot.graph(),
         snapshot.prestige(),
         &job.matches,
         job.spec_params,
     )
     .with_cancel(&job.token);
+    if let Some(counters) = job.trace.counters.as_deref() {
+        ctx = ctx.with_observer(counters);
+    }
     let engine = inner
         .registry
         .create(&job.engine)
@@ -1114,6 +1342,7 @@ fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
         }
         answers.push(answer);
     }
+    let expand_end_us = job.trace.elapsed_us();
 
     let stats = stream.stats();
     job.state.publish(stats.clone());
@@ -1125,6 +1354,20 @@ fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
         Counters::bump(&inner.counters.truncated);
     }
     Counters::add(&inner.counters.nodes_explored, stats.nodes_explored as u64);
+    if let Some(ttfa) = first_answer {
+        inner.ttfa_hist.record(ttfa);
+    }
+    // Calibration feedback: a completed (even truncated) run measures what
+    // the estimate predicted; a cancelled one measures only where the
+    // abort happened to land, so it is not a sample.
+    if !stats.cancelled {
+        inner.calibration.record(
+            &job.engine,
+            job.cost.origin_nodes as usize,
+            job.cost.estimated_work,
+            stats.nodes_explored as u64,
+        );
+    }
 
     // Only completed searches are cached: a cancelled run's answer set is
     // whatever happened to be emitted before the abort, not a reproducible
@@ -1151,11 +1394,36 @@ fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
             );
         }
     }
+    let total_us = job.trace.elapsed_us();
+    let slow = Duration::from_micros(total_us) >= inner.slow_threshold;
+    let retained = (job.trace.requested.is_some() || slow).then(|| {
+        Arc::new(build_trace(
+            &job.trace,
+            job.id,
+            &job.engine,
+            &job.tenant,
+            job.cache_key.epoch,
+            false,
+            slow,
+            total_us,
+            Some(pickup_us),
+            Some(expand_end_us),
+            first_answer,
+            &stats,
+        ))
+    });
+    if let Some(trace) = &retained {
+        if slow {
+            Counters::bump(&inner.counters.slow_queries);
+        }
+        inner.traces.push(Arc::clone(trace));
+    }
     let _ = job.events.send(QueryEvent::Finished(QueryResult {
         stats,
         cache_hit: false,
         time_to_first_answer: first_answer,
         queue_wait,
         epoch: job.cache_key.epoch,
+        trace: job.trace.requested.is_some().then_some(retained).flatten(),
     }));
 }

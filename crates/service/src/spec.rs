@@ -94,6 +94,12 @@ pub struct QuerySpec {
     pub tenant: Option<String>,
     /// Scheduling class (see [`Priority`]).
     pub priority: Priority,
+    /// Phase-tracing request.  `Some(ref)` asks the service to assemble a
+    /// [`crate::QueryTrace`] for this query and attach it to the
+    /// [`crate::QueryResult`]; the string (a client correlation reference,
+    /// typically the `X-Banks-Trace` header value) is echoed back on the
+    /// trace.  An empty string is a valid reference.
+    pub trace: Option<String>,
 }
 
 impl QuerySpec {
@@ -105,6 +111,7 @@ impl QuerySpec {
             engine: None,
             tenant: None,
             priority: Priority::Normal,
+            trace: None,
         }
     }
 
@@ -157,6 +164,13 @@ impl QuerySpec {
     /// Sets the scheduling class.
     pub fn priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Requests a phase trace for this query, tagged with a client
+    /// correlation reference (echoed back on the trace).
+    pub fn trace(mut self, reference: impl Into<String>) -> Self {
+        self.trace = Some(reference.into());
         self
     }
 }

@@ -10,14 +10,110 @@
 //! `datagen::workload` (co-authorship, citation-pair and repeated queries
 //! across rare and frequent keywords), fires it at the service, and prints
 //! QPS, the cache hit rate and time-to-first-answer percentiles.
+//!
+//! `--obs-gate` instead runs the observability overhead gate: the same
+//! workload with per-query tracing off and on, interleaved; writes
+//! `BENCH_obs.json` and exits non-zero if tracing costs more than 5% QPS.
 
 use std::time::{Duration, Instant};
 
 use banks::prelude::*;
 
 fn main() {
+    if std::env::args().any(|a| a == "--obs-gate") {
+        obs_gate();
+        return;
+    }
     figure4_demo();
     dblp_workload();
+}
+
+/// The observability overhead gate.
+///
+/// Runs the DBLP workload alternately with tracing off and on (every
+/// submission carrying `QuerySpec::trace`, so the service allocates work
+/// counters, assembles a `QueryTrace` and pushes the ring each query — the
+/// worst case), three rounds each on fresh services so cache state is
+/// identical.  Compares best-of QPS and enforces the <5% regression budget.
+fn obs_gate() {
+    const ROUNDS: usize = 5;
+    const BUDGET_PCT: f64 = 5.0;
+
+    let data = DblpDataset::generate(DblpConfig {
+        num_authors: 800,
+        num_papers: 1500,
+        num_conferences: 10,
+        seed: 11,
+        ..DblpConfig::default()
+    });
+    let mut generator = WorkloadGenerator::new(&data, 42);
+    let cases = generator.generate(&WorkloadConfig {
+        num_queries: 60,
+        num_keywords: 2,
+        answer_size: 5,
+        origin_bias: banks::datagen::OriginBias::Any,
+        compute_ground_truth: false,
+        ..WorkloadConfig::default()
+    });
+    println!(
+        "obs gate: {} queries x {ROUNDS} rounds, traced vs untraced",
+        cases.len()
+    );
+
+    let run = |traced: bool| -> f64 {
+        let service = Service::builder(data.dataset.graph().clone())
+            .workers(4)
+            .queue_capacity(1024)
+            .cache_capacity(256)
+            .index(data.dataset.index().clone())
+            .build();
+        let started = Instant::now();
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|case| {
+                let mut spec = QuerySpec::new(case.query()).params(SearchParams::with_top_k(10));
+                if traced {
+                    spec = spec.trace("gate");
+                }
+                service.submit(spec).expect("submit")
+            })
+            .collect();
+        for handle in handles {
+            let (_, result) = handle.wait();
+            assert_eq!(result.trace.is_some(), traced, "trace presence matches");
+        }
+        cases.len() as f64 / started.elapsed().as_secs_f64()
+    };
+
+    // Interleaved rounds cancel out drift (thermal, page cache, neighbours).
+    let mut qps_off: Vec<f64> = Vec::new();
+    let mut qps_on: Vec<f64> = Vec::new();
+    run(false); // warm-up, discarded
+    for _ in 0..ROUNDS {
+        qps_off.push(run(false));
+        qps_on.push(run(true));
+    }
+    let best = |xs: &[f64]| xs.iter().cloned().fold(f64::MIN, f64::max);
+    let (off, on) = (best(&qps_off), best(&qps_on));
+    let regression_pct = 100.0 * (off - on) / off;
+    println!("  tracing off: {off:.0} QPS (best of {ROUNDS})");
+    println!("  tracing on:  {on:.0} QPS (best of {ROUNDS})");
+    println!("  regression:  {regression_pct:.2}% (budget {BUDGET_PCT}%)");
+
+    let report = format!(
+        "{{\"bench\":\"obs_overhead_gate\",\"queries\":{},\"rounds\":{ROUNDS},\
+         \"qps_tracing_off\":{off:.1},\"qps_tracing_on\":{on:.1},\
+         \"regression_pct\":{regression_pct:.2},\"budget_pct\":{BUDGET_PCT}}}\n",
+        cases.len()
+    );
+    std::fs::write("BENCH_obs.json", &report).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+
+    if regression_pct > BUDGET_PCT {
+        eprintln!("FAIL: tracing overhead {regression_pct:.2}% exceeds the {BUDGET_PCT}% budget");
+        std::process::exit(1);
+    }
+    println!("PASS: tracing overhead within budget");
 }
 
 /// Part 1: the Figure 4 walk-through, served concurrently.
