@@ -24,7 +24,7 @@ use crate::stream::{next_answer, AnswerStream, ExpansionMachine, QueryContext, S
 /// Upper bound on the number of answer-tree combinations generated when a
 /// single node is reached by many iterators of the same keyword, protecting
 /// against the cross-product blow-up inherent to the multi-iterator design.
-const MAX_COMBINATIONS_PER_VISIT: usize = 256;
+pub(crate) const MAX_COMBINATIONS_PER_VISIT: usize = 256;
 
 /// The MI-Backward search engine.
 #[derive(Clone, Copy, Debug, Default)]
@@ -38,7 +38,7 @@ impl BackwardExpandingSearch {
 }
 
 #[derive(PartialEq, PartialOrd)]
-struct OrderedF64(f64);
+pub(crate) struct OrderedF64(pub(crate) f64);
 
 impl Eq for OrderedF64 {}
 
@@ -50,9 +50,9 @@ impl Ord for OrderedF64 {
 }
 
 /// One single-source shortest-path iterator (one per keyword node).
-struct SsspIterator {
-    keyword: usize,
-    origin: NodeId,
+pub(crate) struct SsspIterator {
+    pub(crate) keyword: usize,
+    pub(crate) origin: NodeId,
     /// Tentative distance labels.
     tentative: HashMap<NodeId, f64>,
     /// Finalised nodes.
@@ -66,7 +66,7 @@ struct SsspIterator {
 }
 
 impl SsspIterator {
-    fn new(keyword: usize, origin: NodeId) -> Self {
+    pub(crate) fn new(keyword: usize, origin: NodeId) -> Self {
         let mut it = SsspIterator {
             keyword,
             origin,
@@ -83,7 +83,7 @@ impl SsspIterator {
     }
 
     /// Distance of the next node this iterator would visit, if any.
-    fn peek_dist(&mut self) -> Option<f64> {
+    pub(crate) fn peek_dist(&mut self) -> Option<f64> {
         while let Some(Reverse((OrderedF64(d), node))) = self.frontier.peek() {
             let stale = self.visited.contains_key(node)
                 || self
@@ -103,7 +103,7 @@ impl SsspIterator {
     /// Runs one `getnext()` step: finalises the closest frontier node and
     /// relaxes its incoming edges.  Returns the finalised node, its
     /// distance, and the number of nodes newly labelled (touched).
-    fn step(&mut self, graph: &DataGraph, dmax: usize) -> Option<(NodeId, f64, usize)> {
+    pub(crate) fn step(&mut self, graph: &DataGraph, dmax: usize) -> Option<(NodeId, f64, usize)> {
         self.peek_dist()?;
         let Reverse((OrderedF64(d), m)) = self.frontier.pop()?;
         self.visited.insert(m, d);
@@ -137,7 +137,7 @@ impl SsspIterator {
 
     /// Path from `root` to this iterator's origin, following the relaxation
     /// predecessors.  `root` must have been visited.
-    fn path_to_origin(&self, root: NodeId) -> Option<Vec<NodeId>> {
+    pub(crate) fn path_to_origin(&self, root: NodeId) -> Option<Vec<NodeId>> {
         let mut path = vec![root];
         let mut cur = root;
         let mut guard = 0usize;
@@ -403,7 +403,7 @@ impl<'a> AnswerStream for MiExpander<'a> {
 /// Enumerates combinations of one iterator per keyword that include the
 /// newly arrived iterator `new_idx` for keyword `new_keyword` (so that every
 /// combination is generated exactly once over the lifetime of the search).
-fn enumerate_combinations(
+pub(crate) fn enumerate_combinations(
     lists: &[Vec<usize>],
     new_keyword: usize,
     new_idx: usize,

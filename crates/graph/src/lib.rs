@@ -44,6 +44,7 @@ pub mod graph;
 pub mod ids;
 pub mod mutation;
 pub mod node;
+pub mod partition;
 pub mod serialize;
 pub mod stats;
 pub mod store;
@@ -58,6 +59,7 @@ pub use graph::{DataGraph, EdgeRef, GraphMemory, StorageParts, StorageRef};
 pub use ids::{EdgeId, KindId, NodeId};
 pub use mutation::{BatchOutcome, GraphMutation, LabelChange, MutationBatch, OpEffect};
 pub use node::{EdgeKind, NodeMeta};
+pub use partition::{GraphPartition, ShardSpec, ShardStats, ShardSubgraph};
 pub use stats::GraphStats;
 pub use store::{AppliedBatch, GraphStore, MutationLog, DEFAULT_LOG_CAPACITY};
 pub use weights::{BackwardWeightPolicy, ExpansionPolicy};

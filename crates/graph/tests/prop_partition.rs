@@ -1,0 +1,277 @@
+//! Property-based tests for the hash partitioner: ownership, edge
+//! coverage, union reconstruction, degenerate shapes, and mutation
+//! fan-out staying in sync with the union graph.
+
+use std::collections::HashMap;
+
+use banks_graph::builder::GraphBuilder;
+use banks_graph::partition::{GraphPartition, ShardSpec};
+use banks_graph::{DataGraph, EdgeKind, ExpansionPolicy, MutationBatch, NodeId};
+use proptest::prelude::*;
+
+/// Strategy producing a random edge list over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (1usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.25f64..4.0), 0..(n * 3));
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> DataGraph {
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for i in 0..n {
+        b.add_node(if i % 3 == 0 { "paper" } else { "author" }, format!("v{i}"));
+    }
+    for (u, v, w) in edges {
+        if u != v {
+            b.add_edge_weighted(NodeId(*u), NodeId(*v), *w).unwrap();
+        }
+    }
+    b.build(ExpansionPolicy::paper_default())
+}
+
+/// The forward-edge multiset of a graph, with global ids resolved through
+/// `to_global` (identity for the union graph).
+fn forward_edges(g: &DataGraph, to_global: impl Fn(NodeId) -> NodeId) -> Vec<(u32, u32, u64)> {
+    let mut out = Vec::new();
+    for u in g.nodes() {
+        for e in g.out_edges(u) {
+            if e.kind == EdgeKind::Forward {
+                out.push((to_global(u).0, to_global(e.to).0, e.weight.to_bits()));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The forward-edge multiset a shard *owns* (tail rule), in global ids.
+fn owned_edges(partition: &GraphPartition, k: usize) -> Vec<(u32, u32, u64)> {
+    let shard = partition.shard(k);
+    let mut out = forward_edges(shard.graph(), |l| {
+        shard.global_id(l).expect("mapped local id")
+    });
+    out.retain(|(u, _, _)| partition.owner(NodeId(*u)) == k);
+    out.sort_unstable();
+    out
+}
+
+/// Asserts the three partition invariants the ISSUE names, against `union`.
+fn assert_partition_invariants(union: &DataGraph, partition: &GraphPartition) {
+    let spec = partition.spec();
+    let k = partition.num_shards();
+
+    // 1. Every node is owned by exactly one shard, and that shard
+    //    materialises it; replicas elsewhere carry identical metadata.
+    let mut owned_total = 0usize;
+    for s in 0..k {
+        owned_total += partition.shard(s).owned_nodes();
+    }
+    assert_eq!(
+        owned_total,
+        union.num_nodes(),
+        "owned nodes cover the graph"
+    );
+    for node in union.nodes() {
+        let owner = spec.owner(node);
+        assert!(owner < k);
+        assert!(
+            partition.shard(owner).contains(node),
+            "owner shard {owner} must materialise node {node:?}"
+        );
+        for s in 0..k {
+            let shard = partition.shard(s);
+            if let Some(local) = shard.local_id(node) {
+                assert_eq!(shard.global_id(local), Some(node), "id maps are inverses");
+                assert_eq!(
+                    shard.graph().node_label(local),
+                    union.node_label(node),
+                    "replica label in sync"
+                );
+                assert_eq!(
+                    shard.graph().node_kind_name(local),
+                    union.node_kind_name(node),
+                    "replica kind in sync"
+                );
+            }
+        }
+    }
+
+    // 2. Every forward edge is present in exactly one owner shard; cut
+    //    edges are additionally replicated into the head's shard.
+    let union_edges = forward_edges(union, |n| n);
+    let mut all_owned: Vec<(u32, u32, u64)> = Vec::new();
+    let mut cut_total = 0usize;
+    for s in 0..k {
+        let shard = partition.shard(s);
+        let owned = owned_edges(partition, s);
+        assert_eq!(owned.len(), shard.owned_edges(), "owned-edge stat exact");
+        cut_total += shard.cut_edges();
+        // everything the shard stores but does not own must be the replica
+        // of a cut edge whose head this shard owns
+        let stored = forward_edges(shard.graph(), |l| shard.global_id(l).expect("mapped"));
+        assert_eq!(stored.len(), shard.stored_edges());
+        for (u, v, _) in &stored {
+            let tail_owner = spec.owner(NodeId(*u));
+            if tail_owner != s {
+                assert_eq!(
+                    spec.owner(NodeId(*v)),
+                    s,
+                    "non-owned stored edge ({u},{v}) must be a cut replica"
+                );
+            }
+        }
+        all_owned.extend(owned);
+    }
+    all_owned.sort_unstable();
+
+    // 3. The union of owned nodes and owned edges reconstructs the original
+    //    graph signature.
+    assert_eq!(all_owned, union_edges, "owned edges reconstruct the union");
+    let cut_expected = union_edges
+        .iter()
+        .filter(|(u, v, _)| spec.owner(NodeId(*u)) != spec.owner(NodeId(*v)))
+        .count();
+    assert_eq!(cut_total, cut_expected, "cut-edge stat exact");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ownership, coverage and reconstruction hold for every K.
+    #[test]
+    fn partition_invariants_hold(((n, edges), k) in (arb_graph(), 1usize..9)) {
+        let g = build(n, &edges);
+        let partition = GraphPartition::build(&g, ShardSpec::new(k));
+        assert_partition_invariants(&g, &partition);
+    }
+
+    /// K=1 degenerates to a single shard that mirrors the whole graph.
+    #[test]
+    fn single_shard_is_the_whole_graph((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let partition = GraphPartition::build(&g, ShardSpec::new(1));
+        prop_assert_eq!(partition.num_shards(), 1);
+        let shard = partition.shard(0);
+        prop_assert_eq!(shard.graph().num_nodes(), g.num_nodes());
+        prop_assert_eq!(shard.replica_nodes(), 0);
+        prop_assert_eq!(shard.cut_edges(), 0);
+        prop_assert_eq!(
+            forward_edges(shard.graph(), |l| shard.global_id(l).unwrap()),
+            forward_edges(&g, |x| x)
+        );
+        // with one shard, local ids are global ids
+        for node in g.nodes() {
+            prop_assert_eq!(shard.local_id(node), Some(node));
+        }
+    }
+
+    /// Incremental fan-out tracks the union graph: after a mutation batch,
+    /// the partition matches a from-scratch rebuild of the successor (up to
+    /// stale replicas, which are retained rather than garbage-collected).
+    #[test]
+    fn mutation_fanout_matches_rebuild(
+        ((n, edges), k, ops) in (
+            arb_graph(),
+            1usize..6,
+            proptest::collection::vec((0u8..5, 0u32..44, 0u32..44, 0.5f64..3.0), 1..24),
+        )
+    ) {
+        let g = build(n, &edges);
+        let mut partition = GraphPartition::build(&g, ShardSpec::new(k));
+        let mut batch = MutationBatch::new();
+        for (kind, a, b, w) in ops {
+            batch = match kind {
+                0 => batch.add_node("paper", format!("added-{a}")),
+                1 => batch.add_edge_weighted(NodeId(a), NodeId(b), w),
+                2 => batch.remove_edge(NodeId(a), NodeId(b)),
+                3 => batch.set_label(NodeId(a), format!("relabel-{b}")),
+                _ => batch.set_weight(NodeId(a), NodeId(b), w),
+            };
+        }
+        let (next, outcome) = g.apply_batch(&batch);
+        let accepted: Vec<_> = batch
+            .ops()
+            .iter()
+            .zip(&outcome.results)
+            .filter(|(_, r)| r.is_ok())
+            .map(|(op, _)| op.clone())
+            .collect();
+        partition.apply_ops(&next, &accepted);
+
+        // the incremental partition satisfies every invariant against the
+        // successor union...
+        assert_partition_invariants(&next, &partition);
+        // ...and owns exactly what a rebuild would own
+        let rebuilt = GraphPartition::build(&next, ShardSpec::new(k));
+        for s in 0..partition.num_shards() {
+            prop_assert_eq!(owned_edges(&partition, s), owned_edges(&rebuilt, s));
+            prop_assert_eq!(
+                partition.shard(s).owned_nodes(),
+                rebuilt.shard(s).owned_nodes()
+            );
+            prop_assert_eq!(partition.shard(s).cut_edges(), rebuilt.shard(s).cut_edges());
+            // stale replicas are the only permitted divergence
+            prop_assert!(
+                partition.shard(s).replica_nodes() >= rebuilt.shard(s).replica_nodes()
+            );
+        }
+    }
+}
+
+#[test]
+fn more_shards_than_nodes() {
+    let g = build(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+    let partition = GraphPartition::build(&g, ShardSpec::new(16));
+    assert_eq!(partition.num_shards(), 16);
+    assert_partition_invariants(&g, &partition);
+    // most shards are empty; the stats say so without panicking
+    let stats = partition.stats();
+    assert_eq!(stats.len(), 16);
+    let occupied = stats.iter().filter(|s| s.owned_nodes > 0).count();
+    assert!(occupied <= 3);
+    assert_eq!(stats.iter().map(|s| s.owned_nodes).sum::<usize>(), 3);
+    assert_eq!(stats.iter().map(|s| s.owned_edges).sum::<usize>(), 2);
+}
+
+#[test]
+fn empty_graph_partitions_cleanly() {
+    let g = GraphBuilder::new().build_default();
+    for k in [1, 4, 7] {
+        let partition = GraphPartition::build(&g, ShardSpec::new(k));
+        assert_eq!(partition.num_shards(), k);
+        assert_partition_invariants(&g, &partition);
+        for s in 0..k {
+            assert!(partition.shard(s).graph().is_empty());
+        }
+    }
+}
+
+#[test]
+fn zero_shards_clamps_to_one() {
+    assert_eq!(ShardSpec::new(0).shards(), 1);
+    assert_eq!(ShardSpec::default().shards(), 1);
+    let g = build(4, &[(0, 1, 1.0)]);
+    let partition = GraphPartition::build(&g, ShardSpec::new(0));
+    assert_eq!(partition.num_shards(), 1);
+}
+
+#[test]
+fn ownership_is_stable_across_specs_of_equal_k() {
+    let spec_a = ShardSpec::new(4);
+    let spec_b = ShardSpec::new(4);
+    let mut spread = HashMap::new();
+    for i in 0..1000u32 {
+        let node = NodeId(i);
+        assert_eq!(spec_a.owner(node), spec_b.owner(node));
+        *spread.entry(spec_a.owner(node)).or_insert(0usize) += 1;
+    }
+    // the hash spreads ids across all four shards without gross skew
+    assert_eq!(spread.len(), 4);
+    for (&shard, &count) in &spread {
+        assert!(
+            (150..=350).contains(&count),
+            "shard {shard} got {count} of 1000 ids"
+        );
+    }
+}

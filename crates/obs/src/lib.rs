@@ -14,6 +14,9 @@
 //!   queue wait, TTFA, mutation apply, checkpoint and WAL-fsync latencies;
 //! * [`WorkCounters`] — the per-query live counters (heap pops, rows
 //!   expanded) an engine's step driver publishes with relaxed stores;
+//! * [`ShardTimes`] — per-shard busy-time accumulators the scatter-gather
+//!   engine's parallel refill rounds add into, read back by the service as
+//!   per-shard `expand` spans;
 //! * [`QueryTrace`] / [`TraceSpan`] — one query's phase timeline
 //!   (admit → queue → resolve → expand → first-answer → finish);
 //! * [`TraceRing`] — the bounded ring retaining traced and slow queries
@@ -31,6 +34,7 @@ mod counter;
 mod hist;
 mod prom;
 mod ring;
+mod shard;
 mod trace;
 
 pub use calib::{origin_bucket, CalibrationRow, CostCalibration, ORIGIN_BUCKETS};
@@ -38,4 +42,5 @@ pub use counter::{Counter, Gauge, WorkCounters};
 pub use hist::{Histogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use prom::PromText;
 pub use ring::TraceRing;
+pub use shard::ShardTimes;
 pub use trace::{QueryTrace, TraceSpan};

@@ -1,0 +1,102 @@
+//! Per-shard busy-time accounting for scatter-gather execution.
+//!
+//! The sharded engine advances its per-shard iterator groups in parallel
+//! refill rounds; each round's worker adds its wall time to the slot of
+//! the shard it served.  The service reads the totals after the stream
+//! drains and attaches one `shard-<i>-expand` span per shard to the query
+//! trace, so a skewed partition shows up directly in `/debug/trace`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed-atomic per-shard busy-time accumulators (microseconds).
+///
+/// One slot per shard; workers [`add_micros`](ShardTimes::add_micros)
+/// into their slot from any thread, and a reader snapshots the totals
+/// with [`busy_micros`](ShardTimes::busy_micros) or
+/// [`totals`](ShardTimes::totals).  Because every refill round runs its
+/// shards concurrently, the per-shard *busy* totals can each approach —
+/// but never meaningfully exceed — the query's total expand wall time.
+#[derive(Debug, Default)]
+pub struct ShardTimes {
+    busy_us: Vec<AtomicU64>,
+}
+
+impl ShardTimes {
+    /// Creates accumulators for `shards` slots (zeroed).
+    pub fn new(shards: usize) -> Self {
+        ShardTimes {
+            busy_us: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of shard slots.
+    pub fn shards(&self) -> usize {
+        self.busy_us.len()
+    }
+
+    /// Adds `us` microseconds of busy time to `shard`.  Out-of-range
+    /// shards are ignored rather than panicking off the hot path.
+    pub fn add_micros(&self, shard: usize, us: u64) {
+        if let Some(slot) = self.busy_us.get(shard) {
+            slot.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    /// Busy microseconds accumulated for `shard` so far (0 when out of
+    /// range).
+    pub fn busy_micros(&self, shard: usize) -> u64 {
+        self.busy_us
+            .get(shard)
+            .map_or(0, |slot| slot.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of every shard's busy microseconds.
+    pub fn totals(&self) -> Vec<u64> {
+        self.busy_us
+            .iter()
+            .map(|slot| slot.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_shard() {
+        let t = ShardTimes::new(3);
+        assert_eq!(t.shards(), 3);
+        t.add_micros(0, 5);
+        t.add_micros(2, 7);
+        t.add_micros(2, 3);
+        assert_eq!(t.busy_micros(0), 5);
+        assert_eq!(t.busy_micros(1), 0);
+        assert_eq!(t.busy_micros(2), 10);
+        assert_eq!(t.totals(), vec![5, 0, 10]);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let t = ShardTimes::new(1);
+        t.add_micros(9, 100);
+        assert_eq!(t.busy_micros(9), 0);
+        assert_eq!(t.totals(), vec![0]);
+    }
+
+    #[test]
+    fn is_shareable_across_threads() {
+        let t = ShardTimes::new(4);
+        std::thread::scope(|s| {
+            for shard in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        t.add_micros(shard, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.totals(), vec![100; 4]);
+    }
+}

@@ -248,6 +248,10 @@ pub struct Wal {
     bytes: u64,
     /// Latency distribution of the `sync_data` calls this WAL has issued.
     fsync_hist: banks_obs::Histogram,
+    /// Count of `sync_data` calls issued since the WAL was opened.
+    syncs: u64,
+    /// Duration of the most recent `sync_data`, in microseconds.
+    last_sync_us: u64,
 }
 
 impl Wal {
@@ -269,6 +273,8 @@ impl Wal {
             records: 0,
             bytes: WAL_HEADER_LEN as u64,
             fsync_hist: banks_obs::Histogram::new(),
+            syncs: 0,
+            last_sync_us: 0,
         })
     }
 
@@ -292,6 +298,8 @@ impl Wal {
             records: scan.records.len() as u64,
             bytes: scan.valid_bytes,
             fsync_hist: banks_obs::Histogram::new(),
+            syncs: 0,
+            last_sync_us: 0,
         };
         // Position at the end of the valid prefix.
         use std::io::Seek;
@@ -334,7 +342,10 @@ impl Wal {
     fn timed_sync_data(&mut self) -> Result<()> {
         let started = std::time::Instant::now();
         self.file.sync_data()?;
-        self.fsync_hist.record(started.elapsed());
+        let elapsed = started.elapsed();
+        self.fsync_hist.record(elapsed);
+        self.syncs += 1;
+        self.last_sync_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         Ok(())
     }
 
@@ -377,6 +388,19 @@ impl Wal {
     /// opened (the distribution is in-memory only; it restarts empty).
     pub fn fsync_latency(&self) -> banks_obs::LatencySummary {
         self.fsync_hist.summary()
+    }
+
+    /// Number of `sync_data` calls issued since the WAL was opened.
+    /// Callers attributing fsync cost to an individual append compare this
+    /// counter before and after the append.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Duration of the most recent fsync in microseconds (0 before any
+    /// fsync has happened).
+    pub fn last_sync_micros(&self) -> u64 {
+        self.last_sync_us
     }
 }
 

@@ -331,6 +331,18 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         m.mutation_log_dropped,
         m.slow_queries,
     ));
+    buf.push_str(&format!(",\"shards\":{},\"shard_stats\":[", m.shards));
+    for (i, s) in m.shard_stats.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&format!(
+            "{{\"shard\":{},\"owned_nodes\":{},\"replica_nodes\":{},\
+             \"owned_edges\":{},\"cut_edges\":{}}}",
+            s.shard, s.owned_nodes, s.replica_nodes, s.owned_edges, s.cut_edges,
+        ));
+    }
+    buf.push(']');
     for (name, summary) in [
         ("queue_wait", &m.queue_wait),
         ("ttfa", &m.ttfa),
@@ -600,9 +612,11 @@ mod tests {
             "mutation_log_entries",
             "mutation_log_dropped",
             "slow_queries",
+            "shards",
         ] {
             assert!(v.get(key).is_some(), "metrics must include {key}");
         }
+        assert_eq!(v.get("shard_stats"), Some(&JsonValue::Array(vec![])));
         for summary in [
             "queue_wait",
             "ttfa",

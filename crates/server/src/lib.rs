@@ -25,7 +25,7 @@
 //! | `POST /admin/swap` | rebuild and atomically swap the served [`banks_service::GraphSnapshot`] |
 //! | `POST /admin/mutate` | apply a JSON [`banks_graph::MutationBatch`] incrementally: delta snapshot, fresh epoch, per-op accept/reject counts |
 //! | `POST /admin/checkpoint` | force a durable snapshot + WAL truncation (409 when persistence is off) |
-//! | `GET /healthz` | liveness: status, serving epoch, worker count, engine names, durability (`last_checkpoint_epoch`, `wal_records`, `wal_bytes`) |
+//! | `GET /healthz` | liveness: status, serving epoch, worker count, shard count, engine names, durability (`last_checkpoint_epoch`, `wal_records`, `wal_bytes`) |
 //!
 //! `POST /query` takes a JSON body — `{"q":"jim gray","top_k":5}` or
 //! `{"keywords":["jim","gray"],"engine":"si-backward"}` — while `GET

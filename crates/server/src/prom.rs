@@ -141,6 +141,39 @@ pub fn render(m: &ServiceMetrics) -> String {
         "Queries whose latency crossed the slow-query threshold.",
         m.slow_queries,
     );
+    p.gauge(
+        "banks_shards",
+        "Shards the served graph is partitioned into (1 = unsharded).",
+        m.shards as f64,
+    );
+    for s in &m.shard_stats {
+        let shard = s.shard.to_string();
+        let labels = [("shard", shard.as_str())];
+        p.gauge_labeled(
+            "banks_shard_owned_nodes",
+            "Nodes owned by each shard.",
+            &labels,
+            s.owned_nodes as f64,
+        );
+        p.gauge_labeled(
+            "banks_shard_replica_nodes",
+            "Boundary replica nodes held by each shard.",
+            &labels,
+            s.replica_nodes as f64,
+        );
+        p.gauge_labeled(
+            "banks_shard_owned_edges",
+            "Edges whose source is owned by each shard.",
+            &labels,
+            s.owned_edges as f64,
+        );
+        p.gauge_labeled(
+            "banks_shard_cut_edges",
+            "Edges crossing out of each shard (replicated at the boundary).",
+            &labels,
+            s.cut_edges as f64,
+        );
+    }
 
     summary(
         &mut p,
@@ -256,7 +289,7 @@ fn summary(p: &mut PromText, name: &str, help: &str, s: &LatencySummary) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use banks_service::{CalibrationRow, TenantMetrics};
+    use banks_service::{CalibrationRow, ShardStats, TenantMetrics};
     use std::collections::HashSet;
     use std::time::Duration;
 
@@ -267,6 +300,14 @@ mod tests {
             cache_hits: 3,
             slow_queries: 1,
             persistence_enabled: true,
+            shards: 2,
+            shard_stats: vec![ShardStats {
+                shard: 0,
+                owned_nodes: 40,
+                replica_nodes: 6,
+                owned_edges: 90,
+                cut_edges: 12,
+            }],
             tenants: vec![TenantMetrics {
                 tenant: "acme".to_string(),
                 executed: 5,
@@ -336,5 +377,8 @@ mod tests {
             "banks_calibration_correction{engine=\"bidirectional\",origin_bucket=\"3\"} 1.4"
         ));
         assert!(text.contains("banks_persistence_enabled 1"));
+        assert!(text.contains("banks_shards 2"));
+        assert!(text.contains("banks_shard_owned_nodes{shard=\"0\"} 40"));
+        assert!(text.contains("banks_shard_cut_edges{shard=\"0\"} 12"));
     }
 }

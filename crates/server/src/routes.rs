@@ -9,7 +9,7 @@
 //! | `POST /admin/swap` | rebuild and atomically swap the served snapshot |
 //! | `POST /admin/mutate` | apply a JSON [`MutationBatch`] incrementally: new epoch + per-op accept/reject |
 //! | `POST /admin/checkpoint` | force a durable snapshot and truncate the WAL |
-//! | `GET /healthz` | liveness probe + durability status |
+//! | `GET /healthz` | liveness probe (epoch, workers, shards, engines) + durability status |
 //!
 //! Tenant and priority travel as headers (`X-Banks-Tenant`,
 //! `X-Banks-Priority`), so the PR-3 scheduler and the quota layer govern
@@ -252,11 +252,12 @@ fn respond_healthz(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
     // either way.
     let durability = ctx.service.durability();
     let body = format!(
-        "{{\"status\":\"ok\",\"epoch\":{},\"workers\":{},\"engines\":{},\
+        "{{\"status\":\"ok\",\"epoch\":{},\"workers\":{},\"shards\":{},\"engines\":{},\
          \"persistence\":{},\"last_checkpoint_epoch\":{},\"wal_records\":{},\
          \"wal_bytes\":{}}}",
         ctx.service.epoch(),
         ctx.service.workers(),
+        ctx.service.shards(),
         engines,
         durability.enabled,
         durability.last_checkpoint_epoch,

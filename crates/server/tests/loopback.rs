@@ -137,11 +137,61 @@ fn healthz_reports_liveness() {
     let v = banks_server::json::parse(body_of(&response)).unwrap();
     assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"));
     assert!(v.get("epoch").is_some());
+    assert_eq!(v.get("shards").and_then(JsonValue::as_usize), Some(1));
     match v.get("engines") {
         Some(JsonValue::Array(names)) => assert!(!names.is_empty()),
         other => panic!("engines should be an array, got {other:?}"),
     }
     server.shutdown();
+}
+
+#[test]
+fn sharded_server_streams_identical_answers_and_reports_shards() {
+    let plain = Arc::new(Service::builder(forest(12)).workers(1).build());
+    let sharded = Arc::new(Service::builder(forest(12)).workers(2).shards(4).build());
+    let baseline = Server::builder(plain).spawn().unwrap();
+    let server = Server::builder(Arc::clone(&sharded)).spawn().unwrap();
+
+    let health = get(server.local_addr(), "/healthz");
+    let v = banks_server::json::parse(body_of(&health)).unwrap();
+    assert_eq!(v.get("shards").and_then(JsonValue::as_usize), Some(4));
+
+    let body = r#"{"q":"alpha beta","top_k":5,"engine":"mi-backward"}"#;
+    let sg_body = r#"{"q":"alpha beta","top_k":5,"engine":"scatter-gather"}"#;
+    let expect = post_query(baseline.local_addr(), body, "");
+    let got = post_query(server.local_addr(), sg_body, "");
+    assert_eq!(status_of(&expect), 200);
+    assert_eq!(status_of(&got), 200);
+    // Answer payloads carry wall-clock timing fields; the identity
+    // contract covers the deterministic content (rank + tree).
+    let ranked = |response: &str| -> Vec<(JsonValue, JsonValue)> {
+        parse_sse(body_of(response))
+            .into_iter()
+            .filter(|(name, _)| name == "answer")
+            .map(|(_, data)| {
+                let v = banks_server::json::parse(&data).unwrap();
+                (
+                    v.get("rank").cloned().unwrap(),
+                    v.get("tree").cloned().unwrap(),
+                )
+            })
+            .collect()
+    };
+    let expect_answers = ranked(&expect);
+    let got_answers = ranked(&got);
+    assert!(!got_answers.is_empty());
+    assert_eq!(expect_answers, got_answers);
+
+    let metrics = get(server.local_addr(), "/metrics");
+    let v = banks_server::json::parse(body_of(&metrics)).unwrap();
+    assert_eq!(v.get("shards").and_then(JsonValue::as_usize), Some(4));
+    match v.get("shard_stats") {
+        Some(JsonValue::Array(stats)) => assert_eq!(stats.len(), 4),
+        other => panic!("shard_stats should be an array, got {other:?}"),
+    }
+
+    server.shutdown();
+    baseline.shutdown();
 }
 
 #[test]

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use banks_graph::ShardStats;
 use banks_obs::{CalibrationRow, Histogram};
 
 use crate::quota::QuotaSettings;
@@ -254,6 +255,12 @@ pub struct ServiceMetrics {
     /// WAL fsync-latency distribution; empty when persistence is off or
     /// the fsync policy never syncs.
     pub wal_fsync: QueueWaitSummary,
+    /// Number of shards the serving graph is partitioned into
+    /// ([`crate::ServiceBuilder::shards`]; 1 = unsharded).
+    pub shards: u64,
+    /// Per-shard partition sizes (owned/replica nodes, owned/cut edges)
+    /// of the currently-served version; empty when unsharded.
+    pub shard_stats: Vec<ShardStats>,
     /// Per-tenant scheduling outcomes, sorted by tenant name.
     pub tenants: Vec<TenantMetrics>,
     /// Cost-model calibration rows: measured `nodes_explored` per
@@ -328,6 +335,8 @@ impl ServiceMetrics {
             mutation_apply: QueueWaitSummary::default(),
             checkpoint_latency: QueueWaitSummary::default(),
             wal_fsync: QueueWaitSummary::default(),
+            shards: 1,
+            shard_stats: Vec::new(),
             tenants,
             calibration: Vec::new(),
         }

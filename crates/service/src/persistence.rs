@@ -109,15 +109,22 @@ impl Persistence {
 
     /// Appends one accepted batch, WAL-first.  A failure here means the
     /// mutation is **not** durable; the caller must not swap the successor
-    /// in.
+    /// in.  On success, returns the duration in microseconds of the fsync
+    /// **this append triggered** (0 when the policy deferred it) — the
+    /// mutation trace attributes the fsync to its triggering batch.
     pub(crate) fn append(
         &mut self,
         parent_epoch: u64,
         epoch: u64,
         batch: &banks_graph::MutationBatch,
-    ) -> Result<(), PersistError> {
+    ) -> Result<u64, PersistError> {
+        let syncs_before = self.wal.syncs();
         match self.wal.append(parent_epoch, epoch, batch) {
-            Ok(_) => Ok(()),
+            Ok(_) => Ok(if self.wal.syncs() > syncs_before {
+                self.wal.last_sync_micros()
+            } else {
+                0
+            }),
             Err(e) => {
                 self.last_error = Some(e.to_string());
                 Err(e)

@@ -14,9 +14,10 @@ use banks_core::{
     CancelToken, EngineRegistry, QueryContext, QueryCost, ResultCache, SearchOutcome, SearchStats,
 };
 use banks_graph::{
-    AppliedBatch, BatchOutcome, DataGraph, MutationBatch, MutationLog, DEFAULT_LOG_CAPACITY,
+    AppliedBatch, BatchOutcome, DataGraph, GraphPartition, MutationBatch, MutationLog, ShardSpec,
+    ShardStats, DEFAULT_LOG_CAPACITY,
 };
-use banks_obs::{CostCalibration, Histogram, QueryTrace, TraceRing, WorkCounters};
+use banks_obs::{CostCalibration, Histogram, QueryTrace, ShardTimes, TraceRing, WorkCounters};
 use banks_persist::{recover, replay_wal, FsyncPolicy, PersistError, PersistOptions, Wal};
 use banks_prestige::PrestigeVector;
 use banks_textindex::{InvertedIndex, KeywordMatches};
@@ -26,6 +27,7 @@ use crate::metrics::{Counters, ServiceMetrics, WaitStats};
 use crate::persistence::{DurabilityStatus, Persistence};
 use crate::quota::{QuotaConfig, QuotaSettings, QuotaState};
 use crate::sched::WorkQueue;
+use crate::shardset::ShardSet;
 use crate::snapshot::GraphSnapshot;
 use crate::spec::QuerySpec;
 
@@ -95,11 +97,31 @@ pub struct MutationReport {
     /// the serving snapshot, the epoch and the disk state are all
     /// unchanged, so the caller can retry safely.
     pub persist_error: Option<String>,
+    /// Phase trace of the apply itself — delta build, WAL append (with
+    /// the fsync this append triggered, if any), shard fan-out, snapshot
+    /// swap, and the checkpoint the mutation triggered.  `None` when
+    /// nothing was applied.  The same trace is retained in the service's
+    /// trace ring under `engine == "mutation"`.
+    pub trace: Option<Arc<QueryTrace>>,
 }
 
 /// Capacity of the trace retention ring ([`Service::trace`] /
 /// [`Service::slow_traces`] look traces up in it).
 const TRACE_RING_CAPACITY: usize = 256;
+
+/// Span names for per-shard expand attribution.  [`banks_obs::TraceSpan`]
+/// names are `&'static str`, so shard indices map through a fixed table;
+/// shards beyond it share the overflow name (a display concern only — the
+/// per-shard times themselves are exact for any count).
+const SHARD_SPAN_NAMES: [&str; 16] = [
+    "shard-0", "shard-1", "shard-2", "shard-3", "shard-4", "shard-5", "shard-6", "shard-7",
+    "shard-8", "shard-9", "shard-10", "shard-11", "shard-12", "shard-13", "shard-14", "shard-15",
+];
+
+/// The static span name for `shard`.
+fn shard_span_name(shard: usize) -> &'static str {
+    SHARD_SPAN_NAMES.get(shard).copied().unwrap_or("shard-16+")
+}
 
 /// Phase timestamps collected while a query moves through admission and
 /// execution, as microsecond offsets from `t0` (the top of
@@ -159,6 +181,7 @@ fn build_trace(
     expand_end_us: Option<u64>,
     time_to_first_answer: Option<Duration>,
     stats: &SearchStats,
+    shard_times: Option<&ShardTimes>,
 ) -> QueryTrace {
     let mut trace = QueryTrace {
         id: id.0,
@@ -177,6 +200,21 @@ fn build_trace(
     if let (Some(pickup), Some(expand_end)) = (pickup_us, expand_end_us) {
         trace.push_span("queue", ctx.enqueued_us, pickup);
         trace.push_span("expand", pickup, expand_end);
+        // Per-shard expand attribution: the scatter engine charges each
+        // shard its proportional share of every refill round's wall time,
+        // so these spans — laid end to end from pickup — always sum to at
+        // most the expand span (the merge loop and rounding eat the rest).
+        if let Some(times) = shard_times {
+            let mut start = pickup;
+            for (shard, busy) in times.totals().into_iter().enumerate() {
+                if busy == 0 {
+                    continue;
+                }
+                let end = (start + busy).min(expand_end);
+                trace.push_span(shard_span_name(shard), start, end);
+                start = end;
+            }
+        }
     }
     if let Some(ttfa) = time_to_first_answer {
         let ttfa_us = ttfa.as_micros().min(u64::MAX as u128) as u64;
@@ -226,6 +264,10 @@ struct Job {
     /// The a priori cost estimate the scheduler charged (calibration
     /// feedback compares it with the measured `nodes_explored`).
     cost: QueryCost,
+    /// Shard count of the set this job was admitted under — the
+    /// scatter-gather engines parallelise across this many shards; 1 runs
+    /// the plain unsharded path.
+    shards: usize,
     trace: TraceCtx,
 }
 
@@ -239,9 +281,13 @@ struct QueueState {
 
 /// Everything the workers share.
 struct Inner {
-    /// The currently-served snapshot; [`Service::swap_graph`] replaces the
-    /// `Arc` while in-flight queries keep their pinned clones alive.
-    serving: Mutex<Arc<GraphSnapshot>>,
+    /// The currently-served shard set (union snapshot + partition);
+    /// [`Service::swap_graph`] replaces the `Arc` while in-flight queries
+    /// keep their pinned clones alive.
+    serving: Mutex<Arc<ShardSet>>,
+    /// Configured shard count (≥ 1); every swapped-in version is
+    /// partitioned to the same count.
+    shards: usize,
     registry: EngineRegistry,
     default_engine: String,
     cache: Arc<ResultCache>,
@@ -305,6 +351,7 @@ pub struct ServiceBuilder {
     persistence: Option<(PathBuf, PersistOptions)>,
     log_capacity: usize,
     slow_query_threshold: Duration,
+    shards: usize,
 }
 
 impl ServiceBuilder {
@@ -494,6 +541,19 @@ impl ServiceBuilder {
         self
     }
 
+    /// Partitions the served graph into `shards` hash-assigned shards
+    /// (default 1: unsharded; clamped to at least 1).  Every graph version
+    /// this service serves — the boot graph, recovered state, wholesale
+    /// swaps, mutation successors — is partitioned to the same count
+    /// behind a [`ShardSet`], and the `scatter-gather` engine family
+    /// executes across the shards in parallel while emitting a stream
+    /// byte-identical to the unsharded run.  Mutation batches fan their
+    /// accepted ops out to the owning shards inside the same epoch swap.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// End-to-end latency beyond which a query counts as **slow** (default
     /// 250 ms): its phase trace is retained in the bounded trace ring —
     /// retrievable via [`Service::slow_traces`] / [`Service::trace`], and
@@ -579,7 +639,8 @@ impl ServiceBuilder {
         };
         let quota_enabled = self.quota.enabled();
         let inner = Arc::new(Inner {
-            serving: Mutex::new(Arc::new(snapshot)),
+            serving: Mutex::new(Arc::new(ShardSet::build(snapshot, self.shards))),
+            shards: self.shards,
             registry,
             default_engine: self.default_engine,
             cache,
@@ -681,6 +742,7 @@ impl Service {
             persistence: None,
             log_capacity: DEFAULT_LOG_CAPACITY,
             slow_query_threshold: Duration::from_millis(250),
+            shards: 1,
         }
     }
 
@@ -735,10 +797,14 @@ impl Service {
         }
         trace.admit_us = trace.elapsed_us();
 
-        // Pin the serving snapshot: everything below — keyword resolution,
+        // Pin the serving shard set: everything below — keyword resolution,
         // cache key, execution — consistently uses this version, no matter
-        // how many swaps happen while the query waits or runs.
-        let snapshot = Arc::clone(&inner.serving.lock().expect("serving lock"));
+        // how many swaps happen while the query waits or runs.  The cache
+        // key carries only the epoch: the shard count never affects answer
+        // bytes (that is the scatter-gather contract), so sharded and
+        // unsharded runs share cache entries.
+        let shard_set = Arc::clone(&inner.serving.lock().expect("serving lock"));
+        let snapshot = Arc::clone(shard_set.snapshot());
 
         // The same single normalization point as the `Banks` facade: the
         // normalized keywords feed both origin-set resolution and the cache
@@ -798,6 +864,7 @@ impl Service {
                     None,
                     first_answer,
                     &hit.stats,
+                    None,
                 ))
             });
             if slow {
@@ -872,6 +939,7 @@ impl Service {
             state: Arc::clone(&state),
             submitted_at,
             cost,
+            shards: shard_set.shards(),
             trace,
         };
         {
@@ -969,14 +1037,17 @@ impl Service {
         const COMPACT_OVERLAY_RATIO: f64 = 0.25;
 
         let apply_started = Instant::now();
+        let elapsed_us = || apply_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let _admin = self.inner.mutate.lock().expect("mutate lock");
-        let current = self.snapshot();
+        let current_set = self.shard_set();
+        let current = Arc::clone(current_set.snapshot());
         let previous_epoch = current.epoch();
         // The expensive part — adjacency row rewrites, index delta,
         // prestige refresh, the occasional compaction — happens here, with
         // no service lock held.
         let (mut next, outcome) = current.apply_batch(batch);
         let compacted = next.maybe_compact(COMPACT_OVERLAY_RATIO);
+        let apply_end_us = elapsed_us();
         let accepted = outcome.accepted();
         if accepted == 0 {
             Counters::add(
@@ -989,6 +1060,7 @@ impl Service {
                 swapped: false,
                 outcome,
                 persist_error: None,
+                trace: None,
             };
         }
 
@@ -996,24 +1068,43 @@ impl Service {
         // query can observe its effects.  A failed append aborts the
         // mutation entirely — the successor is dropped, the epoch does not
         // advance, and the disk and memory states remain consistent.
+        let mut wal_span = None;
+        let mut fsync_us = 0u64;
         if let Some(persistence) = &self.inner.persistence {
             let mut persistence = persistence.lock().expect("persistence lock");
-            if let Err(e) = persistence.append(previous_epoch, next.epoch(), batch) {
-                Counters::add(
-                    &self.inner.counters.mutation_ops_rejected,
-                    outcome.rejected() as u64,
-                );
-                return MutationReport {
-                    epoch: previous_epoch,
-                    previous_epoch,
-                    swapped: false,
-                    outcome,
-                    persist_error: Some(e.to_string()),
-                };
+            let wal_start_us = elapsed_us();
+            match persistence.append(previous_epoch, next.epoch(), batch) {
+                Ok(sync_us) => {
+                    wal_span = Some((wal_start_us, elapsed_us()));
+                    fsync_us = sync_us;
+                }
+                Err(e) => {
+                    Counters::add(
+                        &self.inner.counters.mutation_ops_rejected,
+                        outcome.rejected() as u64,
+                    );
+                    return MutationReport {
+                        epoch: previous_epoch,
+                        previous_epoch,
+                        swapped: false,
+                        outcome,
+                        persist_error: Some(e.to_string()),
+                        trace: None,
+                    };
+                }
             }
         }
 
-        let epoch = self.swap_snapshot_inner(next);
+        // Shard fan-out: clone the partition (structurally shared) and
+        // apply exactly the accepted ops to the owning shards, so the
+        // successor set swaps in with union and shards at one epoch.
+        let fanout_start_us = elapsed_us();
+        let partition = current_set.successor_partition(&next, batch, &outcome);
+        let fanout_end_us = elapsed_us();
+
+        let swap_start_us = elapsed_us();
+        let epoch = self.swap_snapshot_inner(next, partition);
+        let swap_end_us = elapsed_us();
         // Apply latency: admin-lock acquisition through WAL append and
         // snapshot swap (post-swap checkpoints are accounted separately).
         self.inner
@@ -1043,13 +1134,49 @@ impl Service {
         // snapshot.  Failures are recorded (and surfaced via
         // `durability()`) but do not fail the mutation — it is already
         // durable in the WAL.
+        let mut checkpoint_span = None;
         if let Some(persistence) = &self.inner.persistence {
             let mut persistence = persistence.lock().expect("persistence lock");
             if compacted || persistence.wants_rotation() {
+                let checkpoint_start_us = elapsed_us();
                 let snapshot = self.snapshot();
                 let _ = persistence.checkpoint(&snapshot);
+                checkpoint_span = Some((checkpoint_start_us, elapsed_us()));
             }
         }
+
+        // The mutation's own phase trace: the checkpoint and WAL fsync it
+        // triggered are attributed to it here rather than showing up only
+        // as anonymous durability histograms.  Retained in the same trace
+        // ring as query traces, under `engine == "mutation"`.
+        let total_us = elapsed_us();
+        let mut trace = QueryTrace {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            engine: "mutation".to_string(),
+            epoch,
+            total_us,
+            ..QueryTrace::default()
+        };
+        trace.push_span("apply", 0, apply_end_us);
+        if let Some((start, end)) = wal_span {
+            trace.push_span("wal-append", start, end);
+            if fsync_us > 0 {
+                trace.push_span("wal-fsync", end.saturating_sub(fsync_us), end);
+            }
+        }
+        if current_set.shards() > 1 {
+            trace.push_span("shard-fanout", fanout_start_us, fanout_end_us);
+        }
+        trace.push_span("swap", swap_start_us, swap_end_us);
+        if let Some((start, end)) = checkpoint_span {
+            trace.push_span("checkpoint", start, end);
+        }
+        trace.push_span("finish", 0, total_us);
+        trace.push_counter("ops", batch.len() as u64);
+        trace.push_counter("accepted", accepted as u64);
+        trace.push_counter("rejected", outcome.rejected() as u64);
+        let trace = Arc::new(trace);
+        self.inner.traces.push(Arc::clone(&trace));
 
         MutationReport {
             epoch,
@@ -1057,6 +1184,7 @@ impl Service {
             swapped: true,
             outcome,
             persist_error: None,
+            trace: Some(trace),
         }
     }
 
@@ -1070,7 +1198,11 @@ impl Service {
     /// not undo the swap (queries are already running on the new graph);
     /// it is recorded and surfaced via [`Service::durability`].
     pub fn swap_snapshot(&self, snapshot: GraphSnapshot) -> u64 {
-        let epoch = self.swap_snapshot_inner(snapshot);
+        // A wholesale swap has no delta to fan out: rebuild the partition
+        // from scratch, outside the serving lock.
+        let partition = (self.inner.shards > 1)
+            .then(|| GraphPartition::build(snapshot.graph(), ShardSpec::new(self.inner.shards)));
+        let epoch = self.swap_snapshot_inner(snapshot, partition);
         if let Some(persistence) = &self.inner.persistence {
             let mut persistence = persistence.lock().expect("persistence lock");
             let current = self.snapshot();
@@ -1079,7 +1211,11 @@ impl Service {
         epoch
     }
 
-    fn swap_snapshot_inner(&self, mut snapshot: GraphSnapshot) -> u64 {
+    fn swap_snapshot_inner(
+        &self,
+        mut snapshot: GraphSnapshot,
+        partition: Option<GraphPartition>,
+    ) -> u64 {
         let old_epoch;
         let new_epoch;
         {
@@ -1089,7 +1225,11 @@ impl Service {
                 snapshot.bump_epoch();
             }
             new_epoch = snapshot.epoch();
-            *serving = Arc::new(snapshot);
+            *serving = Arc::new(ShardSet::from_parts(
+                snapshot,
+                ShardSpec::new(self.inner.shards),
+                partition,
+            ));
         }
         Counters::bump(&self.inner.counters.swaps);
         if self.inner.cache_private {
@@ -1161,6 +1301,8 @@ impl Service {
         metrics.ttfa = self.inner.ttfa_hist.summary();
         metrics.mutation_apply = self.inner.mutation_apply_hist.summary();
         metrics.calibration = self.inner.calibration.rows();
+        metrics.shards = self.inner.shards as u64;
+        metrics.shard_stats = self.shard_stats();
         metrics
     }
 
@@ -1198,7 +1340,25 @@ impl Service {
     /// it.  The returned `Arc` stays valid across swaps (it simply stops
     /// being current).
     pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(self.inner.serving.lock().expect("serving lock").snapshot())
+    }
+
+    /// The shard set currently being served — the union snapshot plus its
+    /// `K`-way partition.  Like [`Service::snapshot`], the returned `Arc`
+    /// stays valid across swaps.
+    pub fn shard_set(&self) -> Arc<ShardSet> {
         Arc::clone(&self.inner.serving.lock().expect("serving lock"))
+    }
+
+    /// Configured shard count (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.inner.shards
+    }
+
+    /// Per-shard partition statistics of the currently-served version;
+    /// empty when the service is unsharded.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shard_set().stats()
     }
 
     /// The epoch of the graph currently being served (the cache-key
@@ -1307,13 +1467,20 @@ fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
     Counters::bump(&inner.counters.executed);
     let pickup_us = job.trace.elapsed_us();
     let snapshot = &job.snapshot;
+    // Per-shard busy-time accumulators, attached only when the set is
+    // actually sharded — the K = 1 path allocates and samples nothing.
+    let shard_times = (job.shards > 1).then(|| ShardTimes::new(job.shards));
     let mut ctx = QueryContext::new(
         snapshot.graph(),
         snapshot.prestige(),
         &job.matches,
         job.spec_params,
     )
-    .with_cancel(&job.token);
+    .with_cancel(&job.token)
+    .with_shards(job.shards);
+    if let Some(times) = &shard_times {
+        ctx = ctx.with_shard_times(times);
+    }
     if let Some(counters) = job.trace.counters.as_deref() {
         ctx = ctx.with_observer(counters);
     }
@@ -1410,6 +1577,7 @@ fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
             Some(expand_end_us),
             first_answer,
             &stats,
+            shard_times.as_ref(),
         ))
     });
     if let Some(trace) = &retained {

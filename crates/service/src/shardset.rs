@@ -1,0 +1,186 @@
+//! The serving-side shard set: one logical graph version, `K` shards.
+//!
+//! [`ShardSet`] is what the service's serving pointer actually holds.  It
+//! wraps the **union** [`GraphSnapshot`] — the single source of truth every
+//! query resolves, expands and caches against — together with the
+//! [`ShardSpec`] describing how nodes hash to shards and, when `K > 1`,
+//! the materialised [`GraphPartition`] (per-shard subgraphs with boundary
+//! replicas).  The whole set shares **one logical epoch**: the union
+//! snapshot's.  A mutation batch advances the union and fans its accepted
+//! ops out to the owning shards in the same swap, so there is never a
+//! moment where the shards describe a different version than the union.
+//!
+//! With `K = 1` no partition is built at all — the set is a plain snapshot
+//! and the sharded code paths cost nothing.
+
+use std::sync::Arc;
+
+use banks_graph::{
+    BatchOutcome, GraphMutation, GraphPartition, MutationBatch, ShardSpec, ShardStats,
+};
+
+use crate::snapshot::GraphSnapshot;
+
+/// One graph version as served: the union [`GraphSnapshot`] plus its
+/// `K`-way partition (absent when `K = 1`).  Immutable once built —
+/// mutations produce a successor set, exactly like snapshots.
+#[derive(Clone, Debug)]
+pub struct ShardSet {
+    /// The union snapshot — the authoritative graph/prestige/index every
+    /// query pins.
+    snapshot: Arc<GraphSnapshot>,
+    /// Node-to-shard assignment (hash of the stable `NodeId`).
+    spec: ShardSpec,
+    /// Materialised per-shard subgraphs; `None` when `K = 1`.
+    partition: Option<GraphPartition>,
+}
+
+impl ShardSet {
+    /// Builds a set over `snapshot` with `shards` shards (clamped to at
+    /// least 1).  `K = 1` skips partition construction entirely.
+    pub(crate) fn build(snapshot: GraphSnapshot, shards: usize) -> Self {
+        let spec = ShardSpec::new(shards);
+        let partition = (spec.shards() > 1).then(|| GraphPartition::build(snapshot.graph(), spec));
+        ShardSet {
+            snapshot: Arc::new(snapshot),
+            spec,
+            partition,
+        }
+    }
+
+    /// Assembles a set from an already-derived partition (the incremental
+    /// mutation path, which fans ops out instead of rebuilding).
+    pub(crate) fn from_parts(
+        snapshot: GraphSnapshot,
+        spec: ShardSpec,
+        partition: Option<GraphPartition>,
+    ) -> Self {
+        ShardSet {
+            snapshot: Arc::new(snapshot),
+            spec,
+            partition,
+        }
+    }
+
+    /// The union snapshot of this version.
+    pub fn snapshot(&self) -> &Arc<GraphSnapshot> {
+        &self.snapshot
+    }
+
+    /// Number of shards (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.spec.shards()
+    }
+
+    /// The node-to-shard assignment.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The materialised partition, when this set is actually sharded.
+    pub fn partition(&self) -> Option<&GraphPartition> {
+        self.partition.as_ref()
+    }
+
+    /// The set's logical epoch — the union snapshot's epoch.  Shards carry
+    /// no epoch of their own; they are a projection of this version.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Per-shard size statistics; empty when unsharded.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.partition
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Fans one applied batch out to the shards: clones the partition
+    /// (structurally shared CSR, cheap) and applies exactly the ops the
+    /// union accepted, in batch order.  `union` is the **successor**
+    /// snapshot the batch already produced.  Returns `None` when the set
+    /// is unsharded.
+    pub(crate) fn successor_partition(
+        &self,
+        union: &GraphSnapshot,
+        batch: &MutationBatch,
+        outcome: &BatchOutcome,
+    ) -> Option<GraphPartition> {
+        let partition = self.partition.as_ref()?;
+        let accepted: Vec<GraphMutation> = batch
+            .ops()
+            .iter()
+            .zip(&outcome.results)
+            .filter(|(_, result)| result.is_ok())
+            .map(|(op, _)| op.clone())
+            .collect();
+        let mut next = partition.clone();
+        next.apply_ops(union.graph(), &accepted);
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_graph::{GraphBuilder, NodeId};
+
+    fn small_graph() -> banks_graph::DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("author", "Jim Gray");
+        let p = b.add_node("paper", "Granularity of locks");
+        let w = b.add_node("writes", "w0");
+        b.add_edge(w, a).unwrap();
+        b.add_edge(w, p).unwrap();
+        b.build_default()
+    }
+
+    #[test]
+    fn single_shard_builds_no_partition() {
+        let set = ShardSet::build(GraphSnapshot::with_defaults(small_graph()), 1);
+        assert_eq!(set.shards(), 1);
+        assert!(set.partition().is_none());
+        assert!(set.stats().is_empty());
+        assert_eq!(set.epoch(), set.snapshot().epoch());
+    }
+
+    #[test]
+    fn sharded_set_partitions_every_node() {
+        let set = ShardSet::build(GraphSnapshot::with_defaults(small_graph()), 4);
+        assert_eq!(set.shards(), 4);
+        let stats = set.stats();
+        assert_eq!(stats.len(), 4);
+        let owned: usize = stats.iter().map(|s| s.owned_nodes).sum();
+        assert_eq!(owned, set.snapshot().graph().num_nodes());
+    }
+
+    #[test]
+    fn successor_partition_applies_only_accepted_ops() {
+        let set = ShardSet::build(GraphSnapshot::with_defaults(small_graph()), 3);
+        let batch = MutationBatch::new()
+            .add_node("author", "Edgar Codd")
+            // rejected: node 999 does not exist
+            .add_edge(NodeId(999), NodeId(0))
+            .add_edge(NodeId(3), NodeId(0));
+        let (next, outcome) = set.snapshot().apply_batch(&batch);
+        assert_eq!(outcome.accepted(), 2);
+        assert_eq!(outcome.rejected(), 1);
+        let partition = set
+            .successor_partition(&next, &batch, &outcome)
+            .expect("sharded set yields a successor partition");
+        let owned: usize = partition.stats().iter().map(|s| s.owned_nodes).sum();
+        assert_eq!(owned, next.graph().num_nodes());
+        // the fanned-out partition matches a from-scratch rebuild
+        let rebuilt = GraphPartition::build(next.graph(), set.spec());
+        assert_eq!(partition.stats(), rebuilt.stats());
+    }
+
+    #[test]
+    fn unsharded_set_has_no_successor_partition() {
+        let set = ShardSet::build(GraphSnapshot::with_defaults(small_graph()), 1);
+        let batch = MutationBatch::new().add_node("author", "Edgar Codd");
+        let (next, outcome) = set.snapshot().apply_batch(&batch);
+        assert!(set.successor_partition(&next, &batch, &outcome).is_none());
+    }
+}

@@ -4,6 +4,7 @@
 //! cargo run --release --example server_demo            # workload demo
 //! cargo run --release --example server_demo -- --serve 127.0.0.1:7878
 //! cargo run --release --example server_demo -- --serve 127.0.0.1:7878 --data-dir ./banks-data
+//! cargo run --release --example server_demo -- --serve 127.0.0.1:7878 --shards 4
 //! ```
 //!
 //! The default mode boots a [`Server`] on a loopback port, fires a
@@ -19,6 +20,9 @@
 //! WAL-logged before it is acknowledged, `POST /admin/checkpoint` forces a
 //! snapshot, and a restart (even after `kill -9`) recovers the pre-crash
 //! graph from the directory instead of regenerating the corpus.
+//! `--shards K` partitions the served graph into `K` shards: the
+//! `scatter-gather` engine family fans each query out across per-shard
+//! engines and merges the streams, byte-identical to unsharded execution.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -27,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use banks::prelude::*;
 
-fn dblp_service() -> Service {
+fn dblp_service(shards: usize) -> Service {
     let data = DblpDataset::generate(DblpConfig {
         num_authors: 600,
         num_papers: 1200,
@@ -40,6 +44,7 @@ fn dblp_service() -> Service {
         .queue_capacity(1024)
         .cache_capacity(256)
         .tenant_quota(25.0, 40)
+        .shards(shards)
         .index(data.dataset.index().clone())
         .build()
 }
@@ -57,7 +62,13 @@ fn main() {
             .position(|a| a == "--data-dir")
             .and_then(|i| args.get(i + 1))
             .cloned();
-        serve_forever(addr, data_dir);
+        let shards = args
+            .iter()
+            .position(|a| a == "--shards")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1usize);
+        serve_forever(addr, data_dir, shards);
         return;
     }
     workload_demo();
@@ -68,7 +79,7 @@ fn main() {
 /// generated corpus only seeds an empty directory), uses the default
 /// label index so recovery needs nothing beyond the graph, and fsyncs
 /// every mutation before acknowledging it.
-fn serve_forever(addr: &str, data_dir: Option<String>) {
+fn serve_forever(addr: &str, data_dir: Option<String>, shards: usize) {
     let service = match &data_dir {
         Some(dir) => {
             let data = DblpDataset::generate(DblpConfig {
@@ -83,6 +94,7 @@ fn serve_forever(addr: &str, data_dir: Option<String>) {
                 .queue_capacity(1024)
                 .cache_capacity(256)
                 .tenant_quota(25.0, 40)
+                .shards(shards)
                 .persistence(dir, FsyncPolicy::Always)
                 .build();
             let durability = service.durability();
@@ -93,8 +105,11 @@ fn serve_forever(addr: &str, data_dir: Option<String>) {
             );
             service
         }
-        None => dblp_service(),
+        None => dblp_service(shards),
     };
+    if shards > 1 {
+        println!("sharded mode: {shards} shards, scatter-gather engines registered");
+    }
     let service = Arc::new(service);
     let server = Server::builder(service)
         .addr(addr)

@@ -103,8 +103,8 @@ pub mod prelude {
         build_label_index, drain, AnswerStream, AnswerTree, BackwardExpandingSearch, Banks,
         BidirectionalConfig, BidirectionalSearch, CacheKey, CancelToken, EdgeScoreCombiner,
         EmissionPolicy, EngineRegistry, GroundTruth, QueryContext, QueryCost, QuerySession,
-        RankedAnswer, ResultCache, ScoreModel, SearchEngine, SearchOutcome, SearchParams,
-        SearchStats, SingleIteratorBackwardSearch, UnknownEngine,
+        RankedAnswer, ResultCache, ScatterGatherSearch, ScoreModel, SearchEngine, SearchOutcome,
+        SearchParams, SearchStats, SingleIteratorBackwardSearch, UnknownEngine,
     };
     pub use banks_datagen::{
         figure4_example, DblpConfig, DblpDataset, ImdbConfig, ImdbDataset, KeywordCategory,
@@ -112,7 +112,7 @@ pub mod prelude {
     };
     pub use banks_graph::{
         BatchOutcome, DataGraph, EdgeKind, ExpansionPolicy, GraphBuilder, GraphMutation,
-        GraphStats, GraphStore, MutationBatch, NodeId,
+        GraphPartition, GraphStats, GraphStore, MutationBatch, NodeId, ShardSpec, ShardStats,
     };
     pub use banks_persist::{read_snapshot, write_snapshot, PersistentStore, SnapshotContents};
     pub use banks_prestige::{
@@ -123,7 +123,7 @@ pub mod prelude {
     pub use banks_service::{
         DurabilityStatus, FsyncPolicy, GraphSnapshot, MutationReport, PersistError, PersistOptions,
         Priority, QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec, QueueWaitSummary,
-        Service, ServiceBuilder, ServiceMetrics, SubmitError, TenantMetrics,
+        Service, ServiceBuilder, ServiceMetrics, ShardSet, SubmitError, TenantMetrics,
     };
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }

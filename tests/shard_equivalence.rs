@@ -1,0 +1,251 @@
+//! Randomized shard-equivalence suite: the tentpole proof that sharded
+//! scatter-gather execution is **byte-identical** to unsharded execution.
+//!
+//! For seeds 1–6 over a synthetic DBLP corpus, a baseline (unsharded)
+//! [`Service`] and sharded services at K ∈ {1, 2, 4, 7} answer the same
+//! randomized workload through all three base engines — each base run
+//! unsharded on the baseline and under its `sg-*` scatter-gather wrapper
+//! on the sharded services.  Every ranked answer is compared by rank plus
+//! the canonical JSON rendering of its tree (everything except the
+//! wall-clock timing fields, which no two runs share).  The comparison is
+//! repeated:
+//!
+//! * on the freshly built services,
+//! * after the same interleaved mutation batches land on every service
+//!   (epoch fan-out across shards included), and
+//! * after each sharded service is crashed (dropped with a non-empty WAL)
+//!   and recovered from its data directory with the same shard count.
+
+use std::path::PathBuf;
+
+use banks::core::json as corejson;
+use banks::prelude::*;
+
+/// The shard counts under test: the degenerate K=1 (must take the plain
+/// unsharded code path), even splits, and a prime that never divides the
+/// node count cleanly.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Base engine → its scatter-gather wrapper in the registry.
+const ENGINE_PAIRS: [(&str, &str); 3] = [
+    ("bidirectional", "sg-bidirectional"),
+    ("si-backward", "sg-si-backward"),
+    ("mi-backward", "sg-mi-backward"),
+];
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "banks-shard-equiv-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn corpus(seed: u64) -> DblpDataset {
+    DblpDataset::generate(DblpConfig {
+        num_authors: 60 + (seed as usize % 3) * 20,
+        num_papers: 120 + (seed as usize % 3) * 40,
+        num_conferences: 4,
+        seed,
+        ..DblpConfig::default()
+    })
+}
+
+fn build_service(data: &DblpDataset, shards: usize, dir: Option<&PathBuf>) -> Service {
+    let mut builder = Service::builder(data.dataset.graph().clone())
+        .workers(2)
+        .cache_capacity(0)
+        .shards(shards)
+        .index(data.dataset.index().clone());
+    if let Some(dir) = dir {
+        builder = builder.persistence(dir, FsyncPolicy::Always);
+    }
+    builder.build()
+}
+
+/// Reboots a crashed sharded service from its data directory.  The
+/// builder graph is a decoy — recovery must restore graph, prestige *and*
+/// keyword index from the directory, never from the builder.
+fn recover_service(shards: usize, dir: &PathBuf) -> Service {
+    let mut b = GraphBuilder::new();
+    b.add_node("author", "Decoy Author");
+    Service::builder(b.build_default())
+        .workers(2)
+        .cache_capacity(0)
+        .shards(shards)
+        .persistence(dir, FsyncPolicy::Always)
+        .build()
+}
+
+/// Runs one query through one engine and renders every answer as
+/// `rank:canonical-tree-json` — the byte-identity fingerprint.
+fn canonical_answers(service: &Service, keywords: &[String], engine: &str) -> Vec<String> {
+    let spec = QuerySpec::keywords(keywords.iter().cloned())
+        .top_k(5)
+        .engine(engine);
+    let (outcome, _) = service.submit(spec).unwrap().wait();
+    assert!(
+        !outcome.stats.cancelled,
+        "equivalence queries must run to completion"
+    );
+    outcome
+        .answers
+        .iter()
+        .map(|a| format!("{}:{}", a.rank, corejson::answer_tree(&a.tree)))
+        .collect()
+}
+
+/// Asserts every (query, engine) fingerprint matches between the
+/// unsharded baseline and a sharded service.
+fn assert_equivalent(baseline: &Service, sharded: &Service, queries: &[Vec<String>], ctx: &str) {
+    for (qi, keywords) in queries.iter().enumerate() {
+        for (base, sg) in ENGINE_PAIRS {
+            let expect = canonical_answers(baseline, keywords, base);
+            let got = canonical_answers(sharded, keywords, sg);
+            assert_eq!(
+                expect, got,
+                "{ctx}: query {qi} {keywords:?} diverged ({base} vs {sg})"
+            );
+        }
+    }
+}
+
+/// Deterministic mutation batches, valid against any corpus of `n` nodes:
+/// fresh searchable entities plus a relabel, so the index and prestige
+/// deltas fan out across shards and the new text answers queries.
+fn mutation_batches(seed: u64, n: u32) -> Vec<MutationBatch> {
+    vec![
+        MutationBatch::new()
+            .add_node("author", format!("shardwright {seed}"))
+            .add_node("paper", format!("scattergather proof {seed}"))
+            .add_node("writes", format!("w-shard-{seed}"))
+            .add_edge(NodeId(n + 2), NodeId(n))
+            .add_edge(NodeId(n + 2), NodeId(n + 1)),
+        MutationBatch::new()
+            .set_label(NodeId(0), format!("relabeled author {seed}"))
+            .add_edge(NodeId(n + 2), NodeId(1))
+            // an invalid op mixed in: must be rejected identically everywhere
+            .add_edge(NodeId(n), NodeId(n)),
+    ]
+}
+
+#[test]
+fn sharded_answers_match_unsharded_baseline_through_mutations_and_recovery() {
+    for seed in 1..=6u64 {
+        let data = corpus(seed);
+        let n = data.dataset.graph().num_nodes() as u32;
+
+        // Randomized workload: keyword sets drawn from the corpus itself.
+        let mut generator = WorkloadGenerator::new(&data, seed.wrapping_mul(0x9E3779B9));
+        let cases = generator.generate(&WorkloadConfig {
+            num_queries: 3,
+            num_keywords: 2,
+            answer_size: 5,
+            compute_ground_truth: false,
+            ..WorkloadConfig::default()
+        });
+        let mut queries: Vec<Vec<String>> = cases.iter().map(|c| c.keywords.clone()).collect();
+        // plus one query that only the mutated world can answer
+        queries.push(vec!["scattergather".to_string(), "shardwright".to_string()]);
+
+        let baseline = build_service(&data, 1, None);
+        let sharded: Vec<(usize, PathBuf, Service)> = SHARD_COUNTS
+            .iter()
+            .map(|&k| {
+                let dir = tmp_dir(&format!("s{seed}k{k}"));
+                let service = build_service(&data, k, Some(&dir));
+                (k, dir, service)
+            })
+            .collect();
+
+        for (k, _, service) in &sharded {
+            assert_eq!(service.shards(), *k);
+            assert_equivalent(
+                &baseline,
+                service,
+                &queries,
+                &format!("seed {seed} K={k} fresh"),
+            );
+        }
+
+        // Interleave mutation batches: every service sees the identical
+        // sequence, so every comparison below crosses the same epochs.
+        for batch in mutation_batches(seed, n) {
+            let expect = baseline.apply_mutations(&batch);
+            for (k, _, service) in &sharded {
+                let got = service.apply_mutations(&batch);
+                assert_eq!(
+                    (expect.outcome.accepted(), expect.outcome.rejected()),
+                    (got.outcome.accepted(), got.outcome.rejected()),
+                    "seed {seed} K={k}: mutation outcomes diverged"
+                );
+                assert!(got.persist_error.is_none(), "seed {seed} K={k}");
+            }
+        }
+        for (k, _, service) in &sharded {
+            assert_equivalent(
+                &baseline,
+                service,
+                &queries,
+                &format!("seed {seed} K={k} post-mutation"),
+            );
+        }
+
+        // Crash (drop with WAL state on disk) and recover each sharded
+        // service at its shard count; answers must still match the
+        // baseline, which never went down.
+        for (k, dir, service) in sharded {
+            let pre_epoch = service.epoch();
+            drop(service);
+            let recovered = recover_service(k, &dir);
+            assert_eq!(
+                recovered.epoch(),
+                pre_epoch,
+                "seed {seed} K={k}: recovery must restore the pre-crash epoch"
+            );
+            assert_eq!(recovered.shards(), k);
+            assert_equivalent(
+                &baseline,
+                &recovered,
+                &queries,
+                &format!("seed {seed} K={k} recovered"),
+            );
+            drop(recovered);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// The scatter-gather default entry (`scatter-gather` / `sg`) over the
+/// MI base must match too, and cache keys must not depend on the shard
+/// count: a sharded service with a warm cache serves the same bytes.
+#[test]
+fn default_scatter_gather_entry_and_cache_agree_with_baseline() {
+    let data = corpus(3);
+    let baseline = build_service(&data, 1, None);
+    let sharded = Service::builder(data.dataset.graph().clone())
+        .workers(2)
+        .cache_capacity(64)
+        .shards(4)
+        .index(data.dataset.index().clone())
+        .build();
+
+    let mut generator = WorkloadGenerator::new(&data, 0xC0FFEE);
+    let cases = generator.generate(&WorkloadConfig {
+        num_queries: 2,
+        num_keywords: 2,
+        answer_size: 5,
+        compute_ground_truth: false,
+        ..WorkloadConfig::default()
+    });
+    for case in &cases {
+        let expect = canonical_answers(&baseline, &case.keywords, "mi-backward");
+        let cold = canonical_answers(&sharded, &case.keywords, "scatter-gather");
+        let warm = canonical_answers(&sharded, &case.keywords, "scatter-gather");
+        assert_eq!(expect, cold, "cold sharded run diverged for {case:?}");
+        assert_eq!(cold, warm, "cache replay diverged for {case:?}");
+    }
+}
