@@ -78,6 +78,37 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Point-in-time raw bucket counts.  The metrics collector differences
+    /// two of these to compute *windowed* percentiles (latency of the last
+    /// tick only), which — unlike the cumulative [`Histogram::summary`] —
+    /// decay back down when a latency regression ends.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The bucketed percentile of an arbitrary bucket-count array (e.g. the
+    /// difference of two [`Histogram::bucket_counts`] snapshots).  Returns
+    /// `None` when the array holds no observations.  Like
+    /// [`Histogram::summary`], the value is the upper bound of the bucket
+    /// the true percentile falls in — but with no cumulative maximum to cap
+    /// against.
+    pub fn percentile_of(buckets: &[u64; HISTOGRAM_BUCKETS], p: f64) -> Option<Duration> {
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Some(Duration::from_micros(upper));
+            }
+        }
+        None
+    }
+
     /// A point-in-time summary (count, mean, bucketed p50/p90/p99, exact
     /// max).  Concurrent recorders may land between the individual loads;
     /// the summary is statistically consistent, not a linearizable
@@ -178,6 +209,26 @@ mod tests {
     #[test]
     fn empty_summary_is_all_zero() {
         assert_eq!(Histogram::new().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn windowed_percentiles_come_from_bucket_deltas() {
+        let h = Histogram::new();
+        for us in [10u64, 10, 10, 10] {
+            h.record_us(us);
+        }
+        let before = h.bucket_counts();
+        for us in [5_000u64, 6_000, 7_000, 8_000] {
+            h.record_us(us);
+        }
+        let after = h.bucket_counts();
+        let delta: [u64; HISTOGRAM_BUCKETS] = std::array::from_fn(|i| after[i] - before[i]);
+        // The window saw only the slow samples: its p50 reflects them even
+        // though the cumulative p50 is still dominated by the fast ones.
+        let windowed = Histogram::percentile_of(&delta, 0.5).unwrap();
+        assert!(windowed >= Duration::from_micros(4096));
+        assert!(h.summary().p50 < Duration::from_micros(128));
+        assert_eq!(Histogram::percentile_of(&[0; HISTOGRAM_BUCKETS], 0.5), None);
     }
 
     #[test]

@@ -26,21 +26,39 @@
 //!   bucket);
 //! * [`PromText`] — a Prometheus text-format (version 0.0.4) writer with
 //!   `# HELP`/`# TYPE` bookkeeping and a duplicate-series guard.
+//!
+//! PR 9 grew the kit from pure measurement into retention and judgment:
+//!
+//! * [`TimeSeriesRing`] — lock-free bounded retention of a fixed schema of
+//!   series, snapshotted by a collector thread on a fixed cadence, with
+//!   windowed deltas, rates, and percentile trajectories;
+//! * [`SloEngine`] / [`SloSpec`] — declarative objectives judged by
+//!   multi-window (5 m / 1 h) burn rate with hysteresis, yielding the
+//!   three-state [`Health`] surfaced on `/healthz` and `GET /debug/slo`;
+//! * [`EventLog`] / [`Event`] — a bounded leveled event ring with
+//!   monotone ids, served as JSON pages and a live SSE tail that honors
+//!   `Last-Event-ID`.
 
 #![deny(missing_docs)]
 
 mod calib;
 mod counter;
+mod event;
 mod hist;
 mod prom;
 mod ring;
 mod shard;
+mod slo;
+mod timeseries;
 mod trace;
 
 pub use calib::{origin_bucket, CalibrationRow, CostCalibration, ORIGIN_BUCKETS};
 pub use counter::{Counter, Gauge, WorkCounters};
+pub use event::{Event, EventLevel, EventLog};
 pub use hist::{Histogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use prom::PromText;
 pub use ring::TraceRing;
 pub use shard::ShardTimes;
+pub use slo::{Health, SloEngine, SloReport, SloRow, SloSpec, SloTransition};
+pub use timeseries::{TimeSample, TimeSeriesRing};
 pub use trace::{QueryTrace, TraceSpan};

@@ -1,6 +1,7 @@
 //! The bounded trace retention ring.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::trace::QueryTrace;
@@ -9,11 +10,13 @@ use crate::trace::QueryTrace;
 ///
 /// The service pushes every explicitly traced query plus every query that
 /// crossed the slow threshold; the oldest trace is dropped when the ring
-/// is full.  Lookups by query id serve `GET /debug/trace/<id>`; the
-/// recent-slow view serves `GET /debug/slow`.
+/// is full — and counted in [`TraceRing::dropped`], so retention loss is
+/// visible on `/metrics` instead of silent.  Lookups by query id serve
+/// `GET /debug/trace/<id>`; the recent-slow view serves `GET /debug/slow`.
 #[derive(Debug)]
 pub struct TraceRing {
     capacity: usize,
+    dropped: AtomicU64,
     traces: Mutex<VecDeque<Arc<QueryTrace>>>,
 }
 
@@ -22,6 +25,7 @@ impl TraceRing {
     pub fn new(capacity: usize) -> Self {
         TraceRing {
             capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
             traces: Mutex::new(VecDeque::new()),
         }
     }
@@ -31,8 +35,14 @@ impl TraceRing {
         let mut traces = self.traces.lock().unwrap();
         if traces.len() == self.capacity {
             traces.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         traces.push_back(trace);
+    }
+
+    /// Traces evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// The trace for query `id`, if still retained.
@@ -85,6 +95,7 @@ mod tests {
             ring.push(trace(id, false));
         }
         assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2, "evictions are counted");
         assert!(ring.get(1).is_none());
         assert!(ring.get(2).is_none());
         assert!(ring.get(3).is_some());

@@ -1,48 +1,390 @@
-//! A dependency-free gzip encoder for response bodies.
+//! A dependency-free gzip encoder/decoder for response bodies.
 //!
-//! The workspace vendors no compression library, so this wraps the payload
-//! in a *stored* (uncompressed) DEFLATE stream inside a gzip container:
-//! RFC 1952 header + trailer around RFC 1951 stored blocks.  Stored blocks
-//! add ~5 bytes per 64 KiB — the point is not to shrink the body but to
-//! satisfy scrapers that unconditionally send `Accept-Encoding: gzip` and
-//! expect the server to honour it.  Any standard gzip decoder (curl
-//! `--compressed`, Prometheus itself) inflates the result byte-for-byte.
+//! The workspace vendors no compression library, so this implements enough
+//! of RFC 1951 itself: the encoder emits **fixed-Huffman** DEFLATE blocks
+//! (BTYPE = 01) with greedy LZ77 matching over the standard 32 KiB window,
+//! wrapped in an RFC 1952 gzip container.  Text payloads — Prometheus
+//! expositions, JSON metrics, event pages — shrink to a fraction of their
+//! size, and any standard gzip decoder (curl `--compressed`, Prometheus
+//! itself) inflates the result byte-for-byte.
+//!
+//! [`gunzip`] is the matching inflater (stored + fixed-Huffman blocks,
+//! CRC-verified), used by the integration tests and the CI smoke checks to
+//! validate what the server actually sent.
 
-/// Largest payload of one DEFLATE stored block (LEN is a 16-bit field).
-const MAX_STORED_BLOCK: usize = 65_535;
+/// LZ77 window size (RFC 1951 §2: distances up to 32 KiB).
+const WINDOW: usize = 32 * 1024;
+/// Shortest back-reference worth encoding.
+const MIN_MATCH: usize = 3;
+/// Longest encodable back-reference (length symbol 285).
+const MAX_MATCH: usize = 258;
+/// Hash-chain probes per position; bounds worst-case encode time.
+const MAX_CHAIN: usize = 64;
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
 
-/// Wraps `data` in a gzip member containing stored DEFLATE blocks.
+/// Length-code bases for symbols 257..=285 (RFC 1951 §3.2.5).
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+/// Extra bits carried by each length code.
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance-code bases for symbols 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+/// Extra bits carried by each distance code.
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// LSB-first bit accumulator (DEFLATE packs bits into bytes starting at the
+/// least significant bit).
+struct BitWriter {
+    out: Vec<u8>,
+    bitbuf: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new(out: Vec<u8>) -> Self {
+        BitWriter {
+            out,
+            bitbuf: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Writes `n` bits of `value`, least significant first.
+    fn write_bits(&mut self, value: u64, n: u32) {
+        self.bitbuf |= value << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.bitbuf & 0xff) as u8);
+            self.bitbuf >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Writes a Huffman code: RFC 1951 codes are defined most-significant
+    /// bit first, so the code is bit-reversed into the LSB-first stream.
+    fn write_code(&mut self, code: u32, len: u32) {
+        let mut rev = 0u64;
+        for i in 0..len {
+            rev |= (((code >> i) & 1) as u64) << (len - 1 - i);
+        }
+        self.write_bits(rev, len);
+    }
+
+    /// Flushes any partial byte (zero-padded) and returns the buffer.
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.bitbuf & 0xff) as u8);
+        }
+        self.out
+    }
+}
+
+/// The fixed literal/length code (RFC 1951 §3.2.6): `(code, bits)`.
+fn lit_code(sym: u16) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + sym as u32, 8),
+        144..=255 => (0x190 + (sym as u32 - 144), 9),
+        256..=279 => (sym as u32 - 256, 7),
+        _ => (0xC0 + (sym as u32 - 280), 8),
+    }
+}
+
+/// The length symbol (257..=285) covering `len`, by table scan.
+fn length_symbol(len: usize) -> usize {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let mut sym = 28;
+    for i in 0..28 {
+        if (len as u16) < LEN_BASE[i + 1] {
+            sym = i;
+            break;
+        }
+    }
+    sym
+}
+
+/// The distance symbol (0..=29) covering `dist`.
+fn dist_symbol(dist: usize) -> usize {
+    let mut sym = 29;
+    for i in 0..29 {
+        if (dist as u16) < DIST_BASE[i + 1] {
+            sym = i;
+            break;
+        }
+    }
+    sym
+}
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let h = (data[pos] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[pos + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[pos + 2] as u32).wrapping_mul(0x0151));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+/// Wraps `data` in a gzip member containing one fixed-Huffman DEFLATE
+/// block (greedy LZ77, 32 KiB window).
 ///
 /// ```
-/// let framed = banks_server::gzip::compress(b"hello");
+/// let framed = banks_server::gzip::compress(b"hello hello hello hello");
 /// assert_eq!(&framed[..2], &[0x1f, 0x8b], "gzip magic");
-/// assert!(framed.len() >= 5 + 18, "header + trailer + block framing");
+/// assert_eq!(
+///     banks_server::gzip::gunzip(&framed).unwrap(),
+///     b"hello hello hello hello"
+/// );
 /// ```
 pub fn compress(data: &[u8]) -> Vec<u8> {
     // 10-byte header: magic, CM=8 (deflate), no flags, zero mtime,
     // no extra flags, OS=255 (unknown).
-    let mut out = Vec::with_capacity(data.len() + 18 + 5 * (data.len() / MAX_STORED_BLOCK + 1));
-    out.extend_from_slice(&[0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff]);
+    let mut header = Vec::with_capacity(data.len() / 2 + 32);
+    header.extend_from_slice(&[0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff]);
+    let mut w = BitWriter::new(header);
 
-    // DEFLATE stored blocks: BFINAL|BTYPE=00 byte, then LEN/NLEN (LE).
-    // An empty payload still needs one (final, zero-length) block.
-    let mut chunks = data.chunks(MAX_STORED_BLOCK).peekable();
-    if data.is_empty() {
-        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
-    }
-    while let Some(chunk) = chunks.next() {
-        let bfinal = if chunks.peek().is_none() { 1 } else { 0 };
-        let len = chunk.len() as u16;
-        out.push(bfinal);
-        out.extend_from_slice(&len.to_le_bytes());
-        out.extend_from_slice(&(!len).to_le_bytes());
-        out.extend_from_slice(chunk);
-    }
+    // One final fixed-Huffman block: BFINAL=1, BTYPE=01.
+    w.write_bits(0b1, 1);
+    w.write_bits(0b01, 2);
 
+    let mut head = vec![-1i64; HASH_SIZE];
+    let mut prev = vec![-1i64; data.len()];
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            let mut candidate = head[h];
+            let mut chain = 0;
+            let limit = pos.saturating_sub(WINDOW);
+            while candidate >= 0 && (candidate as usize) >= limit && chain < MAX_CHAIN {
+                let c = candidate as usize;
+                let max = (data.len() - pos).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < max && data[c + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - c;
+                    if len == MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[c];
+                chain += 1;
+            }
+            // Insert the current position into its chain.
+            prev[pos] = head[h];
+            head[h] = pos as i64;
+        }
+        if best_len >= MIN_MATCH {
+            let lsym = length_symbol(best_len);
+            let (code, bits) = lit_code(257 + lsym as u16);
+            w.write_code(code, bits);
+            let extra = LEN_EXTRA[lsym] as u32;
+            if extra > 0 {
+                w.write_bits((best_len as u64) - LEN_BASE[lsym] as u64, extra);
+            }
+            let dsym = dist_symbol(best_dist);
+            w.write_code(dsym as u32, 5);
+            let dextra = DIST_EXTRA[dsym] as u32;
+            if dextra > 0 {
+                w.write_bits((best_dist as u64) - DIST_BASE[dsym] as u64, dextra);
+            }
+            // Index the skipped positions so later matches can reach them.
+            #[allow(clippy::needless_range_loop)] // `p` indexes `prev`, `head`, and `data`
+            for p in pos + 1..(pos + best_len).min(data.len().saturating_sub(MIN_MATCH - 1)) {
+                let h = hash3(data, p);
+                prev[p] = head[h];
+                head[h] = p as i64;
+            }
+            pos += best_len;
+        } else {
+            let (code, bits) = lit_code(data[pos] as u16);
+            w.write_code(code, bits);
+            pos += 1;
+        }
+    }
+    // End-of-block symbol 256.
+    let (code, bits) = lit_code(256);
+    w.write_code(code, bits);
+
+    let mut out = w.finish();
     // Trailer: CRC-32 of the uncompressed data, then its length mod 2^32.
     out.extend_from_slice(&crc32(data).to_le_bytes());
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
     out
+}
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bitbuf: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bitbuf: 0,
+            nbits: 0,
+        }
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u64, String> {
+        while self.nbits < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| "truncated deflate stream".to_string())?;
+            self.bitbuf |= (byte as u64) << self.nbits;
+            self.nbits += 8;
+            self.pos += 1;
+        }
+        let v = self.bitbuf & ((1 << n) - 1);
+        self.bitbuf >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Reads one bit into the MSB-first accumulator the Huffman decoders
+    /// walk (codes are defined most-significant bit first).
+    fn read_code_bit(&mut self, acc: u32) -> Result<u32, String> {
+        Ok((acc << 1) | self.read_bits(1)? as u32)
+    }
+
+    /// Discards the partial byte, returning to a byte boundary (stored
+    /// blocks are byte-aligned).
+    fn align(&mut self) {
+        self.bitbuf = 0;
+        self.nbits = 0;
+    }
+}
+
+/// Decodes one fixed literal/length symbol (the inverse of [`lit_code`]).
+fn read_lit_symbol(r: &mut BitReader) -> Result<u16, String> {
+    let mut acc = 0u32;
+    for _ in 0..7 {
+        acc = r.read_code_bit(acc)?;
+    }
+    if acc <= 0x17 {
+        return Ok(256 + acc as u16); // 7-bit codes: 256..=279
+    }
+    acc = r.read_code_bit(acc)?;
+    match acc {
+        0x30..=0xBF => Ok(acc as u16 - 0x30), // 8-bit: literals 0..=143
+        0xC0..=0xC7 => Ok(280 + (acc as u16 - 0xC0)), // 8-bit: 280..=287
+        _ => {
+            acc = r.read_code_bit(acc)?;
+            match acc {
+                0x190..=0x1FF => Ok(144 + (acc as u16 - 0x190)), // 9-bit: 144..=255
+                _ => Err(format!("invalid fixed-huffman code {acc:#x}")),
+            }
+        }
+    }
+}
+
+/// Inflates a gzip member produced by [`compress`] (or any encoder using
+/// stored and/or fixed-Huffman blocks), verifying the CRC-32 and length
+/// trailer.  Dynamic-Huffman blocks are rejected — this server never emits
+/// them, and the decoder exists to validate this server's output.
+pub fn gunzip(gz: &[u8]) -> Result<Vec<u8>, String> {
+    if gz.len() < 18 {
+        return Err("too short for a gzip member".to_string());
+    }
+    if gz[..2] != [0x1f, 0x8b] || gz[2] != 0x08 {
+        return Err("not a gzip deflate member".to_string());
+    }
+    if gz[3] != 0 {
+        return Err("gzip FLG bits unsupported".to_string());
+    }
+    let body = &gz[10..gz.len() - 8];
+    let mut r = BitReader::new(body);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.read_bits(1)?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0b00 => {
+                r.align();
+                let pos = r.pos;
+                if pos + 4 > body.len() {
+                    return Err("truncated stored block header".to_string());
+                }
+                let len = u16::from_le_bytes([body[pos], body[pos + 1]]) as usize;
+                let nlen = u16::from_le_bytes([body[pos + 2], body[pos + 3]]);
+                if !nlen != len as u16 {
+                    return Err("stored block NLEN mismatch".to_string());
+                }
+                let start = pos + 4;
+                if start + len > body.len() {
+                    return Err("truncated stored block".to_string());
+                }
+                out.extend_from_slice(&body[start..start + len]);
+                r.pos = start + len;
+            }
+            0b01 => loop {
+                let sym = read_lit_symbol(&mut r)?;
+                match sym {
+                    0..=255 => out.push(sym as u8),
+                    256 => break,
+                    257..=285 => {
+                        let lsym = (sym - 257) as usize;
+                        let len =
+                            LEN_BASE[lsym] as usize + r.read_bits(LEN_EXTRA[lsym] as u32)? as usize;
+                        let mut dacc = 0u32;
+                        for _ in 0..5 {
+                            dacc = r.read_code_bit(dacc)?;
+                        }
+                        let dsym = dacc as usize;
+                        if dsym >= 30 {
+                            return Err(format!("invalid distance code {dsym}"));
+                        }
+                        let dist = DIST_BASE[dsym] as usize
+                            + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                        if dist > out.len() {
+                            return Err("back-reference before stream start".to_string());
+                        }
+                        // Byte-at-a-time: the match may overlap its source.
+                        let from = out.len() - dist;
+                        for i in 0..len {
+                            let byte = out[from + i];
+                            out.push(byte);
+                        }
+                    }
+                    _ => return Err(format!("invalid length symbol {sym}")),
+                }
+            },
+            0b10 => return Err("dynamic-huffman blocks unsupported".to_string()),
+            _ => return Err("reserved block type".to_string()),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    let t = &gz[gz.len() - 8..];
+    let crc = u32::from_le_bytes([t[0], t[1], t[2], t[3]]);
+    let isize = u32::from_le_bytes([t[4], t[5], t[6], t[7]]);
+    if crc != crc32(&out) {
+        return Err("trailer CRC mismatch".to_string());
+    }
+    if isize != out.len() as u32 {
+        return Err("trailer length mismatch".to_string());
+    }
+    Ok(out)
 }
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
@@ -80,35 +422,6 @@ static CRC_TABLE: [u32; 256] = {
 mod tests {
     use super::*;
 
-    /// A minimal inflater for *stored* DEFLATE blocks — enough to verify
-    /// our own framing without a compression dependency.
-    fn inflate_stored(gz: &[u8]) -> Vec<u8> {
-        assert_eq!(&gz[..2], &[0x1f, 0x8b], "magic");
-        assert_eq!(gz[2], 0x08, "deflate method");
-        assert_eq!(gz[3], 0x00, "no flags, so the header is 10 bytes");
-        let mut pos = 10;
-        let mut out = Vec::new();
-        loop {
-            let bfinal = gz[pos] & 1;
-            assert_eq!(gz[pos] >> 1, 0, "stored block type");
-            let len = u16::from_le_bytes([gz[pos + 1], gz[pos + 2]]) as usize;
-            let nlen = u16::from_le_bytes([gz[pos + 3], gz[pos + 4]]);
-            assert_eq!(!nlen, len as u16, "NLEN is the ones' complement");
-            pos += 5;
-            out.extend_from_slice(&gz[pos..pos + len]);
-            pos += len;
-            if bfinal == 1 {
-                break;
-            }
-        }
-        let crc = u32::from_le_bytes([gz[pos], gz[pos + 1], gz[pos + 2], gz[pos + 3]]);
-        let isize = u32::from_le_bytes([gz[pos + 4], gz[pos + 5], gz[pos + 6], gz[pos + 7]]);
-        assert_eq!(crc, crc32(&out), "trailer CRC matches payload");
-        assert_eq!(isize, out.len() as u32, "trailer length matches payload");
-        assert_eq!(pos + 8, gz.len(), "nothing after the trailer");
-        out
-    }
-
     #[test]
     fn crc32_known_vectors() {
         // Reference values from the IEEE CRC-32 everyone implements.
@@ -120,15 +433,80 @@ mod tests {
     #[test]
     fn roundtrips_small_payloads() {
         for payload in [&b""[..], b"x", b"hello world", &[0u8; 1000]] {
-            assert_eq!(inflate_stored(&compress(payload)), payload);
+            assert_eq!(gunzip(&compress(payload)).unwrap(), payload);
         }
     }
 
     #[test]
-    fn roundtrips_multi_block_payloads() {
-        // Crosses the 64 KiB stored-block bound twice.
-        let payload: Vec<u8> = (0..150_000u32).map(|i| (i % 251) as u8).collect();
-        let framed = compress(&payload);
-        assert_eq!(inflate_stored(&framed), payload);
+    fn emits_fixed_huffman_not_stored_blocks() {
+        let framed = compress(b"abcabcabcabc");
+        // First deflate byte: BFINAL=1 (bit 0), BTYPE=01 (bits 1-2).
+        assert_eq!(framed[10] & 0b111, 0b011, "final fixed-huffman block");
+    }
+
+    #[test]
+    fn repetitive_text_actually_shrinks() {
+        let payload = "banks_queries_submitted_total 42\n".repeat(200);
+        let framed = compress(payload.as_bytes());
+        assert!(
+            framed.len() < payload.len() / 4,
+            "{} bytes compressed to {}, expected real compression",
+            payload.len(),
+            framed.len()
+        );
+        assert_eq!(gunzip(&framed).unwrap(), payload.as_bytes());
+    }
+
+    #[test]
+    fn roundtrips_binary_and_boundary_lengths() {
+        // Lengths around MIN_MATCH/MAX_MATCH and the window, pseudo-random
+        // bytes (mostly incompressible) and highly repetitive runs.
+        let mut seed = 0x2545_F491u32;
+        let mut rand_byte = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed >> 24) as u8
+        };
+        for len in [2usize, 3, 4, 257, 258, 259, 300, 40_000] {
+            let random: Vec<u8> = (0..len).map(|_| rand_byte()).collect();
+            assert_eq!(gunzip(&compress(&random)).unwrap(), random, "len {len}");
+            let runs: Vec<u8> = (0..len).map(|i| (i / 97) as u8).collect();
+            assert_eq!(gunzip(&compress(&runs)).unwrap(), runs, "runs {len}");
+        }
+    }
+
+    #[test]
+    fn overlapping_backreferences_roundtrip() {
+        // dist < len forces the classic overlapping-copy path.
+        let payload = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab";
+        assert_eq!(gunzip(&compress(payload)).unwrap(), payload);
+    }
+
+    #[test]
+    fn gunzip_rejects_corruption() {
+        let mut framed = compress(b"hello world, hello world");
+        assert!(gunzip(&framed[..5]).is_err(), "truncated header");
+        let last = framed.len() - 1;
+        framed[last] ^= 0xff; // ISIZE
+        assert!(gunzip(&framed).is_err(), "length mismatch detected");
+        let mut framed = compress(b"hello world, hello world");
+        framed[12] ^= 0x55; // mangle compressed data
+        assert!(gunzip(&framed).is_err(), "CRC or code corruption detected");
+    }
+
+    #[test]
+    fn gunzip_still_inflates_stored_blocks() {
+        // Hand-built stored-block member (the pre-PR-9 wire format).
+        let payload = b"stored block payload";
+        let mut gz = vec![0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff];
+        gz.push(0x01); // BFINAL=1, BTYPE=00
+        let len = payload.len() as u16;
+        gz.extend_from_slice(&len.to_le_bytes());
+        gz.extend_from_slice(&(!len).to_le_bytes());
+        gz.extend_from_slice(payload);
+        gz.extend_from_slice(&crc32(payload).to_le_bytes());
+        gz.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gunzip(&gz).unwrap(), payload);
     }
 }

@@ -331,6 +331,36 @@ pub fn metrics(m: &ServiceMetrics) -> String {
         m.mutation_log_dropped,
         m.slow_queries,
     ));
+    buf.push_str(&format!(
+        ",\"health\":\"{}\",\"trace_ring_dropped\":{},\"event_log_dropped\":{},\
+         \"event_log_last_id\":{},\"watchdog_overruns\":{},\
+         \"watchdog_queue_trips\":{},\"queue_saturation\":{}",
+        m.health.as_str(),
+        m.trace_ring_dropped,
+        m.event_log_dropped,
+        m.event_log_last_id,
+        m.watchdog_overruns,
+        m.watchdog_queue_trips,
+        corejson::number(m.queue_saturation),
+    ));
+    buf.push_str(",\"slo\":[");
+    for (i, row) in m.slo.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&format!(
+            "{{\"name\":{},\"metric\":{},\"state\":\"{}\",\"threshold\":{},\
+             \"value\":{},\"burn_fast\":{},\"burn_slow\":{}}}",
+            corejson::string(row.name),
+            corejson::string(row.metric),
+            row.state.as_str(),
+            corejson::number(row.threshold),
+            corejson::number(row.value),
+            corejson::number(row.burn_fast),
+            corejson::number(row.burn_slow),
+        ));
+    }
+    buf.push(']');
     buf.push_str(&format!(",\"shards\":{},\"shard_stats\":[", m.shards));
     for (i, s) in m.shard_stats.iter().enumerate() {
         if i > 0 {
@@ -613,9 +643,22 @@ mod tests {
             "mutation_log_dropped",
             "slow_queries",
             "shards",
+            "health",
+            "trace_ring_dropped",
+            "event_log_dropped",
+            "event_log_last_id",
+            "watchdog_overruns",
+            "watchdog_queue_trips",
+            "queue_saturation",
         ] {
             assert!(v.get(key).is_some(), "metrics must include {key}");
         }
+        assert_eq!(
+            v.get("health").and_then(JsonValue::as_str),
+            Some("ok"),
+            "default snapshot is healthy"
+        );
+        assert_eq!(v.get("slo"), Some(&JsonValue::Array(vec![])));
         assert_eq!(v.get("shard_stats"), Some(&JsonValue::Array(vec![])));
         for summary in [
             "queue_wait",

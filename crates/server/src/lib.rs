@@ -18,14 +18,17 @@
 //!
 //! | method + path | behaviour |
 //! |---------------|-----------|
-//! | `POST /query` (also `GET`) | submit a query; stream `answer` SSE events incrementally, then one `finished` event — plus a `trace` event when `X-Banks-Trace` was sent |
-//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON (per-tenant rows, latency percentiles, calibration table); `?format=prometheus` for text format 0.0.4; gzip on `Accept-Encoding: gzip` |
+//! | `POST /query` (also `GET`) | submit a query; stream `answer` SSE events incrementally (each with its 1-based rank as the SSE id, so `Last-Event-ID` resumes without duplicates), then one `finished` event — plus a `trace` event when `X-Banks-Trace` was sent |
+//! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON (per-tenant rows, latency percentiles, calibration table, SLO rows, overflow counters); `?format=prometheus` for text format 0.0.4; real DEFLATE gzip on `Accept-Encoding: gzip` |
 //! | `GET /debug/slow` | recent slow-query traces, newest first (`?limit=N`) |
 //! | `GET /debug/trace/<id>` | one retained [`banks_service::QueryTrace`] by query id |
+//! | `GET /debug/slo` | the SLO burn-rate report: three-state health + per-objective value/burn/state rows |
+//! | `GET /debug/events` | a page of the structured event log (`?since=<id>&limit=N`), with `last_id`/`dropped` cursors |
+//! | `GET /debug/events/tail` | live SSE tail of the event log; reconnect with `Last-Event-ID` (or `?since=`) to resume |
 //! | `POST /admin/swap` | rebuild and atomically swap the served [`banks_service::GraphSnapshot`] |
 //! | `POST /admin/mutate` | apply a JSON [`banks_graph::MutationBatch`] incrementally: delta snapshot, fresh epoch, per-op accept/reject counts |
 //! | `POST /admin/checkpoint` | force a durable snapshot + WAL truncation (409 when persistence is off) |
-//! | `GET /healthz` | liveness: status, serving epoch, worker count, shard count, engine names, durability (`last_checkpoint_epoch`, `wal_records`, `wal_bytes`) |
+//! | `GET /healthz` | liveness: status, SLO `health` verdict, serving epoch, worker count, shard count, engine names, durability (`last_checkpoint_epoch`, `wal_records`, `wal_bytes`) |
 //!
 //! `POST /query` takes a JSON body — `{"q":"jim gray","top_k":5}` or
 //! `{"keywords":["jim","gray"],"engine":"si-backward"}` — while `GET

@@ -10,7 +10,7 @@
 //! duplicate series, so the output always satisfies the scrape grammar.
 
 use banks_obs::PromText;
-use banks_service::{LatencySummary, ServiceMetrics};
+use banks_service::{Health, LatencySummary, ServiceMetrics};
 
 /// Renders `m` as a complete Prometheus text-format document.
 pub fn render(m: &ServiceMetrics) -> String {
@@ -140,6 +140,68 @@ pub fn render(m: &ServiceMetrics) -> String {
         "banks_slow_queries_total",
         "Queries whose latency crossed the slow-query threshold.",
         m.slow_queries,
+    );
+    p.gauge(
+        "banks_health_state",
+        "Overall SLO health: 0 ok, 1 degraded, 2 breached.",
+        health_value(m.health),
+    );
+    for row in &m.slo {
+        let labels = [("slo", row.name)];
+        p.gauge_labeled(
+            "banks_slo_state",
+            "Per-objective SLO state: 0 ok, 1 degraded, 2 breached.",
+            &labels,
+            health_value(row.state),
+        );
+        p.gauge_labeled(
+            "banks_slo_value",
+            "Latest finite sample of the series each SLO constrains.",
+            &labels,
+            row.value,
+        );
+        p.gauge_labeled(
+            "banks_slo_burn_fast",
+            "Error-budget burn rate over the fast window.",
+            &labels,
+            row.burn_fast,
+        );
+        p.gauge_labeled(
+            "banks_slo_burn_slow",
+            "Error-budget burn rate over the slow window.",
+            &labels,
+            row.burn_slow,
+        );
+    }
+    p.counter(
+        "banks_trace_ring_dropped_total",
+        "Query traces evicted from the debug trace ring.",
+        m.trace_ring_dropped,
+    );
+    p.counter(
+        "banks_event_log_dropped_total",
+        "Structured events evicted from the event log ring.",
+        m.event_log_dropped,
+    );
+    p.gauge(
+        "banks_event_log_last_id",
+        "Id of the most recently emitted structured event.",
+        m.event_log_last_id as f64,
+    );
+    p.counter(
+        "banks_watchdog_overruns_total",
+        "Queries whose measured work blew past the watchdog factor.",
+        m.watchdog_overruns,
+    );
+    p.counter(
+        "banks_watchdog_queue_trips_total",
+        "Times the admission-queue saturation watchdog tripped.",
+        m.watchdog_queue_trips,
+    );
+    p.gauge(
+        "banks_queue_saturation",
+        "Admission queue occupancy as a fraction of its capacity.",
+        m.queue_saturation,
     );
     p.gauge(
         "banks_shards",
@@ -276,6 +338,15 @@ pub fn render(m: &ServiceMetrics) -> String {
     p.render()
 }
 
+/// Health as a numeric gauge level (severity order, alert-rule friendly).
+fn health_value(h: Health) -> f64 {
+    match h {
+        Health::Ok => 0.0,
+        Health::Degraded => 1.0,
+        Health::Breached => 2.0,
+    }
+}
+
 fn summary(p: &mut PromText, name: &str, help: &str, s: &LatencySummary) {
     p.summary_seconds(
         name,
@@ -289,7 +360,7 @@ fn summary(p: &mut PromText, name: &str, help: &str, s: &LatencySummary) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use banks_service::{CalibrationRow, ShardStats, TenantMetrics};
+    use banks_service::{CalibrationRow, ShardStats, SloRow, TenantMetrics};
     use std::collections::HashSet;
     use std::time::Duration;
 
@@ -326,6 +397,22 @@ mod tests {
                 mean_nodes_explored: 220,
                 correction: 1.4,
             }],
+            health: Health::Degraded,
+            slo: vec![SloRow {
+                name: "ttfa_p99",
+                metric: "ttfa_p99_us",
+                threshold: 250_000.0,
+                value: 310_000.0,
+                burn_fast: 12.5,
+                burn_slow: 0.5,
+                state: Health::Degraded,
+            }],
+            trace_ring_dropped: 4,
+            event_log_dropped: 2,
+            event_log_last_id: 17,
+            watchdog_overruns: 1,
+            watchdog_queue_trips: 1,
+            queue_saturation: 0.25,
             ..ServiceMetrics::default()
         }
     }
@@ -380,5 +467,21 @@ mod tests {
         assert!(text.contains("banks_shards 2"));
         assert!(text.contains("banks_shard_owned_nodes{shard=\"0\"} 40"));
         assert!(text.contains("banks_shard_cut_edges{shard=\"0\"} 12"));
+    }
+
+    #[test]
+    fn covers_health_slo_and_overflow_series() {
+        let text = render(&populated());
+        assert!(text.contains("banks_health_state 1"));
+        assert!(text.contains("banks_slo_state{slo=\"ttfa_p99\"} 1"));
+        assert!(text.contains("banks_slo_value{slo=\"ttfa_p99\"} 310000"));
+        assert!(text.contains("banks_slo_burn_fast{slo=\"ttfa_p99\"} 12.5"));
+        assert!(text.contains("banks_slo_burn_slow{slo=\"ttfa_p99\"} 0.5"));
+        assert!(text.contains("banks_trace_ring_dropped_total 4"));
+        assert!(text.contains("banks_event_log_dropped_total 2"));
+        assert!(text.contains("banks_event_log_last_id 17"));
+        assert!(text.contains("banks_watchdog_overruns_total 1"));
+        assert!(text.contains("banks_watchdog_queue_trips_total 1"));
+        assert!(text.contains("banks_queue_saturation 0.25"));
     }
 }

@@ -2,14 +2,17 @@
 //!
 //! | endpoint | behaviour |
 //! |----------|-----------|
-//! | `POST /query` (also `GET`) | submit a [`QuerySpec`], stream `answer` events as SSE, finish with a `finished` event (plus a `trace` event when `X-Banks-Trace` was sent) |
+//! | `POST /query` (also `GET`) | submit a [`QuerySpec`], stream `answer` events as SSE (each carrying its 1-based rank as the SSE `id:`, so `Last-Event-ID` resumes mid-stream), finish with a `finished` event (plus a `trace` event when `X-Banks-Trace` was sent) |
 //! | `GET /metrics` | [`banks_service::ServiceMetrics`] as JSON; `?format=prometheus` renders text format 0.0.4; `Accept-Encoding: gzip` is honoured |
 //! | `GET /debug/slow` | recent slow-query traces (newest first; `?limit=N`) |
 //! | `GET /debug/trace/<id>` | one retained trace by query id (`7` or `q7`) |
+//! | `GET /debug/slo` | the stored SLO burn-rate report: overall health + per-objective rows |
+//! | `GET /debug/events` | a page of the structured event log (`?since=<id>&limit=N`) |
+//! | `GET /debug/events/tail` | live SSE tail of the event log; `Last-Event-ID` (or `?since=`) resumes after a disconnect |
 //! | `POST /admin/swap` | rebuild and atomically swap the served snapshot |
 //! | `POST /admin/mutate` | apply a JSON [`MutationBatch`] incrementally: new epoch + per-op accept/reject |
 //! | `POST /admin/checkpoint` | force a durable snapshot and truncate the WAL |
-//! | `GET /healthz` | liveness probe (epoch, workers, shards, engines) + durability status |
+//! | `GET /healthz` | liveness probe (epoch, workers, shards, engines) + durability status + three-state SLO health |
 //!
 //! Tenant and priority travel as headers (`X-Banks-Tenant`,
 //! `X-Banks-Priority`), so the PR-3 scheduler and the quota layer govern
@@ -150,7 +153,10 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
             v.split(',')
                 .any(|t| t.trim().eq_ignore_ascii_case("keep-alive"))
         });
-        let keep = wants_keep_alive && served < KEEPALIVE_MAX_REQUESTS && request.path != "/query";
+        let keep = wants_keep_alive
+            && served < KEEPALIVE_MAX_REQUESTS
+            && request.path != "/query"
+            && request.path != "/debug/events/tail";
 
         // Dispatch returns whether the connection actually stays open —
         // error responses always close (and say so on the wire), so the
@@ -167,6 +173,18 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
             ("GET", "/debug/slow") => {
                 respond_slow(ctx, &request, &mut writer, keep);
                 keep
+            }
+            ("GET", "/debug/slo") => {
+                respond_slo(ctx, &mut writer, keep);
+                keep
+            }
+            ("GET", "/debug/events") => {
+                respond_events(ctx, &request, &mut writer, keep);
+                keep
+            }
+            ("GET", "/debug/events/tail") => {
+                respond_events_tail(ctx, &request, &stream);
+                false
             }
             ("GET", path) if path.starts_with("/debug/trace/") => {
                 respond_trace(ctx, path, &mut writer, keep)
@@ -185,6 +203,9 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
             | (_, "/metrics")
             | (_, "/query")
             | (_, "/debug/slow")
+            | (_, "/debug/slo")
+            | (_, "/debug/events")
+            | (_, "/debug/events/tail")
             | (_, "/admin/swap")
             | (_, "/admin/mutate")
             | (_, "/admin/checkpoint") => {
@@ -251,10 +272,15 @@ fn respond_healthz(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
     // service runs without a data directory, so probes read one shape
     // either way.
     let durability = ctx.service.durability();
+    // `status` stays the liveness verdict ("the process answers");
+    // `health` is the SLO judgment ("the process answers *well*") — a
+    // probe that only checks reachability keeps working unchanged.
     let body = format!(
-        "{{\"status\":\"ok\",\"epoch\":{},\"workers\":{},\"shards\":{},\"engines\":{},\
+        "{{\"status\":\"ok\",\"health\":\"{}\",\"epoch\":{},\"workers\":{},\"shards\":{},\
+         \"engines\":{},\
          \"persistence\":{},\"last_checkpoint_epoch\":{},\"wal_records\":{},\
          \"wal_bytes\":{}}}",
+        ctx.service.health().as_str(),
         ctx.service.epoch(),
         ctx.service.workers(),
         ctx.service.shards(),
@@ -308,7 +334,7 @@ fn respond_checkpoint(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool)
 
 /// `GET /metrics`: JSON by default, Prometheus text format 0.0.4 with
 /// `?format=prometheus`.  A client advertising `Accept-Encoding: gzip`
-/// gets the body gzip-framed (stored DEFLATE blocks — see [`crate::gzip`]).
+/// gets the body DEFLATE-compressed in gzip framing (see [`crate::gzip`]).
 fn respond_metrics(ctx: &ServerContext, request: &Request, w: &mut impl Write, keep_alive: bool) {
     let metrics = ctx.service.metrics();
     let (body, content_type) = match request.query_param("format").as_deref() {
@@ -368,6 +394,140 @@ fn respond_slow(ctx: &ServerContext, request: &Request, w: &mut impl Write, keep
     }
     body.push_str("]}");
     let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+}
+
+/// `GET /debug/slo`: the stored burn-rate report — overall health, the
+/// collector cadence that produced it, and one row per objective.  The
+/// report is the one the collector wrote on its last tick (evaluation
+/// happens on the collector thread, where transitions become events), so
+/// this endpoint is a read, never a judgment.
+fn respond_slo(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
+    let report = ctx.service.slo_report();
+    let mut body = format!(
+        "{{\"health\":\"{}\",\"collector_cadence_ms\":{},\"slos\":[",
+        report.health.as_str(),
+        ctx.service.collector_cadence().as_millis(),
+    );
+    for (i, row) in report.rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":{},\"metric\":{},\"state\":\"{}\",\"threshold\":{},\
+             \"value\":{},\"burn_fast\":{},\"burn_slow\":{}}}",
+            corejson::string(row.name),
+            corejson::string(row.metric),
+            row.state.as_str(),
+            corejson::number(row.threshold),
+            corejson::number(row.value),
+            corejson::number(row.burn_fast),
+            corejson::number(row.burn_slow),
+        ));
+    }
+    body.push_str("]}");
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+}
+
+/// One event as the JSON object both `/debug/events` and the SSE tail
+/// serve (same shape on both transports, like answers on `/query`).
+fn event_json(event: &banks_service::Event) -> String {
+    format!(
+        "{{\"id\":{},\"at_unix_ms\":{},\"level\":\"{}\",\"kind\":{},\"message\":{}}}",
+        event.id,
+        event.at_unix_ms,
+        event.level.as_str(),
+        corejson::string(event.kind),
+        corejson::string(&event.message),
+    )
+}
+
+/// Cap on one `/debug/events` page (and one tail drain batch).
+const EVENTS_PAGE_LIMIT: usize = 1024;
+
+/// `GET /debug/events?since=<id>&limit=N`: a page of the structured event
+/// log, oldest first, ids strictly greater than `since`.  The envelope
+/// carries `last_id` (the newest id ever assigned — the cursor for the
+/// next poll) and `dropped` (ring evictions), so a poller can both page
+/// and detect loss.
+fn respond_events(ctx: &ServerContext, request: &Request, w: &mut impl Write, keep_alive: bool) {
+    let since = request
+        .query_param("since")
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .unwrap_or(0);
+    let limit = request
+        .query_param("limit")
+        .and_then(|raw| raw.parse::<usize>().ok())
+        .unwrap_or(256)
+        .min(EVENTS_PAGE_LIMIT);
+    let events = ctx.service.events().since(since, limit);
+    let mut body = format!(
+        "{{\"since\":{since},\"last_id\":{},\"dropped\":{},\"count\":{},\"events\":[",
+        ctx.service.events().last_id(),
+        ctx.service.events().dropped(),
+        events.len(),
+    );
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&event_json(event));
+    }
+    body.push_str("]}");
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+}
+
+/// `GET /debug/events/tail`: live SSE tail of the event log.
+///
+/// Every frame is an `event` event whose SSE `id:` is the log id, so a
+/// conforming client that reconnects with `Last-Event-ID` resumes exactly
+/// where it left off (a `?since=<id>` query parameter does the same for
+/// hand-rolled clients; the header wins when both are present).  History
+/// after the cursor is replayed first, then the handler polls the log,
+/// probing the peer and emitting keep-alive comments while idle so an
+/// abandoned tail releases its handler.
+fn respond_events_tail(ctx: &ServerContext, request: &Request, stream: &TcpStream) {
+    let mut writer = stream;
+    let mut cursor = request
+        .header("last-event-id")
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .or_else(|| {
+            request
+                .query_param("since")
+                .and_then(|raw| raw.parse::<u64>().ok())
+        })
+        .unwrap_or(0);
+    if writer.write_all(STREAM_HEADER.as_bytes()).is_err() {
+        return;
+    }
+    let mut sse = SseWriter::new(writer);
+    let mut idle_polls = 0u32;
+    loop {
+        let batch = ctx.service.events().since(cursor, EVENTS_PAGE_LIMIT);
+        if batch.is_empty() {
+            // Idle: probe the peer now, keep-alive it roughly once a
+            // second (every tenth 100 ms poll) — same liveness discipline
+            // as the query stream, scaled to the tail's poll cadence.
+            idle_polls += 1;
+            if peer_disconnected(stream) {
+                return;
+            }
+            if idle_polls.is_multiple_of(10) && sse.comment("keepalive").is_err() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        idle_polls = 0;
+        for event in batch {
+            if sse
+                .event_with_id("event", event.id, &event_json(&event))
+                .is_err()
+            {
+                return;
+            }
+            cursor = event.id;
+        }
+    }
 }
 
 /// `GET /debug/trace/<id>`: one retained trace by query id (`7` and the
@@ -807,6 +967,16 @@ fn respond_query(ctx: &ServerContext, request: &Request, stream: &TcpStream) {
         handle.cancel();
         return;
     }
+    // Answer frames carry their 1-based rank as the SSE `id:`.  A client
+    // reconnecting with `Last-Event-ID: K` has already consumed the first
+    // K answers of this stream; the engine is deterministic for a fixed
+    // epoch (and the result cache makes the re-run cheap), so the handler
+    // re-executes and suppresses what was already delivered.
+    let skip = request
+        .header("last-event-id")
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    let mut delivered = 0u64;
     let mut sse = SseWriter::new(writer);
     // A dead client must cancel the query even when the engine emits
     // nothing for a long stretch (or nothing at all), so the receive is
@@ -817,12 +987,16 @@ fn respond_query(ctx: &ServerContext, request: &Request, stream: &TcpStream) {
     loop {
         match handle.recv_timeout(Duration::from_millis(250)) {
             Ok(QueryEvent::Answer(answer)) => {
+                delivered += 1;
+                if delivered <= skip {
+                    continue;
+                }
                 // The SSE payload is rendered by the same banks-core
                 // function an in-process consumer would use: the stream is
                 // byte-identical to the in-process encoding.
                 if peer_disconnected(stream)
                     || sse
-                        .event("answer", &corejson::ranked_answer(&answer))
+                        .event_with_id("answer", delivered, &corejson::ranked_answer(&answer))
                         .is_err()
                 {
                     // The client is gone: cancel cooperatively so the

@@ -53,6 +53,29 @@ impl<W: Write> SseWriter<W> {
         self.writer.flush()
     }
 
+    /// Writes one event frame carrying an `id:` field and flushes it.
+    ///
+    /// The id is what makes a stream *resumable*: a conforming client
+    /// remembers the last id it saw and offers it back on reconnect as the
+    /// `Last-Event-ID` header, and the server replays only what follows.
+    pub fn event_with_id(&mut self, name: &str, id: u64, data: &str) -> std::io::Result<()> {
+        let mut frame = String::with_capacity(data.len() + name.len() + 32);
+        frame.push_str("event: ");
+        frame.push_str(name);
+        frame.push('\n');
+        frame.push_str("id: ");
+        frame.push_str(&id.to_string());
+        frame.push('\n');
+        for line in data.split('\n') {
+            frame.push_str("data: ");
+            frame.push_str(line);
+            frame.push('\n');
+        }
+        frame.push('\n');
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()
+    }
+
     /// Writes a comment frame (`: text`) — the SSE keep-alive idiom; a
     /// client parser ignores it, but the write proves the peer is still
     /// there.
@@ -120,6 +143,15 @@ mod tests {
         sse.event("answer", "line one\nline two").unwrap();
         let text = String::from_utf8(sse.get_mut().bytes.clone()).unwrap();
         assert_eq!(text, "event: answer\ndata: line one\ndata: line two\n\n");
+    }
+
+    #[test]
+    fn id_carrying_events_put_the_id_before_the_data() {
+        let mut sse = SseWriter::new(Recorder::default());
+        sse.event_with_id("answer", 3, "{\"rank\":2}").unwrap();
+        let text = String::from_utf8(sse.get_mut().bytes.clone()).unwrap();
+        assert_eq!(text, "event: answer\nid: 3\ndata: {\"rank\":2}\n\n");
+        assert_eq!(sse.get_mut().writes, 1, "one write_all per event");
     }
 
     #[test]

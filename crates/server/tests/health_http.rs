@@ -1,0 +1,398 @@
+//! Loopback tests for the judgment surface: `/debug/slo`, the structured
+//! event endpoints (JSON page + live SSE tail with `Last-Event-ID`
+//! resume), resumable `/query` answer streams, and the end-to-end
+//! acceptance path — an induced latency regression flips `/healthz` via
+//! burn rate and the paired alert events flow out over HTTP.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use banks_graph::{DataGraph, GraphBuilder};
+use banks_server::json::{self, JsonValue};
+use banks_server::Server;
+use banks_service::{Service, SloSpec};
+
+fn tiny_graph() -> DataGraph {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node("author", "Jim Gray");
+    let p0 = b.add_node("paper", "Granularity of locks");
+    let p1 = b.add_node("paper", "Locks in shared databases");
+    let p2 = b.add_node("paper", "Notes on locks and latches");
+    for (i, p) in [p0, p1, p2].into_iter().enumerate() {
+        let w = b.add_node("writes", format!("w{i}"));
+        b.add_edge(w, a).unwrap();
+        b.add_edge(w, p).unwrap();
+    }
+    b.build_default()
+}
+
+fn send(addr: std::net::SocketAddr, raw: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(raw.as_bytes()).expect("send request");
+    let mut response = Vec::new();
+    conn.read_to_end(&mut response).expect("read response");
+    String::from_utf8(response).expect("utf-8 response")
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    send(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn get_json(addr: std::net::SocketAddr, path: &str) -> JsonValue {
+    let response = get(addr, path);
+    let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+    assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+    json::parse(body).expect("JSON body")
+}
+
+/// One parsed SSE frame: event name, `id:` (when present), joined data.
+type Frame = (String, Option<u64>, String);
+
+fn parse_sse(body: &str) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut name = String::new();
+    let mut id = None;
+    let mut data: Vec<&str> = Vec::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("event: ") {
+            name = rest.to_string();
+        } else if let Some(rest) = line.strip_prefix("id: ") {
+            id = rest.parse().ok();
+        } else if let Some(rest) = line.strip_prefix("data: ") {
+            data.push(rest);
+        } else if line.is_empty() && !name.is_empty() {
+            frames.push((std::mem::take(&mut name), id.take(), data.join("\n")));
+            data.clear();
+        }
+    }
+    frames
+}
+
+/// Opens the event tail (optionally resuming from `last_event_id`) and
+/// reads until `want` event frames arrived or the deadline passed, then
+/// drops the connection — the server notices through its peer probe.
+fn read_tail(
+    addr: std::net::SocketAddr,
+    last_event_id: Option<u64>,
+    want: usize,
+    deadline: Duration,
+) -> Vec<Frame> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let resume = last_event_id.map_or_else(String::new, |id| format!("Last-Event-ID: {id}\r\n"));
+    conn.write_all(
+        format!("GET /debug/events/tail HTTP/1.1\r\nHost: t\r\n{resume}\r\n").as_bytes(),
+    )
+    .expect("send request");
+    let start = Instant::now();
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    while start.elapsed() < deadline {
+        match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("tail read failed: {e}"),
+        }
+        let text = String::from_utf8_lossy(&raw);
+        if let Some((_, body)) = text.split_once("\r\n\r\n") {
+            if parse_sse(body)
+                .iter()
+                .filter(|(n, _, _)| n == "event")
+                .count()
+                >= want
+            {
+                break;
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, body) = text.split_once("\r\n\r\n").expect("stream header");
+    assert!(head.contains("text/event-stream"), "head: {head}");
+    parse_sse(body)
+        .into_iter()
+        .filter(|(n, _, _)| n == "event")
+        .collect()
+}
+
+fn wait_for(deadline: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pred()
+}
+
+#[test]
+fn debug_slo_serves_the_stored_report() {
+    let service = Arc::new(
+        Service::builder(tiny_graph())
+            .workers(1)
+            .collector_cadence(Duration::from_millis(20))
+            .slos(SloSpec::defaults())
+            .build(),
+    );
+    let server = Server::builder(Arc::clone(&service)).spawn().unwrap();
+    let addr = server.local_addr();
+
+    // The report is written by the collector: give it a tick.
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            !service.time_series().is_empty()
+        }),
+        "collector never ticked"
+    );
+    let v = get_json(addr, "/debug/slo");
+    assert_eq!(v.get("health").and_then(JsonValue::as_str), Some("ok"));
+    assert_eq!(
+        v.get("collector_cadence_ms").and_then(JsonValue::as_usize),
+        Some(20)
+    );
+    let rows = match v.get("slos") {
+        Some(JsonValue::Array(rows)) => rows,
+        other => panic!("expected slos array, got {other:?}"),
+    };
+    assert_eq!(rows.len(), 4, "the four stock objectives");
+    let names: Vec<&str> = rows
+        .iter()
+        .map(|r| r.get("name").and_then(JsonValue::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "ttfa_p99",
+            "error_ratio",
+            "queue_wait_p90",
+            "shard_imbalance"
+        ]
+    );
+    for row in rows {
+        assert_eq!(row.get("state").and_then(JsonValue::as_str), Some("ok"));
+        assert!(row.get("threshold").and_then(JsonValue::as_f64).is_some());
+        for field in ["metric", "value", "burn_fast", "burn_slow"] {
+            assert!(row.get(field).is_some(), "row must include {field}");
+        }
+    }
+
+    // The health verdict also rides /healthz next to the liveness status.
+    let health = get_json(addr, "/healthz");
+    assert_eq!(health.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert_eq!(health.get("health").and_then(JsonValue::as_str), Some("ok"));
+    server.shutdown();
+}
+
+#[test]
+fn debug_events_pages_by_id() {
+    let service = Arc::new(Service::builder(tiny_graph()).workers(1).build());
+    let server = Server::builder(Arc::clone(&service)).spawn().unwrap();
+    let addr = server.local_addr();
+
+    // Two swaps produce two events with increasing ids.
+    for _ in 0..2 {
+        let response = send(addr, "POST /admin/swap HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200"));
+    }
+    let v = get_json(addr, "/debug/events");
+    let events = match v.get("events") {
+        Some(JsonValue::Array(events)) => events,
+        other => panic!("expected events array, got {other:?}"),
+    };
+    assert!(events.len() >= 2, "got {} events", events.len());
+    let ids: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("id").and_then(JsonValue::as_usize).unwrap() as u64)
+        .collect();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids ascend: {ids:?}");
+    let last_id = v.get("last_id").and_then(JsonValue::as_usize).unwrap() as u64;
+    assert_eq!(last_id, *ids.last().unwrap());
+    assert_eq!(
+        v.get("count").and_then(JsonValue::as_usize),
+        Some(events.len())
+    );
+    assert_eq!(v.get("dropped").and_then(JsonValue::as_usize), Some(0));
+    for event in events {
+        assert!(event.get("at_unix_ms").is_some());
+        assert!(event.get("level").and_then(JsonValue::as_str).is_some());
+        assert!(event.get("message").and_then(JsonValue::as_str).is_some());
+    }
+    assert!(events
+        .iter()
+        .any(|e| e.get("kind").and_then(JsonValue::as_str) == Some("swap")));
+
+    // `since` pages strictly after the cursor; `limit` caps the page.
+    let mid = ids[ids.len() / 2 - 1];
+    let page = get_json(addr, &format!("/debug/events?since={mid}"));
+    match page.get("events") {
+        Some(JsonValue::Array(tail)) => {
+            assert!(tail
+                .iter()
+                .all(|e| e.get("id").and_then(JsonValue::as_usize).unwrap() as u64 > mid));
+            assert_eq!(tail.len(), ids.iter().filter(|&&i| i > mid).count());
+        }
+        other => panic!("expected events array, got {other:?}"),
+    }
+    let capped = get_json(addr, "/debug/events?limit=1");
+    assert_eq!(capped.get("count").and_then(JsonValue::as_usize), Some(1));
+    let drained = get_json(addr, &format!("/debug/events?since={last_id}"));
+    assert_eq!(drained.get("count").and_then(JsonValue::as_usize), Some(0));
+    server.shutdown();
+}
+
+#[test]
+fn events_tail_streams_live_and_resumes_with_last_event_id() {
+    let service = Arc::new(Service::builder(tiny_graph()).workers(1).build());
+    let server = Server::builder(Arc::clone(&service)).spawn().unwrap();
+    let addr = server.local_addr();
+
+    // Seed two events, then read them off the tail.
+    for _ in 0..2 {
+        send(addr, "POST /admin/swap HTTP/1.1\r\nHost: t\r\n\r\n");
+    }
+    let first = read_tail(addr, None, 2, Duration::from_secs(5));
+    assert!(first.len() >= 2, "tail replayed {} frames", first.len());
+    let cursor = first[0].1.expect("frame id");
+    let seen: Vec<u64> = first.iter().map(|f| f.1.unwrap()).collect();
+    assert!(seen.windows(2).all(|w| w[0] < w[1]), "ids ascend: {seen:?}");
+    for (_, _, data) in &first {
+        let v = json::parse(data).expect("event JSON");
+        assert!(v.get("kind").and_then(JsonValue::as_str).is_some());
+    }
+
+    // Emit one more while disconnected, then resume after the *first*
+    // frame: the reconnect replays everything we did not acknowledge,
+    // without duplicating the acknowledged one.
+    send(addr, "POST /admin/swap HTTP/1.1\r\nHost: t\r\n\r\n");
+    let resumed = read_tail(addr, Some(cursor), seen.len(), Duration::from_secs(5));
+    let resumed_ids: Vec<u64> = resumed.iter().map(|f| f.1.unwrap()).collect();
+    assert!(
+        resumed_ids.iter().all(|&id| id > cursor),
+        "resume must not replay acknowledged ids: {resumed_ids:?}"
+    );
+    assert!(
+        resumed_ids.len() >= seen.len(),
+        "resume sees the missed event: {resumed_ids:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn query_answers_carry_ids_and_resume_skips_what_was_delivered() {
+    let service = Arc::new(Service::builder(tiny_graph()).workers(1).build());
+    let server = Server::builder(service).spawn().unwrap();
+    let addr = server.local_addr();
+
+    let response = get(addr, "/query?q=gray+locks&top_k=3");
+    let frames = parse_sse(response.split_once("\r\n\r\n").unwrap().1);
+    let answers: Vec<&Frame> = frames.iter().filter(|(n, _, _)| n == "answer").collect();
+    assert!(answers.len() >= 2, "need 2+ answers to test resume");
+    for (i, (_, id, _)) in answers.iter().enumerate() {
+        assert_eq!(*id, Some(i as u64 + 1), "answers carry 1-based ids");
+    }
+
+    // Reconnect claiming the first answer was delivered: the replayed
+    // stream starts at id 2 and carries the same payloads from there.
+    let resumed = send(
+        addr,
+        "GET /query?q=gray+locks&top_k=3 HTTP/1.1\r\nHost: t\r\nLast-Event-ID: 1\r\n\r\n",
+    );
+    let resumed_frames = parse_sse(resumed.split_once("\r\n\r\n").unwrap().1);
+    let resumed_answers: Vec<&Frame> = resumed_frames
+        .iter()
+        .filter(|(n, _, _)| n == "answer")
+        .collect();
+    assert_eq!(resumed_answers.len(), answers.len() - 1);
+    for (original, replayed) in answers.iter().skip(1).zip(&resumed_answers) {
+        assert_eq!(original.1, replayed.1, "ids line up across reconnects");
+        assert_eq!(original.2, replayed.2, "payloads line up");
+    }
+    assert!(
+        resumed_frames.iter().any(|(n, _, _)| n == "finished"),
+        "resumed stream still finishes"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn induced_regression_flips_healthz_and_alerts_flow_over_http() {
+    // A zero-microsecond TTFA objective at a 20 ms collector cadence:
+    // every executed query violates, the fast window saturates within a
+    // few ticks, and once traffic stops the windowed percentile decays to
+    // NaN and the alert resolves — all observed through HTTP only.
+    let slo = SloSpec::upper_bound("ttfa_p99", "ttfa_p99_us", 0.0)
+        .with_windows(200, 30_000)
+        .with_burns(10.0, 1.0);
+    let service = Arc::new(
+        Service::builder(tiny_graph())
+            .workers(1)
+            .collector_cadence(Duration::from_millis(20))
+            .slos(vec![slo])
+            .build(),
+    );
+    let server = Server::builder(service).spawn().unwrap();
+    let addr = server.local_addr();
+
+    let health_of = |addr| {
+        get_json(addr, "/healthz")
+            .get("health")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .expect("health field")
+    };
+    let fired = wait_for(Duration::from_secs(10), || {
+        let response = get(addr, "/query?q=gray+locks");
+        assert!(response.contains("event: finished"), "query must finish");
+        health_of(addr) != "ok"
+    });
+    assert!(fired, "healthz never left ok under a 0us TTFA objective");
+    let v = get_json(addr, "/debug/slo");
+    assert_ne!(v.get("health").and_then(JsonValue::as_str), Some("ok"));
+
+    let resolved = wait_for(Duration::from_secs(10), || health_of(addr) == "ok");
+    assert!(resolved, "healthz never recovered after traffic stopped");
+
+    let v = get_json(addr, "/debug/events");
+    let events = match v.get("events") {
+        Some(JsonValue::Array(events)) => events,
+        other => panic!("expected events array, got {other:?}"),
+    };
+    let kind_of = |e: &JsonValue| {
+        e.get("kind")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+    };
+    let fire_id = events
+        .iter()
+        .find(|e| kind_of(e) == Some("alert-fire".into()))
+        .and_then(|e| e.get("id").and_then(JsonValue::as_usize))
+        .expect("alert-fire event") as u64;
+    assert!(
+        events
+            .iter()
+            .any(|e| kind_of(e) == Some("alert-resolve".into())),
+        "no alert-resolve event"
+    );
+
+    // Paging from the fire id yields the resolve but not the fire itself.
+    let page = get_json(addr, &format!("/debug/events?since={fire_id}"));
+    match page.get("events") {
+        Some(JsonValue::Array(tail)) => {
+            assert!(tail.iter().all(|e| kind_of(e) != Some("alert-fire".into())
+                || e.get("id").and_then(JsonValue::as_usize).unwrap() as u64 > fire_id));
+            assert!(
+                tail.iter()
+                    .any(|e| kind_of(e) == Some("alert-resolve".into())),
+                "resolve pages out after the fire cursor"
+            );
+        }
+        other => panic!("expected events array, got {other:?}"),
+    }
+    server.shutdown();
+}

@@ -145,7 +145,10 @@ pub mod snapshot;
 pub mod spec;
 
 pub use banks_graph::{ShardSpec, ShardStats};
-pub use banks_obs::{CalibrationRow, LatencySummary, QueryTrace, TraceSpan};
+pub use banks_obs::{
+    CalibrationRow, Event, EventLevel, EventLog, Health, LatencySummary, QueryTrace, SloReport,
+    SloRow, SloSpec, TimeSample, TimeSeriesRing, TraceSpan,
+};
 pub use banks_persist::{FsyncPolicy, PersistError, PersistOptions};
 pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult, RecvTimeout};
 pub use metrics::{QueueWaitSummary, ServiceMetrics, TenantMetrics, OVERFLOW_TENANT};

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use banks_graph::ShardStats;
-use banks_obs::{CalibrationRow, Histogram};
+use banks_obs::{CalibrationRow, Health, Histogram, SloRow, HISTOGRAM_BUCKETS};
 
 use crate::quota::QuotaSettings;
 
@@ -44,6 +44,8 @@ pub(crate) struct Counters {
     pub mutation_ops_accepted: AtomicU64,
     pub mutation_ops_rejected: AtomicU64,
     pub slow_queries: AtomicU64,
+    pub watchdog_overruns: AtomicU64,
+    pub watchdog_queue_trips: AtomicU64,
 }
 
 impl Counters {
@@ -117,6 +119,12 @@ impl WaitStats {
 
     fn summary(&self) -> QueueWaitSummary {
         self.hist.summary()
+    }
+
+    /// Raw cumulative bucket counts of the queue-wait histogram — the
+    /// collector diffs successive snapshots into windowed percentiles.
+    pub(crate) fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        self.hist.bucket_counts()
     }
 
     fn tenant_metrics(&self) -> Vec<TenantMetrics> {
@@ -267,6 +275,27 @@ pub struct ServiceMetrics {
     /// (engine, origin-size bucket) and the learned correction factor the
     /// scheduler blends into admission cost estimates.
     pub calibration: Vec<CalibrationRow>,
+    /// Three-state SLO health from the latest collector pass (`ok` until
+    /// the first pass completes).
+    pub health: Health,
+    /// Per-objective SLO rows (latest value, fast/slow burn, state) from
+    /// the latest collector pass.
+    pub slo: Vec<SloRow>,
+    /// Traces evicted from the debug trace ring because it was full.
+    pub trace_ring_dropped: u64,
+    /// Events evicted from the structured event log because it was full.
+    pub event_log_dropped: u64,
+    /// Id of the newest structured event (0 when none were emitted) — the
+    /// cursor a `GET /debug/events?since=` poller should start from.
+    pub event_log_last_id: u64,
+    /// Completed queries the watchdog flagged for exploring ≥ N× their
+    /// a priori work estimate ([`crate::ServiceBuilder::watchdog_overrun_factor`]).
+    pub watchdog_overruns: u64,
+    /// Times the collector's queue-saturation watchdog tripped (queue
+    /// occupancy crossed the trip threshold).
+    pub watchdog_queue_trips: u64,
+    /// Current admission-queue occupancy as a fraction of capacity.
+    pub queue_saturation: f64,
 }
 
 impl ServiceMetrics {
@@ -339,6 +368,14 @@ impl ServiceMetrics {
             shard_stats: Vec::new(),
             tenants,
             calibration: Vec::new(),
+            health: Health::Ok,
+            slo: Vec::new(),
+            trace_ring_dropped: 0,
+            event_log_dropped: 0,
+            event_log_last_id: 0,
+            watchdog_overruns: counters.watchdog_overruns.load(Ordering::Relaxed),
+            watchdog_queue_trips: counters.watchdog_queue_trips.load(Ordering::Relaxed),
+            queue_saturation: 0.0,
         }
     }
 

@@ -17,7 +17,10 @@ use banks_graph::{
     AppliedBatch, BatchOutcome, DataGraph, GraphPartition, MutationBatch, MutationLog, ShardSpec,
     ShardStats, DEFAULT_LOG_CAPACITY,
 };
-use banks_obs::{CostCalibration, Histogram, QueryTrace, ShardTimes, TraceRing, WorkCounters};
+use banks_obs::{
+    CostCalibration, EventLevel, EventLog, Health, Histogram, QueryTrace, ShardTimes, SloEngine,
+    SloReport, SloSpec, TimeSeriesRing, TraceRing, WorkCounters, HISTOGRAM_BUCKETS,
+};
 use banks_persist::{recover, replay_wal, FsyncPolicy, PersistError, PersistOptions, Wal};
 use banks_prestige::PrestigeVector;
 use banks_textindex::{InvertedIndex, KeywordMatches};
@@ -108,6 +111,54 @@ pub struct MutationReport {
 /// Capacity of the trace retention ring ([`Service::trace`] /
 /// [`Service::slow_traces`] look traces up in it).
 const TRACE_RING_CAPACITY: usize = 256;
+
+/// Slots in the metrics time-series ring: at the default 10 s collector
+/// cadence this retains one hour of history.
+const TIMESERIES_CAPACITY: usize = 360;
+
+/// Queue occupancy (fraction of capacity) at which the watchdog flags
+/// saturation, and the lower fraction at which the flag clears.
+const QUEUE_SATURATION_TRIP: f64 = 0.8;
+const QUEUE_SATURATION_CLEAR: f64 = 0.5;
+
+/// The fixed schema of series the collector snapshots every tick.
+/// Cumulative counters keep their counter names (windowed deltas/rates come
+/// from [`TimeSeriesRing::delta`] / [`TimeSeriesRing::rate_per_sec`]);
+/// `*_p*_us` series are **windowed** percentiles — computed from the
+/// histogram-bucket delta of the tick, `NaN` when the tick saw no samples —
+/// so they decay when a latency regression ends, which is what lets an SLO
+/// alert resolve.
+fn timeseries_schema() -> Vec<&'static str> {
+    vec![
+        "submitted",
+        "executed",
+        "completed",
+        "rejected",
+        "quota_rejected",
+        "cancelled",
+        "cache_hits",
+        "answers_delivered",
+        "slow_queries",
+        "queued",
+        "error_ratio",
+        "ttfa_p50_us",
+        "ttfa_p90_us",
+        "ttfa_p99_us",
+        "queue_wait_p50_us",
+        "queue_wait_p90_us",
+        "shard_imbalance",
+        "queue_saturation",
+    ]
+}
+
+/// Wall-clock milliseconds since the Unix epoch (the time base of the
+/// time-series ring and SLO evaluation).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
 
 /// Span names for per-shard expand attribution.  [`banks_obs::TraceSpan`]
 /// names are `&'static str`, so shard indices map through a fixed table;
@@ -333,6 +384,21 @@ struct Inner {
     /// Online correction of the a priori cost model from measured
     /// `nodes_explored`, per (engine, origin-size bucket).
     calibration: CostCalibration,
+    /// The structured operational event log (admission rejects, mutation
+    /// batches, checkpoints, swaps, alerts, watchdog trips).
+    events: EventLog,
+    /// Retained metric snapshots, written by the collector thread.
+    series: TimeSeriesRing,
+    /// The burn-rate judge over [`Inner::series`].
+    slo: SloEngine,
+    /// The most recent collector-pass verdict, served on `GET /debug/slo`
+    /// and folded into `/healthz` and `/metrics`.
+    slo_report: Mutex<SloReport>,
+    /// Nodes-explored multiple of the a priori estimate beyond which the
+    /// watchdog flags a finished query as an overrun.
+    watchdog_factor: u64,
+    /// Collector cadence (also reported on `GET /debug/slo`).
+    collector_cadence: Duration,
 }
 
 /// Configures and spawns a [`Service`].
@@ -352,6 +418,10 @@ pub struct ServiceBuilder {
     log_capacity: usize,
     slow_query_threshold: Duration,
     shards: usize,
+    collector_cadence: Duration,
+    slos: Option<Vec<SloSpec>>,
+    event_log_capacity: usize,
+    watchdog_factor: u64,
 }
 
 impl ServiceBuilder {
@@ -564,6 +634,43 @@ impl ServiceBuilder {
         self
     }
 
+    /// Cadence of the metrics collector thread (default 10 s, floored at
+    /// 10 ms).  Every tick snapshots the time-series schema into the
+    /// bounded retention ring, re-evaluates the SLO burn rates, and runs
+    /// the queue-saturation watchdog.  Tests shrink this to ~100 ms so an
+    /// induced regression flips health within a fraction of a second.
+    pub fn collector_cadence(mut self, cadence: Duration) -> Self {
+        self.collector_cadence = cadence.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Replaces the stock SLO set ([`SloSpec::defaults`]: `ttfa_p99 <
+    /// 250 ms`, `error_ratio < 1%`, `queue_wait_p90 < 50 ms`,
+    /// `shard_imbalance < 2`).  An empty vector disables SLO judgment —
+    /// health stays `ok` and `GET /debug/slo` reports no specs.
+    pub fn slos(mut self, specs: Vec<SloSpec>) -> Self {
+        self.slos = Some(specs);
+        self
+    }
+
+    /// Capacity of the structured event-log ring (default 1024, minimum
+    /// 1).  Once full, the oldest events are evicted and counted in
+    /// [`ServiceMetrics::event_log_dropped`].
+    pub fn event_log_capacity(mut self, capacity: usize) -> Self {
+        self.event_log_capacity = capacity;
+        self
+    }
+
+    /// Nodes-explored multiple of the scheduler's a priori estimate beyond
+    /// which a finished query trips the watchdog (default 8×, floored at
+    /// 2×): the overrun is counted in
+    /// [`ServiceMetrics::watchdog_overruns`] and logged as a
+    /// `watchdog-overrun` event.
+    pub fn watchdog_overrun_factor(mut self, factor: u64) -> Self {
+        self.watchdog_factor = factor.max(2);
+        self
+    }
+
     /// Validates the configuration, builds the initial serving snapshot
     /// (prestige and keyword index included) and spawns the worker threads.
     ///
@@ -592,6 +699,7 @@ impl ServiceBuilder {
         // graph; a fresh directory uses the builder's graph and writes an
         // initial checkpoint so the directory is valid from the first
         // moment.
+        let events = EventLog::new(self.event_log_capacity);
         let (snapshot, persistence) = match self.persistence {
             None => (
                 GraphSnapshot::from_optional(self.graph, self.prestige, self.index),
@@ -612,6 +720,14 @@ impl ServiceBuilder {
                             options,
                             recovery.snapshot_epoch,
                             replayed as u64,
+                        );
+                        events.emit(
+                            EventLevel::Info,
+                            "recovery",
+                            format!(
+                                "recovered snapshot epoch {} and replayed {} WAL record(s)",
+                                recovery.snapshot_epoch, replayed
+                            ),
                         );
                         (snapshot, Some(persistence))
                     }
@@ -666,6 +782,12 @@ impl ServiceBuilder {
             ttfa_hist: Histogram::new(),
             mutation_apply_hist: Histogram::new(),
             calibration: CostCalibration::default(),
+            events,
+            series: TimeSeriesRing::new(timeseries_schema(), TIMESERIES_CAPACITY),
+            slo: SloEngine::new(self.slos.unwrap_or_else(SloSpec::defaults)),
+            slo_report: Mutex::new(SloReport::default()),
+            watchdog_factor: self.watchdog_factor,
+            collector_cadence: self.collector_cadence,
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -676,7 +798,24 @@ impl ServiceBuilder {
                     .expect("spawn worker thread")
             })
             .collect();
-        Ok(Service { inner, workers })
+        let collector_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let collector = {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&collector_stop);
+            let cadence = self.collector_cadence;
+            Some(
+                std::thread::Builder::new()
+                    .name("banks-collector".to_string())
+                    .spawn(move || collector_loop(inner, stop, cadence))
+                    .expect("spawn collector thread"),
+            )
+        };
+        Ok(Service {
+            inner,
+            workers,
+            collector,
+            collector_stop,
+        })
     }
 }
 
@@ -719,6 +858,10 @@ impl ServiceBuilder {
 pub struct Service {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// The metrics collector thread (time-series snapshots, SLO passes,
+    /// queue watchdog); joined on shutdown via `collector_stop`.
+    collector: Option<JoinHandle<()>>,
+    collector_stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl Service {
@@ -743,6 +886,10 @@ impl Service {
             log_capacity: DEFAULT_LOG_CAPACITY,
             slow_query_threshold: Duration::from_millis(250),
             shards: 1,
+            collector_cadence: Duration::from_secs(10),
+            slos: None,
+            event_log_capacity: 1024,
+            watchdog_factor: 8,
         }
     }
 
@@ -769,6 +916,11 @@ impl Service {
                 .lock()
                 .expect("waits lock")
                 .record_quota_rejection(&tenant);
+            inner.events.emit(
+                EventLevel::Warn,
+                "quota-reject",
+                format!("tenant {tenant:?} over quota, retry in {retry_after:?}"),
+            );
             Err(SubmitError::QuotaExceeded {
                 tenant,
                 retry_after,
@@ -949,6 +1101,19 @@ impl Service {
             }
             if queue.jobs.len() >= inner.queue_capacity {
                 Counters::bump(&inner.counters.rejected);
+                inner.events.emit(
+                    EventLevel::Warn,
+                    "admission-reject",
+                    format!(
+                        "queue full ({} waiting), rejected a {} submission",
+                        inner.queue_capacity,
+                        if tenant.is_empty() {
+                            "anonymous".to_string()
+                        } else {
+                            format!("tenant {tenant:?}")
+                        }
+                    ),
+                );
                 return Err(SubmitError::QueueFull {
                     capacity: inner.queue_capacity,
                 });
@@ -1140,9 +1305,33 @@ impl Service {
             if compacted || persistence.wants_rotation() {
                 let checkpoint_start_us = elapsed_us();
                 let snapshot = self.snapshot();
-                let _ = persistence.checkpoint(&snapshot);
+                if persistence.checkpoint(&snapshot).is_ok() {
+                    self.inner.events.emit(
+                        EventLevel::Info,
+                        "checkpoint",
+                        format!("mutation-triggered checkpoint at epoch {epoch}"),
+                    );
+                }
                 checkpoint_span = Some((checkpoint_start_us, elapsed_us()));
             }
+        }
+        self.inner.events.emit(
+            EventLevel::Info,
+            "mutation-batch",
+            format!(
+                "epoch {previous_epoch} -> {epoch}: {accepted} op(s) accepted, {} rejected",
+                outcome.rejected()
+            ),
+        );
+        if current_set.shards() > 1 {
+            self.inner.events.emit(
+                EventLevel::Info,
+                "shard-fanout",
+                format!(
+                    "batch fanned out across {} shards at epoch {epoch}",
+                    current_set.shards()
+                ),
+            );
         }
 
         // The mutation's own phase trace: the checkpoint and WAL fsync it
@@ -1206,7 +1395,13 @@ impl Service {
         if let Some(persistence) = &self.inner.persistence {
             let mut persistence = persistence.lock().expect("persistence lock");
             let current = self.snapshot();
-            let _ = persistence.checkpoint(&current);
+            if persistence.checkpoint(&current).is_ok() {
+                self.inner.events.emit(
+                    EventLevel::Info,
+                    "checkpoint",
+                    format!("post-swap checkpoint at epoch {epoch}"),
+                );
+            }
         }
         epoch
     }
@@ -1232,6 +1427,11 @@ impl Service {
             ));
         }
         Counters::bump(&self.inner.counters.swaps);
+        self.inner.events.emit(
+            EventLevel::Info,
+            "swap",
+            format!("serving epoch {old_epoch} -> {new_epoch}"),
+        );
         if self.inner.cache_private {
             self.inner.cache.evict_epoch(old_epoch);
         }
@@ -1252,10 +1452,16 @@ impl Service {
             return Err(PersistError::Disabled);
         };
         let snapshot = self.snapshot();
-        persistence
+        let epoch = persistence
             .lock()
             .expect("persistence lock")
-            .checkpoint(&snapshot)
+            .checkpoint(&snapshot)?;
+        self.inner.events.emit(
+            EventLevel::Info,
+            "checkpoint",
+            format!("on-demand checkpoint at epoch {epoch}"),
+        );
+        Ok(epoch)
     }
 
     /// The service's durability state: whether persistence is on, the last
@@ -1303,7 +1509,55 @@ impl Service {
         metrics.calibration = self.inner.calibration.rows();
         metrics.shards = self.inner.shards as u64;
         metrics.shard_stats = self.shard_stats();
+        {
+            let report = self.inner.slo_report.lock().expect("slo report lock");
+            metrics.health = report.health;
+            metrics.slo = report.rows.clone();
+        }
+        metrics.trace_ring_dropped = self.inner.traces.dropped();
+        metrics.event_log_dropped = self.inner.events.dropped();
+        metrics.event_log_last_id = self.inner.events.last_id();
+        metrics.queue_saturation = queued as f64 / self.inner.queue_capacity.max(1) as f64;
         metrics
+    }
+
+    /// The service's current three-state health — the worst SLO verdict of
+    /// the latest collector pass (`ok` until the first pass completes).
+    pub fn health(&self) -> Health {
+        self.inner
+            .slo_report
+            .lock()
+            .expect("slo report lock")
+            .health
+    }
+
+    /// The latest SLO evaluation: overall health plus one row per spec
+    /// (latest value, fast/slow burn rates, hysteretic state).  Point in
+    /// time as of the last collector tick.
+    pub fn slo_report(&self) -> SloReport {
+        self.inner
+            .slo_report
+            .lock()
+            .expect("slo report lock")
+            .clone()
+    }
+
+    /// The structured operational event log (see
+    /// [`banks_obs::EventLog`]) — page it with
+    /// [`EventLog::since`](banks_obs::EventLog::since).
+    pub fn events(&self) -> &EventLog {
+        &self.inner.events
+    }
+
+    /// The retained metric time series the collector thread writes
+    /// ([`ServiceBuilder::collector_cadence`] sets the tick).
+    pub fn time_series(&self) -> &TimeSeriesRing {
+        &self.inner.series
+    }
+
+    /// The configured collector cadence.
+    pub fn collector_cadence(&self) -> Duration {
+        self.inner.collector_cadence
     }
 
     /// The retained phase trace for query `id`, if it is still in the
@@ -1405,6 +1659,14 @@ impl Service {
         self.inner.work_available.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        {
+            let (flag, signal) = &*self.collector_stop;
+            *flag.lock().expect("collector stop lock") = true;
+            signal.notify_all();
+        }
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
         }
     }
 }
@@ -1534,6 +1796,25 @@ fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
             job.cost.estimated_work,
             stats.nodes_explored as u64,
         );
+        // Watchdog: a query that blew far past its a priori work estimate
+        // is either a bad estimate or a pathological input — flag it.
+        let measured = stats.nodes_explored as u64;
+        if job.cost.estimated_work > 0
+            && measured
+                >= inner
+                    .watchdog_factor
+                    .saturating_mul(job.cost.estimated_work)
+        {
+            Counters::bump(&inner.counters.watchdog_overruns);
+            inner.events.emit(
+                EventLevel::Warn,
+                "watchdog-overrun",
+                format!(
+                    "query {} explored {} nodes, >= {}x its estimate of {}",
+                    job.id.0, measured, inner.watchdog_factor, job.cost.estimated_work
+                ),
+            );
+        }
     }
 
     // Only completed searches are cached: a cancelled run's answer set is
@@ -1594,4 +1875,192 @@ fn execute(inner: &Inner, job: Job, queue_wait: std::time::Duration) {
         epoch: job.cache_key.epoch,
         trace: job.trace.requested.is_some().then_some(retained).flatten(),
     }));
+}
+
+/// Cross-tick state the collector carries: previous cumulative counter and
+/// histogram-bucket values (differenced into per-tick rates and windowed
+/// percentiles) plus the queue-saturation hysteresis flag.
+struct CollectorState {
+    prev_submitted: u64,
+    prev_rejected: u64,
+    prev_quota_rejected: u64,
+    prev_ttfa: [u64; HISTOGRAM_BUCKETS],
+    prev_wait: [u64; HISTOGRAM_BUCKETS],
+    saturated: bool,
+}
+
+impl Default for CollectorState {
+    fn default() -> Self {
+        CollectorState {
+            prev_submitted: 0,
+            prev_rejected: 0,
+            prev_quota_rejected: 0,
+            prev_ttfa: [0; HISTOGRAM_BUCKETS],
+            prev_wait: [0; HISTOGRAM_BUCKETS],
+            saturated: false,
+        }
+    }
+}
+
+/// Collector thread body: on every cadence tick, snapshot the service's
+/// counters, gauges and windowed latency percentiles into the time-series
+/// ring, run the SLO burn-rate evaluation over it, publish the report, and
+/// emit alert-fire / alert-resolve / queue-saturation events.  Exits when
+/// the stop flag is raised (signalled through the paired condvar).
+fn collector_loop(inner: Arc<Inner>, stop: Arc<(Mutex<bool>, Condvar)>, cadence: Duration) {
+    let (flag, signal) = &*stop;
+    let mut state = CollectorState::default();
+    // First tick up front: the report and the ring are populated right
+    // after boot instead of one full cadence in (which, at the production
+    // default of 10 s, would leave /debug/slo empty against every early
+    // probe).
+    collector_tick(&inner, &mut state, unix_ms());
+    loop {
+        {
+            let stopped = flag.lock().expect("collector stop lock");
+            let (stopped, _) = signal
+                .wait_timeout(stopped, cadence)
+                .expect("collector stop lock");
+            if *stopped {
+                return;
+            }
+        }
+        collector_tick(&inner, &mut state, unix_ms());
+    }
+}
+
+/// One collector pass at `now_ms`: record a tick and judge the SLOs.
+/// Split from [`collector_loop`] so the pass itself has no sleeping and a
+/// deterministic time base.
+fn collector_tick(inner: &Inner, state: &mut CollectorState, now_ms: u64) {
+    let c = &inner.counters;
+    let submitted = c.submitted.load(Ordering::Relaxed);
+    let rejected = c.rejected.load(Ordering::Relaxed);
+    let quota_rejected = c.quota_rejected.load(Ordering::Relaxed);
+
+    // Per-tick error ratio: this tick's rejections over this tick's
+    // submission attempts (accepted + rejected), NaN when there were none —
+    // a cumulative ratio would never recover from a burst of rejects.
+    let d_accepted = submitted.saturating_sub(state.prev_submitted);
+    let d_rejected = rejected.saturating_sub(state.prev_rejected)
+        + quota_rejected.saturating_sub(state.prev_quota_rejected);
+    let attempts = d_accepted + d_rejected;
+    let error_ratio = if attempts == 0 {
+        f64::NAN
+    } else {
+        d_rejected as f64 / attempts as f64
+    };
+
+    // Windowed percentiles from histogram-bucket deltas: the latency of
+    // *this tick's* samples only, NaN on idle ticks.  Unlike the cumulative
+    // summaries, these decay once a regression ends — which is what lets a
+    // fired SLO alert resolve.
+    let ttfa_now = inner.ttfa_hist.bucket_counts();
+    let ttfa_delta: [u64; HISTOGRAM_BUCKETS] =
+        std::array::from_fn(|i| ttfa_now[i].saturating_sub(state.prev_ttfa[i]));
+    let wait_now = inner.waits.lock().expect("waits lock").bucket_counts();
+    let wait_delta: [u64; HISTOGRAM_BUCKETS] =
+        std::array::from_fn(|i| wait_now[i].saturating_sub(state.prev_wait[i]));
+    let pct = |delta: &[u64; HISTOGRAM_BUCKETS], p: f64| -> f64 {
+        Histogram::percentile_of(delta, p)
+            .map(|d| d.as_micros().min(u64::MAX as u128) as f64)
+            .unwrap_or(f64::NAN)
+    };
+
+    let queued = inner.queue.lock().expect("queue lock").jobs.len();
+    let saturation = queued as f64 / inner.queue_capacity.max(1) as f64;
+
+    let shard_stats = inner.serving.lock().expect("serving lock").clone().stats();
+    let imbalance = if shard_stats.len() <= 1 {
+        1.0
+    } else {
+        let max = shard_stats.iter().map(|s| s.owned_nodes).max().unwrap_or(0) as f64;
+        let mean = shard_stats.iter().map(|s| s.owned_nodes).sum::<usize>() as f64
+            / shard_stats.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    };
+
+    // Values in timeseries_schema() order.
+    inner.series.record(
+        now_ms,
+        &[
+            submitted as f64,
+            c.executed.load(Ordering::Relaxed) as f64,
+            c.completed.load(Ordering::Relaxed) as f64,
+            rejected as f64,
+            quota_rejected as f64,
+            c.cancelled.load(Ordering::Relaxed) as f64,
+            c.cache_hits.load(Ordering::Relaxed) as f64,
+            c.answers_delivered.load(Ordering::Relaxed) as f64,
+            c.slow_queries.load(Ordering::Relaxed) as f64,
+            queued as f64,
+            error_ratio,
+            pct(&ttfa_delta, 0.50),
+            pct(&ttfa_delta, 0.90),
+            pct(&ttfa_delta, 0.99),
+            pct(&wait_delta, 0.50),
+            pct(&wait_delta, 0.90),
+            imbalance,
+            saturation,
+        ],
+    );
+
+    let (report, transitions) = inner.slo.evaluate(&inner.series, now_ms);
+    for t in &transitions {
+        if t.to == Health::Ok {
+            inner.events.emit(
+                EventLevel::Info,
+                "alert-resolve",
+                format!("slo {} recovered ({} -> ok)", t.slo, t.from.as_str()),
+            );
+        } else {
+            inner.events.emit(
+                EventLevel::Warn,
+                "alert-fire",
+                format!(
+                    "slo {} is {} ({} -> {})",
+                    t.slo,
+                    t.to.as_str(),
+                    t.from.as_str(),
+                    t.to.as_str()
+                ),
+            );
+        }
+    }
+    *inner.slo_report.lock().expect("slo report lock") = report;
+
+    // Queue-saturation watchdog with hysteresis: trip crossing 80%
+    // occupancy, clear only once it falls back under 50%.
+    if !state.saturated && saturation >= QUEUE_SATURATION_TRIP {
+        state.saturated = true;
+        Counters::bump(&c.watchdog_queue_trips);
+        inner.events.emit(
+            EventLevel::Warn,
+            "watchdog-queue",
+            format!(
+                "admission queue saturated: {queued}/{} slots occupied",
+                inner.queue_capacity
+            ),
+        );
+    } else if state.saturated && saturation < QUEUE_SATURATION_CLEAR {
+        state.saturated = false;
+        inner.events.emit(
+            EventLevel::Info,
+            "watchdog-queue",
+            format!(
+                "admission queue drained back under {}%",
+                (QUEUE_SATURATION_CLEAR * 100.0) as u64
+            ),
+        );
+    }
+
+    state.prev_submitted = submitted;
+    state.prev_rejected = rejected;
+    state.prev_quota_rejected = quota_rejected;
+    state.prev_ttfa = ttfa_now;
+    state.prev_wait = wait_now;
 }

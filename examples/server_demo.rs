@@ -45,6 +45,7 @@ fn dblp_service(shards: usize) -> Service {
         .cache_capacity(256)
         .tenant_quota(25.0, 40)
         .shards(shards)
+        .slos(SloSpec::defaults())
         .index(data.dataset.index().clone())
         .build()
 }
@@ -135,6 +136,12 @@ fn serve_forever(addr: &str, data_dir: Option<String>, shards: usize) {
         "  curl -N -X POST http://{}/query -d '{{\"q\":\"database query\",\"top_k\":5}}'",
         server.local_addr()
     );
+    println!("  curl http://{}/debug/slo", server.local_addr());
+    println!(
+        "  curl 'http://{}/debug/events?since=0'",
+        server.local_addr()
+    );
+    println!("  curl -N http://{}/debug/events/tail", server.local_addr());
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }

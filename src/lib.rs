@@ -121,9 +121,10 @@ pub mod prelude {
     pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
     pub use banks_server::Server;
     pub use banks_service::{
-        DurabilityStatus, FsyncPolicy, GraphSnapshot, MutationReport, PersistError, PersistOptions,
-        Priority, QueryEvent, QueryHandle, QueryId, QueryResult, QuerySpec, QueueWaitSummary,
-        Service, ServiceBuilder, ServiceMetrics, ShardSet, SubmitError, TenantMetrics,
+        DurabilityStatus, Event, EventLevel, EventLog, FsyncPolicy, GraphSnapshot, Health,
+        MutationReport, PersistError, PersistOptions, Priority, QueryEvent, QueryHandle, QueryId,
+        QueryResult, QuerySpec, QueueWaitSummary, Service, ServiceBuilder, ServiceMetrics,
+        ShardSet, SloReport, SloRow, SloSpec, SubmitError, TenantMetrics, TimeSeriesRing,
     };
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }
