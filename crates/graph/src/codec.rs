@@ -25,6 +25,7 @@ const TAG_ADD_EDGE: u8 = 1;
 const TAG_REMOVE_EDGE: u8 = 2;
 const TAG_SET_LABEL: u8 = 3;
 const TAG_SET_WEIGHT: u8 = 4;
+const TAG_REMOVE_NODE: u8 = 5;
 
 /// Encodes a batch into a self-describing byte string.
 ///
@@ -70,6 +71,10 @@ pub fn encode_batch(batch: &MutationBatch) -> Vec<u8> {
                 buf.extend_from_slice(&from.0.to_le_bytes());
                 buf.extend_from_slice(&to.0.to_le_bytes());
                 buf.extend_from_slice(&weight.to_bits().to_le_bytes());
+            }
+            GraphMutation::RemoveNode { node } => {
+                buf.push(TAG_REMOVE_NODE);
+                buf.extend_from_slice(&node.0.to_le_bytes());
             }
         }
     }
@@ -129,6 +134,9 @@ pub fn decode_batch(bytes: &[u8]) -> Result<MutationBatch> {
                 from: NodeId(r.u32(i)?),
                 to: NodeId(r.u32(i)?),
                 weight: f64::from_bits(r.u64(i)?),
+            },
+            TAG_REMOVE_NODE => GraphMutation::RemoveNode {
+                node: NodeId(r.u32(i)?),
             },
             tag => return Err(parse_err(i, format!("unknown mutation tag {tag}"))),
         };
@@ -222,6 +230,7 @@ mod tests {
             .remove_edge(NodeId(3), NodeId(4))
             .set_label(NodeId(5), "renamed")
             .set_weight(NodeId(6), NodeId(7), 0.125)
+            .remove_node(NodeId(8))
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub enum GraphError {
         /// Head of the missing edge.
         to: NodeId,
     },
+    /// A mutation addressed a node that was removed (tombstoned) by an
+    /// earlier [`crate::GraphMutation::RemoveNode`].  Tombstoned ids are
+    /// never reused, so the id itself stays reserved forever.
+    NodeTombstoned {
+        /// The removed node.
+        node: NodeId,
+    },
     /// The serialised form could not be parsed.
     ParseError {
         /// Line number (1-based) at which parsing failed.
@@ -69,6 +76,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::EdgeNotFound { from, to } => {
                 write!(f, "no forward edge {from} -> {to} exists")
+            }
+            GraphError::NodeTombstoned { node } => {
+                write!(f, "node {node} was removed and its id is tombstoned")
             }
             GraphError::ParseError { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

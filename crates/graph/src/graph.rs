@@ -10,7 +10,7 @@
 //! byte.  Freshly built graphs have an empty overlay and behave exactly as
 //! the flat representation did.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,6 +57,10 @@ pub(crate) struct BaseStorage {
     pub(crate) inc: CsrAdjacency,
     pub(crate) forward_indegree: Vec<u32>,
     pub(crate) forward_outdegree: Vec<u32>,
+    /// Ids removed by `RemoveNode`, sorted ascending.  Tombstoned nodes
+    /// keep their dense id (never remapped, never reused) but have empty
+    /// adjacency rows and an empty label, and are skipped by kind scans.
+    pub(crate) tombstones: Vec<u32>,
 }
 
 impl BaseStorage {
@@ -67,6 +71,7 @@ impl BaseStorage {
             + self.inc.memory_bytes()
             + self.forward_indegree.len() * 4
             + self.forward_outdegree.len() * 4
+            + self.tombstones.len() * 4
     }
 }
 
@@ -90,6 +95,9 @@ pub(crate) struct Overlay {
     pub(crate) indegree_patch: HashMap<u32, u32>,
     /// Forward out-degree overrides.
     pub(crate) outdegree_patch: HashMap<u32, u32>,
+    /// Nodes tombstoned since the base was built (ordered for
+    /// deterministic iteration).
+    pub(crate) tombstones: BTreeSet<u32>,
 }
 
 impl Overlay {
@@ -101,6 +109,7 @@ impl Overlay {
             && self.inc_rows.is_empty()
             && self.indegree_patch.is_empty()
             && self.outdegree_patch.is_empty()
+            && self.tombstones.is_empty()
     }
 
     /// Approximate heap footprint of the overlay itself (owned, not
@@ -128,6 +137,7 @@ impl Overlay {
             + row_bytes(&self.out_rows)
             + row_bytes(&self.inc_rows)
             + (self.indegree_patch.len() + self.outdegree_patch.len()) * size_of::<(u32, u32)>()
+            + self.tombstones.len() * size_of::<u32>()
     }
 }
 
@@ -261,6 +271,7 @@ impl DataGraph {
                 inc,
                 forward_indegree,
                 forward_outdegree,
+                tombstones: Vec::new(),
             }),
             overlay: Overlay::default(),
             num_original_edges: forward_edges.len(),
@@ -440,12 +451,40 @@ impl DataGraph {
             .map(KindId::from_index)
     }
 
-    /// All node ids belonging to a given kind.  Linear scan — intended for
-    /// index construction and tests, not hot paths.
+    /// All node ids belonging to a given kind, tombstoned nodes excluded.
+    /// Linear scan — intended for index construction and tests, not hot
+    /// paths.
     pub fn nodes_of_kind(&self, kind: KindId) -> Vec<NodeId> {
         self.nodes()
-            .filter(|n| self.node_kind(*n) == kind)
+            .filter(|n| self.node_kind(*n) == kind && !self.is_tombstoned(*n))
             .collect()
+    }
+
+    // ------------------------------------------------------------ tombstones
+
+    /// Whether `node` was removed by a [`crate::GraphMutation::RemoveNode`].
+    /// Tombstoned nodes keep their id (ids are never remapped or reused —
+    /// caches, WAL records and replicas all key on them) but have no edges,
+    /// an empty label, and are skipped by [`DataGraph::nodes_of_kind`].
+    #[inline]
+    pub fn is_tombstoned(&self, node: NodeId) -> bool {
+        if !self.overlay.tombstones.is_empty() && self.overlay.tombstones.contains(&node.0) {
+            return true;
+        }
+        self.base.tombstones.binary_search(&node.0).is_ok()
+    }
+
+    /// Number of tombstoned (removed) nodes.
+    pub fn num_tombstoned(&self) -> usize {
+        self.base.tombstones.len() + self.overlay.tombstones.len()
+    }
+
+    /// All tombstoned node ids, sorted ascending.
+    pub fn tombstoned_nodes(&self) -> Vec<u32> {
+        let mut all: Vec<u32> = self.base.tombstones.clone();
+        all.extend(self.overlay.tombstones.iter().copied());
+        all.sort_unstable();
+        all
     }
 
     // ------------------------------------------------------------- adjacency
@@ -633,6 +672,15 @@ impl DataGraph {
             }
         }
         let mut flat = DataGraph::from_parts(kinds, meta, forward, self.policy());
+        // Tombstones survive compaction verbatim: the flat base keeps the
+        // removed ids (with empty rows and labels) so the dense id space —
+        // which WAL records and replicas key on — never shifts.
+        let tombstones = self.tombstoned_nodes();
+        if !tombstones.is_empty() {
+            Arc::get_mut(&mut flat.base)
+                .expect("freshly built base has one owner")
+                .tombstones = tombstones;
+        }
         flat.epoch = self.epoch;
         flat
     }
@@ -658,6 +706,7 @@ impl DataGraph {
             inc: &self.base.inc,
             forward_indegree: &self.base.forward_indegree,
             forward_outdegree: &self.base.forward_outdegree,
+            tombstones: &self.base.tombstones,
             num_original_edges: self.num_original_edges,
             num_directed_edges: self.num_directed_edges,
             policy: self.policy,
@@ -712,6 +761,16 @@ impl DataGraph {
                 num_kinds
             )));
         }
+        if !parts.tombstones.windows(2).all(|w| w[0] < w[1]) {
+            return Err(invalid(
+                "tombstone list is not strictly ascending".to_string(),
+            ));
+        }
+        if let Some(&bad) = parts.tombstones.iter().find(|&&t| t as usize >= n) {
+            return Err(invalid(format!(
+                "tombstoned node {bad} out of bounds for {n} nodes"
+            )));
+        }
         let num_directed_edges = parts.out.num_edges();
         Ok(DataGraph {
             base: Arc::new(BaseStorage {
@@ -721,6 +780,7 @@ impl DataGraph {
                 inc: parts.inc,
                 forward_indegree: parts.forward_indegree,
                 forward_outdegree: parts.forward_outdegree,
+                tombstones: parts.tombstones,
             }),
             overlay: Overlay::default(),
             num_original_edges: parts.num_original_edges,
@@ -748,6 +808,8 @@ pub struct StorageRef<'a> {
     pub forward_indegree: &'a [u32],
     /// Forward out-degree per node.
     pub forward_outdegree: &'a [u32],
+    /// Tombstoned (removed) node ids, sorted ascending; usually empty.
+    pub tombstones: &'a [u32],
     /// Number of original forward edges.
     pub num_original_edges: usize,
     /// Number of directed edges in the expanded graph.
@@ -773,6 +835,8 @@ pub struct StorageParts {
     pub forward_indegree: Vec<u32>,
     /// Forward out-degree per node.
     pub forward_outdegree: Vec<u32>,
+    /// Tombstoned (removed) node ids, sorted ascending; usually empty.
+    pub tombstones: Vec<u32>,
     /// Number of original forward edges.
     pub num_original_edges: usize,
     /// The expansion policy the graph was built with.

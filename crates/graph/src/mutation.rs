@@ -96,6 +96,17 @@ pub enum GraphMutation {
         /// The new forward weight (finite, positive).
         weight: f64,
     },
+    /// Removes a node: every incident forward edge (in both directions,
+    /// with the usual backward-weight fan-out to affected neighbours) is
+    /// removed, the label is cleared so keyword indexes drop its postings,
+    /// and the id is **tombstoned** — never remapped, never reused, skipped
+    /// by kind scans, and rejected by every later op that addresses it.
+    /// Compaction carries tombstones into the flat base so the dense id
+    /// space (which caches, WAL records and replicas key on) never shifts.
+    RemoveNode {
+        /// The node to remove.
+        node: NodeId,
+    },
 }
 
 /// An ordered list of [`GraphMutation`]s applied as one unit.
@@ -184,6 +195,12 @@ impl MutationBatch {
         self
     }
 
+    /// Chainable [`GraphMutation::RemoveNode`].
+    pub fn remove_node(mut self, node: NodeId) -> Self {
+        self.ops.push(GraphMutation::RemoveNode { node });
+        self
+    }
+
     /// The ops in application order.
     pub fn ops(&self) -> &[GraphMutation] {
         &self.ops
@@ -231,6 +248,13 @@ pub enum OpEffect {
         to: NodeId,
         /// How many parallel forward edges changed weight.
         count: usize,
+    },
+    /// A node was tombstoned and its incident edges removed.
+    NodeRemoved {
+        /// The removed node.
+        node: NodeId,
+        /// How many forward edges (in both directions) went away with it.
+        edges_removed: usize,
     },
 }
 
@@ -313,6 +337,8 @@ struct DeltaBuilder<'g> {
     outdeg_delta: HashMap<u32, i64>,
     /// Nodes whose own adjacency definitely changed.
     touched: BTreeSet<u32>,
+    /// Nodes tombstoned by this batch (on top of the graph's own set).
+    tombstoned: BTreeSet<u32>,
     original_edges_delta: i64,
 }
 
@@ -330,6 +356,7 @@ impl<'g> DeltaBuilder<'g> {
             indeg_delta: HashMap::new(),
             outdeg_delta: HashMap::new(),
             touched: BTreeSet::new(),
+            tombstoned: BTreeSet::new(),
             original_edges_delta: 0,
         }
     }
@@ -347,6 +374,16 @@ impl<'g> DeltaBuilder<'g> {
         } else {
             Ok(())
         }
+    }
+
+    /// Bounds check plus tombstone check: ops may not address a node the
+    /// graph (or an earlier op in this batch) removed.
+    fn check_live(&self, node: NodeId) -> std::result::Result<(), GraphError> {
+        self.check_node(node)?;
+        if self.tombstoned.contains(&node.0) || self.g.is_tombstoned(node) {
+            return Err(GraphError::NodeTombstoned { node });
+        }
+        Ok(())
     }
 
     fn ensure_fwd_out(&mut self, u: u32) {
@@ -386,6 +423,7 @@ impl<'g> DeltaBuilder<'g> {
             GraphMutation::RemoveEdge { from, to } => self.remove_edge(*from, *to),
             GraphMutation::SetLabel { node, label } => self.set_label(*node, label),
             GraphMutation::SetWeight { from, to, weight } => self.set_weight(*from, *to, *weight),
+            GraphMutation::RemoveNode { node } => self.remove_node(*node),
         }
     }
 
@@ -425,8 +463,8 @@ impl<'g> DeltaBuilder<'g> {
         to: NodeId,
         weight: Option<f64>,
     ) -> std::result::Result<OpEffect, GraphError> {
-        self.check_node(from)?;
-        self.check_node(to)?;
+        self.check_live(from)?;
+        self.check_live(to)?;
         if from == to {
             return Err(GraphError::SelfLoop { node: from });
         }
@@ -464,8 +502,8 @@ impl<'g> DeltaBuilder<'g> {
         from: NodeId,
         to: NodeId,
     ) -> std::result::Result<OpEffect, GraphError> {
-        self.check_node(from)?;
-        self.check_node(to)?;
+        self.check_live(from)?;
+        self.check_live(to)?;
         self.ensure_fwd_out(from.0);
         let count = self
             .fwd_out
@@ -499,7 +537,7 @@ impl<'g> DeltaBuilder<'g> {
         node: NodeId,
         label: &str,
     ) -> std::result::Result<OpEffect, GraphError> {
-        self.check_node(node)?;
+        self.check_live(node)?;
         if node.index() >= self.base_nodes {
             // Batch-added node: edit in place; `label_old` already records
             // that the node has no pre-batch text.
@@ -519,8 +557,8 @@ impl<'g> DeltaBuilder<'g> {
         to: NodeId,
         weight: f64,
     ) -> std::result::Result<OpEffect, GraphError> {
-        self.check_node(from)?;
-        self.check_node(to)?;
+        self.check_live(from)?;
+        self.check_live(to)?;
         if !weight.is_finite() || weight <= 0.0 {
             return Err(GraphError::InvalidEdgeWeight { from, to, weight });
         }
@@ -549,6 +587,45 @@ impl<'g> DeltaBuilder<'g> {
         self.touched.insert(from.0);
         self.touched.insert(to.0);
         Ok(OpEffect::WeightSet { from, to, count })
+    }
+
+    fn remove_node(&mut self, node: NodeId) -> std::result::Result<OpEffect, GraphError> {
+        self.check_live(node)?;
+        let n = node.0;
+        self.ensure_fwd_out(n);
+        self.ensure_fwd_in(n);
+        // Distinct neighbour sets first: `remove_edge` takes out all
+        // parallel edges of a pair at once, with the standard indegree and
+        // backward-weight bookkeeping.
+        let out_targets: BTreeSet<u32> = self.fwd_out[&n].iter().map(|(t, _)| *t).collect();
+        // Self-loops are removed by the out pass; revisiting them from the
+        // in side would address an edge that is already gone.
+        let in_sources: BTreeSet<u32> = self.fwd_in[&n]
+            .iter()
+            .map(|(f, _)| *f)
+            .filter(|f| *f != n)
+            .collect();
+        let mut edges_removed = 0usize;
+        for t in out_targets {
+            match self.remove_edge(node, NodeId(t)) {
+                Ok(OpEffect::EdgesRemoved { count, .. }) => edges_removed += count,
+                other => unreachable!("edge from materialised list must remove: {other:?}"),
+            }
+        }
+        for s in in_sources {
+            match self.remove_edge(NodeId(s), node) {
+                Ok(OpEffect::EdgesRemoved { count, .. }) => edges_removed += count,
+                other => unreachable!("edge from materialised list must remove: {other:?}"),
+            }
+        }
+        // Clear the label so keyword-index deltas drop the node's postings.
+        self.set_label(node, "")?;
+        self.tombstoned.insert(n);
+        self.touched.insert(n);
+        Ok(OpEffect::NodeRemoved {
+            node,
+            edges_removed,
+        })
     }
 
     /// Final forward in-degree of a node after the batch.
@@ -705,6 +782,7 @@ impl<'g> DeltaBuilder<'g> {
                 overlay.outdegree_patch.insert(n, (base + d) as u32);
             }
         }
+        overlay.tombstones.extend(self.tombstoned.iter().copied());
 
         let graph = DataGraph {
             base: Arc::clone(&self.g.base),
@@ -1066,5 +1144,145 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn remove_node_drops_all_incident_edges_and_tombstones_the_id() {
+        // 1 -> 0, 2 -> 0, 0 -> 3: removing 0 takes out all three pairs and
+        // the backward fan-out they induced.
+        let g = graph_from_edges(4, &[(1, 0), (2, 0), (0, 3)]);
+        let (g2, outcome) = g.apply_batch(&MutationBatch::new().remove_node(NodeId(0)));
+        assert!(matches!(
+            outcome.results[0],
+            Ok(OpEffect::NodeRemoved {
+                node: NodeId(0),
+                edges_removed: 3
+            })
+        ));
+        assert!(g2.is_tombstoned(NodeId(0)));
+        assert!(!g.is_tombstoned(NodeId(0)), "ancestor unchanged");
+        assert_eq!(g2.num_nodes(), 4, "ids are never remapped");
+        assert_eq!(g2.num_original_edges(), 0);
+        assert_eq!(g2.num_directed_edges(), 0);
+        assert_eq!(g2.node_label(NodeId(0)), "", "label cleared");
+        assert_eq!(g2.forward_indegree(NodeId(0)), 0);
+        assert_eq!(g2.forward_outdegree(NodeId(0)), 0);
+        assert_eq!(
+            outcome.label_changes,
+            vec![LabelChange {
+                node: NodeId(0),
+                old_label: Some("v0".to_string())
+            }]
+        );
+        // Kind scans skip the tombstone.
+        let kind = g2.kind_by_name("node").unwrap();
+        assert_eq!(
+            g2.nodes_of_kind(kind),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn ops_against_a_tombstoned_node_are_rejected() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let (g2, _) = g.apply_batch(&MutationBatch::new().remove_node(NodeId(1)));
+        let batch = MutationBatch::new()
+            .add_edge(NodeId(0), NodeId(1))
+            .remove_edge(NodeId(1), NodeId(2))
+            .set_label(NodeId(1), "ghost")
+            .set_weight(NodeId(0), NodeId(1), 2.0)
+            .remove_node(NodeId(1))
+            .add_edge(NodeId(0), NodeId(2)); // fine
+        let (g3, outcome) = g2.apply_batch(&batch);
+        assert_eq!(outcome.accepted(), 1);
+        assert_eq!(outcome.rejected(), 5);
+        for r in &outcome.results[..5] {
+            assert!(
+                matches!(r, Err(GraphError::NodeTombstoned { node: NodeId(1) })),
+                "unexpected result {r:?}"
+            );
+        }
+        assert!(g3.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn remove_node_in_same_batch_as_its_edges() {
+        // The batch removes a node right after wiring it in; later ops see
+        // the tombstone immediately.
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let batch = MutationBatch::new()
+            .add_node("node", "doomed")
+            .add_edge(NodeId(3), NodeId(2))
+            .remove_node(NodeId(3))
+            .add_edge(NodeId(3), NodeId(0));
+        let (g2, outcome) = g.apply_batch(&batch);
+        assert_eq!(outcome.accepted(), 3);
+        assert!(matches!(
+            outcome.results[3],
+            Err(GraphError::NodeTombstoned { node: NodeId(3) })
+        ));
+        assert!(g2.is_tombstoned(NodeId(3)));
+        assert_eq!(g2.num_original_edges(), 1, "only 0 -> 1 survives");
+    }
+
+    #[test]
+    fn tombstones_survive_compaction_without_id_remap() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (g2, _) = g.apply_batch(&MutationBatch::new().remove_node(NodeId(2)));
+        assert!(g2.has_overlay());
+        let flat = g2.compacted();
+        assert!(!flat.has_overlay());
+        assert!(flat.is_tombstoned(NodeId(2)));
+        assert_eq!(flat.num_nodes(), g2.num_nodes());
+        assert_eq!(flat.num_tombstoned(), 1);
+        assert_eq!(flat.tombstoned_nodes(), vec![2]);
+        assert_graphs_identical(&flat, &g2);
+        // Mutating the compacted graph still rejects the dead id.
+        let (_, outcome) = flat.apply_batch(&MutationBatch::new().set_label(NodeId(2), "x"));
+        assert!(matches!(
+            outcome.results[0],
+            Err(GraphError::NodeTombstoned { node: NodeId(2) })
+        ));
+    }
+
+    #[test]
+    fn remove_node_updates_backward_fanout_of_surviving_neighbours() {
+        // 1, 2, 3 all point at 0; removing 3 must re-weight the backward
+        // edges 0 hands back to the survivors (log2(1 + indegree)).
+        let g = graph_from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+        let (g2, _) = g.apply_batch(&MutationBatch::new().remove_node(NodeId(3)));
+        let rebuilt = graph_from_edges(4, &[(1, 0), (2, 0)]);
+        assert_eq!(g2.forward_indegree(NodeId(0)), 2);
+        let w = g2
+            .out_edges(NodeId(0))
+            .find(|e| e.to == NodeId(1))
+            .unwrap()
+            .weight;
+        let expected = rebuilt
+            .out_edges(NodeId(0))
+            .find(|e| e.to == NodeId(1))
+            .unwrap()
+            .weight;
+        assert_eq!(w.to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn remove_node_with_self_loop_counts_it_once() {
+        let mut b = GraphBuilder::new().allow_self_loops(true);
+        for i in 0..2 {
+            b.add_node("node", format!("v{i}"));
+        }
+        b.add_edge(NodeId(0), NodeId(0)).unwrap();
+        b.add_edge(NodeId(0), NodeId(1)).unwrap();
+        let g = b.build_default();
+        let (g2, outcome) = g.apply_batch(&MutationBatch::new().remove_node(NodeId(0)));
+        assert!(matches!(
+            outcome.results[0],
+            Ok(OpEffect::NodeRemoved {
+                edges_removed: 2,
+                ..
+            })
+        ));
+        assert_eq!(g2.num_original_edges(), 0);
     }
 }

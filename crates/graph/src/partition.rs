@@ -444,6 +444,93 @@ impl GraphPartition {
                         delta.batch = std::mem::take(&mut delta.batch).set_weight(lf, lt, *weight);
                     }
                 }
+                GraphMutation::RemoveNode { node } => {
+                    let o = self.spec.owner(*node);
+                    // Exact removed-edge accounting, replayed through ops
+                    // already staged this batch (the same discipline as
+                    // `forward_multiplicity`).  The owner shard materialises
+                    // *every* forward edge incident to the node — owned
+                    // edges by the tail rule plus cut edges replicated into
+                    // the head's shard — so it alone yields the full
+                    // incident multiset.
+                    let mut out_pairs: HashMap<NodeId, usize> = HashMap::new();
+                    let mut in_pairs: HashMap<NodeId, usize> = HashMap::new();
+                    {
+                        let shard = &self.shards[o];
+                        let delta = &deltas[o];
+                        if let Some(lg) = staged_local(shard, delta, *node) {
+                            if lg.index() < shard.graph.num_nodes() {
+                                for e in shard.graph.out_edges(lg) {
+                                    if e.kind == EdgeKind::Forward {
+                                        let v = staged_global(shard, delta, e.to);
+                                        *out_pairs.entry(v).or_insert(0) += 1;
+                                    }
+                                }
+                                for e in shard.graph.in_edges(lg) {
+                                    // Self-loops were already counted on
+                                    // the out side.
+                                    if e.kind == EdgeKind::Forward && e.from != lg {
+                                        let t = staged_global(shard, delta, e.from);
+                                        *in_pairs.entry(t).or_insert(0) += 1;
+                                    }
+                                }
+                            }
+                            for op in delta.batch.ops() {
+                                match op {
+                                    GraphMutation::AddEdge { from, to, .. } => {
+                                        if *from == lg {
+                                            let v = staged_global(shard, delta, *to);
+                                            *out_pairs.entry(v).or_insert(0) += 1;
+                                        } else if *to == lg {
+                                            let t = staged_global(shard, delta, *from);
+                                            *in_pairs.entry(t).or_insert(0) += 1;
+                                        }
+                                    }
+                                    GraphMutation::RemoveEdge { from, to } => {
+                                        if *from == lg {
+                                            out_pairs.insert(staged_global(shard, delta, *to), 0);
+                                        } else if *to == lg {
+                                            in_pairs.insert(staged_global(shard, delta, *from), 0);
+                                        }
+                                    }
+                                    GraphMutation::RemoveNode { node: other } if *other != lg => {
+                                        // A neighbour removed earlier in the
+                                        // batch already took its incident
+                                        // edges with it.
+                                        let g = staged_global(shard, delta, *other);
+                                        out_pairs.insert(g, 0);
+                                        in_pairs.insert(g, 0);
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    for (v, c) in out_pairs {
+                        let delta = &mut deltas[o];
+                        delta.owned_delta -= c as isize;
+                        if self.spec.owner(v) != o {
+                            delta.cut_delta -= c as isize;
+                        }
+                    }
+                    for (t, c) in in_pairs {
+                        let s = self.spec.owner(t);
+                        let delta = &mut deltas[s];
+                        delta.owned_delta -= c as isize;
+                        if s != o {
+                            delta.cut_delta -= c as isize;
+                        }
+                    }
+                    // Tombstone everywhere the node is materialised, owner
+                    // and replica shards alike; the shard-local
+                    // `remove_node` drops the incident edges in each.
+                    for (shard_idx, shard) in self.shards.iter().enumerate() {
+                        let delta = &mut deltas[shard_idx];
+                        if let Some(local) = staged_local(shard, delta, *node) {
+                            delta.batch = std::mem::take(&mut delta.batch).remove_node(local);
+                        }
+                    }
+                }
             }
         }
 
@@ -531,6 +618,16 @@ fn stage_local(
         union.node_label(global).to_string(),
     );
     local
+}
+
+/// Global id behind a staged local id: materialised nodes first, then this
+/// batch's staged appends.
+fn staged_global(shard: &ShardSubgraph, delta: &ShardDelta, local: NodeId) -> NodeId {
+    if local.index() < shard.nodes.len() {
+        shard.nodes[local.index()]
+    } else {
+        delta.appended[local.index() - shard.nodes.len()].0
+    }
 }
 
 /// Local id of `global` counting both materialised nodes and this batch's

@@ -48,12 +48,16 @@ impl Health {
 }
 
 /// One declarative objective over a retained series.
-#[derive(Clone, Debug)]
+///
+/// Names and metrics are owned strings so specs can come from operator
+/// configuration (a JSON file, `POST /admin/slo`) as well as from the
+/// built-in [`SloSpec::defaults`].
+#[derive(Clone, Debug, PartialEq)]
 pub struct SloSpec {
     /// Short stable name (`"ttfa_p99"`), used in events and metric labels.
-    pub name: &'static str,
+    pub name: String,
     /// The time-series schema entry the objective constrains.
-    pub metric: &'static str,
+    pub metric: String,
     /// Upper bound: a tick violates when `value > threshold`.
     pub threshold: f64,
     /// Error budget: allowed fraction of violating ticks (default 1%).
@@ -71,10 +75,10 @@ pub struct SloSpec {
 impl SloSpec {
     /// An upper-bound objective with the default windows and burn
     /// thresholds: 1% budget, 5 m / 1 h windows, fire ≥ 10, resolve ≤ 1.
-    pub fn upper_bound(name: &'static str, metric: &'static str, threshold: f64) -> Self {
+    pub fn upper_bound(name: impl Into<String>, metric: impl Into<String>, threshold: f64) -> Self {
         SloSpec {
-            name,
-            metric,
+            name: name.into(),
+            metric: metric.into(),
             threshold,
             budget: 0.01,
             fast_window_ms: 5 * 60 * 1000,
@@ -109,6 +113,13 @@ impl SloSpec {
             SloSpec::upper_bound("shard_imbalance", "shard_imbalance", 2.0),
         ]
     }
+
+    /// The replication objective a follower adds on top of the defaults:
+    /// applied-epoch lag behind the leader stays under 5 s.  The metric is
+    /// the `replication_lag_ms` series the follower's collector feeds.
+    pub fn replication_lag() -> Self {
+        SloSpec::upper_bound("replication_lag", "replication_lag_ms", 5_000.0)
+    }
 }
 
 /// The evaluated state of one spec, as served on `GET /debug/slo` and
@@ -116,9 +127,9 @@ impl SloSpec {
 #[derive(Clone, Debug, PartialEq)]
 pub struct SloRow {
     /// Spec name.
-    pub name: &'static str,
+    pub name: String,
     /// Constrained series.
-    pub metric: &'static str,
+    pub metric: String,
     /// Upper bound.
     pub threshold: f64,
     /// Latest finite sample of the series (`NaN` when the window is idle).
@@ -132,10 +143,10 @@ pub struct SloRow {
 }
 
 /// A state change produced by one evaluation, for the event log.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SloTransition {
     /// Spec name.
-    pub slo: &'static str,
+    pub slo: String,
     /// Verdict before this evaluation.
     pub from: Health,
     /// Verdict after.
@@ -153,29 +164,62 @@ pub struct SloReport {
 
 /// Evaluates a set of [`SloSpec`]s against a [`TimeSeriesRing`], keeping
 /// per-spec hysteretic state between passes.
+///
+/// The spec set itself is behind the same lock as the states so operators
+/// can swap objectives at runtime ([`SloEngine::replace_specs`]) without
+/// an evaluation pass observing half an update.
 #[derive(Debug)]
 pub struct SloEngine {
+    inner: Mutex<EngineState>,
+}
+
+#[derive(Debug)]
+struct EngineState {
     specs: Vec<SloSpec>,
-    states: Mutex<Vec<Health>>,
+    states: Vec<Health>,
 }
 
 impl SloEngine {
     /// An engine over `specs`, all starting `ok`.
     pub fn new(specs: Vec<SloSpec>) -> Self {
-        let states = Mutex::new(vec![Health::Ok; specs.len()]);
-        SloEngine { specs, states }
+        let states = vec![Health::Ok; specs.len()];
+        SloEngine {
+            inner: Mutex::new(EngineState { specs, states }),
+        }
     }
 
-    /// The configured specs.
-    pub fn specs(&self) -> &[SloSpec] {
-        &self.specs
+    /// A copy of the configured specs.
+    pub fn specs(&self) -> Vec<SloSpec> {
+        self.inner.lock().unwrap().specs.clone()
+    }
+
+    /// Replaces the whole spec set.  All hysteretic states restart at
+    /// `ok` — the old burn history does not carry meaning for objectives
+    /// with different thresholds or windows.
+    pub fn replace_specs(&self, specs: Vec<SloSpec>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.states = vec![Health::Ok; specs.len()];
+        inner.specs = specs;
+    }
+
+    /// Appends one spec (dropping any existing spec with the same name
+    /// first); its state starts at `ok`, others keep their history.
+    pub fn upsert_spec(&self, spec: SloSpec) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(i) = inner.specs.iter().position(|s| s.name == spec.name) {
+            inner.specs.remove(i);
+            inner.states.remove(i);
+        }
+        inner.specs.push(spec);
+        inner.states.push(Health::Ok);
     }
 
     /// The current health without re-evaluating.
     pub fn health(&self) -> Health {
-        self.states
+        self.inner
             .lock()
             .unwrap()
+            .states
             .iter()
             .copied()
             .max()
@@ -185,10 +229,10 @@ impl SloEngine {
     /// One evaluation pass at `now_ms`.  Updates the per-spec states and
     /// returns the report plus every state transition this pass caused.
     pub fn evaluate(&self, ring: &TimeSeriesRing, now_ms: u64) -> (SloReport, Vec<SloTransition>) {
-        let mut states = self.states.lock().unwrap();
-        let mut rows = Vec::with_capacity(self.specs.len());
+        let inner = &mut *self.inner.lock().unwrap();
+        let mut rows = Vec::with_capacity(inner.specs.len());
         let mut transitions = Vec::new();
-        for (spec, state) in self.specs.iter().zip(states.iter_mut()) {
+        for (spec, state) in inner.specs.iter().zip(inner.states.iter_mut()) {
             let (burn_fast, value) = burn_over(ring, spec, spec.fast_window_ms, now_ms);
             let (burn_slow, _) = burn_over(ring, spec, spec.slow_window_ms, now_ms);
             let candidate = if burn_fast >= spec.fire_burn && burn_slow >= spec.fire_burn {
@@ -207,15 +251,15 @@ impl SloEngine {
             };
             if next != *state {
                 transitions.push(SloTransition {
-                    slo: spec.name,
+                    slo: spec.name.clone(),
                     from: *state,
                     to: next,
                 });
                 *state = next;
             }
             rows.push(SloRow {
-                name: spec.name,
-                metric: spec.metric,
+                name: spec.name.clone(),
+                metric: spec.metric.clone(),
                 threshold: spec.threshold,
                 value,
                 burn_fast,
@@ -223,7 +267,7 @@ impl SloEngine {
                 state: next,
             });
         }
-        let health = states.iter().copied().max().unwrap_or(Health::Ok);
+        let health = inner.states.iter().copied().max().unwrap_or(Health::Ok);
         (SloReport { health, rows }, transitions)
     }
 }
@@ -231,7 +275,7 @@ impl SloEngine {
 /// Burn rate of `spec` over one window, plus the latest finite value seen
 /// (NaN when the window holds no finite samples).  Idle windows burn 0.
 fn burn_over(ring: &TimeSeriesRing, spec: &SloSpec, window_ms: u64, now_ms: u64) -> (f64, f64) {
-    let idx = match ring.index_of(spec.metric) {
+    let idx = match ring.index_of(&spec.metric) {
         Some(i) => i,
         None => return (0.0, f64::NAN),
     };
@@ -316,7 +360,7 @@ mod tests {
         assert_eq!(
             transitions,
             vec![SloTransition {
-                slo: "ttfa_p99",
+                slo: "ttfa_p99".to_string(),
                 from: Health::Ok,
                 to: Health::Degraded
             }]
@@ -362,7 +406,7 @@ mod tests {
         assert_eq!(
             transitions,
             vec![SloTransition {
-                slo: "ttfa_p99",
+                slo: "ttfa_p99".to_string(),
                 from: Health::Breached,
                 to: Health::Ok
             }]
@@ -402,9 +446,40 @@ mod tests {
     }
 
     #[test]
+    fn replace_and_upsert_swap_specs_and_reset_state() {
+        let engine = SloEngine::new(vec![spec()]);
+        let r = ring();
+        for i in 0..20u64 {
+            r.record(i * 100, &[500.0]);
+        }
+        let (report, _) = engine.evaluate(&r, 2_000);
+        assert_eq!(report.health, Health::Breached);
+
+        // Same metric, looser bound: states restart ok and stay there.
+        engine.replace_specs(vec![SloSpec::upper_bound(
+            "ttfa_p99",
+            "ttfa_p99_us",
+            1_000.0,
+        )
+        .with_windows(1_000, 10_000)]);
+        assert_eq!(engine.health(), Health::Ok);
+        let (report, transitions) = engine.evaluate(&r, 2_000);
+        assert_eq!(report.health, Health::Ok);
+        assert!(transitions.is_empty());
+
+        // Upsert replaces by name without disturbing other specs.
+        engine.upsert_spec(SloSpec::replication_lag());
+        engine.upsert_spec(SloSpec::upper_bound("ttfa_p99", "ttfa_p99_us", 2_000.0));
+        let specs = engine.specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "replication_lag");
+        assert_eq!(specs[1].threshold, 2_000.0);
+    }
+
+    #[test]
     fn default_specs_cover_the_stock_objectives() {
         let specs = SloSpec::defaults();
-        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
             vec![

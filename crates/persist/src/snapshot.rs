@@ -65,6 +65,10 @@ const TAG_CSR_INC: u32 = 6;
 const TAG_DEGREES: u32 = 7;
 const TAG_PRESTIGE: u32 = 8;
 const TAG_INDEX: u32 = 9;
+/// Optional record: ids tombstoned by `RemoveNode`, sorted ascending.
+/// Written only when non-empty, so pre-removal snapshots are byte-stable
+/// and older files (which never contain the tag) keep decoding.
+const TAG_TOMBSTONES: u32 = 10;
 
 /// Everything a snapshot file holds: the graph (epoch restored) plus the
 /// optional derived structures that were persisted alongside it.
@@ -143,6 +147,13 @@ pub fn encode_snapshot(
 
     records.push((TAG_CSR_OUT, encode_csr(parts.out), true));
     records.push((TAG_CSR_INC, encode_csr(parts.inc), true));
+
+    if !parts.tombstones.is_empty() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, parts.tombstones.len() as u64);
+        put_u32_slice(&mut buf, parts.tombstones);
+        records.push((TAG_TOMBSTONES, buf, false));
+    }
 
     if let Some(p) = prestige {
         let mut buf = Vec::new();
@@ -414,6 +425,17 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotContents> {
         });
     }
 
+    // Optional tombstone set (absent in snapshots written before
+    // `RemoveNode` existed, and whenever no node was ever removed).
+    let tombstones = match payloads.iter().find(|(t, _)| *t == TAG_TOMBSTONES) {
+        None => Vec::new(),
+        Some((_, p)) => {
+            let mut c = Cursor::new(p, 0);
+            let n = c.count(4, "tombstones")?;
+            c.u32_vec(n, "tombstone ids")?
+        }
+    };
+
     let mut graph = DataGraph::from_storage_parts(StorageParts {
         kinds,
         meta,
@@ -423,6 +445,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotContents> {
         forward_outdegree,
         num_original_edges,
         policy,
+        tombstones,
     })?;
     graph.restore_epoch(epoch);
 
@@ -689,6 +712,30 @@ mod tests {
         let decoded = decode_snapshot(&encode_snapshot(&g2, None, None)).unwrap();
         assert!(!decoded.graph.has_overlay());
         assert_graphs_bit_identical(&g2.compacted(), &decoded.graph);
+    }
+
+    #[test]
+    fn tombstoned_graph_round_trips_with_the_optional_record() {
+        let g = sample_graph();
+        let (g2, outcome) = g.apply_batch(&MutationBatch::new().remove_node(NodeId(1)));
+        assert!(outcome.results[0].is_ok());
+        let bytes = encode_snapshot(&g2, None, None);
+        let decoded = decode_snapshot(&bytes).unwrap();
+        assert!(decoded.graph.is_tombstoned(NodeId(1)));
+        assert_eq!(decoded.graph.tombstoned_nodes(), vec![1]);
+        assert_graphs_bit_identical(&g2.compacted(), &decoded.graph);
+        // A mutation against the dead id is still rejected after reload.
+        let (_, outcome) = decoded
+            .graph
+            .apply_batch(&MutationBatch::new().set_label(NodeId(1), "x"));
+        assert!(outcome.results[0].is_err());
+
+        // A graph with no tombstones must not grow the extra record: the
+        // byte stream is unchanged from pre-RemoveNode builds.
+        let plain = sample_graph();
+        let (before, record_count) = decode_header(&encode_snapshot(&plain, None, None)).unwrap();
+        let _ = before;
+        assert_eq!(record_count, 7, "no TAG_TOMBSTONES record when empty");
     }
 
     #[test]

@@ -89,7 +89,11 @@ pub struct WalScan {
     pub anomaly: Option<String>,
 }
 
-fn encode_record(seq: u64, parent_epoch: u64, epoch: u64, batch: &MutationBatch) -> Vec<u8> {
+/// Encodes one WAL record — the `len`/`CRC` framing plus sequence number,
+/// epochs and the serialized batch — exactly as [`Wal::append`] writes it
+/// to disk.  Public so the replication stream can ship verbatim record
+/// bytes to followers, who re-verify the CRC with [`decode_record`].
+pub fn encode_record(seq: u64, parent_epoch: u64, epoch: u64, batch: &MutationBatch) -> Vec<u8> {
     let payload = encode_batch(batch);
     let mut body = Vec::with_capacity(24 + payload.len());
     put_u64(&mut body, seq);
@@ -101,6 +105,60 @@ fn encode_record(seq: u64, parent_epoch: u64, epoch: u64, batch: &MutationBatch)
     put_u32(&mut rec, crc32(&body));
     rec.extend_from_slice(&body);
     rec
+}
+
+/// Decodes exactly one record produced by [`encode_record`], re-verifying
+/// the CRC, and returns it with the number of bytes consumed.  Strict:
+/// truncation, checksum mismatches and undecodable batches are typed
+/// errors — a replication follower must reject a damaged shipment rather
+/// than truncate-and-continue like the local crash-recovery scan does.
+pub fn decode_record(bytes: &[u8]) -> Result<(WalRecord, usize)> {
+    if bytes.len() < 8 {
+        return Err(PersistError::Truncated {
+            offset: 0,
+            region: "wal record framing",
+        });
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    let stored = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if len < WAL_RECORD_HEADER_LEN - 8 {
+        return Err(PersistError::Corrupt {
+            detail: format!("wal record body of {len} bytes is too short"),
+        });
+    }
+    let body_end = 8usize
+        .checked_add(len)
+        .filter(|e| *e <= bytes.len())
+        .ok_or(PersistError::Truncated {
+            offset: 8,
+            region: "wal record body",
+        })?;
+    let body = &bytes[8..body_end];
+    let computed = crc32(body);
+    if computed != stored {
+        return Err(PersistError::ChecksumMismatch {
+            region: "wal record",
+            stored,
+            computed,
+        });
+    }
+    let mut c = Cursor::new(body, 8);
+    let seq = c.u64("wal seq")?;
+    let parent_epoch = c.u64("wal parent epoch")?;
+    let epoch = c.u64("wal epoch")?;
+    let batch =
+        decode_batch(c.take(c.remaining(), "wal payload")?).map_err(|e| PersistError::Corrupt {
+            detail: format!("undecodable batch in wal record {seq}: {e}"),
+        })?;
+    Ok((
+        WalRecord {
+            seq,
+            parent_epoch,
+            epoch,
+            batch,
+        },
+        body_end,
+    ))
 }
 
 fn header() -> [u8; WAL_HEADER_LEN] {
@@ -445,6 +503,39 @@ mod tests {
             assert_eq!(rec.batch, sample_batch(i as u64));
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_codec_round_trips_and_rejects_damage() {
+        let batch = sample_batch(3);
+        let bytes = encode_record(7, 41, 42, &batch);
+        let (rec, used) = decode_record(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.parent_epoch, 41);
+        assert_eq!(rec.epoch, 42);
+        assert_eq!(rec.batch, batch);
+
+        // Any truncation is a typed error — replication shipments must be
+        // whole, unlike the lenient local recovery scan.
+        for cut in 0..bytes.len() {
+            assert!(decode_record(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut flipped = bytes.clone();
+        flipped[12] ^= 0x01;
+        assert!(matches!(
+            decode_record(&flipped),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+
+        // Concatenated records decode one at a time via the consumed count.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&encode_record(8, 42, 43, &batch));
+        let (first, consumed) = decode_record(&two).unwrap();
+        assert_eq!(first.seq, 7);
+        let (second, rest) = decode_record(&two[consumed..]).unwrap();
+        assert_eq!(second.seq, 8);
+        assert_eq!(consumed + rest, two.len());
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! A minimal HTTP/1.1 GET client over `std::net` — just enough to speak
+//! to `banks-server`'s replication endpoints: absolute-path GETs with a
+//! handful of headers, `Connection: close` framing, status + header + body
+//! parsing, and a streaming mode that hands back the socket positioned at
+//! the start of an SSE body.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed `http://host:port[/base]` leader address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaderUrl {
+    host: String,
+    port: u16,
+    base: String,
+}
+
+impl LeaderUrl {
+    /// Parses `http://host:port`, with an optional base path and trailing
+    /// slash; a bare `host:port` is accepted too.  `https` is rejected —
+    /// this client speaks plaintext HTTP only.
+    pub fn parse(url: &str) -> Result<Self, String> {
+        let url = url.trim();
+        if let Some(rest) = url.strip_prefix("https://") {
+            return Err(format!("https is not supported: {rest:?} unreachable"));
+        }
+        let rest = url.strip_prefix("http://").unwrap_or(url);
+        let (authority, base) = match rest.find('/') {
+            Some(i) => (&rest[..i], rest[i..].trim_end_matches('/')),
+            None => (rest, ""),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((host, port)) => (
+                host,
+                port.parse::<u16>()
+                    .map_err(|_| format!("invalid port in {url:?}"))?,
+            ),
+            None => (authority, 80),
+        };
+        if host.is_empty() {
+            return Err(format!("missing host in {url:?}"));
+        }
+        Ok(LeaderUrl {
+            host: host.to_string(),
+            port,
+            base: base.to_string(),
+        })
+    }
+
+    /// `host:port`, for `Host:` headers and [`TcpStream::connect`].
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+
+    /// The absolute request path for `suffix` (which must start with `/`).
+    pub fn path(&self, suffix: &str) -> String {
+        format!("{}{suffix}", self.base)
+    }
+
+    /// The base URL in display form (no trailing slash).
+    pub fn display(&self) -> String {
+        format!("http://{}:{}{}", self.host, self.port, self.base)
+    }
+
+    fn connect(&self, timeout: Duration) -> std::io::Result<TcpStream> {
+        // Resolve + connect with a bound: a black-holed leader address
+        // must not hang the follower thread indefinitely.
+        let mut last_err = None;
+        for addr in std::net::ToSocketAddrs::to_socket_addrs(&(self.host.as_str(), self.port))? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
+        }))
+    }
+}
+
+/// A fully-read HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Response headers, in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (by `Content-Length` when present, else to EOF).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first header named `name` (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    url: &LeaderUrl,
+    path: &str,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut request = format!(
+        "GET {} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+        url.path(path),
+        url.authority()
+    );
+    for (name, value) in extra_headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str("\r\n");
+    stream.write_all(request.as_bytes())
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line: {line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            return Ok((status, headers));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+}
+
+/// One whole GET: connect, send, read status + headers + body, close.
+pub(crate) fn get(
+    url: &LeaderUrl,
+    path: &str,
+    extra_headers: &[(&str, String)],
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = url.connect(timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    write_request(&mut stream, url, path, extra_headers)?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader)?;
+    let length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let mut body = Vec::new();
+    match length {
+        Some(length) => {
+            body.resize(length, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Opens a streaming GET and returns the reader positioned at the body,
+/// with `read_timeout` set on the socket so callers can poll a stop flag
+/// between SSE lines.  Non-200 responses drain the error body into the
+/// returned [`Response`]-shaped error string.
+pub(crate) fn open_stream(
+    url: &LeaderUrl,
+    path: &str,
+    extra_headers: &[(&str, String)],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> std::io::Result<BufReader<TcpStream>> {
+    let mut stream = url.connect(connect_timeout)?;
+    stream.set_read_timeout(Some(connect_timeout))?;
+    write_request(&mut stream, url, path, extra_headers)?;
+    let mut reader = BufReader::new(stream);
+    let (status, _) = read_head(&mut reader)?;
+    if status != 200 {
+        let mut body = Vec::new();
+        let _ = reader.read_to_end(&mut body);
+        return Err(std::io::Error::other(format!(
+            "leader answered {status} on {}: {}",
+            path,
+            String::from_utf8_lossy(&body)
+        )));
+    }
+    reader.get_ref().set_read_timeout(Some(read_timeout))?;
+    Ok(reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urls_parse_with_and_without_scheme_base_and_port() {
+        let url = LeaderUrl::parse("http://127.0.0.1:7878").unwrap();
+        assert_eq!(url.authority(), "127.0.0.1:7878");
+        assert_eq!(url.path("/replication/stream"), "/replication/stream");
+        assert_eq!(url.display(), "http://127.0.0.1:7878");
+
+        let url = LeaderUrl::parse("http://leader.example:8080/banks/").unwrap();
+        assert_eq!(url.authority(), "leader.example:8080");
+        assert_eq!(url.path("/healthz"), "/banks/healthz");
+
+        let url = LeaderUrl::parse("localhost:9000").unwrap();
+        assert_eq!(url.authority(), "localhost:9000");
+
+        let url = LeaderUrl::parse("http://bare.example").unwrap();
+        assert_eq!(url.authority(), "bare.example:80");
+
+        assert!(LeaderUrl::parse("https://secure.example").is_err());
+        assert!(LeaderUrl::parse("http://:7878").is_err());
+        assert!(LeaderUrl::parse("http://host:notaport").is_err());
+    }
+}

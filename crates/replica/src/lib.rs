@@ -1,0 +1,98 @@
+//! # banks-replica
+//!
+//! The **follower half** of BANKS leader/follower replication: a client
+//! that keeps a local [`banks_service::Service`] converged with a leader
+//! process over plain HTTP — `std::net` sockets only, no external HTTP
+//! stack, mirroring the hand-rolled server in `banks-server`.
+//!
+//! ## The protocol (follower's view)
+//!
+//! 1. **Tail** `GET /replication/stream` on the leader, resuming from the
+//!    follower's serving epoch via `Last-Event-ID`.  Each `record` SSE
+//!    event carries one leader WAL record — the exact on-disk bytes,
+//!    hex-encoded, CRC framing included — which the follower decodes
+//!    ([`banks_service::decode_record`]) and applies through
+//!    [`banks_service::Service::apply_replicated`]: the same delta-apply
+//!    path a leader mutation takes, *WAL-first locally*, so a follower
+//!    that is killed mid-stream recovers from its own data directory and
+//!    resumes where it stopped.
+//! 2. **Bootstrap** when the WAL is not enough: a cursor behind the
+//!    leader's truncation horizon gets a terminal `bootstrap` event (and a
+//!    mid-stream gap surfaces as
+//!    [`banks_service::ReplicationApplyError::EpochGap`]).  The follower
+//!    fetches `GET /replication/snapshot`, decodes it
+//!    ([`banks_persist::decode_snapshot`]), derives prestige + index the
+//!    same way leader recovery does, and installs it via
+//!    [`banks_service::Service::install_replicated_snapshot`] — then
+//!    resumes tailing from the installed epoch.
+//! 3. **Report lag** from the leader's periodic `head` events
+//!    ([`banks_service::Service::note_replication_head`]): `/healthz`,
+//!    `/metrics` and the `replication_lag` SLO on the follower all read
+//!    from that single clock.
+//!
+//! Because record epochs are leader-assigned and
+//! [`Service::apply_replicated`](banks_service::Service::apply_replicated)
+//! is idempotent (a record at or behind the serving epoch is skipped),
+//! reconnecting and replaying an overlapping window is always safe; the
+//! follower reconnects with jittered exponential backoff and re-bootstraps
+//! whenever its state cannot be proven to descend from the leader's.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//!
+//! use banks_graph::GraphBuilder;
+//! use banks_replica::Follower;
+//! use banks_service::{FsyncPolicy, Service};
+//!
+//! // A placeholder graph: the first bootstrap replaces it wholesale.
+//! let mut b = GraphBuilder::new();
+//! b.add_node("boot", "empty");
+//! let service = Arc::new(
+//!     Service::builder(b.build_default())
+//!         .workers(2)
+//!         .persistence("replica-data", FsyncPolicy::Always)
+//!         .build(),
+//! );
+//! let follower = Follower::start(Arc::clone(&service), "http://127.0.0.1:7878").unwrap();
+//! // ... serve reads from `service`; drop `follower` to stop tailing.
+//! ```
+
+#![deny(missing_docs)]
+
+mod client;
+mod follower;
+mod sse;
+
+pub use client::{LeaderUrl, Response};
+pub use follower::Follower;
+pub use sse::{SseEvent, SseParser};
+
+/// Decodes lowercase/uppercase hex into bytes (the `payload` encoding of
+/// replication `record` events).
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err(format!("odd hex length {}", text.len()));
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16)
+                .map_err(|_| format!("invalid hex at offset {i}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::from_hex;
+
+    #[test]
+    fn hex_round_trips() {
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(from_hex("00ff10Ab").unwrap(), vec![0x00, 0xff, 0x10, 0xab]);
+        assert!(from_hex("0").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "non-hex digits");
+    }
+}

@@ -1,0 +1,101 @@
+//! An incremental server-sent-events parser.
+//!
+//! Feed it one line at a time (trailing `\r`/`\n` stripped or not — it
+//! normalizes); a blank line dispatches the accumulated frame.  Comment
+//! lines (leading `:`, the keep-alive idiom) are ignored, multi-`data:`
+//! frames join with `\n`, and `id:` values that parse as integers ride
+//! along — the replication stream uses them to carry record epochs.
+
+/// One parsed SSE frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` name (empty when the frame never named one).
+    pub name: String,
+    /// The `id:` field, when present and numeric.
+    pub id: Option<u64>,
+    /// All `data:` lines, joined with `\n`.
+    pub data: String,
+}
+
+/// Accumulates lines into [`SseEvent`]s.
+#[derive(Default)]
+pub struct SseParser {
+    name: String,
+    id: Option<u64>,
+    data: Vec<String>,
+}
+
+impl SseParser {
+    /// A parser with no partial frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one line; returns a frame when `line` completes one.
+    pub fn push_line(&mut self, line: &str) -> Option<SseEvent> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            if self.name.is_empty() && self.data.is_empty() {
+                return None; // stray separator, nothing accumulated
+            }
+            let event = SseEvent {
+                name: std::mem::take(&mut self.name),
+                id: self.id.take(),
+                data: std::mem::take(&mut self.data).join("\n"),
+            };
+            return Some(event);
+        }
+        if line.starts_with(':') {
+            return None; // comment / keep-alive
+        }
+        let (field, value) = match line.split_once(':') {
+            Some((field, value)) => (field, value.strip_prefix(' ').unwrap_or(value)),
+            None => (line, ""),
+        };
+        match field {
+            "event" => self.name = value.to_string(),
+            "data" => self.data.push(value.to_string()),
+            "id" => self.id = value.trim().parse().ok(),
+            _ => {} // per spec: ignore unknown fields
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_dispatch_on_blank_lines() {
+        let mut p = SseParser::new();
+        assert_eq!(p.push_line(": keep-alive"), None);
+        assert_eq!(p.push_line("event: record"), None);
+        assert_eq!(p.push_line("id: 42"), None);
+        assert_eq!(p.push_line("data: {\"a\":1,"), None);
+        assert_eq!(p.push_line("data: \"b\":2}"), None);
+        let event = p.push_line("").expect("frame");
+        assert_eq!(event.name, "record");
+        assert_eq!(event.id, Some(42));
+        assert_eq!(event.data, "{\"a\":1,\n\"b\":2}");
+
+        // The parser reset: the next frame starts clean, ids do not leak.
+        assert_eq!(p.push_line("event: head"), None);
+        assert_eq!(p.push_line("data: {}"), None);
+        let event = p.push_line("\r\n").expect("frame");
+        assert_eq!(event.name, "head");
+        assert_eq!(event.id, None);
+        assert_eq!(event.data, "{}");
+    }
+
+    #[test]
+    fn stray_separators_and_unknown_fields_are_ignored() {
+        let mut p = SseParser::new();
+        assert_eq!(p.push_line(""), None);
+        assert_eq!(p.push_line("retry: 1000"), None);
+        assert_eq!(p.push_line("data: x"), None);
+        let event = p.push_line("").expect("frame");
+        assert_eq!(event.name, "");
+        assert_eq!(event.data, "x");
+    }
+}

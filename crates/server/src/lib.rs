@@ -26,9 +26,12 @@
 //! | `GET /debug/events` | a page of the structured event log (`?since=<id>&limit=N`), with `last_id`/`dropped` cursors |
 //! | `GET /debug/events/tail` | live SSE tail of the event log; reconnect with `Last-Event-ID` (or `?since=`) to resume |
 //! | `POST /admin/swap` | rebuild and atomically swap the served [`banks_service::GraphSnapshot`] |
-//! | `POST /admin/mutate` | apply a JSON [`banks_graph::MutationBatch`] incrementally: delta snapshot, fresh epoch, per-op accept/reject counts |
+//! | `POST /admin/mutate` | apply a JSON [`banks_graph::MutationBatch`] incrementally: delta snapshot, fresh epoch, per-op accept/reject counts — on a follower, **409** with a `Location` pointing at the leader |
 //! | `POST /admin/checkpoint` | force a durable snapshot + WAL truncation (409 when persistence is off) |
-//! | `GET /healthz` | liveness: status, SLO `health` verdict, serving epoch, worker count, shard count, engine names, durability (`last_checkpoint_epoch`, `wal_records`, `wal_bytes`) |
+//! | `POST /admin/slo` | reconfigure SLOs at runtime: a `{"slos":[…]}` body replaces the set, a single spec object upserts one objective |
+//! | `GET /replication/stream` | SSE tail of the mutation WAL for followers: `record` events carry hex WAL record bytes with the record epoch as the SSE id (`Last-Event-ID` / `?from_epoch=` resumes); `head` events announce leader epoch + pending records; a cursor behind the truncation horizon gets a terminal `bootstrap` event |
+//! | `GET /replication/snapshot` | the newest on-disk snapshot verbatim (epoch in `X-Banks-Snapshot-Epoch`) — follower bootstrap seed |
+//! | `GET /healthz` | liveness: status, SLO `health` verdict, serving epoch, worker count, shard count, engine names, durability (`last_checkpoint_epoch`, `wal_records`, `wal_bytes`), replication role + lag |
 //!
 //! `POST /query` takes a JSON body — `{"q":"jim gray","top_k":5}` or
 //! `{"keywords":["jim","gray"],"engine":"si-backward"}` — while `GET

@@ -126,6 +126,32 @@ pub fn render(m: &ServiceMetrics) -> String {
         "Checkpoints taken since start (boot checkpoint included).",
         m.checkpoints,
     );
+    p.gauge_labeled(
+        "banks_replication_role",
+        "Replication role of this process (the labeled role reads 1).",
+        &[("role", m.replication.role.as_str())],
+        1.0,
+    );
+    p.gauge(
+        "banks_replication_leader_epoch",
+        "Newest leader epoch this process has heard of (followers only).",
+        m.replication.leader_epoch as f64,
+    );
+    p.gauge(
+        "banks_replication_applied_epoch",
+        "Newest leader epoch applied locally (followers only).",
+        m.replication.applied_epoch as f64,
+    );
+    p.gauge(
+        "banks_replication_lag_records",
+        "Announced leader records not yet applied locally.",
+        m.replication.lag_records as f64,
+    );
+    p.gauge(
+        "banks_replication_lag_ms",
+        "How long this follower has continuously been behind, in ms.",
+        m.replication.lag_ms as f64,
+    );
     p.gauge(
         "banks_mutation_log_entries",
         "Applied batches held in the in-memory mutation log ring.",
@@ -147,7 +173,7 @@ pub fn render(m: &ServiceMetrics) -> String {
         health_value(m.health),
     );
     for row in &m.slo {
-        let labels = [("slo", row.name)];
+        let labels = [("slo", row.name.as_str())];
         p.gauge_labeled(
             "banks_slo_state",
             "Per-objective SLO state: 0 ok, 1 degraded, 2 breached.",
@@ -399,8 +425,8 @@ mod tests {
             }],
             health: Health::Degraded,
             slo: vec![SloRow {
-                name: "ttfa_p99",
-                metric: "ttfa_p99_us",
+                name: "ttfa_p99".to_string(),
+                metric: "ttfa_p99_us".to_string(),
                 threshold: 250_000.0,
                 value: 310_000.0,
                 burn_fast: 12.5,
@@ -467,6 +493,24 @@ mod tests {
         assert!(text.contains("banks_shards 2"));
         assert!(text.contains("banks_shard_owned_nodes{shard=\"0\"} 40"));
         assert!(text.contains("banks_shard_cut_edges{shard=\"0\"} 12"));
+    }
+
+    #[test]
+    fn covers_replication_series() {
+        let mut m = populated();
+        m.replication = banks_service::ReplicationStatus {
+            role: banks_service::ReplicationRole::Follower,
+            leader_epoch: 12,
+            applied_epoch: 10,
+            lag_records: 2,
+            lag_ms: 350,
+        };
+        let text = render(&m);
+        assert!(text.contains("banks_replication_role{role=\"follower\"} 1"));
+        assert!(text.contains("banks_replication_leader_epoch 12"));
+        assert!(text.contains("banks_replication_applied_epoch 10"));
+        assert!(text.contains("banks_replication_lag_records 2"));
+        assert!(text.contains("banks_replication_lag_ms 350"));
     }
 
     #[test]

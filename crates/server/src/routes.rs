@@ -10,9 +10,12 @@
 //! | `GET /debug/events` | a page of the structured event log (`?since=<id>&limit=N`) |
 //! | `GET /debug/events/tail` | live SSE tail of the event log; `Last-Event-ID` (or `?since=`) resumes after a disconnect |
 //! | `POST /admin/swap` | rebuild and atomically swap the served snapshot |
-//! | `POST /admin/mutate` | apply a JSON [`MutationBatch`] incrementally: new epoch + per-op accept/reject |
+//! | `POST /admin/mutate` | apply a JSON [`MutationBatch`] incrementally: new epoch + per-op accept/reject; 409 + `Location` on a follower |
 //! | `POST /admin/checkpoint` | force a durable snapshot and truncate the WAL |
-//! | `GET /healthz` | liveness probe (epoch, workers, shards, engines) + durability status + three-state SLO health |
+//! | `POST /admin/slo` | replace (`{"slos":[…]}` / bare array) or upsert (single spec object) the SLO set at runtime |
+//! | `GET /replication/stream` | SSE tail of the leader WAL: `record` events (hex-encoded WAL record bytes, epoch as SSE `id:`), periodic `head` events, a terminal `bootstrap` event when the cursor is behind the truncation horizon; resume via `Last-Event-ID` or `?from_epoch=` |
+//! | `GET /replication/snapshot` | the newest on-disk snapshot, verbatim (`X-Banks-Snapshot-Epoch` header) — follower bootstrap |
+//! | `GET /healthz` | liveness probe (epoch, workers, shards, engines) + durability status + replication status + three-state SLO health |
 //!
 //! Tenant and priority travel as headers (`X-Banks-Tenant`,
 //! `X-Banks-Priority`), so the PR-3 scheduler and the quota layer govern
@@ -43,8 +46,8 @@ use banks_core::json as corejson;
 use banks_core::EmissionPolicy;
 use banks_graph::{GraphMutation, MutationBatch, NodeId, OpEffect};
 use banks_service::{
-    GraphSnapshot, PersistError, Priority, QueryEvent, QueryResult, QuerySpec, RecvTimeout,
-    Service, SubmitError,
+    encode_record, parse_slo_specs, GraphSnapshot, PersistError, Priority, QueryEvent, QueryResult,
+    QuerySpec, RecvTimeout, ReplicationRole, Service, SubmitError,
 };
 
 use crate::http::{self, Limits, ParseError, Request};
@@ -69,6 +72,9 @@ pub(crate) struct ServerContext {
     pub(crate) service: Arc<Service>,
     pub(crate) graph_source: Option<GraphSource>,
     pub(crate) limits: Limits,
+    /// Where writes live when this process is a follower — the `Location`
+    /// a rejected `POST /admin/mutate` points at.
+    pub(crate) leader_url: Option<String>,
 }
 
 /// An error destined for the wire: status, machine-readable code, message,
@@ -156,7 +162,8 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
         let keep = wants_keep_alive
             && served < KEEPALIVE_MAX_REQUESTS
             && request.path != "/query"
-            && request.path != "/debug/events/tail";
+            && request.path != "/debug/events/tail"
+            && request.path != "/replication/stream";
 
         // Dispatch returns whether the connection actually stays open —
         // error responses always close (and say so on the wire), so the
@@ -199,6 +206,14 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
             }
             ("POST", "/admin/mutate") => respond_mutate(ctx, &request, &mut writer, keep),
             ("POST", "/admin/checkpoint") => respond_checkpoint(ctx, &mut writer, keep),
+            ("POST", "/admin/slo") => respond_slo_update(ctx, &request, &mut writer, keep),
+            ("GET", "/replication/stream") => {
+                respond_replication_stream(ctx, &request, &stream);
+                false
+            }
+            ("GET", "/replication/snapshot") => {
+                respond_replication_snapshot(ctx, &mut writer, keep)
+            }
             (_, "/healthz")
             | (_, "/metrics")
             | (_, "/query")
@@ -208,7 +223,10 @@ pub(crate) fn handle_connection(ctx: &ServerContext, stream: TcpStream) {
             | (_, "/debug/events/tail")
             | (_, "/admin/swap")
             | (_, "/admin/mutate")
-            | (_, "/admin/checkpoint") => {
+            | (_, "/admin/checkpoint")
+            | (_, "/admin/slo")
+            | (_, "/replication/stream")
+            | (_, "/replication/snapshot") => {
                 respond_error(
                     &mut writer,
                     &HttpError::new(
@@ -279,7 +297,7 @@ fn respond_healthz(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
         "{{\"status\":\"ok\",\"health\":\"{}\",\"epoch\":{},\"workers\":{},\"shards\":{},\
          \"engines\":{},\
          \"persistence\":{},\"last_checkpoint_epoch\":{},\"wal_records\":{},\
-         \"wal_bytes\":{}}}",
+         \"wal_bytes\":{},\"replication\":{}}}",
         ctx.service.health().as_str(),
         ctx.service.epoch(),
         ctx.service.workers(),
@@ -289,6 +307,7 @@ fn respond_healthz(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
         durability.last_checkpoint_epoch,
         durability.wal_records,
         durability.wal_bytes,
+        json::replication(&ctx.service.replication_status()),
     );
     let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
 }
@@ -325,6 +344,257 @@ fn respond_checkpoint(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool)
             respond_error(
                 w,
                 &HttpError::new(500, "checkpoint_failed", e.to_string()),
+                false,
+            );
+            false
+        }
+    }
+}
+
+/// `POST /admin/slo`: reconfigure the SLO set at runtime.
+///
+/// A body with a `"slos"` array (or a bare array) **replaces** the whole
+/// set; a single spec object **upserts** that one spec, keeping the other
+/// objectives' burn-rate history.  Specs use the same JSON shape as
+/// [`banks_service::ServiceBuilder::slos_from_path`].
+fn respond_slo_update(
+    ctx: &ServerContext,
+    request: &Request,
+    w: &mut impl Write,
+    keep_alive: bool,
+) -> bool {
+    let body = match request.body_utf8() {
+        Ok(body) if !body.trim().is_empty() => body,
+        Ok(_) => {
+            respond_error(
+                w,
+                &HttpError::bad_request("empty body (expected SLO spec JSON)"),
+                false,
+            );
+            return false;
+        }
+        Err(e) => {
+            respond_error(w, &HttpError::bad_request(e), false);
+            return false;
+        }
+    };
+    let value = match json::parse(body) {
+        Ok(value) => value,
+        Err(e) => {
+            respond_error(
+                w,
+                &HttpError::bad_request(format!("invalid JSON body: {e}")),
+                false,
+            );
+            return false;
+        }
+    };
+    let replace = matches!(value, JsonValue::Array(_)) || value.get("slos").is_some();
+    let text = if replace {
+        body.to_string()
+    } else {
+        format!("[{body}]")
+    };
+    let specs = match parse_slo_specs(&text) {
+        Ok(specs) => specs,
+        Err(e) => {
+            respond_error(w, &HttpError::new(400, "invalid_slo_spec", e), false);
+            return false;
+        }
+    };
+    let body = if replace {
+        let count = specs.len();
+        ctx.service.replace_slos(specs);
+        format!("{{\"replaced\":{count},\"specs\":{count}}}")
+    } else {
+        let name = corejson::string(&specs[0].name);
+        for spec in specs {
+            ctx.service.upsert_slo(spec);
+        }
+        format!(
+            "{{\"upserted\":{name},\"specs\":{}}}",
+            ctx.service.slo_specs().len()
+        )
+    };
+    let _ = http::write_response(w, 200, &[], "application/json", body.as_bytes(), keep_alive);
+    keep_alive
+}
+
+/// Lowercase hex of `bytes` — the `payload` encoding of replication
+/// `record` events (the exact WAL record bytes, CRC framing included, so
+/// the follower re-verifies integrity end to end).
+fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// The `head` event payload: where the leader is, where its truncation
+/// horizon is, and how many WAL records lie beyond the follower's cursor.
+fn replication_head_json(ctx: &ServerContext, checkpoint_epoch: u64, pending: usize) -> String {
+    format!(
+        "{{\"leader_epoch\":{},\"checkpoint_epoch\":{checkpoint_epoch},\"pending\":{pending}}}",
+        ctx.service.epoch(),
+    )
+}
+
+/// `GET /replication/stream`: SSE tail of the leader's mutation WAL.
+///
+/// The cursor (epoch of the last record the follower holds) comes from
+/// `Last-Event-ID` (the header wins) or `?from_epoch=`.  Each WAL record
+/// past the cursor is a `record` event whose SSE `id:` is the record's
+/// epoch and whose payload carries the exact WAL record bytes hex-encoded;
+/// a `head` event precedes every batch and fires roughly once a second
+/// while idle (keep-alive + lag signal).  A cursor behind the WAL
+/// truncation horizon gets a terminal `bootstrap` event: the follower must
+/// re-seed from `GET /replication/snapshot` before resuming.  409 when the
+/// leader runs without persistence (there is no WAL to stream).
+fn respond_replication_stream(ctx: &ServerContext, request: &Request, stream: &TcpStream) {
+    let mut writer = stream;
+    let mut cursor = request
+        .header("last-event-id")
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .or_else(|| {
+            request
+                .query_param("from_epoch")
+                .and_then(|raw| raw.parse::<u64>().ok())
+        })
+        .unwrap_or(0);
+    if !ctx.service.durability().enabled {
+        respond_error(
+            &mut writer,
+            &HttpError::new(
+                409,
+                "persistence_disabled",
+                "replication requires the leader to run with a data directory",
+            ),
+            false,
+        );
+        return;
+    }
+    if writer.write_all(STREAM_HEADER.as_bytes()).is_err() {
+        return;
+    }
+    let mut sse = SseWriter::new(writer);
+    let mut idle_polls = 0u32;
+    loop {
+        // Re-read the horizon every pass: a checkpoint can truncate the
+        // WAL at any moment, turning "caught up" into "unreachable".
+        let checkpoint_epoch = ctx.service.durability().last_checkpoint_epoch;
+        if cursor < checkpoint_epoch {
+            let _ = sse.event(
+                "bootstrap",
+                &format!(
+                    "{{\"checkpoint_epoch\":{checkpoint_epoch},\"leader_epoch\":{}}}",
+                    ctx.service.epoch()
+                ),
+            );
+            return;
+        }
+        let records = match ctx.service.replication_records_after(cursor) {
+            Ok(records) => records,
+            Err(_) => return,
+        };
+        if records.is_empty() {
+            idle_polls += 1;
+            if peer_disconnected(stream) {
+                return;
+            }
+            if idle_polls.is_multiple_of(10)
+                && sse
+                    .event("head", &replication_head_json(ctx, checkpoint_epoch, 0))
+                    .is_err()
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        idle_polls = 0;
+        if sse
+            .event(
+                "head",
+                &replication_head_json(ctx, checkpoint_epoch, records.len()),
+            )
+            .is_err()
+        {
+            return;
+        }
+        for record in records {
+            let payload = to_hex(&encode_record(
+                record.seq,
+                record.parent_epoch,
+                record.epoch,
+                &record.batch,
+            ));
+            let data = format!(
+                "{{\"seq\":{},\"parent_epoch\":{},\"epoch\":{},\"payload\":\"{payload}\"}}",
+                record.seq, record.parent_epoch, record.epoch,
+            );
+            if sse.event_with_id("record", record.epoch, &data).is_err() {
+                return;
+            }
+            cursor = record.epoch;
+        }
+    }
+}
+
+/// `GET /replication/snapshot`: the newest on-disk snapshot, verbatim —
+/// what a bootstrapping follower decodes and installs.  The snapshot's
+/// epoch rides in `X-Banks-Snapshot-Epoch`.  409 without persistence, 404
+/// before the first checkpoint has been written.
+fn respond_replication_snapshot(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) -> bool {
+    match ctx.service.newest_snapshot_file() {
+        Ok(Some((epoch, path))) => match std::fs::read(&path) {
+            Ok(bytes) => {
+                let epoch_header = epoch.to_string();
+                let _ = http::write_response(
+                    w,
+                    200,
+                    &[("X-Banks-Snapshot-Epoch", epoch_header.as_str())],
+                    "application/octet-stream",
+                    &bytes,
+                    keep_alive,
+                );
+                keep_alive
+            }
+            Err(e) => {
+                respond_error(
+                    w,
+                    &HttpError::new(500, "snapshot_read_failed", e.to_string()),
+                    false,
+                );
+                false
+            }
+        },
+        Ok(None) => {
+            respond_error(
+                w,
+                &HttpError::new(404, "no_snapshot", "no snapshot has been written yet"),
+                false,
+            );
+            false
+        }
+        Err(PersistError::Disabled) => {
+            respond_error(
+                w,
+                &HttpError::new(
+                    409,
+                    "persistence_disabled",
+                    "service is running without a data directory",
+                ),
+                false,
+            );
+            false
+        }
+        Err(e) => {
+            respond_error(
+                w,
+                &HttpError::new(500, "snapshot_list_failed", e.to_string()),
                 false,
             );
             false
@@ -415,8 +685,8 @@ fn respond_slo(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
         body.push_str(&format!(
             "{{\"name\":{},\"metric\":{},\"state\":\"{}\",\"threshold\":{},\
              \"value\":{},\"burn_fast\":{},\"burn_slow\":{}}}",
-            corejson::string(row.name),
-            corejson::string(row.metric),
+            corejson::string(&row.name),
+            corejson::string(&row.metric),
             row.state.as_str(),
             corejson::number(row.threshold),
             corejson::number(row.value),
@@ -600,7 +870,8 @@ fn respond_swap(ctx: &ServerContext, w: &mut impl Write, keep_alive: bool) {
 ///   {"op": "add_edge", "from": 7, "to": 12, "weight": 1.5},
 ///   {"op": "remove_edge", "from": 3, "to": 4},
 ///   {"op": "set_label", "node": 9, "label": "renamed"},
-///   {"op": "set_weight", "from": 1, "to": 2, "weight": 2.0}
+///   {"op": "set_weight", "from": 1, "to": 2, "weight": 2.0},
+///   {"op": "remove_node", "node": 6}
 /// ]}
 /// ```
 ///
@@ -614,6 +885,24 @@ fn respond_mutate(
     w: &mut impl Write,
     keep_alive: bool,
 ) -> bool {
+    // A follower's graph is the leader's graph: accepting a local write
+    // would fork the replicated history.  Redirect the writer instead.
+    if ctx.service.replication_status().role == ReplicationRole::Follower {
+        let mut error = HttpError::new(
+            409,
+            "not_leader",
+            "this process is a read replica; apply mutations on the leader",
+        );
+        if let Some(leader) = &ctx.leader_url {
+            let base = leader.trim_end_matches('/');
+            error
+                .headers
+                .push(("Location", format!("{base}/admin/mutate")));
+            error.extras.push(("leader", corejson::string(leader)));
+        }
+        respond_error(w, &error, false);
+        return false;
+    }
     let started = Instant::now();
     let batch = match parse_mutation_body(request) {
         Ok(batch) => batch,
@@ -670,6 +959,12 @@ fn op_effect_json(effect: &OpEffect) -> String {
         OpEffect::LabelSet(node) => format!("\"effect\":\"label_set\",\"node\":{node}"),
         OpEffect::WeightSet { from, to, count } => {
             format!("\"effect\":\"weight_set\",\"from\":{from},\"to\":{to},\"count\":{count}")
+        }
+        OpEffect::NodeRemoved {
+            node,
+            edges_removed,
+        } => {
+            format!("\"effect\":\"node_removed\",\"node\":{node},\"edges_removed\":{edges_removed}")
         }
     }
 }
@@ -754,9 +1049,12 @@ fn parse_mutation_op(i: usize, item: &JsonValue) -> Result<GraphMutation, HttpEr
             to: node_field("to")?,
             weight: weight_field("weight")?,
         }),
+        "remove_node" => Ok(GraphMutation::RemoveNode {
+            node: node_field("node")?,
+        }),
         other => Err(HttpError::bad_request(format!(
             "ops[{i}]: unknown op {other:?} (expected add_node, add_edge, remove_edge, \
-             set_label or set_weight)"
+             set_label, set_weight or remove_node)"
         ))),
     }
 }

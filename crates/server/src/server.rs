@@ -39,6 +39,7 @@ pub struct ServerBuilder {
     handler_threads: usize,
     limits: Limits,
     graph_source: Option<GraphSource>,
+    leader_url: Option<String>,
 }
 
 impl ServerBuilder {
@@ -78,6 +79,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Declares the leader this process replicates from.  A follower
+    /// rejects `POST /admin/mutate` with `409 Conflict`; when the leader's
+    /// base URL is known, the response carries a `Location` header pointing
+    /// at the leader's mutate endpoint so write traffic can be redirected.
+    pub fn leader_url(mut self, url: impl Into<String>) -> Self {
+        self.leader_url = Some(url.into());
+        self
+    }
+
     /// Binds the listener and spawns the acceptor + handler threads.
     pub fn spawn(self) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&self.addr)?;
@@ -87,6 +97,7 @@ impl ServerBuilder {
             service: Arc::clone(&self.service),
             graph_source: self.graph_source,
             limits: self.limits,
+            leader_url: self.leader_url,
         });
 
         // A *bounded* hand-off queue: when every handler is busy and the
@@ -204,6 +215,7 @@ impl Server {
             handler_threads: 8,
             limits: Limits::default(),
             graph_source: None,
+            leader_url: None,
         }
     }
 

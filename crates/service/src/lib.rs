@@ -138,6 +138,7 @@ pub mod handle;
 pub mod metrics;
 pub mod persistence;
 mod quota;
+pub mod replication;
 mod sched;
 pub mod service;
 pub mod shardset;
@@ -149,11 +150,14 @@ pub use banks_obs::{
     CalibrationRow, Event, EventLevel, EventLog, Health, LatencySummary, QueryTrace, SloReport,
     SloRow, SloSpec, TimeSample, TimeSeriesRing, TraceSpan,
 };
-pub use banks_persist::{FsyncPolicy, PersistError, PersistOptions};
+pub use banks_persist::{
+    decode_record, encode_record, FsyncPolicy, PersistError, PersistOptions, WalRecord,
+};
 pub use handle::{QueryEvent, QueryHandle, QueryId, QueryResult, RecvTimeout};
 pub use metrics::{QueueWaitSummary, ServiceMetrics, TenantMetrics, OVERFLOW_TENANT};
 pub use persistence::DurabilityStatus;
-pub use service::{MutationReport, Service, ServiceBuilder, SubmitError};
+pub use replication::{ReplicatedApply, ReplicationApplyError, ReplicationRole, ReplicationStatus};
+pub use service::{parse_slo_specs, MutationReport, Service, ServiceBuilder, SubmitError};
 pub use shardset::ShardSet;
 pub use snapshot::GraphSnapshot;
 pub use spec::{Priority, QuerySpec};

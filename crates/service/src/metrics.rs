@@ -25,6 +25,7 @@ use banks_graph::ShardStats;
 use banks_obs::{CalibrationRow, Health, Histogram, SloRow, HISTOGRAM_BUCKETS};
 
 use crate::quota::QuotaSettings;
+use crate::replication::ReplicationStatus;
 
 /// Lock-free counters updated by the submit path and the workers.
 #[derive(Debug, Default)]
@@ -296,6 +297,10 @@ pub struct ServiceMetrics {
     pub watchdog_queue_trips: u64,
     /// Current admission-queue occupancy as a fraction of capacity.
     pub queue_saturation: f64,
+    /// Replication role and follower progress
+    /// ([`crate::Service::replication_status`]); all-default on a
+    /// standalone service.
+    pub replication: ReplicationStatus,
 }
 
 impl ServiceMetrics {
@@ -376,6 +381,7 @@ impl ServiceMetrics {
             watchdog_overruns: counters.watchdog_overruns.load(Ordering::Relaxed),
             watchdog_queue_trips: counters.watchdog_queue_trips.load(Ordering::Relaxed),
             queue_saturation: 0.0,
+            replication: ReplicationStatus::default(),
         }
     }
 

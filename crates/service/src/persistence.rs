@@ -137,6 +137,29 @@ impl Persistence {
         self.wal.bytes() >= self.options.rotate_wal_bytes
     }
 
+    /// The data directory this state persists into.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the live WAL file (the replication stream's source).
+    pub(crate) fn wal_path(&self) -> PathBuf {
+        self.dir.join(banks_persist::WAL_FILE)
+    }
+
+    /// Deletes every on-disk snapshot.  A follower bootstrap invalidates
+    /// local history wholesale: epochs adopted from the leader are not
+    /// ordered against epochs minted locally before the bootstrap, so
+    /// retention-by-newest-epoch must restart from a clean slate before
+    /// the bootstrap checkpoint is written.
+    pub(crate) fn clear_snapshots(&mut self) {
+        if let Ok(snapshots) = list_snapshots(&self.dir) {
+            for (_, path) in snapshots {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+
     /// Writes a full snapshot of `snapshot` (graph, prestige and index),
     /// truncates the WAL and prunes snapshots beyond the retention bound.
     /// Returns the checkpointed epoch.

@@ -1,7 +1,7 @@
 //! The worker-pool query service: priority admission, pinned snapshots,
 //! online graph swapping.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -21,7 +21,10 @@ use banks_obs::{
     CostCalibration, EventLevel, EventLog, Health, Histogram, QueryTrace, ShardTimes, SloEngine,
     SloReport, SloSpec, TimeSeriesRing, TraceRing, WorkCounters, HISTOGRAM_BUCKETS,
 };
-use banks_persist::{recover, replay_wal, FsyncPolicy, PersistError, PersistOptions, Wal};
+use banks_persist::{
+    list_snapshots, recover, replay_wal, scan_file, FsyncPolicy, PersistError, PersistOptions, Wal,
+    WalRecord,
+};
 use banks_prestige::PrestigeVector;
 use banks_textindex::{InvertedIndex, KeywordMatches};
 
@@ -29,6 +32,9 @@ use crate::handle::{HandleState, QueryEvent, QueryHandle, QueryId, QueryResult};
 use crate::metrics::{Counters, ServiceMetrics, WaitStats};
 use crate::persistence::{DurabilityStatus, Persistence};
 use crate::quota::{QuotaConfig, QuotaSettings, QuotaState};
+use crate::replication::{
+    ReplicatedApply, ReplicationApplyError, ReplicationRole, ReplicationState, ReplicationStatus,
+};
 use crate::sched::WorkQueue;
 use crate::shardset::ShardSet;
 use crate::snapshot::GraphSnapshot;
@@ -148,6 +154,7 @@ fn timeseries_schema() -> Vec<&'static str> {
         "queue_wait_p90_us",
         "shard_imbalance",
         "queue_saturation",
+        "replication_lag_ms",
     ]
 }
 
@@ -394,6 +401,9 @@ struct Inner {
     /// The most recent collector-pass verdict, served on `GET /debug/slo`
     /// and folded into `/healthz` and `/metrics`.
     slo_report: Mutex<SloReport>,
+    /// Replication role and follower progress (see
+    /// [`crate::replication`]).
+    replication: Mutex<ReplicationState>,
     /// Nodes-explored multiple of the a priori estimate beyond which the
     /// watchdog flags a finished query as an overrun.
     watchdog_factor: u64,
@@ -653,6 +663,20 @@ impl ServiceBuilder {
         self
     }
 
+    /// Loads the SLO set from a JSON config file (see [`parse_slo_specs`]
+    /// for the format) — the operator-facing twin of
+    /// [`ServiceBuilder::slos`].  Errors carry the offending path or the
+    /// parse failure; an unreadable or malformed file must fail loudly at
+    /// boot, not silently fall back to the defaults.
+    pub fn slos_from_path(self, path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read SLO config {}: {e}", path.display()))?;
+        let specs =
+            parse_slo_specs(&text).map_err(|e| format!("SLO config {}: {e}", path.display()))?;
+        Ok(self.slos(specs))
+    }
+
     /// Capacity of the structured event-log ring (default 1024, minimum
     /// 1).  Once full, the oldest events are evicted and counted in
     /// [`ServiceMetrics::event_log_dropped`].
@@ -786,6 +810,7 @@ impl ServiceBuilder {
             series: TimeSeriesRing::new(timeseries_schema(), TIMESERIES_CAPACITY),
             slo: SloEngine::new(self.slos.unwrap_or_else(SloSpec::defaults)),
             slo_report: Mutex::new(SloReport::default()),
+            replication: Mutex::new(ReplicationState::default()),
             watchdog_factor: self.watchdog_factor,
             collector_cadence: self.collector_cadence,
         });
@@ -817,6 +842,124 @@ impl ServiceBuilder {
             collector_stop,
         })
     }
+}
+
+/// Parses a JSON SLO configuration: either a top-level array of spec
+/// objects or an object with a `"slos"` array member.  Each spec requires
+/// `"name"`, `"metric"` and `"threshold"`; the optional `"budget"`,
+/// `"fast_window_ms"`, `"slow_window_ms"`, `"fire_burn"` and
+/// `"resolve_burn"` members override the [`SloSpec::upper_bound`]
+/// defaults.  Unknown members are rejected — a typo must not silently
+/// weaken an objective.
+///
+/// ```
+/// let specs = banks_service::parse_slo_specs(
+///     r#"{"slos":[{"name":"replication_lag","metric":"replication_lag_ms",
+///                  "threshold":5000}]}"#,
+/// )
+/// .unwrap();
+/// assert_eq!(specs.len(), 1);
+/// assert_eq!(specs[0].metric, "replication_lag_ms");
+/// ```
+pub fn parse_slo_specs(text: &str) -> Result<Vec<SloSpec>, String> {
+    use banks_core::json::JsonValue;
+
+    let doc = banks_core::json::parse(text)?;
+    let entries: &[JsonValue] = match &doc {
+        JsonValue::Array(items) => items,
+        JsonValue::Object(map) => match map.get("slos") {
+            Some(JsonValue::Array(items)) => items,
+            Some(_) => return Err("\"slos\" must be an array".to_string()),
+            None => {
+                return Err(
+                    "expected a top-level array or an object with a \"slos\" array".to_string(),
+                )
+            }
+        },
+        _ => return Err("expected a top-level array or object".to_string()),
+    };
+    let mut specs = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let JsonValue::Object(map) = entry else {
+            return Err(format!("slo #{i}: expected an object"));
+        };
+        for key in map.keys() {
+            if ![
+                "name",
+                "metric",
+                "threshold",
+                "budget",
+                "fast_window_ms",
+                "slow_window_ms",
+                "fire_burn",
+                "resolve_burn",
+            ]
+            .contains(&key.as_str())
+            {
+                return Err(format!("slo #{i}: unknown member {key:?}"));
+            }
+        }
+        let string_field = |key: &str| -> Result<String, String> {
+            match map.get(key) {
+                Some(JsonValue::String(s)) if !s.is_empty() => Ok(s.clone()),
+                Some(JsonValue::String(_)) => Err(format!("slo #{i}: {key:?} must be non-empty")),
+                Some(_) => Err(format!("slo #{i}: {key:?} must be a string")),
+                None => Err(format!("slo #{i}: missing {key:?}")),
+            }
+        };
+        let number_field = |key: &str| -> Result<Option<f64>, String> {
+            match map.get(key) {
+                Some(JsonValue::Number(n)) if n.is_finite() => Ok(Some(*n)),
+                Some(_) => Err(format!("slo #{i}: {key:?} must be a finite number")),
+                None => Ok(None),
+            }
+        };
+        let window_field = |key: &str| -> Result<Option<u64>, String> {
+            match number_field(key)? {
+                Some(n) if n >= 1.0 && n.fract() == 0.0 => Ok(Some(n as u64)),
+                Some(_) => Err(format!(
+                    "slo #{i}: {key:?} must be a positive integer of ms"
+                )),
+                None => Ok(None),
+            }
+        };
+        let threshold =
+            number_field("threshold")?.ok_or_else(|| format!("slo #{i}: missing \"threshold\""))?;
+        let mut spec =
+            SloSpec::upper_bound(string_field("name")?, string_field("metric")?, threshold);
+        if let Some(budget) = number_field("budget")? {
+            if !(budget > 0.0 && budget <= 1.0) {
+                return Err(format!("slo #{i}: \"budget\" must be in (0, 1]"));
+            }
+            spec.budget = budget;
+        }
+        if let Some(fast) = window_field("fast_window_ms")? {
+            spec.fast_window_ms = fast;
+        }
+        if let Some(slow) = window_field("slow_window_ms")? {
+            spec.slow_window_ms = slow;
+        }
+        if let Some(fire) = number_field("fire_burn")? {
+            spec.fire_burn = fire;
+        }
+        if let Some(resolve) = number_field("resolve_burn")? {
+            spec.resolve_burn = resolve;
+        }
+        if spec.fast_window_ms > spec.slow_window_ms {
+            return Err(format!(
+                "slo #{i}: fast window must not exceed the slow window"
+            ));
+        }
+        if let Some(dup) = specs
+            .iter()
+            .map(|s: &SloSpec| &s.name)
+            .find(|n| **n == spec.name)
+        {
+            return Err(format!("slo #{i}: duplicate name {dup:?}"));
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
 }
 
 /// A multi-threaded query service owning one *serving snapshot* (graph,
@@ -1475,6 +1618,249 @@ impl Service {
         }
     }
 
+    /// Declares this service's replication role (default
+    /// [`ReplicationRole::Standalone`]).  The role is descriptive state —
+    /// it feeds [`ReplicationStatus::role`], the `replication_lag_ms`
+    /// series (followers only) and the front-end's mutation-rejection
+    /// policy — it does not itself start or stop any replication thread.
+    pub fn set_replication_role(&self, role: ReplicationRole) {
+        self.inner
+            .replication
+            .lock()
+            .expect("replication lock")
+            .set_role(role);
+    }
+
+    /// This service's replication role and follower progress, as of now.
+    pub fn replication_status(&self) -> ReplicationStatus {
+        self.inner
+            .replication
+            .lock()
+            .expect("replication lock")
+            .status(unix_ms())
+    }
+
+    /// Records a leader head announcement: the leader's newest epoch and
+    /// how many WAL records lie beyond this follower's applied position.
+    /// The follower's stream client calls this on every head/keepalive
+    /// event so [`ReplicationStatus::lag_ms`] measures real staleness
+    /// even while no records arrive.
+    pub fn note_replication_head(&self, leader_epoch: u64, lag_records: u64) {
+        self.inner
+            .replication
+            .lock()
+            .expect("replication lock")
+            .note_head(leader_epoch, lag_records, unix_ms());
+    }
+
+    /// Applies one leader WAL record on a follower, through the same
+    /// WAL-first path as [`Service::apply_mutations`]: the record is
+    /// appended to the **local** WAL (with the leader's epochs) before
+    /// the successor swaps in, so a follower killed mid-stream recovers
+    /// to a prefix of the leader's history on restart.
+    ///
+    /// The record's epochs are authoritative: the successor serves at
+    /// exactly `record.epoch`, which is what makes a shared epoch on
+    /// leader and follower name the same graph version byte-for-byte.
+    ///
+    /// Records at or behind the serving epoch are skipped (a resumed
+    /// stream replays the tail; the apply is idempotent).  A record whose
+    /// `parent_epoch` does not match the serving epoch returns
+    /// [`ReplicationApplyError::EpochGap`] — the follower fell behind the
+    /// leader's WAL truncation horizon and must re-bootstrap from a
+    /// leader snapshot ([`Service::install_replicated_snapshot`]).
+    pub fn apply_replicated(
+        &self,
+        record: &WalRecord,
+    ) -> Result<ReplicatedApply, ReplicationApplyError> {
+        /// Same flattening threshold as [`Service::apply_mutations`] —
+        /// leader and follower compact on the same schedule.
+        const COMPACT_OVERLAY_RATIO: f64 = 0.25;
+
+        let apply_started = Instant::now();
+        let _admin = self.inner.mutate.lock().expect("mutate lock");
+        let current_set = self.shard_set();
+        let current = Arc::clone(current_set.snapshot());
+        let serving_epoch = current.epoch();
+        if record.epoch <= serving_epoch {
+            self.note_applied_locked(serving_epoch);
+            return Ok(ReplicatedApply {
+                epoch: serving_epoch,
+                applied: false,
+            });
+        }
+        if record.parent_epoch != serving_epoch {
+            return Err(ReplicationApplyError::EpochGap {
+                serving_epoch,
+                parent_epoch: record.parent_epoch,
+                record_epoch: record.epoch,
+            });
+        }
+
+        let (mut next, outcome) = current.apply_batch(&record.batch);
+        let compacted = next.maybe_compact(COMPACT_OVERLAY_RATIO);
+        next.restore_epoch(record.epoch);
+        let accepted = outcome.accepted();
+
+        // WAL-first, exactly like the leader: a failed local append
+        // applies nothing, so disk and memory stay consistent and the
+        // caller can retry the same record.
+        if let Some(persistence) = &self.inner.persistence {
+            let mut persistence = persistence.lock().expect("persistence lock");
+            if let Err(e) = persistence.append(record.parent_epoch, record.epoch, &record.batch) {
+                return Err(ReplicationApplyError::Persist(e.to_string()));
+            }
+        }
+
+        let partition = current_set.successor_partition(&next, &record.batch, &outcome);
+        let epoch = self.swap_snapshot_inner(next, partition);
+        debug_assert_eq!(epoch, record.epoch, "replicated epoch must be preserved");
+        self.inner
+            .mutation_apply_hist
+            .record(apply_started.elapsed());
+        Counters::bump(&self.inner.counters.mutation_batches);
+        Counters::add(&self.inner.counters.mutation_ops_accepted, accepted as u64);
+        Counters::add(
+            &self.inner.counters.mutation_ops_rejected,
+            outcome.rejected() as u64,
+        );
+        self.inner
+            .mutation_log
+            .lock()
+            .expect("mutation log lock")
+            .push(AppliedBatch {
+                parent_epoch: record.parent_epoch,
+                epoch,
+                ops: record.batch.len(),
+                accepted,
+                rejected: outcome.rejected(),
+            });
+
+        // Same checkpoint triggers as the leader path: compaction wants a
+        // flat snapshot anyway, and a WAL past its rotation threshold is
+        // due for truncation.
+        if let Some(persistence) = &self.inner.persistence {
+            let mut persistence = persistence.lock().expect("persistence lock");
+            if compacted || persistence.wants_rotation() {
+                let snapshot = self.snapshot();
+                if persistence.checkpoint(&snapshot).is_ok() {
+                    self.inner.events.emit(
+                        EventLevel::Info,
+                        "checkpoint",
+                        format!("replication-triggered checkpoint at epoch {epoch}"),
+                    );
+                }
+            }
+        }
+        self.note_applied_locked(epoch);
+        Ok(ReplicatedApply {
+            epoch,
+            applied: true,
+        })
+    }
+
+    /// Installs a leader snapshot wholesale — the follower bootstrap (and
+    /// re-bootstrap) path.  The snapshot's epoch is preserved, the swap is
+    /// made durable by an immediate local checkpoint (which also truncates
+    /// any stale local WAL), and the replication progress advances to the
+    /// installed epoch.  Installing the epoch already being served is a
+    /// no-op apart from the progress note.
+    pub fn install_replicated_snapshot(&self, snapshot: GraphSnapshot) -> u64 {
+        let _admin = self.inner.mutate.lock().expect("mutate lock");
+        let epoch = snapshot.epoch();
+        if epoch != self.epoch() {
+            let partition = (self.inner.shards > 1).then(|| {
+                GraphPartition::build(snapshot.graph(), ShardSpec::new(self.inner.shards))
+            });
+            self.swap_snapshot_inner(snapshot, partition);
+        }
+        if let Some(persistence) = &self.inner.persistence {
+            let mut persistence = persistence.lock().expect("persistence lock");
+            // Pre-bootstrap snapshots carry locally-minted epochs that are
+            // not ordered against the leader's; newest-epoch retention
+            // would keep (or even prefer) them, so wipe before writing the
+            // bootstrap checkpoint.
+            persistence.clear_snapshots();
+            let current = self.snapshot();
+            if persistence.checkpoint(&current).is_ok() {
+                self.inner.events.emit(
+                    EventLevel::Info,
+                    "checkpoint",
+                    format!("bootstrap checkpoint at epoch {epoch}"),
+                );
+            }
+        }
+        self.note_applied_locked(epoch);
+        epoch
+    }
+
+    /// Updates follower progress after serving-state advanced to `epoch`.
+    fn note_applied_locked(&self, epoch: u64) {
+        self.inner
+            .replication
+            .lock()
+            .expect("replication lock")
+            .note_applied(epoch, unix_ms());
+    }
+
+    /// WAL records with `epoch > from_epoch`, in log order — the payload
+    /// of the leader's `GET /replication/stream`.  Scanned under the
+    /// persistence lock, so the returned prefix is consistent with
+    /// concurrent appends.  [`PersistError::Disabled`] when the service
+    /// has no data directory (nothing to stream).
+    ///
+    /// An empty result does **not** distinguish "caught up" from
+    /// "truncated past you": compare `from_epoch` against
+    /// [`DurabilityStatus::last_checkpoint_epoch`] — a `from_epoch` below
+    /// the last checkpoint epoch is behind the truncation horizon and the
+    /// follower must re-bootstrap.
+    pub fn replication_records_after(
+        &self,
+        from_epoch: u64,
+    ) -> Result<Vec<WalRecord>, PersistError> {
+        let Some(persistence) = &self.inner.persistence else {
+            return Err(PersistError::Disabled);
+        };
+        let persistence = persistence.lock().expect("persistence lock");
+        let scan = scan_file(&persistence.wal_path())?;
+        Ok(scan
+            .records
+            .into_iter()
+            .filter(|r| r.epoch > from_epoch)
+            .collect())
+    }
+
+    /// Epoch and path of the newest on-disk snapshot — what
+    /// `GET /replication/snapshot` streams to a bootstrapping follower.
+    /// `Ok(None)` when no snapshot exists yet;
+    /// [`PersistError::Disabled`] without persistence.
+    pub fn newest_snapshot_file(&self) -> Result<Option<(u64, PathBuf)>, PersistError> {
+        let Some(persistence) = &self.inner.persistence else {
+            return Err(PersistError::Disabled);
+        };
+        let persistence = persistence.lock().expect("persistence lock");
+        Ok(list_snapshots(persistence.dir())?.into_iter().next())
+    }
+
+    /// Replaces the full SLO spec set at runtime (the online equivalent of
+    /// [`ServiceBuilder::slos`]).  All burn-rate states reset to `Ok`; the
+    /// next collector tick judges the new set.
+    pub fn replace_slos(&self, specs: Vec<SloSpec>) {
+        self.inner.slo.replace_specs(specs);
+    }
+
+    /// Adds one SLO spec, replacing any existing spec of the same name
+    /// (the `POST /admin/slo` path).  Other specs keep their burn-rate
+    /// history.
+    pub fn upsert_slo(&self, spec: SloSpec) {
+        self.inner.slo.upsert_spec(spec);
+    }
+
+    /// The currently configured SLO specs.
+    pub fn slo_specs(&self) -> Vec<SloSpec> {
+        self.inner.slo.specs()
+    }
+
     /// A point-in-time snapshot of the aggregate counters, queue-wait
     /// percentiles, per-tenant scheduling outcomes, durability state and
     /// mutation-log occupancy.
@@ -1518,6 +1904,7 @@ impl Service {
         metrics.event_log_dropped = self.inner.events.dropped();
         metrics.event_log_last_id = self.inner.events.last_id();
         metrics.queue_saturation = queued as f64 / self.inner.queue_capacity.max(1) as f64;
+        metrics.replication = self.replication_status();
         metrics
     }
 
@@ -1970,6 +2357,18 @@ fn collector_tick(inner: &Inner, state: &mut CollectorState, now_ms: u64) {
     let queued = inner.queue.lock().expect("queue lock").jobs.len();
     let saturation = queued as f64 / inner.queue_capacity.max(1) as f64;
 
+    // Replication lag is a follower-only signal: standalone services and
+    // leaders record NaN (no sample) so a `replication_lag` SLO judges
+    // only actual followers.
+    let replication_lag_ms = {
+        let replication = inner.replication.lock().expect("replication lock");
+        if replication.role() == ReplicationRole::Follower {
+            replication.status(now_ms).lag_ms as f64
+        } else {
+            f64::NAN
+        }
+    };
+
     let shard_stats = inner.serving.lock().expect("serving lock").clone().stats();
     let imbalance = if shard_stats.len() <= 1 {
         1.0
@@ -2006,6 +2405,7 @@ fn collector_tick(inner: &Inner, state: &mut CollectorState, now_ms: u64) {
             pct(&wait_delta, 0.90),
             imbalance,
             saturation,
+            replication_lag_ms,
         ],
     );
 

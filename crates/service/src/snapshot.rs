@@ -272,6 +272,15 @@ impl GraphSnapshot {
     pub(crate) fn bump_epoch(&mut self) {
         self.graph.bump_epoch();
     }
+
+    /// Overwrites the graph's epoch with a leader-assigned one
+    /// ([`DataGraph::restore_epoch`]): a follower applying a replicated
+    /// batch must serve at exactly the epoch the leader produced, not a
+    /// locally drawn value, so shared-epoch reads on leader and follower
+    /// are reads of the same version.
+    pub(crate) fn restore_epoch(&mut self, epoch: u64) {
+        self.graph.restore_epoch(epoch);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,365 @@
+//! Follower-side replication through the service API: WAL record apply
+//! (`Service::apply_replicated`), snapshot bootstrap
+//! (`Service::install_replicated_snapshot`), idempotent stream resume,
+//! epoch-gap detection, local durability of replicated state, and the
+//! runtime SLO configuration surface.
+
+use std::path::PathBuf;
+
+use banks_graph::{DataGraph, GraphBuilder, MutationBatch, NodeId};
+use banks_persist::read_snapshot;
+use banks_service::{
+    parse_slo_specs, FsyncPolicy, GraphSnapshot, QuerySpec, ReplicationApplyError, ReplicationRole,
+    Service, SloSpec,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "banks-svc-replica-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A DBLP-style core plus enough filler nodes that the small batches
+/// below never push the copy-on-write overlay over the service's 0.25
+/// compaction threshold — compaction would checkpoint and truncate the
+/// leader WAL mid-test, making the streamed record set nondeterministic.
+fn dblp_like() -> DataGraph {
+    let mut b = GraphBuilder::new();
+    let soumen = b.add_node("author", "Soumen Chakrabarti");
+    let shashank = b.add_node("author", "Shashank Pandit");
+    let banks = b.add_node("paper", "Keyword searching in databases using BANKS");
+    let bidir = b.add_node("paper", "Bidirectional expansion for keyword search");
+    let w0 = b.add_node("writes", "w0");
+    let w1 = b.add_node("writes", "w1");
+    let w2 = b.add_node("writes", "w2");
+    b.add_edge(w0, soumen).unwrap();
+    b.add_edge(w0, banks).unwrap();
+    b.add_edge(w1, shashank).unwrap();
+    b.add_edge(w1, bidir).unwrap();
+    b.add_edge(w2, soumen).unwrap();
+    b.add_edge(w2, bidir).unwrap();
+    for i in 0..40 {
+        b.add_node("filler", format!("filler {i}"));
+    }
+    b.build_default()
+}
+
+fn decoy() -> DataGraph {
+    let mut b = GraphBuilder::new();
+    b.add_node("author", "Decoy Author");
+    b.build_default()
+}
+
+/// Roots + scores of the top answers, engine by engine — the fingerprint
+/// a follower must reproduce exactly at a shared epoch.
+fn answers(service: &Service, query: &str) -> Vec<(String, Vec<(u32, u64)>)> {
+    let mut per_engine = Vec::new();
+    for engine in service.engine_names() {
+        let spec = QuerySpec::parse(query).engine(engine).top_k(5);
+        let (outcome, _) = service.submit(spec).unwrap().wait();
+        per_engine.push((
+            engine.to_string(),
+            outcome
+                .answers
+                .iter()
+                .map(|a| (a.tree.root.0, a.tree.score.to_bits()))
+                .collect(),
+        ));
+    }
+    per_engine
+}
+
+/// Bootstraps a follower from the leader's newest on-disk snapshot, the
+/// way the replication client does: decode the snapshot file, rebuild the
+/// serving version with the default derivations, install it wholesale.
+fn bootstrap_follower(leader: &Service, follower: &Service) -> u64 {
+    let (epoch, path) = leader
+        .newest_snapshot_file()
+        .unwrap()
+        .expect("leader has a snapshot");
+    let contents = read_snapshot(&path).unwrap();
+    assert_eq!(contents.graph.epoch(), epoch);
+    let installed =
+        follower.install_replicated_snapshot(GraphSnapshot::with_defaults(contents.graph));
+    assert_eq!(installed, epoch);
+    installed
+}
+
+fn leader_batches() -> Vec<MutationBatch> {
+    // The base graph has 47 nodes (7 core + 40 filler), so the two nodes
+    // the first batch adds get ids 47 and 48.
+    vec![
+        MutationBatch::new()
+            .add_node("paper", "Efficient IR-style keyword search")
+            .add_node("writes", "w3")
+            .add_edge(NodeId(48), NodeId(0))
+            .add_edge(NodeId(48), NodeId(47)),
+        MutationBatch::new()
+            .set_label(NodeId(3), "Bidirectional search on graph databases")
+            .set_weight(NodeId(4), NodeId(0), 2.5),
+        MutationBatch::new().remove_node(NodeId(1)),
+    ]
+}
+
+#[test]
+fn follower_replays_the_leader_wal_to_the_same_epoch_and_answers() {
+    let leader_dir = tmp_dir("leader");
+    let leader = Service::builder(dblp_like())
+        .workers(2)
+        .persistence(&leader_dir, FsyncPolicy::Always)
+        .build();
+    let follower = Service::builder(decoy()).workers(2).build();
+    follower.set_replication_role(ReplicationRole::Follower);
+
+    bootstrap_follower(&leader, &follower);
+    for batch in leader_batches() {
+        assert!(leader.apply_mutations(&batch).swapped);
+    }
+
+    let records = leader.replication_records_after(0).unwrap();
+    assert_eq!(records.len(), 3, "one WAL record per applied batch");
+    for record in &records {
+        let applied = follower.apply_replicated(record).unwrap();
+        assert!(applied.applied);
+        assert_eq!(applied.epoch, record.epoch);
+    }
+    assert_eq!(follower.epoch(), leader.epoch(), "shared serving epoch");
+    assert_eq!(
+        answers(&follower, "soumen search"),
+        answers(&leader, "soumen search"),
+        "every engine answers identically at the shared epoch"
+    );
+
+    let status = follower.replication_status();
+    assert_eq!(status.role, ReplicationRole::Follower);
+    assert_eq!(status.applied_epoch, leader.epoch());
+    assert_eq!(status.lag_records, 0);
+    assert_eq!(status.lag_ms, 0);
+    assert_eq!(follower.metrics().replication, status);
+}
+
+#[test]
+fn resumed_streams_are_idempotent() {
+    let leader_dir = tmp_dir("resume");
+    let leader = Service::builder(dblp_like())
+        .workers(1)
+        .persistence(&leader_dir, FsyncPolicy::Always)
+        .build();
+    let follower = Service::builder(decoy()).workers(1).build();
+    bootstrap_follower(&leader, &follower);
+    for batch in leader_batches() {
+        leader.apply_mutations(&batch);
+    }
+    let records = leader.replication_records_after(0).unwrap();
+    for record in &records {
+        follower.apply_replicated(record).unwrap();
+    }
+    let epoch = follower.epoch();
+    // A reconnect replays the whole tail: every record is skipped.
+    for record in &records {
+        let applied = follower.apply_replicated(record).unwrap();
+        assert!(!applied.applied, "already-applied records are skipped");
+        assert_eq!(applied.epoch, epoch);
+    }
+    assert_eq!(follower.epoch(), epoch);
+}
+
+#[test]
+fn a_record_past_the_serving_epoch_is_an_epoch_gap() {
+    let leader_dir = tmp_dir("gap");
+    let leader = Service::builder(dblp_like())
+        .workers(1)
+        .persistence(&leader_dir, FsyncPolicy::Always)
+        .build();
+    let follower = Service::builder(decoy()).workers(1).build();
+    bootstrap_follower(&leader, &follower);
+    for batch in leader_batches() {
+        leader.apply_mutations(&batch);
+    }
+    let records = leader.replication_records_after(0).unwrap();
+    // Skip the first record: the second builds on an epoch the follower
+    // never saw, which must not be silently applied.
+    let err = follower.apply_replicated(&records[1]).unwrap_err();
+    match err {
+        ReplicationApplyError::EpochGap {
+            serving_epoch,
+            parent_epoch,
+            record_epoch,
+        } => {
+            assert_eq!(serving_epoch, follower.epoch());
+            assert_eq!(parent_epoch, records[1].parent_epoch);
+            assert_eq!(record_epoch, records[1].epoch);
+        }
+        other => panic!("expected EpochGap, got {other:?}"),
+    }
+    // The gap is recoverable: re-bootstrap from the leader's newest
+    // snapshot, then the stream tail applies cleanly.
+    leader.checkpoint().unwrap();
+    bootstrap_follower(&leader, &follower);
+    assert_eq!(follower.epoch(), leader.epoch());
+    assert!(leader
+        .replication_records_after(follower.epoch())
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn replicated_state_is_durable_in_the_follower_wal() {
+    let leader_dir = tmp_dir("durable-leader");
+    let follower_dir = tmp_dir("durable-follower");
+    let leader = Service::builder(dblp_like())
+        .workers(1)
+        .persistence(&leader_dir, FsyncPolicy::Always)
+        .build();
+    let expected = {
+        let follower = Service::builder(decoy())
+            .workers(1)
+            .persistence(&follower_dir, FsyncPolicy::Always)
+            .build();
+        bootstrap_follower(&leader, &follower);
+        for batch in leader_batches() {
+            leader.apply_mutations(&batch);
+        }
+        for record in &leader.replication_records_after(0).unwrap() {
+            follower.apply_replicated(record).unwrap();
+        }
+        assert_eq!(follower.epoch(), leader.epoch());
+        answers(&follower, "soumen search")
+        // follower dropped here — the restart below must replay its own
+        // WAL back to the same state
+    };
+    let reborn = Service::builder(decoy())
+        .workers(1)
+        .persistence(&follower_dir, FsyncPolicy::Always)
+        .build();
+    assert_eq!(
+        reborn.epoch(),
+        leader.epoch(),
+        "recovery reaches the leader epoch"
+    );
+    assert_eq!(answers(&reborn, "soumen search"), expected);
+}
+
+#[test]
+fn bootstrap_installs_checkpoint_and_preserves_the_leader_epoch() {
+    let leader_dir = tmp_dir("boot-leader");
+    let follower_dir = tmp_dir("boot-follower");
+    let leader = Service::builder(dblp_like())
+        .workers(1)
+        .persistence(&leader_dir, FsyncPolicy::Always)
+        .build();
+    for batch in leader_batches() {
+        leader.apply_mutations(&batch);
+    }
+    leader.checkpoint().unwrap();
+
+    let follower = Service::builder(decoy())
+        .workers(1)
+        .persistence(&follower_dir, FsyncPolicy::Always)
+        .build();
+    let installed = bootstrap_follower(&leader, &follower);
+    assert_eq!(installed, leader.epoch());
+    assert_eq!(follower.epoch(), leader.epoch());
+    let durability = follower.durability();
+    assert_eq!(
+        durability.last_checkpoint_epoch, installed,
+        "bootstrap checkpoints locally at the installed epoch"
+    );
+    assert_eq!(durability.wal_records, 0, "stale local WAL is truncated");
+    // Installing the same epoch again is a harmless no-op.
+    assert_eq!(bootstrap_follower(&leader, &follower), installed);
+}
+
+#[test]
+fn head_announcements_feed_lag_and_metrics() {
+    let service = Service::builder(dblp_like()).workers(1).build();
+    service.set_replication_role(ReplicationRole::Follower);
+    // Behind: the leader announces three records past anything applied.
+    let head = service.epoch() + 3;
+    service.note_replication_head(head, 3);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let status = service.replication_status();
+    assert_eq!(status.role, ReplicationRole::Follower);
+    assert_eq!(status.leader_epoch, head);
+    assert_eq!(status.lag_records, 3);
+    assert!(status.lag_ms >= 10, "lag clock runs while behind");
+    // The same status rides on the metrics snapshot (the lag clock keeps
+    // ticking between the two reads, so compare the stable fields).
+    let metrics = service.metrics().replication;
+    assert_eq!(metrics.role, ReplicationRole::Follower);
+    assert_eq!(metrics.leader_epoch, head);
+    assert_eq!(metrics.lag_records, 3);
+    assert!(metrics.lag_ms >= status.lag_ms);
+}
+
+#[test]
+fn slo_specs_parse_from_json_and_swap_at_runtime() {
+    let specs = parse_slo_specs(
+        r#"{"slos":[
+            {"name":"replication_lag","metric":"replication_lag_ms","threshold":5000},
+            {"name":"ttfa_p99","metric":"ttfa_p99_us","threshold":100000,
+             "budget":0.05,"fast_window_ms":60000,"slow_window_ms":600000,
+             "fire_burn":5,"resolve_burn":0.5}
+        ]}"#,
+    )
+    .unwrap();
+    assert_eq!(specs.len(), 2);
+    assert_eq!(
+        specs[0],
+        SloSpec::upper_bound("replication_lag", "replication_lag_ms", 5000.0)
+    );
+    assert_eq!(specs[1].budget, 0.05);
+    assert_eq!(specs[1].fast_window_ms, 60_000);
+    assert_eq!(specs[1].fire_burn, 5.0);
+
+    // A bare array works too; malformed documents fail loudly.
+    assert_eq!(
+        parse_slo_specs(r#"[{"name":"a","metric":"queued","threshold":1}]"#)
+            .unwrap()
+            .len(),
+        1
+    );
+    for bad in [
+        r#"{"slos":{}}"#,
+        r#"[{"metric":"queued","threshold":1}]"#,
+        r#"[{"name":"a","metric":"queued"}]"#,
+        r#"[{"name":"a","metric":"queued","threshold":1,"typo_key":2}]"#,
+        r#"[{"name":"a","metric":"queued","threshold":1,"budget":0}]"#,
+        r#"[{"name":"a","metric":"queued","threshold":1,
+            "fast_window_ms":600000,"slow_window_ms":60000}]"#,
+        r#"[{"name":"a","metric":"queued","threshold":1},
+            {"name":"a","metric":"queued","threshold":2}]"#,
+    ] {
+        assert!(parse_slo_specs(bad).is_err(), "should reject {bad}");
+    }
+
+    // Boot from a config file, then swap and upsert at runtime.
+    let dir = tmp_dir("slo");
+    let path = dir.join("slo.json");
+    std::fs::write(
+        &path,
+        r#"[{"name":"queued","metric":"queued","threshold":10}]"#,
+    )
+    .unwrap();
+    let service = Service::builder(dblp_like())
+        .workers(1)
+        .slos_from_path(&path)
+        .unwrap()
+        .build();
+    assert_eq!(
+        service.slo_specs(),
+        vec![SloSpec::upper_bound("queued", "queued", 10.0)]
+    );
+    service.upsert_slo(SloSpec::replication_lag());
+    assert_eq!(service.slo_specs().len(), 2);
+    service.replace_slos(SloSpec::defaults());
+    assert_eq!(service.slo_specs(), SloSpec::defaults());
+
+    let missing = Service::builder(decoy()).slos_from_path(dir.join("absent.json"));
+    assert!(missing.is_err());
+}

@@ -5,6 +5,8 @@
 //! cargo run --release --example server_demo -- --serve 127.0.0.1:7878
 //! cargo run --release --example server_demo -- --serve 127.0.0.1:7878 --data-dir ./banks-data
 //! cargo run --release --example server_demo -- --serve 127.0.0.1:7878 --shards 4
+//! cargo run --release --example server_demo -- --serve 127.0.0.1:7879 \
+//!     --data-dir ./replica-data --replicate-from http://127.0.0.1:7878
 //! ```
 //!
 //! The default mode boots a [`Server`] on a loopback port, fires a
@@ -23,6 +25,11 @@
 //! `--shards K` partitions the served graph into `K` shards: the
 //! `scatter-gather` engine family fans each query out across per-shard
 //! engines and merges the streams, byte-identical to unsharded execution.
+//! `--replicate-from <url>` runs this process as a **read replica** of the
+//! leader at `<url>`: it bootstraps from the leader's snapshot, tails the
+//! leader's mutation WAL over SSE, serves reads at the replicated epoch,
+//! and answers `POST /admin/mutate` with `409` + a `Location` header
+//! pointing at the leader.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -69,7 +76,12 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|s| s.parse().ok())
             .unwrap_or(1usize);
-        serve_forever(addr, data_dir, shards);
+        let replicate_from = args
+            .iter()
+            .position(|a| a == "--replicate-from")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        serve_forever(addr, data_dir, shards, replicate_from);
         return;
     }
     workload_demo();
@@ -80,7 +92,7 @@ fn main() {
 /// generated corpus only seeds an empty directory), uses the default
 /// label index so recovery needs nothing beyond the graph, and fsyncs
 /// every mutation before acknowledging it.
-fn serve_forever(addr: &str, data_dir: Option<String>, shards: usize) {
+fn serve_forever(addr: &str, data_dir: Option<String>, shards: usize, leader: Option<String>) {
     let service = match &data_dir {
         Some(dir) => {
             let data = DblpDataset::generate(DblpConfig {
@@ -112,7 +124,28 @@ fn serve_forever(addr: &str, data_dir: Option<String>, shards: usize) {
         println!("sharded mode: {shards} shards, scatter-gather engines registered");
     }
     let service = Arc::new(service);
-    let server = Server::builder(service)
+    // A follower tails the leader's WAL and refuses writes; a durable
+    // standalone process declares itself the leader so replicas (and the
+    // metrics role gauge) can identify it.
+    let _follower = match &leader {
+        Some(url) => {
+            let follower = Follower::start(Arc::clone(&service), url)
+                .unwrap_or_else(|e| panic!("bad --replicate-from: {e}"));
+            println!("replica mode: tailing leader at {}", follower.leader());
+            Some(follower)
+        }
+        None => {
+            if data_dir.is_some() {
+                service.set_replication_role(ReplicationRole::Leader);
+            }
+            None
+        }
+    };
+    let mut builder = Server::builder(service);
+    if let Some(url) = &leader {
+        builder = builder.leader_url(url.clone());
+    }
+    let server = builder
         .addr(addr)
         .graph_source(|| {
             let data = DblpDataset::generate(DblpConfig {

@@ -187,6 +187,13 @@ fn e2e_bench(gate: bool) {
             "report-only: needs >=4 cores"
         }
     );
+    // GitHub Actions annotation: the gate's mode and measured ratio land
+    // on the run summary page instead of being buried in the step log.
+    println!(
+        "::notice title=Sharded TTFA gate::mode={} ratio={ratio:.2}x \
+         required={TTFA_RATIO_REQUIRED}x cores={cores} pass={pass}",
+        if enforced { "enforced" } else { "report-only" }
+    );
 
     let mut json = String::from("{\"bench\":\"e2e_sharded\",\"configs\":[");
     for (i, c) in configs.iter().enumerate() {

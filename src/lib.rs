@@ -23,7 +23,11 @@
 //!   a mutation write-ahead log and crash recovery (snapshot + WAL replay),
 //! * [`server`] — the HTTP/SSE network front-end over the service:
 //!   hand-rolled HTTP/1.1 on `std::net`, answers streamed as server-sent
-//!   events, structured JSON errors, graceful drain.
+//!   events, structured JSON errors, graceful drain,
+//! * [`replica`] — the read-replica follower: bootstraps from a leader's
+//!   snapshot over HTTP, tails its mutation WAL as an SSE stream, and
+//!   applies records through the service's replication path so follower
+//!   answers are byte-identical to the leader's at every shared epoch.
 //!
 //! ## Quick start
 //!
@@ -93,6 +97,7 @@ pub use banks_graph as graph;
 pub use banks_persist as persist;
 pub use banks_prestige as prestige;
 pub use banks_relational as relational;
+pub use banks_replica as replica;
 pub use banks_server as server;
 pub use banks_service as service;
 pub use banks_textindex as textindex;
@@ -119,12 +124,14 @@ pub mod prelude {
         compute_pagerank, refresh_pagerank, IndegreePrestige, PageRankConfig, PrestigeVector,
     };
     pub use banks_relational::{Database, DatabaseSchema, GraphExtraction, SparseSearch, TupleId};
+    pub use banks_replica::Follower;
     pub use banks_server::Server;
     pub use banks_service::{
         DurabilityStatus, Event, EventLevel, EventLog, FsyncPolicy, GraphSnapshot, Health,
         MutationReport, PersistError, PersistOptions, Priority, QueryEvent, QueryHandle, QueryId,
-        QueryResult, QuerySpec, QueueWaitSummary, Service, ServiceBuilder, ServiceMetrics,
-        ShardSet, SloReport, SloRow, SloSpec, SubmitError, TenantMetrics, TimeSeriesRing,
+        QueryResult, QuerySpec, QueueWaitSummary, ReplicationRole, ReplicationStatus, Service,
+        ServiceBuilder, ServiceMetrics, ShardSet, SloReport, SloRow, SloSpec, SubmitError,
+        TenantMetrics, TimeSeriesRing,
     };
     pub use banks_textindex::{IndexBuilder, InvertedIndex, KeywordMatches, Query, Tokenizer};
 }

@@ -114,8 +114,9 @@ fn assert_equivalent(baseline: &Service, sharded: &Service, queries: &[Vec<Strin
 }
 
 /// Deterministic mutation batches, valid against any corpus of `n` nodes:
-/// fresh searchable entities plus a relabel, so the index and prestige
-/// deltas fan out across shards and the new text answers queries.
+/// fresh searchable entities plus a relabel and a node removal, so the
+/// index and prestige deltas fan out across shards, the new text answers
+/// queries, and the tombstoned id stops answering everywhere at once.
 fn mutation_batches(seed: u64, n: u32) -> Vec<MutationBatch> {
     vec![
         MutationBatch::new()
@@ -129,6 +130,13 @@ fn mutation_batches(seed: u64, n: u32) -> Vec<MutationBatch> {
             .add_edge(NodeId(n + 2), NodeId(1))
             // an invalid op mixed in: must be rejected identically everywhere
             .add_edge(NodeId(n), NodeId(n)),
+        MutationBatch::new()
+            // removal takes out the node, its incident edges, and its index
+            // entries on every shard assignment identically…
+            .remove_node(NodeId(2))
+            // …and ops against the tombstoned id are rejected identically.
+            .add_edge(NodeId(0), NodeId(2))
+            .set_label(NodeId(2), format!("ghost {seed}")),
     ]
 }
 
